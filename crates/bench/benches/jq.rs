@@ -1,0 +1,80 @@
+//! Criterion micro-benchmarks for Jury Quality computation: exact
+//! enumeration vs. the MV dynamic program vs. the bucket approximation, and
+//! the effect of the Algorithm 2 pruning (the timing side of Figure 9).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use jury_model::{GaussianWorkerGenerator, Jury, Prior};
+use jury_jq::{exact_bv_jq, mv_jq, BucketCount, BucketJqConfig, BucketJqEstimator};
+
+fn random_jury(n: usize, seed: u64) -> Jury {
+    let generator = GaussianWorkerGenerator::paper_defaults();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let qualities: Vec<f64> = (0..n).map(|_| generator.sample_quality(&mut rng)).collect();
+    Jury::from_qualities(&qualities).expect("clamped qualities")
+}
+
+fn bench_exact_vs_approx(c: &mut Criterion) {
+    let mut group = c.benchmark_group("jq_small_jury");
+    for &n in &[8usize, 12] {
+        let jury = random_jury(n, 7);
+        group.bench_with_input(BenchmarkId::new("exact_enumeration", n), &jury, |b, jury| {
+            b.iter(|| exact_bv_jq(jury, Prior::uniform()).unwrap())
+        });
+        let estimator = BucketJqEstimator::paper_experiments();
+        group.bench_with_input(BenchmarkId::new("bucket_50", n), &jury, |b, jury| {
+            b.iter(|| estimator.jq(jury, Prior::uniform()))
+        });
+        group.bench_with_input(BenchmarkId::new("mv_dynamic_program", n), &jury, |b, jury| {
+            b.iter(|| mv_jq(jury, Prior::uniform()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_pruning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("jq_pruning_figure9d");
+    group.sample_size(20);
+    for &n in &[100usize, 200, 400] {
+        let jury = random_jury(n, 11);
+        let with_pruning = BucketJqEstimator::new(BucketJqConfig::paper_experiments());
+        let without_pruning =
+            BucketJqEstimator::new(BucketJqConfig::paper_experiments().with_pruning(false));
+        group.bench_with_input(BenchmarkId::new("with_pruning", n), &jury, |b, jury| {
+            b.iter(|| with_pruning.jq(jury, Prior::uniform()))
+        });
+        group.bench_with_input(BenchmarkId::new("without_pruning", n), &jury, |b, jury| {
+            b.iter(|| without_pruning.jq(jury, Prior::uniform()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_bucket_resolution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("jq_bucket_resolution");
+    let jury = random_jury(50, 13);
+    for &buckets in &[10usize, 50, 200, 1000] {
+        let estimator = BucketJqEstimator::new(
+            BucketJqConfig::default().with_buckets(BucketCount::Fixed(buckets)),
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(buckets), &jury, |b, jury| {
+            b.iter(|| estimator.jq(jury, Prior::uniform()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Keep the whole suite quick enough for CI while still giving stable numbers.
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
+    targets = bench_exact_vs_approx, bench_pruning, bench_bucket_resolution
+}
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Criterion micro-benchmarks for the JSP solvers: exhaustive enumeration at
+//! the paper's N = 11 reference size, and the simulated-annealing heuristic
+//! at the synthetic default N = 50 and beyond (the timing side of
+//! Figure 7(b)).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use jury_model::{GaussianWorkerGenerator, Prior};
+use jury_selection::{
+    AnnealingConfig, AnnealingSolver, BvObjective, ExhaustiveSolver, JspInstance, JurySolver,
+    MvjsSolver,
+};
+use jury_jq::BucketJqConfig;
+
+fn instance(n: usize, budget: f64, seed: u64) -> JspInstance {
+    let generator = GaussianWorkerGenerator::paper_defaults();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pool = generator.generate(n, &mut rng);
+    JspInstance::new(pool, budget, Prior::uniform()).expect("valid budget")
+}
+
+fn objective() -> BvObjective {
+    BvObjective::with_config(BucketJqConfig::paper_experiments())
+}
+
+fn bench_exhaustive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("jsp_exhaustive_n11");
+    group.sample_size(10);
+    for &budget in &[0.2, 0.5] {
+        let inst = instance(11, budget, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(budget), &inst, |b, inst| {
+            b.iter(|| ExhaustiveSolver::new(objective()).solve(inst))
+        });
+    }
+    group.finish();
+}
+
+fn bench_annealing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("jsp_annealing_figure7b");
+    group.sample_size(10);
+    for &n in &[50usize, 100, 200] {
+        let inst = instance(n, 0.5, 5);
+        group.bench_with_input(BenchmarkId::new("paper_single_run", n), &inst, |b, inst| {
+            b.iter(|| {
+                AnnealingSolver::with_config(objective(), AnnealingConfig::paper_single_run())
+                    .solve(inst)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("robust_default", n), &inst, |b, inst| {
+            b.iter(|| AnnealingSolver::new(objective()).solve(inst))
+        });
+    }
+    group.finish();
+}
+
+fn bench_mvjs_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("jsp_mvjs_baseline");
+    group.sample_size(10);
+    for &n in &[50usize, 100] {
+        let inst = instance(n, 0.5, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            b.iter(|| MvjsSolver::new().solve(inst))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Keep the whole suite quick enough for CI while still giving stable numbers.
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
+    targets = bench_exhaustive, bench_annealing, bench_mvjs_baseline
+}
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion micro-benchmarks for the voting strategies themselves: how fast
+//! each strategy aggregates a single voting, and the exact JQ enumeration
+//! that powers the Figure 8 comparison.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use jury_model::{Answer, GaussianWorkerGenerator, Jury, Prior};
+use jury_voting::{all_strategies, figure8_strategies};
+use jury_jq::exact_jq;
+use jury_sim::draw_voting;
+
+fn setup(n: usize) -> (Jury, Vec<Answer>) {
+    let generator = GaussianWorkerGenerator::paper_defaults();
+    let mut rng = StdRng::seed_from_u64(1);
+    let qualities: Vec<f64> = (0..n).map(|_| generator.sample_quality(&mut rng)).collect();
+    let jury = Jury::from_qualities(&qualities).expect("clamped qualities");
+    let votes = draw_voting(&jury, Answer::Yes, &mut rng);
+    (jury, votes)
+}
+
+fn bench_single_aggregation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("strategy_prob_no_n21");
+    let (jury, votes) = setup(21);
+    for entry in all_strategies() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(entry.name()),
+            &(&jury, &votes),
+            |b, (jury, votes)| {
+                b.iter(|| entry.strategy.prob_no(jury, votes, Prior::uniform()).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_exact_jq_per_strategy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_jq_figure8_n11");
+    group.sample_size(20);
+    let (jury, _) = setup(11);
+    for strategy in figure8_strategies() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy.name()),
+            &jury,
+            |b, jury| b.iter(|| exact_jq(jury, strategy.as_ref(), Prior::uniform()).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Keep the whole suite quick enough for CI while still giving stable numbers.
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
+    targets = bench_single_aggregation, bench_exact_jq_per_strategy
+}
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Approximation error bounds for the bucket-based JQ estimator
+//! (Section 4.4, Equation 8).
+//!
+//! With bucket size `δ = upper / numBuckets` the additive error of
+//! Algorithm 1 satisfies `JQ − ĴQ < e^{n·δ/4} − 1`. Setting
+//! `numBuckets = d·n` makes the exponent `upper / (4d)`, independent of the
+//! jury size; since `φ(0.99) < 5`, choosing `d ≥ 200` bounds the error by
+//! `e^{5/800} − 1 ≈ 0.627 % < 1 %`.
+
+/// The log-odds cap `φ(0.99) < 5` used in the paper's bound derivation.
+pub const LOG_ODDS_CAP: f64 = 5.0;
+
+/// The per-worker bucket multiplier `d ≥ 200` recommended by the paper for a
+/// sub-1 % additive error.
+pub const PAPER_RECOMMENDED_MULTIPLIER: usize = 200;
+
+/// The additive error bound `e^{n·δ/4} − 1` for a jury of size `n` and bucket
+/// size `δ` (Equation 8).
+pub fn error_bound(jury_size: usize, bucket_size: f64) -> f64 {
+    if jury_size == 0 || bucket_size <= 0.0 {
+        return 0.0;
+    }
+    (jury_size as f64 * bucket_size / 4.0).exp() - 1.0
+}
+
+/// The error bound when `numBuckets = d · n`, expressed in terms of the
+/// maximum log-odds `upper`: `e^{upper / (4d)} − 1`, independent of `n`.
+pub fn error_bound_per_worker(upper: f64, multiplier: usize) -> f64 {
+    if multiplier == 0 {
+        return f64::INFINITY;
+    }
+    (upper.max(0.0) / (4.0 * multiplier as f64)).exp() - 1.0
+}
+
+/// The smallest per-worker multiplier `d` such that the error bound (with the
+/// conservative `upper = 5` cap) stays below `target_error`.
+pub fn recommended_multiplier(target_error: f64) -> usize {
+    assert!(target_error > 0.0, "target error must be positive");
+    // e^{5/(4d)} − 1 ≤ target  ⇔  d ≥ 5 / (4 ln(1 + target)).
+    (LOG_ODDS_CAP / (4.0 * (1.0 + target_error).ln())).ceil() as usize
+}
+
+/// The smallest total bucket count for a jury of size `n` achieving the
+/// target error, assuming the conservative `upper = 5` cap.
+pub fn recommended_buckets(jury_size: usize, target_error: f64) -> usize {
+    recommended_multiplier(target_error) * jury_size.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_headline_numbers() {
+        // d = 200 with upper < 5 gives a bound below 0.627 % < 1 %.
+        let bound = error_bound_per_worker(LOG_ODDS_CAP, PAPER_RECOMMENDED_MULTIPLIER);
+        assert!(bound < 0.00628, "bound {bound}");
+        assert!(bound > 0.006);
+        assert!(bound < 0.01);
+    }
+
+    #[test]
+    fn bound_grows_with_bucket_size_and_jury_size() {
+        assert!(error_bound(10, 0.01) < error_bound(10, 0.02));
+        assert!(error_bound(10, 0.01) < error_bound(20, 0.01));
+        assert_eq!(error_bound(0, 0.5), 0.0);
+        assert_eq!(error_bound(10, 0.0), 0.0);
+    }
+
+    #[test]
+    fn per_worker_bound_is_jury_size_free() {
+        // n·δ = n·(upper / (d·n)) = upper/d, so the two formulations agree.
+        let upper = 3.2;
+        let d = 50;
+        for n in [5usize, 20, 200] {
+            let delta = upper / (d * n) as f64;
+            let a = error_bound(n, delta);
+            let b = error_bound_per_worker(upper, d);
+            assert!((a - b).abs() < 1e-12, "n={n}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn recommended_multiplier_hits_the_target() {
+        let d = recommended_multiplier(0.01);
+        assert!(error_bound_per_worker(LOG_ODDS_CAP, d) <= 0.01);
+        // One less multiplier must violate the target (minimality).
+        if d > 1 {
+            assert!(error_bound_per_worker(LOG_ODDS_CAP, d - 1) > 0.01);
+        }
+        // The paper's d = 200 is comfortably enough for 1 %.
+        assert!(d <= PAPER_RECOMMENDED_MULTIPLIER);
+    }
+
+    #[test]
+    fn recommended_buckets_scales_with_jury_size() {
+        let per = recommended_multiplier(0.005);
+        assert_eq!(recommended_buckets(10, 0.005), per * 10);
+        assert_eq!(recommended_buckets(0, 0.005), per);
+    }
+
+    #[test]
+    fn zero_multiplier_is_unbounded() {
+        assert!(error_bound_per_worker(5.0, 0).is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_target_rejected() {
+        let _ = recommended_multiplier(0.0);
+    }
+}

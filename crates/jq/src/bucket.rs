@@ -1,0 +1,448 @@
+//! The bucket-based approximation of `JQ(J, BV, α)` — Algorithm 1 of the
+//! paper, with the Algorithm 2 pruning and the Theorem 3 prior folding.
+//!
+//! Computing the jury quality of Bayesian voting exactly is NP-hard
+//! (Theorem 2): the sign of `R(V) = ln Pr(V|t=0) − ln Pr(V|t=1)` must be
+//! known for every voting `V`, and the set of achievable `R` values is
+//! exponential. The approximation quantizes each worker's log-odds
+//! `φ(q_i) = ln(q_i / (1 − q_i))` to an integer bucket `b_i` and then runs an
+//! iterative subset-sum style dynamic program over `(key, prob)` pairs, where
+//! `key` is the bucketed value of `R(V)` and `prob` aggregates
+//! `e^{u(V)} = Pr(V | t = 0)` over all votings sharing that key. The result
+//! is
+//!
+//! `ĴQ = Σ_{key > 0} prob + ½ Σ_{key = 0} prob`,
+//!
+//! with additive error below `e^{n·δ/4} − 1` (Section 4.4), i.e. below 1 %
+//! for `numBuckets = 200·n`.
+
+use std::collections::HashMap;
+
+use jury_model::{log_odds, Jury, Prior};
+
+use crate::bounds;
+use crate::prior::fold_prior;
+use crate::prune::{aggregate_buckets, prune, PruneDecision, PruneStats};
+
+/// How many buckets Algorithm 1 should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BucketCount {
+    /// A fixed total number of buckets (the experiments of Section 6 use 50).
+    Fixed(usize),
+    /// `d` buckets per jury member (`numBuckets = d · n`), the setting of the
+    /// error-bound analysis; `d ≥ 200` guarantees a sub-1 % error.
+    PerWorker(usize),
+}
+
+impl BucketCount {
+    /// Resolves the total bucket count for a jury of `n` workers.
+    pub fn resolve(self, jury_size: usize) -> usize {
+        match self {
+            BucketCount::Fixed(k) => k.max(1),
+            BucketCount::PerWorker(d) => (d * jury_size.max(1)).max(1),
+        }
+    }
+}
+
+/// Configuration of the bucket-based estimator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BucketJqConfig {
+    /// Number of buckets.
+    pub buckets: BucketCount,
+    /// Whether to apply the Algorithm 2 pruning (on by default; turning it
+    /// off is only useful for the Figure 9(d) ablation).
+    pub use_pruning: bool,
+    /// Whether to apply the Section 4.4 shortcut: if some worker has
+    /// (effective) quality above 0.99, return that quality directly, since
+    /// the true JQ is already in `(0.99, 1]`.
+    pub high_quality_shortcut: bool,
+}
+
+impl Default for BucketJqConfig {
+    fn default() -> Self {
+        BucketJqConfig {
+            buckets: BucketCount::PerWorker(bounds::PAPER_RECOMMENDED_MULTIPLIER),
+            use_pruning: true,
+            high_quality_shortcut: true,
+        }
+    }
+}
+
+impl BucketJqConfig {
+    /// The configuration used throughout the paper's experiments
+    /// (`numBuckets = 50`, pruning on).
+    pub fn paper_experiments() -> Self {
+        BucketJqConfig {
+            buckets: BucketCount::Fixed(50),
+            use_pruning: true,
+            high_quality_shortcut: true,
+        }
+    }
+
+    /// Sets the bucket count.
+    pub fn with_buckets(mut self, buckets: BucketCount) -> Self {
+        self.buckets = buckets;
+        self
+    }
+
+    /// Enables or disables pruning.
+    pub fn with_pruning(mut self, use_pruning: bool) -> Self {
+        self.use_pruning = use_pruning;
+        self
+    }
+
+    /// Enables or disables the high-quality shortcut.
+    pub fn with_high_quality_shortcut(mut self, enabled: bool) -> Self {
+        self.high_quality_shortcut = enabled;
+        self
+    }
+}
+
+/// The result of one bucket-based JQ estimation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JqEstimate {
+    /// The estimated jury quality `ĴQ ∈ [0, 1]`.
+    pub value: f64,
+    /// The total number of buckets used.
+    pub num_buckets: usize,
+    /// The bucket width `δ`.
+    pub bucket_size: f64,
+    /// The a-priori additive error bound `e^{n·δ/4} − 1` for this run
+    /// (0 when the exact shortcut applied).
+    pub error_bound: f64,
+    /// Pruning counters (all zeros when pruning is disabled).
+    pub prune_stats: PruneStats,
+    /// The largest number of distinct keys held at any iteration.
+    pub max_map_entries: usize,
+    /// Whether the high-quality shortcut produced the value.
+    pub used_shortcut: bool,
+}
+
+/// The bucket-based estimator of `JQ(J, BV, α)`.
+#[derive(Debug, Clone, Default)]
+pub struct BucketJqEstimator {
+    config: BucketJqConfig,
+}
+
+impl BucketJqEstimator {
+    /// Creates an estimator with the given configuration.
+    pub fn new(config: BucketJqConfig) -> Self {
+        BucketJqEstimator { config }
+    }
+
+    /// Creates an estimator with the paper's experimental configuration
+    /// (`numBuckets = 50`).
+    pub fn paper_experiments() -> Self {
+        BucketJqEstimator::new(BucketJqConfig::paper_experiments())
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &BucketJqConfig {
+        &self.config
+    }
+
+    /// Estimates `JQ(J, BV, α)`, returning the value only.
+    pub fn jq(&self, jury: &Jury, prior: Prior) -> f64 {
+        self.estimate(jury, prior).value
+    }
+
+    /// Estimates `JQ(J, BV, α)` with full diagnostics.
+    ///
+    /// The prior is folded into the jury as a pseudo-worker (Theorem 3), so
+    /// the core loop always runs under `α = 0.5`.
+    pub fn estimate(&self, jury: &Jury, prior: Prior) -> JqEstimate {
+        let folded = fold_prior(jury, prior);
+        // The low-quality reinterpretation of Section 3.3: every worker is
+        // replaced by an effective worker with quality max(q, 1 − q) ≥ 0.5.
+        let qualities = folded.effective_qualities();
+        let n = qualities.len();
+
+        // Section 4.4 shortcut: a near-perfect worker pins JQ into (0.99, 1].
+        if self.config.high_quality_shortcut {
+            if let Some(best) =
+                qualities.iter().copied().fold(None::<f64>, |acc, q| Some(acc.map_or(q, |a| a.max(q))))
+            {
+                if best > 0.99 {
+                    return JqEstimate {
+                        value: best,
+                        num_buckets: 0,
+                        bucket_size: 0.0,
+                        error_bound: 1.0 - best,
+                        prune_stats: PruneStats::default(),
+                        max_map_entries: 0,
+                        used_shortcut: true,
+                    };
+                }
+            }
+        }
+
+        let phis: Vec<f64> = qualities.iter().map(|&q| log_odds(q)).collect();
+        let upper = phis.iter().cloned().fold(0.0f64, f64::max);
+        let num_buckets = self.config.buckets.resolve(n);
+        let bucket_size = if upper > 0.0 { upper / num_buckets as f64 } else { 0.0 };
+
+        // GetBucketArray: map each φ(q_i) to its nearest bucket index.
+        let mut indexed: Vec<(i64, f64)> = phis
+            .iter()
+            .zip(qualities.iter())
+            .map(|(&phi, &q)| {
+                let bucket = if bucket_size > 0.0 {
+                    (phi / bucket_size - 0.5).ceil() as i64
+                } else {
+                    0
+                };
+                (bucket.max(0), q)
+            })
+            .collect();
+        // Sort by decreasing bucket so pruning sees the large weights first.
+        indexed.sort_by(|a, b| b.0.cmp(&a.0));
+        let buckets: Vec<i64> = indexed.iter().map(|&(b, _)| b).collect();
+        let aggregate = aggregate_buckets(&buckets);
+
+        let mut estimate = 0.0f64;
+        let mut stats = PruneStats::default();
+        let mut max_map_entries = 1usize;
+        let mut current: HashMap<i64, f64> = HashMap::from([(0i64, 1.0f64)]);
+
+        for (i, &(bucket, quality)) in indexed.iter().enumerate() {
+            let mut next: HashMap<i64, f64> = HashMap::with_capacity(current.len() * 2);
+            for (&key, &prob) in &current {
+                if self.config.use_pruning {
+                    match prune(key, aggregate[i]) {
+                        PruneDecision::TakeAll => {
+                            estimate += prob;
+                            stats.taken_all += 1;
+                            continue;
+                        }
+                        PruneDecision::TakeNone => {
+                            stats.taken_none += 1;
+                            continue;
+                        }
+                        PruneDecision::Continue => {}
+                    }
+                }
+                stats.expanded += 1;
+                // Vote v_i = 0 supports t = 0: key moves up, weighted by q_i.
+                *next.entry(key + bucket).or_insert(0.0) += prob * quality;
+                // Vote v_i = 1: key moves down, weighted by 1 − q_i.
+                *next.entry(key - bucket).or_insert(0.0) += prob * (1.0 - quality);
+            }
+            max_map_entries = max_map_entries.max(next.len());
+            current = next;
+        }
+
+        for (&key, &prob) in &current {
+            if key > 0 {
+                estimate += prob;
+            } else if key == 0 {
+                estimate += 0.5 * prob;
+            }
+        }
+
+        JqEstimate {
+            value: estimate.clamp(0.0, 1.0),
+            num_buckets,
+            bucket_size,
+            error_bound: bounds::error_bound(n, bucket_size),
+            prune_stats: stats,
+            max_map_entries,
+            used_shortcut: false,
+        }
+    }
+}
+
+/// Convenience function: estimates `JQ(J, BV, α)` with the default
+/// configuration (per-worker bucket multiplier 200, pruning on).
+pub fn bv_jq(jury: &Jury, prior: Prior) -> f64 {
+    BucketJqEstimator::default().jq(jury, prior)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::exact_bv_jq;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn assert_close(a: f64, b: f64, tol: f64, context: &str) {
+        assert!((a - b).abs() <= tol, "{context}: {a} vs {b} (tol {tol})");
+    }
+
+    #[test]
+    fn matches_example_3_exactly_enough() {
+        // JQ(J, BV, 0.5) = 90 % for qualities 0.9, 0.6, 0.6.
+        let jury = Jury::from_qualities(&[0.9, 0.6, 0.6]).unwrap();
+        let est = BucketJqEstimator::default().estimate(&jury, Prior::uniform());
+        assert_close(est.value, 0.9, 1e-3, "example 3");
+        assert!(!est.used_shortcut);
+        assert!(est.error_bound < 0.01);
+    }
+
+    #[test]
+    fn paper_experiment_config_matches_exact_on_small_juries() {
+        let estimator = BucketJqEstimator::paper_experiments();
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..40 {
+            let n = rng.gen_range(1..=9);
+            let qualities: Vec<f64> = (0..n).map(|_| rng.gen_range(0.5..0.95)).collect();
+            let jury = Jury::from_qualities(&qualities).unwrap();
+            let exact = exact_bv_jq(&jury, Prior::uniform()).unwrap();
+            let est = estimator.estimate(&jury, Prior::uniform());
+            // numBuckets = 50 keeps the error well below a percent in
+            // practice (Figure 9(c) reports a maximum of 0.01 %).
+            assert_close(est.value, exact, 0.01, &format!("qualities {qualities:?}"));
+        }
+    }
+
+    #[test]
+    fn error_stays_within_the_theoretical_bound() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for d in [10usize, 50, 200] {
+            let estimator = BucketJqEstimator::new(
+                BucketJqConfig::default()
+                    .with_buckets(BucketCount::PerWorker(d))
+                    .with_high_quality_shortcut(false),
+            );
+            for _ in 0..20 {
+                let n = rng.gen_range(1..=8);
+                let qualities: Vec<f64> = (0..n).map(|_| rng.gen_range(0.5..0.99)).collect();
+                let jury = Jury::from_qualities(&qualities).unwrap();
+                let exact = exact_bv_jq(&jury, Prior::uniform()).unwrap();
+                let est = estimator.estimate(&jury, Prior::uniform());
+                let err = (exact - est.value).abs();
+                // Allow a hair of slack for floating-point noise on top of
+                // the analytical bound.
+                assert!(
+                    err <= est.error_bound + 1e-9,
+                    "error {err} exceeds bound {} for d={d}, qualities {qualities:?}",
+                    est.error_bound
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_does_not_change_the_estimate() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..20 {
+            let n = rng.gen_range(1..=10);
+            let qualities: Vec<f64> = (0..n).map(|_| rng.gen_range(0.5..0.98)).collect();
+            let jury = Jury::from_qualities(&qualities).unwrap();
+            let with = BucketJqEstimator::new(BucketJqConfig::paper_experiments())
+                .estimate(&jury, Prior::uniform());
+            let without = BucketJqEstimator::new(
+                BucketJqConfig::paper_experiments().with_pruning(false),
+            )
+            .estimate(&jury, Prior::uniform());
+            assert_close(with.value, without.value, 1e-12, "pruning changed the value");
+            assert_eq!(without.prune_stats.taken_all + without.prune_stats.taken_none, 0);
+        }
+    }
+
+    #[test]
+    fn pruning_actually_fires_on_large_juries() {
+        let qualities: Vec<f64> = (0..60).map(|i| 0.55 + 0.4 * (i as f64 / 59.0)).collect();
+        let jury = Jury::from_qualities(&qualities).unwrap();
+        let est = BucketJqEstimator::new(BucketJqConfig::paper_experiments())
+            .estimate(&jury, Prior::uniform());
+        assert!(est.prune_stats.taken_all > 0, "expected TakeAll prunes: {:?}", est.prune_stats);
+        assert!(est.value > 0.99);
+    }
+
+    #[test]
+    fn prior_changes_the_estimate_consistently_with_exact() {
+        let jury = Jury::from_qualities(&[0.6, 0.7, 0.65]).unwrap();
+        for alpha in [0.1, 0.3, 0.7, 0.9] {
+            let prior = Prior::new(alpha).unwrap();
+            let exact = exact_bv_jq(&jury, prior).unwrap();
+            let est = BucketJqEstimator::default().estimate(&jury, prior);
+            assert_close(est.value, exact, 0.01, &format!("alpha {alpha}"));
+        }
+    }
+
+    #[test]
+    fn shortcut_on_near_perfect_workers() {
+        let jury = Jury::from_qualities(&[0.995, 0.6]).unwrap();
+        let est = BucketJqEstimator::default().estimate(&jury, Prior::uniform());
+        assert!(est.used_shortcut);
+        assert_close(est.value, 0.995, 1e-12, "shortcut value");
+        // Without the shortcut the estimator still works and is at least as
+        // large as the best single worker (monotonicity).
+        let est2 = BucketJqEstimator::new(
+            BucketJqConfig::default().with_high_quality_shortcut(false),
+        )
+        .estimate(&jury, Prior::uniform());
+        assert!(est2.value >= 0.995 - 0.01);
+        assert!(!est2.used_shortcut);
+    }
+
+    #[test]
+    fn all_random_workers_give_half() {
+        let jury = Jury::from_qualities(&[0.5, 0.5, 0.5]).unwrap();
+        let est = BucketJqEstimator::default().estimate(&jury, Prior::uniform());
+        assert_close(est.value, 0.5, 1e-12, "coin-flip jury");
+        assert_eq!(est.bucket_size, 0.0);
+    }
+
+    #[test]
+    fn empty_jury_uniform_prior_is_half() {
+        let est = BucketJqEstimator::default().estimate(&Jury::empty(), Prior::uniform());
+        assert_close(est.value, 0.5, 1e-12, "empty jury");
+    }
+
+    #[test]
+    fn adversarial_workers_are_reinterpreted() {
+        // A 0.2-quality worker is exactly as useful as a 0.8-quality worker.
+        let bad = Jury::from_qualities(&[0.2, 0.6]).unwrap();
+        let good = Jury::from_qualities(&[0.8, 0.6]).unwrap();
+        let est_bad = BucketJqEstimator::default().jq(&bad, Prior::uniform());
+        let est_good = BucketJqEstimator::default().jq(&good, Prior::uniform());
+        assert_close(est_bad, est_good, 1e-12, "reinterpretation");
+        // And both agree with the exact value.
+        let exact = exact_bv_jq(&good, Prior::uniform()).unwrap();
+        assert_close(est_good, exact, 0.01, "vs exact");
+    }
+
+    #[test]
+    fn fixed_vs_per_worker_bucket_resolution() {
+        assert_eq!(BucketCount::Fixed(50).resolve(10), 50);
+        assert_eq!(BucketCount::Fixed(0).resolve(10), 1);
+        assert_eq!(BucketCount::PerWorker(200).resolve(10), 2000);
+        assert_eq!(BucketCount::PerWorker(200).resolve(0), 200);
+    }
+
+    #[test]
+    fn more_buckets_means_tighter_error_bound() {
+        let jury = Jury::from_qualities(&[0.7; 8]).unwrap();
+        let coarse = BucketJqEstimator::new(
+            BucketJqConfig::default().with_buckets(BucketCount::Fixed(10)),
+        )
+        .estimate(&jury, Prior::uniform());
+        let fine = BucketJqEstimator::new(
+            BucketJqConfig::default().with_buckets(BucketCount::Fixed(400)),
+        )
+        .estimate(&jury, Prior::uniform());
+        assert!(fine.error_bound < coarse.error_bound);
+        let exact = exact_bv_jq(&jury, Prior::uniform()).unwrap();
+        assert!((fine.value - exact).abs() <= (coarse.value - exact).abs() + 1e-9);
+    }
+
+    #[test]
+    fn convenience_function_matches_estimator() {
+        let jury = Jury::from_qualities(&[0.9, 0.6, 0.6]).unwrap();
+        let a = bv_jq(&jury, Prior::uniform());
+        let b = BucketJqEstimator::default().jq(&jury, Prior::uniform());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scales_to_hundreds_of_workers() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let qualities: Vec<f64> = (0..300).map(|_| rng.gen_range(0.5..0.9)).collect();
+        let jury = Jury::from_qualities(&qualities).unwrap();
+        let est = BucketJqEstimator::new(BucketJqConfig::paper_experiments())
+            .estimate(&jury, Prior::uniform());
+        assert!(est.value > 0.999, "a 300-strong jury should be nearly perfect: {}", est.value);
+        assert!(est.max_map_entries > 0);
+    }
+}

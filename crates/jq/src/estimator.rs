@@ -1,0 +1,170 @@
+//! A small facade unifying the JQ computation back-ends.
+//!
+//! Callers that just want "the jury quality of this jury under the optimal
+//! strategy" can use [`JqEngine`]: it picks the exact enumeration for tiny
+//! juries (where it is both fastest and exact) and the bucket approximation
+//! otherwise, and it also exposes the MV dynamic program needed by the
+//! baseline system.
+
+use jury_model::{Jury, ModelResult, Prior};
+use jury_voting::VotingStrategy;
+
+use crate::bucket::{BucketJqConfig, BucketJqEstimator};
+use crate::exact::{exact_bv_jq, exact_jq, MAX_EXACT_JURY};
+use crate::mv::mv_jq;
+
+/// Which back-end computed a JQ value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JqBackend {
+    /// Exhaustive enumeration over all votings (exact, exponential).
+    ExactEnumeration,
+    /// The Poisson-binomial dynamic program for MV (exact, polynomial).
+    MvDynamicProgram,
+    /// The bucket-based approximation of Algorithm 1.
+    BucketApproximation,
+}
+
+/// A JQ value annotated with the back-end that produced it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JqValue {
+    /// The jury quality in `[0, 1]`.
+    pub value: f64,
+    /// The back-end used.
+    pub backend: JqBackend,
+}
+
+/// Unified JQ computation engine.
+#[derive(Debug, Clone)]
+pub struct JqEngine {
+    bucket: BucketJqEstimator,
+    /// Juries of at most this size use exact enumeration for BV.
+    exact_cutoff: usize,
+}
+
+impl Default for JqEngine {
+    fn default() -> Self {
+        JqEngine { bucket: BucketJqEstimator::default(), exact_cutoff: 12 }
+    }
+}
+
+impl JqEngine {
+    /// Creates an engine with a specific bucket configuration.
+    pub fn new(config: BucketJqConfig) -> Self {
+        JqEngine { bucket: BucketJqEstimator::new(config), exact_cutoff: 12 }
+    }
+
+    /// Creates an engine that always uses the bucket approximation for BV
+    /// (useful for benchmarking the approximation itself).
+    pub fn approximate_only(config: BucketJqConfig) -> Self {
+        JqEngine { bucket: BucketJqEstimator::new(config), exact_cutoff: 0 }
+    }
+
+    /// Sets the exact-enumeration cutoff (capped at [`MAX_EXACT_JURY`]).
+    pub fn with_exact_cutoff(mut self, cutoff: usize) -> Self {
+        self.exact_cutoff = cutoff.min(MAX_EXACT_JURY);
+        self
+    }
+
+    /// The jury quality under Bayesian voting, `JQ(J, BV, α)`.
+    pub fn bv_jq(&self, jury: &Jury, prior: Prior) -> JqValue {
+        if jury.size() <= self.exact_cutoff {
+            JqValue {
+                value: exact_bv_jq(jury, prior).expect("votes are generated internally"),
+                backend: JqBackend::ExactEnumeration,
+            }
+        } else {
+            JqValue {
+                value: self.bucket.jq(jury, prior),
+                backend: JqBackend::BucketApproximation,
+            }
+        }
+    }
+
+    /// The jury quality under majority voting, `JQ(J, MV, α)` (exact).
+    pub fn mv_jq(&self, jury: &Jury, prior: Prior) -> JqValue {
+        JqValue {
+            value: mv_jq(jury, prior).expect("MV JQ cannot fail"),
+            backend: JqBackend::MvDynamicProgram,
+        }
+    }
+
+    /// The jury quality of an arbitrary strategy by exact enumeration.
+    ///
+    /// Only valid for juries up to [`MAX_EXACT_JURY`] members.
+    pub fn strategy_jq(
+        &self,
+        jury: &Jury,
+        strategy: &dyn VotingStrategy,
+        prior: Prior,
+    ) -> ModelResult<JqValue> {
+        Ok(JqValue {
+            value: exact_jq(jury, strategy, prior)?,
+            backend: JqBackend::ExactEnumeration,
+        })
+    }
+
+    /// The underlying bucket estimator (for callers needing diagnostics).
+    pub fn bucket_estimator(&self) -> &BucketJqEstimator {
+        &self.bucket
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jury_voting::MajorityVoting;
+
+    #[test]
+    fn small_juries_use_exact_enumeration() {
+        let engine = JqEngine::default();
+        let jury = Jury::from_qualities(&[0.9, 0.6, 0.6]).unwrap();
+        let jq = engine.bv_jq(&jury, Prior::uniform());
+        assert_eq!(jq.backend, JqBackend::ExactEnumeration);
+        assert!((jq.value - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn large_juries_use_the_approximation() {
+        let engine = JqEngine::default();
+        let jury = Jury::from_qualities(&[0.7; 30]).unwrap();
+        let jq = engine.bv_jq(&jury, Prior::uniform());
+        assert_eq!(jq.backend, JqBackend::BucketApproximation);
+        assert!(jq.value > 0.95);
+    }
+
+    #[test]
+    fn approximate_only_engine_never_enumerates() {
+        let engine = JqEngine::approximate_only(BucketJqConfig::default());
+        let jury = Jury::from_qualities(&[0.9, 0.6, 0.6]).unwrap();
+        let jq = engine.bv_jq(&jury, Prior::uniform());
+        assert_eq!(jq.backend, JqBackend::BucketApproximation);
+        assert!((jq.value - 0.9).abs() < 0.01);
+    }
+
+    #[test]
+    fn mv_backend_is_the_dynamic_program() {
+        let engine = JqEngine::default();
+        let jury = Jury::from_qualities(&[0.9, 0.6, 0.6]).unwrap();
+        let jq = engine.mv_jq(&jury, Prior::uniform());
+        assert_eq!(jq.backend, JqBackend::MvDynamicProgram);
+        assert!((jq.value - 0.792).abs() < 1e-12);
+    }
+
+    #[test]
+    fn strategy_jq_delegates_to_enumeration() {
+        let engine = JqEngine::default();
+        let jury = Jury::from_qualities(&[0.9, 0.6, 0.6]).unwrap();
+        let jq = engine.strategy_jq(&jury, &MajorityVoting::new(), Prior::uniform()).unwrap();
+        assert!((jq.value - 0.792).abs() < 1e-12);
+        assert_eq!(jq.backend, JqBackend::ExactEnumeration);
+    }
+
+    #[test]
+    fn cutoff_is_capped() {
+        let engine = JqEngine::default().with_exact_cutoff(100);
+        let jury = Jury::from_qualities(&[0.6; 15]).unwrap();
+        // 15 ≤ 20 so enumeration is still allowed; but the point is no panic.
+        let jq = engine.bv_jq(&jury, Prior::uniform());
+        assert!(jq.value > 0.5);
+    }
+}

@@ -1,0 +1,190 @@
+//! Exact Jury Quality by exhaustive enumeration (Definition 3).
+//!
+//! `JQ(J, S, α) = α Σ_V Pr(V | t=0) h(V) + (1−α) Σ_V Pr(V | t=1) (1 − h(V))`
+//! where `h(V) = E[1_{S(V)=0}]`. The sum ranges over all `2^n` votings, so
+//! these functions are exponential in the jury size; they are the ground
+//! truth that the polynomial MV dynamic program and the bucket-based BV
+//! approximation are validated against, and they also serve the small-jury
+//! experiments (Figure 8 uses `n ≤ 11`).
+
+use jury_model::{enumerate_binary_votings, Answer, Jury, ModelResult, Prior};
+use jury_voting::{BayesianVoting, VotingStrategy};
+
+/// Largest jury size accepted by the exact enumerations (2^20 votings).
+pub const MAX_EXACT_JURY: usize = 20;
+
+/// Exact JQ of an arbitrary voting strategy, by enumerating all `2^n`
+/// votings (Definition 3).
+///
+/// # Panics
+///
+/// Panics if the jury has more than [`MAX_EXACT_JURY`] members; use the
+/// approximation in [`crate::bucket`] for larger juries.
+pub fn exact_jq(jury: &Jury, strategy: &dyn VotingStrategy, prior: Prior) -> ModelResult<f64> {
+    assert!(
+        jury.size() <= MAX_EXACT_JURY,
+        "exact JQ enumeration is limited to {MAX_EXACT_JURY} workers (got {})",
+        jury.size()
+    );
+    let alpha = prior.alpha();
+    let mut jq = 0.0;
+    for votes in enumerate_binary_votings(jury.size()) {
+        let h = strategy.prob_no(jury, &votes, prior)?;
+        let p_given_no = jury.voting_likelihood(&votes, Answer::No)?;
+        let p_given_yes = jury.voting_likelihood(&votes, Answer::Yes)?;
+        jq += alpha * p_given_no * h + (1.0 - alpha) * p_given_yes * (1.0 - h);
+    }
+    Ok(jq)
+}
+
+/// Exact JQ of Bayesian Voting, using the fact that BV picks the answer with
+/// the larger unnormalized posterior, so its per-voting contribution is
+/// simply `max(P_0(V), P_1(V))`:
+///
+/// `JQ(J, BV, α) = Σ_V max(α Pr(V|t=0), (1−α) Pr(V|t=1))`.
+///
+/// This is the same exponential enumeration as [`exact_jq`] but roughly twice
+/// as fast because it skips the strategy dispatch; it also makes the
+/// optimality of BV (Theorem 1) syntactically obvious: every other strategy's
+/// contribution is a convex combination of `P_0(V)` and `P_1(V)`.
+pub fn exact_bv_jq(jury: &Jury, prior: Prior) -> ModelResult<f64> {
+    assert!(
+        jury.size() <= MAX_EXACT_JURY,
+        "exact JQ enumeration is limited to {MAX_EXACT_JURY} workers (got {})",
+        jury.size()
+    );
+    let alpha = prior.alpha();
+    let mut jq = 0.0;
+    for votes in enumerate_binary_votings(jury.size()) {
+        let p0 = alpha * jury.voting_likelihood(&votes, Answer::No)?;
+        let p1 = (1.0 - alpha) * jury.voting_likelihood(&votes, Answer::Yes)?;
+        jq += p0.max(p1);
+    }
+    Ok(jq)
+}
+
+/// Exact JQ of Bayesian Voting computed the slow way — by delegating to
+/// [`exact_jq`] with a [`BayesianVoting`] instance. Exposed so tests and
+/// benchmarks can cross-validate the two formulations.
+pub fn exact_bv_jq_via_strategy(jury: &Jury, prior: Prior) -> ModelResult<f64> {
+    exact_jq(jury, &BayesianVoting::new(), prior)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jury_voting::{
+        all_strategies, MajorityVoting, RandomBallotVoting, RandomizedMajorityVoting,
+    };
+
+    fn example_jury() -> Jury {
+        Jury::from_qualities(&[0.9, 0.6, 0.6]).unwrap()
+    }
+
+    #[test]
+    fn figure_2_majority_voting_jq() {
+        // Example 2: JQ(J, MV, 0.5) = 79.2 %.
+        let jq = exact_jq(&example_jury(), &MajorityVoting::new(), Prior::uniform()).unwrap();
+        assert!((jq - 0.792).abs() < 1e-12, "got {jq}");
+    }
+
+    #[test]
+    fn figure_2_bayesian_voting_jq() {
+        // Example 3: JQ(J, BV, 0.5) = 90 %.
+        let jq = exact_bv_jq(&example_jury(), Prior::uniform()).unwrap();
+        assert!((jq - 0.9).abs() < 1e-12, "got {jq}");
+        let via = exact_bv_jq_via_strategy(&example_jury(), Prior::uniform()).unwrap();
+        assert!((via - 0.9).abs() < 1e-12, "got {via}");
+    }
+
+    #[test]
+    fn introduction_example_mv_jq() {
+        // Section 1: the jury {B, E, F} with qualities 0.7, 0.6, 0.6 has
+        // JQ(MV) = 69.6 %.
+        let jury = Jury::from_qualities(&[0.7, 0.6, 0.6]).unwrap();
+        let jq = exact_jq(&jury, &MajorityVoting::new(), Prior::uniform()).unwrap();
+        assert!((jq - 0.696).abs() < 1e-12, "got {jq}");
+    }
+
+    #[test]
+    fn random_ballot_voting_is_a_coin() {
+        let jq = exact_jq(&example_jury(), &RandomBallotVoting::new(), Prior::uniform()).unwrap();
+        assert!((jq - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn randomized_mv_is_dominated_by_mv_here() {
+        let prior = Prior::uniform();
+        let mv = exact_jq(&example_jury(), &MajorityVoting::new(), prior).unwrap();
+        let rmv = exact_jq(&example_jury(), &RandomizedMajorityVoting::new(), prior).unwrap();
+        assert!(rmv <= mv + 1e-12, "RMV {rmv} should not beat MV {mv} on average");
+    }
+
+    #[test]
+    fn bv_is_optimal_among_the_catalogue() {
+        // Corollary 1 on a concrete jury: BV's JQ is the maximum over the
+        // whole strategy catalogue, for several priors.
+        let jury = Jury::from_qualities(&[0.85, 0.7, 0.65, 0.55, 0.9]).unwrap();
+        for alpha in [0.2, 0.5, 0.8] {
+            let prior = Prior::new(alpha).unwrap();
+            let bv = exact_bv_jq(&jury, prior).unwrap();
+            for entry in all_strategies() {
+                let other = exact_jq(&jury, entry.strategy.as_ref(), prior).unwrap();
+                assert!(
+                    other <= bv + 1e-12,
+                    "{} achieves {other} > BV's {bv} at alpha={alpha}",
+                    entry.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_worker_bv_jq_is_max_of_quality_and_prior_certainty() {
+        // For one worker and a uniform prior, JQ(BV) = max(q, 1 − q).
+        for q in [0.3, 0.5, 0.8, 0.95] {
+            let jury = Jury::from_qualities(&[q]).unwrap();
+            let jq = exact_bv_jq(&jury, Prior::uniform()).unwrap();
+            assert!((jq - q.max(1.0 - q)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_jury_jq_follows_the_prior() {
+        // With no votes BV answers the prior's mode, so JQ = max(α, 1 − α).
+        let jury = Jury::empty();
+        for alpha in [0.0, 0.3, 0.5, 0.9] {
+            let prior = Prior::new(alpha).unwrap();
+            let jq = exact_bv_jq(&jury, prior).unwrap();
+            assert!((jq - alpha.max(1.0 - alpha)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn jq_is_within_unit_interval() {
+        let jury = Jury::from_qualities(&[0.55, 0.95, 0.7, 0.6]).unwrap();
+        for entry in all_strategies() {
+            for alpha in [0.0, 0.25, 0.5, 1.0] {
+                let jq = exact_jq(&jury, entry.strategy.as_ref(), Prior::new(alpha).unwrap())
+                    .unwrap();
+                assert!((0.0..=1.0 + 1e-12).contains(&jq), "{} gave {jq}", entry.name());
+            }
+        }
+    }
+
+    #[test]
+    fn prior_shifts_bv_jq() {
+        // A more confident prior can only help BV.
+        let jury = Jury::from_qualities(&[0.6, 0.6]).unwrap();
+        let uniform = exact_bv_jq(&jury, Prior::uniform()).unwrap();
+        let confident = exact_bv_jq(&jury, Prior::new(0.9).unwrap()).unwrap();
+        assert!(confident >= uniform - 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "limited")]
+    fn oversized_jury_panics() {
+        let jury = Jury::from_qualities(&[0.6; 21]).unwrap();
+        let _ = exact_bv_jq(&jury, Prior::uniform());
+    }
+}

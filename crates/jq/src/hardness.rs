@@ -1,0 +1,150 @@
+//! The hardness gadget behind Theorem 2 (computing `JQ(J, BV, α)` is
+//! NP-hard).
+//!
+//! The paper's proof reduces the **partition problem** — given positive
+//! integers `a_1, ..., a_n`, can they be split into two subsets with equal
+//! sums? — to JQ computation: each integer `a_i` is encoded as a worker whose
+//! log-odds `φ(q_i)` is proportional to `a_i`, i.e. `q_i = e^{a_i·s} / (1 +
+//! e^{a_i·s})` for a scale `s`. A voting `V` then has `R(V) = Σ ±a_i·s = 0`
+//! exactly when the votes split the integers into two equal-sum halves, and
+//! the `key = 0` probability mass that Algorithm 1 weighs by ½ is non-zero
+//! iff the partition instance is a *yes* instance.
+//!
+//! This module implements that gadget. It is not needed by the system itself
+//! (the whole point of Theorem 2 is that we *approximate* instead), but it
+//! documents the reduction executably: tests decide small partition
+//! instances by running the JQ machinery and compare against brute force.
+
+use jury_model::{quality_from_log_odds, Jury, Worker, WorkerId};
+
+/// The scale applied to the integers before they become log-odds. Kept small
+/// so that the resulting qualities stay comfortably inside `(0.5, 1)`.
+pub const DEFAULT_SCALE: f64 = 0.05;
+
+/// Builds the jury encoding a partition instance: worker `i` has quality
+/// `q_i` with `φ(q_i) = a_i · scale` and zero cost.
+pub fn partition_gadget(integers: &[u32], scale: f64) -> Jury {
+    let workers = integers
+        .iter()
+        .enumerate()
+        .map(|(i, &a)| {
+            let quality = quality_from_log_odds(a as f64 * scale);
+            Worker::free(WorkerId(i as u32), quality).expect("logistic values are in (0, 1)")
+        })
+        .collect();
+    Jury::new(workers)
+}
+
+/// The total probability mass of votings whose weighted sum `R(V)` is exactly
+/// zero, computed by the same subset-sum dynamic program as Algorithm 1 but
+/// over *exact integer* keys (no bucketing), so the answer is exact.
+///
+/// The mass is strictly positive iff the integers admit an equal-sum
+/// partition.
+pub fn zero_mass(integers: &[u32]) -> f64 {
+    use std::collections::HashMap;
+    // Work directly on the integers: R(V) = Σ_i (1 - 2 v_i) a_i. Probabilities
+    // use the gadget qualities so the mass matches the JQ formulation.
+    let jury = partition_gadget(integers, DEFAULT_SCALE);
+    let mut current: HashMap<i64, f64> = HashMap::from([(0i64, 1.0f64)]);
+    for (worker, &a) in jury.workers().iter().zip(integers.iter()) {
+        let q = worker.quality();
+        let mut next: HashMap<i64, f64> = HashMap::with_capacity(current.len() * 2);
+        for (&key, &prob) in &current {
+            *next.entry(key + a as i64).or_insert(0.0) += prob * q;
+            *next.entry(key - a as i64).or_insert(0.0) += prob * (1.0 - q);
+        }
+        current = next;
+    }
+    current.get(&0).copied().unwrap_or(0.0)
+}
+
+/// Decides the partition problem through the JQ machinery: *yes* iff some
+/// voting splits the integers into two equal-sum halves, i.e. iff the zero
+/// key carries probability mass.
+pub fn has_equal_partition(integers: &[u32]) -> bool {
+    if integers.is_empty() {
+        return true;
+    }
+    let total: u64 = integers.iter().map(|&a| a as u64).sum();
+    if total % 2 != 0 {
+        return false;
+    }
+    zero_mass(integers) > 0.0
+}
+
+/// Brute-force reference for tests: tries every subset.
+pub fn has_equal_partition_bruteforce(integers: &[u32]) -> bool {
+    let n = integers.len();
+    assert!(n <= 24, "brute force limited to 24 integers");
+    let total: u64 = integers.iter().map(|&a| a as u64).sum();
+    if total % 2 != 0 {
+        return false;
+    }
+    let target = total / 2;
+    (0u32..(1u32 << n)).any(|mask| {
+        let sum: u64 = integers
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| (mask >> i) & 1 == 1)
+            .map(|(_, &a)| a as u64)
+            .sum();
+        sum == target
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jury_model::log_odds;
+
+    #[test]
+    fn gadget_workers_encode_the_integers() {
+        let integers = [3u32, 5, 8];
+        let jury = partition_gadget(&integers, DEFAULT_SCALE);
+        assert_eq!(jury.size(), 3);
+        for (worker, &a) in jury.workers().iter().zip(integers.iter()) {
+            let phi = log_odds(worker.quality());
+            assert!((phi - a as f64 * DEFAULT_SCALE).abs() < 1e-9);
+            assert!(worker.quality() > 0.5 && worker.quality() < 1.0);
+        }
+    }
+
+    #[test]
+    fn decides_classic_yes_and_no_instances() {
+        assert!(has_equal_partition(&[1, 5, 11, 5]));       // {11} never balances... {1,5,5} = 11 ✓
+        assert!(has_equal_partition(&[3, 1, 1, 2, 2, 1]));  // total 10, {3,2} = {1,1,2,1} ✓
+        assert!(!has_equal_partition(&[2, 2, 3]));          // odd total
+        assert!(!has_equal_partition(&[1, 2, 4, 8]));       // total 15, odd
+        assert!(!has_equal_partition(&[1, 1, 16]));         // even total but no split
+        assert!(has_equal_partition(&[]));
+        assert!(!has_equal_partition(&[7]));
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_random_instances() {
+        // Small deterministic pseudo-random instances.
+        let mut state = 0x12345678u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) % 9 + 1) as u32
+        };
+        for n in 2..10usize {
+            for _ in 0..20 {
+                let integers: Vec<u32> = (0..n).map(|_| next()).collect();
+                assert_eq!(
+                    has_equal_partition(&integers),
+                    has_equal_partition_bruteforce(&integers),
+                    "disagreement on {integers:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_mass_is_a_probability() {
+        let mass = zero_mass(&[2, 2, 4]);
+        assert!(mass > 0.0 && mass < 1.0);
+        assert_eq!(zero_mass(&[1, 1, 16]), 0.0);
+    }
+}

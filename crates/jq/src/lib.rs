@@ -1,0 +1,169 @@
+//! # jury-jq
+//!
+//! Jury Quality computation for *"On Optimality of Jury Selection in
+//! Crowdsourcing"* (EDBT 2015).
+//!
+//! The Jury Quality `JQ(J, S, α) = Pr(S(V) = t)` (Definition 3) measures how
+//! likely a voting strategy is to recover the true answer from a jury's
+//! votes. This crate provides every JQ back-end the paper needs:
+//!
+//! * [`exact::exact_jq`] — exhaustive enumeration for any strategy
+//!   (exponential; ground truth for tests and small experiments);
+//! * [`exact::exact_bv_jq`] — the `Σ_V max(P_0, P_1)` formulation for
+//!   Bayesian voting;
+//! * [`mv::mv_jq`] — exact polynomial JQ for Majority Voting via a
+//!   Poisson-binomial dynamic program (the quantity the MVJS baseline
+//!   optimizes);
+//! * [`bucket::BucketJqEstimator`] — Algorithm 1: the bucket-based
+//!   approximation of `JQ(J, BV, α)` with Algorithm 2 pruning, Theorem 3
+//!   prior folding, and the Section 4.4 error bound;
+//! * [`multiclass`] — Section 7's extension to multiple-choice tasks and
+//!   confusion-matrix workers;
+//! * [`estimator::JqEngine`] — a facade picking the right back-end.
+//!
+//! ```
+//! use jury_model::{Jury, Prior};
+//! use jury_jq::{exact_bv_jq, mv_jq, BucketJqEstimator};
+//!
+//! // Figure 2's jury: qualities 0.9, 0.6, 0.6 under a uniform prior.
+//! let jury = Jury::from_qualities(&[0.9, 0.6, 0.6]).unwrap();
+//! let mv = mv_jq(&jury, Prior::uniform()).unwrap();
+//! let bv = exact_bv_jq(&jury, Prior::uniform()).unwrap();
+//! assert!((mv - 0.792).abs() < 1e-12);   // Example 2
+//! assert!((bv - 0.900).abs() < 1e-12);   // Example 3
+//!
+//! // The polynomial-time approximation agrees to within its error bound.
+//! let approx = BucketJqEstimator::default().jq(&jury, Prior::uniform());
+//! assert!((approx - bv).abs() < 0.01);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bounds;
+pub mod bucket;
+pub mod estimator;
+pub mod exact;
+pub mod hardness;
+pub mod multiclass;
+pub mod mv;
+pub mod prior;
+pub mod prune;
+
+pub use bounds::{error_bound, recommended_buckets, recommended_multiplier};
+pub use bucket::{bv_jq, BucketCount, BucketJqConfig, BucketJqEstimator, JqEstimate};
+pub use estimator::{JqBackend, JqEngine, JqValue};
+pub use exact::{exact_bv_jq, exact_jq, MAX_EXACT_JURY};
+pub use hardness::{has_equal_partition, partition_gadget};
+pub use multiclass::{
+    approx_multiclass_bv_jq, exact_multiclass_bv_jq, exact_multiclass_jq, MultiClassBucketConfig,
+};
+pub use mv::mv_jq;
+pub use prior::{fold_prior, PRIOR_PSEUDO_WORKER_ID};
+pub use prune::PruneStats;
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use jury_model::{Jury, Prior, Worker, WorkerId};
+    use jury_voting::all_strategies;
+    use proptest::prelude::*;
+
+    fn quality_vec() -> impl Strategy<Value = Vec<f64>> {
+        proptest::collection::vec(
+            (0.5f64..0.98).prop_map(|q| (q * 100.0).round() / 100.0),
+            1..8,
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Corollary 1: BV dominates every strategy in the catalogue, for
+        /// random juries and priors.
+        #[test]
+        fn bv_is_optimal(qualities in quality_vec(), alpha in 0.05f64..0.95) {
+            let jury = Jury::from_qualities(&qualities).unwrap();
+            let prior = Prior::new(alpha).unwrap();
+            let bv = exact_bv_jq(&jury, prior).unwrap();
+            for entry in all_strategies() {
+                let other = exact_jq(&jury, entry.strategy.as_ref(), prior).unwrap();
+                prop_assert!(other <= bv + 1e-9,
+                    "{} beat BV: {other} > {bv}", entry.name());
+            }
+        }
+
+        /// Lemma 1: adding a worker never decreases JQ(BV).
+        #[test]
+        fn jq_is_monotone_in_jury_size(
+            qualities in quality_vec(),
+            extra in 0.5f64..0.99,
+            alpha in 0.05f64..0.95,
+        ) {
+            let jury = Jury::from_qualities(&qualities).unwrap();
+            let prior = Prior::new(alpha).unwrap();
+            let before = exact_bv_jq(&jury, prior).unwrap();
+            let bigger = jury.with_worker(
+                Worker::free(WorkerId(1000), extra).unwrap());
+            let after = exact_bv_jq(&bigger, prior).unwrap();
+            prop_assert!(after >= before - 1e-9,
+                "adding a {extra} worker dropped JQ from {before} to {after}");
+        }
+
+        /// Lemma 2: raising a worker's quality never decreases JQ(BV).
+        #[test]
+        fn jq_is_monotone_in_worker_quality(
+            qualities in quality_vec(),
+            bump in 0.0f64..0.3,
+            alpha in 0.05f64..0.95,
+        ) {
+            let jury = Jury::from_qualities(&qualities).unwrap();
+            let prior = Prior::new(alpha).unwrap();
+            let before = exact_bv_jq(&jury, prior).unwrap();
+            let mut improved = qualities.clone();
+            improved[0] = (improved[0] + bump).min(1.0);
+            let better = Jury::from_qualities(&improved).unwrap();
+            let after = exact_bv_jq(&better, prior).unwrap();
+            prop_assert!(after >= before - 1e-9,
+                "raising quality {} -> {} dropped JQ {before} -> {after}",
+                qualities[0], improved[0]);
+        }
+
+        /// The bucket approximation honours its analytic error bound and the
+        /// paper's 1 % guarantee at the recommended setting.
+        #[test]
+        fn bucket_error_is_bounded(qualities in quality_vec(), alpha in 0.05f64..0.95) {
+            let jury = Jury::from_qualities(&qualities).unwrap();
+            let prior = Prior::new(alpha).unwrap();
+            let exact = exact_bv_jq(&jury, prior).unwrap();
+            let est = BucketJqEstimator::default().estimate(&jury, prior);
+            prop_assert!((exact - est.value).abs() <= est.error_bound.max(0.01) + 1e-9,
+                "error {} exceeds bound {}", (exact - est.value).abs(), est.error_bound);
+            prop_assert!((exact - est.value).abs() <= 0.01 + 1e-9);
+        }
+
+        /// Theorem 3 at the approximation level: folding the prior into a
+        /// pseudo-worker gives the same estimate as passing the prior.
+        #[test]
+        fn prior_folding_is_consistent(qualities in quality_vec(), alpha in 0.05f64..0.95) {
+            let jury = Jury::from_qualities(&qualities).unwrap();
+            let prior = Prior::new(alpha).unwrap();
+            let est = BucketJqEstimator::default();
+            let direct = est.jq(&jury, prior);
+            let folded = est.jq(&fold_prior(&jury, prior), Prior::uniform());
+            prop_assert!((direct - folded).abs() < 1e-9);
+        }
+
+        /// The MV dynamic program always returns a probability and never
+        /// exceeds the optimal strategy's quality.
+        #[test]
+        fn mv_jq_is_dominated_by_bv(qualities in quality_vec(), alpha in 0.05f64..0.95) {
+            let jury = Jury::from_qualities(&qualities).unwrap();
+            let prior = Prior::new(alpha).unwrap();
+            let mv = mv_jq(&jury, prior).unwrap();
+            let bv = exact_bv_jq(&jury, prior).unwrap();
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&mv));
+            prop_assert!(mv <= bv + 1e-9);
+        }
+    }
+}

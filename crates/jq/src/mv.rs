@@ -1,0 +1,163 @@
+//! Exact Jury Quality for Majority Voting in polynomial time.
+//!
+//! The paper notes that Cao et al. [7] compute `JQ(J, MV, 0.5)` in
+//! `O(n log n)`; the baseline system (MVJS) reproduced in `jury-selection`
+//! needs the same quantity, for arbitrary priors. We use an `O(n²)`
+//! Poisson-binomial dynamic program over the number of `No` votes, which is
+//! exact and more than fast enough for the pool sizes of the experiments
+//! (`N ≤ 500`).
+
+use jury_model::{Jury, ModelResult, Prior};
+
+/// The distribution of the number of `No` votes cast by the jury,
+/// conditioned on the true answer being `No` (`truth_is_no = true`) or `Yes`.
+///
+/// Entry `k` of the returned vector is `Pr(#No votes = k | t)`. Worker `i`
+/// votes `No` with probability `q_i` when the truth is `No` and `1 − q_i`
+/// when the truth is `Yes`.
+pub fn no_vote_distribution(jury: &Jury, truth_is_no: bool) -> Vec<f64> {
+    let n = jury.size();
+    let mut dist = vec![0.0; n + 1];
+    dist[0] = 1.0;
+    for (i, worker) in jury.workers().iter().enumerate() {
+        let p_no = if truth_is_no { worker.quality() } else { 1.0 - worker.quality() };
+        // Walk backwards so each worker is counted once.
+        for k in (0..=i + 1).rev() {
+            let stay = if k <= i { dist[k] * (1.0 - p_no) } else { 0.0 };
+            let step = if k > 0 { dist[k - 1] * p_no } else { 0.0 };
+            dist[k] = stay + step;
+        }
+    }
+    dist
+}
+
+/// Exact `JQ(J, MV, α)` via the Poisson-binomial dynamic program.
+///
+/// MV answers `No` iff the number of `No` votes is at least
+/// `⌈(n+1)/2⌉` (Example 1 of the paper), so
+///
+/// * given `t = No`, MV is correct iff `#No ≥ ⌈(n+1)/2⌉`;
+/// * given `t = Yes`, MV is correct iff `#No < ⌈(n+1)/2⌉`.
+pub fn mv_jq(jury: &Jury, prior: Prior) -> ModelResult<f64> {
+    let n = jury.size();
+    let threshold = n / 2 + 1; // ⌈(n+1)/2⌉ for both parities
+    let alpha = prior.alpha();
+
+    let dist_no = no_vote_distribution(jury, true);
+    let correct_given_no: f64 = dist_no.iter().skip(threshold).sum();
+
+    let dist_yes = no_vote_distribution(jury, false);
+    let correct_given_yes: f64 = dist_yes.iter().take(threshold).sum();
+
+    Ok(alpha * correct_given_no + (1.0 - alpha) * correct_given_yes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::exact_jq;
+    use jury_voting::MajorityVoting;
+
+    #[test]
+    fn distribution_sums_to_one() {
+        let jury = Jury::from_qualities(&[0.9, 0.6, 0.7, 0.55]).unwrap();
+        for truth_is_no in [true, false] {
+            let dist = no_vote_distribution(&jury, truth_is_no);
+            assert_eq!(dist.len(), 5);
+            let total: f64 = dist.iter().sum();
+            assert!((total - 1.0).abs() < 1e-12);
+            assert!(dist.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn distribution_of_single_worker() {
+        let jury = Jury::from_qualities(&[0.8]).unwrap();
+        let dist = no_vote_distribution(&jury, true);
+        assert!((dist[0] - 0.2).abs() < 1e-12);
+        assert!((dist[1] - 0.8).abs() < 1e-12);
+        let dist = no_vote_distribution(&jury, false);
+        assert!((dist[0] - 0.8).abs() < 1e-12);
+        assert!((dist[1] - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matches_example_2() {
+        // JQ(MV) = 79.2 % for qualities 0.9, 0.6, 0.6 under a uniform prior.
+        let jury = Jury::from_qualities(&[0.9, 0.6, 0.6]).unwrap();
+        let jq = mv_jq(&jury, Prior::uniform()).unwrap();
+        assert!((jq - 0.792).abs() < 1e-12, "got {jq}");
+    }
+
+    #[test]
+    fn matches_introduction_example() {
+        // {B, E, F} with qualities 0.7, 0.6, 0.6: JQ(MV) = 69.6 %.
+        let jury = Jury::from_qualities(&[0.7, 0.6, 0.6]).unwrap();
+        let jq = mv_jq(&jury, Prior::uniform()).unwrap();
+        assert!((jq - 0.696).abs() < 1e-12);
+    }
+
+    #[test]
+    fn agrees_with_enumeration_for_all_small_juries() {
+        let cases: Vec<Vec<f64>> = vec![
+            vec![0.7],
+            vec![0.9, 0.55],
+            vec![0.65, 0.65, 0.8],
+            vec![0.5, 0.6, 0.7, 0.8],
+            vec![0.95, 0.51, 0.62, 0.73, 0.84],
+            vec![0.6, 0.6, 0.6, 0.6, 0.6, 0.6],
+        ];
+        for qualities in cases {
+            let jury = Jury::from_qualities(&qualities).unwrap();
+            for alpha in [0.0, 0.3, 0.5, 0.7, 1.0] {
+                let prior = Prior::new(alpha).unwrap();
+                let dp = mv_jq(&jury, prior).unwrap();
+                let brute = exact_jq(&jury, &MajorityVoting::new(), prior).unwrap();
+                assert!(
+                    (dp - brute).abs() < 1e-10,
+                    "DP {dp} vs enumeration {brute} for {qualities:?}, alpha={alpha}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn even_jury_tie_break_matches_strategy() {
+        // Even-sized juries exercise MV's asymmetric tie-break.
+        let jury = Jury::from_qualities(&[0.8, 0.7, 0.6, 0.9]).unwrap();
+        let dp = mv_jq(&jury, Prior::new(0.4).unwrap()).unwrap();
+        let brute = exact_jq(&jury, &MajorityVoting::new(), Prior::new(0.4).unwrap()).unwrap();
+        assert!((dp - brute).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_jury_follows_the_tie_break() {
+        // With no votes MV answers Yes, so JQ = 1 − α.
+        let jury = Jury::empty();
+        for alpha in [0.0, 0.5, 1.0] {
+            let jq = mv_jq(&jury, Prior::new(alpha).unwrap()).unwrap();
+            assert!((jq - (1.0 - alpha)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn identical_workers_majority_amplifies_quality() {
+        // Condorcet jury theorem sanity check: many identical workers with
+        // q > 0.5 push the MV quality towards 1.
+        let small = Jury::from_qualities(&[0.6; 3]).unwrap();
+        let large = Jury::from_qualities(&[0.6; 31]).unwrap();
+        let jq_small = mv_jq(&small, Prior::uniform()).unwrap();
+        let jq_large = mv_jq(&large, Prior::uniform()).unwrap();
+        assert!(jq_small > 0.6);
+        assert!(jq_large > jq_small);
+        assert!(jq_large > 0.85);
+    }
+
+    #[test]
+    fn scales_to_large_juries() {
+        let qualities: Vec<f64> = (0..401).map(|i| 0.55 + 0.4 * (i as f64 / 400.0)).collect();
+        let jury = Jury::from_qualities(&qualities).unwrap();
+        let jq = mv_jq(&jury, Prior::uniform()).unwrap();
+        assert!(jq > 0.99 && jq <= 1.0 + 1e-12);
+    }
+}

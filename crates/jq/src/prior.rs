@@ -1,0 +1,112 @@
+//! Incorporating the task provider's prior into JQ computation (Theorem 3).
+//!
+//! `JQ(J, BV, α) = JQ(J ∪ {j_{n+1}}, BV, 0.5)` where the pseudo-worker
+//! `j_{n+1}` has quality `α`: under Bayesian voting the prior behaves exactly
+//! like one more (free) vote from a worker whose quality equals the prior.
+//! This lets every α-aware computation reuse the `α = 0.5` machinery.
+
+use jury_model::{Jury, Prior, Worker, WorkerId};
+
+/// The reserved id of the pseudo-worker representing the prior. Real pools
+/// assign ids sequentially from zero, so the maximum id never collides in
+/// practice; the fold function also skips ids already present.
+pub const PRIOR_PSEUDO_WORKER_ID: WorkerId = WorkerId(u32::MAX);
+
+/// Applies Theorem 3: returns a jury equivalent to `(jury, prior)` under the
+/// uniform prior, by appending a zero-cost pseudo-worker whose quality is
+/// `α`. A uniform prior (`α = 0.5`) folds to the jury unchanged, since a
+/// quality-0.5 worker carries no information.
+pub fn fold_prior(jury: &Jury, prior: Prior) -> Jury {
+    if prior.is_uniform() {
+        return jury.clone();
+    }
+    let mut id = PRIOR_PSEUDO_WORKER_ID;
+    // Extremely defensive: avoid colliding with an existing id.
+    while jury.contains(id) {
+        id = WorkerId(id.raw().wrapping_sub(1));
+    }
+    let pseudo = Worker::free(id, prior.alpha()).expect("a valid prior is a valid quality");
+    jury.with_worker(pseudo)
+}
+
+/// Whether a worker is the pseudo-worker introduced by [`fold_prior`].
+pub fn is_prior_pseudo_worker(worker: &Worker) -> bool {
+    worker.id() == PRIOR_PSEUDO_WORKER_ID && worker.cost() == 0.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::exact_bv_jq;
+
+    #[test]
+    fn uniform_prior_folds_to_identity() {
+        let jury = Jury::from_qualities(&[0.9, 0.6]).unwrap();
+        let folded = fold_prior(&jury, Prior::uniform());
+        assert_eq!(folded, jury);
+    }
+
+    #[test]
+    fn non_uniform_prior_adds_one_pseudo_worker() {
+        let jury = Jury::from_qualities(&[0.9, 0.6]).unwrap();
+        let folded = fold_prior(&jury, Prior::new(0.8).unwrap());
+        assert_eq!(folded.size(), 3);
+        let pseudo = folded.workers().last().unwrap();
+        assert!(is_prior_pseudo_worker(pseudo));
+        assert!((pseudo.quality() - 0.8).abs() < 1e-12);
+        assert_eq!(pseudo.cost(), 0.0);
+        // The original members are untouched.
+        assert_eq!(&folded.workers()[..2], jury.workers());
+    }
+
+    #[test]
+    fn theorem_3_exact_equivalence() {
+        // JQ(J, BV, α) computed directly equals JQ(J ∪ {qα}, BV, 0.5) for a
+        // spread of juries and priors.
+        let cases: Vec<Vec<f64>> = vec![
+            vec![0.7],
+            vec![0.9, 0.6, 0.6],
+            vec![0.55, 0.8, 0.65, 0.75],
+            vec![0.5, 0.5, 0.9],
+        ];
+        for qualities in cases {
+            let jury = Jury::from_qualities(&qualities).unwrap();
+            for alpha in [0.1, 0.3, 0.5, 0.7, 0.95] {
+                let prior = Prior::new(alpha).unwrap();
+                let direct = exact_bv_jq(&jury, prior).unwrap();
+                let folded = fold_prior(&jury, prior);
+                let via_fold = exact_bv_jq(&folded, Prior::uniform()).unwrap();
+                assert!(
+                    (direct - via_fold).abs() < 1e-10,
+                    "alpha={alpha}, qualities={qualities:?}: {direct} vs {via_fold}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn extreme_priors_fold_correctly() {
+        let jury = Jury::from_qualities(&[0.6, 0.7]).unwrap();
+        for alpha in [0.0, 1.0] {
+            let prior = Prior::new(alpha).unwrap();
+            let direct = exact_bv_jq(&jury, prior).unwrap();
+            let via_fold = exact_bv_jq(&fold_prior(&jury, prior), Prior::uniform()).unwrap();
+            assert!((direct - via_fold).abs() < 1e-12);
+            // A certain prior makes the jury quality 1.
+            assert!((direct - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pseudo_worker_id_collisions_are_avoided() {
+        let mut jury = Jury::from_qualities(&[0.7]).unwrap();
+        jury.push(Worker::free(PRIOR_PSEUDO_WORKER_ID, 0.6).unwrap());
+        let folded = fold_prior(&jury, Prior::new(0.9).unwrap());
+        assert_eq!(folded.size(), 3);
+        // All ids distinct.
+        let mut ids = folded.ids();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 3);
+    }
+}

@@ -1,0 +1,113 @@
+//! Pruning techniques for the bucket-based JQ approximation (Algorithm 2).
+//!
+//! During the iterative expansion of the `(key, prob)` map, a partial key can
+//! already be decided: if the key is positive and even subtracting every
+//! remaining worker's bucket cannot make it non-positive, the whole subtree
+//! contributes its probability mass to the estimate; symmetrically, if the
+//! key is negative and adding every remaining bucket cannot make it
+//! non-negative, the subtree contributes nothing. The workers are sorted by
+//! decreasing bucket so that large weights are fixed first, which makes these
+//! cuts fire as early as possible.
+
+/// Suffix sums of the (already sorted, descending) bucket array:
+/// `aggregate[i] = b[i] + b[i+1] + ... + b[n-1]`, i.e. the maximum absolute
+/// amount the key can still change by once workers `0..i` have been
+/// processed — the `AggregateBucket` routine of Algorithm 2.
+pub fn aggregate_buckets(buckets: &[i64]) -> Vec<i64> {
+    let mut aggregate = vec![0i64; buckets.len()];
+    let mut running = 0i64;
+    for i in (0..buckets.len()).rev() {
+        running += buckets[i];
+        aggregate[i] = running;
+    }
+    aggregate
+}
+
+/// The decision of the `Prune` routine of Algorithm 2.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PruneDecision {
+    /// The subtree cannot change sign: its entire probability mass counts
+    /// towards the JQ estimate.
+    TakeAll,
+    /// The subtree cannot change sign: it contributes nothing.
+    TakeNone,
+    /// The sign is still undecided; keep expanding.
+    Continue,
+}
+
+/// Decides whether the subtree rooted at `key`, with `remaining` total bucket
+/// weight still unprocessed, can be pruned.
+#[inline]
+pub fn prune(key: i64, remaining: i64) -> PruneDecision {
+    if key > 0 && key - remaining > 0 {
+        PruneDecision::TakeAll
+    } else if key < 0 && key + remaining < 0 {
+        PruneDecision::TakeNone
+    } else {
+        PruneDecision::Continue
+    }
+}
+
+/// Counters describing how much work pruning saved, reported by the
+/// estimator for the Figure 9(d) experiment.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PruneStats {
+    /// Map entries resolved early as [`PruneDecision::TakeAll`].
+    pub taken_all: u64,
+    /// Map entries resolved early as [`PruneDecision::TakeNone`].
+    pub taken_none: u64,
+    /// Map entries that had to be expanded.
+    pub expanded: u64,
+}
+
+impl PruneStats {
+    /// Total number of map entries examined.
+    pub fn total(&self) -> u64 {
+        self.taken_all + self.taken_none + self.expanded
+    }
+
+    /// Fraction of examined entries that were pruned.
+    pub fn pruned_fraction(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            (self.taken_all + self.taken_none) as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_is_suffix_sum() {
+        assert_eq!(aggregate_buckets(&[7, 4, 3, 2]), vec![16, 9, 5, 2]);
+        assert_eq!(aggregate_buckets(&[]), Vec::<i64>::new());
+        assert_eq!(aggregate_buckets(&[5]), vec![5]);
+    }
+
+    #[test]
+    fn prune_matches_the_paper_example() {
+        // Section 4.3's example: b = [3, 7, 4, 3, 2] (sorted: [7,4,3,3,2]);
+        // after fixing v1 = v2 = 0 with buckets 3 and 7 the key is 10 and the
+        // remaining weight is 4 + 3 + 2 = 9 < 10, so the subtree is decided.
+        assert_eq!(prune(10, 9), PruneDecision::TakeAll);
+        assert_eq!(prune(-10, 9), PruneDecision::TakeNone);
+        assert_eq!(prune(10, 10), PruneDecision::Continue);
+        assert_eq!(prune(-10, 10), PruneDecision::Continue);
+        assert_eq!(prune(0, 9), PruneDecision::Continue);
+        assert_eq!(prune(3, 0), PruneDecision::TakeAll);
+        assert_eq!(prune(-3, 0), PruneDecision::TakeNone);
+        assert_eq!(prune(0, 0), PruneDecision::Continue);
+    }
+
+    #[test]
+    fn prune_stats_fractions() {
+        let stats = PruneStats { taken_all: 3, taken_none: 2, expanded: 5 };
+        assert_eq!(stats.total(), 10);
+        assert!((stats.pruned_fraction() - 0.5).abs() < 1e-12);
+        assert_eq!(PruneStats::default().pruned_fraction(), 0.0);
+    }
+}

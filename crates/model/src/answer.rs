@@ -1,0 +1,256 @@
+//! Answers and labels for decision-making and multiple-choice tasks.
+//!
+//! The paper studies *decision-making tasks*: questions with exactly two
+//! possible answers, `yes` and `no`, encoded as `1` and `0` respectively
+//! (Section 2.1). Section 7 extends the model to multiple-choice tasks with
+//! `ℓ` possible labels `{0, 1, ..., ℓ-1}`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{ModelError, ModelResult};
+
+/// The answer to a binary decision-making task.
+///
+/// Following the paper's convention, [`Answer::No`] encodes `0` and
+/// [`Answer::Yes`] encodes `1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Answer {
+    /// The `no` answer, encoded as `0`.
+    No,
+    /// The `yes` answer, encoded as `1`.
+    Yes,
+}
+
+impl Answer {
+    /// Both possible answers, in the paper's `{0, 1}` order.
+    pub const ALL: [Answer; 2] = [Answer::No, Answer::Yes];
+
+    /// Returns the paper's numeric encoding: `0` for `No`, `1` for `Yes`.
+    #[inline]
+    pub fn as_index(self) -> usize {
+        match self {
+            Answer::No => 0,
+            Answer::Yes => 1,
+        }
+    }
+
+    /// Builds an answer from the paper's numeric encoding.
+    #[inline]
+    pub fn from_index(index: usize) -> ModelResult<Self> {
+        match index {
+            0 => Ok(Answer::No),
+            1 => Ok(Answer::Yes),
+            other => Err(ModelError::InvalidLabel { label: other, num_choices: 2 }),
+        }
+    }
+
+    /// Builds an answer from a boolean, where `true` means `Yes`.
+    #[inline]
+    pub fn from_bool(yes: bool) -> Self {
+        if yes {
+            Answer::Yes
+        } else {
+            Answer::No
+        }
+    }
+
+    /// Returns the opposite answer.
+    #[inline]
+    pub fn flip(self) -> Self {
+        match self {
+            Answer::No => Answer::Yes,
+            Answer::Yes => Answer::No,
+        }
+    }
+
+    /// Returns `true` for [`Answer::Yes`].
+    #[inline]
+    pub fn is_yes(self) -> bool {
+        matches!(self, Answer::Yes)
+    }
+
+    /// Converts the binary answer into a multi-class [`Label`].
+    #[inline]
+    pub fn to_label(self) -> Label {
+        Label(self.as_index())
+    }
+}
+
+impl From<bool> for Answer {
+    fn from(yes: bool) -> Self {
+        Answer::from_bool(yes)
+    }
+}
+
+impl std::fmt::Display for Answer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Answer::No => write!(f, "no"),
+            Answer::Yes => write!(f, "yes"),
+        }
+    }
+}
+
+/// A label for a multiple-choice task with `ℓ` possible choices.
+///
+/// Labels are plain indices in `{0, ..., ℓ-1}`; the task that a label refers
+/// to determines `ℓ` (see [`crate::task::MultiClassTask`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Label(pub usize);
+
+impl Label {
+    /// Returns the raw label index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Validates the label against the number of choices of a task.
+    pub fn validate(self, num_choices: usize) -> ModelResult<Self> {
+        if self.0 < num_choices {
+            Ok(self)
+        } else {
+            Err(ModelError::InvalidLabel { label: self.0, num_choices })
+        }
+    }
+
+    /// Converts a binary label (`0` or `1`) back to an [`Answer`].
+    pub fn to_answer(self) -> ModelResult<Answer> {
+        Answer::from_index(self.0)
+    }
+}
+
+impl From<usize> for Label {
+    fn from(index: usize) -> Self {
+        Label(index)
+    }
+}
+
+impl std::fmt::Display for Label {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Enumerates every possible voting `V ∈ {0,1}^n` for a binary jury of size
+/// `n`, in lexicographic order with worker `0` as the most significant bit.
+///
+/// The number of votings is `2^n`, so this is only intended for the exact
+/// (exponential) JQ computations and for tests; `n` is limited to 25 to keep
+/// callers honest about the blow-up.
+pub fn enumerate_binary_votings(n: usize) -> impl Iterator<Item = Vec<Answer>> {
+    assert!(n <= 25, "exhaustive voting enumeration is limited to 25 workers (got {n})");
+    (0u32..(1u32 << n)).map(move |bits| {
+        (0..n)
+            .map(|i| {
+                // Worker i corresponds to bit (n - 1 - i) so that the
+                // enumeration order matches reading the vector left to right.
+                let bit = (bits >> (n - 1 - i)) & 1;
+                Answer::from_bool(bit == 1)
+            })
+            .collect()
+    })
+}
+
+/// Enumerates every possible voting `V ∈ {0,...,ℓ-1}^n` for a multi-class
+/// jury of size `n` over `num_choices` labels.
+pub fn enumerate_label_votings(n: usize, num_choices: usize) -> impl Iterator<Item = Vec<Label>> {
+    let total: u64 = (num_choices as u64)
+        .checked_pow(n as u32)
+        .expect("voting space overflows u64");
+    assert!(total <= 1 << 22, "exhaustive label enumeration too large ({total} votings)");
+    (0..total).map(move |mut code| {
+        let mut votes = vec![Label(0); n];
+        for slot in votes.iter_mut().rev() {
+            *slot = Label((code % num_choices as u64) as usize);
+            code /= num_choices as u64;
+        }
+        votes
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn answer_index_roundtrip() {
+        assert_eq!(Answer::from_index(0).unwrap(), Answer::No);
+        assert_eq!(Answer::from_index(1).unwrap(), Answer::Yes);
+        assert!(Answer::from_index(2).is_err());
+        for a in Answer::ALL {
+            assert_eq!(Answer::from_index(a.as_index()).unwrap(), a);
+        }
+    }
+
+    #[test]
+    fn answer_flip_is_involution() {
+        assert_eq!(Answer::No.flip(), Answer::Yes);
+        assert_eq!(Answer::Yes.flip(), Answer::No);
+        for a in Answer::ALL {
+            assert_eq!(a.flip().flip(), a);
+        }
+    }
+
+    #[test]
+    fn answer_from_bool_matches_encoding() {
+        assert_eq!(Answer::from(true), Answer::Yes);
+        assert_eq!(Answer::from(false), Answer::No);
+        assert!(Answer::Yes.is_yes());
+        assert!(!Answer::No.is_yes());
+    }
+
+    #[test]
+    fn answer_display() {
+        assert_eq!(Answer::Yes.to_string(), "yes");
+        assert_eq!(Answer::No.to_string(), "no");
+    }
+
+    #[test]
+    fn label_validation() {
+        assert!(Label(2).validate(3).is_ok());
+        assert!(Label(3).validate(3).is_err());
+        assert_eq!(Label::from(5).index(), 5);
+        assert_eq!(Label(1).to_answer().unwrap(), Answer::Yes);
+        assert!(Label(2).to_answer().is_err());
+        assert_eq!(Answer::Yes.to_label(), Label(1));
+    }
+
+    #[test]
+    fn binary_enumeration_covers_all_votings() {
+        let votings: Vec<_> = enumerate_binary_votings(3).collect();
+        assert_eq!(votings.len(), 8);
+        // First is all-No, last is all-Yes.
+        assert_eq!(votings[0], vec![Answer::No; 3]);
+        assert_eq!(votings[7], vec![Answer::Yes; 3]);
+        // All distinct.
+        let unique: std::collections::HashSet<_> = votings.iter().cloned().collect();
+        assert_eq!(unique.len(), 8);
+    }
+
+    #[test]
+    fn binary_enumeration_of_empty_jury() {
+        let votings: Vec<_> = enumerate_binary_votings(0).collect();
+        assert_eq!(votings, vec![Vec::<Answer>::new()]);
+    }
+
+    #[test]
+    fn label_enumeration_covers_all_votings() {
+        let votings: Vec<_> = enumerate_label_votings(2, 3).collect();
+        assert_eq!(votings.len(), 9);
+        assert_eq!(votings[0], vec![Label(0), Label(0)]);
+        assert_eq!(votings[8], vec![Label(2), Label(2)]);
+        let unique: std::collections::HashSet<_> = votings.iter().cloned().collect();
+        assert_eq!(unique.len(), 9);
+    }
+
+    #[test]
+    fn label_enumeration_matches_binary_enumeration() {
+        let binary: Vec<Vec<usize>> = enumerate_binary_votings(3)
+            .map(|v| v.iter().map(|a| a.as_index()).collect())
+            .collect();
+        let labels: Vec<Vec<usize>> =
+            enumerate_label_votings(3, 2).map(|v| v.iter().map(|l| l.index()).collect()).collect();
+        assert_eq!(binary, labels);
+    }
+}

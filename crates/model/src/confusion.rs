@@ -1,0 +1,402 @@
+//! Confusion-matrix worker model (Section 7).
+//!
+//! Beyond the single-quality worker model, several works model each worker as
+//! an `ℓ × ℓ` confusion matrix `C` where `C[j][k]` is the probability that the
+//! worker votes for label `k` when the true label is `j`. The paper's
+//! extensions (Section 7) show that Bayesian voting remains the optimal
+//! strategy under this model and sketch how jury-quality computation carries
+//! over; this module provides the matrix itself plus the helpers those
+//! extensions need.
+
+use serde::{Deserialize, Serialize};
+
+use crate::answer::Label;
+use crate::error::{ModelError, ModelResult};
+use crate::worker::WorkerId;
+
+/// Tolerance for row-stochasticity checks.
+const ROW_SUM_TOLERANCE: f64 = 1e-6;
+
+/// A row-stochastic confusion matrix over `ℓ` labels.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    num_choices: usize,
+    /// Row-major storage: `entries[truth * num_choices + vote]`.
+    entries: Vec<f64>,
+}
+
+impl ConfusionMatrix {
+    /// Creates a confusion matrix from row-major entries, validating that
+    /// every row is a probability distribution.
+    pub fn new(num_choices: usize, entries: Vec<f64>) -> ModelResult<Self> {
+        if num_choices < 2 {
+            return Err(ModelError::InvalidConfusionMatrix {
+                reason: format!("{num_choices} choices; need at least 2"),
+            });
+        }
+        if entries.len() != num_choices * num_choices {
+            return Err(ModelError::InvalidConfusionMatrix {
+                reason: format!(
+                    "expected {} entries for an {num_choices}x{num_choices} matrix, got {}",
+                    num_choices * num_choices,
+                    entries.len()
+                ),
+            });
+        }
+        for (i, &p) in entries.iter().enumerate() {
+            if !(0.0..=1.0).contains(&p) || !p.is_finite() {
+                return Err(ModelError::InvalidConfusionMatrix {
+                    reason: format!("entry {i} is {p}, not a probability"),
+                });
+            }
+        }
+        for row in 0..num_choices {
+            let sum: f64 =
+                entries[row * num_choices..(row + 1) * num_choices].iter().sum();
+            if (sum - 1.0).abs() > ROW_SUM_TOLERANCE {
+                return Err(ModelError::InvalidConfusionMatrix {
+                    reason: format!("row {row} sums to {sum}, expected 1"),
+                });
+            }
+        }
+        Ok(ConfusionMatrix { num_choices, entries })
+    }
+
+    /// Creates the symmetric confusion matrix induced by a single quality
+    /// score `q`: the worker votes for the true label with probability `q`
+    /// and spreads the remaining `1 − q` uniformly over the other labels.
+    ///
+    /// For `ℓ = 2` this recovers the paper's single-parameter worker model.
+    pub fn from_quality(quality: f64, num_choices: usize) -> ModelResult<Self> {
+        if !(0.0..=1.0).contains(&quality) || !quality.is_finite() {
+            return Err(ModelError::InvalidQuality { value: quality });
+        }
+        if num_choices < 2 {
+            return Err(ModelError::InvalidConfusionMatrix {
+                reason: format!("{num_choices} choices; need at least 2"),
+            });
+        }
+        let off = (1.0 - quality) / (num_choices as f64 - 1.0);
+        let mut entries = vec![off; num_choices * num_choices];
+        for j in 0..num_choices {
+            entries[j * num_choices + j] = quality;
+        }
+        Ok(ConfusionMatrix { num_choices, entries })
+    }
+
+    /// The identity confusion matrix (a perfect worker).
+    pub fn identity(num_choices: usize) -> ModelResult<Self> {
+        ConfusionMatrix::from_quality(1.0, num_choices)
+    }
+
+    /// A uniform-random spammer: every row is the uniform distribution.
+    pub fn spammer(num_choices: usize) -> ModelResult<Self> {
+        if num_choices < 2 {
+            return Err(ModelError::InvalidConfusionMatrix {
+                reason: format!("{num_choices} choices; need at least 2"),
+            });
+        }
+        let p = 1.0 / num_choices as f64;
+        Ok(ConfusionMatrix { num_choices, entries: vec![p; num_choices * num_choices] })
+    }
+
+    /// Number of labels `ℓ`.
+    #[inline]
+    pub fn num_choices(&self) -> usize {
+        self.num_choices
+    }
+
+    /// `Pr(vote = k | truth = j)`.
+    #[inline]
+    pub fn prob(&self, truth: Label, vote: Label) -> f64 {
+        let (j, k) = (truth.index(), vote.index());
+        if j >= self.num_choices || k >= self.num_choices {
+            return 0.0;
+        }
+        self.entries[j * self.num_choices + k]
+    }
+
+    /// The row of vote probabilities for a given true label.
+    pub fn row(&self, truth: Label) -> &[f64] {
+        let j = truth.index().min(self.num_choices - 1);
+        &self.entries[j * self.num_choices..(j + 1) * self.num_choices]
+    }
+
+    /// The average diagonal entry — the worker's expected accuracy under a
+    /// uniform distribution over true labels. For `ℓ = 2` this coincides with
+    /// the single-quality model when the matrix is symmetric.
+    pub fn mean_accuracy(&self) -> f64 {
+        (0..self.num_choices).map(|j| self.entries[j * self.num_choices + j]).sum::<f64>()
+            / self.num_choices as f64
+    }
+
+    /// A spammer score in `[0, 1]` following the intuition of Raykar & Yu
+    /// (cited as [34] in the paper): spammers vote independently of the true
+    /// label, so all rows of their confusion matrix are (nearly) identical.
+    /// The score is the mean total-variation distance between rows and the
+    /// column-average row; `0` means pure spammer, larger means informative.
+    pub fn informativeness(&self) -> f64 {
+        let l = self.num_choices;
+        let mut mean_row = vec![0.0; l];
+        for j in 0..l {
+            for k in 0..l {
+                mean_row[k] += self.entries[j * l + k] / l as f64;
+            }
+        }
+        let mut score = 0.0;
+        for j in 0..l {
+            let tv: f64 = (0..l)
+                .map(|k| (self.entries[j * l + k] - mean_row[k]).abs())
+                .sum::<f64>()
+                / 2.0;
+            score += tv / l as f64;
+        }
+        score
+    }
+
+    /// For a two-label matrix, the per-class accuracies `(sensitivity,
+    /// specificity)` — `Pr(vote=0|t=0)` and `Pr(vote=1|t=1)` — used by the
+    /// sensitivity/specificity worker model the paper cites ([45]).
+    pub fn binary_accuracies(&self) -> ModelResult<(f64, f64)> {
+        if self.num_choices != 2 {
+            return Err(ModelError::InvalidConfusionMatrix {
+                reason: format!("{}-class matrix has no binary accuracies", self.num_choices),
+            });
+        }
+        Ok((self.entries[0], self.entries[3]))
+    }
+}
+
+/// A worker under the confusion-matrix model: an id, a matrix, and a cost.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MatrixWorker {
+    id: WorkerId,
+    confusion: ConfusionMatrix,
+    cost: f64,
+}
+
+impl MatrixWorker {
+    /// Creates a matrix worker, validating the cost.
+    pub fn new(id: WorkerId, confusion: ConfusionMatrix, cost: f64) -> ModelResult<Self> {
+        if !cost.is_finite() || cost < 0.0 {
+            return Err(ModelError::InvalidCost { value: cost });
+        }
+        Ok(MatrixWorker { id, confusion, cost })
+    }
+
+    /// The worker id.
+    #[inline]
+    pub fn id(&self) -> WorkerId {
+        self.id
+    }
+
+    /// The confusion matrix.
+    #[inline]
+    pub fn confusion(&self) -> &ConfusionMatrix {
+        &self.confusion
+    }
+
+    /// The cost per vote.
+    #[inline]
+    pub fn cost(&self) -> f64 {
+        self.cost
+    }
+
+    /// `Pr(vote = k | truth = j)` for this worker.
+    #[inline]
+    pub fn prob(&self, truth: Label, vote: Label) -> f64 {
+        self.confusion.prob(truth, vote)
+    }
+}
+
+/// A jury of confusion-matrix workers (the multi-class analogue of
+/// [`crate::jury::Jury`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MatrixJury {
+    workers: Vec<MatrixWorker>,
+    num_choices: usize,
+}
+
+impl MatrixJury {
+    /// Creates a multi-class jury; all members must share the same label
+    /// space.
+    pub fn new(workers: Vec<MatrixWorker>) -> ModelResult<Self> {
+        let num_choices = workers
+            .first()
+            .map(|w| w.confusion().num_choices())
+            .ok_or(ModelError::Empty { what: "matrix jury" })?;
+        for w in &workers {
+            if w.confusion().num_choices() != num_choices {
+                return Err(ModelError::InvalidConfusionMatrix {
+                    reason: format!(
+                        "worker {} has {} choices but the jury uses {}",
+                        w.id(),
+                        w.confusion().num_choices(),
+                        num_choices
+                    ),
+                });
+            }
+        }
+        Ok(MatrixJury { workers, num_choices })
+    }
+
+    /// Creates a jury of symmetric-confusion workers from plain qualities.
+    pub fn from_qualities(qualities: &[f64], num_choices: usize) -> ModelResult<Self> {
+        let workers = qualities
+            .iter()
+            .enumerate()
+            .map(|(i, &q)| {
+                MatrixWorker::new(
+                    WorkerId(i as u32),
+                    ConfusionMatrix::from_quality(q, num_choices)?,
+                    0.0,
+                )
+            })
+            .collect::<ModelResult<Vec<_>>>()?;
+        MatrixJury::new(workers)
+    }
+
+    /// Number of jurors.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Number of labels `ℓ`.
+    #[inline]
+    pub fn num_choices(&self) -> usize {
+        self.num_choices
+    }
+
+    /// The jurors in order.
+    #[inline]
+    pub fn workers(&self) -> &[MatrixWorker] {
+        &self.workers
+    }
+
+    /// The jury cost.
+    pub fn cost(&self) -> f64 {
+        self.workers.iter().map(|w| w.cost()).sum()
+    }
+
+    /// `Pr(V | t = truth)` for a multi-class voting, assuming independence.
+    pub fn voting_likelihood(&self, votes: &[Label], truth: Label) -> ModelResult<f64> {
+        if votes.len() != self.workers.len() {
+            return Err(ModelError::VoteCountMismatch {
+                votes: votes.len(),
+                jurors: self.workers.len(),
+            });
+        }
+        let mut p = 1.0;
+        for (worker, &vote) in self.workers.iter().zip(votes.iter()) {
+            vote.validate(self.num_choices)?;
+            p *= worker.prob(truth, vote);
+        }
+        Ok(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_quality_builds_symmetric_matrix() {
+        let m = ConfusionMatrix::from_quality(0.7, 3).unwrap();
+        assert_eq!(m.num_choices(), 3);
+        assert!((m.prob(Label(0), Label(0)) - 0.7).abs() < 1e-12);
+        assert!((m.prob(Label(0), Label(1)) - 0.15).abs() < 1e-12);
+        assert!((m.prob(Label(2), Label(2)) - 0.7).abs() < 1e-12);
+        assert!((m.mean_accuracy() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_rejects_bad_rows() {
+        assert!(ConfusionMatrix::new(2, vec![0.9, 0.2, 0.1, 0.9]).is_err());
+        assert!(ConfusionMatrix::new(2, vec![0.9, 0.1, 0.1]).is_err());
+        assert!(ConfusionMatrix::new(1, vec![1.0]).is_err());
+        assert!(ConfusionMatrix::new(2, vec![1.1, -0.1, 0.5, 0.5]).is_err());
+        assert!(ConfusionMatrix::new(2, vec![0.9, 0.1, 0.2, 0.8]).is_ok());
+    }
+
+    #[test]
+    fn identity_and_spammer_extremes() {
+        let id = ConfusionMatrix::identity(3).unwrap();
+        assert!((id.mean_accuracy() - 1.0).abs() < 1e-12);
+        assert!(id.informativeness() > 0.5);
+        let sp = ConfusionMatrix::spammer(3).unwrap();
+        assert!((sp.mean_accuracy() - 1.0 / 3.0).abs() < 1e-12);
+        assert!(sp.informativeness() < 1e-12);
+    }
+
+    #[test]
+    fn informativeness_orders_workers_sensibly() {
+        let good = ConfusionMatrix::from_quality(0.9, 3).unwrap();
+        let ok = ConfusionMatrix::from_quality(0.6, 3).unwrap();
+        let spam = ConfusionMatrix::from_quality(1.0 / 3.0, 3).unwrap();
+        assert!(good.informativeness() > ok.informativeness());
+        assert!(ok.informativeness() > spam.informativeness());
+        assert!(spam.informativeness() < 1e-9);
+    }
+
+    #[test]
+    fn binary_accuracies() {
+        let m = ConfusionMatrix::new(2, vec![0.9, 0.1, 0.3, 0.7]).unwrap();
+        let (sens, spec) = m.binary_accuracies().unwrap();
+        assert!((sens - 0.9).abs() < 1e-12);
+        assert!((spec - 0.7).abs() < 1e-12);
+        assert!(ConfusionMatrix::from_quality(0.8, 3).unwrap().binary_accuracies().is_err());
+    }
+
+    #[test]
+    fn row_access_and_out_of_range_prob() {
+        let m = ConfusionMatrix::from_quality(0.8, 2).unwrap();
+        let row = m.row(Label(0));
+        assert!((row[0] - 0.8).abs() < 1e-12 && (row[1] - 0.2).abs() < 1e-12);
+        assert_eq!(m.prob(Label(5), Label(0)), 0.0);
+        assert_eq!(m.prob(Label(0), Label(5)), 0.0);
+    }
+
+    #[test]
+    fn matrix_worker_and_jury() {
+        let jury = MatrixJury::from_qualities(&[0.9, 0.6, 0.6], 3).unwrap();
+        assert_eq!(jury.size(), 3);
+        assert_eq!(jury.num_choices(), 3);
+        assert_eq!(jury.cost(), 0.0);
+        // Likelihood of everyone voting the truth.
+        let votes = vec![Label(1), Label(1), Label(1)];
+        let p = jury.voting_likelihood(&votes, Label(1)).unwrap();
+        assert!((p - 0.9 * 0.6 * 0.6).abs() < 1e-12);
+        // Wrong-length votings and invalid labels are rejected.
+        assert!(jury.voting_likelihood(&[Label(0)], Label(0)).is_err());
+        assert!(jury.voting_likelihood(&[Label(0), Label(3), Label(0)], Label(0)).is_err());
+    }
+
+    #[test]
+    fn matrix_jury_rejects_mixed_label_spaces() {
+        let a = MatrixWorker::new(WorkerId(0), ConfusionMatrix::from_quality(0.8, 2).unwrap(), 0.0)
+            .unwrap();
+        let b = MatrixWorker::new(WorkerId(1), ConfusionMatrix::from_quality(0.8, 3).unwrap(), 0.0)
+            .unwrap();
+        assert!(MatrixJury::new(vec![a, b]).is_err());
+        assert!(MatrixJury::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn matrix_jury_likelihoods_sum_to_one() {
+        let jury = MatrixJury::from_qualities(&[0.7, 0.55], 3).unwrap();
+        for t in 0..3 {
+            let total: f64 = crate::answer::enumerate_label_votings(2, 3)
+                .map(|v| jury.voting_likelihood(&v, Label(t)).unwrap())
+                .sum();
+            assert!((total - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn matrix_worker_cost_validation() {
+        let m = ConfusionMatrix::from_quality(0.8, 2).unwrap();
+        assert!(MatrixWorker::new(WorkerId(0), m.clone(), -1.0).is_err());
+        assert!(MatrixWorker::new(WorkerId(0), m, 2.0).is_ok());
+    }
+}

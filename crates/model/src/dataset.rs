@@ -1,0 +1,330 @@
+//! Crowdsourced datasets: tasks, workers, collected votes, and ground truth.
+//!
+//! The paper's real-data evaluation (Section 6.2) works on a dataset of 600
+//! decision-making tasks, each answered by 20 of 128 workers, with worker
+//! qualities estimated as the fraction of correctly answered questions. This
+//! module provides the container for such a dataset; `jury-sim` provides the
+//! simulated Amazon-Mechanical-Turk platform that produces them.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::answer::Answer;
+use crate::error::{ModelError, ModelResult};
+use crate::prior::Prior;
+use crate::task::TaskId;
+use crate::worker::{Worker, WorkerId, WorkerPool};
+
+/// One collected vote: which worker answered, what they answered, and in
+/// which position of the task's answering sequence (Figure 10(d) replays the
+/// first `z` votes of each task in arrival order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CollectedVote {
+    /// The worker who produced the vote.
+    pub worker: WorkerId,
+    /// The answer the worker gave.
+    pub answer: Answer,
+    /// Zero-based position in the task's answering sequence.
+    pub sequence: u32,
+}
+
+/// The votes and ground truth collected for one task.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskRecord {
+    id: TaskId,
+    prior: Prior,
+    ground_truth: Answer,
+    votes: Vec<CollectedVote>,
+}
+
+impl TaskRecord {
+    /// Creates a record for a task with known ground truth.
+    pub fn new(id: TaskId, prior: Prior, ground_truth: Answer) -> Self {
+        TaskRecord { id, prior, ground_truth, votes: Vec::new() }
+    }
+
+    /// Appends a vote at the end of the answering sequence.
+    pub fn push_vote(&mut self, worker: WorkerId, answer: Answer) {
+        let sequence = self.votes.len() as u32;
+        self.votes.push(CollectedVote { worker, answer, sequence });
+    }
+
+    /// The task id.
+    #[inline]
+    pub fn id(&self) -> TaskId {
+        self.id
+    }
+
+    /// The task prior.
+    #[inline]
+    pub fn prior(&self) -> Prior {
+        self.prior
+    }
+
+    /// The ground truth.
+    #[inline]
+    pub fn ground_truth(&self) -> Answer {
+        self.ground_truth
+    }
+
+    /// All collected votes in answering order.
+    #[inline]
+    pub fn votes(&self) -> &[CollectedVote] {
+        &self.votes
+    }
+
+    /// The first `z` votes of the answering sequence (all if fewer exist).
+    pub fn first_votes(&self, z: usize) -> &[CollectedVote] {
+        &self.votes[..z.min(self.votes.len())]
+    }
+
+    /// The ids of the workers who answered, in answering order.
+    pub fn answering_workers(&self) -> Vec<WorkerId> {
+        self.votes.iter().map(|v| v.worker).collect()
+    }
+
+    /// Number of collected votes.
+    #[inline]
+    pub fn num_votes(&self) -> usize {
+        self.votes.len()
+    }
+}
+
+/// Per-worker answering statistics derived from a dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkerStats {
+    /// The worker.
+    pub worker: WorkerId,
+    /// Number of tasks the worker answered.
+    pub answered: usize,
+    /// Number of tasks the worker answered correctly.
+    pub correct: usize,
+}
+
+impl WorkerStats {
+    /// The empirical accuracy (`correct / answered`), the paper's definition
+    /// of a real worker's quality (Section 6.2.1); `0.5` if the worker
+    /// answered nothing.
+    pub fn empirical_quality(&self) -> f64 {
+        if self.answered == 0 {
+            0.5
+        } else {
+            self.correct as f64 / self.answered as f64
+        }
+    }
+}
+
+/// A complete crowdsourced dataset: a worker pool (with known or estimated
+/// qualities and costs) plus per-task vote records.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrowdDataset {
+    workers: WorkerPool,
+    tasks: Vec<TaskRecord>,
+}
+
+impl CrowdDataset {
+    /// Creates a dataset from a pool and task records, checking that every
+    /// vote references a known worker.
+    pub fn new(workers: WorkerPool, tasks: Vec<TaskRecord>) -> ModelResult<Self> {
+        for task in &tasks {
+            for vote in task.votes() {
+                if !workers.contains(vote.worker) {
+                    return Err(ModelError::UnknownWorker { id: vote.worker.raw() });
+                }
+            }
+        }
+        Ok(CrowdDataset { workers, tasks })
+    }
+
+    /// The worker pool.
+    #[inline]
+    pub fn workers(&self) -> &WorkerPool {
+        &self.workers
+    }
+
+    /// The task records.
+    #[inline]
+    pub fn tasks(&self) -> &[TaskRecord] {
+        &self.tasks
+    }
+
+    /// Number of tasks.
+    #[inline]
+    pub fn num_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Number of workers.
+    #[inline]
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Total number of collected votes across all tasks.
+    pub fn num_votes(&self) -> usize {
+        self.tasks.iter().map(|t| t.num_votes()).sum()
+    }
+
+    /// Average number of answers per worker (the paper reports 93.75 for the
+    /// AMT dataset).
+    pub fn mean_answers_per_worker(&self) -> f64 {
+        if self.workers.is_empty() {
+            return 0.0;
+        }
+        self.num_votes() as f64 / self.workers.len() as f64
+    }
+
+    /// Per-worker answering statistics (answered / correct counts).
+    pub fn worker_stats(&self) -> Vec<WorkerStats> {
+        let mut map: BTreeMap<WorkerId, (usize, usize)> = BTreeMap::new();
+        for id in self.workers.ids() {
+            map.insert(id, (0, 0));
+        }
+        for task in &self.tasks {
+            for vote in task.votes() {
+                let entry = map.entry(vote.worker).or_insert((0, 0));
+                entry.0 += 1;
+                if vote.answer == task.ground_truth() {
+                    entry.1 += 1;
+                }
+            }
+        }
+        map.into_iter()
+            .map(|(worker, (answered, correct))| WorkerStats { worker, answered, correct })
+            .collect()
+    }
+
+    /// Rebuilds the worker pool with qualities replaced by the empirical
+    /// accuracy computed from this dataset (keeping each worker's cost), as
+    /// done for the real dataset in Section 6.2.1.
+    pub fn with_empirical_qualities(&self) -> ModelResult<CrowdDataset> {
+        let stats: BTreeMap<WorkerId, WorkerStats> =
+            self.worker_stats().into_iter().map(|s| (s.worker, s)).collect();
+        let workers = self
+            .workers
+            .iter()
+            .map(|w| {
+                let quality = stats
+                    .get(&w.id())
+                    .map(|s| s.empirical_quality())
+                    .unwrap_or_else(|| w.quality());
+                Worker::new(w.id(), quality, w.cost())
+            })
+            .collect::<ModelResult<Vec<_>>>()?;
+        CrowdDataset::new(WorkerPool::from_workers(workers)?, self.tasks.clone())
+    }
+
+    /// Looks up a task record by id.
+    pub fn task(&self, id: TaskId) -> Option<&TaskRecord> {
+        self.tasks.iter().find(|t| t.id() == id)
+    }
+
+    /// The mean empirical worker quality over workers that answered at least
+    /// one task.
+    pub fn mean_empirical_quality(&self) -> f64 {
+        let stats = self.worker_stats();
+        let active: Vec<f64> = stats
+            .iter()
+            .filter(|s| s.answered > 0)
+            .map(|s| s.empirical_quality())
+            .collect();
+        crate::stats::mean(&active)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_dataset() -> CrowdDataset {
+        let pool = WorkerPool::from_qualities_and_costs(&[0.9, 0.6, 0.7], &[1.0, 1.0, 1.0]).unwrap();
+        let mut t0 = TaskRecord::new(TaskId(0), Prior::uniform(), Answer::Yes);
+        t0.push_vote(WorkerId(0), Answer::Yes);
+        t0.push_vote(WorkerId(1), Answer::No);
+        t0.push_vote(WorkerId(2), Answer::Yes);
+        let mut t1 = TaskRecord::new(TaskId(1), Prior::uniform(), Answer::No);
+        t1.push_vote(WorkerId(0), Answer::No);
+        t1.push_vote(WorkerId(1), Answer::No);
+        CrowdDataset::new(pool, vec![t0, t1]).unwrap()
+    }
+
+    #[test]
+    fn task_record_sequencing() {
+        let mut rec = TaskRecord::new(TaskId(5), Prior::uniform(), Answer::Yes);
+        rec.push_vote(WorkerId(3), Answer::No);
+        rec.push_vote(WorkerId(1), Answer::Yes);
+        assert_eq!(rec.num_votes(), 2);
+        assert_eq!(rec.votes()[0].sequence, 0);
+        assert_eq!(rec.votes()[1].sequence, 1);
+        assert_eq!(rec.first_votes(1).len(), 1);
+        assert_eq!(rec.first_votes(10).len(), 2);
+        assert_eq!(rec.answering_workers(), vec![WorkerId(3), WorkerId(1)]);
+        assert_eq!(rec.ground_truth(), Answer::Yes);
+        assert_eq!(rec.id(), TaskId(5));
+    }
+
+    #[test]
+    fn dataset_counts() {
+        let ds = tiny_dataset();
+        assert_eq!(ds.num_tasks(), 2);
+        assert_eq!(ds.num_workers(), 3);
+        assert_eq!(ds.num_votes(), 5);
+        assert!((ds.mean_answers_per_worker() - 5.0 / 3.0).abs() < 1e-12);
+        assert!(ds.task(TaskId(1)).is_some());
+        assert!(ds.task(TaskId(9)).is_none());
+    }
+
+    #[test]
+    fn dataset_rejects_unknown_workers() {
+        let pool = WorkerPool::from_qualities(&[0.7]).unwrap();
+        let mut rec = TaskRecord::new(TaskId(0), Prior::uniform(), Answer::Yes);
+        rec.push_vote(WorkerId(5), Answer::Yes);
+        assert!(CrowdDataset::new(pool, vec![rec]).is_err());
+    }
+
+    #[test]
+    fn worker_stats_and_empirical_quality() {
+        let ds = tiny_dataset();
+        let stats = ds.worker_stats();
+        assert_eq!(stats.len(), 3);
+        // Worker 0 answered both tasks correctly.
+        let s0 = stats.iter().find(|s| s.worker == WorkerId(0)).unwrap();
+        assert_eq!((s0.answered, s0.correct), (2, 2));
+        assert!((s0.empirical_quality() - 1.0).abs() < 1e-12);
+        // Worker 1 answered both, got only task 1 right.
+        let s1 = stats.iter().find(|s| s.worker == WorkerId(1)).unwrap();
+        assert_eq!((s1.answered, s1.correct), (2, 1));
+        assert!((s1.empirical_quality() - 0.5).abs() < 1e-12);
+        // Worker 2 answered only task 0, correctly.
+        let s2 = stats.iter().find(|s| s.worker == WorkerId(2)).unwrap();
+        assert_eq!((s2.answered, s2.correct), (1, 1));
+    }
+
+    #[test]
+    fn empirical_quality_defaults_to_half_for_silent_workers() {
+        let s = WorkerStats { worker: WorkerId(0), answered: 0, correct: 0 };
+        assert!((s.empirical_quality() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn with_empirical_qualities_rewrites_pool() {
+        let ds = tiny_dataset().with_empirical_qualities().unwrap();
+        let w0 = ds.workers().get(WorkerId(0)).unwrap();
+        assert!((w0.quality() - 1.0).abs() < 1e-12);
+        // Costs are preserved.
+        assert!((w0.cost() - 1.0).abs() < 1e-12);
+        let w1 = ds.workers().get(WorkerId(1)).unwrap();
+        assert!((w1.quality() - 0.5).abs() < 1e-12);
+        let mean_q = ds.mean_empirical_quality();
+        assert!((mean_q - (1.0 + 0.5 + 1.0) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dataset_serializes_roundtrip() {
+        let ds = tiny_dataset();
+        let json = serde_json::to_string(&ds).unwrap();
+        let back: CrowdDataset = serde_json::from_str(&json).unwrap();
+        assert_eq!(ds, back);
+    }
+}

@@ -1,0 +1,138 @@
+//! Error types for the crowd data model.
+
+use std::fmt;
+
+/// Errors produced when constructing or validating model objects.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A worker quality was outside `[0, 1]` or not finite.
+    InvalidQuality {
+        /// The offending value.
+        value: f64,
+    },
+    /// A worker cost was negative or not finite.
+    InvalidCost {
+        /// The offending value.
+        value: f64,
+    },
+    /// A prior probability was outside `[0, 1]` or not finite.
+    InvalidPrior {
+        /// The offending value.
+        value: f64,
+    },
+    /// A categorical prior did not sum to one (within tolerance) or had an
+    /// invalid entry.
+    InvalidPriorVector {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// A confusion matrix row did not sum to one or contained an invalid
+    /// probability.
+    InvalidConfusionMatrix {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// A worker id was not present in the pool it was looked up in.
+    UnknownWorker {
+        /// The missing id.
+        id: u32,
+    },
+    /// A duplicate worker id was inserted into a pool.
+    DuplicateWorker {
+        /// The duplicated id.
+        id: u32,
+    },
+    /// A label index was out of range for the task's number of choices.
+    InvalidLabel {
+        /// The offending label index.
+        label: usize,
+        /// The number of possible choices.
+        num_choices: usize,
+    },
+    /// The number of votes did not match the jury size.
+    VoteCountMismatch {
+        /// Number of votes supplied.
+        votes: usize,
+        /// Number of jurors expected.
+        jurors: usize,
+    },
+    /// An empty collection was supplied where at least one element is
+    /// required.
+    Empty {
+        /// What was empty.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidQuality { value } => {
+                write!(f, "worker quality {value} is not a probability in [0, 1]")
+            }
+            ModelError::InvalidCost { value } => {
+                write!(f, "worker cost {value} must be finite and non-negative")
+            }
+            ModelError::InvalidPrior { value } => {
+                write!(f, "prior {value} is not a probability in [0, 1]")
+            }
+            ModelError::InvalidPriorVector { reason } => {
+                write!(f, "invalid categorical prior: {reason}")
+            }
+            ModelError::InvalidConfusionMatrix { reason } => {
+                write!(f, "invalid confusion matrix: {reason}")
+            }
+            ModelError::UnknownWorker { id } => write!(f, "unknown worker id {id}"),
+            ModelError::DuplicateWorker { id } => write!(f, "duplicate worker id {id}"),
+            ModelError::InvalidLabel { label, num_choices } => {
+                write!(f, "label {label} out of range for a task with {num_choices} choices")
+            }
+            ModelError::VoteCountMismatch { votes, jurors } => {
+                write!(f, "{votes} votes supplied for a jury of {jurors} workers")
+            }
+            ModelError::Empty { what } => write!(f, "{what} must not be empty"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// Convenience result alias for model operations.
+pub type ModelResult<T> = Result<T, ModelError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(ModelError, &str)> = vec![
+            (ModelError::InvalidQuality { value: 1.5 }, "quality"),
+            (ModelError::InvalidCost { value: -1.0 }, "cost"),
+            (ModelError::InvalidPrior { value: 2.0 }, "prior"),
+            (
+                ModelError::InvalidPriorVector { reason: "sums to 0.9".into() },
+                "categorical prior",
+            ),
+            (
+                ModelError::InvalidConfusionMatrix { reason: "row 1".into() },
+                "confusion matrix",
+            ),
+            (ModelError::UnknownWorker { id: 7 }, "unknown worker"),
+            (ModelError::DuplicateWorker { id: 7 }, "duplicate worker"),
+            (ModelError::InvalidLabel { label: 4, num_choices: 3 }, "label"),
+            (ModelError::VoteCountMismatch { votes: 2, jurors: 3 }, "votes"),
+            (ModelError::Empty { what: "jury" }, "jury"),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg} should mention {needle}");
+        }
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn assert_error<E: std::error::Error>(_: &E) {}
+        assert_error(&ModelError::Empty { what: "pool" });
+    }
+}

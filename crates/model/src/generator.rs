@@ -1,0 +1,299 @@
+//! Synthetic worker and task generators used by the paper's experiments.
+//!
+//! Section 6.1.1: each worker's quality and cost are drawn from Gaussian
+//! distributions, `q_i ~ N(µ, σ²)` with `µ = 0.7`, `σ² = 0.05`, and
+//! `c_i ~ N(µ̂, σ̂²)` with `µ̂ = 0.05`, `σ̂ = 0.2`. Qualities are clamped into
+//! `[0, 1]` and costs into `[0, ∞)`; budgets are expressed in the same
+//! normalized units (default `B = 0.5`, `N = 50` candidate workers).
+
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+use serde::{Deserialize, Serialize};
+
+use crate::error::ModelResult;
+use crate::worker::{Worker, WorkerId, WorkerPool};
+
+/// Default quality mean `µ` from Section 6.1.1.
+pub const DEFAULT_QUALITY_MEAN: f64 = 0.7;
+/// Default quality variance `σ²` from Section 6.1.1.
+pub const DEFAULT_QUALITY_VARIANCE: f64 = 0.05;
+/// Default cost mean `µ̂` from Section 6.1.1.
+pub const DEFAULT_COST_MEAN: f64 = 0.05;
+/// Default cost standard deviation `σ̂` from Section 6.1.1.
+pub const DEFAULT_COST_STD_DEV: f64 = 0.2;
+/// Default budget `B` from Section 6.1.1.
+pub const DEFAULT_BUDGET: f64 = 0.5;
+/// Default candidate pool size `N` from Section 6.1.1.
+pub const DEFAULT_POOL_SIZE: usize = 50;
+
+/// Generator of synthetic worker pools with Gaussian qualities and costs,
+/// mirroring the setup of Section 6.1.1 (which itself follows Cao et al.).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaussianWorkerGenerator {
+    quality_mean: f64,
+    quality_variance: f64,
+    cost_mean: f64,
+    cost_std_dev: f64,
+    /// Minimum cost after clamping; a tiny positive floor keeps juries from
+    /// being free "by accident" while matching the paper's normalized costs.
+    min_cost: f64,
+}
+
+impl GaussianWorkerGenerator {
+    /// The paper's default parameters (`µ = 0.7`, `σ² = 0.05`, `µ̂ = 0.05`,
+    /// `σ̂ = 0.2`).
+    pub fn paper_defaults() -> Self {
+        GaussianWorkerGenerator {
+            quality_mean: DEFAULT_QUALITY_MEAN,
+            quality_variance: DEFAULT_QUALITY_VARIANCE,
+            cost_mean: DEFAULT_COST_MEAN,
+            cost_std_dev: DEFAULT_COST_STD_DEV,
+            min_cost: 0.001,
+        }
+    }
+
+    /// Sets the quality mean `µ` (Figure 6(a)/8(a)/9(a) sweep this).
+    pub fn with_quality_mean(mut self, mean: f64) -> Self {
+        self.quality_mean = mean;
+        self
+    }
+
+    /// Sets the quality variance `σ²` (Figure 9(a) sweeps this).
+    pub fn with_quality_variance(mut self, variance: f64) -> Self {
+        self.quality_variance = variance.max(0.0);
+        self
+    }
+
+    /// Sets the cost mean `µ̂`.
+    pub fn with_cost_mean(mut self, mean: f64) -> Self {
+        self.cost_mean = mean;
+        self
+    }
+
+    /// Sets the cost standard deviation `σ̂` (Figure 6(d)/10(c) sweep this).
+    pub fn with_cost_std_dev(mut self, std_dev: f64) -> Self {
+        self.cost_std_dev = std_dev.max(0.0);
+        self
+    }
+
+    /// Sets the post-clamping minimum cost.
+    pub fn with_min_cost(mut self, min_cost: f64) -> Self {
+        self.min_cost = min_cost.max(0.0);
+        self
+    }
+
+    /// The configured quality mean.
+    pub fn quality_mean(&self) -> f64 {
+        self.quality_mean
+    }
+
+    /// The configured quality variance.
+    pub fn quality_variance(&self) -> f64 {
+        self.quality_variance
+    }
+
+    /// The configured cost mean.
+    pub fn cost_mean(&self) -> f64 {
+        self.cost_mean
+    }
+
+    /// The configured cost standard deviation.
+    pub fn cost_std_dev(&self) -> f64 {
+        self.cost_std_dev
+    }
+
+    /// Draws one quality sample, clamped into `[0, 1]`.
+    pub fn sample_quality<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let sigma = self.quality_variance.sqrt();
+        let value = if sigma == 0.0 {
+            self.quality_mean
+        } else {
+            Normal::new(self.quality_mean, sigma)
+                .expect("finite mean and positive std dev")
+                .sample(rng)
+        };
+        value.clamp(0.0, 1.0)
+    }
+
+    /// Draws one cost sample.
+    ///
+    /// The paper draws `c_i ~ N(µ̂, σ̂²)` with `µ̂ = 0.05`, `σ̂ = 0.2`, which puts
+    /// substantial mass below zero; costs are folded back (absolute value)
+    /// rather than clamped to ~0, so that the spread parameter σ̂ keeps
+    /// controlling how expensive the crowd is — clamping would make half the
+    /// workers free and saturate every budget, flattening the Figure 6
+    /// comparisons. The result is floored at `min_cost`.
+    pub fn sample_cost<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let value = if self.cost_std_dev == 0.0 {
+            self.cost_mean
+        } else {
+            Normal::new(self.cost_mean, self.cost_std_dev)
+                .expect("finite mean and positive std dev")
+                .sample(rng)
+        };
+        value.abs().max(self.min_cost)
+    }
+
+    /// Generates a pool of `n` candidate workers.
+    pub fn generate<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> WorkerPool {
+        let workers = (0..n)
+            .map(|i| {
+                let q = self.sample_quality(rng);
+                let c = self.sample_cost(rng);
+                Worker::new(WorkerId(i as u32), q, c).expect("clamped samples are valid")
+            })
+            .collect::<Vec<_>>();
+        WorkerPool::from_workers(workers).expect("ids are unique by construction")
+    }
+}
+
+impl Default for GaussianWorkerGenerator {
+    fn default() -> Self {
+        GaussianWorkerGenerator::paper_defaults()
+    }
+}
+
+/// Generator of worker pools with qualities drawn uniformly from a range and
+/// costs drawn uniformly from another range; a simple alternative workload
+/// used in ablations and tests.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UniformWorkerGenerator {
+    quality_range: (f64, f64),
+    cost_range: (f64, f64),
+}
+
+impl UniformWorkerGenerator {
+    /// Creates a generator with qualities in `quality_range` and costs in
+    /// `cost_range` (both inclusive).
+    pub fn new(quality_range: (f64, f64), cost_range: (f64, f64)) -> ModelResult<Self> {
+        let (qlo, qhi) = quality_range;
+        if !(0.0..=1.0).contains(&qlo) || !(0.0..=1.0).contains(&qhi) || qlo > qhi {
+            return Err(crate::error::ModelError::InvalidQuality { value: qlo.min(qhi) });
+        }
+        let (clo, chi) = cost_range;
+        if clo < 0.0 || clo > chi || !clo.is_finite() || !chi.is_finite() {
+            return Err(crate::error::ModelError::InvalidCost { value: clo });
+        }
+        Ok(UniformWorkerGenerator { quality_range, cost_range })
+    }
+
+    /// Generates a pool of `n` candidate workers.
+    pub fn generate<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> WorkerPool {
+        let workers = (0..n)
+            .map(|i| {
+                let q = if self.quality_range.0 == self.quality_range.1 {
+                    self.quality_range.0
+                } else {
+                    rng.gen_range(self.quality_range.0..=self.quality_range.1)
+                };
+                let c = if self.cost_range.0 == self.cost_range.1 {
+                    self.cost_range.0
+                } else {
+                    rng.gen_range(self.cost_range.0..=self.cost_range.1)
+                };
+                Worker::new(WorkerId(i as u32), q, c).expect("ranges are validated")
+            })
+            .collect::<Vec<_>>();
+        WorkerPool::from_workers(workers).expect("ids are unique by construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{mean, std_dev};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_defaults_match_section_6_1_1() {
+        let g = GaussianWorkerGenerator::paper_defaults();
+        assert!((g.quality_mean() - 0.7).abs() < 1e-12);
+        assert!((g.quality_variance() - 0.05).abs() < 1e-12);
+        assert!((g.cost_mean() - 0.05).abs() < 1e-12);
+        assert!((g.cost_std_dev() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn generated_workers_are_valid_and_reproducible() {
+        let g = GaussianWorkerGenerator::paper_defaults();
+        let mut rng1 = StdRng::seed_from_u64(42);
+        let mut rng2 = StdRng::seed_from_u64(42);
+        let pool1 = g.generate(100, &mut rng1);
+        let pool2 = g.generate(100, &mut rng2);
+        assert_eq!(pool1, pool2, "same seed must reproduce the same pool");
+        assert_eq!(pool1.len(), 100);
+        for w in pool1.iter() {
+            assert!((0.0..=1.0).contains(&w.quality()));
+            assert!(w.cost() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn generated_quality_distribution_tracks_parameters() {
+        let g = GaussianWorkerGenerator::paper_defaults();
+        let mut rng = StdRng::seed_from_u64(7);
+        let pool = g.generate(5_000, &mut rng);
+        let qualities: Vec<f64> = pool.iter().map(|w| w.quality()).collect();
+        let m = mean(&qualities);
+        // Clamping into [0, 1] pulls the mean slightly; allow a loose band.
+        assert!((m - 0.7).abs() < 0.03, "mean quality {m} far from 0.7");
+        let sd = std_dev(&qualities);
+        assert!((sd - 0.05f64.sqrt()).abs() < 0.05, "std dev {sd} far from sqrt(0.05)");
+    }
+
+    #[test]
+    fn zero_variance_generators_are_deterministic() {
+        let g = GaussianWorkerGenerator::paper_defaults()
+            .with_quality_variance(0.0)
+            .with_cost_std_dev(0.0)
+            .with_cost_mean(0.1);
+        let mut rng = StdRng::seed_from_u64(1);
+        let pool = g.generate(10, &mut rng);
+        for w in pool.iter() {
+            assert!((w.quality() - 0.7).abs() < 1e-12);
+            assert!((w.cost() - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn builder_setters_update_parameters() {
+        let g = GaussianWorkerGenerator::paper_defaults()
+            .with_quality_mean(0.9)
+            .with_quality_variance(0.01)
+            .with_cost_mean(0.2)
+            .with_cost_std_dev(0.5)
+            .with_min_cost(0.01);
+        assert!((g.quality_mean() - 0.9).abs() < 1e-12);
+        assert!((g.quality_variance() - 0.01).abs() < 1e-12);
+        assert!((g.cost_mean() - 0.2).abs() < 1e-12);
+        assert!((g.cost_std_dev() - 0.5).abs() < 1e-12);
+        let mut rng = StdRng::seed_from_u64(3);
+        let pool = g.generate(50, &mut rng);
+        assert!(pool.iter().all(|w| w.cost() >= 0.01));
+    }
+
+    #[test]
+    fn uniform_generator_respects_ranges() {
+        let g = UniformWorkerGenerator::new((0.6, 0.9), (1.0, 2.0)).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let pool = g.generate(200, &mut rng);
+        for w in pool.iter() {
+            assert!((0.6..=0.9).contains(&w.quality()));
+            assert!((1.0..=2.0).contains(&w.cost()));
+        }
+    }
+
+    #[test]
+    fn uniform_generator_validation() {
+        assert!(UniformWorkerGenerator::new((0.9, 0.6), (0.0, 1.0)).is_err());
+        assert!(UniformWorkerGenerator::new((0.0, 1.2), (0.0, 1.0)).is_err());
+        assert!(UniformWorkerGenerator::new((0.5, 0.9), (2.0, 1.0)).is_err());
+        assert!(UniformWorkerGenerator::new((0.5, 0.9), (-1.0, 1.0)).is_err());
+        // Degenerate but valid point ranges.
+        let g = UniformWorkerGenerator::new((0.7, 0.7), (1.0, 1.0)).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let pool = g.generate(5, &mut rng);
+        assert!(pool.iter().all(|w| (w.quality() - 0.7).abs() < 1e-12));
+    }
+}

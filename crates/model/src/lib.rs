@@ -1,0 +1,144 @@
+//! # jury-model
+//!
+//! Crowd data model for the *Optimal Jury Selection* reproduction
+//! ("On Optimality of Jury Selection in Crowdsourcing", EDBT 2015).
+//!
+//! This crate defines the vocabulary every other crate in the workspace
+//! builds on:
+//!
+//! * [`Worker`]/[`WorkerPool`] — workers with a quality `q_i ∈ [0, 1]` and a
+//!   cost `c_i` (Section 2.1 of the paper);
+//! * [`Jury`] — a subset of the pool, with jury cost and budget feasibility
+//!   (Section 2.2);
+//! * [`Answer`]/[`Label`] — votes and ground truths for binary
+//!   decision-making tasks and multiple-choice tasks;
+//! * [`Prior`]/[`CategoricalPrior`] — the task provider's belief about the
+//!   answer;
+//! * [`ConfusionMatrix`]/[`MatrixWorker`]/[`MatrixJury`] — the Section 7
+//!   worker model for multiple-choice tasks;
+//! * [`DecisionTask`]/[`MultiClassTask`], [`CrowdDataset`] — tasks and
+//!   collected vote datasets;
+//! * [`GaussianWorkerGenerator`] — the synthetic workload of Section 6.1.
+//!
+//! ```
+//! use jury_model::{Jury, Prior, Answer};
+//!
+//! // The jury of Example 2: three workers with qualities 0.9, 0.6, 0.6.
+//! let jury = Jury::from_qualities(&[0.9, 0.6, 0.6]).unwrap();
+//! assert_eq!(jury.size(), 3);
+//!
+//! // Pr(V = {1,0,0} | t = 0) = 0.1 * 0.6 * 0.6 = 0.036.
+//! let votes = [Answer::Yes, Answer::No, Answer::No];
+//! let p = jury.voting_likelihood(&votes, Answer::No).unwrap();
+//! assert!((p - 0.036).abs() < 1e-12);
+//!
+//! let _prior = Prior::uniform();
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod answer;
+pub mod confusion;
+pub mod dataset;
+pub mod error;
+pub mod generator;
+pub mod jury;
+pub mod prior;
+pub mod stats;
+pub mod task;
+pub mod worker;
+
+pub use answer::{enumerate_binary_votings, enumerate_label_votings, Answer, Label};
+pub use confusion::{ConfusionMatrix, MatrixJury, MatrixWorker};
+pub use dataset::{CollectedVote, CrowdDataset, TaskRecord, WorkerStats};
+pub use error::{ModelError, ModelResult};
+pub use generator::{GaussianWorkerGenerator, UniformWorkerGenerator};
+pub use jury::{feasible_juries, Jury};
+pub use prior::{CategoricalPrior, Prior};
+pub use task::{DecisionTask, MultiClassTask, TaskId};
+pub use worker::{log_odds, paper_example_pool, quality_from_log_odds, Worker, WorkerId, WorkerPool};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn quality_strategy() -> impl Strategy<Value = f64> {
+        (0.0f64..=1.0f64).prop_map(|q| (q * 1000.0).round() / 1000.0)
+    }
+
+    proptest! {
+        #[test]
+        fn worker_construction_never_panics(q in quality_strategy(), c in 0.0f64..10.0) {
+            let w = Worker::new(WorkerId(0), q, c).unwrap();
+            prop_assert!(w.effective_quality() >= 0.5 - 1e-12);
+            prop_assert!(w.effective_quality() <= 1.0);
+            prop_assert!(w.log_odds() >= -1e-12);
+            prop_assert!(w.log_odds().is_finite());
+        }
+
+        #[test]
+        fn voting_likelihoods_are_probabilities(
+            qualities in proptest::collection::vec(quality_strategy(), 1..8),
+            bits in proptest::collection::vec(proptest::bool::ANY, 8),
+        ) {
+            let jury = Jury::from_qualities(&qualities).unwrap();
+            let votes: Vec<Answer> = bits
+                .iter()
+                .take(jury.size())
+                .map(|&b| Answer::from_bool(b))
+                .collect();
+            for truth in Answer::ALL {
+                let p = jury.voting_likelihood(&votes, truth).unwrap();
+                prop_assert!((0.0..=1.0).contains(&p));
+            }
+        }
+
+        #[test]
+        fn likelihoods_sum_to_one(
+            qualities in proptest::collection::vec(quality_strategy(), 1..6),
+        ) {
+            let jury = Jury::from_qualities(&qualities).unwrap();
+            for truth in Answer::ALL {
+                let total: f64 = enumerate_binary_votings(jury.size())
+                    .map(|v| jury.voting_likelihood(&v, truth).unwrap())
+                    .sum();
+                prop_assert!((total - 1.0).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn log_odds_roundtrips(q in 0.01f64..0.99) {
+            let back = quality_from_log_odds(log_odds(q));
+            prop_assert!((back - q).abs() < 1e-9);
+        }
+
+        #[test]
+        fn confusion_from_quality_is_row_stochastic(
+            q in quality_strategy(),
+            l in 2usize..6,
+        ) {
+            let m = ConfusionMatrix::from_quality(q, l).unwrap();
+            for j in 0..l {
+                let sum: f64 = (0..l).map(|k| m.prob(Label(j), Label(k))).sum();
+                prop_assert!((sum - 1.0).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn feasible_juries_are_feasible(
+            n in 1usize..8,
+            budget in 0.0f64..10.0,
+        ) {
+            let costs: Vec<f64> = (0..n).map(|i| 0.5 + i as f64 * 0.3).collect();
+            let qualities = vec![0.7; n];
+            let pool = WorkerPool::from_qualities_and_costs(&qualities, &costs).unwrap();
+            let juries = feasible_juries(&pool, budget);
+            prop_assert!(!juries.is_empty(), "the empty jury is always feasible");
+            for j in &juries {
+                prop_assert!(j.is_feasible(budget));
+            }
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Task-provider priors over the latent true answer.
+//!
+//! The task provider may attach a prior `α = Pr(t = 0)` to a decision-making
+//! task before crowdsourcing starts (Section 2.1). When she has no prior
+//! knowledge, `α = 0.5`. Section 7 generalizes the prior to a probability
+//! vector `~α = (α_0, ..., α_{ℓ-1})` over the `ℓ` labels of a multiple-choice
+//! task.
+
+use serde::{Deserialize, Serialize};
+
+use crate::answer::{Answer, Label};
+use crate::error::{ModelError, ModelResult};
+
+/// Tolerance used when checking that categorical priors sum to one.
+const SUM_TOLERANCE: f64 = 1e-9;
+
+/// A prior over the answer of a binary decision-making task.
+///
+/// Stores `α = Pr(t = 0) = Pr(t = No)`, following the paper's convention.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Prior {
+    alpha: f64,
+}
+
+impl Prior {
+    /// Creates a prior with the given `α = Pr(t = 0)`.
+    pub fn new(alpha: f64) -> ModelResult<Self> {
+        if !(0.0..=1.0).contains(&alpha) || !alpha.is_finite() {
+            return Err(ModelError::InvalidPrior { value: alpha });
+        }
+        Ok(Prior { alpha })
+    }
+
+    /// The uninformative prior `α = 0.5`, used when the task provider has no
+    /// prior knowledge.
+    pub fn uniform() -> Self {
+        Prior { alpha: 0.5 }
+    }
+
+    /// `α = Pr(t = 0)`.
+    #[inline]
+    pub fn alpha(self) -> f64 {
+        self.alpha
+    }
+
+    /// The prior probability of a specific answer.
+    #[inline]
+    pub fn prob(self, answer: Answer) -> f64 {
+        match answer {
+            Answer::No => self.alpha,
+            Answer::Yes => 1.0 - self.alpha,
+        }
+    }
+
+    /// Whether this prior carries no information (`α = 0.5`).
+    #[inline]
+    pub fn is_uniform(self) -> bool {
+        (self.alpha - 0.5).abs() < SUM_TOLERANCE
+    }
+
+    /// Converts the binary prior into the equivalent two-class categorical
+    /// prior `(α, 1 − α)`.
+    pub fn to_categorical(self) -> CategoricalPrior {
+        CategoricalPrior::new(vec![self.alpha, 1.0 - self.alpha])
+            .expect("a valid binary prior always converts")
+    }
+}
+
+impl Default for Prior {
+    fn default() -> Self {
+        Prior::uniform()
+    }
+}
+
+impl std::fmt::Display for Prior {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Pr(t=0)={:.3}", self.alpha)
+    }
+}
+
+/// A prior over the answer of a multiple-choice task with `ℓ` labels
+/// (Section 7): a probability vector `~α` with `Σ α_j = 1`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CategoricalPrior {
+    probs: Vec<f64>,
+}
+
+impl CategoricalPrior {
+    /// Creates a categorical prior, validating that every entry is a
+    /// probability and that the entries sum to one.
+    pub fn new(probs: Vec<f64>) -> ModelResult<Self> {
+        if probs.is_empty() {
+            return Err(ModelError::InvalidPriorVector { reason: "no entries".into() });
+        }
+        for (i, &p) in probs.iter().enumerate() {
+            if !(0.0..=1.0).contains(&p) || !p.is_finite() {
+                return Err(ModelError::InvalidPriorVector {
+                    reason: format!("entry {i} is {p}, not a probability"),
+                });
+            }
+        }
+        let sum: f64 = probs.iter().sum();
+        if (sum - 1.0).abs() > 1e-6 {
+            return Err(ModelError::InvalidPriorVector {
+                reason: format!("entries sum to {sum}, expected 1"),
+            });
+        }
+        Ok(CategoricalPrior { probs })
+    }
+
+    /// The uniform prior over `num_choices` labels.
+    pub fn uniform(num_choices: usize) -> ModelResult<Self> {
+        if num_choices == 0 {
+            return Err(ModelError::InvalidPriorVector { reason: "no entries".into() });
+        }
+        Ok(CategoricalPrior { probs: vec![1.0 / num_choices as f64; num_choices] })
+    }
+
+    /// Number of labels `ℓ`.
+    #[inline]
+    pub fn num_choices(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// The prior probability of a specific label.
+    pub fn prob(&self, label: Label) -> f64 {
+        self.probs.get(label.index()).copied().unwrap_or(0.0)
+    }
+
+    /// The full probability vector.
+    #[inline]
+    pub fn probs(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// For a two-class prior, the equivalent binary [`Prior`].
+    pub fn to_binary(&self) -> ModelResult<Prior> {
+        if self.probs.len() != 2 {
+            return Err(ModelError::InvalidPriorVector {
+                reason: format!("{} classes cannot convert to a binary prior", self.probs.len()),
+            });
+        }
+        Prior::new(self.probs[0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prior_validation() {
+        assert!(Prior::new(0.0).is_ok());
+        assert!(Prior::new(1.0).is_ok());
+        assert!(Prior::new(0.3).is_ok());
+        assert!(Prior::new(-0.1).is_err());
+        assert!(Prior::new(1.1).is_err());
+        assert!(Prior::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn prior_probabilities_sum_to_one() {
+        let p = Prior::new(0.7).unwrap();
+        assert!((p.prob(Answer::No) - 0.7).abs() < 1e-12);
+        assert!((p.prob(Answer::Yes) - 0.3).abs() < 1e-12);
+        assert!((p.prob(Answer::No) + p.prob(Answer::Yes) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_prior_is_default() {
+        assert_eq!(Prior::default(), Prior::uniform());
+        assert!(Prior::uniform().is_uniform());
+        assert!(!Prior::new(0.7).unwrap().is_uniform());
+        assert!((Prior::uniform().alpha() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prior_display() {
+        assert_eq!(Prior::new(0.25).unwrap().to_string(), "Pr(t=0)=0.250");
+    }
+
+    #[test]
+    fn binary_to_categorical_roundtrip() {
+        let p = Prior::new(0.3).unwrap();
+        let cat = p.to_categorical();
+        assert_eq!(cat.num_choices(), 2);
+        assert!((cat.prob(Label(0)) - 0.3).abs() < 1e-12);
+        assert!((cat.prob(Label(1)) - 0.7).abs() < 1e-12);
+        assert_eq!(cat.to_binary().unwrap(), p);
+    }
+
+    #[test]
+    fn categorical_prior_validation() {
+        assert!(CategoricalPrior::new(vec![0.2, 0.3, 0.5]).is_ok());
+        assert!(CategoricalPrior::new(vec![0.2, 0.3, 0.6]).is_err());
+        assert!(CategoricalPrior::new(vec![1.2, -0.2]).is_err());
+        assert!(CategoricalPrior::new(vec![]).is_err());
+        assert!(CategoricalPrior::uniform(0).is_err());
+    }
+
+    #[test]
+    fn categorical_uniform() {
+        let u = CategoricalPrior::uniform(4).unwrap();
+        assert_eq!(u.num_choices(), 4);
+        for i in 0..4 {
+            assert!((u.prob(Label(i)) - 0.25).abs() < 1e-12);
+        }
+        // Out-of-range labels have probability zero.
+        assert_eq!(u.prob(Label(10)), 0.0);
+    }
+
+    #[test]
+    fn categorical_to_binary_requires_two_classes() {
+        assert!(CategoricalPrior::uniform(3).unwrap().to_binary().is_err());
+        let p = CategoricalPrior::new(vec![0.6, 0.4]).unwrap().to_binary().unwrap();
+        assert!((p.alpha() - 0.6).abs() < 1e-12);
+    }
+}

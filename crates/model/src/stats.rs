@@ -1,0 +1,207 @@
+//! Small statistics helpers shared by generators, estimators, and the
+//! experiment harness (means, variances, histograms, percentiles).
+
+use serde::{Deserialize, Serialize};
+
+/// Arithmetic mean; `0.0` for an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Population variance; `0.0` for slices with fewer than two elements.
+pub fn variance(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / values.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(values: &[f64]) -> f64 {
+    variance(values).sqrt()
+}
+
+/// Linear-interpolation percentile (`p ∈ [0, 100]`); `0.0` for empty input.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let p = p.clamp(0.0, 100.0) / 100.0;
+    let rank = p * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Median (50th percentile).
+pub fn median(values: &[f64]) -> f64 {
+    percentile(values, 50.0)
+}
+
+/// A fixed-width histogram over a closed range, used for error-distribution
+/// figures such as Figure 9(c).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    /// Values below `lo` or above `hi`.
+    outliers: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi]` with `bins` equal-width buckets.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(hi > lo, "histogram range must be non-empty");
+        Histogram { lo, hi, counts: vec![0; bins], outliers: 0, total: 0 }
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, value: f64) {
+        self.total += 1;
+        if !value.is_finite() || value < self.lo || value > self.hi {
+            self.outliers += 1;
+            return;
+        }
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        let mut idx = ((value - self.lo) / width) as usize;
+        if idx >= self.counts.len() {
+            idx = self.counts.len() - 1;
+        }
+        self.counts[idx] += 1;
+    }
+
+    /// Adds every observation in the slice.
+    pub fn add_all(&mut self, values: &[f64]) {
+        for &v in values {
+            self.add(v);
+        }
+    }
+
+    /// The per-bin counts.
+    #[inline]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Observations outside the range.
+    #[inline]
+    pub fn outliers(&self) -> u64 {
+        self.outliers
+    }
+
+    /// Total number of observations added (including outliers).
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The `(lower, upper)` edges of bin `i`.
+    pub fn bin_edges(&self, i: usize) -> (f64, f64) {
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        (self.lo + i as f64 * width, self.lo + (i + 1) as f64 * width)
+    }
+
+    /// The fraction of (in-range) observations in each bin.
+    pub fn frequencies(&self) -> Vec<f64> {
+        let in_range = self.total - self.outliers;
+        if in_range == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts.iter().map(|&c| c as f64 / in_range as f64).collect()
+    }
+}
+
+/// Counts observations falling into a list of half-open ranges
+/// `(lo, hi]` with an initial closed range `[first_lo, first_hi]`, matching
+/// the presentation of the paper's Table 3 ("counts in different error
+/// ranges").
+pub fn range_counts(values: &[f64], edges: &[f64]) -> Vec<u64> {
+    assert!(edges.len() >= 2, "need at least two edges");
+    let mut counts = vec![0u64; edges.len() - 1];
+    for &v in values {
+        for i in 0..edges.len() - 1 {
+            let lo = edges[i];
+            let hi = edges[i + 1];
+            let in_range = if i == 0 { v >= lo && v <= hi } else { v > lo && v <= hi };
+            if in_range {
+                counts[i] += 1;
+                break;
+            }
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_std() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert!((mean(&v) - 2.5).abs() < 1e-12);
+        assert!((variance(&v) - 1.25).abs() < 1e-12);
+        assert!((std_dev(&v) - 1.25f64.sqrt()).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn percentile_and_median() {
+        let v = [4.0, 1.0, 3.0, 2.0];
+        assert!((median(&v) - 2.5).abs() < 1e-12);
+        assert!((percentile(&v, 0.0) - 1.0).abs() < 1e-12);
+        assert!((percentile(&v, 100.0) - 4.0).abs() < 1e-12);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn histogram_binning() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.add_all(&[0.05, 0.3, 0.3, 0.8, 1.0, 2.0, -0.5, f64::NAN]);
+        assert_eq!(h.counts(), &[1, 2, 0, 2]);
+        assert_eq!(h.outliers(), 3);
+        assert_eq!(h.total(), 8);
+        let (lo, hi) = h.bin_edges(1);
+        assert!((lo - 0.25).abs() < 1e-12);
+        assert!((hi - 0.5).abs() < 1e-12);
+        let freqs = h.frequencies();
+        assert!((freqs.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn histogram_rejects_empty_range() {
+        let _ = Histogram::new(1.0, 1.0, 4);
+    }
+
+    #[test]
+    fn range_counts_matches_table_3_layout() {
+        // Table 3 ranges (in percent): [0, 0.01], (0.01, 0.1], (0.1, 1], (1, 3], (3, inf).
+        let edges = [0.0, 0.01, 0.1, 1.0, 3.0, f64::INFINITY];
+        let values = [0.0, 0.005, 0.01, 0.05, 0.5, 2.0, 10.0];
+        let counts = range_counts(&values, &edges);
+        assert_eq!(counts, vec![3, 1, 1, 1, 1]);
+        assert_eq!(counts.iter().sum::<u64>() as usize, values.len());
+    }
+
+    #[test]
+    fn empty_histogram_frequencies() {
+        let h = Histogram::new(0.0, 1.0, 3);
+        assert_eq!(h.frequencies(), vec![0.0, 0.0, 0.0]);
+    }
+}

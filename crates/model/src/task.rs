@@ -1,0 +1,262 @@
+//! Tasks: binary decision-making tasks and multiple-choice tasks.
+//!
+//! A decision-making task is a question with a `yes`/`no` answer and a latent
+//! ground truth (Section 2.1). A multiple-choice task (Section 7) has `ℓ`
+//! possible labels; sentiment analysis with labels positive/neutral/negative
+//! is the paper's running example of this kind.
+
+use serde::{Deserialize, Serialize};
+
+use crate::answer::{Answer, Label};
+use crate::error::{ModelError, ModelResult};
+use crate::prior::{CategoricalPrior, Prior};
+
+/// Identifier of a task within a dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TaskId(pub u64);
+
+impl TaskId {
+    /// Returns the raw numeric id.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for TaskId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A binary decision-making task.
+///
+/// The ground truth is optional: it is unknown to the system at selection and
+/// aggregation time, but synthetic and replayed datasets carry it so that the
+/// realized accuracy of a voting strategy can be evaluated (Section 6.2.3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecisionTask {
+    id: TaskId,
+    question: String,
+    prior: Prior,
+    ground_truth: Option<Answer>,
+}
+
+impl DecisionTask {
+    /// Creates a decision-making task with the uninformative prior.
+    pub fn new(id: TaskId, question: impl Into<String>) -> Self {
+        DecisionTask { id, question: question.into(), prior: Prior::uniform(), ground_truth: None }
+    }
+
+    /// Sets the task provider's prior `α = Pr(t = 0)`.
+    pub fn with_prior(mut self, prior: Prior) -> Self {
+        self.prior = prior;
+        self
+    }
+
+    /// Attaches the (latent) ground truth, used only for evaluation.
+    pub fn with_ground_truth(mut self, truth: Answer) -> Self {
+        self.ground_truth = Some(truth);
+        self
+    }
+
+    /// The task id.
+    #[inline]
+    pub fn id(&self) -> TaskId {
+        self.id
+    }
+
+    /// The natural-language question.
+    #[inline]
+    pub fn question(&self) -> &str {
+        &self.question
+    }
+
+    /// The task provider's prior.
+    #[inline]
+    pub fn prior(&self) -> Prior {
+        self.prior
+    }
+
+    /// The ground truth, if known.
+    #[inline]
+    pub fn ground_truth(&self) -> Option<Answer> {
+        self.ground_truth
+    }
+
+    /// The paper's running example task (Figure 1): *"Is Bill Gates now the
+    /// CEO of Microsoft?"* with prior 70% yes / 30% no.
+    pub fn paper_example() -> Self {
+        DecisionTask::new(TaskId(0), "Is Bill Gates now the CEO of Microsoft?")
+            // Figure 1 assigns YES (t=1) probability 0.7, so α = Pr(t=0) = 0.3.
+            .with_prior(Prior::new(0.3).expect("valid prior"))
+            .with_ground_truth(Answer::No)
+    }
+}
+
+/// A multiple-choice task with `ℓ ≥ 2` possible labels (Section 7).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiClassTask {
+    id: TaskId,
+    question: String,
+    choices: Vec<String>,
+    prior: CategoricalPrior,
+    ground_truth: Option<Label>,
+}
+
+impl MultiClassTask {
+    /// Creates a multiple-choice task with a uniform prior over its choices.
+    pub fn new(
+        id: TaskId,
+        question: impl Into<String>,
+        choices: Vec<String>,
+    ) -> ModelResult<Self> {
+        if choices.len() < 2 {
+            return Err(ModelError::Empty { what: "multi-class task choices (need at least 2)" });
+        }
+        let prior = CategoricalPrior::uniform(choices.len())?;
+        Ok(MultiClassTask { id, question: question.into(), choices, prior, ground_truth: None })
+    }
+
+    /// Sets the categorical prior; its dimension must match the choice count.
+    pub fn with_prior(mut self, prior: CategoricalPrior) -> ModelResult<Self> {
+        if prior.num_choices() != self.choices.len() {
+            return Err(ModelError::InvalidPriorVector {
+                reason: format!(
+                    "prior has {} entries but the task has {} choices",
+                    prior.num_choices(),
+                    self.choices.len()
+                ),
+            });
+        }
+        self.prior = prior;
+        Ok(self)
+    }
+
+    /// Attaches the ground-truth label, used only for evaluation.
+    pub fn with_ground_truth(mut self, truth: Label) -> ModelResult<Self> {
+        truth.validate(self.choices.len())?;
+        self.ground_truth = Some(truth);
+        Ok(self)
+    }
+
+    /// The task id.
+    #[inline]
+    pub fn id(&self) -> TaskId {
+        self.id
+    }
+
+    /// The natural-language question.
+    #[inline]
+    pub fn question(&self) -> &str {
+        &self.question
+    }
+
+    /// Number of possible labels `ℓ`.
+    #[inline]
+    pub fn num_choices(&self) -> usize {
+        self.choices.len()
+    }
+
+    /// The human-readable choice texts.
+    #[inline]
+    pub fn choices(&self) -> &[String] {
+        &self.choices
+    }
+
+    /// The categorical prior.
+    #[inline]
+    pub fn prior(&self) -> &CategoricalPrior {
+        &self.prior
+    }
+
+    /// The ground-truth label, if known.
+    #[inline]
+    pub fn ground_truth(&self) -> Option<Label> {
+        self.ground_truth
+    }
+
+    /// A three-label sentiment-analysis task (positive / neutral / negative),
+    /// the paper's motivating example for the multi-class extension.
+    pub fn sentiment(id: TaskId, text: impl Into<String>) -> Self {
+        MultiClassTask::new(
+            id,
+            format!("What is the sentiment of: {}", text.into()),
+            vec!["positive".into(), "neutral".into(), "negative".into()],
+        )
+        .expect("three choices are valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decision_task_builder() {
+        let task = DecisionTask::new(TaskId(7), "Is the sky blue?")
+            .with_prior(Prior::new(0.2).unwrap())
+            .with_ground_truth(Answer::Yes);
+        assert_eq!(task.id(), TaskId(7));
+        assert_eq!(task.question(), "Is the sky blue?");
+        assert!((task.prior().alpha() - 0.2).abs() < 1e-12);
+        assert_eq!(task.ground_truth(), Some(Answer::Yes));
+    }
+
+    #[test]
+    fn decision_task_defaults_to_uniform_prior_and_unknown_truth() {
+        let task = DecisionTask::new(TaskId(1), "q");
+        assert!(task.prior().is_uniform());
+        assert_eq!(task.ground_truth(), None);
+    }
+
+    #[test]
+    fn paper_example_task_matches_figure_1() {
+        let task = DecisionTask::paper_example();
+        assert!(task.question().contains("Bill Gates"));
+        // 70% yes means Pr(t = 0) = 0.3.
+        assert!((task.prior().alpha() - 0.3).abs() < 1e-12);
+        assert_eq!(task.ground_truth(), Some(Answer::No));
+    }
+
+    #[test]
+    fn multiclass_task_requires_two_choices() {
+        assert!(MultiClassTask::new(TaskId(0), "q", vec!["only".into()]).is_err());
+        assert!(MultiClassTask::new(TaskId(0), "q", vec!["a".into(), "b".into()]).is_ok());
+    }
+
+    #[test]
+    fn multiclass_prior_dimension_checked() {
+        let task = MultiClassTask::sentiment(TaskId(0), "great product");
+        assert_eq!(task.num_choices(), 3);
+        let bad = task.clone().with_prior(CategoricalPrior::uniform(2).unwrap());
+        assert!(bad.is_err());
+        let good = task
+            .with_prior(CategoricalPrior::new(vec![0.5, 0.25, 0.25]).unwrap())
+            .unwrap();
+        assert!((good.prior().prob(Label(0)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multiclass_ground_truth_validated() {
+        let task = MultiClassTask::sentiment(TaskId(0), "meh");
+        assert!(task.clone().with_ground_truth(Label(3)).is_err());
+        let task = task.with_ground_truth(Label(2)).unwrap();
+        assert_eq!(task.ground_truth(), Some(Label(2)));
+    }
+
+    #[test]
+    fn task_ids_display() {
+        assert_eq!(TaskId(3).to_string(), "t3");
+        assert_eq!(TaskId(3).raw(), 3);
+    }
+
+    #[test]
+    fn sentiment_task_choices() {
+        let task = MultiClassTask::sentiment(TaskId(9), "the service was slow");
+        assert_eq!(task.choices(), &["positive", "neutral", "negative"]);
+        assert!(task.question().contains("slow"));
+        assert_eq!(task.id(), TaskId(9));
+        assert!(task.ground_truth().is_none());
+    }
+}

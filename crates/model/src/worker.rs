@@ -1,0 +1,396 @@
+//! Workers and worker pools.
+//!
+//! Following the worker model of Section 2.1, each worker `j_i` is described
+//! by a quality `q_i ∈ [0, 1]` — the probability that she votes correctly —
+//! and a cost `c_i` — the monetary incentive she requires per vote. Both are
+//! assumed to be known in advance (the paper cites prior work on estimating
+//! them; `jury-sim` provides such estimators for the simulated platform).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{ModelError, ModelResult};
+
+/// Identifier of a worker inside a [`WorkerPool`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct WorkerId(pub u32);
+
+impl WorkerId {
+    /// Returns the raw numeric id.
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for WorkerId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "w{}", self.0)
+    }
+}
+
+/// A crowd worker with a quality and a cost (the paper's `(q_i, c_i)` pair).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Worker {
+    id: WorkerId,
+    quality: f64,
+    cost: f64,
+}
+
+impl Worker {
+    /// Creates a worker, validating that `quality ∈ [0, 1]` and `cost ≥ 0`.
+    pub fn new(id: WorkerId, quality: f64, cost: f64) -> ModelResult<Self> {
+        if !(0.0..=1.0).contains(&quality) || !quality.is_finite() {
+            return Err(ModelError::InvalidQuality { value: quality });
+        }
+        if !cost.is_finite() || cost < 0.0 {
+            return Err(ModelError::InvalidCost { value: cost });
+        }
+        Ok(Worker { id, quality, cost })
+    }
+
+    /// Creates a free (zero-cost) worker; useful for pseudo-workers such as
+    /// the prior worker of Theorem 3 and in tests.
+    pub fn free(id: WorkerId, quality: f64) -> ModelResult<Self> {
+        Worker::new(id, quality, 0.0)
+    }
+
+    /// The worker's identifier.
+    #[inline]
+    pub fn id(&self) -> WorkerId {
+        self.id
+    }
+
+    /// The worker's quality `q_i = Pr(v_i = t)`.
+    #[inline]
+    pub fn quality(&self) -> f64 {
+        self.quality
+    }
+
+    /// The worker's cost `c_i`.
+    #[inline]
+    pub fn cost(&self) -> f64 {
+        self.cost
+    }
+
+    /// The quality after the paper's reinterpretation of low-quality workers
+    /// (Section 3.3): a vote from a worker with `q < 0.5` is equivalent to the
+    /// opposite vote from a worker with quality `1 − q > 0.5`, so the
+    /// *effective* quality is `max(q, 1 − q) ≥ 0.5`.
+    #[inline]
+    pub fn effective_quality(&self) -> f64 {
+        self.quality.max(1.0 - self.quality)
+    }
+
+    /// Whether this worker's votes must be flipped to use the effective
+    /// quality, i.e. whether `q_i < 0.5`.
+    #[inline]
+    pub fn is_adversarial(&self) -> bool {
+        self.quality < 0.5
+    }
+
+    /// The log-odds `φ(q) = ln(q / (1 − q))` of the *effective* quality,
+    /// the weight used throughout the paper's Section 4 (Equation 6).
+    ///
+    /// The effective quality is clamped slightly away from `1` so that the
+    /// value stays finite even for perfect workers.
+    #[inline]
+    pub fn log_odds(&self) -> f64 {
+        log_odds(self.effective_quality())
+    }
+
+    /// Returns a copy of this worker with a different quality.
+    pub fn with_quality(&self, quality: f64) -> ModelResult<Self> {
+        Worker::new(self.id, quality, self.cost)
+    }
+
+    /// Returns a copy of this worker with a different cost.
+    pub fn with_cost(&self, cost: f64) -> ModelResult<Self> {
+        Worker::new(self.id, self.quality, cost)
+    }
+}
+
+/// Quality values are clamped to `[MIN_QUALITY_CLAMP, 1 - MIN_QUALITY_CLAMP]`
+/// before taking log-odds so that `φ(q)` stays finite.
+pub const QUALITY_EPSILON: f64 = 1e-9;
+
+/// The log-odds function `φ(q) = ln(q / (1 − q))` used as the vote weight in
+/// the paper's Section 4 (Equation 6), clamped away from `0` and `1`.
+#[inline]
+pub fn log_odds(quality: f64) -> f64 {
+    let q = quality.clamp(QUALITY_EPSILON, 1.0 - QUALITY_EPSILON);
+    (q / (1.0 - q)).ln()
+}
+
+/// The inverse of [`log_odds`]: `q = e^φ / (1 + e^φ)`.
+#[inline]
+pub fn quality_from_log_odds(phi: f64) -> f64 {
+    let e = phi.exp();
+    e / (1.0 + e)
+}
+
+/// A pool of candidate workers `W = {j_1, ..., j_N}` from which juries are
+/// drawn.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct WorkerPool {
+    workers: Vec<Worker>,
+}
+
+impl WorkerPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        WorkerPool { workers: Vec::new() }
+    }
+
+    /// Creates a pool from a list of workers, rejecting duplicate ids.
+    pub fn from_workers(workers: Vec<Worker>) -> ModelResult<Self> {
+        let mut pool = WorkerPool::new();
+        for w in workers {
+            pool.push(w)?;
+        }
+        Ok(pool)
+    }
+
+    /// Creates a pool from parallel slices of qualities and costs, assigning
+    /// sequential ids starting at zero.
+    pub fn from_qualities_and_costs(qualities: &[f64], costs: &[f64]) -> ModelResult<Self> {
+        assert_eq!(
+            qualities.len(),
+            costs.len(),
+            "qualities and costs must have the same length"
+        );
+        let workers = qualities
+            .iter()
+            .zip(costs.iter())
+            .enumerate()
+            .map(|(i, (&q, &c))| Worker::new(WorkerId(i as u32), q, c))
+            .collect::<ModelResult<Vec<_>>>()?;
+        WorkerPool::from_workers(workers)
+    }
+
+    /// Creates a pool of free workers with the given qualities.
+    pub fn from_qualities(qualities: &[f64]) -> ModelResult<Self> {
+        let costs = vec![0.0; qualities.len()];
+        WorkerPool::from_qualities_and_costs(qualities, &costs)
+    }
+
+    /// Adds a worker, rejecting duplicate ids.
+    pub fn push(&mut self, worker: Worker) -> ModelResult<()> {
+        if self.contains(worker.id()) {
+            return Err(ModelError::DuplicateWorker { id: worker.id().raw() });
+        }
+        self.workers.push(worker);
+        Ok(())
+    }
+
+    /// Number of candidate workers `N`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Whether the pool is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.workers.is_empty()
+    }
+
+    /// Whether a worker with the given id is in the pool.
+    pub fn contains(&self, id: WorkerId) -> bool {
+        self.workers.iter().any(|w| w.id() == id)
+    }
+
+    /// Looks up a worker by id.
+    pub fn get(&self, id: WorkerId) -> ModelResult<&Worker> {
+        self.workers
+            .iter()
+            .find(|w| w.id() == id)
+            .ok_or(ModelError::UnknownWorker { id: id.raw() })
+    }
+
+    /// The workers in insertion order.
+    #[inline]
+    pub fn workers(&self) -> &[Worker] {
+        &self.workers
+    }
+
+    /// Iterates over the workers in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Worker> {
+        self.workers.iter()
+    }
+
+    /// All worker ids in insertion order.
+    pub fn ids(&self) -> Vec<WorkerId> {
+        self.workers.iter().map(|w| w.id()).collect()
+    }
+
+    /// Sum of all worker costs; selecting the entire pool is feasible iff the
+    /// budget is at least this value (the discussion following Lemma 1).
+    pub fn total_cost(&self) -> f64 {
+        self.workers.iter().map(|w| w.cost()).sum()
+    }
+
+    /// Mean worker quality.
+    pub fn mean_quality(&self) -> f64 {
+        if self.workers.is_empty() {
+            return 0.0;
+        }
+        self.workers.iter().map(|w| w.quality()).sum::<f64>() / self.workers.len() as f64
+    }
+
+    /// Selects a subset of workers by id, preserving the requested order.
+    pub fn select(&self, ids: &[WorkerId]) -> ModelResult<Vec<Worker>> {
+        ids.iter().map(|&id| self.get(id).cloned()).collect()
+    }
+
+    /// Returns the workers sorted by descending quality (ties broken by id so
+    /// the order is deterministic).
+    pub fn sorted_by_quality_desc(&self) -> Vec<Worker> {
+        let mut sorted = self.workers.clone();
+        sorted.sort_by(|a, b| {
+            b.quality()
+                .partial_cmp(&a.quality())
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.id().cmp(&b.id()))
+        });
+        sorted
+    }
+}
+
+impl<'a> IntoIterator for &'a WorkerPool {
+    type Item = &'a Worker;
+    type IntoIter = std::slice::Iter<'a, Worker>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.workers.iter()
+    }
+}
+
+/// The seven-worker candidate pool of the paper's running example (Figure 1):
+/// workers A–G with qualities `0.77, 0.7, 0.8, 0.65, 0.6, 0.6, 0.75` and costs
+/// `9, 5, 6, 7, 5, 2, 3`.
+pub fn paper_example_pool() -> WorkerPool {
+    let qualities = [0.77, 0.70, 0.80, 0.65, 0.60, 0.60, 0.75];
+    let costs = [9.0, 5.0, 6.0, 7.0, 5.0, 2.0, 3.0];
+    WorkerPool::from_qualities_and_costs(&qualities, &costs)
+        .expect("the paper's example pool is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_validation() {
+        assert!(Worker::new(WorkerId(0), 0.7, 1.0).is_ok());
+        assert!(Worker::new(WorkerId(0), -0.1, 1.0).is_err());
+        assert!(Worker::new(WorkerId(0), 1.1, 1.0).is_err());
+        assert!(Worker::new(WorkerId(0), f64::NAN, 1.0).is_err());
+        assert!(Worker::new(WorkerId(0), 0.7, -1.0).is_err());
+        assert!(Worker::new(WorkerId(0), 0.7, f64::INFINITY).is_err());
+        assert!(Worker::new(WorkerId(0), 0.0, 0.0).is_ok());
+        assert!(Worker::new(WorkerId(0), 1.0, 0.0).is_ok());
+    }
+
+    #[test]
+    fn effective_quality_reinterprets_low_quality_workers() {
+        let good = Worker::free(WorkerId(0), 0.8).unwrap();
+        let bad = Worker::free(WorkerId(1), 0.2).unwrap();
+        assert!(!good.is_adversarial());
+        assert!(bad.is_adversarial());
+        assert!((good.effective_quality() - 0.8).abs() < 1e-12);
+        assert!((bad.effective_quality() - 0.8).abs() < 1e-12);
+        // Their log-odds weights coincide after reinterpretation.
+        assert!((good.log_odds() - bad.log_odds()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_odds_is_increasing_and_zero_at_half() {
+        assert!(log_odds(0.5).abs() < 1e-12);
+        assert!(log_odds(0.6) > 0.0);
+        assert!(log_odds(0.9) > log_odds(0.6));
+        // φ(0.99) < 5 — the bound used in the paper's Section 4.4.
+        assert!(log_odds(0.99) < 5.0);
+        // Perfect workers stay finite thanks to clamping.
+        assert!(log_odds(1.0).is_finite());
+        assert!(log_odds(0.0).is_finite());
+    }
+
+    #[test]
+    fn log_odds_roundtrip() {
+        for &q in &[0.5, 0.6, 0.7, 0.85, 0.99] {
+            let back = quality_from_log_odds(log_odds(q));
+            assert!((back - q).abs() < 1e-9, "roundtrip failed for {q}: {back}");
+        }
+    }
+
+    #[test]
+    fn with_quality_and_cost_preserve_other_fields() {
+        let w = Worker::new(WorkerId(3), 0.7, 2.0).unwrap();
+        let w2 = w.with_quality(0.9).unwrap();
+        assert_eq!(w2.id(), WorkerId(3));
+        assert!((w2.cost() - 2.0).abs() < 1e-12);
+        let w3 = w.with_cost(5.0).unwrap();
+        assert!((w3.quality() - 0.7).abs() < 1e-12);
+        assert!(w.with_quality(1.5).is_err());
+    }
+
+    #[test]
+    fn pool_construction_and_lookup() {
+        let pool = WorkerPool::from_qualities_and_costs(&[0.9, 0.6, 0.6], &[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(pool.len(), 3);
+        assert!(!pool.is_empty());
+        assert!(pool.contains(WorkerId(1)));
+        assert!(!pool.contains(WorkerId(9)));
+        assert!((pool.get(WorkerId(2)).unwrap().cost() - 3.0).abs() < 1e-12);
+        assert!(pool.get(WorkerId(9)).is_err());
+        assert!((pool.total_cost() - 6.0).abs() < 1e-12);
+        assert!((pool.mean_quality() - 0.7).abs() < 1e-12);
+        assert_eq!(pool.ids(), vec![WorkerId(0), WorkerId(1), WorkerId(2)]);
+    }
+
+    #[test]
+    fn pool_rejects_duplicates() {
+        let mut pool = WorkerPool::new();
+        pool.push(Worker::free(WorkerId(1), 0.7).unwrap()).unwrap();
+        let err = pool.push(Worker::free(WorkerId(1), 0.8).unwrap()).unwrap_err();
+        assert_eq!(err, ModelError::DuplicateWorker { id: 1 });
+    }
+
+    #[test]
+    fn pool_select_preserves_order() {
+        let pool = paper_example_pool();
+        let picked = pool.select(&[WorkerId(2), WorkerId(0)]).unwrap();
+        assert_eq!(picked.len(), 2);
+        assert!((picked[0].quality() - 0.80).abs() < 1e-12);
+        assert!((picked[1].quality() - 0.77).abs() < 1e-12);
+        assert!(pool.select(&[WorkerId(100)]).is_err());
+    }
+
+    #[test]
+    fn sorted_by_quality_desc_is_deterministic() {
+        let pool = WorkerPool::from_qualities(&[0.6, 0.9, 0.6, 0.8]).unwrap();
+        let sorted = pool.sorted_by_quality_desc();
+        let qualities: Vec<f64> = sorted.iter().map(|w| w.quality()).collect();
+        assert_eq!(qualities, vec![0.9, 0.8, 0.6, 0.6]);
+        // Equal qualities are ordered by id.
+        assert_eq!(sorted[2].id(), WorkerId(0));
+        assert_eq!(sorted[3].id(), WorkerId(2));
+    }
+
+    #[test]
+    fn paper_example_pool_matches_figure_1() {
+        let pool = paper_example_pool();
+        assert_eq!(pool.len(), 7);
+        // Worker A: (0.77, $9); worker G: (0.75, $3).
+        assert!((pool.get(WorkerId(0)).unwrap().quality() - 0.77).abs() < 1e-12);
+        assert!((pool.get(WorkerId(0)).unwrap().cost() - 9.0).abs() < 1e-12);
+        assert!((pool.get(WorkerId(6)).unwrap().quality() - 0.75).abs() < 1e-12);
+        assert!((pool.get(WorkerId(6)).unwrap().cost() - 3.0).abs() < 1e-12);
+        assert!((pool.total_cost() - 37.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_quality_of_empty_pool_is_zero() {
+        assert_eq!(WorkerPool::new().mean_quality(), 0.0);
+    }
+}

@@ -1,0 +1,41 @@
+//! # jury-optjs
+//!
+//! The end-to-end **Optimal Jury Selection System** (OPTJS) of *"On
+//! Optimality of Jury Selection in Crowdsourcing"* (EDBT 2015), together
+//! with the Majority-Voting baseline system (MVJS) it is compared against.
+//!
+//! The system ties the lower-level crates together exactly as the paper's
+//! Figure 1 describes: given a decision-making task, the candidate workers'
+//! qualities and costs, and a prior, it produces a budget–quality table and,
+//! for a chosen budget, the jury whose Bayesian-voting quality is maximal.
+//! The [`pipeline`] module closes the loop by collecting (simulated or
+//! replayed) votes from the selected jury and aggregating them with Bayesian
+//! voting.
+//!
+//! ```
+//! use jury_model::{paper_example_pool, Prior};
+//! use jury_optjs::{Optjs, SystemConfig};
+//!
+//! // Reproduce the Figure 1 budget–quality table.
+//! let system = Optjs::new(SystemConfig::paper_experiments());
+//! let table = system.budget_quality_table(
+//!     &paper_example_pool(),
+//!     &[5.0, 10.0, 15.0, 20.0],
+//!     Prior::uniform(),
+//! );
+//! assert!((table.rows()[2].quality - 0.845).abs() < 1e-9);
+//! assert!((table.rows()[2].required_budget - 14.0).abs() < 1e-9);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod pipeline;
+pub mod report;
+pub mod system;
+
+pub use config::SystemConfig;
+pub use pipeline::{run_on_dataset, run_simulated_task, DatasetReport, TaskOutcome};
+pub use report::{ComparisonRow, ComparisonSeries, Series};
+pub use system::{compare_systems, Mvjs, Optjs, SelectionOutcome, SystemKind};

@@ -1,0 +1,270 @@
+//! The end-to-end jury selection systems: OPTJS (the paper's contribution)
+//! and MVJS (the Cao et al. baseline), as depicted in Figure 1.
+//!
+//! A system takes the candidate worker pool, a budget, and the task
+//! provider's prior; it selects a jury, reports the jury's estimated quality
+//! under the system's voting strategy, and can also produce the
+//! budget–quality table the task provider uses to pick her budget.
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use jury_model::{Jury, Prior, WorkerId, WorkerPool};
+use jury_selection::{
+    AnnealingSolver, BudgetQualityTable, BvObjective, ExhaustiveSolver, JspInstance, JurySolver,
+    MvjsSolver, MvObjective, SolverResult, MAX_EXHAUSTIVE_POOL,
+};
+use jury_jq::JqEngine;
+
+use crate::config::SystemConfig;
+
+/// Which aggregation strategy a system uses for its selection objective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SystemKind {
+    /// The Optimal Jury Selection System: selects under `JQ(BV)`.
+    Optjs,
+    /// The Majority-Voting baseline of Cao et al.: selects under `JQ(MV)`.
+    Mvjs,
+}
+
+impl std::fmt::Display for SystemKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SystemKind::Optjs => write!(f, "OPTJS"),
+            SystemKind::Mvjs => write!(f, "MVJS"),
+        }
+    }
+}
+
+/// The outcome of asking a system to select a jury.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectionOutcome {
+    /// Which system produced the selection.
+    pub system: SystemKind,
+    /// The selected jury.
+    pub jury: Jury,
+    /// The system's own estimate of the jury's quality (under its strategy).
+    pub estimated_quality: f64,
+    /// The jury's cost.
+    pub cost: f64,
+    /// Number of objective evaluations spent by the search.
+    pub evaluations: u64,
+    /// Wall-clock time of the search.
+    pub elapsed: Duration,
+}
+
+impl SelectionOutcome {
+    /// The selected workers' ids, sorted.
+    pub fn worker_ids(&self) -> Vec<WorkerId> {
+        let mut ids = self.jury.ids();
+        ids.sort();
+        ids
+    }
+
+    fn from_result(system: SystemKind, result: SolverResult) -> Self {
+        SelectionOutcome {
+            system,
+            cost: result.jury.cost(),
+            estimated_quality: result.objective_value,
+            evaluations: result.evaluations,
+            elapsed: result.elapsed,
+            jury: result.jury,
+        }
+    }
+}
+
+/// The Optimal Jury Selection System (OPTJS).
+#[derive(Debug, Clone, Default)]
+pub struct Optjs {
+    config: SystemConfig,
+}
+
+impl Optjs {
+    /// Creates the system with a custom configuration.
+    pub fn new(config: SystemConfig) -> Self {
+        Optjs { config }
+    }
+
+    /// Creates the system with the paper's experimental configuration.
+    pub fn paper_experiments() -> Self {
+        Optjs::new(SystemConfig::paper_experiments())
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// The JQ engine this system uses (exposed so callers can re-evaluate
+    /// juries consistently with the system's own estimates).
+    pub fn jq_engine(&self) -> JqEngine {
+        JqEngine::new(self.config.bucket).with_exact_cutoff(self.config.exact_cutoff)
+    }
+
+    fn objective(&self) -> BvObjective {
+        BvObjective::with_engine(self.jq_engine())
+    }
+
+    /// Selects the best jury within the budget for a task with the given
+    /// prior (Theorem 1: the optimal strategy is BV, so the selection
+    /// maximizes `JQ(J, BV, α)`).
+    pub fn select(&self, pool: &WorkerPool, budget: f64, prior: Prior) -> SelectionOutcome {
+        let instance = JspInstance::new(pool.clone(), budget, prior)
+            .expect("budgets come from validated experiment configurations");
+        let result = if pool.len() <= self.config.exact_cutoff.min(MAX_EXHAUSTIVE_POOL) {
+            ExhaustiveSolver::new(self.objective()).solve(&instance)
+        } else {
+            AnnealingSolver::with_config(self.objective(), self.config.annealing).solve(&instance)
+        };
+        SelectionOutcome::from_result(SystemKind::Optjs, result)
+    }
+
+    /// Builds the Figure 1 budget–quality table: one JSP solve per budget.
+    pub fn budget_quality_table(
+        &self,
+        pool: &WorkerPool,
+        budgets: &[f64],
+        prior: Prior,
+    ) -> BudgetQualityTable {
+        if pool.len() <= self.config.exact_cutoff.min(MAX_EXHAUSTIVE_POOL) {
+            let solver = ExhaustiveSolver::new(self.objective());
+            BudgetQualityTable::build(pool, budgets, prior, &solver)
+        } else {
+            let solver = AnnealingSolver::with_config(self.objective(), self.config.annealing);
+            BudgetQualityTable::build(pool, budgets, prior, &solver)
+        }
+    }
+}
+
+/// The Majority-Voting Jury Selection System (MVJS) — the baseline.
+#[derive(Debug, Clone, Default)]
+pub struct Mvjs {
+    config: SystemConfig,
+}
+
+impl Mvjs {
+    /// Creates the baseline system.
+    pub fn new(config: SystemConfig) -> Self {
+        Mvjs { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// Selects the best jury within the budget under the MV objective.
+    pub fn select(&self, pool: &WorkerPool, budget: f64, prior: Prior) -> SelectionOutcome {
+        let instance = JspInstance::new(pool.clone(), budget, prior)
+            .expect("budgets come from validated experiment configurations");
+        let result = if pool.len() <= self.config.exact_cutoff.min(MAX_EXHAUSTIVE_POOL) {
+            ExhaustiveSolver::new(MvObjective::new()).solve(&instance)
+        } else {
+            MvjsSolver::with_annealing_config(self.config.annealing).solve(&instance)
+        };
+        SelectionOutcome::from_result(SystemKind::Mvjs, result)
+    }
+}
+
+/// Runs both systems on the same instance and returns `(OPTJS, MVJS)` — one
+/// data point of the Figure 6 / Figure 10 system comparison, where each
+/// system is scored by the quality of its own jury under its own strategy.
+pub fn compare_systems(
+    optjs: &Optjs,
+    mvjs: &Mvjs,
+    pool: &WorkerPool,
+    budget: f64,
+    prior: Prior,
+) -> (SelectionOutcome, SelectionOutcome) {
+    (optjs.select(pool, budget, prior), mvjs.select(pool, budget, prior))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jury_model::{paper_example_pool, GaussianWorkerGenerator};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn optjs_reproduces_the_figure_1_table() {
+        let system = Optjs::paper_experiments();
+        let table = system.budget_quality_table(
+            &paper_example_pool(),
+            &[5.0, 10.0, 15.0, 20.0],
+            Prior::uniform(),
+        );
+        let qualities: Vec<f64> = table.rows().iter().map(|r| r.quality).collect();
+        let expected = [0.75, 0.80, 0.845, 0.8695];
+        for (got, want) in qualities.iter().zip(expected.iter()) {
+            assert!((got - want).abs() < 1e-9, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn optjs_selection_outcome_is_consistent() {
+        let system = Optjs::paper_experiments();
+        let outcome = system.select(&paper_example_pool(), 15.0, Prior::uniform());
+        assert_eq!(outcome.system, SystemKind::Optjs);
+        assert!((outcome.estimated_quality - 0.845).abs() < 1e-9);
+        assert!((outcome.cost - 14.0).abs() < 1e-9);
+        assert_eq!(outcome.worker_ids(), vec![WorkerId(1), WorkerId(2), WorkerId(6)]);
+        // The reported estimate matches re-evaluating the jury with the
+        // system's engine.
+        let engine = system.jq_engine();
+        let recheck = engine.bv_jq(&outcome.jury, Prior::uniform()).value;
+        assert!((recheck - outcome.estimated_quality).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mvjs_selects_under_mv_and_is_dominated() {
+        let optjs = Optjs::paper_experiments();
+        let mvjs = Mvjs::new(SystemConfig::paper_experiments());
+        for budget in [10.0, 15.0, 20.0] {
+            let (o, m) = compare_systems(&optjs, &mvjs, &paper_example_pool(), budget, Prior::uniform());
+            assert_eq!(m.system, SystemKind::Mvjs);
+            assert!(
+                o.estimated_quality >= m.estimated_quality - 1e-9,
+                "budget {budget}: OPTJS {} < MVJS {}",
+                o.estimated_quality,
+                m.estimated_quality
+            );
+            assert!(o.cost <= budget + 1e-9);
+            assert!(m.cost <= budget + 1e-9);
+        }
+    }
+
+    #[test]
+    fn systems_scale_to_the_synthetic_default_pool() {
+        // The synthetic default: N = 50 workers, B = 0.5 (Section 6.1.1),
+        // solved with the fast test configuration.
+        let generator = GaussianWorkerGenerator::paper_defaults();
+        let mut rng = StdRng::seed_from_u64(123);
+        let pool = generator.generate(50, &mut rng);
+        let optjs = Optjs::new(SystemConfig::fast());
+        let mvjs = Mvjs::new(SystemConfig::fast());
+        let (o, m) = compare_systems(&optjs, &mvjs, &pool, 0.5, Prior::uniform());
+        assert!(o.estimated_quality >= m.estimated_quality - 0.01,
+            "OPTJS {} vs MVJS {}", o.estimated_quality, m.estimated_quality);
+        assert!(o.estimated_quality > 0.8);
+        assert!(o.cost <= 0.5 + 1e-9);
+        assert!(m.cost <= 0.5 + 1e-9);
+    }
+
+    #[test]
+    fn prior_changes_the_selection_quality() {
+        let system = Optjs::paper_experiments();
+        let uniform = system.select(&paper_example_pool(), 10.0, Prior::uniform());
+        let confident = system.select(&paper_example_pool(), 10.0, Prior::new(0.9).unwrap());
+        // A confident prior acts as an extra high-quality worker (Theorem 3),
+        // so the achievable quality can only go up.
+        assert!(confident.estimated_quality >= uniform.estimated_quality - 1e-9);
+    }
+
+    #[test]
+    fn system_kind_display() {
+        assert_eq!(SystemKind::Optjs.to_string(), "OPTJS");
+        assert_eq!(SystemKind::Mvjs.to_string(), "MVJS");
+    }
+}

@@ -1,0 +1,508 @@
+//! The simulated-annealing JSP heuristic (Algorithms 3 and 4 of the paper).
+//!
+//! JSP is NP-hard even with a polynomial JQ oracle (Theorem 4), so the paper
+//! uses simulated annealing with a swap-based local neighbourhood:
+//!
+//! * Start from the empty jury with temperature `T = 1`.
+//! * While `T ≥ ε`: perform `N` local searches, each picking a random worker
+//!   `r`. If `r` is unselected and affordable, select it (adding a worker
+//!   never hurts, by Lemma 1). Otherwise attempt a **swap** between a
+//!   selected and an unselected worker: the swap is accepted if it does not
+//!   decrease the objective, or with probability `exp(Δ/T)` when it does
+//!   (the Boltzmann acceptance rule).
+//! * Halve `T` and repeat.
+//!
+//! One practical limitation of Algorithm 3 as written is that the jury's
+//! cardinality never decreases: workers are only added or swapped one-for-one,
+//! so a run that greedily fills the budget with cheap workers can be unable
+//! to reach an optimum that uses fewer, more expensive workers. The paper's
+//! evaluation (Table 3) reports occasional errors of up to 3 % consistent
+//! with this. To keep the solver dependable on such instances this
+//! implementation adds two engineering refinements, both configurable and
+//! both off-by-default-able for ablations: independent restarts with
+//! different random orders, and considering the two greedy juries
+//! (top-quality and quality-per-cost) as additional candidate solutions. The
+//! best jury over all candidates is returned.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use jury_model::{Jury, Worker};
+
+use crate::objective::JuryObjective;
+use crate::problem::JspInstance;
+use crate::solver::{JurySolver, SolverResult};
+
+/// Configuration of the simulated-annealing search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnnealingConfig {
+    /// Initial temperature `T` (the paper uses 1.0).
+    pub initial_temperature: f64,
+    /// Stop once the temperature drops below this value (the paper uses
+    /// `ε = 10⁻⁸`, i.e. 27 cooling steps).
+    pub epsilon: f64,
+    /// Multiplicative cooling factor applied after each sweep (the paper
+    /// halves the temperature).
+    pub cooling_factor: f64,
+    /// RNG seed, so experiments are reproducible.
+    pub seed: u64,
+    /// Number of independent annealing runs (each with its own random
+    /// insertion order); the best result is kept. `1` reproduces the paper's
+    /// single-run heuristic.
+    pub restarts: usize,
+    /// Whether to also evaluate the greedy top-quality and quality-per-cost
+    /// juries as candidate solutions.
+    pub use_greedy_candidates: bool,
+}
+
+impl Default for AnnealingConfig {
+    fn default() -> Self {
+        AnnealingConfig {
+            initial_temperature: 1.0,
+            epsilon: 1e-8,
+            cooling_factor: 0.5,
+            seed: 0x5EED,
+            restarts: 4,
+            use_greedy_candidates: true,
+        }
+    }
+}
+
+impl AnnealingConfig {
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the stopping temperature `ε`.
+    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon.max(f64::MIN_POSITIVE);
+        self
+    }
+
+    /// Sets the cooling factor (must be in `(0, 1)`).
+    pub fn with_cooling_factor(mut self, factor: f64) -> Self {
+        assert!((0.0..1.0).contains(&factor), "cooling factor must be in (0, 1)");
+        self.cooling_factor = factor;
+        self
+    }
+
+    /// Sets the number of independent restarts (at least one).
+    pub fn with_restarts(mut self, restarts: usize) -> Self {
+        self.restarts = restarts.max(1);
+        self
+    }
+
+    /// Enables or disables the greedy candidate juries.
+    pub fn with_greedy_candidates(mut self, enabled: bool) -> Self {
+        self.use_greedy_candidates = enabled;
+        self
+    }
+
+    /// The paper's plain single-run heuristic: one annealing run, no greedy
+    /// candidates. Used by the Figure 7 ablation.
+    pub fn paper_single_run() -> Self {
+        AnnealingConfig::default().with_restarts(1).with_greedy_candidates(false)
+    }
+
+    /// Number of cooling sweeps this configuration performs.
+    pub fn num_sweeps(&self) -> usize {
+        let mut t = self.initial_temperature;
+        let mut sweeps = 0;
+        while t >= self.epsilon && sweeps < 10_000 {
+            sweeps += 1;
+            t *= self.cooling_factor;
+        }
+        sweeps
+    }
+}
+
+/// The simulated-annealing JSP solver (Algorithm 3), generic over the
+/// objective so it serves both OPTJS (`JQ(BV)`) and the MVJS baseline
+/// (`JQ(MV)`).
+pub struct AnnealingSolver<O: JuryObjective> {
+    objective: O,
+    config: AnnealingConfig,
+}
+
+/// Mutable search state: selection flags, the selected jury, and its cost
+/// (the `X`, `Ĵ`, `H`, `M` variables of Algorithm 3).
+struct SearchState {
+    selected: Vec<bool>,
+    jury_members: Vec<Worker>,
+    spent: f64,
+    current_value: Option<f64>,
+}
+
+impl SearchState {
+    fn new(n: usize) -> Self {
+        SearchState { selected: vec![false; n], jury_members: Vec::new(), spent: 0.0, current_value: None }
+    }
+
+    fn jury(&self) -> Jury {
+        Jury::new(self.jury_members.clone())
+    }
+
+    fn selected_indices(&self) -> Vec<usize> {
+        self.selected.iter().enumerate().filter(|(_, &s)| s).map(|(i, _)| i).collect()
+    }
+
+    fn unselected_indices(&self) -> Vec<usize> {
+        self.selected.iter().enumerate().filter(|(_, &s)| !s).map(|(i, _)| i).collect()
+    }
+
+    fn add(&mut self, index: usize, worker: &Worker) {
+        self.selected[index] = true;
+        self.jury_members.push(worker.clone());
+        self.spent += worker.cost();
+        self.current_value = None;
+    }
+
+    fn swap(&mut self, out_index: usize, out_worker: &Worker, in_index: usize, in_worker: &Worker) {
+        self.selected[out_index] = false;
+        self.selected[in_index] = true;
+        self.jury_members.retain(|w| w.id() != out_worker.id());
+        self.jury_members.push(in_worker.clone());
+        self.spent += in_worker.cost() - out_worker.cost();
+        self.current_value = None;
+    }
+}
+
+impl<O: JuryObjective> AnnealingSolver<O> {
+    /// Creates a solver with the default (paper) configuration.
+    pub fn new(objective: O) -> Self {
+        AnnealingSolver { objective, config: AnnealingConfig::default() }
+    }
+
+    /// Creates a solver with a custom configuration.
+    pub fn with_config(objective: O, config: AnnealingConfig) -> Self {
+        AnnealingSolver { objective, config }
+    }
+
+    /// The annealing configuration.
+    pub fn config(&self) -> &AnnealingConfig {
+        &self.config
+    }
+
+    /// The underlying objective.
+    pub fn objective(&self) -> &O {
+        &self.objective
+    }
+
+    fn current_value(&self, state: &mut SearchState, instance: &JspInstance) -> f64 {
+        if let Some(v) = state.current_value {
+            return v;
+        }
+        let v = self.objective.evaluate(&state.jury(), instance.prior());
+        state.current_value = Some(v);
+        v
+    }
+
+    /// One call of Algorithm 4: attempt to swap worker `r` with a randomly
+    /// chosen counterpart on the other side of the selection.
+    fn try_swap(
+        &self,
+        state: &mut SearchState,
+        instance: &JspInstance,
+        r: usize,
+        temperature: f64,
+        rng: &mut StdRng,
+    ) {
+        let workers = instance.pool().workers();
+        // Decide which worker leaves (`a`) and which enters (`b`).
+        let (out_index, in_index) = if !state.selected[r] {
+            let selected = state.selected_indices();
+            if selected.is_empty() {
+                return;
+            }
+            (selected[rng.gen_range(0..selected.len())], r)
+        } else {
+            let unselected = state.unselected_indices();
+            if unselected.is_empty() {
+                return;
+            }
+            (r, unselected[rng.gen_range(0..unselected.len())])
+        };
+        let out_worker = &workers[out_index];
+        let in_worker = &workers[in_index];
+        if state.spent - out_worker.cost() + in_worker.cost() > instance.budget() + 1e-12 {
+            return;
+        }
+
+        let current = self.current_value(state, instance);
+        let mut candidate_members: Vec<Worker> = state
+            .jury_members
+            .iter()
+            .filter(|w| w.id() != out_worker.id())
+            .cloned()
+            .collect();
+        candidate_members.push(in_worker.clone());
+        let candidate_value =
+            self.objective.evaluate(&Jury::new(candidate_members), instance.prior());
+        let delta = candidate_value - current;
+
+        let accept = delta >= 0.0 || rng.gen::<f64>() <= (delta / temperature).exp();
+        if accept {
+            state.swap(out_index, out_worker, in_index, in_worker);
+            state.current_value = Some(candidate_value);
+        }
+    }
+}
+
+impl<O: JuryObjective> AnnealingSolver<O> {
+    /// One run of the paper's Algorithm 3, starting from the empty jury.
+    fn anneal_once(&self, instance: &JspInstance, seed: u64) -> (Jury, f64) {
+        let n = instance.num_candidates();
+        let workers = instance.pool().workers();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut state = SearchState::new(n);
+
+        if n > 0 {
+            let mut temperature = self.config.initial_temperature;
+            while temperature >= self.config.epsilon {
+                for _ in 0..n {
+                    let r = rng.gen_range(0..n);
+                    if !state.selected[r]
+                        && state.spent + workers[r].cost() <= instance.budget() + 1e-12
+                    {
+                        // Adding an affordable worker never hurts (Lemma 1).
+                        state.add(r, &workers[r]);
+                    } else {
+                        self.try_swap(&mut state, instance, r, temperature, &mut rng);
+                    }
+                }
+                temperature *= self.config.cooling_factor;
+            }
+        }
+
+        let jury = state.jury();
+        let value = state
+            .current_value
+            .unwrap_or_else(|| self.objective.evaluate(&jury, instance.prior()));
+        (jury, value)
+    }
+
+    /// The greedy candidate juries: top-quality-first and
+    /// best-log-odds-per-cost-first fills of the budget.
+    fn greedy_candidates(&self, instance: &JspInstance) -> Vec<Jury> {
+        let budget = instance.budget();
+        let mut by_quality = instance.pool().workers().to_vec();
+        by_quality.sort_by(|a, b| {
+            b.effective_quality()
+                .partial_cmp(&a.effective_quality())
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.id().cmp(&b.id()))
+        });
+        let mut by_ratio = instance.pool().workers().to_vec();
+        by_ratio.sort_by(|a, b| {
+            let ra = a.log_odds() / a.cost().max(1e-9);
+            let rb = b.log_odds() / b.cost().max(1e-9);
+            rb.partial_cmp(&ra).unwrap_or(std::cmp::Ordering::Equal).then_with(|| a.id().cmp(&b.id()))
+        });
+        [by_quality, by_ratio]
+            .into_iter()
+            .map(|order| {
+                let mut jury = Jury::empty();
+                let mut spent = 0.0;
+                for worker in order {
+                    if spent + worker.cost() <= budget + 1e-12 {
+                        spent += worker.cost();
+                        jury.push(worker);
+                    }
+                }
+                jury
+            })
+            .collect()
+    }
+}
+
+impl<O: JuryObjective> JurySolver for AnnealingSolver<O> {
+    fn name(&self) -> &'static str {
+        "simulated-annealing"
+    }
+
+    fn solve(&self, instance: &JspInstance) -> SolverResult {
+        let start = Instant::now();
+        let evaluations_before = self.objective.evaluations();
+
+        let mut best_jury = Jury::empty();
+        let mut best_value = self.objective.evaluate(&best_jury, instance.prior());
+
+        for restart in 0..self.config.restarts.max(1) {
+            let (jury, value) =
+                self.anneal_once(instance, self.config.seed.wrapping_add(restart as u64));
+            if value > best_value {
+                best_value = value;
+                best_jury = jury;
+            }
+        }
+
+        if self.config.use_greedy_candidates {
+            for jury in self.greedy_candidates(instance) {
+                let value = self.objective.evaluate(&jury, instance.prior());
+                if value > best_value {
+                    best_value = value;
+                    best_jury = jury;
+                }
+            }
+        }
+
+        SolverResult {
+            jury: best_jury,
+            objective_value: best_value,
+            evaluations: self.objective.evaluations() - evaluations_before,
+            elapsed: start.elapsed(),
+            solver: self.name(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exhaustive::ExhaustiveSolver;
+    use crate::objective::{BvObjective, MvObjective};
+    use jury_model::{paper_example_pool, GaussianWorkerGenerator, Prior};
+
+    fn paper_instance(budget: f64) -> JspInstance {
+        JspInstance::with_uniform_prior(paper_example_pool(), budget).unwrap()
+    }
+
+    #[test]
+    fn config_builder_and_sweep_count() {
+        let config = AnnealingConfig::default();
+        // T halves from 1.0 down to 1e-8: 27 sweeps.
+        assert_eq!(config.num_sweeps(), 27);
+        let fast = AnnealingConfig::default().with_epsilon(1e-2).with_cooling_factor(0.25);
+        assert_eq!(fast.num_sweeps(), 4);
+        assert_eq!(AnnealingConfig::default().with_seed(7).seed, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "cooling factor")]
+    fn invalid_cooling_factor_rejected() {
+        let _ = AnnealingConfig::default().with_cooling_factor(1.5);
+    }
+
+    #[test]
+    fn results_are_feasible_and_reproducible() {
+        let instance = paper_instance(14.0);
+        let a = AnnealingSolver::new(BvObjective::new()).solve(&instance);
+        let b = AnnealingSolver::new(BvObjective::new()).solve(&instance);
+        assert!(instance.is_feasible(&a.jury));
+        assert_eq!(a.jury.ids(), b.jury.ids(), "same seed must give the same jury");
+        assert!(a.evaluations > 0);
+    }
+
+    #[test]
+    fn matches_the_exhaustive_optimum_on_the_paper_pool() {
+        // On the 7-worker example the heuristic should find the optimum for
+        // every budget of the Figure 1 table.
+        for budget in [5.0, 10.0, 15.0, 20.0] {
+            let instance = paper_instance(budget);
+            let optimal = ExhaustiveSolver::new(BvObjective::new()).solve(&instance);
+            let annealed = AnnealingSolver::new(BvObjective::new()).solve(&instance);
+            assert!(
+                annealed.objective_value >= optimal.objective_value - 0.02,
+                "budget {budget}: annealing {} vs optimal {}",
+                annealed.objective_value,
+                optimal.objective_value
+            );
+            assert!(annealed.objective_value <= optimal.objective_value + 1e-9);
+        }
+    }
+
+    #[test]
+    fn restarts_and_greedy_candidates_help_on_hard_instances() {
+        // A pool designed to trap the plain single-run heuristic: one
+        // excellent expensive worker and many cheap mediocre ones. Once any
+        // cheap worker is added the expensive one no longer fits, and
+        // Algorithm 3 cannot shrink the jury to recover.
+        let mut qualities = vec![0.93];
+        let mut costs = vec![0.9];
+        for _ in 0..8 {
+            qualities.push(0.55);
+            costs.push(0.12);
+        }
+        let pool =
+            jury_model::WorkerPool::from_qualities_and_costs(&qualities, &costs).unwrap();
+        let instance = JspInstance::with_uniform_prior(pool, 0.95).unwrap();
+        let optimal = ExhaustiveSolver::new(BvObjective::new()).solve(&instance);
+        let robust = AnnealingSolver::new(BvObjective::new()).solve(&instance);
+        assert!(
+            robust.objective_value >= optimal.objective_value - 1e-9,
+            "robust solver {} vs optimal {}",
+            robust.objective_value,
+            optimal.objective_value
+        );
+        // The plain paper configuration may or may not find it; it must at
+        // least stay feasible and never beat the optimum.
+        let plain = AnnealingSolver::with_config(
+            BvObjective::new(),
+            AnnealingConfig::paper_single_run(),
+        )
+        .solve(&instance);
+        assert!(instance.is_feasible(&plain.jury));
+        assert!(plain.objective_value <= optimal.objective_value + 1e-9);
+    }
+
+    #[test]
+    fn stays_close_to_optimal_on_random_pools() {
+        // Figure 7(a): N = 11, budgets in [0.05, 0.5]; the returned JQ nearly
+        // coincides with the optimum.
+        let generator = GaussianWorkerGenerator::paper_defaults();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        for trial in 0..5 {
+            let pool = generator.generate(11, &mut rng);
+            let budget = 0.05 + 0.1 * trial as f64;
+            let instance = JspInstance::new(pool, budget, Prior::uniform()).unwrap();
+            let optimal = ExhaustiveSolver::new(BvObjective::new()).solve(&instance);
+            let annealed = AnnealingSolver::new(BvObjective::new()).solve(&instance);
+            let gap = optimal.objective_value - annealed.objective_value;
+            assert!(gap <= 0.03 && gap >= -1e-9, "trial {trial}: gap {gap} too large");
+            assert!(instance.is_feasible(&annealed.jury));
+        }
+    }
+
+    #[test]
+    fn works_with_the_mv_objective_too() {
+        let instance = paper_instance(20.0);
+        let annealed = AnnealingSolver::new(MvObjective::new()).solve(&instance);
+        let optimal = ExhaustiveSolver::new(MvObjective::new()).solve(&instance);
+        assert!(annealed.objective_value <= optimal.objective_value + 1e-9);
+        assert!(annealed.objective_value >= optimal.objective_value - 0.05);
+    }
+
+    #[test]
+    fn empty_pool_returns_empty_jury() {
+        let instance =
+            JspInstance::with_uniform_prior(jury_model::WorkerPool::new(), 1.0).unwrap();
+        let result = AnnealingSolver::new(BvObjective::new()).solve(&instance);
+        assert!(result.jury.is_empty());
+        assert!((result.objective_value - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_budget_returns_empty_jury() {
+        let instance = paper_instance(0.0);
+        let result = AnnealingSolver::new(BvObjective::new()).solve(&instance);
+        assert!(result.jury.is_empty());
+    }
+
+    #[test]
+    fn different_seeds_explore_but_remain_feasible() {
+        let instance = paper_instance(12.0);
+        for seed in 0..5u64 {
+            let solver = AnnealingSolver::with_config(
+                BvObjective::new(),
+                AnnealingConfig::default().with_seed(seed),
+            );
+            let result = solver.solve(&instance);
+            assert!(instance.is_feasible(&result.jury), "seed {seed}");
+            assert!(result.objective_value >= 0.5);
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! The budget–quality table of the Optimal Jury Selection System (Figure 1).
+//!
+//! For a list of candidate budgets, the system solves JSP at each budget and
+//! reports the optimal jury, its estimated jury quality, and the budget the
+//! jury actually requires. The task provider reads the table to pick the
+//! budget–quality trade-off she is comfortable with (e.g. in Figure 1 the
+//! jump from 15 to 20 units buys only ≈2.5 % quality, so she settles for the
+//! 14-unit jury `{B, C, G}`).
+
+use serde::{Deserialize, Serialize};
+
+use jury_model::{Prior, WorkerId, WorkerPool};
+
+use crate::problem::JspInstance;
+use crate::solver::JurySolver;
+
+/// One row of the budget–quality table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BudgetQualityRow {
+    /// The budget offered to the solver.
+    pub budget: f64,
+    /// The ids of the selected jury members.
+    pub jury: Vec<WorkerId>,
+    /// The estimated jury quality of the selected jury.
+    pub quality: f64,
+    /// The budget the selected jury actually requires (its jury cost).
+    pub required_budget: f64,
+}
+
+/// The full budget–quality table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BudgetQualityTable {
+    rows: Vec<BudgetQualityRow>,
+}
+
+impl BudgetQualityTable {
+    /// Builds the table by solving JSP once per budget with the given solver.
+    pub fn build<S: JurySolver>(
+        pool: &WorkerPool,
+        budgets: &[f64],
+        prior: Prior,
+        solver: &S,
+    ) -> Self {
+        let rows = budgets
+            .iter()
+            .map(|&budget| {
+                let instance = JspInstance::new(pool.clone(), budget, prior)
+                    .expect("budgets are validated by the caller");
+                let result = solver.solve(&instance);
+                let mut jury = result.jury.ids();
+                jury.sort();
+                BudgetQualityRow {
+                    budget,
+                    jury,
+                    quality: result.objective_value,
+                    required_budget: result.jury.cost(),
+                }
+            })
+            .collect();
+        BudgetQualityTable { rows }
+    }
+
+    /// The table rows, in the order of the requested budgets.
+    pub fn rows(&self) -> &[BudgetQualityRow] {
+        &self.rows
+    }
+
+    /// The row with the smallest budget whose quality reaches `target`, if
+    /// any — "how much do I have to pay for 85 %?".
+    pub fn cheapest_reaching(&self, target: f64) -> Option<&BudgetQualityRow> {
+        self.rows
+            .iter()
+            .filter(|r| r.quality >= target)
+            .min_by(|a, b| a.required_budget.partial_cmp(&b.required_budget).unwrap())
+    }
+
+    /// The marginal quality gained per row relative to the previous row —
+    /// the quantity the task provider eyeballs to decide when to stop paying.
+    pub fn marginal_gains(&self) -> Vec<f64> {
+        let mut gains = Vec::with_capacity(self.rows.len());
+        for (i, row) in self.rows.iter().enumerate() {
+            if i == 0 {
+                gains.push(row.quality);
+            } else {
+                gains.push(row.quality - self.rows[i - 1].quality);
+            }
+        }
+        gains
+    }
+
+    /// Renders the table as fixed-width text, mirroring Figure 1's layout.
+    pub fn render(&self) -> String {
+        let mut out = String::from("Budget | Optimal Jury Set        | Quality | Required\n");
+        out.push_str("-------+-------------------------+---------+---------\n");
+        for row in &self.rows {
+            let jury: Vec<String> = row.jury.iter().map(|id| id.to_string()).collect();
+            out.push_str(&format!(
+                "{:>6.2} | {:<23} | {:>6.2}% | {:>7.2}\n",
+                row.budget,
+                format!("{{{}}}", jury.join(", ")),
+                row.quality * 100.0,
+                row.required_budget
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exhaustive::ExhaustiveSolver;
+    use crate::objective::BvObjective;
+    use jury_model::paper_example_pool;
+
+    fn figure_1_table() -> BudgetQualityTable {
+        let solver = ExhaustiveSolver::new(BvObjective::new());
+        BudgetQualityTable::build(
+            &paper_example_pool(),
+            &[5.0, 10.0, 15.0, 20.0],
+            Prior::uniform(),
+            &solver,
+        )
+    }
+
+    #[test]
+    fn reproduces_the_figure_1_qualities() {
+        let table = figure_1_table();
+        let qualities: Vec<f64> = table.rows().iter().map(|r| r.quality).collect();
+        let expected = [0.75, 0.80, 0.845, 0.8695];
+        for (got, want) in qualities.iter().zip(expected.iter()) {
+            assert!((got - want).abs() < 1e-9, "{got} vs {want}");
+        }
+        // Required budgets never exceed the offered budgets.
+        for row in table.rows() {
+            assert!(row.required_budget <= row.budget + 1e-9);
+        }
+        // The 15-unit row needs only 14 units, as Figure 1 highlights.
+        assert!((table.rows()[2].required_budget - 14.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn qualities_are_monotone_in_budget() {
+        let table = figure_1_table();
+        let mut prev = 0.0;
+        for row in table.rows() {
+            assert!(row.quality >= prev - 1e-12);
+            prev = row.quality;
+        }
+    }
+
+    #[test]
+    fn cheapest_reaching_a_target() {
+        let table = figure_1_table();
+        let row = table.cheapest_reaching(0.84).unwrap();
+        assert!((row.required_budget - 14.0).abs() < 1e-9);
+        assert!(table.cheapest_reaching(0.99).is_none());
+    }
+
+    #[test]
+    fn marginal_gains_match_figure_1s_argument() {
+        let table = figure_1_table();
+        let gains = table.marginal_gains();
+        assert_eq!(gains.len(), 4);
+        // Moving from budget 15 to budget 20 buys ≈2.45 % — the increase the
+        // paper's task provider deems not worthwhile.
+        assert!((gains[3] - 0.0245).abs() < 1e-9);
+    }
+
+    #[test]
+    fn render_produces_one_line_per_row() {
+        let table = figure_1_table();
+        let text = table.render();
+        assert_eq!(text.lines().count(), 2 + table.rows().len());
+        assert!(text.contains('%'));
+    }
+}

@@ -1,0 +1,195 @@
+//! Exhaustive JSP solver: enumerate every feasible jury and keep the best.
+//!
+//! Exponential in the pool size (JSP is NP-hard, Theorem 4), but exact; it is
+//! the reference the simulated-annealing heuristic is measured against in
+//! Figure 7(a) / Table 3, where the paper fixes `N = 11` precisely so that
+//! this enumeration stays tractable.
+
+use std::time::Instant;
+
+use jury_model::Jury;
+
+use crate::objective::JuryObjective;
+use crate::problem::JspInstance;
+use crate::solver::{JurySolver, SolverResult};
+
+/// Largest pool size accepted by the exhaustive solver (2^22 subsets).
+pub const MAX_EXHAUSTIVE_POOL: usize = 22;
+
+/// The exhaustive (exact) solver.
+pub struct ExhaustiveSolver<O: JuryObjective> {
+    objective: O,
+}
+
+impl<O: JuryObjective> ExhaustiveSolver<O> {
+    /// Creates the solver around an objective.
+    pub fn new(objective: O) -> Self {
+        ExhaustiveSolver { objective }
+    }
+
+    /// The underlying objective.
+    pub fn objective(&self) -> &O {
+        &self.objective
+    }
+}
+
+impl<O: JuryObjective> JurySolver for ExhaustiveSolver<O> {
+    fn name(&self) -> &'static str {
+        "exhaustive"
+    }
+
+    fn solve(&self, instance: &JspInstance) -> SolverResult {
+        let n = instance.num_candidates();
+        assert!(
+            n <= MAX_EXHAUSTIVE_POOL,
+            "exhaustive JSP is limited to {MAX_EXHAUSTIVE_POOL} candidates (got {n})"
+        );
+        let start = Instant::now();
+        let evaluations_before = self.objective.evaluations();
+        let workers = instance.pool().workers();
+        let budget = instance.budget();
+        let prior = instance.prior();
+
+        let mut best_jury = Jury::empty();
+        let mut best_value = self.objective.evaluate(&best_jury, prior);
+
+        // Enumerate subsets by bitmask with a cheap cost pre-filter; Lemma 1
+        // (monotonicity in jury size) means dominated subsets could be
+        // skipped, but at N ≤ 22 the straightforward sweep is already fast
+        // and keeps the solver exact for any objective, monotone or not.
+        for mask in 1u32..(1u32 << n) {
+            let mut cost = 0.0;
+            for (i, worker) in workers.iter().enumerate() {
+                if (mask >> i) & 1 == 1 {
+                    cost += worker.cost();
+                }
+            }
+            if cost > budget + 1e-12 {
+                continue;
+            }
+            let members: Vec<_> = workers
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| (mask >> i) & 1 == 1)
+                .map(|(_, w)| w.clone())
+                .collect();
+            let jury = Jury::new(members);
+            let value = self.objective.evaluate(&jury, prior);
+            if value > best_value + 1e-15 {
+                best_value = value;
+                best_jury = jury;
+            }
+        }
+
+        SolverResult {
+            jury: best_jury,
+            objective_value: best_value,
+            evaluations: self.objective.evaluations() - evaluations_before,
+            elapsed: start.elapsed(),
+            solver: self.name(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::{BvObjective, MvObjective};
+    use jury_model::{paper_example_pool, Prior, WorkerId, WorkerPool};
+
+    fn paper_instance(budget: f64) -> JspInstance {
+        JspInstance::with_uniform_prior(paper_example_pool(), budget).unwrap()
+    }
+
+    #[test]
+    fn finds_the_figure_1_optimal_juries() {
+        // Figure 1's budget-quality table (under BV): budget 5 → 75 % (e.g.
+        // {F, G}), budget 10 → 80 % (e.g. {C, G}). Several juries tie at
+        // those qualities (a single 0.75 or 0.80 worker achieves the same
+        // JQ), so only the optimal value is asserted.
+        let solver = ExhaustiveSolver::new(BvObjective::new());
+
+        let result = solver.solve(&paper_instance(5.0));
+        assert!((result.objective_value - 0.75).abs() < 1e-9);
+        assert!(result.cost() <= 5.0 + 1e-9);
+
+        let result = solver.solve(&paper_instance(10.0));
+        assert!((result.objective_value - 0.80).abs() < 1e-9);
+        assert!(result.cost() <= 10.0 + 1e-9);
+    }
+
+    #[test]
+    fn figure_1_budget_15_and_20() {
+        let solver = ExhaustiveSolver::new(BvObjective::new());
+        // Budget 15 → {B, C, G} at 84.5 % costing 14.
+        let result = solver.solve(&paper_instance(15.0));
+        let mut ids = result.jury.ids();
+        ids.sort();
+        assert_eq!(ids, vec![WorkerId(1), WorkerId(2), WorkerId(6)]);
+        assert!((result.objective_value - 0.845).abs() < 1e-9);
+        assert!((result.cost() - 14.0).abs() < 1e-9);
+        // Budget 20 → 86.95 % ({A, C, F, G} in the paper, costing 20).
+        let result = solver.solve(&paper_instance(20.0));
+        assert!((result.objective_value - 0.8695).abs() < 1e-9);
+        assert!(result.cost() <= 20.0 + 1e-9);
+    }
+
+    #[test]
+    fn zero_budget_returns_the_empty_jury() {
+        let solver = ExhaustiveSolver::new(BvObjective::new());
+        let result = solver.solve(&paper_instance(0.0));
+        assert!(result.jury.is_empty());
+        assert!((result.objective_value - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mv_objective_selects_a_possibly_different_jury() {
+        // The introduction's point: under MV the best feasible jury at
+        // B = 20 is {A, C, G}, whose MV quality is 86.95 %; the BV-optimal
+        // jury ({A, C, F, G}) achieves at least as much under BV.
+        let solver = ExhaustiveSolver::new(MvObjective::new());
+        let result = solver.solve(&paper_instance(20.0));
+        assert!((result.objective_value - 0.8695).abs() < 1e-9, "{}", result.objective_value);
+        assert!(result.cost() <= 20.0 + 1e-9);
+        let bv = ExhaustiveSolver::new(BvObjective::new()).solve(&paper_instance(20.0));
+        assert!(bv.objective_value >= result.objective_value - 1e-12);
+    }
+
+    #[test]
+    fn respects_budget_feasibility() {
+        let solver = ExhaustiveSolver::new(BvObjective::new());
+        for budget in [3.0, 8.0, 14.0, 25.0, 37.0] {
+            let instance = paper_instance(budget);
+            let result = solver.solve(&instance);
+            assert!(instance.is_feasible(&result.jury), "budget {budget}");
+        }
+    }
+
+    #[test]
+    fn unlimited_budget_selects_every_worker() {
+        // Lemma 1: with the whole pool affordable, all workers are chosen.
+        let solver = ExhaustiveSolver::new(BvObjective::new());
+        let result = solver.solve(&paper_instance(37.0));
+        assert_eq!(result.size(), 7);
+    }
+
+    #[test]
+    fn counts_evaluations() {
+        let pool = WorkerPool::from_qualities_and_costs(&[0.7, 0.8], &[1.0, 1.0]).unwrap();
+        let instance = JspInstance::new(pool, 2.0, Prior::uniform()).unwrap();
+        let solver = ExhaustiveSolver::new(BvObjective::new());
+        let result = solver.solve(&instance);
+        // Empty + 3 non-empty subsets.
+        assert_eq!(result.evaluations, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "limited")]
+    fn oversized_pool_panics() {
+        let qualities = vec![0.7; 23];
+        let costs = vec![1.0; 23];
+        let pool = WorkerPool::from_qualities_and_costs(&qualities, &costs).unwrap();
+        let instance = JspInstance::with_uniform_prior(pool, 5.0).unwrap();
+        let _ = ExhaustiveSolver::new(BvObjective::new()).solve(&instance);
+    }
+}

@@ -1,0 +1,175 @@
+//! Greedy JSP heuristics.
+//!
+//! Two natural baselines bracket the simulated-annealing heuristic:
+//!
+//! * [`GreedyQualitySolver`] — walk the candidates in decreasing quality and
+//!   take every worker that still fits in the budget. This is optimal when
+//!   all costs are equal (Lemma 2) but can waste budget on expensive workers
+//!   otherwise.
+//! * [`GreedyRatioSolver`] — the knapsack-style heuristic: walk candidates in
+//!   decreasing information-per-cost, where a worker's "information" is her
+//!   log-odds weight `φ(max(q, 1 − q))`.
+//!
+//! Both also serve as cheap initial solutions for the annealing search.
+
+use std::time::Instant;
+
+use jury_model::{Jury, Worker};
+
+use crate::objective::JuryObjective;
+use crate::problem::JspInstance;
+use crate::solver::{JurySolver, SolverResult};
+
+/// Greedily adds workers in decreasing quality while the budget allows.
+pub struct GreedyQualitySolver<O: JuryObjective> {
+    objective: O,
+}
+
+impl<O: JuryObjective> GreedyQualitySolver<O> {
+    /// Creates the solver.
+    pub fn new(objective: O) -> Self {
+        GreedyQualitySolver { objective }
+    }
+}
+
+/// Greedily adds workers in decreasing `φ(q) / cost` ratio while the budget
+/// allows.
+pub struct GreedyRatioSolver<O: JuryObjective> {
+    objective: O,
+}
+
+impl<O: JuryObjective> GreedyRatioSolver<O> {
+    /// Creates the solver.
+    pub fn new(objective: O) -> Self {
+        GreedyRatioSolver { objective }
+    }
+}
+
+fn greedy_by_key<O, K>(
+    solver_name: &'static str,
+    objective: &O,
+    instance: &JspInstance,
+    key: K,
+) -> SolverResult
+where
+    O: JuryObjective,
+    K: Fn(&Worker) -> f64,
+{
+    let start = Instant::now();
+    let evaluations_before = objective.evaluations();
+    let mut candidates: Vec<Worker> = instance.pool().workers().to_vec();
+    candidates.sort_by(|a, b| {
+        key(b).partial_cmp(&key(a)).unwrap_or(std::cmp::Ordering::Equal).then_with(|| a.id().cmp(&b.id()))
+    });
+
+    let mut jury = Jury::empty();
+    let mut spent = 0.0;
+    for worker in candidates {
+        if spent + worker.cost() <= instance.budget() + 1e-12 {
+            spent += worker.cost();
+            jury.push(worker);
+        }
+    }
+    let value = objective.evaluate(&jury, instance.prior());
+    SolverResult {
+        jury,
+        objective_value: value,
+        evaluations: objective.evaluations() - evaluations_before,
+        elapsed: start.elapsed(),
+        solver: solver_name,
+    }
+}
+
+impl<O: JuryObjective> JurySolver for GreedyQualitySolver<O> {
+    fn name(&self) -> &'static str {
+        "greedy-quality"
+    }
+
+    fn solve(&self, instance: &JspInstance) -> SolverResult {
+        greedy_by_key(self.name(), &self.objective, instance, |w| w.effective_quality())
+    }
+}
+
+impl<O: JuryObjective> JurySolver for GreedyRatioSolver<O> {
+    fn name(&self) -> &'static str {
+        "greedy-ratio"
+    }
+
+    fn solve(&self, instance: &JspInstance) -> SolverResult {
+        greedy_by_key(self.name(), &self.objective, instance, |w| {
+            // Zero-cost workers are infinitely attractive; order them by
+            // quality among themselves.
+            let cost = w.cost().max(1e-9);
+            w.log_odds() / cost
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exhaustive::ExhaustiveSolver;
+    use crate::objective::BvObjective;
+    use jury_model::{paper_example_pool, WorkerPool};
+
+    fn paper_instance(budget: f64) -> JspInstance {
+        JspInstance::with_uniform_prior(paper_example_pool(), budget).unwrap()
+    }
+
+    #[test]
+    fn greedy_results_are_feasible() {
+        for budget in [0.0, 5.0, 12.0, 20.0, 37.0] {
+            let instance = paper_instance(budget);
+            let by_quality = GreedyQualitySolver::new(BvObjective::new()).solve(&instance);
+            let by_ratio = GreedyRatioSolver::new(BvObjective::new()).solve(&instance);
+            assert!(instance.is_feasible(&by_quality.jury), "quality greedy at {budget}");
+            assert!(instance.is_feasible(&by_ratio.jury), "ratio greedy at {budget}");
+        }
+    }
+
+    #[test]
+    fn greedy_is_dominated_by_exhaustive() {
+        for budget in [5.0, 10.0, 15.0, 20.0] {
+            let instance = paper_instance(budget);
+            let optimal = ExhaustiveSolver::new(BvObjective::new()).solve(&instance);
+            let by_quality = GreedyQualitySolver::new(BvObjective::new()).solve(&instance);
+            let by_ratio = GreedyRatioSolver::new(BvObjective::new()).solve(&instance);
+            assert!(by_quality.objective_value <= optimal.objective_value + 1e-9);
+            assert!(by_ratio.objective_value <= optimal.objective_value + 1e-9);
+        }
+    }
+
+    #[test]
+    fn greedy_quality_is_optimal_under_uniform_costs() {
+        // Lemma 2: with equal costs, taking the top-k workers by quality is
+        // optimal.
+        let pool = WorkerPool::from_qualities_and_costs(
+            &[0.9, 0.55, 0.7, 0.8, 0.6],
+            &[1.0, 1.0, 1.0, 1.0, 1.0],
+        )
+        .unwrap();
+        let instance = JspInstance::with_uniform_prior(pool, 3.0).unwrap();
+        let greedy = GreedyQualitySolver::new(BvObjective::new()).solve(&instance);
+        let optimal = ExhaustiveSolver::new(BvObjective::new()).solve(&instance);
+        assert!((greedy.objective_value - optimal.objective_value).abs() < 1e-9);
+        assert_eq!(greedy.size(), 3);
+    }
+
+    #[test]
+    fn ratio_greedy_prefers_cheap_informative_workers() {
+        // Worker G (0.75, $3) has a much better ratio than A (0.77, $9).
+        let instance = paper_instance(3.0);
+        let result = GreedyRatioSolver::new(BvObjective::new()).solve(&instance);
+        assert_eq!(result.size(), 1);
+        assert!((result.jury.workers()[0].quality() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_budget_gives_empty_jury() {
+        let instance = paper_instance(0.0);
+        let result = GreedyQualitySolver::new(BvObjective::new()).solve(&instance);
+        assert!(result.jury.is_empty());
+        assert!((result.objective_value - 0.5).abs() < 1e-12);
+        assert_eq!(result.evaluations, 1);
+    }
+}

@@ -1,0 +1,132 @@
+//! # jury-selection
+//!
+//! Solvers for the Jury Selection Problem (JSP) of *"On Optimality of Jury
+//! Selection in Crowdsourcing"* (EDBT 2015, Sections 2.2 and 5).
+//!
+//! Given a candidate worker pool, a budget, and a task prior, JSP asks for
+//! the feasible jury maximizing the jury quality under the optimal voting
+//! strategy (Bayesian voting, Theorem 1). JSP is NP-hard (Theorem 4), so the
+//! crate offers a spectrum of solvers:
+//!
+//! * [`ExhaustiveSolver`] — exact enumeration (the reference for `N ≤ 22`);
+//! * [`AnnealingSolver`] — the paper's simulated-annealing heuristic
+//!   (Algorithms 3 and 4), generic over the objective;
+//! * [`GreedyQualitySolver`] / [`GreedyRatioSolver`] — cheap baselines;
+//! * [`special::try_special_case`] — the closed-form cases of Lemmas 1 and 2;
+//! * [`MvjsSolver`] — the Majority-Voting baseline system of Cao et al. [7];
+//! * [`BudgetQualityTable`] — the Figure 1 budget–quality table.
+//!
+//! ```
+//! use jury_model::{paper_example_pool, Prior};
+//! use jury_selection::{AnnealingSolver, BvObjective, JspInstance, JurySolver};
+//!
+//! // The paper's running example: 7 workers, budget 15, uniform prior.
+//! let instance =
+//!     JspInstance::with_uniform_prior(paper_example_pool(), 15.0).unwrap();
+//! let result = AnnealingSolver::new(BvObjective::new()).solve(&instance);
+//! assert!(result.jury.cost() <= 15.0);
+//! assert!((result.objective_value - 0.845).abs() < 1e-6); // {B, C, G}
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod annealing;
+pub mod budget_table;
+pub mod exhaustive;
+pub mod greedy;
+pub mod mvjs;
+pub mod objective;
+pub mod problem;
+pub mod solver;
+pub mod special;
+
+pub use annealing::{AnnealingConfig, AnnealingSolver};
+pub use budget_table::{BudgetQualityRow, BudgetQualityTable};
+pub use exhaustive::{ExhaustiveSolver, MAX_EXHAUSTIVE_POOL};
+pub use greedy::{GreedyQualitySolver, GreedyRatioSolver};
+pub use mvjs::MvjsSolver;
+pub use objective::{BvObjective, JuryObjective, MvObjective};
+pub use problem::JspInstance;
+pub use solver::{JurySolver, SolverResult};
+pub use special::{try_special_case, SpecialCase};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use jury_model::{Prior, WorkerPool};
+    use proptest::prelude::*;
+
+    fn pool_strategy() -> impl Strategy<Value = WorkerPool> {
+        proptest::collection::vec(((0.5f64..0.95), (0.05f64..1.0)), 1..9).prop_map(|pairs| {
+            let (qualities, costs): (Vec<f64>, Vec<f64>) = pairs.into_iter().unzip();
+            WorkerPool::from_qualities_and_costs(&qualities, &costs).unwrap()
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Every solver returns a feasible jury and a JQ value in [0.5, 1].
+        #[test]
+        fn solvers_return_feasible_juries(pool in pool_strategy(), budget in 0.0f64..3.0) {
+            let instance = JspInstance::with_uniform_prior(pool, budget).unwrap();
+            let solvers: Vec<Box<dyn JurySolver>> = vec![
+                Box::new(ExhaustiveSolver::new(BvObjective::new())),
+                Box::new(AnnealingSolver::new(BvObjective::new())),
+                Box::new(GreedyQualitySolver::new(BvObjective::new())),
+                Box::new(GreedyRatioSolver::new(BvObjective::new())),
+                Box::new(MvjsSolver::new()),
+            ];
+            for solver in solvers {
+                let result = solver.solve(&instance);
+                prop_assert!(instance.is_feasible(&result.jury),
+                    "{} returned an infeasible jury", result.solver);
+                prop_assert!(result.objective_value >= 0.5 - 1e-9);
+                prop_assert!(result.objective_value <= 1.0 + 1e-9);
+            }
+        }
+
+        /// The heuristics never beat the exhaustive optimum, and annealing
+        /// lands close to it.
+        #[test]
+        fn annealing_close_to_optimal(pool in pool_strategy(), budget in 0.2f64..2.0) {
+            let instance = JspInstance::with_uniform_prior(pool, budget).unwrap();
+            let optimal = ExhaustiveSolver::new(BvObjective::new()).solve(&instance);
+            let annealed = AnnealingSolver::new(BvObjective::new()).solve(&instance);
+            prop_assert!(annealed.objective_value <= optimal.objective_value + 1e-9);
+            prop_assert!(optimal.objective_value - annealed.objective_value <= 0.1,
+                "gap {} too large", optimal.objective_value - annealed.objective_value);
+        }
+
+        /// The OPTJS objective value is never below the MVJS objective value
+        /// on the same instance (the system-level claim of Figure 6).
+        #[test]
+        fn optjs_dominates_mvjs(pool in pool_strategy(), budget in 0.2f64..2.0) {
+            let instance = JspInstance::with_uniform_prior(pool, budget).unwrap();
+            let optjs = ExhaustiveSolver::new(BvObjective::new()).solve(&instance);
+            let mvjs = MvjsSolver::new().solve(&instance);
+            prop_assert!(optjs.objective_value >= mvjs.objective_value - 1e-9,
+                "OPTJS {} below MVJS {}", optjs.objective_value, mvjs.objective_value);
+        }
+
+        /// When a special case applies, its closed-form jury matches the
+        /// exhaustive optimum.
+        #[test]
+        fn special_cases_are_optimal(
+            qualities in proptest::collection::vec(0.5f64..0.95, 1..8),
+            cost in 0.05f64..0.5,
+            budget in 0.0f64..3.0,
+        ) {
+            let costs = vec![cost; qualities.len()];
+            let pool = WorkerPool::from_qualities_and_costs(&qualities, &costs).unwrap();
+            let instance = JspInstance::with_uniform_prior(pool, budget).unwrap();
+            let (jury, _case) = try_special_case(&instance)
+                .expect("uniform costs always trigger a special case");
+            let objective = BvObjective::new();
+            let special_value = objective.evaluate(&jury, Prior::uniform());
+            let optimal = ExhaustiveSolver::new(BvObjective::new()).solve(&instance);
+            prop_assert!((special_value - optimal.objective_value).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Objectives: the quantity a JSP solver maximizes over feasible juries.
+//!
+//! OPTJS maximizes the jury quality under Bayesian voting (the optimal
+//! strategy, Theorem 1); the MVJS baseline of Cao et al. maximizes the jury
+//! quality under majority voting. Both are exposed behind one trait so the
+//! search algorithms (exhaustive, greedy, simulated annealing) are agnostic
+//! to the strategy being optimized — which is precisely the ablation the
+//! paper's Figure 6 performs.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use jury_model::{Jury, Prior};
+use jury_jq::{BucketJqConfig, JqEngine};
+
+/// An objective function over juries.
+pub trait JuryObjective: Send + Sync {
+    /// Short name used in reports (e.g. `"JQ(BV)"`).
+    fn name(&self) -> &'static str;
+
+    /// Evaluates the objective for a jury under the given prior. Larger is
+    /// better; values are jury qualities in `[0, 1]`.
+    fn evaluate(&self, jury: &Jury, prior: Prior) -> f64;
+
+    /// Number of evaluations performed so far (used to report search effort).
+    fn evaluations(&self) -> u64;
+}
+
+/// The OPTJS objective: `JQ(J, BV, α)`, computed by the [`JqEngine`]
+/// (exact enumeration for tiny juries, bucket approximation otherwise).
+#[derive(Debug, Default)]
+pub struct BvObjective {
+    engine: JqEngine,
+    evaluations: AtomicU64,
+}
+
+impl BvObjective {
+    /// Creates the objective with the default engine.
+    pub fn new() -> Self {
+        BvObjective::default()
+    }
+
+    /// Creates the objective with a specific bucket configuration — the
+    /// experiments use the paper's `numBuckets = 50`.
+    pub fn with_config(config: BucketJqConfig) -> Self {
+        BvObjective { engine: JqEngine::new(config), evaluations: AtomicU64::new(0) }
+    }
+
+    /// Creates the objective around an existing engine.
+    pub fn with_engine(engine: JqEngine) -> Self {
+        BvObjective { engine, evaluations: AtomicU64::new(0) }
+    }
+}
+
+impl JuryObjective for BvObjective {
+    fn name(&self) -> &'static str {
+        "JQ(BV)"
+    }
+
+    fn evaluate(&self, jury: &Jury, prior: Prior) -> f64 {
+        self.evaluations.fetch_add(1, Ordering::Relaxed);
+        self.engine.bv_jq(jury, prior).value
+    }
+
+    fn evaluations(&self) -> u64 {
+        self.evaluations.load(Ordering::Relaxed)
+    }
+}
+
+/// The MVJS objective: `JQ(J, MV, α)` via the exact Poisson-binomial dynamic
+/// program.
+#[derive(Debug, Default)]
+pub struct MvObjective {
+    engine: JqEngine,
+    evaluations: AtomicU64,
+}
+
+impl MvObjective {
+    /// Creates the objective.
+    pub fn new() -> Self {
+        MvObjective::default()
+    }
+}
+
+impl JuryObjective for MvObjective {
+    fn name(&self) -> &'static str {
+        "JQ(MV)"
+    }
+
+    fn evaluate(&self, jury: &Jury, prior: Prior) -> f64 {
+        self.evaluations.fetch_add(1, Ordering::Relaxed);
+        self.engine.mv_jq(jury, prior).value
+    }
+
+    fn evaluations(&self) -> u64 {
+        self.evaluations.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bv_objective_matches_paper_example() {
+        let obj = BvObjective::new();
+        let jury = Jury::from_qualities(&[0.9, 0.6, 0.6]).unwrap();
+        let jq = obj.evaluate(&jury, Prior::uniform());
+        assert!((jq - 0.9).abs() < 1e-9);
+        assert_eq!(obj.evaluations(), 1);
+        assert_eq!(obj.name(), "JQ(BV)");
+    }
+
+    #[test]
+    fn mv_objective_matches_paper_example() {
+        let obj = MvObjective::new();
+        let jury = Jury::from_qualities(&[0.9, 0.6, 0.6]).unwrap();
+        let jq = obj.evaluate(&jury, Prior::uniform());
+        assert!((jq - 0.792).abs() < 1e-12);
+        assert_eq!(obj.evaluations(), 1);
+        assert_eq!(obj.name(), "JQ(MV)");
+    }
+
+    #[test]
+    fn bv_dominates_mv_on_the_same_jury() {
+        let bv = BvObjective::new();
+        let mv = MvObjective::new();
+        let jury = Jury::from_qualities(&[0.85, 0.6, 0.55, 0.7, 0.9]).unwrap();
+        for alpha in [0.3, 0.5, 0.7] {
+            let prior = Prior::new(alpha).unwrap();
+            assert!(bv.evaluate(&jury, prior) >= mv.evaluate(&jury, prior) - 1e-9);
+        }
+    }
+
+    #[test]
+    fn evaluation_counter_accumulates() {
+        let obj = BvObjective::with_config(BucketJqConfig::paper_experiments());
+        let jury = Jury::from_qualities(&[0.7, 0.8]).unwrap();
+        for _ in 0..5 {
+            obj.evaluate(&jury, Prior::uniform());
+        }
+        assert_eq!(obj.evaluations(), 5);
+    }
+}

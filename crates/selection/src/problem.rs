@@ -1,0 +1,153 @@
+//! The Jury Selection Problem instance (Section 2.2).
+//!
+//! Given a candidate worker pool `W`, a budget `B`, and a task prior `α`,
+//! JSP asks for the feasible jury maximizing the jury quality under the best
+//! voting strategy — which, by Theorem 1, is Bayesian voting.
+
+use jury_model::{Jury, ModelError, ModelResult, Prior, WorkerId, WorkerPool};
+use serde::{Deserialize, Serialize};
+
+/// One instance of the Jury Selection Problem.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JspInstance {
+    pool: WorkerPool,
+    budget: f64,
+    prior: Prior,
+}
+
+impl JspInstance {
+    /// Creates an instance, validating the budget.
+    pub fn new(pool: WorkerPool, budget: f64, prior: Prior) -> ModelResult<Self> {
+        if !budget.is_finite() || budget < 0.0 {
+            return Err(ModelError::InvalidCost { value: budget });
+        }
+        Ok(JspInstance { pool, budget, prior })
+    }
+
+    /// Creates an instance with the uninformative prior.
+    pub fn with_uniform_prior(pool: WorkerPool, budget: f64) -> ModelResult<Self> {
+        JspInstance::new(pool, budget, Prior::uniform())
+    }
+
+    /// The candidate worker pool `W`.
+    #[inline]
+    pub fn pool(&self) -> &WorkerPool {
+        &self.pool
+    }
+
+    /// The budget `B`.
+    #[inline]
+    pub fn budget(&self) -> f64 {
+        self.budget
+    }
+
+    /// The task prior `α`.
+    #[inline]
+    pub fn prior(&self) -> Prior {
+        self.prior
+    }
+
+    /// Number of candidate workers `N`.
+    #[inline]
+    pub fn num_candidates(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Whether a jury drawn from the pool satisfies the budget constraint.
+    pub fn is_feasible(&self, jury: &Jury) -> bool {
+        jury.is_feasible(self.budget) && jury.ids().iter().all(|&id| self.pool.contains(id))
+    }
+
+    /// Whether the whole pool fits in the budget — in that case Lemma 1 says
+    /// simply selecting everybody is optimal.
+    pub fn whole_pool_is_feasible(&self) -> bool {
+        self.pool.total_cost() <= self.budget + 1e-12
+    }
+
+    /// Whether every worker charges the same cost (within tolerance) — in
+    /// that case Lemma 2 reduces JSP to picking the top-`k` workers by
+    /// quality.
+    pub fn has_uniform_costs(&self) -> bool {
+        let workers = self.pool.workers();
+        match workers.first() {
+            None => true,
+            Some(first) => workers.iter().all(|w| (w.cost() - first.cost()).abs() < 1e-12),
+        }
+    }
+
+    /// Builds the jury consisting of the given worker ids.
+    pub fn jury_from_ids(&self, ids: &[WorkerId]) -> ModelResult<Jury> {
+        Jury::from_pool(&self.pool, ids)
+    }
+
+    /// The cheapest single worker's cost, or `None` for an empty pool; if it
+    /// already exceeds the budget the only feasible jury is the empty one.
+    pub fn cheapest_cost(&self) -> Option<f64> {
+        self.pool
+            .iter()
+            .map(|w| w.cost())
+            .min_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jury_model::paper_example_pool;
+
+    #[test]
+    fn construction_and_accessors() {
+        let instance = JspInstance::new(paper_example_pool(), 20.0, Prior::uniform()).unwrap();
+        assert_eq!(instance.num_candidates(), 7);
+        assert!((instance.budget() - 20.0).abs() < 1e-12);
+        assert!(instance.prior().is_uniform());
+        assert!(JspInstance::new(paper_example_pool(), -1.0, Prior::uniform()).is_err());
+        assert!(JspInstance::new(paper_example_pool(), f64::NAN, Prior::uniform()).is_err());
+    }
+
+    #[test]
+    fn feasibility_checks() {
+        let instance = JspInstance::with_uniform_prior(paper_example_pool(), 20.0).unwrap();
+        // {B, E, F} costs 12 ≤ 20.
+        let jury = instance
+            .jury_from_ids(&[WorkerId(1), WorkerId(4), WorkerId(5)])
+            .unwrap();
+        assert!(instance.is_feasible(&jury));
+        // {A, C, D} costs 22 > 20.
+        let jury = instance
+            .jury_from_ids(&[WorkerId(0), WorkerId(2), WorkerId(3)])
+            .unwrap();
+        assert!(!instance.is_feasible(&jury));
+        // A jury with a worker outside the pool is infeasible.
+        let foreign =
+            Jury::new(vec![jury_model::Worker::free(WorkerId(99), 0.9).unwrap()]);
+        assert!(!instance.is_feasible(&foreign));
+    }
+
+    #[test]
+    fn whole_pool_feasibility() {
+        let pool = paper_example_pool(); // total cost 37
+        assert!(!JspInstance::with_uniform_prior(pool.clone(), 20.0).unwrap().whole_pool_is_feasible());
+        assert!(JspInstance::with_uniform_prior(pool, 37.0).unwrap().whole_pool_is_feasible());
+    }
+
+    #[test]
+    fn uniform_cost_detection() {
+        let uniform =
+            WorkerPool::from_qualities_and_costs(&[0.7, 0.8, 0.6], &[2.0, 2.0, 2.0]).unwrap();
+        assert!(JspInstance::with_uniform_prior(uniform, 4.0).unwrap().has_uniform_costs());
+        assert!(!JspInstance::with_uniform_prior(paper_example_pool(), 20.0)
+            .unwrap()
+            .has_uniform_costs());
+        let empty = WorkerPool::new();
+        assert!(JspInstance::with_uniform_prior(empty, 1.0).unwrap().has_uniform_costs());
+    }
+
+    #[test]
+    fn cheapest_cost() {
+        let instance = JspInstance::with_uniform_prior(paper_example_pool(), 20.0).unwrap();
+        assert!((instance.cheapest_cost().unwrap() - 2.0).abs() < 1e-12);
+        let empty = JspInstance::with_uniform_prior(WorkerPool::new(), 1.0).unwrap();
+        assert!(empty.cheapest_cost().is_none());
+    }
+}

@@ -1,0 +1,64 @@
+//! The solver abstraction shared by all JSP algorithms.
+
+use std::time::Duration;
+
+use jury_model::Jury;
+
+use crate::problem::JspInstance;
+
+/// The outcome of a JSP solver run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolverResult {
+    /// The selected jury `Ĵ` (possibly empty when nothing is affordable).
+    pub jury: Jury,
+    /// The objective value of the selected jury (a jury quality in `[0, 1]`).
+    pub objective_value: f64,
+    /// How many objective evaluations the search performed.
+    pub evaluations: u64,
+    /// Wall-clock time of the search.
+    pub elapsed: Duration,
+    /// The solver's name, for reports.
+    pub solver: &'static str,
+}
+
+impl SolverResult {
+    /// The jury cost of the selected jury.
+    pub fn cost(&self) -> f64 {
+        self.jury.cost()
+    }
+
+    /// The jury size of the selected jury.
+    pub fn size(&self) -> usize {
+        self.jury.size()
+    }
+}
+
+/// A Jury Selection Problem solver.
+pub trait JurySolver {
+    /// The solver's name.
+    fn name(&self) -> &'static str;
+
+    /// Solves the instance, returning the selected jury and diagnostics.
+    fn solve(&self, instance: &JspInstance) -> SolverResult;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jury_model::Jury;
+
+    #[test]
+    fn result_helpers() {
+        let jury = Jury::from_qualities(&[0.7, 0.8]).unwrap();
+        let result = SolverResult {
+            jury,
+            objective_value: 0.8,
+            evaluations: 3,
+            elapsed: Duration::from_millis(5),
+            solver: "test",
+        };
+        assert_eq!(result.size(), 2);
+        assert_eq!(result.cost(), 0.0);
+        assert_eq!(result.solver, "test");
+    }
+}

@@ -1,0 +1,127 @@
+//! Special-case JSP solvers derived from the monotonicity lemmas
+//! (Section 5, Lemmas 1 and 2).
+//!
+//! * If every worker is free, or the whole pool fits in the budget, Lemma 1
+//!   ("the more workers, the better JQ for BV") says selecting everybody is
+//!   optimal.
+//! * If every worker charges the same cost `c`, Lemma 2 says the optimal
+//!   jury is the top-`k` workers by quality with `k = min(⌊B/c⌋, N)`.
+//!
+//! These cases are cheap to detect and solve exactly, so the high-level
+//! system tries them before falling back to the annealing heuristic.
+
+use jury_model::Jury;
+
+use crate::problem::JspInstance;
+
+/// The special case that applied, if any.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpecialCase {
+    /// The entire candidate pool fits within the budget (Lemma 1).
+    WholePoolAffordable,
+    /// All workers share one cost, so top-`k` by quality is optimal (Lemma 2).
+    UniformCosts,
+}
+
+/// Attempts to solve the instance by one of the closed-form special cases.
+/// Returns the optimal jury and which case applied, or `None` when neither
+/// case holds and a search is required.
+pub fn try_special_case(instance: &JspInstance) -> Option<(Jury, SpecialCase)> {
+    if instance.whole_pool_is_feasible() {
+        let jury = Jury::new(instance.pool().workers().to_vec());
+        return Some((jury, SpecialCase::WholePoolAffordable));
+    }
+    if instance.has_uniform_costs() && !instance.pool().is_empty() {
+        let cost = instance.pool().workers()[0].cost();
+        let k = if cost <= 0.0 {
+            instance.pool().len()
+        } else {
+            ((instance.budget() / cost).floor() as usize).min(instance.pool().len())
+        };
+        let top_k: Vec<_> = instance.pool().sorted_by_quality_desc().into_iter().take(k).collect();
+        return Some((Jury::new(top_k), SpecialCase::UniformCosts));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exhaustive::ExhaustiveSolver;
+    use crate::objective::{BvObjective, JuryObjective};
+    use crate::solver::JurySolver;
+    use jury_model::{paper_example_pool, Prior, WorkerPool};
+
+    #[test]
+    fn whole_pool_affordable_selects_everyone() {
+        let instance = JspInstance::with_uniform_prior(paper_example_pool(), 100.0).unwrap();
+        let (jury, case) = try_special_case(&instance).unwrap();
+        assert_eq!(case, SpecialCase::WholePoolAffordable);
+        assert_eq!(jury.size(), 7);
+    }
+
+    #[test]
+    fn free_workers_are_all_selected() {
+        let pool = WorkerPool::from_qualities(&[0.6, 0.7, 0.8]).unwrap();
+        let instance = JspInstance::with_uniform_prior(pool, 0.0).unwrap();
+        let (jury, case) = try_special_case(&instance).unwrap();
+        assert_eq!(case, SpecialCase::WholePoolAffordable);
+        assert_eq!(jury.size(), 3);
+    }
+
+    #[test]
+    fn uniform_costs_take_top_k_by_quality() {
+        let pool = WorkerPool::from_qualities_and_costs(
+            &[0.6, 0.9, 0.7, 0.8, 0.55],
+            &[2.0, 2.0, 2.0, 2.0, 2.0],
+        )
+        .unwrap();
+        let instance = JspInstance::with_uniform_prior(pool, 6.9).unwrap();
+        let (jury, case) = try_special_case(&instance).unwrap();
+        assert_eq!(case, SpecialCase::UniformCosts);
+        // ⌊6.9 / 2⌋ = 3 workers, the three best qualities.
+        assert_eq!(jury.size(), 3);
+        let mut qualities = jury.qualities();
+        qualities.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        assert_eq!(qualities, vec![0.9, 0.8, 0.7]);
+    }
+
+    #[test]
+    fn uniform_cost_special_case_is_optimal() {
+        let pool = WorkerPool::from_qualities_and_costs(
+            &[0.6, 0.9, 0.7, 0.8, 0.55, 0.65],
+            &[1.5, 1.5, 1.5, 1.5, 1.5, 1.5],
+        )
+        .unwrap();
+        let instance = JspInstance::with_uniform_prior(pool, 4.6).unwrap();
+        let (jury, _) = try_special_case(&instance).unwrap();
+        let objective = BvObjective::new();
+        let special_value = objective.evaluate(&jury, Prior::uniform());
+        let optimal = ExhaustiveSolver::new(BvObjective::new()).solve(&instance);
+        assert!((special_value - optimal.objective_value).abs() < 1e-9);
+    }
+
+    #[test]
+    fn general_instances_are_not_special() {
+        let instance = JspInstance::with_uniform_prior(paper_example_pool(), 20.0).unwrap();
+        assert!(try_special_case(&instance).is_none());
+    }
+
+    #[test]
+    fn empty_pool_is_trivially_whole_pool_affordable() {
+        let instance = JspInstance::with_uniform_prior(WorkerPool::new(), 1.0).unwrap();
+        let (jury, case) = try_special_case(&instance).unwrap();
+        assert_eq!(case, SpecialCase::WholePoolAffordable);
+        assert!(jury.is_empty());
+    }
+
+    #[test]
+    fn uniform_costs_too_expensive_for_anyone() {
+        let pool =
+            WorkerPool::from_qualities_and_costs(&[0.8, 0.7], &[5.0, 5.0]).unwrap();
+        let instance = JspInstance::with_uniform_prior(pool, 3.0).unwrap();
+        let (jury, case) = try_special_case(&instance).unwrap();
+        assert_eq!(case, SpecialCase::UniformCosts);
+        assert!(jury.is_empty());
+    }
+}

@@ -1,0 +1,179 @@
+//! Realized accuracy vs. predicted jury quality on collected datasets —
+//! the machinery behind the paper's "Is JQ a good prediction?" experiment
+//! (Section 6.2.3, Figure 10(d)).
+//!
+//! For every task, the first `z` votes of its answering sequence are
+//! replayed: the jury is the set of workers who cast those votes (with their
+//! estimated qualities), the realized result is what Bayesian voting decides
+//! on the actual votes, and the prediction is the analytic `JQ` of that
+//! jury. Averaging both over all tasks gives one point of the Figure 10(d)
+//! curves; the paper's finding — reproduced by the integration tests — is
+//! that the two curves track each other closely.
+
+use jury_model::{Answer, CrowdDataset, Jury, Prior, TaskRecord};
+use jury_voting::BayesianVoting;
+use jury_jq::JqEngine;
+
+/// The two curves of Figure 10(d) at one value of `z`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccuracyPoint {
+    /// Number of votes replayed per task.
+    pub votes_used: usize,
+    /// Fraction of tasks whose BV result matches the ground truth.
+    pub accuracy: f64,
+    /// Average analytic JQ of the replayed juries.
+    pub average_jq: f64,
+}
+
+/// Builds the jury formed by the first `z` voters of a task, using the
+/// qualities stored in the dataset's worker pool.
+pub fn prefix_jury(dataset: &CrowdDataset, task: &TaskRecord, z: usize) -> Jury {
+    let members = task
+        .first_votes(z)
+        .iter()
+        .filter_map(|vote| dataset.workers().get(vote.worker).ok().cloned())
+        .collect();
+    Jury::new(members)
+}
+
+/// The votes cast by the first `z` voters of a task, aligned with
+/// [`prefix_jury`].
+pub fn prefix_votes(task: &TaskRecord, z: usize) -> Vec<Answer> {
+    task.first_votes(z).iter().map(|vote| vote.answer).collect()
+}
+
+/// Evaluates one value of `z`: realized BV accuracy and average predicted JQ
+/// over every task that received at least one vote.
+pub fn evaluate_prefix(
+    dataset: &CrowdDataset,
+    z: usize,
+    prior: Prior,
+    engine: &JqEngine,
+) -> AccuracyPoint {
+    let mut correct = 0usize;
+    let mut evaluated = 0usize;
+    let mut jq_sum = 0.0;
+    for task in dataset.tasks() {
+        let jury = prefix_jury(dataset, task, z);
+        if jury.is_empty() {
+            continue;
+        }
+        let votes = prefix_votes(task, z);
+        let decided = BayesianVoting::result(&jury, &votes, prior)
+            .expect("prefix votes always align with the prefix jury");
+        evaluated += 1;
+        if decided == task.ground_truth() {
+            correct += 1;
+        }
+        jq_sum += engine.bv_jq(&jury, prior).value;
+    }
+    let accuracy = if evaluated == 0 { 0.0 } else { correct as f64 / evaluated as f64 };
+    let average_jq = if evaluated == 0 { 0.0 } else { jq_sum / evaluated as f64 };
+    AccuracyPoint { votes_used: z, accuracy, average_jq }
+}
+
+/// Sweeps `z` over a range, producing the full Figure 10(d) series.
+pub fn prefix_sweep(
+    dataset: &CrowdDataset,
+    zs: &[usize],
+    prior: Prior,
+    engine: &JqEngine,
+) -> Vec<AccuracyPoint> {
+    zs.iter().map(|&z| evaluate_prefix(dataset, z, prior, engine)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::amt::{AmtCampaignConfig, AmtSimulator};
+    use jury_model::{TaskId, WorkerId, WorkerPool};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_dataset() -> CrowdDataset {
+        let pool = WorkerPool::from_qualities(&[0.9, 0.8, 0.3]).unwrap();
+        let mut t0 = TaskRecord::new(TaskId(0), Prior::uniform(), Answer::Yes);
+        t0.push_vote(WorkerId(0), Answer::Yes);
+        t0.push_vote(WorkerId(1), Answer::Yes);
+        t0.push_vote(WorkerId(2), Answer::No);
+        let mut t1 = TaskRecord::new(TaskId(1), Prior::uniform(), Answer::No);
+        t1.push_vote(WorkerId(1), Answer::No);
+        t1.push_vote(WorkerId(0), Answer::Yes);
+        CrowdDataset::new(pool, vec![t0, t1]).unwrap()
+    }
+
+    #[test]
+    fn prefix_jury_and_votes_align() {
+        let dataset = tiny_dataset();
+        let task = dataset.task(TaskId(0)).unwrap();
+        let jury = prefix_jury(&dataset, task, 2);
+        let votes = prefix_votes(task, 2);
+        assert_eq!(jury.size(), 2);
+        assert_eq!(votes.len(), 2);
+        assert_eq!(jury.ids(), vec![WorkerId(0), WorkerId(1)]);
+        // Asking for more votes than exist returns everything.
+        assert_eq!(prefix_jury(&dataset, task, 10).size(), 3);
+    }
+
+    #[test]
+    fn evaluate_prefix_counts_correct_decisions() {
+        let dataset = tiny_dataset();
+        let engine = JqEngine::default();
+        // With z = 2: task 0 has two Yes votes (correct), task 1 has one No
+        // from the 0.8 worker and one Yes from the 0.9 worker — BV follows
+        // the stronger worker and answers Yes, which is wrong.
+        let point = evaluate_prefix(&dataset, 2, Prior::uniform(), &engine);
+        assert_eq!(point.votes_used, 2);
+        assert!((point.accuracy - 0.5).abs() < 1e-12);
+        assert!(point.average_jq > 0.5 && point.average_jq <= 1.0);
+    }
+
+    #[test]
+    fn jq_prediction_tracks_realized_accuracy_on_a_simulated_campaign() {
+        // The Figure 10(d) claim on a small simulated campaign: for a range
+        // of z the average predicted JQ stays within a few points of the
+        // realized BV accuracy.
+        let sim = AmtSimulator::new(AmtCampaignConfig {
+            num_tasks: 200,
+            num_workers: 40,
+            votes_per_task: 10,
+            questions_per_hit: 10,
+            cost_mean: 0.05,
+            cost_std_dev: 0.2,
+        });
+        let mut rng = StdRng::seed_from_u64(37);
+        let dataset = sim.run(&mut rng).unwrap();
+        let engine = JqEngine::default();
+        for &z in &[3usize, 5, 9] {
+            let point = evaluate_prefix(&dataset, z, Prior::uniform(), &engine);
+            assert!(
+                (point.accuracy - point.average_jq).abs() < 0.08,
+                "z={z}: accuracy {} vs predicted {}",
+                point.accuracy,
+                point.average_jq
+            );
+        }
+    }
+
+    #[test]
+    fn accuracy_improves_with_more_votes() {
+        let sim = AmtSimulator::new(AmtCampaignConfig::small());
+        let mut rng = StdRng::seed_from_u64(43);
+        let dataset = sim.run(&mut rng).unwrap();
+        let engine = JqEngine::default();
+        let sweep = prefix_sweep(&dataset, &[1, 3, 9], Prior::uniform(), &engine);
+        assert_eq!(sweep.len(), 3);
+        // More votes should not make the predicted JQ worse (Lemma 1), and
+        // realized accuracy should broadly improve as well.
+        assert!(sweep[2].average_jq >= sweep[0].average_jq - 1e-9);
+        assert!(sweep[2].accuracy >= sweep[0].accuracy - 0.05);
+    }
+
+    #[test]
+    fn empty_dataset_gives_zero_point() {
+        let dataset = CrowdDataset::new(WorkerPool::from_qualities(&[0.7]).unwrap(), vec![]).unwrap();
+        let point = evaluate_prefix(&dataset, 3, Prior::uniform(), &JqEngine::default());
+        assert_eq!(point.accuracy, 0.0);
+        assert_eq!(point.average_jq, 0.0);
+    }
+}

@@ -1,0 +1,265 @@
+//! An Amazon-Mechanical-Turk-like sentiment-analysis campaign generator — the
+//! substitute for the paper's real dataset (Section 6.2.1).
+//!
+//! The paper crowdsourced 600 decision-making tasks ("is the sentiment of
+//! this tweet positive?") to 128 AMT workers, 20 assignments per task, and
+//! reports these statistics about the collected data:
+//!
+//! * each worker answered 93.75 questions on average; two workers answered
+//!   everything, 67 answered a single HIT (20 questions);
+//! * the average (empirical) worker quality is 0.71;
+//! * 40 workers have quality above 0.8 and roughly 10 % are below 0.6.
+//!
+//! The generator below reproduces that shape: latent qualities are drawn from
+//! a two-component mixture (a smaller high-quality mode around 0.85 and a
+//! broad main mode around 0.66), worker activity is heavy-tailed so that a
+//! handful of workers dominate participation, and every vote is drawn from
+//! the worker's latent quality through the simulated platform. Because all
+//! downstream computation only consumes the (worker, task, vote, truth)
+//! relation, this preserves the behaviour the Figure 10 experiments measure.
+
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+
+use jury_model::{Answer, CrowdDataset, ModelResult, WorkerPool, Worker, WorkerId};
+
+use crate::platform::{PlatformConfig, SimulatedPlatform};
+
+/// Configuration of the AMT-like campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AmtCampaignConfig {
+    /// Number of decision-making tasks (the paper uses 600 tweets).
+    pub num_tasks: usize,
+    /// Number of workers in the population (the paper observed 128).
+    pub num_workers: usize,
+    /// Votes collected per task (the paper sets 20 assignments per HIT).
+    pub votes_per_task: usize,
+    /// Questions batched per HIT (the paper uses 20).
+    pub questions_per_hit: usize,
+    /// Mean of the per-question worker cost used by the selection
+    /// experiments (mirrors the synthetic setting's `µ̂ = 0.05`).
+    pub cost_mean: f64,
+    /// Standard deviation of the per-question worker cost (`σ̂`), swept by
+    /// Figure 10(c).
+    pub cost_std_dev: f64,
+}
+
+impl Default for AmtCampaignConfig {
+    fn default() -> Self {
+        AmtCampaignConfig {
+            num_tasks: 600,
+            num_workers: 128,
+            votes_per_task: 20,
+            questions_per_hit: 20,
+            cost_mean: 0.05,
+            cost_std_dev: 0.2,
+        }
+    }
+}
+
+impl AmtCampaignConfig {
+    /// A scaled-down campaign (60 tasks, 40 workers, 10 votes per task) for
+    /// quick tests and examples.
+    pub fn small() -> Self {
+        AmtCampaignConfig {
+            num_tasks: 60,
+            num_workers: 40,
+            votes_per_task: 10,
+            questions_per_hit: 10,
+            cost_mean: 0.05,
+            cost_std_dev: 0.2,
+        }
+    }
+
+    /// Sets the cost standard deviation (Figure 10(c) sweeps it).
+    pub fn with_cost_std_dev(mut self, std_dev: f64) -> Self {
+        self.cost_std_dev = std_dev.max(0.0);
+        self
+    }
+}
+
+/// The AMT-like campaign simulator.
+#[derive(Debug, Clone)]
+pub struct AmtSimulator {
+    config: AmtCampaignConfig,
+}
+
+impl AmtSimulator {
+    /// Creates a simulator.
+    pub fn new(config: AmtCampaignConfig) -> Self {
+        AmtSimulator { config }
+    }
+
+    /// Creates a simulator with the paper's campaign dimensions.
+    pub fn paper_campaign() -> Self {
+        AmtSimulator::new(AmtCampaignConfig::default())
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &AmtCampaignConfig {
+        &self.config
+    }
+
+    /// Draws one latent worker quality from the two-component mixture
+    /// calibrated against the paper's reported statistics.
+    pub fn sample_quality<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let (mean, std): (f64, f64) =
+            if rng.gen::<f64>() < 0.3 { (0.86, 0.05) } else { (0.66, 0.06) };
+        let q = Normal::new(mean, std).expect("valid normal").sample(rng);
+        q.clamp(0.35, 0.98)
+    }
+
+    /// Generates the latent worker population: qualities from the mixture,
+    /// per-question costs from `N(cost_mean, cost_std_dev²)` clamped to a
+    /// small positive floor.
+    pub fn generate_workers<R: Rng + ?Sized>(&self, rng: &mut R) -> WorkerPool {
+        let workers: Vec<Worker> = (0..self.config.num_workers)
+            .map(|i| {
+                let quality = self.sample_quality(rng);
+                // As in the synthetic generator, negative Gaussian draws are
+                // folded back so the spread parameter keeps its meaning.
+                let cost = if self.config.cost_std_dev == 0.0 {
+                    self.config.cost_mean
+                } else {
+                    Normal::new(self.config.cost_mean, self.config.cost_std_dev)
+                        .expect("valid normal")
+                        .sample(rng)
+                }
+                .abs()
+                .max(0.001);
+                Worker::new(WorkerId(i as u32), quality, cost).expect("clamped values are valid")
+            })
+            .collect();
+        WorkerPool::from_workers(workers).expect("sequential ids")
+    }
+
+    /// Generates heavy-tailed activity weights: a few workers pick up HITs
+    /// constantly while the long tail contributes a single HIT each,
+    /// mirroring the participation skew the paper reports.
+    pub fn generate_activity<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        (0..self.config.num_workers)
+            .map(|i| {
+                if i < 2 {
+                    // The two "always on" workers.
+                    50.0
+                } else {
+                    // Pareto-like tail: most mass near the minimum.
+                    let u: f64 = rng.gen::<f64>().max(1e-6);
+                    u.powf(-0.7).min(30.0)
+                }
+            })
+            .collect()
+    }
+
+    /// Runs the full campaign: generates the worker population, the latent
+    /// ground truths (balanced yes/no, as in the paper), and the collected
+    /// votes, and returns the dataset with worker qualities replaced by
+    /// their *empirical* accuracies — exactly how the paper derives worker
+    /// quality from the real data.
+    pub fn run<R: Rng + ?Sized>(&self, rng: &mut R) -> ModelResult<CrowdDataset> {
+        let workers = self.generate_workers(rng);
+        let activity = self.generate_activity(rng);
+        let truths: Vec<Answer> = (0..self.config.num_tasks)
+            .map(|_| if rng.gen::<f64>() < 0.5 { Answer::No } else { Answer::Yes })
+            .collect();
+        let platform = SimulatedPlatform::new(PlatformConfig {
+            questions_per_hit: self.config.questions_per_hit,
+            assignments_per_hit: self.config.votes_per_task,
+            reward_per_hit: 0.02,
+        });
+        let raw = platform.run_campaign(&workers, &truths, &activity, rng)?;
+        raw.with_empirical_qualities()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_campaign_dimensions() {
+        let config = AmtCampaignConfig::default();
+        assert_eq!(config.num_tasks, 600);
+        assert_eq!(config.num_workers, 128);
+        assert_eq!(config.votes_per_task, 20);
+    }
+
+    #[test]
+    fn quality_mixture_matches_reported_statistics() {
+        let sim = AmtSimulator::paper_campaign();
+        let mut rng = StdRng::seed_from_u64(17);
+        let qualities: Vec<f64> = (0..5_000).map(|_| sim.sample_quality(&mut rng)).collect();
+        let mean = jury_model::stats::mean(&qualities);
+        assert!((mean - 0.71).abs() < 0.04, "mean latent quality {mean}");
+        let above_08 = qualities.iter().filter(|&&q| q > 0.8).count() as f64 / qualities.len() as f64;
+        // The paper reports 40 / 128 ≈ 31 % above 0.8.
+        assert!((0.15..0.45).contains(&above_08), "fraction above 0.8: {above_08}");
+        let below_06 = qualities.iter().filter(|&&q| q < 0.6).count() as f64 / qualities.len() as f64;
+        // The paper reports about 10 % below 0.6.
+        assert!((0.02..0.25).contains(&below_06), "fraction below 0.6: {below_06}");
+    }
+
+    #[test]
+    fn small_campaign_produces_a_consistent_dataset() {
+        let sim = AmtSimulator::new(AmtCampaignConfig::small());
+        let mut rng = StdRng::seed_from_u64(23);
+        let dataset = sim.run(&mut rng).unwrap();
+        assert_eq!(dataset.num_tasks(), 60);
+        assert_eq!(dataset.num_workers(), 40);
+        for task in dataset.tasks() {
+            assert_eq!(task.num_votes(), 10);
+        }
+        // Empirical qualities are plugged into the pool.
+        let mean_quality = dataset.workers().mean_quality();
+        assert!(mean_quality > 0.55 && mean_quality < 0.9, "mean {mean_quality}");
+    }
+
+    #[test]
+    fn campaign_is_reproducible_for_a_fixed_seed() {
+        let sim = AmtSimulator::new(AmtCampaignConfig::small());
+        let a = sim.run(&mut StdRng::seed_from_u64(7)).unwrap();
+        let b = sim.run(&mut StdRng::seed_from_u64(7)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn activity_is_heavy_tailed() {
+        let sim = AmtSimulator::paper_campaign();
+        let mut rng = StdRng::seed_from_u64(31);
+        let activity = sim.generate_activity(&mut rng);
+        assert_eq!(activity.len(), 128);
+        let max = activity.iter().cloned().fold(0.0f64, f64::max);
+        let median = jury_model::stats::median(&activity);
+        assert!(max / median > 5.0, "activity skew too small: max {max}, median {median}");
+    }
+
+    #[test]
+    fn full_paper_campaign_statistics() {
+        // One full-size campaign: 600 tasks × 20 votes = 12 000 votes over
+        // 128 workers ⇒ 93.75 answers per worker on average.
+        let sim = AmtSimulator::paper_campaign();
+        let mut rng = StdRng::seed_from_u64(41);
+        let dataset = sim.run(&mut rng).unwrap();
+        assert_eq!(dataset.num_tasks(), 600);
+        assert_eq!(dataset.num_votes(), 600 * 20);
+        assert!((dataset.mean_answers_per_worker() - 93.75).abs() < 1e-9);
+        let mean_quality = dataset.mean_empirical_quality();
+        assert!((mean_quality - 0.71).abs() < 0.08, "mean empirical quality {mean_quality}");
+        // Participation is skewed: the busiest worker answers far more than
+        // the median worker.
+        let stats = dataset.worker_stats();
+        let answered: Vec<f64> = stats.iter().map(|s| s.answered as f64).collect();
+        let max = answered.iter().cloned().fold(0.0f64, f64::max);
+        assert!(max >= 300.0, "busiest worker answered only {max}");
+    }
+
+    #[test]
+    fn cost_std_dev_zero_gives_constant_costs() {
+        let sim = AmtSimulator::new(AmtCampaignConfig::small().with_cost_std_dev(0.0));
+        let mut rng = StdRng::seed_from_u64(2);
+        let workers = sim.generate_workers(&mut rng);
+        assert!(workers.iter().all(|w| (w.cost() - 0.05).abs() < 1e-12));
+    }
+}

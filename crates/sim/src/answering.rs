@@ -1,0 +1,176 @@
+//! Simulation of individual worker answers.
+//!
+//! The paper's worker model (Section 2.1) states that worker `j_i` votes the
+//! true answer with probability `q_i`, independently of everyone else. This
+//! module draws such votes, both for the single-quality binary model and for
+//! the confusion-matrix multi-class model of Section 7.
+
+use rand::Rng;
+
+use jury_model::{Answer, ConfusionMatrix, Jury, Label, ModelResult, Worker};
+
+/// Draws one binary vote from a worker given the true answer: the vote is
+/// correct with probability `quality`.
+pub fn draw_vote<R: Rng + ?Sized>(worker: &Worker, truth: Answer, rng: &mut R) -> Answer {
+    if rng.gen::<f64>() < worker.quality() {
+        truth
+    } else {
+        truth.flip()
+    }
+}
+
+/// Draws a full voting (one vote per juror) given the true answer.
+pub fn draw_voting<R: Rng + ?Sized>(jury: &Jury, truth: Answer, rng: &mut R) -> Vec<Answer> {
+    jury.workers().iter().map(|w| draw_vote(w, truth, rng)).collect()
+}
+
+/// Draws one multi-class vote from a confusion matrix given the true label:
+/// the vote is sampled from the matrix row of the true label.
+pub fn draw_label_vote<R: Rng + ?Sized>(
+    confusion: &ConfusionMatrix,
+    truth: Label,
+    rng: &mut R,
+) -> ModelResult<Label> {
+    truth.validate(confusion.num_choices())?;
+    let row = confusion.row(truth);
+    let u: f64 = rng.gen();
+    let mut cumulative = 0.0;
+    for (k, &p) in row.iter().enumerate() {
+        cumulative += p;
+        if u < cumulative {
+            return Ok(Label(k));
+        }
+    }
+    // Guard against rounding: return the last label.
+    Ok(Label(confusion.num_choices() - 1))
+}
+
+/// Empirically estimates the probability that a jury + strategy pair answers
+/// a task correctly, by Monte-Carlo simulation of `trials` independent
+/// votings. This is the "measured" counterpart of the analytic JQ and is used
+/// in tests and in the Figure 10(d) style evaluations.
+pub fn simulate_strategy_accuracy<R, S>(
+    jury: &Jury,
+    strategy: &S,
+    prior: jury_model::Prior,
+    trials: usize,
+    rng: &mut R,
+) -> f64
+where
+    R: Rng,
+    S: jury_voting::VotingStrategy + ?Sized,
+{
+    if trials == 0 {
+        return 0.0;
+    }
+    let mut correct = 0usize;
+    for _ in 0..trials {
+        // Draw the latent truth from the prior, then the votes, then decide.
+        let truth = if rng.gen::<f64>() < prior.alpha() { Answer::No } else { Answer::Yes };
+        let votes = draw_voting(jury, truth, rng);
+        let decided = strategy
+            .decide(jury, &votes, prior, rng)
+            .expect("simulated votes always match the jury size");
+        if decided == truth {
+            correct += 1;
+        }
+    }
+    correct as f64 / trials as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jury_model::{Prior, WorkerId};
+    use jury_voting::{BayesianVoting, MajorityVoting};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn vote_frequency_matches_quality() {
+        let worker = Worker::free(WorkerId(0), 0.8).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let trials = 20_000;
+        let correct = (0..trials)
+            .filter(|_| draw_vote(&worker, Answer::Yes, &mut rng) == Answer::Yes)
+            .count();
+        let freq = correct as f64 / trials as f64;
+        assert!((freq - 0.8).abs() < 0.02, "frequency {freq}");
+    }
+
+    #[test]
+    fn perfect_and_adversarial_workers() {
+        let perfect = Worker::free(WorkerId(0), 1.0).unwrap();
+        let hopeless = Worker::free(WorkerId(1), 0.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            assert_eq!(draw_vote(&perfect, Answer::No, &mut rng), Answer::No);
+            assert_eq!(draw_vote(&hopeless, Answer::No, &mut rng), Answer::Yes);
+        }
+    }
+
+    #[test]
+    fn voting_has_one_vote_per_juror() {
+        let jury = Jury::from_qualities(&[0.9, 0.7, 0.6]).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let votes = draw_voting(&jury, Answer::Yes, &mut rng);
+        assert_eq!(votes.len(), 3);
+    }
+
+    #[test]
+    fn label_vote_distribution_follows_the_matrix() {
+        let m = ConfusionMatrix::new(3, vec![0.7, 0.2, 0.1, 0.1, 0.8, 0.1, 0.25, 0.25, 0.5])
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let trials = 30_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..trials {
+            counts[draw_label_vote(&m, Label(2), &mut rng).unwrap().index()] += 1;
+        }
+        let freqs: Vec<f64> = counts.iter().map(|&c| c as f64 / trials as f64).collect();
+        assert!((freqs[0] - 0.25).abs() < 0.02);
+        assert!((freqs[1] - 0.25).abs() < 0.02);
+        assert!((freqs[2] - 0.5).abs() < 0.02);
+        // Invalid truth labels are rejected.
+        assert!(draw_label_vote(&m, Label(7), &mut rng).is_err());
+    }
+
+    #[test]
+    fn simulated_accuracy_tracks_analytic_jq() {
+        // Example 2/3: MV has JQ 79.2 %, BV has JQ 90 %. Monte Carlo over
+        // many trials should land near those values.
+        let jury = Jury::from_qualities(&[0.9, 0.6, 0.6]).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mv = simulate_strategy_accuracy(
+            &jury,
+            &MajorityVoting::new(),
+            Prior::uniform(),
+            30_000,
+            &mut rng,
+        );
+        let bv = simulate_strategy_accuracy(
+            &jury,
+            &BayesianVoting::new(),
+            Prior::uniform(),
+            30_000,
+            &mut rng,
+        );
+        assert!((mv - 0.792).abs() < 0.01, "MV simulated {mv}");
+        assert!((bv - 0.900).abs() < 0.01, "BV simulated {bv}");
+        assert!(bv > mv);
+    }
+
+    #[test]
+    fn zero_trials_is_harmless() {
+        let jury = Jury::from_qualities(&[0.9]).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let acc = simulate_strategy_accuracy(
+            &jury,
+            &MajorityVoting::new(),
+            Prior::uniform(),
+            0,
+            &mut rng,
+        );
+        assert_eq!(acc, 0.0);
+    }
+}

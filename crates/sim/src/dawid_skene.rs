@@ -1,0 +1,245 @@
+//! Dawid–Skene expectation-maximization for worker-quality estimation
+//! without ground truth.
+//!
+//! The paper's related-work section (Section 8, citing Ipeirotis et al. [18]
+//! and Dawid & Skene [1]) describes estimating worker quality by iterating
+//! between (a) inferring each task's answer from the current quality
+//! estimates and (b) re-estimating each worker's quality from the inferred
+//! answers. This module implements the binary special case: each worker is a
+//! single quality parameter `q_j = Pr(vote = truth)` and each task has a
+//! latent binary answer.
+//!
+//! It is the quality-estimation substrate for running the selection
+//! experiments when ground truth is withheld, and a sanity check that the
+//! simulated platform produces learnable data.
+
+use std::collections::BTreeMap;
+
+use jury_model::{Answer, CrowdDataset, TaskId, WorkerId};
+
+/// Configuration of the EM fit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DawidSkeneConfig {
+    /// Maximum number of EM iterations.
+    pub max_iterations: usize,
+    /// Stop early when the largest quality change between iterations falls
+    /// below this threshold.
+    pub tolerance: f64,
+    /// Laplace smoothing added to the per-worker correct/total counts in the
+    /// M-step, keeping qualities away from 0 and 1.
+    pub smoothing: f64,
+    /// Prior probability of the answer `No` used in the E-step.
+    pub prior_no: f64,
+}
+
+impl Default for DawidSkeneConfig {
+    fn default() -> Self {
+        DawidSkeneConfig { max_iterations: 50, tolerance: 1e-6, smoothing: 1.0, prior_no: 0.5 }
+    }
+}
+
+/// The result of an EM fit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DawidSkeneFit {
+    /// Estimated worker qualities.
+    pub qualities: BTreeMap<WorkerId, f64>,
+    /// Posterior probability that each task's answer is `No`.
+    pub posterior_no: BTreeMap<TaskId, f64>,
+    /// Number of EM iterations actually performed.
+    pub iterations: usize,
+    /// Whether the fit converged before hitting the iteration cap.
+    pub converged: bool,
+}
+
+impl DawidSkeneFit {
+    /// The maximum-a-posteriori answer for a task, if it was part of the fit.
+    pub fn map_answer(&self, task: TaskId) -> Option<Answer> {
+        self.posterior_no.get(&task).map(|&p| if p >= 0.5 { Answer::No } else { Answer::Yes })
+    }
+
+    /// The fraction of tasks whose MAP answer matches the dataset's ground
+    /// truth — a convenience for evaluating the fit on simulated data.
+    pub fn accuracy_against(&self, dataset: &CrowdDataset) -> f64 {
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for task in dataset.tasks() {
+            if let Some(answer) = self.map_answer(task.id()) {
+                total += 1;
+                if answer == task.ground_truth() {
+                    correct += 1;
+                }
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            correct as f64 / total as f64
+        }
+    }
+}
+
+/// Fits the binary Dawid–Skene model to a dataset by EM, ignoring the stored
+/// ground truth entirely (it is only used afterwards for evaluation).
+pub fn fit(dataset: &CrowdDataset, config: DawidSkeneConfig) -> DawidSkeneFit {
+    let worker_ids = dataset.workers().ids();
+    // Initialize qualities from majority agreement so the EM starts from an
+    // informative point.
+    let mut qualities: BTreeMap<WorkerId, f64> =
+        crate::estimation::majority_agreement_qualities(dataset)
+            .into_iter()
+            .map(|(w, q)| (w, q.clamp(0.05, 0.95)))
+            .collect();
+    for id in &worker_ids {
+        qualities.entry(*id).or_insert(0.6);
+    }
+
+    let mut posterior_no: BTreeMap<TaskId, f64> = BTreeMap::new();
+    let mut iterations = 0usize;
+    let mut converged = false;
+
+    for _ in 0..config.max_iterations {
+        iterations += 1;
+
+        // E-step: posterior of each task's answer given current qualities.
+        posterior_no.clear();
+        for task in dataset.tasks() {
+            let mut log_no = config.prior_no.max(1e-12).ln();
+            let mut log_yes = (1.0 - config.prior_no).max(1e-12).ln();
+            for vote in task.votes() {
+                let q = qualities.get(&vote.worker).copied().unwrap_or(0.6).clamp(1e-6, 1.0 - 1e-6);
+                match vote.answer {
+                    Answer::No => {
+                        log_no += q.ln();
+                        log_yes += (1.0 - q).ln();
+                    }
+                    Answer::Yes => {
+                        log_no += (1.0 - q).ln();
+                        log_yes += q.ln();
+                    }
+                }
+            }
+            let max = log_no.max(log_yes);
+            let p_no = (log_no - max).exp() / ((log_no - max).exp() + (log_yes - max).exp());
+            posterior_no.insert(task.id(), p_no);
+        }
+
+        // M-step: re-estimate worker qualities from the soft labels.
+        let mut delta: f64 = 0.0;
+        let mut expected_correct: BTreeMap<WorkerId, f64> = BTreeMap::new();
+        let mut answered: BTreeMap<WorkerId, f64> = BTreeMap::new();
+        for task in dataset.tasks() {
+            let p_no = posterior_no[&task.id()];
+            for vote in task.votes() {
+                let p_correct = match vote.answer {
+                    Answer::No => p_no,
+                    Answer::Yes => 1.0 - p_no,
+                };
+                *expected_correct.entry(vote.worker).or_insert(0.0) += p_correct;
+                *answered.entry(vote.worker).or_insert(0.0) += 1.0;
+            }
+        }
+        for id in &worker_ids {
+            let correct = expected_correct.get(id).copied().unwrap_or(0.0);
+            let total = answered.get(id).copied().unwrap_or(0.0);
+            let new_quality = if total == 0.0 {
+                0.5
+            } else {
+                (correct + config.smoothing) / (total + 2.0 * config.smoothing)
+            };
+            let old = qualities.insert(*id, new_quality).unwrap_or(0.5);
+            delta = delta.max((new_quality - old).abs());
+        }
+
+        if delta < config.tolerance {
+            converged = true;
+            break;
+        }
+    }
+
+    DawidSkeneFit { qualities, posterior_no, iterations, converged }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::{PlatformConfig, SimulatedPlatform};
+    use jury_model::WorkerPool;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn simulated(seed: u64, latent: &[f64], votes_per_task: usize) -> (WorkerPool, CrowdDataset) {
+        let workers = WorkerPool::from_qualities(latent).unwrap();
+        let platform = SimulatedPlatform::new(PlatformConfig {
+            questions_per_hit: 50,
+            assignments_per_hit: votes_per_task,
+            reward_per_hit: 0.02,
+        });
+        let truths: Vec<Answer> =
+            (0..300).map(|i| if i % 3 == 0 { Answer::No } else { Answer::Yes }).collect();
+        let activity = vec![1.0; workers.len()];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dataset = platform.run_campaign(&workers, &truths, &activity, &mut rng).unwrap();
+        (workers, dataset)
+    }
+
+    #[test]
+    fn em_recovers_latent_qualities_without_ground_truth() {
+        let latent = [0.9, 0.85, 0.8, 0.75, 0.7, 0.65, 0.6, 0.55];
+        let (workers, dataset) = simulated(3, &latent, 6);
+        let fit = fit(&dataset, DawidSkeneConfig::default());
+        assert!(fit.converged, "EM did not converge in {} iterations", fit.iterations);
+        let reference: BTreeMap<WorkerId, f64> =
+            workers.iter().map(|w| (w.id(), w.quality())).collect();
+        let mae = crate::estimation::mean_absolute_error(&fit.qualities, &reference);
+        assert!(mae < 0.06, "EM MAE {mae} too large");
+    }
+
+    #[test]
+    fn em_labels_tasks_accurately() {
+        let latent = [0.9, 0.85, 0.8, 0.75, 0.7];
+        let (_workers, dataset) = simulated(5, &latent, 5);
+        let fit = fit(&dataset, DawidSkeneConfig::default());
+        let accuracy = fit.accuracy_against(&dataset);
+        assert!(accuracy > 0.9, "EM labelling accuracy {accuracy}");
+        // The MAP answers are defined for every task in the dataset.
+        assert_eq!(fit.posterior_no.len(), dataset.num_tasks());
+        assert!(fit.map_answer(TaskId(0)).is_some());
+        assert!(fit.map_answer(TaskId(9_999)).is_none());
+    }
+
+    #[test]
+    fn em_beats_or_matches_majority_agreement() {
+        let latent = [0.92, 0.6, 0.58, 0.55, 0.87];
+        let (workers, dataset) = simulated(7, &latent, 5);
+        let reference: BTreeMap<WorkerId, f64> =
+            workers.iter().map(|w| (w.id(), w.quality())).collect();
+        let em = fit(&dataset, DawidSkeneConfig::default());
+        let em_mae = crate::estimation::mean_absolute_error(&em.qualities, &reference);
+        let mv = crate::estimation::majority_agreement_qualities(&dataset);
+        let mv_mae = crate::estimation::mean_absolute_error(&mv, &reference);
+        assert!(
+            em_mae <= mv_mae + 0.02,
+            "EM MAE {em_mae} should not be much worse than majority MAE {mv_mae}"
+        );
+    }
+
+    #[test]
+    fn em_respects_the_iteration_cap() {
+        let latent = [0.8, 0.7, 0.6];
+        let (_workers, dataset) = simulated(9, &latent, 3);
+        let config = DawidSkeneConfig { max_iterations: 1, tolerance: 0.0, ..Default::default() };
+        let fit = fit(&dataset, config);
+        assert_eq!(fit.iterations, 1);
+        assert!(!fit.converged);
+    }
+
+    #[test]
+    fn empty_dataset_is_handled() {
+        let workers = WorkerPool::from_qualities(&[0.7]).unwrap();
+        let dataset = CrowdDataset::new(workers, vec![]).unwrap();
+        let fit = fit(&dataset, DawidSkeneConfig::default());
+        assert!(fit.posterior_no.is_empty());
+        assert_eq!(fit.qualities.len(), 1);
+        assert_eq!(fit.accuracy_against(&dataset), 0.0);
+    }
+}

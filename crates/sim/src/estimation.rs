@@ -1,0 +1,261 @@
+//! Worker-quality estimation from answer history.
+//!
+//! The paper assumes worker qualities are known in advance and cites prior
+//! work on estimating them from background information and answer history
+//! (Section 2.1). For the real dataset it simply uses each worker's observed
+//! accuracy (Section 6.2.1). This module provides that estimator plus two of
+//! the commonly used alternatives the related-work section mentions:
+//! accuracy on *golden questions* (tasks with known ground truth planted in
+//! the stream, as in CDAS [25]) and agreement with the majority answer when
+//! no ground truth is available at all.
+
+use std::collections::BTreeMap;
+
+use jury_model::{Answer, CrowdDataset, TaskId, Worker, WorkerId, WorkerPool};
+
+/// Laplace-smoothed accuracy: `(correct + s) / (answered + 2s)`. Smoothing
+/// keeps estimates away from the degenerate 0 and 1 for workers with very
+/// few answers.
+pub fn smoothed_accuracy(correct: usize, answered: usize, smoothing: f64) -> f64 {
+    (correct as f64 + smoothing) / (answered as f64 + 2.0 * smoothing)
+}
+
+/// The paper's estimator for the real dataset: each worker's quality is the
+/// proportion of her answers that match the ground truth, with optional
+/// Laplace smoothing (`smoothing = 0` reproduces the raw proportion).
+pub fn empirical_qualities(dataset: &CrowdDataset, smoothing: f64) -> BTreeMap<WorkerId, f64> {
+    dataset
+        .worker_stats()
+        .into_iter()
+        .map(|s| {
+            let quality = if s.answered == 0 {
+                0.5
+            } else {
+                smoothed_accuracy(s.correct, s.answered, smoothing)
+            };
+            (s.worker, quality)
+        })
+        .collect()
+}
+
+/// Quality estimation from golden questions only: accuracy is measured on
+/// the subset of tasks whose ids appear in `golden`, and workers who
+/// answered no golden question get 0.5.
+pub fn golden_question_qualities(
+    dataset: &CrowdDataset,
+    golden: &[TaskId],
+    smoothing: f64,
+) -> BTreeMap<WorkerId, f64> {
+    let golden_set: std::collections::BTreeSet<TaskId> = golden.iter().copied().collect();
+    let mut counts: BTreeMap<WorkerId, (usize, usize)> =
+        dataset.workers().ids().into_iter().map(|id| (id, (0, 0))).collect();
+    for task in dataset.tasks() {
+        if !golden_set.contains(&task.id()) {
+            continue;
+        }
+        for vote in task.votes() {
+            let entry = counts.entry(vote.worker).or_insert((0, 0));
+            entry.0 += 1;
+            if vote.answer == task.ground_truth() {
+                entry.1 += 1;
+            }
+        }
+    }
+    counts
+        .into_iter()
+        .map(|(worker, (answered, correct))| {
+            let quality =
+                if answered == 0 { 0.5 } else { smoothed_accuracy(correct, answered, smoothing) };
+            (worker, quality)
+        })
+        .collect()
+}
+
+/// Quality estimation without any ground truth: each worker's quality is her
+/// agreement rate with the per-task majority answer (ties count as half).
+/// This is the crudest self-consistent estimator and serves as the
+/// initialization of the Dawid–Skene EM in [`crate::dawid_skene`].
+pub fn majority_agreement_qualities(dataset: &CrowdDataset) -> BTreeMap<WorkerId, f64> {
+    let mut agreement: BTreeMap<WorkerId, (f64, usize)> =
+        dataset.workers().ids().into_iter().map(|id| (id, (0.0, 0))).collect();
+    for task in dataset.tasks() {
+        let votes = task.votes();
+        if votes.is_empty() {
+            continue;
+        }
+        let no_count = votes.iter().filter(|v| v.answer == Answer::No).count();
+        let yes_count = votes.len() - no_count;
+        for vote in votes {
+            let entry = agreement.entry(vote.worker).or_insert((0.0, 0));
+            entry.1 += 1;
+            if no_count == yes_count {
+                entry.0 += 0.5;
+            } else {
+                let majority = if no_count > yes_count { Answer::No } else { Answer::Yes };
+                if vote.answer == majority {
+                    entry.0 += 1.0;
+                }
+            }
+        }
+    }
+    agreement
+        .into_iter()
+        .map(|(worker, (agree, total))| {
+            let quality = if total == 0 { 0.5 } else { agree / total as f64 };
+            (worker, quality)
+        })
+        .collect()
+}
+
+/// Rebuilds a worker pool with qualities replaced by the supplied estimates
+/// (costs are preserved); workers without an estimate keep their current
+/// quality.
+pub fn pool_with_estimated_qualities(
+    pool: &WorkerPool,
+    estimates: &BTreeMap<WorkerId, f64>,
+) -> WorkerPool {
+    let workers: Vec<Worker> = pool
+        .iter()
+        .map(|w| {
+            let quality = estimates.get(&w.id()).copied().unwrap_or_else(|| w.quality());
+            Worker::new(w.id(), quality.clamp(0.0, 1.0), w.cost())
+                .expect("clamped quality and existing cost are valid")
+        })
+        .collect();
+    WorkerPool::from_workers(workers).expect("ids copied from an existing pool")
+}
+
+/// Mean absolute error between estimated and reference qualities, over the
+/// workers present in both maps — used to compare estimators in tests and in
+/// the documentation examples.
+pub fn mean_absolute_error(
+    estimates: &BTreeMap<WorkerId, f64>,
+    reference: &BTreeMap<WorkerId, f64>,
+) -> f64 {
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for (worker, est) in estimates {
+        if let Some(truth) = reference.get(worker) {
+            total += (est - truth).abs();
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::amt::{AmtCampaignConfig, AmtSimulator};
+    use crate::platform::{PlatformConfig, SimulatedPlatform};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn simulated_dataset(seed: u64) -> (WorkerPool, CrowdDataset) {
+        // A controlled campaign where the latent qualities are known, so the
+        // estimators can be scored against the truth.
+        let workers =
+            WorkerPool::from_qualities(&[0.9, 0.85, 0.75, 0.7, 0.65, 0.6, 0.55, 0.8]).unwrap();
+        let platform = SimulatedPlatform::new(PlatformConfig {
+            questions_per_hit: 50,
+            assignments_per_hit: 6,
+            reward_per_hit: 0.02,
+        });
+        let truths: Vec<Answer> =
+            (0..400).map(|i| if i % 2 == 0 { Answer::Yes } else { Answer::No }).collect();
+        let activity = vec![1.0; workers.len()];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dataset = platform.run_campaign(&workers, &truths, &activity, &mut rng).unwrap();
+        (workers, dataset)
+    }
+
+    fn latent_qualities(pool: &WorkerPool) -> BTreeMap<WorkerId, f64> {
+        pool.iter().map(|w| (w.id(), w.quality())).collect()
+    }
+
+    #[test]
+    fn smoothing_behaves_at_the_extremes() {
+        assert!((smoothed_accuracy(0, 0, 1.0) - 0.5).abs() < 1e-12);
+        assert!((smoothed_accuracy(10, 10, 0.0) - 1.0).abs() < 1e-12);
+        assert!(smoothed_accuracy(10, 10, 1.0) < 1.0);
+        assert!(smoothed_accuracy(0, 10, 1.0) > 0.0);
+    }
+
+    #[test]
+    fn empirical_estimates_recover_latent_qualities() {
+        let (workers, dataset) = simulated_dataset(11);
+        let estimates = empirical_qualities(&dataset, 0.0);
+        let mae = mean_absolute_error(&estimates, &latent_qualities(&workers));
+        assert!(mae < 0.05, "MAE {mae} too large with ~300 answers per worker");
+    }
+
+    #[test]
+    fn golden_questions_estimate_is_noisier_but_unbiased() {
+        let (workers, dataset) = simulated_dataset(13);
+        let golden: Vec<TaskId> = (0..50).map(|i| TaskId(i as u64)).collect();
+        let estimates = golden_question_qualities(&dataset, &golden, 1.0);
+        let mae = mean_absolute_error(&estimates, &latent_qualities(&workers));
+        assert!(mae < 0.12, "MAE {mae} too large for 50 golden questions");
+        // Using every task as golden reduces to the empirical estimator.
+        let all: Vec<TaskId> = dataset.tasks().iter().map(|t| t.id()).collect();
+        let all_golden = golden_question_qualities(&dataset, &all, 0.0);
+        let empirical = empirical_qualities(&dataset, 0.0);
+        for (worker, quality) in &all_golden {
+            assert!((quality - empirical[worker]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn majority_agreement_tracks_quality_without_ground_truth() {
+        let (workers, dataset) = simulated_dataset(17);
+        let estimates = majority_agreement_qualities(&dataset);
+        // Agreement with the majority is a biased but monotone proxy: the
+        // best and worst workers should still be ordered correctly.
+        let best = estimates[&WorkerId(0)];
+        let worst = estimates[&WorkerId(6)];
+        assert!(best > worst, "best {best} should exceed worst {worst}");
+        let mae = mean_absolute_error(&estimates, &latent_qualities(&workers));
+        assert!(mae < 0.2, "MAE {mae} unreasonably large");
+    }
+
+    #[test]
+    fn pool_rewrite_preserves_costs_and_ids() {
+        let pool =
+            WorkerPool::from_qualities_and_costs(&[0.6, 0.7], &[1.0, 2.0]).unwrap();
+        let mut estimates = BTreeMap::new();
+        estimates.insert(WorkerId(0), 0.95);
+        let rebuilt = pool_with_estimated_qualities(&pool, &estimates);
+        assert!((rebuilt.get(WorkerId(0)).unwrap().quality() - 0.95).abs() < 1e-12);
+        assert!((rebuilt.get(WorkerId(0)).unwrap().cost() - 1.0).abs() < 1e-12);
+        // Worker 1 had no estimate: unchanged.
+        assert!((rebuilt.get(WorkerId(1)).unwrap().quality() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn estimators_work_on_the_amt_campaign() {
+        let sim = AmtSimulator::new(AmtCampaignConfig::small());
+        let mut rng = StdRng::seed_from_u64(29);
+        let dataset = sim.run(&mut rng).unwrap();
+        let empirical = empirical_qualities(&dataset, 0.0);
+        assert_eq!(empirical.len(), dataset.num_workers());
+        for quality in empirical.values() {
+            assert!((0.0..=1.0).contains(quality));
+        }
+    }
+
+    #[test]
+    fn mean_absolute_error_edge_cases() {
+        let empty = BTreeMap::new();
+        assert_eq!(mean_absolute_error(&empty, &empty), 0.0);
+        let mut a = BTreeMap::new();
+        a.insert(WorkerId(0), 0.8);
+        let mut b = BTreeMap::new();
+        b.insert(WorkerId(1), 0.9);
+        // Disjoint keys: nothing to compare.
+        assert_eq!(mean_absolute_error(&a, &b), 0.0);
+    }
+}

@@ -1,0 +1,114 @@
+//! # jury-sim
+//!
+//! A simulated crowdsourcing platform for the *Optimal Jury Selection*
+//! reproduction — the substitute for the Amazon Mechanical Turk deployment
+//! used in the paper's real-data evaluation (Section 6.2).
+//!
+//! The crate provides:
+//!
+//! * [`answering`] — drawing votes from the paper's worker model (Bernoulli
+//!   in the worker's quality; confusion-matrix rows for multi-class tasks)
+//!   and Monte-Carlo accuracy estimation;
+//! * [`platform`] — HIT batching, assignment to workers with heterogeneous
+//!   activity, and campaign execution producing a
+//!   [`jury_model::CrowdDataset`];
+//! * [`amt`] — an AMT-like sentiment-analysis campaign whose summary
+//!   statistics match the paper's real dataset (600 tasks, 128 workers, 20
+//!   votes per task, mean quality ≈ 0.71);
+//! * [`estimation`] — worker-quality estimators (empirical accuracy, golden
+//!   questions, majority agreement);
+//! * [`dawid_skene`] — EM-based quality estimation without ground truth;
+//! * [`accuracy`] — the Figure 10(d) machinery comparing analytic JQ against
+//!   realized Bayesian-voting accuracy on replayed answer sequences.
+//!
+//! ```
+//! use jury_sim::amt::{AmtCampaignConfig, AmtSimulator};
+//! use rand::SeedableRng;
+//!
+//! let sim = AmtSimulator::new(AmtCampaignConfig::small());
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let dataset = sim.run(&mut rng).unwrap();
+//! assert_eq!(dataset.num_tasks(), 60);
+//! assert!(dataset.workers().mean_quality() > 0.5);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod accuracy;
+pub mod amt;
+pub mod answering;
+pub mod dawid_skene;
+pub mod estimation;
+pub mod platform;
+
+pub use accuracy::{evaluate_prefix, prefix_jury, prefix_sweep, prefix_votes, AccuracyPoint};
+pub use amt::{AmtCampaignConfig, AmtSimulator};
+pub use answering::{draw_label_vote, draw_vote, draw_voting, simulate_strategy_accuracy};
+pub use dawid_skene::{fit as dawid_skene_fit, DawidSkeneConfig, DawidSkeneFit};
+pub use estimation::{
+    empirical_qualities, golden_question_qualities, majority_agreement_qualities,
+    mean_absolute_error, pool_with_estimated_qualities, smoothed_accuracy,
+};
+pub use platform::{Hit, PlatformConfig, SimulatedPlatform};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use jury_model::{Answer, Jury, Prior};
+    use jury_voting::BayesianVoting;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Monte-Carlo accuracy of BV converges to the analytic JQ — the
+        /// simulation and the analysis agree with each other.
+        #[test]
+        fn simulation_matches_analytic_jq(
+            qualities in proptest::collection::vec(0.5f64..0.95, 1..5),
+            seed in 0u64..1000,
+        ) {
+            let jury = Jury::from_qualities(&qualities).unwrap();
+            let analytic = jury_jq::exact_bv_jq(&jury, Prior::uniform()).unwrap();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let simulated = simulate_strategy_accuracy(
+                &jury, &BayesianVoting::new(), Prior::uniform(), 4000, &mut rng);
+            prop_assert!((analytic - simulated).abs() < 0.05,
+                "analytic {analytic} vs simulated {simulated}");
+        }
+
+        /// Campaigns always produce structurally valid datasets: the right
+        /// number of votes, all voters distinct per task, all ids known.
+        #[test]
+        fn campaigns_are_structurally_sound(
+            num_workers in 5usize..15,
+            votes_per_task in 2usize..5,
+            seed in 0u64..100,
+        ) {
+            let qualities: Vec<f64> = (0..num_workers).map(|i| 0.55 + 0.02 * i as f64).collect();
+            let workers = jury_model::WorkerPool::from_qualities(&qualities).unwrap();
+            let platform = SimulatedPlatform::new(PlatformConfig {
+                questions_per_hit: 7,
+                assignments_per_hit: votes_per_task,
+                reward_per_hit: 0.02,
+            });
+            let truths: Vec<Answer> = (0..40)
+                .map(|i| if i % 2 == 0 { Answer::Yes } else { Answer::No })
+                .collect();
+            let activity = vec![1.0; num_workers];
+            let mut rng = StdRng::seed_from_u64(seed);
+            let dataset = platform.run_campaign(&workers, &truths, &activity, &mut rng).unwrap();
+            prop_assert_eq!(dataset.num_tasks(), 40);
+            for task in dataset.tasks() {
+                prop_assert_eq!(task.num_votes(), votes_per_task);
+                let mut voters = task.answering_workers();
+                voters.sort();
+                voters.dedup();
+                prop_assert_eq!(voters.len(), votes_per_task);
+            }
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Bayesian Voting (BV) — the optimal voting strategy (Theorem 1,
+//! Corollary 1).
+//!
+//! BV computes the posterior probability of each answer given the observed
+//! votes and the prior, and returns the answer with the larger posterior:
+//!
+//! * return `1` if `α · Pr(V | t = 0) < (1 − α) · Pr(V | t = 1)`,
+//! * return `0` otherwise (ties go to `0`, matching Theorem 1's
+//!   `P_0(V) − P_1(V) ≥ 0 ⇒ S*(V) = 0`).
+
+use jury_model::{Answer, Jury, ModelResult, Prior};
+
+use crate::strategy::{StrategyKind, VotingStrategy};
+
+/// Bayesian Voting: the deterministic strategy that is optimal with respect
+/// to Jury Quality among all deterministic and randomized strategies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BayesianVoting;
+
+impl BayesianVoting {
+    /// Creates the strategy.
+    pub fn new() -> Self {
+        BayesianVoting
+    }
+
+    /// The unnormalized posterior weights `(P_0(V), P_1(V))` of Theorem 1:
+    /// `P_0(V) = α · Pr(V | t = 0)` and `P_1(V) = (1 − α) · Pr(V | t = 1)`.
+    pub fn posterior_weights(
+        jury: &Jury,
+        votes: &[Answer],
+        prior: Prior,
+    ) -> ModelResult<(f64, f64)> {
+        let p0 = prior.prob(Answer::No) * jury.voting_likelihood(votes, Answer::No)?;
+        let p1 = prior.prob(Answer::Yes) * jury.voting_likelihood(votes, Answer::Yes)?;
+        Ok((p0, p1))
+    }
+
+    /// The normalized posterior probability `Pr(t = 0 | V = V)`.
+    ///
+    /// When both unnormalized weights are zero (possible only with extreme
+    /// priors or zero/one qualities) the prior's `α` is returned.
+    pub fn posterior_no(jury: &Jury, votes: &[Answer], prior: Prior) -> ModelResult<f64> {
+        let (p0, p1) = BayesianVoting::posterior_weights(jury, votes, prior)?;
+        let z = p0 + p1;
+        if z <= 0.0 {
+            Ok(prior.alpha())
+        } else {
+            Ok(p0 / z)
+        }
+    }
+
+    /// The deterministic BV result.
+    pub fn result(jury: &Jury, votes: &[Answer], prior: Prior) -> ModelResult<Answer> {
+        let (p0, p1) = BayesianVoting::posterior_weights(jury, votes, prior)?;
+        Ok(if p0 < p1 { Answer::Yes } else { Answer::No })
+    }
+}
+
+impl VotingStrategy for BayesianVoting {
+    fn name(&self) -> &'static str {
+        "BV"
+    }
+
+    fn kind(&self) -> StrategyKind {
+        StrategyKind::Deterministic
+    }
+
+    fn prob_no(&self, jury: &Jury, votes: &[Answer], prior: Prior) -> ModelResult<f64> {
+        Ok(if BayesianVoting::result(jury, votes, prior)? == Answer::No { 1.0 } else { 0.0 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::majority::MajorityVoting;
+
+    const N: Answer = Answer::No;
+    const Y: Answer = Answer::Yes;
+
+    #[test]
+    fn bv_follows_the_posterior() {
+        // Example from Section 3.3: α = 0.5, qualities 0.9, 0.6, 0.6 and
+        // V = {0, 1, 1}. 0.5·0.9·0.4·0.4 > 0.5·0.1·0.6·0.6, so BV returns 0
+        // while MV returns 1.
+        let jury = Jury::from_qualities(&[0.9, 0.6, 0.6]).unwrap();
+        let votes = [N, Y, Y];
+        assert_eq!(BayesianVoting::result(&jury, &votes, Prior::uniform()).unwrap(), N);
+        assert_eq!(MajorityVoting::result(&votes), Y);
+    }
+
+    #[test]
+    fn bv_example_3_vote_100() {
+        // Example 3: V = {1, 0, 0} with the same jury. The posterior weights
+        // are 0.018 (t=0) and 0.072 (t=1), so BV answers 1.
+        let jury = Jury::from_qualities(&[0.9, 0.6, 0.6]).unwrap();
+        let votes = [Y, N, N];
+        let (p0, p1) =
+            BayesianVoting::posterior_weights(&jury, &votes, Prior::uniform()).unwrap();
+        assert!((p0 - 0.018).abs() < 1e-12);
+        assert!((p1 - 0.072).abs() < 1e-12);
+        assert_eq!(BayesianVoting::result(&jury, &votes, Prior::uniform()).unwrap(), Y);
+    }
+
+    #[test]
+    fn bv_ties_go_to_no() {
+        // A single worker with quality 0.5 and a uniform prior gives equal
+        // posteriors; Theorem 1 assigns the result 0 in that case.
+        let jury = Jury::from_qualities(&[0.5]).unwrap();
+        assert_eq!(BayesianVoting::result(&jury, &[Y], Prior::uniform()).unwrap(), N);
+        assert_eq!(BayesianVoting::result(&jury, &[N], Prior::uniform()).unwrap(), N);
+    }
+
+    #[test]
+    fn bv_uses_the_prior() {
+        // A lone mediocre worker votes Yes, but a strong prior for No wins.
+        let jury = Jury::from_qualities(&[0.6]).unwrap();
+        let strong_no = Prior::new(0.9).unwrap();
+        assert_eq!(BayesianVoting::result(&jury, &[Y], strong_no).unwrap(), N);
+        // With a weak prior the vote wins.
+        assert_eq!(BayesianVoting::result(&jury, &[Y], Prior::uniform()).unwrap(), Y);
+    }
+
+    #[test]
+    fn bv_handles_adversarial_workers_natively() {
+        // A worker with quality 0.1 voting Yes is strong evidence for No.
+        let jury = Jury::from_qualities(&[0.1]).unwrap();
+        assert_eq!(BayesianVoting::result(&jury, &[Y], Prior::uniform()).unwrap(), N);
+        assert_eq!(BayesianVoting::result(&jury, &[N], Prior::uniform()).unwrap(), Y);
+    }
+
+    #[test]
+    fn posterior_no_is_normalized() {
+        let jury = Jury::from_qualities(&[0.8, 0.7]).unwrap();
+        for votes in jury_model::enumerate_binary_votings(2) {
+            let p = BayesianVoting::posterior_no(&jury, &votes, Prior::new(0.3).unwrap()).unwrap();
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn posterior_no_degenerate_case_falls_back_to_prior() {
+        // Quality 1.0 workers disagreeing makes both likelihoods zero.
+        let jury = Jury::from_qualities(&[1.0, 1.0]).unwrap();
+        let p = BayesianVoting::posterior_no(&jury, &[N, Y], Prior::new(0.3).unwrap()).unwrap();
+        assert!((p - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prob_no_is_indicator() {
+        let jury = Jury::from_qualities(&[0.9, 0.6, 0.6]).unwrap();
+        let p = BayesianVoting.prob_no(&jury, &[N, Y, Y], Prior::uniform()).unwrap();
+        assert_eq!(p, 1.0);
+        let p = BayesianVoting.prob_no(&jury, &[Y, N, N], Prior::uniform()).unwrap();
+        assert_eq!(p, 0.0);
+    }
+
+    #[test]
+    fn metadata() {
+        assert_eq!(BayesianVoting.name(), "BV");
+        assert_eq!(BayesianVoting.kind(), StrategyKind::Deterministic);
+    }
+}

@@ -1,0 +1,131 @@
+//! The catalogue of voting strategies (the paper's Table 2).
+//!
+//! Provides boxed instances of every binary strategy implemented in this
+//! crate, together with the deterministic/randomized classification, so that
+//! the experiments comparing strategies (Figure 8) can iterate over the
+//! whole table.
+
+use crate::bayesian::BayesianVoting;
+use crate::majority::{HalfVoting, MajorityVoting};
+use crate::randomized::{RandomBallotVoting, RandomizedMajorityVoting};
+use crate::strategy::{StrategyKind, VotingStrategy};
+use crate::triadic::TriadicConsensus;
+use crate::weighted::{RandomizedWeightedMajorityVoting, WeightedMajorityVoting};
+
+/// A named entry of the strategy catalogue.
+pub struct CatalogueEntry {
+    /// The strategy instance.
+    pub strategy: Box<dyn VotingStrategy>,
+    /// The column of Table 2 the strategy belongs to.
+    pub kind: StrategyKind,
+}
+
+impl CatalogueEntry {
+    fn new(strategy: Box<dyn VotingStrategy>) -> Self {
+        let kind = strategy.kind();
+        CatalogueEntry { strategy, kind }
+    }
+
+    /// The strategy's short name.
+    pub fn name(&self) -> &'static str {
+        self.strategy.name()
+    }
+}
+
+/// Every binary voting strategy implemented in this crate, mirroring the
+/// paper's Table 2: MV, Half Voting, BV, Weighted MV (deterministic) and
+/// RMV, Random Ballot, Triadic Consensus, Randomized Weighted MV
+/// (randomized).
+pub fn all_strategies() -> Vec<CatalogueEntry> {
+    vec![
+        CatalogueEntry::new(Box::new(MajorityVoting::new())),
+        CatalogueEntry::new(Box::new(HalfVoting::new())),
+        CatalogueEntry::new(Box::new(BayesianVoting::new())),
+        CatalogueEntry::new(Box::new(WeightedMajorityVoting::new())),
+        CatalogueEntry::new(Box::new(RandomizedMajorityVoting::new())),
+        CatalogueEntry::new(Box::new(RandomBallotVoting::new())),
+        CatalogueEntry::new(Box::new(TriadicConsensus::new())),
+        CatalogueEntry::new(Box::new(RandomizedWeightedMajorityVoting::new())),
+    ]
+}
+
+/// The four strategies compared in the paper's Figure 8: MV, BV, RBV, RMV.
+pub fn figure8_strategies() -> Vec<Box<dyn VotingStrategy>> {
+    vec![
+        Box::new(MajorityVoting::new()),
+        Box::new(BayesianVoting::new()),
+        Box::new(RandomBallotVoting::new()),
+        Box::new(RandomizedMajorityVoting::new()),
+    ]
+}
+
+/// Looks up a strategy by its short name (case-insensitive).
+pub fn by_name(name: &str) -> Option<Box<dyn VotingStrategy>> {
+    match name.to_ascii_lowercase().as_str() {
+        "mv" => Some(Box::new(MajorityVoting::new())),
+        "halfvoting" | "half" => Some(Box::new(HalfVoting::new())),
+        "bv" => Some(Box::new(BayesianVoting::new())),
+        "wmv" => Some(Box::new(WeightedMajorityVoting::new())),
+        "rmv" => Some(Box::new(RandomizedMajorityVoting::new())),
+        "rbv" => Some(Box::new(RandomBallotVoting::new())),
+        "triadic" => Some(Box::new(TriadicConsensus::new())),
+        "rwmv" => Some(Box::new(RandomizedWeightedMajorityVoting::new())),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn catalogue_mirrors_table_2() {
+        let entries = all_strategies();
+        assert_eq!(entries.len(), 8);
+        let deterministic: Vec<&str> = entries
+            .iter()
+            .filter(|e| e.kind == StrategyKind::Deterministic)
+            .map(|e| e.name())
+            .collect();
+        let randomized: Vec<&str> = entries
+            .iter()
+            .filter(|e| e.kind == StrategyKind::Randomized)
+            .map(|e| e.name())
+            .collect();
+        assert_eq!(deterministic.len(), 4);
+        assert_eq!(randomized.len(), 4);
+        assert!(deterministic.contains(&"MV"));
+        assert!(deterministic.contains(&"BV"));
+        assert!(randomized.contains(&"RMV"));
+        assert!(randomized.contains(&"RBV"));
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names: HashSet<&str> = all_strategies().iter().map(|e| e.name()).collect();
+        assert_eq!(names.len(), 8);
+    }
+
+    #[test]
+    fn figure8_has_the_four_paper_strategies() {
+        let names: Vec<&str> = figure8_strategies().iter().map(|s| s.name()).collect();
+        assert_eq!(names, vec!["MV", "BV", "RBV", "RMV"]);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(by_name("bv").unwrap().name(), "BV");
+        assert_eq!(by_name("BV").unwrap().name(), "BV");
+        assert_eq!(by_name("triadic").unwrap().name(), "Triadic");
+        assert_eq!(by_name("half").unwrap().name(), "HalfVoting");
+        assert!(by_name("unknown").is_none());
+    }
+
+    #[test]
+    fn entry_kind_matches_strategy_kind() {
+        for entry in all_strategies() {
+            assert_eq!(entry.kind, entry.strategy.kind());
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! # jury-voting
+//!
+//! Voting strategies for crowdsourced decision-making and multiple-choice
+//! tasks, reproducing the strategy catalogue of *"On Optimality of Jury
+//! Selection in Crowdsourcing"* (EDBT 2015, Table 2 and Section 3).
+//!
+//! A [`VotingStrategy`] aggregates a jury's votes (plus the task prior) into
+//! an estimate of the task's true answer. Strategies are classified as
+//! deterministic or randomized ([`StrategyKind`]); the quantity consumed by
+//! jury-quality computation is `h(V) = Pr(S(V) = 0)`, exposed as
+//! [`VotingStrategy::prob_no`].
+//!
+//! Implemented strategies:
+//!
+//! | Deterministic | Randomized |
+//! |---|---|
+//! | [`MajorityVoting`] (MV) | [`RandomizedMajorityVoting`] (RMV) |
+//! | [`HalfVoting`] | [`RandomBallotVoting`] (RBV) |
+//! | [`BayesianVoting`] (BV, the optimal strategy) | [`TriadicConsensus`] |
+//! | [`WeightedMajorityVoting`] | [`RandomizedWeightedMajorityVoting`] |
+//!
+//! Section 7's multi-class extension is covered by
+//! [`MultiClassVotingStrategy`], [`PluralityVoting`], and
+//! [`BayesianMultiClassVoting`].
+//!
+//! ```
+//! use jury_model::{Answer, Jury, Prior};
+//! use jury_voting::{BayesianVoting, MajorityVoting};
+//!
+//! // Section 3.3's example: α = 0.5, qualities 0.9, 0.6, 0.6, votes {0,1,1}.
+//! let jury = Jury::from_qualities(&[0.9, 0.6, 0.6]).unwrap();
+//! let votes = [Answer::No, Answer::Yes, Answer::Yes];
+//!
+//! // MV follows the two low-quality workers; BV follows the strong one.
+//! assert_eq!(MajorityVoting::result(&votes), Answer::Yes);
+//! assert_eq!(
+//!     BayesianVoting::result(&jury, &votes, Prior::uniform()).unwrap(),
+//!     Answer::No
+//! );
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bayesian;
+pub mod catalogue;
+pub mod majority;
+pub mod multiclass;
+pub mod randomized;
+pub mod strategy;
+pub mod triadic;
+pub mod weighted;
+
+pub use bayesian::BayesianVoting;
+pub use catalogue::{all_strategies, by_name, figure8_strategies, CatalogueEntry};
+pub use majority::{HalfVoting, MajorityVoting};
+pub use multiclass::{BayesianMultiClassVoting, MultiClassVotingStrategy, PluralityVoting};
+pub use randomized::{RandomBallotVoting, RandomizedMajorityVoting};
+pub use strategy::{count_no, count_yes, StrategyKind, VotingStrategy};
+pub use triadic::TriadicConsensus;
+pub use weighted::{RandomizedWeightedMajorityVoting, WeightedMajorityVoting};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use jury_model::{enumerate_binary_votings, Answer, Jury, Prior};
+    use proptest::prelude::*;
+
+    fn jury_strategy() -> impl Strategy<Value = Vec<f64>> {
+        proptest::collection::vec((0.0f64..=1.0).prop_map(|q| (q * 100.0).round() / 100.0), 1..6)
+    }
+
+    proptest! {
+        /// h(V) is a probability for every strategy, every jury, and every
+        /// voting — the basic requirement Definition 3 relies on.
+        #[test]
+        fn prob_no_is_always_a_probability(
+            qualities in jury_strategy(),
+            alpha in 0.0f64..=1.0,
+        ) {
+            let jury = Jury::from_qualities(&qualities).unwrap();
+            let prior = Prior::new(alpha).unwrap();
+            for entry in all_strategies() {
+                for votes in enumerate_binary_votings(jury.size()) {
+                    let p = entry.strategy.prob_no(&jury, &votes, prior).unwrap();
+                    prop_assert!((0.0..=1.0).contains(&p),
+                        "{} returned {p} on {votes:?}", entry.name());
+                }
+            }
+        }
+
+        /// Deterministic strategies report h(V) ∈ {0, 1}.
+        #[test]
+        fn deterministic_strategies_are_indicators(qualities in jury_strategy()) {
+            let jury = Jury::from_qualities(&qualities).unwrap();
+            for entry in all_strategies() {
+                if entry.kind != StrategyKind::Deterministic {
+                    continue;
+                }
+                for votes in enumerate_binary_votings(jury.size()) {
+                    let p = entry.strategy.prob_no(&jury, &votes, Prior::uniform()).unwrap();
+                    prop_assert!(p == 0.0 || p == 1.0,
+                        "{} returned non-indicator {p}", entry.name());
+                }
+            }
+        }
+
+        /// Flipping every vote and the prior flips BV's answer (label
+        /// symmetry of the Bayes rule) except in exact ties.
+        #[test]
+        fn bv_is_label_symmetric(qualities in jury_strategy(), alpha in 0.01f64..0.99) {
+            let jury = Jury::from_qualities(&qualities).unwrap();
+            let prior = Prior::new(alpha).unwrap();
+            let flipped_prior = Prior::new(1.0 - alpha).unwrap();
+            for votes in enumerate_binary_votings(jury.size()) {
+                let flipped: Vec<Answer> = votes.iter().map(|v| v.flip()).collect();
+                let (p0, p1) = BayesianVoting::posterior_weights(&jury, &votes, prior).unwrap();
+                if (p0 - p1).abs() < 1e-12 {
+                    continue; // ties break asymmetrically by design
+                }
+                let a = BayesianVoting::result(&jury, &votes, prior).unwrap();
+                let b = BayesianVoting::result(&jury, &flipped, flipped_prior).unwrap();
+                prop_assert_eq!(a.flip(), b);
+            }
+        }
+    }
+}

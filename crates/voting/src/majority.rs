@@ -1,0 +1,164 @@
+//! Majority-style deterministic strategies: Majority Voting (MV) and Half
+//! Voting.
+//!
+//! MV is the strategy used by the prior jury-selection work of Cao et al.
+//! ([7] in the paper) and is the baseline the paper's system comparison
+//! (Figure 6 / Figure 10) is measured against.
+
+use jury_model::{Answer, Jury, ModelResult, Prior};
+
+use crate::strategy::{count_no, StrategyKind, VotingStrategy};
+
+/// Majority Voting (Example 1 of the paper): the result is `0` if
+/// `Σ (1 − v_i) ≥ (n + 1) / 2`, i.e. if at least `⌈(n+1)/2⌉` workers vote
+/// `0`; otherwise the result is `1`.
+///
+/// Note the asymmetric tie-break inherited from the paper's definition: for
+/// an even jury size an exact tie yields `1`. MV ignores both the prior and
+/// the workers' qualities.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MajorityVoting;
+
+impl MajorityVoting {
+    /// Creates the strategy.
+    pub fn new() -> Self {
+        MajorityVoting
+    }
+
+    /// The deterministic result on a set of votes (exposed for callers that
+    /// do not need the [`VotingStrategy`] machinery).
+    pub fn result(votes: &[Answer]) -> Answer {
+        let n = votes.len();
+        // Σ (1 - v_i) ≥ (n + 1) / 2  ⇔  2 · count_no ≥ n + 1.
+        if 2 * count_no(votes) >= n + 1 {
+            Answer::No
+        } else {
+            Answer::Yes
+        }
+    }
+}
+
+impl VotingStrategy for MajorityVoting {
+    fn name(&self) -> &'static str {
+        "MV"
+    }
+
+    fn kind(&self) -> StrategyKind {
+        StrategyKind::Deterministic
+    }
+
+    fn prob_no(&self, jury: &Jury, votes: &[Answer], _prior: Prior) -> ModelResult<f64> {
+        jury.check_voting(votes)?;
+        Ok(if MajorityVoting::result(votes) == Answer::No { 1.0 } else { 0.0 })
+    }
+}
+
+/// Half Voting (cited as [28] in the paper): the result is the answer that
+/// receives at least half of the votes, with exact ties resolved to `0`.
+///
+/// Half Voting differs from [`MajorityVoting`] only on even-sized juries with
+/// an exact tie, where MV answers `1` and Half Voting answers `0`; it is
+/// included to populate the deterministic column of Table 2.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HalfVoting;
+
+impl HalfVoting {
+    /// Creates the strategy.
+    pub fn new() -> Self {
+        HalfVoting
+    }
+
+    /// The deterministic result on a set of votes.
+    pub fn result(votes: &[Answer]) -> Answer {
+        let n = votes.len();
+        if 2 * count_no(votes) >= n {
+            Answer::No
+        } else {
+            Answer::Yes
+        }
+    }
+}
+
+impl VotingStrategy for HalfVoting {
+    fn name(&self) -> &'static str {
+        "HalfVoting"
+    }
+
+    fn kind(&self) -> StrategyKind {
+        StrategyKind::Deterministic
+    }
+
+    fn prob_no(&self, jury: &Jury, votes: &[Answer], _prior: Prior) -> ModelResult<f64> {
+        jury.check_voting(votes)?;
+        Ok(if HalfVoting::result(votes) == Answer::No { 1.0 } else { 0.0 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const N: Answer = Answer::No;
+    const Y: Answer = Answer::Yes;
+
+    #[test]
+    fn mv_follows_the_paper_formula() {
+        // n = 3: two or more No votes → No.
+        assert_eq!(MajorityVoting::result(&[N, N, Y]), N);
+        assert_eq!(MajorityVoting::result(&[N, Y, Y]), Y);
+        assert_eq!(MajorityVoting::result(&[N, N, N]), N);
+        assert_eq!(MajorityVoting::result(&[Y, Y, Y]), Y);
+        // n = 1.
+        assert_eq!(MajorityVoting::result(&[N]), N);
+        assert_eq!(MajorityVoting::result(&[Y]), Y);
+    }
+
+    #[test]
+    fn mv_breaks_even_ties_towards_yes() {
+        // n = 4, 2-2 tie: Σ(1-v) = 2 < (4+1)/2 = 2.5 → result 1.
+        assert_eq!(MajorityVoting::result(&[N, N, Y, Y]), Y);
+        // 3-1 split → No.
+        assert_eq!(MajorityVoting::result(&[N, N, N, Y]), N);
+    }
+
+    #[test]
+    fn half_voting_breaks_even_ties_towards_no() {
+        assert_eq!(HalfVoting::result(&[N, N, Y, Y]), N);
+        assert_eq!(HalfVoting::result(&[N, Y, Y, Y]), Y);
+        // On odd sizes Half Voting agrees with MV.
+        for votes in jury_model::enumerate_binary_votings(5) {
+            assert_eq!(HalfVoting::result(&votes), MajorityVoting::result(&votes));
+        }
+    }
+
+    #[test]
+    fn mv_prob_no_is_indicator() {
+        let jury = Jury::from_qualities(&[0.9, 0.6, 0.6]).unwrap();
+        let p = MajorityVoting.prob_no(&jury, &[Y, N, N], Prior::uniform()).unwrap();
+        assert_eq!(p, 1.0);
+        let p = MajorityVoting.prob_no(&jury, &[Y, Y, N], Prior::uniform()).unwrap();
+        assert_eq!(p, 0.0);
+        // Vote-count mismatch is an error.
+        assert!(MajorityVoting.prob_no(&jury, &[Y], Prior::uniform()).is_err());
+    }
+
+    #[test]
+    fn mv_ignores_prior_and_qualities() {
+        let strong = Jury::from_qualities(&[0.99, 0.51, 0.51]).unwrap();
+        let votes = [N, Y, Y];
+        // The high-quality worker votes No but MV follows the two Yes votes,
+        // regardless of the prior.
+        for alpha in [0.0, 0.5, 1.0] {
+            let p = MajorityVoting.prob_no(&strong, &votes, Prior::new(alpha).unwrap()).unwrap();
+            assert_eq!(p, 0.0);
+        }
+    }
+
+    #[test]
+    fn strategy_metadata() {
+        assert_eq!(MajorityVoting.name(), "MV");
+        assert_eq!(MajorityVoting.kind(), StrategyKind::Deterministic);
+        assert_eq!(HalfVoting.name(), "HalfVoting");
+        assert_eq!(HalfVoting.kind(), StrategyKind::Deterministic);
+    }
+}

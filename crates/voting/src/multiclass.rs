@@ -1,0 +1,290 @@
+//! Voting strategies for multiple-choice tasks under the confusion-matrix
+//! worker model (Section 7 of the paper).
+//!
+//! The optimal strategy generalizes directly: Bayesian Voting picks the label
+//! `t*` maximizing the posterior `α_{t'} · Pr(V | t = t')` (Equation 10).
+//! Plurality Voting — the multi-class analogue of Majority Voting — picks the
+//! label with the most votes and is the natural baseline.
+
+use jury_model::{CategoricalPrior, Label, MatrixJury, ModelError, ModelResult};
+
+use crate::strategy::StrategyKind;
+
+/// A voting strategy for multiple-choice tasks.
+///
+/// `prob_label` is the multi-class analogue of
+/// [`crate::strategy::VotingStrategy::prob_no`]: the probability that the
+/// strategy outputs `target` given the observed voting. The vector
+/// `(prob_label(V, 0), ..., prob_label(V, ℓ-1))` is a distribution for every
+/// voting `V` (Section 7, "defines a discrete probability distribution").
+pub trait MultiClassVotingStrategy: Send + Sync {
+    /// A short human-readable name.
+    fn name(&self) -> &'static str;
+
+    /// Whether the strategy is deterministic or randomized.
+    fn kind(&self) -> StrategyKind;
+
+    /// `E[1_{S(V)=target}]`: probability the strategy outputs `target`.
+    fn prob_label(
+        &self,
+        jury: &MatrixJury,
+        votes: &[Label],
+        prior: &CategoricalPrior,
+        target: Label,
+    ) -> ModelResult<f64>;
+
+    /// The most likely output label (ties broken towards the smaller label).
+    fn decide(
+        &self,
+        jury: &MatrixJury,
+        votes: &[Label],
+        prior: &CategoricalPrior,
+    ) -> ModelResult<Label> {
+        let mut best = Label(0);
+        let mut best_p = -1.0;
+        for t in 0..jury.num_choices() {
+            let p = self.prob_label(jury, votes, prior, Label(t))?;
+            if p > best_p + 1e-15 {
+                best_p = p;
+                best = Label(t);
+            }
+        }
+        Ok(best)
+    }
+}
+
+fn check_inputs(
+    jury: &MatrixJury,
+    votes: &[Label],
+    prior: &CategoricalPrior,
+) -> ModelResult<()> {
+    if votes.len() != jury.size() {
+        return Err(ModelError::VoteCountMismatch { votes: votes.len(), jurors: jury.size() });
+    }
+    if prior.num_choices() != jury.num_choices() {
+        return Err(ModelError::InvalidPriorVector {
+            reason: format!(
+                "prior has {} classes but the jury votes over {}",
+                prior.num_choices(),
+                jury.num_choices()
+            ),
+        });
+    }
+    for &v in votes {
+        v.validate(jury.num_choices())?;
+    }
+    Ok(())
+}
+
+/// Plurality Voting: the label with the most votes wins; ties are broken
+/// towards the smaller label index. The multi-class counterpart of MV.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PluralityVoting;
+
+impl PluralityVoting {
+    /// Creates the strategy.
+    pub fn new() -> Self {
+        PluralityVoting
+    }
+
+    /// The winning label of a voting over `num_choices` labels.
+    pub fn result(votes: &[Label], num_choices: usize) -> Label {
+        let mut counts = vec![0usize; num_choices];
+        for &v in votes {
+            if v.index() < num_choices {
+                counts[v.index()] += 1;
+            }
+        }
+        let mut best = 0usize;
+        for (i, &c) in counts.iter().enumerate() {
+            if c > counts[best] {
+                best = i;
+            }
+        }
+        Label(best)
+    }
+}
+
+impl MultiClassVotingStrategy for PluralityVoting {
+    fn name(&self) -> &'static str {
+        "Plurality"
+    }
+
+    fn kind(&self) -> StrategyKind {
+        StrategyKind::Deterministic
+    }
+
+    fn prob_label(
+        &self,
+        jury: &MatrixJury,
+        votes: &[Label],
+        prior: &CategoricalPrior,
+        target: Label,
+    ) -> ModelResult<f64> {
+        check_inputs(jury, votes, prior)?;
+        Ok(if PluralityVoting::result(votes, jury.num_choices()) == target { 1.0 } else { 0.0 })
+    }
+}
+
+/// Multi-class Bayesian Voting (Equation 10): picks
+/// `argmax_{t'} α_{t'} · Pr(V | t = t')`, ties broken towards the smaller
+/// label.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BayesianMultiClassVoting;
+
+impl BayesianMultiClassVoting {
+    /// Creates the strategy.
+    pub fn new() -> Self {
+        BayesianMultiClassVoting
+    }
+
+    /// The unnormalized posterior weights `α_{t'} · Pr(V | t = t')` for every
+    /// label.
+    pub fn posterior_weights(
+        jury: &MatrixJury,
+        votes: &[Label],
+        prior: &CategoricalPrior,
+    ) -> ModelResult<Vec<f64>> {
+        check_inputs(jury, votes, prior)?;
+        (0..jury.num_choices())
+            .map(|t| Ok(prior.prob(Label(t)) * jury.voting_likelihood(votes, Label(t))?))
+            .collect()
+    }
+
+    /// The deterministic result of the strategy.
+    pub fn result(
+        jury: &MatrixJury,
+        votes: &[Label],
+        prior: &CategoricalPrior,
+    ) -> ModelResult<Label> {
+        let weights = BayesianMultiClassVoting::posterior_weights(jury, votes, prior)?;
+        let mut best = 0usize;
+        for (i, &w) in weights.iter().enumerate() {
+            if w > weights[best] {
+                best = i;
+            }
+        }
+        Ok(Label(best))
+    }
+}
+
+impl MultiClassVotingStrategy for BayesianMultiClassVoting {
+    fn name(&self) -> &'static str {
+        "BV-multi"
+    }
+
+    fn kind(&self) -> StrategyKind {
+        StrategyKind::Deterministic
+    }
+
+    fn prob_label(
+        &self,
+        jury: &MatrixJury,
+        votes: &[Label],
+        prior: &CategoricalPrior,
+        target: Label,
+    ) -> ModelResult<f64> {
+        Ok(if BayesianMultiClassVoting::result(jury, votes, prior)? == target { 1.0 } else { 0.0 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jury_model::{Jury, Prior};
+
+    use crate::bayesian::BayesianVoting;
+
+    #[test]
+    fn plurality_counts_votes() {
+        let votes = [Label(2), Label(0), Label(2), Label(1)];
+        assert_eq!(PluralityVoting::result(&votes, 3), Label(2));
+        // Ties go to the smaller label.
+        assert_eq!(PluralityVoting::result(&[Label(1), Label(0)], 3), Label(0));
+        assert_eq!(PluralityVoting::result(&[], 3), Label(0));
+    }
+
+    #[test]
+    fn plurality_prob_label_is_indicator() {
+        let jury = MatrixJury::from_qualities(&[0.8, 0.6, 0.6], 3).unwrap();
+        let prior = CategoricalPrior::uniform(3).unwrap();
+        let votes = [Label(1), Label(1), Label(2)];
+        let p1 = PluralityVoting.prob_label(&jury, &votes, &prior, Label(1)).unwrap();
+        let p2 = PluralityVoting.prob_label(&jury, &votes, &prior, Label(2)).unwrap();
+        assert_eq!((p1, p2), (1.0, 0.0));
+        assert_eq!(PluralityVoting.decide(&jury, &votes, &prior).unwrap(), Label(1));
+    }
+
+    #[test]
+    fn bayesian_multiclass_prefers_strong_worker() {
+        // One 0.9 worker voting label 0 against two 0.6 workers voting
+        // label 1 — the Bayesian strategy follows the strong worker, exactly
+        // like the binary Example in Section 3.3.
+        let jury = MatrixJury::from_qualities(&[0.9, 0.6, 0.6], 2).unwrap();
+        let prior = CategoricalPrior::uniform(2).unwrap();
+        let votes = [Label(0), Label(1), Label(1)];
+        assert_eq!(
+            BayesianMultiClassVoting::result(&jury, &votes, &prior).unwrap(),
+            Label(0)
+        );
+        assert_eq!(PluralityVoting::result(&votes, 2), Label(1));
+    }
+
+    #[test]
+    fn bayesian_multiclass_agrees_with_binary_bv_on_two_classes() {
+        let qualities = [0.85, 0.7, 0.6, 0.55];
+        let matrix_jury = MatrixJury::from_qualities(&qualities, 2).unwrap();
+        let binary_jury = Jury::from_qualities(&qualities).unwrap();
+        let prior2 = CategoricalPrior::new(vec![0.3, 0.7]).unwrap();
+        let prior_bin = Prior::new(0.3).unwrap();
+        for votes in jury_model::enumerate_binary_votings(qualities.len()) {
+            let labels: Vec<Label> = votes.iter().map(|a| a.to_label()).collect();
+            let multi = BayesianMultiClassVoting::result(&matrix_jury, &labels, &prior2).unwrap();
+            let binary = BayesianVoting::result(&binary_jury, &votes, prior_bin).unwrap();
+            assert_eq!(multi.index(), binary.as_index(), "disagree on {votes:?}");
+        }
+    }
+
+    #[test]
+    fn bayesian_multiclass_uses_prior() {
+        let jury = MatrixJury::from_qualities(&[0.4], 3).unwrap();
+        // A weak worker votes label 2, but the prior overwhelmingly favours 0.
+        let prior = CategoricalPrior::new(vec![0.9, 0.05, 0.05]).unwrap();
+        let result = BayesianMultiClassVoting::result(&jury, &[Label(2)], &prior).unwrap();
+        assert_eq!(result, Label(0));
+    }
+
+    #[test]
+    fn posterior_weights_shape() {
+        let jury = MatrixJury::from_qualities(&[0.8, 0.7], 3).unwrap();
+        let prior = CategoricalPrior::uniform(3).unwrap();
+        let w = BayesianMultiClassVoting::posterior_weights(&jury, &[Label(0), Label(0)], &prior)
+            .unwrap();
+        assert_eq!(w.len(), 3);
+        assert!(w[0] > w[1] && w[0] > w[2]);
+        // Labels 1 and 2 are symmetric for the symmetric confusion matrix.
+        assert!((w[1] - w[2]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn input_validation() {
+        let jury = MatrixJury::from_qualities(&[0.8, 0.7], 3).unwrap();
+        let prior3 = CategoricalPrior::uniform(3).unwrap();
+        let prior2 = CategoricalPrior::uniform(2).unwrap();
+        assert!(PluralityVoting.prob_label(&jury, &[Label(0)], &prior3, Label(0)).is_err());
+        assert!(PluralityVoting
+            .prob_label(&jury, &[Label(0), Label(0)], &prior2, Label(0))
+            .is_err());
+        assert!(BayesianMultiClassVoting
+            .prob_label(&jury, &[Label(0), Label(5)], &prior3, Label(0))
+            .is_err());
+    }
+
+    #[test]
+    fn metadata() {
+        assert_eq!(PluralityVoting.name(), "Plurality");
+        assert_eq!(PluralityVoting.kind(), StrategyKind::Deterministic);
+        assert_eq!(BayesianMultiClassVoting.name(), "BV-multi");
+        assert_eq!(BayesianMultiClassVoting.kind(), StrategyKind::Deterministic);
+    }
+}

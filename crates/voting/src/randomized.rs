@@ -1,0 +1,150 @@
+//! Randomized voting strategies: Randomized Majority Voting (RMV) and Random
+//! Ballot Voting (RBV).
+//!
+//! Randomized strategies return each answer with some probability
+//! (Definition 2). They are introduced in the literature to improve
+//! worst-case error bounds; the paper's Figure 8 compares their JQ against
+//! the deterministic strategies and shows they are dominated by BV.
+
+use jury_model::{Answer, Jury, ModelResult, Prior};
+
+use crate::strategy::{count_no, StrategyKind, VotingStrategy};
+
+/// Randomized Majority Voting (Example 1): returns `0` with probability
+/// proportional to the number of `0` votes, `p = (1/n) Σ (1 − v_i)`, and `1`
+/// with probability `1 − p`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RandomizedMajorityVoting;
+
+impl RandomizedMajorityVoting {
+    /// Creates the strategy.
+    pub fn new() -> Self {
+        RandomizedMajorityVoting
+    }
+}
+
+impl VotingStrategy for RandomizedMajorityVoting {
+    fn name(&self) -> &'static str {
+        "RMV"
+    }
+
+    fn kind(&self) -> StrategyKind {
+        StrategyKind::Randomized
+    }
+
+    fn prob_no(&self, jury: &Jury, votes: &[Answer], _prior: Prior) -> ModelResult<f64> {
+        jury.check_voting(votes)?;
+        if votes.is_empty() {
+            // No information: fair coin, consistent with RBV.
+            return Ok(0.5);
+        }
+        Ok(count_no(votes) as f64 / votes.len() as f64)
+    }
+}
+
+/// Random Ballot Voting (cited as [33]): the result is picked uniformly at
+/// random, ignoring the votes entirely — the paper's Section 6.1.4 footnote
+/// describes it as "randomly returns 0 or 1 with 50%". Its JQ is always 50 %
+/// under a uniform prior, which is exactly the flat line of Figure 8.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RandomBallotVoting;
+
+impl RandomBallotVoting {
+    /// Creates the strategy.
+    pub fn new() -> Self {
+        RandomBallotVoting
+    }
+}
+
+impl VotingStrategy for RandomBallotVoting {
+    fn name(&self) -> &'static str {
+        "RBV"
+    }
+
+    fn kind(&self) -> StrategyKind {
+        StrategyKind::Randomized
+    }
+
+    fn prob_no(&self, jury: &Jury, votes: &[Answer], _prior: Prior) -> ModelResult<f64> {
+        jury.check_voting(votes)?;
+        Ok(0.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const N: Answer = Answer::No;
+    const Y: Answer = Answer::Yes;
+
+    #[test]
+    fn rmv_probability_is_vote_share() {
+        let jury = Jury::from_qualities(&[0.9, 0.6, 0.6, 0.7]).unwrap();
+        let p = RandomizedMajorityVoting
+            .prob_no(&jury, &[N, N, Y, Y], Prior::uniform())
+            .unwrap();
+        assert!((p - 0.5).abs() < 1e-12);
+        let p = RandomizedMajorityVoting
+            .prob_no(&jury, &[N, N, N, Y], Prior::uniform())
+            .unwrap();
+        assert!((p - 0.75).abs() < 1e-12);
+        let p = RandomizedMajorityVoting
+            .prob_no(&jury, &[Y, Y, Y, Y], Prior::uniform())
+            .unwrap();
+        assert_eq!(p, 0.0);
+    }
+
+    #[test]
+    fn rmv_empty_jury_is_a_coin() {
+        let jury = Jury::empty();
+        let p = RandomizedMajorityVoting.prob_no(&jury, &[], Prior::uniform()).unwrap();
+        assert!((p - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rbv_ignores_votes() {
+        let jury = Jury::from_qualities(&[0.99, 0.99]).unwrap();
+        for votes in jury_model::enumerate_binary_votings(2) {
+            let p = RandomBallotVoting.prob_no(&jury, &votes, Prior::uniform()).unwrap();
+            assert!((p - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn vote_count_mismatch_is_rejected() {
+        let jury = Jury::from_qualities(&[0.9, 0.6]).unwrap();
+        assert!(RandomizedMajorityVoting.prob_no(&jury, &[N], Prior::uniform()).is_err());
+        assert!(RandomBallotVoting.prob_no(&jury, &[N, Y, Y], Prior::uniform()).is_err());
+    }
+
+    #[test]
+    fn rmv_decision_frequency_tracks_probability() {
+        let jury = Jury::from_qualities(&[0.9, 0.6, 0.6, 0.7]).unwrap();
+        let votes = [N, N, N, Y];
+        let mut rng = StdRng::seed_from_u64(1);
+        let trials = 4000;
+        let mut nos = 0;
+        for _ in 0..trials {
+            if RandomizedMajorityVoting
+                .decide(&jury, &votes, Prior::uniform(), &mut rng)
+                .unwrap()
+                == N
+            {
+                nos += 1;
+            }
+        }
+        let freq = nos as f64 / trials as f64;
+        assert!((freq - 0.75).abs() < 0.05, "frequency {freq} far from 0.75");
+    }
+
+    #[test]
+    fn metadata() {
+        assert_eq!(RandomizedMajorityVoting.name(), "RMV");
+        assert_eq!(RandomizedMajorityVoting.kind(), StrategyKind::Randomized);
+        assert_eq!(RandomBallotVoting.name(), "RBV");
+        assert_eq!(RandomBallotVoting.kind(), StrategyKind::Randomized);
+    }
+}

@@ -1,0 +1,189 @@
+//! The voting-strategy abstraction (Section 3.1).
+//!
+//! A voting strategy `S(V, J, α)` estimates the true answer of a task from
+//! the prior, the jury, and the observed votes. The paper classifies
+//! strategies as **deterministic** (the result is a function of the votes)
+//! or **randomized** (the result is 0 with some probability `p` and 1 with
+//! probability `1 − p`).
+//!
+//! The key quantity for jury-quality computation is
+//! `h(V) = E[1_{S(V) = 0}]` — the probability that the strategy outputs `0`
+//! on the observed voting `V`. For deterministic strategies `h(V) ∈ {0, 1}`;
+//! for randomized strategies `h(V) ∈ [0, 1]`. Every strategy in this crate
+//! exposes `h` through [`VotingStrategy::prob_no`], which is what
+//! `jury-jq`'s exact JQ computation (Definition 3) consumes.
+
+use rand::RngCore;
+
+use jury_model::{Answer, Jury, ModelResult, Prior};
+
+/// Whether a strategy involves randomness in producing its result
+/// (Definitions 1 and 2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StrategyKind {
+    /// The result is a deterministic function of `(V, J, α)`.
+    Deterministic,
+    /// The result is `0` with probability `p(V, J, α)` and `1` otherwise.
+    Randomized,
+}
+
+impl std::fmt::Display for StrategyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StrategyKind::Deterministic => write!(f, "deterministic"),
+            StrategyKind::Randomized => write!(f, "randomized"),
+        }
+    }
+}
+
+/// A voting strategy for binary decision-making tasks.
+///
+/// Implementations must be consistent: [`VotingStrategy::decide`] must return
+/// `Answer::No` with exactly the probability reported by
+/// [`VotingStrategy::prob_no`].
+pub trait VotingStrategy: Send + Sync {
+    /// A short human-readable name (e.g. `"MV"`, `"BV"`).
+    fn name(&self) -> &'static str;
+
+    /// Whether the strategy is deterministic or randomized.
+    fn kind(&self) -> StrategyKind;
+
+    /// `h(V) = E[1_{S(V)=0}]`: the probability that the strategy returns the
+    /// answer `0` (`No`) given the observed voting.
+    ///
+    /// The votes must be aligned with the jury's workers (one vote per
+    /// juror, in order).
+    fn prob_no(&self, jury: &Jury, votes: &[Answer], prior: Prior) -> ModelResult<f64>;
+
+    /// Draws a concrete result. Deterministic strategies ignore the RNG.
+    fn decide(
+        &self,
+        jury: &Jury,
+        votes: &[Answer],
+        prior: Prior,
+        rng: &mut dyn RngCore,
+    ) -> ModelResult<Answer> {
+        let p = self.prob_no(jury, votes, prior)?;
+        if p >= 1.0 {
+            return Ok(Answer::No);
+        }
+        if p <= 0.0 {
+            return Ok(Answer::Yes);
+        }
+        // Draw a uniform sample in [0, 1) from the raw RNG so the trait stays
+        // object-safe (no generic Rng parameter).
+        let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        Ok(if u < p { Answer::No } else { Answer::Yes })
+    }
+
+    /// Convenience wrapper asserting the strategy is deterministic and
+    /// returning its (unique) decision.
+    fn decide_deterministic(
+        &self,
+        jury: &Jury,
+        votes: &[Answer],
+        prior: Prior,
+    ) -> ModelResult<Answer> {
+        debug_assert_eq!(
+            self.kind(),
+            StrategyKind::Deterministic,
+            "decide_deterministic called on a randomized strategy"
+        );
+        let p = self.prob_no(jury, votes, prior)?;
+        Ok(if p >= 0.5 { Answer::No } else { Answer::Yes })
+    }
+}
+
+/// Counts the `No` votes in a voting — the quantity `Σ (1 − v_i)` used by
+/// majority-style strategies.
+pub fn count_no(votes: &[Answer]) -> usize {
+    votes.iter().filter(|v| **v == Answer::No).count()
+}
+
+/// Counts the `Yes` votes in a voting.
+pub fn count_yes(votes: &[Answer]) -> usize {
+    votes.len() - count_no(votes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A trivial strategy that always answers `No`, used to exercise the
+    /// default `decide` implementations.
+    struct AlwaysNo;
+
+    impl VotingStrategy for AlwaysNo {
+        fn name(&self) -> &'static str {
+            "AlwaysNo"
+        }
+        fn kind(&self) -> StrategyKind {
+            StrategyKind::Deterministic
+        }
+        fn prob_no(&self, _jury: &Jury, _votes: &[Answer], _prior: Prior) -> ModelResult<f64> {
+            Ok(1.0)
+        }
+    }
+
+    /// A fair-coin strategy, used to exercise the randomized path.
+    struct Coin;
+
+    impl VotingStrategy for Coin {
+        fn name(&self) -> &'static str {
+            "Coin"
+        }
+        fn kind(&self) -> StrategyKind {
+            StrategyKind::Randomized
+        }
+        fn prob_no(&self, _jury: &Jury, _votes: &[Answer], _prior: Prior) -> ModelResult<f64> {
+            Ok(0.5)
+        }
+    }
+
+    #[test]
+    fn counting_helpers() {
+        let votes = [Answer::No, Answer::Yes, Answer::No];
+        assert_eq!(count_no(&votes), 2);
+        assert_eq!(count_yes(&votes), 1);
+        assert_eq!(count_no(&[]), 0);
+    }
+
+    #[test]
+    fn default_decide_respects_certainty() {
+        let jury = Jury::from_qualities(&[0.9]).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let d = AlwaysNo
+            .decide(&jury, &[Answer::Yes], Prior::uniform(), &mut rng)
+            .unwrap();
+        assert_eq!(d, Answer::No);
+        assert_eq!(
+            AlwaysNo.decide_deterministic(&jury, &[Answer::Yes], Prior::uniform()).unwrap(),
+            Answer::No
+        );
+    }
+
+    #[test]
+    fn default_decide_samples_randomized_strategies() {
+        let jury = Jury::from_qualities(&[0.9]).unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut nos = 0;
+        let trials = 4000;
+        for _ in 0..trials {
+            if Coin.decide(&jury, &[Answer::Yes], Prior::uniform(), &mut rng).unwrap()
+                == Answer::No
+            {
+                nos += 1;
+            }
+        }
+        let freq = nos as f64 / trials as f64;
+        assert!((freq - 0.5).abs() < 0.05, "coin frequency {freq} far from 0.5");
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(StrategyKind::Deterministic.to_string(), "deterministic");
+        assert_eq!(StrategyKind::Randomized.to_string(), "randomized");
+    }
+}

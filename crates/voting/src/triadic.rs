@@ -1,0 +1,199 @@
+//! Triadic Consensus (cited as [2], Goel & Lee, in the paper's Table 2): a
+//! randomized strategy that repeatedly resolves random triads of ballots by
+//! majority until a single ballot remains.
+//!
+//! We operate on the multiset of collected votes: while at least three
+//! ballots remain, three are drawn uniformly at random without replacement
+//! and replaced by one ballot carrying their majority answer; with two
+//! ballots left one of them is picked uniformly; the last ballot is the
+//! result. The probability of returning `0` depends only on the counts of
+//! `0` and `1` ballots, so `prob_no` can be computed exactly by a memoized
+//! recursion over those counts rather than by simulation.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use jury_model::{Answer, Jury, ModelResult, Prior};
+
+use crate::strategy::{count_no, StrategyKind, VotingStrategy};
+
+/// Triadic Consensus over the multiset of votes.
+#[derive(Debug, Default)]
+pub struct TriadicConsensus {
+    /// Memoized `Pr(result = No | counts)` keyed by `(no_ballots, yes_ballots)`.
+    cache: Mutex<HashMap<(u32, u32), f64>>,
+}
+
+impl TriadicConsensus {
+    /// Creates the strategy with an empty memo table.
+    pub fn new() -> Self {
+        TriadicConsensus { cache: Mutex::new(HashMap::new()) }
+    }
+
+    /// Exact probability that the consensus process ends with a `No` ballot,
+    /// starting from `no` ballots for `No` and `yes` ballots for `Yes`.
+    pub fn prob_no_from_counts(&self, no: u32, yes: u32) -> f64 {
+        if no + yes == 0 {
+            return 0.5;
+        }
+        if let Some(&p) = self.cache.lock().get(&(no, yes)) {
+            return p;
+        }
+        let p = self.compute(no, yes);
+        self.cache.lock().insert((no, yes), p);
+        p
+    }
+
+    fn compute(&self, no: u32, yes: u32) -> f64 {
+        let total = no + yes;
+        match total {
+            0 => 0.5,
+            1 => {
+                if no == 1 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            2 => no as f64 / 2.0,
+            _ => {
+                // Draw 3 ballots without replacement; k of them are No with
+                // hypergeometric probability C(no, k) C(yes, 3-k) / C(total, 3).
+                let denom = choose(total, 3);
+                let mut p = 0.0;
+                for k in 0..=3u32 {
+                    if k > no || 3 - k > yes {
+                        continue;
+                    }
+                    let weight = choose(no, k) * choose(yes, 3 - k) / denom;
+                    if weight == 0.0 {
+                        continue;
+                    }
+                    // The triad resolves to the majority of its 3 ballots.
+                    let (next_no, next_yes) = if k >= 2 {
+                        (no - k + 1, yes - (3 - k))
+                    } else {
+                        (no - k, yes - (3 - k) + 1)
+                    };
+                    p += weight * self.prob_no_from_counts(next_no, next_yes);
+                }
+                p
+            }
+        }
+    }
+}
+
+/// Binomial coefficient as `f64` (small arguments only).
+fn choose(n: u32, k: u32) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    let mut result = 1.0;
+    for i in 0..k {
+        result *= (n - i) as f64 / (i + 1) as f64;
+    }
+    result
+}
+
+impl VotingStrategy for TriadicConsensus {
+    fn name(&self) -> &'static str {
+        "Triadic"
+    }
+
+    fn kind(&self) -> StrategyKind {
+        StrategyKind::Randomized
+    }
+
+    fn prob_no(&self, jury: &Jury, votes: &[Answer], _prior: Prior) -> ModelResult<f64> {
+        jury.check_voting(votes)?;
+        let no = count_no(votes) as u32;
+        let yes = (votes.len() - no as usize) as u32;
+        Ok(self.prob_no_from_counts(no, yes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn choose_small_values() {
+        assert_eq!(choose(5, 2), 10.0);
+        assert_eq!(choose(3, 3), 1.0);
+        assert_eq!(choose(3, 0), 1.0);
+        assert_eq!(choose(2, 3), 0.0);
+    }
+
+    #[test]
+    fn unanimous_ballots_are_certain() {
+        let t = TriadicConsensus::new();
+        assert_eq!(t.prob_no_from_counts(5, 0), 1.0);
+        assert_eq!(t.prob_no_from_counts(0, 7), 0.0);
+        assert_eq!(t.prob_no_from_counts(1, 0), 1.0);
+    }
+
+    #[test]
+    fn symmetric_ballots_are_a_coin() {
+        let t = TriadicConsensus::new();
+        for n in [1u32, 2, 3, 5, 8] {
+            let p = t.prob_no_from_counts(n, n);
+            assert!((p - 0.5).abs() < 1e-9, "counts ({n},{n}) give {p}");
+        }
+        assert!((t.prob_no_from_counts(0, 0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn majority_side_is_favoured_and_monotone() {
+        let t = TriadicConsensus::new();
+        let p_weak = t.prob_no_from_counts(4, 3);
+        let p_strong = t.prob_no_from_counts(6, 2);
+        assert!(p_weak > 0.5);
+        assert!(p_strong > p_weak);
+        assert!(p_strong < 1.0);
+        // With a single dissenting ballot the dissenter can never win: it is
+        // always outvoted inside whichever triad it lands in.
+        assert_eq!(t.prob_no_from_counts(6, 1), 1.0);
+    }
+
+    #[test]
+    fn probability_is_amplified_relative_to_vote_share() {
+        // Triadic consensus amplifies majorities relative to the raw share
+        // used by RMV (5/7 ≈ 0.714).
+        let t = TriadicConsensus::new();
+        let p = t.prob_no_from_counts(5, 2);
+        assert!(p > 5.0 / 7.0, "triadic prob {p} should exceed the raw share");
+    }
+
+    #[test]
+    fn strategy_interface() {
+        let t = TriadicConsensus::new();
+        let jury = Jury::from_qualities(&[0.7, 0.7, 0.7]).unwrap();
+        let votes = [Answer::No, Answer::No, Answer::Yes];
+        let p = t.prob_no(&jury, &votes, Prior::uniform()).unwrap();
+        // A single triad with 2 No votes resolves to No deterministically.
+        assert_eq!(p, 1.0);
+        assert!(t.prob_no(&jury, &[Answer::No], Prior::uniform()).is_err());
+        assert_eq!(t.name(), "Triadic");
+        assert_eq!(t.kind(), StrategyKind::Randomized);
+    }
+
+    #[test]
+    fn two_ballot_tiebreak_is_uniform() {
+        let t = TriadicConsensus::new();
+        assert!((t.prob_no_from_counts(1, 1) - 0.5).abs() < 1e-12);
+        assert!((t.prob_no_from_counts(2, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probabilities_are_complementary() {
+        // Pr(No | a,b) + Pr(No | b,a) = 1 by symmetry of the process.
+        let t = TriadicConsensus::new();
+        for (a, b) in [(3u32, 2u32), (6, 1), (4, 4), (7, 2)] {
+            let p = t.prob_no_from_counts(a, b);
+            let q = t.prob_no_from_counts(b, a);
+            assert!((p + q - 1.0).abs() < 1e-9, "({a},{b}): {p} + {q} != 1");
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Weighted majority strategies (cited as [23] in the paper's Table 2):
+//! Weighted Majority Voting and its randomized counterpart.
+//!
+//! Each vote is weighted by the worker's log-odds `φ(q) = ln(q / (1 − q))`
+//! (votes of workers with `q < 0.5` are reinterpreted as the opposite vote
+//! with weight `φ(1 − q)`, per Section 3.3). Weighted MV with these weights
+//! and a uniform prior coincides with Bayesian Voting; with a non-uniform
+//! prior it differs because it ignores the prior — a distinction exercised
+//! in the tests.
+
+use jury_model::{Answer, Jury, ModelResult, Prior};
+
+use crate::strategy::{StrategyKind, VotingStrategy};
+
+/// Splits the total log-odds weight of a voting into the weight supporting
+/// `No` and the weight supporting `Yes`, applying the low-quality
+/// reinterpretation.
+fn weight_split(jury: &Jury, votes: &[Answer]) -> ModelResult<(f64, f64)> {
+    jury.check_voting(votes)?;
+    let mut weight_no = 0.0;
+    let mut weight_yes = 0.0;
+    for (worker, &vote) in jury.workers().iter().zip(votes.iter()) {
+        let weight = worker.log_odds();
+        // An adversarial worker's vote counts for the opposite answer.
+        let effective_vote = if worker.is_adversarial() { vote.flip() } else { vote };
+        match effective_vote {
+            Answer::No => weight_no += weight,
+            Answer::Yes => weight_yes += weight,
+        }
+    }
+    Ok((weight_no, weight_yes))
+}
+
+/// Weighted Majority Voting: the result is the answer with the larger total
+/// log-odds weight; ties go to `0` (as in Theorem 1).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WeightedMajorityVoting;
+
+impl WeightedMajorityVoting {
+    /// Creates the strategy.
+    pub fn new() -> Self {
+        WeightedMajorityVoting
+    }
+
+    /// The deterministic result on a voting.
+    pub fn result(jury: &Jury, votes: &[Answer]) -> ModelResult<Answer> {
+        let (weight_no, weight_yes) = weight_split(jury, votes)?;
+        Ok(if weight_no >= weight_yes { Answer::No } else { Answer::Yes })
+    }
+}
+
+impl VotingStrategy for WeightedMajorityVoting {
+    fn name(&self) -> &'static str {
+        "WMV"
+    }
+
+    fn kind(&self) -> StrategyKind {
+        StrategyKind::Deterministic
+    }
+
+    fn prob_no(&self, jury: &Jury, votes: &[Answer], _prior: Prior) -> ModelResult<f64> {
+        Ok(if WeightedMajorityVoting::result(jury, votes)? == Answer::No { 1.0 } else { 0.0 })
+    }
+}
+
+/// Randomized Weighted Majority Voting: returns `0` with probability equal
+/// to the share of the total weight supporting `0`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RandomizedWeightedMajorityVoting;
+
+impl RandomizedWeightedMajorityVoting {
+    /// Creates the strategy.
+    pub fn new() -> Self {
+        RandomizedWeightedMajorityVoting
+    }
+}
+
+impl VotingStrategy for RandomizedWeightedMajorityVoting {
+    fn name(&self) -> &'static str {
+        "RWMV"
+    }
+
+    fn kind(&self) -> StrategyKind {
+        StrategyKind::Randomized
+    }
+
+    fn prob_no(&self, jury: &Jury, votes: &[Answer], _prior: Prior) -> ModelResult<f64> {
+        let (weight_no, weight_yes) = weight_split(jury, votes)?;
+        let total = weight_no + weight_yes;
+        if total <= 0.0 {
+            // All workers have quality exactly 0.5: no information.
+            return Ok(0.5);
+        }
+        Ok(weight_no / total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bayesian::BayesianVoting;
+
+    const N: Answer = Answer::No;
+    const Y: Answer = Answer::Yes;
+
+    #[test]
+    fn wmv_prefers_high_quality_workers() {
+        // One 0.9 worker voting No outweighs two 0.6 workers voting Yes,
+        // because φ(0.9) ≈ 2.197 > 2·φ(0.6) ≈ 0.811.
+        let jury = Jury::from_qualities(&[0.9, 0.6, 0.6]).unwrap();
+        assert_eq!(WeightedMajorityVoting::result(&jury, &[N, Y, Y]).unwrap(), N);
+        // Three 0.6 workers outweigh nobody: all-Yes wins.
+        assert_eq!(WeightedMajorityVoting::result(&jury, &[Y, Y, Y]).unwrap(), Y);
+    }
+
+    #[test]
+    fn wmv_matches_bv_under_uniform_prior() {
+        let jury = Jury::from_qualities(&[0.85, 0.7, 0.6, 0.55]).unwrap();
+        for votes in jury_model::enumerate_binary_votings(jury.size()) {
+            let wmv = WeightedMajorityVoting::result(&jury, &votes).unwrap();
+            let bv = BayesianVoting::result(&jury, &votes, Prior::uniform()).unwrap();
+            assert_eq!(wmv, bv, "WMV and BV disagree on {votes:?}");
+        }
+    }
+
+    #[test]
+    fn wmv_ignores_the_prior_unlike_bv() {
+        let jury = Jury::from_qualities(&[0.6]).unwrap();
+        let strong_no = Prior::new(0.95).unwrap();
+        // BV follows the prior; WMV follows the single vote.
+        assert_eq!(BayesianVoting::result(&jury, &[Y], strong_no).unwrap(), N);
+        assert_eq!(
+            WeightedMajorityVoting.decide_deterministic(&jury, &[Y], strong_no).unwrap(),
+            Y
+        );
+    }
+
+    #[test]
+    fn wmv_reinterprets_adversarial_workers() {
+        // A 0.1-quality worker voting Yes is treated as a 0.9-quality worker
+        // voting No.
+        let jury = Jury::from_qualities(&[0.1, 0.6]).unwrap();
+        assert_eq!(WeightedMajorityVoting::result(&jury, &[Y, Y]).unwrap(), N);
+    }
+
+    #[test]
+    fn rwmv_probability_is_weight_share() {
+        let jury = Jury::from_qualities(&[0.9, 0.6]).unwrap();
+        let w_strong = jury.workers()[0].log_odds();
+        let w_weak = jury.workers()[1].log_odds();
+        let p = RandomizedWeightedMajorityVoting
+            .prob_no(&jury, &[N, Y], Prior::uniform())
+            .unwrap();
+        assert!((p - w_strong / (w_strong + w_weak)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rwmv_uninformative_jury_is_a_coin() {
+        let jury = Jury::from_qualities(&[0.5, 0.5]).unwrap();
+        let p = RandomizedWeightedMajorityVoting
+            .prob_no(&jury, &[N, Y], Prior::uniform())
+            .unwrap();
+        assert!((p - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metadata() {
+        assert_eq!(WeightedMajorityVoting.name(), "WMV");
+        assert_eq!(WeightedMajorityVoting.kind(), StrategyKind::Deterministic);
+        assert_eq!(RandomizedWeightedMajorityVoting.name(), "RWMV");
+        assert_eq!(RandomizedWeightedMajorityVoting.kind(), StrategyKind::Randomized);
+    }
+}

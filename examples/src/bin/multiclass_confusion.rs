@@ -1,0 +1,86 @@
+//! The Section 7 extension in action: multiple-choice tasks and
+//! confusion-matrix workers.
+//!
+//! A three-label sentiment task (positive / neutral / negative) is answered
+//! by workers described by full confusion matrices. The example shows that
+//! multi-class Bayesian voting dominates plurality voting, that the
+//! tuple-key approximation of the multi-class JQ tracks the exact value, and
+//! how the informativeness score flags spammer-like workers.
+//!
+//! Run with:
+//! ```text
+//! cargo run -p jury-examples --release --bin multiclass_confusion
+//! ```
+
+use jury_model::{CategoricalPrior, ConfusionMatrix, Label, MatrixJury, MatrixWorker, MultiClassTask, TaskId, WorkerId};
+use jury_voting::{BayesianMultiClassVoting, MultiClassVotingStrategy, PluralityVoting};
+use jury_jq::{approx_multiclass_bv_jq, exact_multiclass_bv_jq, exact_multiclass_jq, MultiClassBucketConfig};
+
+fn main() {
+    let task = MultiClassTask::sentiment(TaskId(1), "the new release is shockingly slow");
+    println!("Task: {}", task.question());
+    println!("Choices: {:?}\n", task.choices());
+
+    // Four workers: a careful one, one who confuses neutral with negative,
+    // an average one, and a near-spammer.
+    let workers = vec![
+        MatrixWorker::new(
+            WorkerId(0),
+            ConfusionMatrix::new(
+                3,
+                vec![0.90, 0.05, 0.05, 0.08, 0.84, 0.08, 0.05, 0.05, 0.90],
+            )
+            .unwrap(),
+            4.0,
+        )
+        .unwrap(),
+        MatrixWorker::new(
+            WorkerId(1),
+            ConfusionMatrix::new(
+                3,
+                vec![0.80, 0.15, 0.05, 0.05, 0.55, 0.40, 0.05, 0.25, 0.70],
+            )
+            .unwrap(),
+            2.0,
+        )
+        .unwrap(),
+        MatrixWorker::new(WorkerId(2), ConfusionMatrix::from_quality(0.7, 3).unwrap(), 1.5).unwrap(),
+        MatrixWorker::new(WorkerId(3), ConfusionMatrix::from_quality(0.4, 3).unwrap(), 0.5).unwrap(),
+    ];
+
+    println!("Worker informativeness (0 = pure spammer):");
+    for worker in &workers {
+        println!(
+            "  {}: mean accuracy {:.2}, informativeness {:.3}, cost {:.1}",
+            worker.id(),
+            worker.confusion().mean_accuracy(),
+            worker.confusion().informativeness(),
+            worker.cost()
+        );
+    }
+
+    let jury = MatrixJury::new(workers).unwrap();
+    let prior = CategoricalPrior::new(vec![0.2, 0.3, 0.5]).unwrap();
+
+    // A concrete voting: the strong worker says negative, two others say
+    // neutral, the near-spammer says positive.
+    let votes = vec![Label(2), Label(1), Label(1), Label(0)];
+    let plurality = PluralityVoting::new().decide(&jury, &votes, &prior).unwrap();
+    let bayesian = BayesianMultiClassVoting::new().decide(&jury, &votes, &prior).unwrap();
+    println!("\nVotes (by worker): {votes:?}");
+    println!("Plurality voting answers: {} ({})", plurality, task.choices()[plurality.index()]);
+    println!("Bayesian voting answers:  {} ({})", bayesian, task.choices()[bayesian.index()]);
+
+    // Jury quality under both strategies, exact and approximate.
+    let jq_plurality = exact_multiclass_jq(&jury, &PluralityVoting::new(), &prior).unwrap();
+    let jq_bv = exact_multiclass_bv_jq(&jury, &prior).unwrap();
+    let jq_bv_approx =
+        approx_multiclass_bv_jq(&jury, &prior, MultiClassBucketConfig::default()).unwrap();
+    println!("\nJury quality under plurality voting: {:.2}%", jq_plurality * 100.0);
+    println!("Jury quality under Bayesian voting:  {:.2}% (exact)", jq_bv * 100.0);
+    println!("Jury quality under Bayesian voting:  {:.2}% (bucketed approximation)", jq_bv_approx * 100.0);
+    println!(
+        "\nBayesian voting's lead over plurality: {:+.2}% — the Section 7 claim that BV stays optimal.",
+        (jq_bv - jq_plurality) * 100.0
+    );
+}

@@ -1,0 +1,36 @@
+//! Cross-crate integration tests for the jury-selection workspace.
+//!
+//! The actual tests live under `tests/`; this library only exposes a few
+//! shared helpers for them.
+
+use jury_model::{GaussianWorkerGenerator, Jury, WorkerPool};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A reproducible random jury drawn from the paper's synthetic worker model.
+pub fn random_jury(n: usize, seed: u64) -> Jury {
+    let generator = GaussianWorkerGenerator::paper_defaults();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let qualities: Vec<f64> = (0..n).map(|_| generator.sample_quality(&mut rng)).collect();
+    Jury::from_qualities(&qualities).expect("clamped qualities are valid")
+}
+
+/// A reproducible random candidate pool drawn from the paper's synthetic
+/// worker model (qualities and costs).
+pub fn random_pool(n: usize, seed: u64) -> WorkerPool {
+    let generator = GaussianWorkerGenerator::paper_defaults();
+    let mut rng = StdRng::seed_from_u64(seed);
+    generator.generate(n, &mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_are_reproducible() {
+        assert_eq!(random_jury(5, 1), random_jury(5, 1));
+        assert_eq!(random_pool(5, 1), random_pool(5, 1));
+        assert_ne!(random_pool(5, 1), random_pool(5, 2));
+    }
+}

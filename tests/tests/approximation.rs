@@ -1,0 +1,140 @@
+//! Integration tests for the bucket-based JQ approximation (Algorithm 1/2,
+//! Theorem 3, and the Section 4.4 error bound) against the exact back-ends.
+
+use jury_integration_tests::random_jury;
+use jury_model::{Jury, Prior};
+use jury_jq::{
+    error_bound, exact_bv_jq, fold_prior, recommended_multiplier, BucketCount, BucketJqConfig,
+    BucketJqEstimator, JqEngine,
+};
+
+#[test]
+fn approximation_error_is_within_one_percent_at_the_paper_setting() {
+    // The paper's guarantee: d >= 200 buckets per worker keeps the additive
+    // error below 1 % (and in practice far below).
+    let estimator = BucketJqEstimator::default();
+    let mut worst: f64 = 0.0;
+    for seed in 0..40u64 {
+        let jury = random_jury(1 + (seed as usize % 9), seed);
+        for alpha in [0.25, 0.5, 0.75] {
+            let prior = Prior::new(alpha).unwrap();
+            let exact = exact_bv_jq(&jury, prior).unwrap();
+            let estimate = estimator.estimate(&jury, prior);
+            let err = (exact - estimate.value).abs();
+            worst = worst.max(err);
+            assert!(err <= 0.01 + 1e-9, "seed {seed}, alpha {alpha}: error {err}");
+            assert!(err <= estimate.error_bound.max(0.01) + 1e-9);
+        }
+    }
+    // In practice the error is far below the bound (the paper reports a
+    // maximum of 0.01 % at numBuckets = 50; with 200·n buckets it is tiny).
+    assert!(worst < 0.005, "worst observed error {worst} suspiciously large");
+}
+
+#[test]
+fn error_shrinks_as_buckets_grow() {
+    // The quantization error is not pointwise monotone in the bucket count
+    // (a coarse grid can get lucky on one jury), so compare the *average*
+    // error over several juries: it must drop from the coarsest to the
+    // finest setting, and the finest setting must be essentially exact.
+    let juries: Vec<_> = (0..10u64).map(|seed| random_jury(9, 7 + seed)).collect();
+    let mean_error = |buckets: usize| -> f64 {
+        let estimator = BucketJqEstimator::new(
+            BucketJqConfig::default()
+                .with_buckets(BucketCount::Fixed(buckets))
+                .with_high_quality_shortcut(false),
+        );
+        juries
+            .iter()
+            .map(|jury| {
+                let exact = exact_bv_jq(jury, Prior::uniform()).unwrap();
+                (estimator.jq(jury, Prior::uniform()) - exact).abs()
+            })
+            .sum::<f64>()
+            / juries.len() as f64
+    };
+    let coarse = mean_error(5);
+    let medium = mean_error(50);
+    let fine = mean_error(500);
+    assert!(medium <= coarse + 1e-9, "mean error at 50 buckets ({medium}) above 5 buckets ({coarse})");
+    assert!(fine <= medium + 1e-9, "mean error at 500 buckets ({fine}) above 50 buckets ({medium})");
+    assert!(fine < 1e-4, "mean error at 500 buckets still {fine}");
+}
+
+#[test]
+fn pruning_is_an_exact_optimization() {
+    for seed in 50..60u64 {
+        let jury = random_jury(1 + (seed as usize % 12), seed);
+        let with = BucketJqEstimator::new(BucketJqConfig::paper_experiments())
+            .estimate(&jury, Prior::uniform());
+        let without =
+            BucketJqEstimator::new(BucketJqConfig::paper_experiments().with_pruning(false))
+                .estimate(&jury, Prior::uniform());
+        assert!(
+            (with.value - without.value).abs() < 1e-12,
+            "pruning changed the estimate: {} vs {}",
+            with.value,
+            without.value
+        );
+    }
+}
+
+#[test]
+fn theorem_3_holds_through_the_whole_stack() {
+    // JQ(J, BV, α) computed three ways: exact with α, exact after folding,
+    // and approximate with α — all must agree (the first two exactly, the
+    // third within the error bound).
+    for seed in 70..80u64 {
+        let jury = random_jury(1 + (seed as usize % 7), seed);
+        for alpha in [0.1, 0.35, 0.65, 0.9] {
+            let prior = Prior::new(alpha).unwrap();
+            let direct = exact_bv_jq(&jury, prior).unwrap();
+            let folded_jury = fold_prior(&jury, prior);
+            let folded = exact_bv_jq(&folded_jury, Prior::uniform()).unwrap();
+            assert!((direct - folded).abs() < 1e-10);
+            let approx = BucketJqEstimator::default().jq(&jury, prior);
+            assert!((direct - approx).abs() < 0.01);
+        }
+    }
+}
+
+#[test]
+fn error_bound_formula_matches_the_paper_numbers() {
+    // e^{5/(4·200)} − 1 ≈ 0.627 % and the recommended multiplier for a 1 %
+    // target is at most 200.
+    let bound = error_bound(1, 5.0 / 200.0);
+    assert!((bound - 0.00627).abs() < 2e-4, "bound {bound}");
+    assert!(recommended_multiplier(0.01) <= 200);
+    assert!(recommended_multiplier(0.001) > recommended_multiplier(0.01));
+}
+
+#[test]
+fn engine_backends_agree_where_they_overlap() {
+    let engine = JqEngine::default();
+    for seed in 90..95u64 {
+        let jury = random_jury(8, seed);
+        let prior = Prior::new(0.4).unwrap();
+        let auto = engine.bv_jq(&jury, prior).value;
+        let exact = exact_bv_jq(&jury, prior).unwrap();
+        assert!((auto - exact).abs() < 1e-12, "engine chose enumeration for n=8");
+        let approx_engine = JqEngine::approximate_only(BucketJqConfig::default());
+        let approx = approx_engine.bv_jq(&jury, prior).value;
+        assert!((approx - exact).abs() < 0.01);
+    }
+}
+
+#[test]
+fn adversarial_and_perfect_workers_are_handled() {
+    // Workers below 0.5 are reinterpreted; workers at 0.995 trigger the
+    // shortcut; both still respect the exact value within 1 %.
+    let jury = Jury::from_qualities(&[0.2, 0.4, 0.995, 0.7]).unwrap();
+    let exact = exact_bv_jq(&jury, Prior::uniform()).unwrap();
+    let approx = BucketJqEstimator::default().estimate(&jury, Prior::uniform());
+    assert!(approx.used_shortcut);
+    assert!((exact - approx.value).abs() <= 0.01);
+    let no_shortcut = BucketJqEstimator::new(
+        BucketJqConfig::default().with_high_quality_shortcut(false),
+    )
+    .estimate(&jury, Prior::uniform());
+    assert!((exact - no_shortcut.value).abs() <= 0.02);
+}

@@ -1,0 +1,82 @@
+//! Integration tests for the simulated AMT campaign and the Figure 10(d)
+//! "is JQ a good prediction?" machinery.
+
+use jury_model::Prior;
+use jury_sim::{
+    dawid_skene_fit, empirical_qualities, mean_absolute_error, prefix_sweep, AmtCampaignConfig,
+    AmtSimulator, DawidSkeneConfig,
+};
+use jury_jq::JqEngine;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn campaign(seed: u64) -> jury_model::CrowdDataset {
+    let simulator = AmtSimulator::new(AmtCampaignConfig {
+        num_tasks: 120,
+        num_workers: 48,
+        votes_per_task: 12,
+        questions_per_hit: 12,
+        cost_mean: 0.05,
+        cost_std_dev: 0.2,
+    });
+    let mut rng = StdRng::seed_from_u64(seed);
+    simulator.run(&mut rng).expect("valid campaign")
+}
+
+#[test]
+fn campaign_statistics_match_the_configured_shape() {
+    let dataset = campaign(1);
+    assert_eq!(dataset.num_tasks(), 120);
+    assert_eq!(dataset.num_workers(), 48);
+    assert_eq!(dataset.num_votes(), 120 * 12);
+    for task in dataset.tasks() {
+        assert_eq!(task.num_votes(), 12);
+    }
+    let mean = dataset.mean_empirical_quality();
+    assert!((0.6..0.85).contains(&mean), "mean empirical quality {mean}");
+}
+
+#[test]
+fn predicted_jq_tracks_realized_accuracy() {
+    // The core Figure 10(d) claim: the two curves are highly similar and
+    // both (weakly) improve as more votes are used.
+    let dataset = campaign(2);
+    let engine = JqEngine::default();
+    let points = prefix_sweep(&dataset, &[3, 6, 9, 12], Prior::uniform(), &engine);
+    assert_eq!(points.len(), 4);
+    for point in &points {
+        assert!(
+            (point.accuracy - point.average_jq).abs() < 0.08,
+            "z={}: accuracy {} vs predicted {}",
+            point.votes_used,
+            point.accuracy,
+            point.average_jq
+        );
+    }
+    assert!(points[3].average_jq >= points[0].average_jq - 1e-9);
+    assert!(points[3].accuracy >= points[0].accuracy - 0.05);
+}
+
+#[test]
+fn unsupervised_quality_estimation_agrees_with_the_supervised_one() {
+    // Dawid-Skene (no ground truth) should land close to the empirical
+    // accuracies (which use the ground truth) on a well-behaved campaign.
+    let dataset = campaign(3);
+    let supervised = empirical_qualities(&dataset, 0.0);
+    let unsupervised = dawid_skene_fit(&dataset, DawidSkeneConfig::default());
+    let mae = mean_absolute_error(&unsupervised.qualities, &supervised);
+    assert!(mae < 0.08, "MAE between EM and empirical qualities: {mae}");
+    assert!(unsupervised.accuracy_against(&dataset) > 0.85);
+}
+
+#[test]
+fn different_seeds_give_different_but_valid_campaigns() {
+    let a = campaign(10);
+    let b = campaign(11);
+    assert_ne!(a, b);
+    for dataset in [a, b] {
+        for quality in empirical_qualities(&dataset, 0.0).values() {
+            assert!((0.0..=1.0).contains(quality));
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! End-to-end integration tests: the full OPTJS system against the paper's
+//! worked examples and against the MVJS baseline, across crates.
+
+use jury_integration_tests::random_pool;
+use jury_model::{paper_example_pool, Answer, Prior, WorkerId};
+use jury_optjs::{
+    compare_systems, run_on_dataset, run_simulated_task, Mvjs, Optjs, SystemConfig, SystemKind,
+};
+use jury_sim::{AmtCampaignConfig, AmtSimulator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn figure_1_budget_quality_table_is_reproduced_end_to_end() {
+    let system = Optjs::new(SystemConfig::paper_experiments());
+    let table = system.budget_quality_table(
+        &paper_example_pool(),
+        &[5.0, 10.0, 15.0, 20.0],
+        Prior::uniform(),
+    );
+    let expected_quality = [0.75, 0.80, 0.845, 0.8695];
+    let expected_required = [5.0, 9.0, 14.0, 20.0];
+    for ((row, &quality), &required) in
+        table.rows().iter().zip(expected_quality.iter()).zip(expected_required.iter())
+    {
+        assert!(
+            (row.quality - quality).abs() < 1e-9,
+            "budget {}: quality {} vs paper {}",
+            row.budget,
+            row.quality,
+            quality
+        );
+        // Several juries can tie on quality, so the required budget may be at
+        // most the paper's figure (never more).
+        assert!(
+            row.required_budget <= required + 1e-9,
+            "budget {}: required {} exceeds paper {}",
+            row.budget,
+            row.required_budget,
+            required
+        );
+    }
+}
+
+#[test]
+fn figure_1_budget_15_jury_is_b_c_g() {
+    let system = Optjs::new(SystemConfig::paper_experiments());
+    let outcome = system.select(&paper_example_pool(), 15.0, Prior::uniform());
+    assert_eq!(outcome.worker_ids(), vec![WorkerId(1), WorkerId(2), WorkerId(6)]);
+    assert!((outcome.cost - 14.0).abs() < 1e-9);
+    assert!((outcome.estimated_quality - 0.845).abs() < 1e-9);
+}
+
+#[test]
+fn optjs_beats_or_matches_mvjs_on_synthetic_pools() {
+    // The Figure 6 claim at the system level, across several random pools
+    // and budgets, with each system scored under its own strategy.
+    let config = SystemConfig::fast();
+    let optjs = Optjs::new(config);
+    let mvjs = Mvjs::new(config);
+    for seed in 0..5u64 {
+        let pool = random_pool(40, seed);
+        for budget in [0.2, 0.5, 0.8] {
+            let (o, m) = compare_systems(&optjs, &mvjs, &pool, budget, Prior::uniform());
+            assert_eq!(o.system, SystemKind::Optjs);
+            assert_eq!(m.system, SystemKind::Mvjs);
+            assert!(
+                o.estimated_quality >= m.estimated_quality - 0.01,
+                "seed {seed} budget {budget}: OPTJS {} < MVJS {}",
+                o.estimated_quality,
+                m.estimated_quality
+            );
+            assert!(o.cost <= budget + 1e-9);
+            assert!(m.cost <= budget + 1e-9);
+        }
+    }
+}
+
+#[test]
+fn simulated_task_pipeline_is_calibrated() {
+    // Selecting, collecting simulated votes, and aggregating with BV yields
+    // an empirical accuracy close to the predicted JQ.
+    let system = Optjs::new(SystemConfig::fast());
+    let pool = paper_example_pool();
+    let mut rng = StdRng::seed_from_u64(77);
+    let trials = 400;
+    let mut correct = 0;
+    let mut predicted = 0.0;
+    for i in 0..trials {
+        let truth = if i % 2 == 0 { Answer::Yes } else { Answer::No };
+        let outcome =
+            run_simulated_task(&system, &pool, 20.0, Prior::uniform(), truth, &mut rng);
+        assert!(outcome.cost <= 20.0 + 1e-9);
+        if outcome.is_correct() {
+            correct += 1;
+        }
+        predicted += outcome.predicted_jq;
+    }
+    let accuracy = correct as f64 / trials as f64;
+    let predicted = predicted / trials as f64;
+    assert!(
+        (accuracy - predicted).abs() < 0.06,
+        "accuracy {accuracy} should track predicted JQ {predicted}"
+    );
+}
+
+#[test]
+fn amt_campaign_replay_improves_with_budget() {
+    let simulator = AmtSimulator::new(AmtCampaignConfig::small());
+    let mut rng = StdRng::seed_from_u64(5);
+    let dataset = simulator.run(&mut rng).unwrap();
+    let system = Optjs::new(SystemConfig::fast());
+    let low = run_on_dataset(&system, &dataset, 0.1);
+    let high = run_on_dataset(&system, &dataset, 1.0);
+    assert!(high.mean_predicted_jq >= low.mean_predicted_jq - 1e-9);
+    assert!(high.mean_cost >= low.mean_cost - 1e-9);
+    assert!(high.accuracy >= low.accuracy - 0.1);
+    assert_eq!(low.outcomes.len(), dataset.num_tasks());
+}
+
+#[test]
+fn selections_never_include_workers_outside_the_pool() {
+    let config = SystemConfig::fast();
+    let optjs = Optjs::new(config);
+    for seed in 0..3u64 {
+        let pool = random_pool(25, seed);
+        let outcome = optjs.select(&pool, 0.4, Prior::uniform());
+        for id in outcome.worker_ids() {
+            assert!(pool.contains(id), "selected unknown worker {id}");
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Integration tests for the Section 7 extension: multiple-choice tasks and
+//! confusion-matrix workers, across the model, voting, and jq crates.
+
+use jury_model::{
+    CategoricalPrior, ConfusionMatrix, Jury, Label, MatrixJury, MatrixWorker, Prior, WorkerId,
+};
+use jury_voting::{
+    BayesianMultiClassVoting, BayesianVoting, MultiClassVotingStrategy, PluralityVoting,
+};
+use jury_jq::{
+    approx_multiclass_bv_jq, exact_bv_jq, exact_multiclass_bv_jq, exact_multiclass_jq,
+    MultiClassBucketConfig,
+};
+
+#[test]
+fn binary_tasks_are_a_special_case_of_the_multiclass_model() {
+    // Two-label confusion matrices built from plain qualities must reproduce
+    // the binary results exactly: decisions and jury quality.
+    let qualities = [0.85, 0.6, 0.7, 0.55];
+    let binary_jury = Jury::from_qualities(&qualities).unwrap();
+    let matrix_jury = MatrixJury::from_qualities(&qualities, 2).unwrap();
+    for alpha in [0.3, 0.5, 0.7] {
+        let prior_bin = Prior::new(alpha).unwrap();
+        let prior_cat = CategoricalPrior::new(vec![alpha, 1.0 - alpha]).unwrap();
+        // Same decision on every voting.
+        for votes in jury_model::enumerate_binary_votings(qualities.len()) {
+            let labels: Vec<Label> = votes.iter().map(|v| v.to_label()).collect();
+            let binary = BayesianVoting::result(&binary_jury, &votes, prior_bin).unwrap();
+            let multi =
+                BayesianMultiClassVoting::result(&matrix_jury, &labels, &prior_cat).unwrap();
+            assert_eq!(binary.as_index(), multi.index());
+        }
+        // Same jury quality.
+        let jq_bin = exact_bv_jq(&binary_jury, prior_bin).unwrap();
+        let jq_multi = exact_multiclass_bv_jq(&matrix_jury, &prior_cat).unwrap();
+        assert!((jq_bin - jq_multi).abs() < 1e-10);
+    }
+}
+
+#[test]
+fn multiclass_bv_dominates_plurality_on_varied_juries() {
+    let juries = [
+        MatrixJury::from_qualities(&[0.9, 0.5, 0.45], 3).unwrap(),
+        MatrixJury::from_qualities(&[0.7, 0.7, 0.7, 0.7], 3).unwrap(),
+        MatrixJury::from_qualities(&[0.85, 0.4, 0.6, 0.5], 4).unwrap(),
+    ];
+    for jury in &juries {
+        let prior = CategoricalPrior::uniform(jury.num_choices()).unwrap();
+        let bv = exact_multiclass_bv_jq(jury, &prior).unwrap();
+        let plurality = exact_multiclass_jq(jury, &PluralityVoting::new(), &prior).unwrap();
+        assert!(bv >= plurality - 1e-10, "BV {bv} vs plurality {plurality}");
+        assert!((0.0..=1.0 + 1e-9).contains(&bv));
+    }
+}
+
+#[test]
+fn asymmetric_confusion_matrices_are_exploited_by_bv() {
+    // A worker who never confuses label 0 with label 2 is extremely
+    // informative about that distinction; BV should leverage it while
+    // plurality cannot.
+    let sharp = MatrixWorker::new(
+        WorkerId(0),
+        ConfusionMatrix::new(3, vec![0.98, 0.02, 0.0, 0.3, 0.4, 0.3, 0.0, 0.02, 0.98]).unwrap(),
+        1.0,
+    )
+    .unwrap();
+    let noisy_a = MatrixWorker::new(
+        WorkerId(1),
+        ConfusionMatrix::from_quality(0.45, 3).unwrap(),
+        1.0,
+    )
+    .unwrap();
+    let noisy_b = MatrixWorker::new(
+        WorkerId(2),
+        ConfusionMatrix::from_quality(0.45, 3).unwrap(),
+        1.0,
+    )
+    .unwrap();
+    let jury = MatrixJury::new(vec![sharp, noisy_a, noisy_b]).unwrap();
+    let prior = CategoricalPrior::uniform(3).unwrap();
+    let bv = exact_multiclass_bv_jq(&jury, &prior).unwrap();
+    let plurality = exact_multiclass_jq(&jury, &PluralityVoting::new(), &prior).unwrap();
+    assert!(bv > plurality + 0.03, "BV {bv} should clearly beat plurality {plurality}");
+    // The sharp worker votes 1 but the noisy pair votes 0: plurality says 0,
+    // BV weighs the confusion structure.
+    let votes = vec![Label(1), Label(0), Label(0)];
+    let plu = PluralityVoting::new().decide(&jury, &votes, &prior).unwrap();
+    let bay = BayesianMultiClassVoting::new().decide(&jury, &votes, &prior).unwrap();
+    assert_eq!(plu, Label(0));
+    assert_eq!(bay, Label(1));
+}
+
+#[test]
+fn tuple_key_approximation_tracks_the_exact_multiclass_jq() {
+    let cases = [
+        (MatrixJury::from_qualities(&[0.8, 0.7, 0.6], 3).unwrap(), vec![0.4, 0.35, 0.25]),
+        (MatrixJury::from_qualities(&[0.9, 0.55], 4).unwrap(), vec![0.25, 0.25, 0.25, 0.25]),
+        (MatrixJury::from_qualities(&[0.65; 6], 3).unwrap(), vec![1.0 / 3.0; 3]),
+    ];
+    for (jury, prior_vec) in cases {
+        let prior = CategoricalPrior::new(prior_vec).unwrap();
+        let exact = exact_multiclass_bv_jq(&jury, &prior).unwrap();
+        let approx =
+            approx_multiclass_bv_jq(&jury, &prior, MultiClassBucketConfig::default()).unwrap();
+        assert!(
+            (exact - approx).abs() < 0.01,
+            "exact {exact} vs approx {approx} for a {}-worker jury",
+            jury.size()
+        );
+    }
+}
+
+#[test]
+fn more_multiclass_workers_never_hurt() {
+    // The Lemma 1 extension sketched in Section 7: adding a worker does not
+    // decrease the multi-class JQ under BV.
+    let prior = CategoricalPrior::uniform(3).unwrap();
+    let small = MatrixJury::from_qualities(&[0.7, 0.6], 3).unwrap();
+    let large = MatrixJury::from_qualities(&[0.7, 0.6, 0.65], 3).unwrap();
+    let jq_small = exact_multiclass_bv_jq(&small, &prior).unwrap();
+    let jq_large = exact_multiclass_bv_jq(&large, &prior).unwrap();
+    assert!(jq_large >= jq_small - 1e-10);
+}
+
+#[test]
+fn informativeness_identifies_spammers() {
+    let good = ConfusionMatrix::from_quality(0.85, 3).unwrap();
+    let spammer = ConfusionMatrix::spammer(3).unwrap();
+    let biased = ConfusionMatrix::new(
+        3,
+        // Always votes label 0 regardless of the truth: also a spammer in
+        // the Raykar-Yu sense (rows identical), despite 1/3 "accuracy".
+        vec![1.0, 0.0, 0.0, 1.0, 0.0, 0.0, 1.0, 0.0, 0.0],
+    )
+    .unwrap();
+    assert!(good.informativeness() > 0.3);
+    assert!(spammer.informativeness() < 1e-9);
+    assert!(biased.informativeness() < 1e-9);
+}

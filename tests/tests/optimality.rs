@@ -1,0 +1,132 @@
+//! Integration tests for the paper's central optimality results (Theorem 1 /
+//! Corollary 1) across the voting and JQ crates.
+
+use jury_integration_tests::random_jury;
+use jury_model::{enumerate_binary_votings, Jury, Prior};
+use jury_voting::{all_strategies, BayesianVoting, StrategyKind, VotingStrategy};
+use jury_jq::{exact_bv_jq, exact_jq, mv_jq};
+
+#[test]
+fn bv_dominates_every_catalogue_strategy_on_random_juries() {
+    for seed in 0..20u64 {
+        let jury = random_jury(1 + (seed as usize % 7), seed);
+        for alpha in [0.2, 0.5, 0.8] {
+            let prior = Prior::new(alpha).unwrap();
+            let bv = exact_bv_jq(&jury, prior).unwrap();
+            for entry in all_strategies() {
+                let other = exact_jq(&jury, entry.strategy.as_ref(), prior).unwrap();
+                assert!(
+                    other <= bv + 1e-9,
+                    "seed {seed}, alpha {alpha}: {} achieved {other} > BV {bv}",
+                    entry.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn bv_dominates_arbitrary_randomized_strategies() {
+    // Theorem 1 covers *all* strategies, not just the catalogue. Build
+    // adversarial randomized strategies (random h(V) per voting) and verify
+    // none of them beats BV.
+    struct TableStrategy {
+        table: Vec<f64>,
+    }
+    impl VotingStrategy for TableStrategy {
+        fn name(&self) -> &'static str {
+            "table"
+        }
+        fn kind(&self) -> StrategyKind {
+            StrategyKind::Randomized
+        }
+        fn prob_no(
+            &self,
+            jury: &Jury,
+            votes: &[jury_model::Answer],
+            _prior: Prior,
+        ) -> jury_model::ModelResult<f64> {
+            jury.check_voting(votes)?;
+            let mut index = 0usize;
+            for v in votes {
+                index = index * 2 + v.as_index();
+            }
+            Ok(self.table[index % self.table.len()])
+        }
+    }
+
+    let jury = Jury::from_qualities(&[0.9, 0.6, 0.6, 0.75]).unwrap();
+    let prior = Prior::new(0.4).unwrap();
+    let bv = exact_bv_jq(&jury, prior).unwrap();
+    // A deterministic pseudo-random table sweep (no RNG dependency needed).
+    for variant in 0..50u64 {
+        let table: Vec<f64> = (0..16)
+            .map(|i| {
+                let x = (variant.wrapping_mul(6364136223846793005).wrapping_add(i * 2654435761)
+                    % 1000) as f64;
+                x / 1000.0
+            })
+            .collect();
+        let strategy = TableStrategy { table };
+        let jq = exact_jq(&jury, &strategy, prior).unwrap();
+        assert!(jq <= bv + 1e-9, "variant {variant} beat BV: {jq} > {bv}");
+    }
+}
+
+#[test]
+fn bv_equals_the_pointwise_maximum_of_posteriors() {
+    // JQ(BV) = Σ_V max(P0, P1): check the strategy-level formulation agrees
+    // with the closed form on random juries.
+    for seed in 20..30u64 {
+        let jury = random_jury(1 + (seed as usize % 6), seed);
+        for alpha in [0.1, 0.5, 0.9] {
+            let prior = Prior::new(alpha).unwrap();
+            let closed = exact_bv_jq(&jury, prior).unwrap();
+            let via_strategy = exact_jq(&jury, &BayesianVoting::new(), prior).unwrap();
+            assert!((closed - via_strategy).abs() < 1e-12);
+        }
+    }
+}
+
+#[test]
+fn paper_worked_examples_hold() {
+    // Example 2 and Example 3 of the paper, plus the introduction's jury.
+    let jury = Jury::from_qualities(&[0.9, 0.6, 0.6]).unwrap();
+    assert!((mv_jq(&jury, Prior::uniform()).unwrap() - 0.792).abs() < 1e-12);
+    assert!((exact_bv_jq(&jury, Prior::uniform()).unwrap() - 0.900).abs() < 1e-12);
+    let intro = Jury::from_qualities(&[0.7, 0.6, 0.6]).unwrap();
+    assert!((mv_jq(&intro, Prior::uniform()).unwrap() - 0.696).abs() < 1e-12);
+}
+
+#[test]
+fn deterministic_strategies_have_indicator_h() {
+    // Definition 1: a deterministic strategy's h(V) is 0 or 1 for every V.
+    let jury = random_jury(5, 99);
+    for entry in all_strategies() {
+        if entry.kind != StrategyKind::Deterministic {
+            continue;
+        }
+        for votes in enumerate_binary_votings(jury.size()) {
+            let h = entry.strategy.prob_no(&jury, &votes, Prior::uniform()).unwrap();
+            assert!(h == 0.0 || h == 1.0, "{}: h = {h}", entry.name());
+        }
+    }
+}
+
+#[test]
+fn jq_of_any_strategy_is_bounded_by_prior_certainty_and_bv() {
+    // For every strategy S: max(α, 1-α) ≤ JQ(BV) and JQ(S) ≤ JQ(BV).
+    for seed in 40..45u64 {
+        let jury = random_jury(4, seed);
+        for alpha in [0.3, 0.6] {
+            let prior = Prior::new(alpha).unwrap();
+            let bv = exact_bv_jq(&jury, prior).unwrap();
+            assert!(bv >= alpha.max(1.0 - alpha) - 1e-12);
+            for entry in all_strategies() {
+                let jq = exact_jq(&jury, entry.strategy.as_ref(), prior).unwrap();
+                assert!(jq <= bv + 1e-9);
+                assert!((0.0..=1.0 + 1e-9).contains(&jq));
+            }
+        }
+    }
+}
