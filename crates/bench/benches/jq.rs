@@ -8,8 +8,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use jury_model::{GaussianWorkerGenerator, Jury, Prior};
 use jury_jq::{exact_bv_jq, mv_jq, BucketCount, BucketJqConfig, BucketJqEstimator};
+use jury_model::{GaussianWorkerGenerator, Jury, Prior};
 
 fn random_jury(n: usize, seed: u64) -> Jury {
     let generator = GaussianWorkerGenerator::paper_defaults();
@@ -22,16 +22,20 @@ fn bench_exact_vs_approx(c: &mut Criterion) {
     let mut group = c.benchmark_group("jq_small_jury");
     for &n in &[8usize, 12] {
         let jury = random_jury(n, 7);
-        group.bench_with_input(BenchmarkId::new("exact_enumeration", n), &jury, |b, jury| {
-            b.iter(|| exact_bv_jq(jury, Prior::uniform()).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("exact_enumeration", n),
+            &jury,
+            |b, jury| b.iter(|| exact_bv_jq(jury, Prior::uniform()).unwrap()),
+        );
         let estimator = BucketJqEstimator::paper_experiments();
         group.bench_with_input(BenchmarkId::new("bucket_50", n), &jury, |b, jury| {
             b.iter(|| estimator.jq(jury, Prior::uniform()))
         });
-        group.bench_with_input(BenchmarkId::new("mv_dynamic_program", n), &jury, |b, jury| {
-            b.iter(|| mv_jq(jury, Prior::uniform()).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("mv_dynamic_program", n),
+            &jury,
+            |b, jury| b.iter(|| mv_jq(jury, Prior::uniform()).unwrap()),
+        );
     }
     group.finish();
 }

@@ -9,12 +9,12 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use jury_jq::BucketJqConfig;
 use jury_model::{GaussianWorkerGenerator, Prior};
 use jury_selection::{
     AnnealingConfig, AnnealingSolver, BvObjective, ExhaustiveSolver, JspInstance, JurySolver,
     MvjsSolver,
 };
-use jury_jq::BucketJqConfig;
 
 fn instance(n: usize, budget: f64, seed: u64) -> JspInstance {
     let generator = GaussianWorkerGenerator::paper_defaults();

@@ -8,10 +8,10 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use jury_model::{Answer, GaussianWorkerGenerator, Jury, Prior};
-use jury_voting::{all_strategies, figure8_strategies};
 use jury_jq::exact_jq;
+use jury_model::{Answer, GaussianWorkerGenerator, Jury, Prior};
 use jury_sim::draw_voting;
+use jury_voting::{all_strategies, figure8_strategies};
 
 fn setup(n: usize) -> (Jury, Vec<Answer>) {
     let generator = GaussianWorkerGenerator::paper_defaults();
@@ -30,7 +30,12 @@ fn bench_single_aggregation(c: &mut Criterion) {
             BenchmarkId::from_parameter(entry.name()),
             &(&jury, &votes),
             |b, (jury, votes)| {
-                b.iter(|| entry.strategy.prob_no(jury, votes, Prior::uniform()).unwrap())
+                b.iter(|| {
+                    entry
+                        .strategy
+                        .prob_no(jury, votes, Prior::uniform())
+                        .unwrap()
+                })
             },
         );
     }

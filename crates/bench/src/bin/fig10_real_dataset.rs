@@ -20,10 +20,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use jury_bench::{maybe_write_json, sweep, ExperimentArgs};
+use jury_jq::JqEngine;
 use jury_model::{CrowdDataset, Prior, WorkerPool};
 use jury_optjs::{ComparisonSeries, Mvjs, Optjs, Series, SystemConfig};
 use jury_sim::{prefix_sweep, AmtCampaignConfig, AmtSimulator};
-use jury_jq::JqEngine;
 
 /// Average, over every task of the dataset, of the jury quality each system
 /// achieves when selecting from that task's answering workers (optionally
@@ -60,8 +60,12 @@ fn per_task_comparison(
                 .collect(),
         };
         let pool = WorkerPool::from_workers(candidates).expect("distinct voters");
-        let o = optjs.select(&pool, budget, Prior::uniform());
-        let m = mvjs.select(&pool, budget, Prior::uniform());
+        let o = optjs
+            .select(&pool, budget, Prior::uniform())
+            .expect("experiment budgets are valid");
+        let m = mvjs
+            .select(&pool, budget, Prior::uniform())
+            .expect("experiment budgets are valid");
         optjs_total += o.estimated_quality;
         mvjs_total += m.estimated_quality;
         counted += 1;
@@ -75,7 +79,11 @@ fn main() {
     let campaign = if args.full {
         AmtCampaignConfig::default()
     } else {
-        AmtCampaignConfig { num_tasks: 150, num_workers: 64, ..AmtCampaignConfig::default() }
+        AmtCampaignConfig {
+            num_tasks: 150,
+            num_workers: 64,
+            ..AmtCampaignConfig::default()
+        }
     };
     println!(
         "Figure 10 — simulated AMT sentiment dataset ({} tasks, {} workers, {} votes/task)\n",
@@ -84,7 +92,9 @@ fn main() {
 
     let simulator = AmtSimulator::new(campaign.clone());
     let mut rng = StdRng::seed_from_u64(args.seed);
-    let dataset = simulator.run(&mut rng).expect("campaign dimensions are valid");
+    let dataset = simulator
+        .run(&mut rng)
+        .expect("campaign dimensions are valid");
     println!(
         "dataset: {} votes, {:.2} answers/worker, mean empirical quality {:.3}\n",
         dataset.num_votes(),
@@ -92,18 +102,31 @@ fn main() {
         dataset.mean_empirical_quality()
     );
 
-    let config = if args.full { SystemConfig::paper_experiments() } else { SystemConfig::fast() };
+    let config = if args.full {
+        SystemConfig::paper_experiments()
+    } else {
+        SystemConfig::fast()
+    };
     let optjs = Optjs::new(config);
     let mvjs = Mvjs::new(config);
 
     // ---- (a) varying the budget. ----
     let mut fig10a = ComparisonSeries::new("budget");
     for budget in sweep(0.2, 1.0, 0.1) {
-        let (o, m) =
-            per_task_comparison(&dataset, &optjs, &mvjs, budget, campaign.votes_per_task, None);
+        let (o, m) = per_task_comparison(
+            &dataset,
+            &optjs,
+            &mvjs,
+            budget,
+            campaign.votes_per_task,
+            None,
+        );
         fig10a.push(budget, o, m);
     }
-    println!("Figure 10(a): varying budget B (all {} voters per task)", campaign.votes_per_task);
+    println!(
+        "Figure 10(a): varying budget B (all {} voters per task)",
+        campaign.votes_per_task
+    );
     println!("{}", fig10a.render());
 
     // ---- (b) varying the number of candidate workers per task. ----
@@ -146,7 +169,10 @@ fn main() {
     let mut accuracy_series = Series::new("realized BV accuracy");
     let mut jq_series = Series::new("average predicted JQ");
     println!("Figure 10(d): accuracy vs average JQ as the number of votes z grows");
-    println!("{:>4} | {:>9} | {:>11} | {:>7}", "z", "accuracy", "average JQ", "gap");
+    println!(
+        "{:>4} | {:>9} | {:>11} | {:>7}",
+        "z", "accuracy", "average JQ", "gap"
+    );
     for point in &points {
         accuracy_series.push(point.votes_used as f64, point.accuracy);
         jq_series.push(point.votes_used as f64, point.average_jq);

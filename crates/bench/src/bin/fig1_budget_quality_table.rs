@@ -18,12 +18,19 @@ fn main() {
     println!("Figure 1 — Optimal Jury Selection System on the running example");
     println!("Candidate workers (quality, cost):");
     for worker in pool.iter() {
-        println!("  {}: ({:.2}, ${:.0})", worker.id(), worker.quality(), worker.cost());
+        println!(
+            "  {}: ({:.2}, ${:.0})",
+            worker.id(),
+            worker.quality(),
+            worker.cost()
+        );
     }
     println!();
 
     let optjs = Optjs::new(SystemConfig::paper_experiments());
-    let table = optjs.budget_quality_table(&pool, &budgets, Prior::uniform());
+    let table = optjs
+        .budget_quality_table(&pool, &budgets, Prior::uniform())
+        .expect("experiment budgets are valid");
     println!("Budget-quality table (OPTJS, Bayesian voting):");
     println!("{}", table.render());
 
@@ -40,8 +47,14 @@ fn main() {
     println!("-------+---------------------+--------");
     let mut mvjs_rows = Vec::new();
     for &budget in &budgets {
-        let outcome = mvjs.select(&pool, budget, Prior::uniform());
-        let ids: Vec<String> = outcome.worker_ids().iter().map(|id| id.to_string()).collect();
+        let outcome = mvjs
+            .select(&pool, budget, Prior::uniform())
+            .expect("experiment budgets are valid");
+        let ids: Vec<String> = outcome
+            .worker_ids()
+            .iter()
+            .map(|id| id.to_string())
+            .collect();
         println!(
             "{:>6.0} | {:<19} | {:>5.2}%",
             budget,

@@ -24,7 +24,10 @@ struct Defaults {
     pool_size: usize,
 }
 
-const DEFAULTS: Defaults = Defaults { budget: 0.5, pool_size: 50 };
+const DEFAULTS: Defaults = Defaults {
+    budget: 0.5,
+    pool_size: 50,
+};
 
 fn average_comparison(
     generator: &GaussianWorkerGenerator,
@@ -40,7 +43,8 @@ fn average_comparison(
     for trial in 0..trials {
         let mut rng = StdRng::seed_from_u64(seed ^ (trial as u64).wrapping_mul(0x9E3779B97F4A7C15));
         let pool = generator.generate(pool_size, &mut rng);
-        let (o, m) = compare_systems(optjs, mvjs, &pool, budget, Prior::uniform());
+        let (o, m) = compare_systems(optjs, mvjs, &pool, budget, Prior::uniform())
+            .expect("experiment budgets are valid");
         optjs_total += o.estimated_quality;
         mvjs_total += m.estimated_quality;
     }
@@ -49,7 +53,11 @@ fn average_comparison(
 
 fn main() {
     let args = ExperimentArgs::from_env();
-    let config = if args.full { SystemConfig::paper_experiments() } else { SystemConfig::fast() };
+    let config = if args.full {
+        SystemConfig::paper_experiments()
+    } else {
+        SystemConfig::fast()
+    };
     let optjs = Optjs::new(config);
     let mvjs = Mvjs::new(config);
 
@@ -133,9 +141,12 @@ fn main() {
     println!(
         "Expected shape (paper): OPTJS >= MVJS everywhere; lead ~5% at mu=0.6, ~3% average over B, >6% at N=10."
     );
-    for (name, series) in
-        [("6(a)", &fig6a), ("6(b)", &fig6b), ("6(c)", &fig6c), ("6(d)", &fig6d)]
-    {
+    for (name, series) in [
+        ("6(a)", &fig6a),
+        ("6(b)", &fig6b),
+        ("6(c)", &fig6c),
+        ("6(d)", &fig6d),
+    ] {
         println!(
             "  {name}: OPTJS dominates = {}, mean lead = {:+.2}%",
             series.optjs_dominates(0.005),

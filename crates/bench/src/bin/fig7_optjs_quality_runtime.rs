@@ -11,12 +11,12 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use jury_bench::{maybe_write_json, sweep, timed, ExperimentArgs};
+use jury_jq::BucketJqConfig;
 use jury_model::{stats, GaussianWorkerGenerator, Prior};
 use jury_optjs::Series;
 use jury_selection::{
     AnnealingConfig, AnnealingSolver, BvObjective, ExhaustiveSolver, JspInstance, JurySolver,
 };
-use jury_jq::BucketJqConfig;
 
 fn bv_objective() -> BvObjective {
     BvObjective::with_config(BucketJqConfig::paper_experiments())
@@ -32,8 +32,14 @@ fn main() {
     let mut returned_series = Series::new("JQ of returned jury J'");
     let mut all_errors_percent: Vec<f64> = Vec::new();
 
-    println!("Figure 7(a): N = 11, budget in [0.05, 0.5] ({} trials per point)", args.trials);
-    println!("{:>8} | {:>10} | {:>10} | {:>9}", "budget", "optimal", "annealed", "gap");
+    println!(
+        "Figure 7(a): N = 11, budget in [0.05, 0.5] ({} trials per point)",
+        args.trials
+    );
+    println!(
+        "{:>8} | {:>10} | {:>10} | {:>9}",
+        "budget", "optimal", "annealed", "gap"
+    );
     println!("---------+------------+------------+----------");
     for budget in sweep(0.05, 0.5, 0.05) {
         let mut optimal_total = 0.0;
@@ -42,8 +48,8 @@ fn main() {
             let mut rng =
                 StdRng::seed_from_u64(args.seed ^ (trial as u64).wrapping_mul(0x2545F4914F6CDD1D));
             let pool = generator.generate(11, &mut rng);
-            let instance = JspInstance::new(pool, budget, Prior::uniform())
-                .expect("non-negative budgets");
+            let instance =
+                JspInstance::new(pool, budget, Prior::uniform()).expect("non-negative budgets");
             let optimal = ExhaustiveSolver::new(bv_objective()).solve(&instance);
             let annealing_config = if args.full {
                 AnnealingConfig::paper_single_run()
@@ -74,17 +80,25 @@ fn main() {
     // ---- Table 3: counts of the error in the paper's ranges (percent) ----
     let edges = [0.0, 0.01, 0.1, 1.0, 3.0, f64::INFINITY];
     let counts = stats::range_counts(&all_errors_percent, &edges);
-    println!("Table 3: counts of JQ(J*) - JQ(J') over {} runs (error in %):", all_errors_percent.len());
+    println!(
+        "Table 3: counts of JQ(J*) - JQ(J') over {} runs (error in %):",
+        all_errors_percent.len()
+    );
     println!("  [0, 0.01]  (0.01, 0.1]  (0.1, 1]  (1, 3]  (3, +inf)");
     println!(
         "  {:>9} {:>12} {:>9} {:>7} {:>10}",
         counts[0], counts[1], counts[2], counts[3], counts[4]
     );
-    println!("Paper: 9301 / 231 / 408 / 60 / 0 over 10,000 runs (>90% below 0.01%, none above 3%).\n");
+    println!(
+        "Paper: 9301 / 231 / 408 / 60 / 0 over 10,000 runs (>90% below 0.01%, none above 3%).\n"
+    );
 
     // ---- Figure 7(b): running time vs N for several budgets ----
-    let n_values: Vec<f64> =
-        if args.full { sweep(100.0, 500.0, 100.0) } else { sweep(100.0, 300.0, 100.0) };
+    let n_values: Vec<f64> = if args.full {
+        sweep(100.0, 500.0, 100.0)
+    } else {
+        sweep(100.0, 300.0, 100.0)
+    };
     let budgets = [0.05, 0.20, 0.35, 0.50];
     let mut timing_series: Vec<Series> = Vec::new();
     println!("Figure 7(b): annealing running time (seconds per JSP solve)");
@@ -98,8 +112,7 @@ fn main() {
         for &budget in &budgets {
             let mut rng = StdRng::seed_from_u64(args.seed.wrapping_add(n as u64));
             let pool = generator.generate(n as usize, &mut rng);
-            let instance =
-                JspInstance::new(pool, budget, Prior::uniform()).expect("valid budget");
+            let instance = JspInstance::new(pool, budget, Prior::uniform()).expect("valid budget");
             let (_, seconds) = timed(|| {
                 AnnealingSolver::with_config(bv_objective(), AnnealingConfig::paper_single_run())
                     .solve(&instance)

@@ -14,10 +14,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use jury_bench::{maybe_write_json, sweep, ExperimentArgs};
+use jury_jq::exact_jq;
 use jury_model::{GaussianWorkerGenerator, Jury, Prior};
 use jury_optjs::Series;
 use jury_voting::figure8_strategies;
-use jury_jq::exact_jq;
 
 /// Average JQ of each Figure 8 strategy over random juries of size `n` drawn
 /// with quality mean `mu`.
@@ -60,19 +60,29 @@ fn print_panel(header: &str, x_name: &str, rows: &[(f64, Vec<(String, f64)>)]) {
 
 fn main() {
     let args = ExperimentArgs::from_env();
-    println!("Figure 8 — JQ of MV / BV / RBV / RMV ({} trials per point)\n", args.trials);
+    println!(
+        "Figure 8 — JQ of MV / BV / RBV / RMV ({} trials per point)\n",
+        args.trials
+    );
 
     // (a) Vary µ in [0.5, 1.0] with a fixed jury size of 11.
     let mut panel_a = Vec::new();
     for mu in sweep(0.5, 1.0, 0.1) {
         panel_a.push((mu, average_strategy_jq(11, mu, args.trials, args.seed)));
     }
-    print_panel("Figure 8(a): jury size n = 11, varying quality mean mu", "mu", &panel_a);
+    print_panel(
+        "Figure 8(a): jury size n = 11, varying quality mean mu",
+        "mu",
+        &panel_a,
+    );
 
     // (b) Vary the jury size n in [1, 11] with µ = 0.7.
     let mut panel_b = Vec::new();
     for n in 1..=11usize {
-        panel_b.push((n as f64, average_strategy_jq(n, 0.7, args.trials, args.seed + 1)));
+        panel_b.push((
+            n as f64,
+            average_strategy_jq(n, 0.7, args.trials, args.seed + 1),
+        ));
     }
     print_panel("Figure 8(b): mu = 0.7, varying jury size n", "n", &panel_b);
 
@@ -83,7 +93,11 @@ fn main() {
     // Sanity summary: does BV dominate in this run?
     let mut bv_dominates = true;
     for (_, values) in panel_a.iter().chain(panel_b.iter()) {
-        let bv = values.iter().find(|(n, _)| n == "BV").map(|(_, v)| *v).unwrap_or(0.0);
+        let bv = values
+            .iter()
+            .find(|(n, _)| n == "BV")
+            .map(|(_, v)| *v)
+            .unwrap_or(0.0);
         for (name, value) in values {
             if name != "BV" && *value > bv + 1e-9 {
                 bv_dominates = false;

@@ -15,9 +15,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use jury_bench::{maybe_write_json, sweep, timed, ExperimentArgs};
+use jury_jq::{exact_bv_jq, BucketCount, BucketJqConfig, BucketJqEstimator};
 use jury_model::{stats::Histogram, GaussianWorkerGenerator, Jury, Prior};
 use jury_optjs::Series;
-use jury_jq::{exact_bv_jq, BucketCount, BucketJqConfig, BucketJqEstimator};
 
 fn random_jury(n: usize, generator: &GaussianWorkerGenerator, rng: &mut StdRng) -> Jury {
     let qualities: Vec<f64> = (0..n).map(|_| generator.sample_quality(rng)).collect();
@@ -27,7 +27,10 @@ fn random_jury(n: usize, generator: &GaussianWorkerGenerator, rng: &mut StdRng) 
 fn main() {
     let args = ExperimentArgs::from_env();
     let estimator_50 = BucketJqEstimator::paper_experiments();
-    println!("Figure 9 — JQ(J, BV, 0.5) computation ({} trials per point)\n", args.trials);
+    println!(
+        "Figure 9 — JQ(J, BV, 0.5) computation ({} trials per point)\n",
+        args.trials
+    );
 
     // ---- (a) JQ vs µ for several quality variances (n = 11). ----
     let variances = [0.01, 0.03, 0.05, 0.10];
@@ -54,7 +57,10 @@ fn main() {
             }
             let mean = total / args.trials as f64;
             print!(" | {:>7.2}%", mean * 100.0);
-            match fig9a.iter_mut().find(|s| s.name == format!("variance={variance}")) {
+            match fig9a
+                .iter_mut()
+                .find(|s| s.name == format!("variance={variance}"))
+            {
                 Some(s) => s.push(mu, mean),
                 None => {
                     let mut s = Series::new(format!("variance={variance}"));
@@ -99,9 +105,8 @@ fn main() {
     let mut max_error = 0.0f64;
     let hist_trials = args.trials.max(200);
     for trial in 0..hist_trials {
-        let mut rng = StdRng::seed_from_u64(
-            args.seed ^ (trial as u64 + 1).wrapping_mul(0x94D049BB133111EB),
-        );
+        let mut rng =
+            StdRng::seed_from_u64(args.seed ^ (trial as u64 + 1).wrapping_mul(0x94D049BB133111EB));
         let jury = random_jury(10, &generator, &mut rng);
         let exact = exact_bv_jq(&jury, Prior::uniform()).expect("small jury");
         let approx = estimator_50.jq(&jury, Prior::uniform());
@@ -115,15 +120,24 @@ fn main() {
         println!("  [{:>8.5}%, {:>8.5}%): {count}", lo * 100.0, hi * 100.0);
     }
     println!("  above range: {}", histogram.outliers());
-    println!("  max error: {:.5}% (paper reports a maximum within 0.01%)\n", max_error * 100.0);
+    println!(
+        "  max error: {:.5}% (paper reports a maximum within 0.01%)\n",
+        max_error * 100.0
+    );
 
     // ---- (d) runtime with vs without pruning, n in [100, 500]. ----
-    let n_values: Vec<f64> =
-        if args.full { sweep(100.0, 500.0, 100.0) } else { sweep(100.0, 300.0, 100.0) };
+    let n_values: Vec<f64> = if args.full {
+        sweep(100.0, 500.0, 100.0)
+    } else {
+        sweep(100.0, 300.0, 100.0)
+    };
     let mut with_pruning = Series::new("with pruning");
     let mut without_pruning = Series::new("without pruning");
     println!("Figure 9(d): JQ estimation time (seconds), numBuckets = 50");
-    println!("{:>6} | {:>12} | {:>14} | {:>7}", "n", "with pruning", "without pruning", "ratio");
+    println!(
+        "{:>6} | {:>12} | {:>14} | {:>7}",
+        "n", "with pruning", "without pruning", "ratio"
+    );
     for &n in &n_values {
         let mut rng = StdRng::seed_from_u64(args.seed.wrapping_add(n as u64));
         let jury = random_jury(n as usize, &generator, &mut rng);

@@ -36,7 +36,12 @@ pub struct ExperimentArgs {
 
 impl Default for ExperimentArgs {
     fn default() -> Self {
-        ExperimentArgs { trials: 10, seed: 42, out: None, full: false }
+        ExperimentArgs {
+            trials: 10,
+            seed: 42,
+            out: None,
+            full: false,
+        }
     }
 }
 
@@ -76,9 +81,7 @@ impl ExperimentArgs {
                 }
                 "--full" => parsed.full = true,
                 "--help" | "-h" => {
-                    return Err(
-                        "usage: [--trials N] [--seed N] [--out FILE.json] [--full]".into()
-                    )
+                    return Err("usage: [--trials N] [--seed N] [--out FILE.json] [--full]".into())
                 }
                 other => return Err(format!("unknown flag: {other}")),
             }
@@ -104,7 +107,10 @@ impl ExperimentArgs {
 /// printed to stdout are not lost).
 pub fn maybe_write_json(out: &Option<String>, value: &serde_json::Value) {
     if let Some(path) = out {
-        match std::fs::write(path, serde_json::to_string_pretty(value).expect("serializable")) {
+        match std::fs::write(
+            path,
+            serde_json::to_string_pretty(value).expect("serializable"),
+        ) {
             Ok(()) => eprintln!("wrote {path}"),
             Err(err) => {
                 eprintln!("failed to write {path}: {err}");

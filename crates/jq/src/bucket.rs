@@ -25,7 +25,7 @@ use crate::prior::fold_prior;
 use crate::prune::{aggregate_buckets, prune, PruneDecision, PruneStats};
 
 /// How many buckets Algorithm 1 should use.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BucketCount {
     /// A fixed total number of buckets (the experiments of Section 6 use 50).
     Fixed(usize),
@@ -45,7 +45,11 @@ impl BucketCount {
 }
 
 /// Configuration of the bucket-based estimator.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// `Hash`/`Eq` so that the configuration can participate in cache keys:
+/// JQ values computed under different bucket settings are different numbers
+/// and must never be conflated by a memoization layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct BucketJqConfig {
     /// Number of buckets.
     pub buckets: BucketCount,
@@ -119,7 +123,11 @@ pub struct JqEstimate {
 }
 
 /// The bucket-based estimator of `JQ(J, BV, α)`.
-#[derive(Debug, Clone, Default)]
+///
+/// The estimator holds only its (plain-old-data) configuration, so it is
+/// `Copy`: engine handles can be duplicated freely — e.g. one per batch
+/// worker thread — without sharing or synchronization.
+#[derive(Debug, Clone, Copy, Default)]
 pub struct BucketJqEstimator {
     config: BucketJqConfig,
 }
@@ -159,8 +167,10 @@ impl BucketJqEstimator {
 
         // Section 4.4 shortcut: a near-perfect worker pins JQ into (0.99, 1].
         if self.config.high_quality_shortcut {
-            if let Some(best) =
-                qualities.iter().copied().fold(None::<f64>, |acc, q| Some(acc.map_or(q, |a| a.max(q))))
+            if let Some(best) = qualities
+                .iter()
+                .copied()
+                .fold(None::<f64>, |acc, q| Some(acc.map_or(q, |a| a.max(q))))
             {
                 if best > 0.99 {
                     return JqEstimate {
@@ -179,7 +189,11 @@ impl BucketJqEstimator {
         let phis: Vec<f64> = qualities.iter().map(|&q| log_odds(q)).collect();
         let upper = phis.iter().cloned().fold(0.0f64, f64::max);
         let num_buckets = self.config.buckets.resolve(n);
-        let bucket_size = if upper > 0.0 { upper / num_buckets as f64 } else { 0.0 };
+        let bucket_size = if upper > 0.0 {
+            upper / num_buckets as f64
+        } else {
+            0.0
+        };
 
         // GetBucketArray: map each φ(q_i) to its nearest bucket index.
         let mut indexed: Vec<(i64, f64)> = phis
@@ -195,7 +209,7 @@ impl BucketJqEstimator {
             })
             .collect();
         // Sort by decreasing bucket so pruning sees the large weights first.
-        indexed.sort_by(|a, b| b.0.cmp(&a.0));
+        indexed.sort_by_key(|&(bucket, _)| std::cmp::Reverse(bucket));
         let buckets: Vec<i64> = indexed.iter().map(|&(b, _)| b).collect();
         let aggregate = aggregate_buckets(&buckets);
 
@@ -330,12 +344,19 @@ mod tests {
             let jury = Jury::from_qualities(&qualities).unwrap();
             let with = BucketJqEstimator::new(BucketJqConfig::paper_experiments())
                 .estimate(&jury, Prior::uniform());
-            let without = BucketJqEstimator::new(
-                BucketJqConfig::paper_experiments().with_pruning(false),
-            )
-            .estimate(&jury, Prior::uniform());
-            assert_close(with.value, without.value, 1e-12, "pruning changed the value");
-            assert_eq!(without.prune_stats.taken_all + without.prune_stats.taken_none, 0);
+            let without =
+                BucketJqEstimator::new(BucketJqConfig::paper_experiments().with_pruning(false))
+                    .estimate(&jury, Prior::uniform());
+            assert_close(
+                with.value,
+                without.value,
+                1e-12,
+                "pruning changed the value",
+            );
+            assert_eq!(
+                without.prune_stats.taken_all + without.prune_stats.taken_none,
+                0
+            );
         }
     }
 
@@ -345,7 +366,11 @@ mod tests {
         let jury = Jury::from_qualities(&qualities).unwrap();
         let est = BucketJqEstimator::new(BucketJqConfig::paper_experiments())
             .estimate(&jury, Prior::uniform());
-        assert!(est.prune_stats.taken_all > 0, "expected TakeAll prunes: {:?}", est.prune_stats);
+        assert!(
+            est.prune_stats.taken_all > 0,
+            "expected TakeAll prunes: {:?}",
+            est.prune_stats
+        );
         assert!(est.value > 0.99);
     }
 
@@ -368,10 +393,9 @@ mod tests {
         assert_close(est.value, 0.995, 1e-12, "shortcut value");
         // Without the shortcut the estimator still works and is at least as
         // large as the best single worker (monotonicity).
-        let est2 = BucketJqEstimator::new(
-            BucketJqConfig::default().with_high_quality_shortcut(false),
-        )
-        .estimate(&jury, Prior::uniform());
+        let est2 =
+            BucketJqEstimator::new(BucketJqConfig::default().with_high_quality_shortcut(false))
+                .estimate(&jury, Prior::uniform());
         assert!(est2.value >= 0.995 - 0.01);
         assert!(!est2.used_shortcut);
     }
@@ -414,14 +438,12 @@ mod tests {
     #[test]
     fn more_buckets_means_tighter_error_bound() {
         let jury = Jury::from_qualities(&[0.7; 8]).unwrap();
-        let coarse = BucketJqEstimator::new(
-            BucketJqConfig::default().with_buckets(BucketCount::Fixed(10)),
-        )
-        .estimate(&jury, Prior::uniform());
-        let fine = BucketJqEstimator::new(
-            BucketJqConfig::default().with_buckets(BucketCount::Fixed(400)),
-        )
-        .estimate(&jury, Prior::uniform());
+        let coarse =
+            BucketJqEstimator::new(BucketJqConfig::default().with_buckets(BucketCount::Fixed(10)))
+                .estimate(&jury, Prior::uniform());
+        let fine =
+            BucketJqEstimator::new(BucketJqConfig::default().with_buckets(BucketCount::Fixed(400)))
+                .estimate(&jury, Prior::uniform());
         assert!(fine.error_bound < coarse.error_bound);
         let exact = exact_bv_jq(&jury, Prior::uniform()).unwrap();
         assert!((fine.value - exact).abs() <= (coarse.value - exact).abs() + 1e-9);
@@ -442,7 +464,11 @@ mod tests {
         let jury = Jury::from_qualities(&qualities).unwrap();
         let est = BucketJqEstimator::new(BucketJqConfig::paper_experiments())
             .estimate(&jury, Prior::uniform());
-        assert!(est.value > 0.999, "a 300-strong jury should be nearly perfect: {}", est.value);
+        assert!(
+            est.value > 0.999,
+            "a 300-strong jury should be nearly perfect: {}",
+            est.value
+        );
         assert!(est.max_map_entries > 0);
     }
 }

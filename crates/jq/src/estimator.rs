@@ -34,7 +34,11 @@ pub struct JqValue {
 }
 
 /// Unified JQ computation engine.
-#[derive(Debug, Clone)]
+///
+/// The engine is plain configuration data (`Copy`), so callers that need one
+/// engine per thread — like `jury-service`'s batch executor — can duplicate
+/// handles for free instead of sharing one behind a lock.
+#[derive(Debug, Clone, Copy)]
 pub struct JqEngine {
     bucket: BucketJqEstimator,
     /// Juries of at most this size use exact enumeration for BV.
@@ -43,20 +47,29 @@ pub struct JqEngine {
 
 impl Default for JqEngine {
     fn default() -> Self {
-        JqEngine { bucket: BucketJqEstimator::default(), exact_cutoff: 12 }
+        JqEngine {
+            bucket: BucketJqEstimator::default(),
+            exact_cutoff: 12,
+        }
     }
 }
 
 impl JqEngine {
     /// Creates an engine with a specific bucket configuration.
     pub fn new(config: BucketJqConfig) -> Self {
-        JqEngine { bucket: BucketJqEstimator::new(config), exact_cutoff: 12 }
+        JqEngine {
+            bucket: BucketJqEstimator::new(config),
+            exact_cutoff: 12,
+        }
     }
 
     /// Creates an engine that always uses the bucket approximation for BV
     /// (useful for benchmarking the approximation itself).
     pub fn approximate_only(config: BucketJqConfig) -> Self {
-        JqEngine { bucket: BucketJqEstimator::new(config), exact_cutoff: 0 }
+        JqEngine {
+            bucket: BucketJqEstimator::new(config),
+            exact_cutoff: 0,
+        }
     }
 
     /// Sets the exact-enumeration cutoff (capped at [`MAX_EXACT_JURY`]).
@@ -107,6 +120,11 @@ impl JqEngine {
     pub fn bucket_estimator(&self) -> &BucketJqEstimator {
         &self.bucket
     }
+
+    /// The exact-enumeration cutoff in effect.
+    pub fn exact_cutoff(&self) -> usize {
+        self.exact_cutoff
+    }
 }
 
 #[cfg(test)]
@@ -154,7 +172,9 @@ mod tests {
     fn strategy_jq_delegates_to_enumeration() {
         let engine = JqEngine::default();
         let jury = Jury::from_qualities(&[0.9, 0.6, 0.6]).unwrap();
-        let jq = engine.strategy_jq(&jury, &MajorityVoting::new(), Prior::uniform()).unwrap();
+        let jq = engine
+            .strategy_jq(&jury, &MajorityVoting::new(), Prior::uniform())
+            .unwrap();
         assert!((jq.value - 0.792).abs() < 1e-12);
         assert_eq!(jq.backend, JqBackend::ExactEnumeration);
     }

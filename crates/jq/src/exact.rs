@@ -108,7 +108,12 @@ mod tests {
 
     #[test]
     fn random_ballot_voting_is_a_coin() {
-        let jq = exact_jq(&example_jury(), &RandomBallotVoting::new(), Prior::uniform()).unwrap();
+        let jq = exact_jq(
+            &example_jury(),
+            &RandomBallotVoting::new(),
+            Prior::uniform(),
+        )
+        .unwrap();
         assert!((jq - 0.5).abs() < 1e-12);
     }
 
@@ -117,7 +122,10 @@ mod tests {
         let prior = Prior::uniform();
         let mv = exact_jq(&example_jury(), &MajorityVoting::new(), prior).unwrap();
         let rmv = exact_jq(&example_jury(), &RandomizedMajorityVoting::new(), prior).unwrap();
-        assert!(rmv <= mv + 1e-12, "RMV {rmv} should not beat MV {mv} on average");
+        assert!(
+            rmv <= mv + 1e-12,
+            "RMV {rmv} should not beat MV {mv} on average"
+        );
     }
 
     #[test]
@@ -165,9 +173,13 @@ mod tests {
         let jury = Jury::from_qualities(&[0.55, 0.95, 0.7, 0.6]).unwrap();
         for entry in all_strategies() {
             for alpha in [0.0, 0.25, 0.5, 1.0] {
-                let jq = exact_jq(&jury, entry.strategy.as_ref(), Prior::new(alpha).unwrap())
-                    .unwrap();
-                assert!((0.0..=1.0 + 1e-12).contains(&jq), "{} gave {jq}", entry.name());
+                let jq =
+                    exact_jq(&jury, entry.strategy.as_ref(), Prior::new(alpha).unwrap()).unwrap();
+                assert!(
+                    (0.0..=1.0 + 1e-12).contains(&jq),
+                    "{} gave {jq}",
+                    entry.name()
+                );
             }
         }
     }

@@ -67,7 +67,7 @@ pub fn has_equal_partition(integers: &[u32]) -> bool {
         return true;
     }
     let total: u64 = integers.iter().map(|&a| a as u64).sum();
-    if total % 2 != 0 {
+    if !total.is_multiple_of(2) {
         return false;
     }
     zero_mass(integers) > 0.0
@@ -78,7 +78,7 @@ pub fn has_equal_partition_bruteforce(integers: &[u32]) -> bool {
     let n = integers.len();
     assert!(n <= 24, "brute force limited to 24 integers");
     let total: u64 = integers.iter().map(|&a| a as u64).sum();
-    if total % 2 != 0 {
+    if !total.is_multiple_of(2) {
         return false;
     }
     let target = total / 2;
@@ -112,11 +112,11 @@ mod tests {
 
     #[test]
     fn decides_classic_yes_and_no_instances() {
-        assert!(has_equal_partition(&[1, 5, 11, 5]));       // {11} never balances... {1,5,5} = 11 ✓
-        assert!(has_equal_partition(&[3, 1, 1, 2, 2, 1]));  // total 10, {3,2} = {1,1,2,1} ✓
-        assert!(!has_equal_partition(&[2, 2, 3]));          // odd total
-        assert!(!has_equal_partition(&[1, 2, 4, 8]));       // total 15, odd
-        assert!(!has_equal_partition(&[1, 1, 16]));         // even total but no split
+        assert!(has_equal_partition(&[1, 5, 11, 5])); // {11} never balances... {1,5,5} = 11 ✓
+        assert!(has_equal_partition(&[3, 1, 1, 2, 2, 1])); // total 10, {3,2} = {1,1,2,1} ✓
+        assert!(!has_equal_partition(&[2, 2, 3])); // odd total
+        assert!(!has_equal_partition(&[1, 2, 4, 8])); // total 15, odd
+        assert!(!has_equal_partition(&[1, 1, 16])); // even total but no split
         assert!(has_equal_partition(&[]));
         assert!(!has_equal_partition(&[7]));
     }
@@ -126,7 +126,9 @@ mod tests {
         // Small deterministic pseudo-random instances.
         let mut state = 0x12345678u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) % 9 + 1) as u32
         };
         for n in 2..10usize {

@@ -49,6 +49,7 @@ pub mod multiclass;
 pub mod mv;
 pub mod prior;
 pub mod prune;
+pub mod signature;
 
 pub use bounds::{error_bound, recommended_buckets, recommended_multiplier};
 pub use bucket::{bv_jq, BucketCount, BucketJqConfig, BucketJqEstimator, JqEstimate};
@@ -61,6 +62,7 @@ pub use multiclass::{
 pub use mv::mv_jq;
 pub use prior::{fold_prior, PRIOR_PSEUDO_WORKER_ID};
 pub use prune::PruneStats;
+pub use signature::{jury_signature, JurySignature, SIGNATURE_RESOLUTION};
 
 #[cfg(test)]
 mod proptests {

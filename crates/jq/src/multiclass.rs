@@ -56,10 +56,7 @@ pub fn exact_multiclass_jq(
 
 /// Exact JQ of multi-class Bayesian voting using the `max` formulation:
 /// `JQ(BV) = Σ_V max_{t'} α_{t'} Pr(V | t = t')`.
-pub fn exact_multiclass_bv_jq(
-    jury: &MatrixJury,
-    prior: &CategoricalPrior,
-) -> ModelResult<f64> {
+pub fn exact_multiclass_bv_jq(jury: &MatrixJury, prior: &CategoricalPrior) -> ModelResult<f64> {
     check_dimensions(jury, prior)?;
     let l = jury.num_choices();
     let n = jury.size();
@@ -168,20 +165,28 @@ fn h_for_target(
                 .collect();
             log_ratios.push(ratios);
         }
-        increments.push(WorkerIncrements { prob_given_target, log_ratios });
+        increments.push(WorkerIncrements {
+            prob_given_target,
+            log_ratios,
+        });
     }
 
     // The prior contributes the initial key ln α_{t'} − ln α_i.
     let initial_ratios: Vec<f64> = others
         .iter()
         .map(|&i| {
-            let r = prior.prob(target).max(LOG_FLOOR).ln() - prior.prob(Label(i)).max(LOG_FLOOR).ln();
+            let r =
+                prior.prob(target).max(LOG_FLOOR).ln() - prior.prob(Label(i)).max(LOG_FLOOR).ln();
             max_abs = max_abs.max(r.abs());
             r
         })
         .collect();
 
-    let delta = if max_abs > 0.0 { max_abs / config.num_buckets.max(1) as f64 } else { 0.0 };
+    let delta = if max_abs > 0.0 {
+        max_abs / config.num_buckets.max(1) as f64
+    } else {
+        0.0
+    };
     let quantize = |x: f64| -> i32 {
         if delta > 0.0 {
             (x / delta).round() as i32
@@ -216,7 +221,11 @@ fn h_for_target(
     let mut h = 0.0;
     'keys: for (key, &prob) in &current {
         for (slot, &other) in key.iter().zip(others.iter()) {
-            let wins = if other < target.index() { *slot > 0 } else { *slot >= 0 };
+            let wins = if other < target.index() {
+                *slot > 0
+            } else {
+                *slot >= 0
+            };
             if !wins {
                 continue 'keys;
             }
@@ -245,7 +254,10 @@ mod tests {
             let prior2 = CategoricalPrior::new(vec![alpha, 1.0 - alpha]).unwrap();
             let multi = exact_multiclass_bv_jq(&matrix_jury, &prior2).unwrap();
             let binary = exact_bv_jq(&binary_jury, Prior::new(alpha).unwrap()).unwrap();
-            assert!((multi - binary).abs() < 1e-10, "alpha={alpha}: {multi} vs {binary}");
+            assert!(
+                (multi - binary).abs() < 1e-10,
+                "alpha={alpha}: {multi} vs {binary}"
+            );
         }
     }
 
@@ -256,7 +268,10 @@ mod tests {
         let via_strategy =
             exact_multiclass_jq(&jury, &BayesianMultiClassVoting::new(), &prior).unwrap();
         let via_max = exact_multiclass_bv_jq(&jury, &prior).unwrap();
-        assert!((via_strategy - via_max).abs() < 1e-10, "{via_strategy} vs {via_max}");
+        assert!(
+            (via_strategy - via_max).abs() < 1e-10,
+            "{via_strategy} vs {via_max}"
+        );
     }
 
     #[test]
@@ -265,7 +280,10 @@ mod tests {
         let prior = CategoricalPrior::uniform(3).unwrap();
         let bv = exact_multiclass_bv_jq(&jury, &prior).unwrap();
         let plurality = exact_multiclass_jq(&jury, &PluralityVoting::new(), &prior).unwrap();
-        assert!(bv >= plurality - 1e-12, "BV {bv} must dominate plurality {plurality}");
+        assert!(
+            bv >= plurality - 1e-12,
+            "BV {bv} must dominate plurality {plurality}"
+        );
         assert!((0.0..=1.0 + 1e-12).contains(&bv));
     }
 
@@ -319,7 +337,10 @@ mod tests {
         let exact = exact_multiclass_bv_jq(&jury, &prior).unwrap();
         let approx =
             approx_multiclass_bv_jq(&jury, &prior, MultiClassBucketConfig::default()).unwrap();
-        assert!((exact - approx).abs() < 5e-3, "exact {exact} vs approx {approx}");
+        assert!(
+            (exact - approx).abs() < 5e-3,
+            "exact {exact} vs approx {approx}"
+        );
     }
 
     #[test]
@@ -341,9 +362,7 @@ mod tests {
         let jury = MatrixJury::from_qualities(&[0.7, 0.7], 3).unwrap();
         let prior = CategoricalPrior::uniform(2).unwrap();
         assert!(exact_multiclass_bv_jq(&jury, &prior).is_err());
-        assert!(
-            approx_multiclass_bv_jq(&jury, &prior, MultiClassBucketConfig::default()).is_err()
-        );
+        assert!(approx_multiclass_bv_jq(&jury, &prior, MultiClassBucketConfig::default()).is_err());
         assert!(exact_multiclass_jq(&jury, &PluralityVoting::new(), &prior).is_err());
     }
 

@@ -20,7 +20,11 @@ pub fn no_vote_distribution(jury: &Jury, truth_is_no: bool) -> Vec<f64> {
     let mut dist = vec![0.0; n + 1];
     dist[0] = 1.0;
     for (i, worker) in jury.workers().iter().enumerate() {
-        let p_no = if truth_is_no { worker.quality() } else { 1.0 - worker.quality() };
+        let p_no = if truth_is_no {
+            worker.quality()
+        } else {
+            1.0 - worker.quality()
+        };
         // Walk backwards so each worker is counted once.
         for k in (0..=i + 1).rev() {
             let stay = if k <= i { dist[k] * (1.0 - p_no) } else { 0.0 };

@@ -105,7 +105,11 @@ mod tests {
 
     #[test]
     fn prune_stats_fractions() {
-        let stats = PruneStats { taken_all: 3, taken_none: 2, expanded: 5 };
+        let stats = PruneStats {
+            taken_all: 3,
+            taken_none: 2,
+            expanded: 5,
+        };
         assert_eq!(stats.total(), 10);
         assert!((stats.pruned_fraction() - 0.5).abs() < 1e-12);
         assert_eq!(PruneStats::default().pruned_fraction(), 0.0);

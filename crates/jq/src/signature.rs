@@ -1,0 +1,126 @@
+//! Quantized jury signatures — hashable memoization keys for JQ values.
+//!
+//! The jury quality of every strategy implemented in this crate is a
+//! function of only (a) the *multiset* of the jury members' qualities and
+//! (b) the task prior: member order is irrelevant (both the Bayesian-voting
+//! formulation and the MV Poisson-binomial dynamic program are symmetric in
+//! the workers), and costs and worker ids never enter the computation.
+//!
+//! [`jury_signature`] exploits that: it maps a `(jury, prior)` pair to a
+//! compact, hashable key by sorting the qualities and quantizing every
+//! probability to [`SIGNATURE_RESOLUTION`]. Two pairs with equal signatures
+//! have JQ values within the numerical noise floor of each other, so the
+//! signature is a sound cache key for memoizing JQ evaluations — the basis
+//! of `jury-service`'s shared evaluation cache.
+
+use jury_model::{Jury, Prior};
+
+/// Quantization step for probabilities entering a [`JurySignature`].
+///
+/// `2⁻⁴⁰ ≈ 9.1e-13` — far below the bucket approximation's error bound and
+/// the `1e-9` tolerances used throughout the test-suite, so collapsing
+/// qualities that differ by less changes no observable result.
+pub const SIGNATURE_RESOLUTION: f64 = 1.0 / (1u64 << 40) as f64;
+
+/// A compact, hashable identity of a `(jury, prior)` JQ evaluation.
+///
+/// Layout: `[quantized prior α, quantized sorted member qualities...]`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct JurySignature {
+    words: Box<[u64]>,
+}
+
+impl JurySignature {
+    /// Number of 64-bit words in the signature (jury size + 1).
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the signature is empty (never true: the prior is always
+    /// present).
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+}
+
+fn quantize(p: f64) -> u64 {
+    (p / SIGNATURE_RESOLUTION).round() as u64
+}
+
+/// Computes the signature of a `(jury, prior)` pair.
+pub fn jury_signature(jury: &Jury, prior: Prior) -> JurySignature {
+    let mut words = Vec::with_capacity(jury.size() + 1);
+    words.push(quantize(prior.alpha()));
+    let mut qualities: Vec<u64> = jury
+        .workers()
+        .iter()
+        .map(|w| quantize(w.quality()))
+        .collect();
+    qualities.sort_unstable();
+    words.extend(qualities);
+    JurySignature {
+        words: words.into_boxed_slice(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jury_model::{Worker, WorkerId};
+
+    fn jury_with_costs(qualities: &[f64], costs: &[f64]) -> Jury {
+        let workers: Vec<Worker> = qualities
+            .iter()
+            .zip(costs)
+            .enumerate()
+            .map(|(i, (&q, &c))| Worker::new(WorkerId(i as u32), q, c).unwrap())
+            .collect();
+        Jury::new(workers)
+    }
+
+    #[test]
+    fn member_order_does_not_matter() {
+        let a = Jury::from_qualities(&[0.9, 0.6, 0.7]).unwrap();
+        let b = Jury::from_qualities(&[0.6, 0.7, 0.9]).unwrap();
+        assert_eq!(
+            jury_signature(&a, Prior::uniform()),
+            jury_signature(&b, Prior::uniform())
+        );
+    }
+
+    #[test]
+    fn costs_and_ids_do_not_matter() {
+        let a = jury_with_costs(&[0.8, 0.6], &[1.0, 2.0]);
+        let b = jury_with_costs(&[0.8, 0.6], &[5.0, 0.0]);
+        assert_eq!(
+            jury_signature(&a, Prior::uniform()),
+            jury_signature(&b, Prior::uniform())
+        );
+    }
+
+    #[test]
+    fn prior_and_qualities_do_matter() {
+        let jury = Jury::from_qualities(&[0.8, 0.6]).unwrap();
+        let base = jury_signature(&jury, Prior::uniform());
+        assert_ne!(base, jury_signature(&jury, Prior::new(0.7).unwrap()));
+        let other = Jury::from_qualities(&[0.8, 0.61]).unwrap();
+        assert_ne!(base, jury_signature(&other, Prior::uniform()));
+    }
+
+    #[test]
+    fn sub_resolution_differences_collapse() {
+        let a = Jury::from_qualities(&[0.8]).unwrap();
+        let b = Jury::from_qualities(&[0.8 + SIGNATURE_RESOLUTION / 8.0]).unwrap();
+        assert_eq!(
+            jury_signature(&a, Prior::uniform()),
+            jury_signature(&b, Prior::uniform())
+        );
+    }
+
+    #[test]
+    fn empty_jury_still_has_a_prior_word() {
+        let sig = jury_signature(&Jury::empty(), Prior::uniform());
+        assert_eq!(sig.len(), 1);
+        assert!(!sig.is_empty());
+    }
+}

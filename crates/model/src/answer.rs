@@ -40,7 +40,10 @@ impl Answer {
         match index {
             0 => Ok(Answer::No),
             1 => Ok(Answer::Yes),
-            other => Err(ModelError::InvalidLabel { label: other, num_choices: 2 }),
+            other => Err(ModelError::InvalidLabel {
+                label: other,
+                num_choices: 2,
+            }),
         }
     }
 
@@ -110,7 +113,10 @@ impl Label {
         if self.0 < num_choices {
             Ok(self)
         } else {
-            Err(ModelError::InvalidLabel { label: self.0, num_choices })
+            Err(ModelError::InvalidLabel {
+                label: self.0,
+                num_choices,
+            })
         }
     }
 
@@ -139,7 +145,10 @@ impl std::fmt::Display for Label {
 /// (exponential) JQ computations and for tests; `n` is limited to 25 to keep
 /// callers honest about the blow-up.
 pub fn enumerate_binary_votings(n: usize) -> impl Iterator<Item = Vec<Answer>> {
-    assert!(n <= 25, "exhaustive voting enumeration is limited to 25 workers (got {n})");
+    assert!(
+        n <= 25,
+        "exhaustive voting enumeration is limited to 25 workers (got {n})"
+    );
     (0u32..(1u32 << n)).map(move |bits| {
         (0..n)
             .map(|i| {
@@ -158,7 +167,10 @@ pub fn enumerate_label_votings(n: usize, num_choices: usize) -> impl Iterator<It
     let total: u64 = (num_choices as u64)
         .checked_pow(n as u32)
         .expect("voting space overflows u64");
-    assert!(total <= 1 << 22, "exhaustive label enumeration too large ({total} votings)");
+    assert!(
+        total <= 1 << 22,
+        "exhaustive label enumeration too large ({total} votings)"
+    );
     (0..total).map(move |mut code| {
         let mut votes = vec![Label(0); n];
         for slot in votes.iter_mut().rev() {
@@ -249,8 +261,9 @@ mod tests {
         let binary: Vec<Vec<usize>> = enumerate_binary_votings(3)
             .map(|v| v.iter().map(|a| a.as_index()).collect())
             .collect();
-        let labels: Vec<Vec<usize>> =
-            enumerate_label_votings(3, 2).map(|v| v.iter().map(|l| l.index()).collect()).collect();
+        let labels: Vec<Vec<usize>> = enumerate_label_votings(3, 2)
+            .map(|v| v.iter().map(|l| l.index()).collect())
+            .collect();
         assert_eq!(binary, labels);
     }
 }

@@ -51,15 +51,19 @@ impl ConfusionMatrix {
             }
         }
         for row in 0..num_choices {
-            let sum: f64 =
-                entries[row * num_choices..(row + 1) * num_choices].iter().sum();
+            let sum: f64 = entries[row * num_choices..(row + 1) * num_choices]
+                .iter()
+                .sum();
             if (sum - 1.0).abs() > ROW_SUM_TOLERANCE {
                 return Err(ModelError::InvalidConfusionMatrix {
                     reason: format!("row {row} sums to {sum}, expected 1"),
                 });
             }
         }
-        Ok(ConfusionMatrix { num_choices, entries })
+        Ok(ConfusionMatrix {
+            num_choices,
+            entries,
+        })
     }
 
     /// Creates the symmetric confusion matrix induced by a single quality
@@ -81,7 +85,10 @@ impl ConfusionMatrix {
         for j in 0..num_choices {
             entries[j * num_choices + j] = quality;
         }
-        Ok(ConfusionMatrix { num_choices, entries })
+        Ok(ConfusionMatrix {
+            num_choices,
+            entries,
+        })
     }
 
     /// The identity confusion matrix (a perfect worker).
@@ -97,7 +104,10 @@ impl ConfusionMatrix {
             });
         }
         let p = 1.0 / num_choices as f64;
-        Ok(ConfusionMatrix { num_choices, entries: vec![p; num_choices * num_choices] })
+        Ok(ConfusionMatrix {
+            num_choices,
+            entries: vec![p; num_choices * num_choices],
+        })
     }
 
     /// Number of labels `ℓ`.
@@ -126,7 +136,9 @@ impl ConfusionMatrix {
     /// uniform distribution over true labels. For `ℓ = 2` this coincides with
     /// the single-quality model when the matrix is symmetric.
     pub fn mean_accuracy(&self) -> f64 {
-        (0..self.num_choices).map(|j| self.entries[j * self.num_choices + j]).sum::<f64>()
+        (0..self.num_choices)
+            .map(|j| self.entries[j * self.num_choices + j])
+            .sum::<f64>()
             / self.num_choices as f64
     }
 
@@ -139,8 +151,8 @@ impl ConfusionMatrix {
         let l = self.num_choices;
         let mut mean_row = vec![0.0; l];
         for j in 0..l {
-            for k in 0..l {
-                mean_row[k] += self.entries[j * l + k] / l as f64;
+            for (k, mean) in mean_row.iter_mut().enumerate() {
+                *mean += self.entries[j * l + k] / l as f64;
             }
         }
         let mut score = 0.0;
@@ -181,7 +193,11 @@ impl MatrixWorker {
         if !cost.is_finite() || cost < 0.0 {
             return Err(ModelError::InvalidCost { value: cost });
         }
-        Ok(MatrixWorker { id, confusion, cost })
+        Ok(MatrixWorker {
+            id,
+            confusion,
+            cost,
+        })
     }
 
     /// The worker id.
@@ -221,10 +237,13 @@ impl MatrixJury {
     /// Creates a multi-class jury; all members must share the same label
     /// space.
     pub fn new(workers: Vec<MatrixWorker>) -> ModelResult<Self> {
-        let num_choices = workers
-            .first()
-            .map(|w| w.confusion().num_choices())
-            .ok_or(ModelError::Empty { what: "matrix jury" })?;
+        let num_choices =
+            workers
+                .first()
+                .map(|w| w.confusion().num_choices())
+                .ok_or(ModelError::Empty {
+                    what: "matrix jury",
+                })?;
         for w in &workers {
             if w.confusion().num_choices() != num_choices {
                 return Err(ModelError::InvalidConfusionMatrix {
@@ -237,7 +256,10 @@ impl MatrixJury {
                 });
             }
         }
-        Ok(MatrixJury { workers, num_choices })
+        Ok(MatrixJury {
+            workers,
+            num_choices,
+        })
     }
 
     /// Creates a jury of symmetric-confusion workers from plain qualities.
@@ -345,7 +367,10 @@ mod tests {
         let (sens, spec) = m.binary_accuracies().unwrap();
         assert!((sens - 0.9).abs() < 1e-12);
         assert!((spec - 0.7).abs() < 1e-12);
-        assert!(ConfusionMatrix::from_quality(0.8, 3).unwrap().binary_accuracies().is_err());
+        assert!(ConfusionMatrix::from_quality(0.8, 3)
+            .unwrap()
+            .binary_accuracies()
+            .is_err());
     }
 
     #[test]
@@ -369,15 +394,25 @@ mod tests {
         assert!((p - 0.9 * 0.6 * 0.6).abs() < 1e-12);
         // Wrong-length votings and invalid labels are rejected.
         assert!(jury.voting_likelihood(&[Label(0)], Label(0)).is_err());
-        assert!(jury.voting_likelihood(&[Label(0), Label(3), Label(0)], Label(0)).is_err());
+        assert!(jury
+            .voting_likelihood(&[Label(0), Label(3), Label(0)], Label(0))
+            .is_err());
     }
 
     #[test]
     fn matrix_jury_rejects_mixed_label_spaces() {
-        let a = MatrixWorker::new(WorkerId(0), ConfusionMatrix::from_quality(0.8, 2).unwrap(), 0.0)
-            .unwrap();
-        let b = MatrixWorker::new(WorkerId(1), ConfusionMatrix::from_quality(0.8, 3).unwrap(), 0.0)
-            .unwrap();
+        let a = MatrixWorker::new(
+            WorkerId(0),
+            ConfusionMatrix::from_quality(0.8, 2).unwrap(),
+            0.0,
+        )
+        .unwrap();
+        let b = MatrixWorker::new(
+            WorkerId(1),
+            ConfusionMatrix::from_quality(0.8, 3).unwrap(),
+            0.0,
+        )
+        .unwrap();
         assert!(MatrixJury::new(vec![a, b]).is_err());
         assert!(MatrixJury::new(vec![]).is_err());
     }

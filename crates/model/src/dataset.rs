@@ -41,13 +41,22 @@ pub struct TaskRecord {
 impl TaskRecord {
     /// Creates a record for a task with known ground truth.
     pub fn new(id: TaskId, prior: Prior, ground_truth: Answer) -> Self {
-        TaskRecord { id, prior, ground_truth, votes: Vec::new() }
+        TaskRecord {
+            id,
+            prior,
+            ground_truth,
+            votes: Vec::new(),
+        }
     }
 
     /// Appends a vote at the end of the answering sequence.
     pub fn push_vote(&mut self, worker: WorkerId, answer: Answer) {
         let sequence = self.votes.len() as u32;
-        self.votes.push(CollectedVote { worker, answer, sequence });
+        self.votes.push(CollectedVote {
+            worker,
+            answer,
+            sequence,
+        });
     }
 
     /// The task id.
@@ -130,7 +139,9 @@ impl CrowdDataset {
         for task in &tasks {
             for vote in task.votes() {
                 if !workers.contains(vote.worker) {
-                    return Err(ModelError::UnknownWorker { id: vote.worker.raw() });
+                    return Err(ModelError::UnknownWorker {
+                        id: vote.worker.raw(),
+                    });
                 }
             }
         }
@@ -191,7 +202,11 @@ impl CrowdDataset {
             }
         }
         map.into_iter()
-            .map(|(worker, (answered, correct))| WorkerStats { worker, answered, correct })
+            .map(|(worker, (answered, correct))| WorkerStats {
+                worker,
+                answered,
+                correct,
+            })
             .collect()
     }
 
@@ -199,8 +214,11 @@ impl CrowdDataset {
     /// accuracy computed from this dataset (keeping each worker's cost), as
     /// done for the real dataset in Section 6.2.1.
     pub fn with_empirical_qualities(&self) -> ModelResult<CrowdDataset> {
-        let stats: BTreeMap<WorkerId, WorkerStats> =
-            self.worker_stats().into_iter().map(|s| (s.worker, s)).collect();
+        let stats: BTreeMap<WorkerId, WorkerStats> = self
+            .worker_stats()
+            .into_iter()
+            .map(|s| (s.worker, s))
+            .collect();
         let workers = self
             .workers
             .iter()
@@ -238,7 +256,8 @@ mod tests {
     use super::*;
 
     fn tiny_dataset() -> CrowdDataset {
-        let pool = WorkerPool::from_qualities_and_costs(&[0.9, 0.6, 0.7], &[1.0, 1.0, 1.0]).unwrap();
+        let pool =
+            WorkerPool::from_qualities_and_costs(&[0.9, 0.6, 0.7], &[1.0, 1.0, 1.0]).unwrap();
         let mut t0 = TaskRecord::new(TaskId(0), Prior::uniform(), Answer::Yes);
         t0.push_vote(WorkerId(0), Answer::Yes);
         t0.push_vote(WorkerId(1), Answer::No);
@@ -303,7 +322,11 @@ mod tests {
 
     #[test]
     fn empirical_quality_defaults_to_half_for_silent_workers() {
-        let s = WorkerStats { worker: WorkerId(0), answered: 0, correct: 0 };
+        let s = WorkerStats {
+            worker: WorkerId(0),
+            answered: 0,
+            correct: 0,
+        };
         assert!((s.empirical_quality() - 0.5).abs() < 1e-12);
     }
 

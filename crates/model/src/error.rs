@@ -85,7 +85,10 @@ impl fmt::Display for ModelError {
             ModelError::UnknownWorker { id } => write!(f, "unknown worker id {id}"),
             ModelError::DuplicateWorker { id } => write!(f, "duplicate worker id {id}"),
             ModelError::InvalidLabel { label, num_choices } => {
-                write!(f, "label {label} out of range for a task with {num_choices} choices")
+                write!(
+                    f,
+                    "label {label} out of range for a task with {num_choices} choices"
+                )
             }
             ModelError::VoteCountMismatch { votes, jurors } => {
                 write!(f, "{votes} votes supplied for a jury of {jurors} workers")
@@ -111,17 +114,33 @@ mod tests {
             (ModelError::InvalidCost { value: -1.0 }, "cost"),
             (ModelError::InvalidPrior { value: 2.0 }, "prior"),
             (
-                ModelError::InvalidPriorVector { reason: "sums to 0.9".into() },
+                ModelError::InvalidPriorVector {
+                    reason: "sums to 0.9".into(),
+                },
                 "categorical prior",
             ),
             (
-                ModelError::InvalidConfusionMatrix { reason: "row 1".into() },
+                ModelError::InvalidConfusionMatrix {
+                    reason: "row 1".into(),
+                },
                 "confusion matrix",
             ),
             (ModelError::UnknownWorker { id: 7 }, "unknown worker"),
             (ModelError::DuplicateWorker { id: 7 }, "duplicate worker"),
-            (ModelError::InvalidLabel { label: 4, num_choices: 3 }, "label"),
-            (ModelError::VoteCountMismatch { votes: 2, jurors: 3 }, "votes"),
+            (
+                ModelError::InvalidLabel {
+                    label: 4,
+                    num_choices: 3,
+                },
+                "label",
+            ),
+            (
+                ModelError::VoteCountMismatch {
+                    votes: 2,
+                    jurors: 3,
+                },
+                "votes",
+            ),
             (ModelError::Empty { what: "jury" }, "jury"),
         ];
         for (err, needle) in cases {

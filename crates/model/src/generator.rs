@@ -168,13 +168,18 @@ impl UniformWorkerGenerator {
     pub fn new(quality_range: (f64, f64), cost_range: (f64, f64)) -> ModelResult<Self> {
         let (qlo, qhi) = quality_range;
         if !(0.0..=1.0).contains(&qlo) || !(0.0..=1.0).contains(&qhi) || qlo > qhi {
-            return Err(crate::error::ModelError::InvalidQuality { value: qlo.min(qhi) });
+            return Err(crate::error::ModelError::InvalidQuality {
+                value: qlo.min(qhi),
+            });
         }
         let (clo, chi) = cost_range;
         if clo < 0.0 || clo > chi || !clo.is_finite() || !chi.is_finite() {
             return Err(crate::error::ModelError::InvalidCost { value: clo });
         }
-        Ok(UniformWorkerGenerator { quality_range, cost_range })
+        Ok(UniformWorkerGenerator {
+            quality_range,
+            cost_range,
+        })
     }
 
     /// Generates a pool of `n` candidate workers.
@@ -239,7 +244,10 @@ mod tests {
         // Clamping into [0, 1] pulls the mean slightly; allow a loose band.
         assert!((m - 0.7).abs() < 0.03, "mean quality {m} far from 0.7");
         let sd = std_dev(&qualities);
-        assert!((sd - 0.05f64.sqrt()).abs() < 0.05, "std dev {sd} far from sqrt(0.05)");
+        assert!(
+            (sd - 0.05f64.sqrt()).abs() < 0.05,
+            "std dev {sd} far from sqrt(0.05)"
+        );
     }
 
     #[test]

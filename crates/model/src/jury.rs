@@ -27,7 +27,9 @@ impl Jury {
 
     /// The empty jury.
     pub fn empty() -> Self {
-        Jury { workers: Vec::new() }
+        Jury {
+            workers: Vec::new(),
+        }
     }
 
     /// Creates a jury of free workers with the given qualities and sequential
@@ -115,7 +117,13 @@ impl Jury {
 
     /// Returns a new jury with the worker identified by `id` removed.
     pub fn without(&self, id: WorkerId) -> Self {
-        Jury::new(self.workers.iter().filter(|w| w.id() != id).cloned().collect())
+        Jury::new(
+            self.workers
+                .iter()
+                .filter(|w| w.id() != id)
+                .cloned()
+                .collect(),
+        )
     }
 
     /// Validates that a voting has exactly one vote per juror.
@@ -123,7 +131,10 @@ impl Jury {
         if votes.len() == self.size() {
             Ok(())
         } else {
-            Err(ModelError::VoteCountMismatch { votes: votes.len(), jurors: self.size() })
+            Err(ModelError::VoteCountMismatch {
+                votes: votes.len(),
+                jurors: self.size(),
+            })
         }
     }
 
@@ -166,7 +177,10 @@ impl<'a> IntoIterator for &'a Jury {
 /// solver and by tests, and is limited to pools of at most 25 workers.
 pub fn feasible_juries(pool: &WorkerPool, budget: f64) -> Vec<Jury> {
     let n = pool.len();
-    assert!(n <= 25, "feasible jury enumeration is limited to 25 candidate workers (got {n})");
+    assert!(
+        n <= 25,
+        "feasible jury enumeration is limited to 25 candidate workers (got {n})"
+    );
     let workers = pool.workers();
     let mut juries = Vec::new();
     for mask in 0u32..(1u32 << n) {
@@ -239,7 +253,9 @@ mod tests {
     #[test]
     fn check_voting_validates_length() {
         let jury = Jury::from_qualities(&[0.9, 0.6, 0.6]).unwrap();
-        assert!(jury.check_voting(&[Answer::No, Answer::Yes, Answer::No]).is_ok());
+        assert!(jury
+            .check_voting(&[Answer::No, Answer::Yes, Answer::No])
+            .is_ok());
         assert!(jury.check_voting(&[Answer::No]).is_err());
     }
 
@@ -263,13 +279,17 @@ mod tests {
             let total: f64 = crate::answer::enumerate_binary_votings(jury.size())
                 .map(|v| jury.voting_likelihood(&v, truth).unwrap())
                 .sum();
-            assert!((total - 1.0).abs() < 1e-9, "likelihoods for t={truth} sum to {total}");
+            assert!(
+                (total - 1.0).abs() < 1e-9,
+                "likelihoods for t={truth} sum to {total}"
+            );
         }
     }
 
     #[test]
     fn feasible_juries_enumeration() {
-        let pool = WorkerPool::from_qualities_and_costs(&[0.9, 0.8, 0.7], &[1.0, 2.0, 4.0]).unwrap();
+        let pool =
+            WorkerPool::from_qualities_and_costs(&[0.9, 0.8, 0.7], &[1.0, 2.0, 4.0]).unwrap();
         let all = feasible_juries(&pool, 3.0);
         // Subsets within budget 3: {}, {0}, {1}, {0,1}.
         assert_eq!(all.len(), 4);

@@ -57,7 +57,9 @@ pub use generator::{GaussianWorkerGenerator, UniformWorkerGenerator};
 pub use jury::{feasible_juries, Jury};
 pub use prior::{CategoricalPrior, Prior};
 pub use task::{DecisionTask, MultiClassTask, TaskId};
-pub use worker::{log_odds, paper_example_pool, quality_from_log_odds, Worker, WorkerId, WorkerPool};
+pub use worker::{
+    log_odds, paper_example_pool, quality_from_log_odds, Worker, WorkerId, WorkerPool,
+};
 
 #[cfg(test)]
 mod proptests {

@@ -90,7 +90,9 @@ impl CategoricalPrior {
     /// probability and that the entries sum to one.
     pub fn new(probs: Vec<f64>) -> ModelResult<Self> {
         if probs.is_empty() {
-            return Err(ModelError::InvalidPriorVector { reason: "no entries".into() });
+            return Err(ModelError::InvalidPriorVector {
+                reason: "no entries".into(),
+            });
         }
         for (i, &p) in probs.iter().enumerate() {
             if !(0.0..=1.0).contains(&p) || !p.is_finite() {
@@ -111,9 +113,13 @@ impl CategoricalPrior {
     /// The uniform prior over `num_choices` labels.
     pub fn uniform(num_choices: usize) -> ModelResult<Self> {
         if num_choices == 0 {
-            return Err(ModelError::InvalidPriorVector { reason: "no entries".into() });
+            return Err(ModelError::InvalidPriorVector {
+                reason: "no entries".into(),
+            });
         }
-        Ok(CategoricalPrior { probs: vec![1.0 / num_choices as f64; num_choices] })
+        Ok(CategoricalPrior {
+            probs: vec![1.0 / num_choices as f64; num_choices],
+        })
     }
 
     /// Number of labels `ℓ`.
@@ -137,7 +143,10 @@ impl CategoricalPrior {
     pub fn to_binary(&self) -> ModelResult<Prior> {
         if self.probs.len() != 2 {
             return Err(ModelError::InvalidPriorVector {
-                reason: format!("{} classes cannot convert to a binary prior", self.probs.len()),
+                reason: format!(
+                    "{} classes cannot convert to a binary prior",
+                    self.probs.len()
+                ),
             });
         }
         Prior::new(self.probs[0])
@@ -212,7 +221,10 @@ mod tests {
     #[test]
     fn categorical_to_binary_requires_two_classes() {
         assert!(CategoricalPrior::uniform(3).unwrap().to_binary().is_err());
-        let p = CategoricalPrior::new(vec![0.6, 0.4]).unwrap().to_binary().unwrap();
+        let p = CategoricalPrior::new(vec![0.6, 0.4])
+            .unwrap()
+            .to_binary()
+            .unwrap();
         assert!((p.alpha() - 0.6).abs() < 1e-12);
     }
 }

@@ -66,7 +66,13 @@ impl Histogram {
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(bins > 0, "histogram needs at least one bin");
         assert!(hi > lo, "histogram range must be non-empty");
-        Histogram { lo, hi, counts: vec![0; bins], outliers: 0, total: 0 }
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            outliers: 0,
+            total: 0,
+        }
     }
 
     /// Adds one observation.
@@ -121,7 +127,10 @@ impl Histogram {
         if in_range == 0 {
             return vec![0.0; self.counts.len()];
         }
-        self.counts.iter().map(|&c| c as f64 / in_range as f64).collect()
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / in_range as f64)
+            .collect()
     }
 }
 
@@ -136,7 +145,11 @@ pub fn range_counts(values: &[f64], edges: &[f64]) -> Vec<u64> {
         for i in 0..edges.len() - 1 {
             let lo = edges[i];
             let hi = edges[i + 1];
-            let in_range = if i == 0 { v >= lo && v <= hi } else { v > lo && v <= hi };
+            let in_range = if i == 0 {
+                v >= lo && v <= hi
+            } else {
+                v > lo && v <= hi
+            };
             if in_range {
                 counts[i] += 1;
                 break;

@@ -45,7 +45,12 @@ pub struct DecisionTask {
 impl DecisionTask {
     /// Creates a decision-making task with the uninformative prior.
     pub fn new(id: TaskId, question: impl Into<String>) -> Self {
-        DecisionTask { id, question: question.into(), prior: Prior::uniform(), ground_truth: None }
+        DecisionTask {
+            id,
+            question: question.into(),
+            prior: Prior::uniform(),
+            ground_truth: None,
+        }
     }
 
     /// Sets the task provider's prior `α = Pr(t = 0)`.
@@ -106,16 +111,20 @@ pub struct MultiClassTask {
 
 impl MultiClassTask {
     /// Creates a multiple-choice task with a uniform prior over its choices.
-    pub fn new(
-        id: TaskId,
-        question: impl Into<String>,
-        choices: Vec<String>,
-    ) -> ModelResult<Self> {
+    pub fn new(id: TaskId, question: impl Into<String>, choices: Vec<String>) -> ModelResult<Self> {
         if choices.len() < 2 {
-            return Err(ModelError::Empty { what: "multi-class task choices (need at least 2)" });
+            return Err(ModelError::Empty {
+                what: "multi-class task choices (need at least 2)",
+            });
         }
         let prior = CategoricalPrior::uniform(choices.len())?;
-        Ok(MultiClassTask { id, question: question.into(), choices, prior, ground_truth: None })
+        Ok(MultiClassTask {
+            id,
+            question: question.into(),
+            choices,
+            prior,
+            ground_truth: None,
+        })
     }
 
     /// Sets the categorical prior; its dimension must match the choice count.
@@ -229,7 +238,9 @@ mod tests {
     fn multiclass_prior_dimension_checked() {
         let task = MultiClassTask::sentiment(TaskId(0), "great product");
         assert_eq!(task.num_choices(), 3);
-        let bad = task.clone().with_prior(CategoricalPrior::uniform(2).unwrap());
+        let bad = task
+            .clone()
+            .with_prior(CategoricalPrior::uniform(2).unwrap());
         assert!(bad.is_err());
         let good = task
             .with_prior(CategoricalPrior::new(vec![0.5, 0.25, 0.25]).unwrap())

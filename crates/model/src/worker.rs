@@ -138,7 +138,9 @@ pub struct WorkerPool {
 impl WorkerPool {
     /// Creates an empty pool.
     pub fn new() -> Self {
-        WorkerPool { workers: Vec::new() }
+        WorkerPool {
+            workers: Vec::new(),
+        }
     }
 
     /// Creates a pool from a list of workers, rejecting duplicate ids.
@@ -176,7 +178,9 @@ impl WorkerPool {
     /// Adds a worker, rejecting duplicate ids.
     pub fn push(&mut self, worker: Worker) -> ModelResult<()> {
         if self.contains(worker.id()) {
-            return Err(ModelError::DuplicateWorker { id: worker.id().raw() });
+            return Err(ModelError::DuplicateWorker {
+                id: worker.id().raw(),
+            });
         }
         self.workers.push(worker);
         Ok(())
@@ -336,7 +340,8 @@ mod tests {
 
     #[test]
     fn pool_construction_and_lookup() {
-        let pool = WorkerPool::from_qualities_and_costs(&[0.9, 0.6, 0.6], &[1.0, 2.0, 3.0]).unwrap();
+        let pool =
+            WorkerPool::from_qualities_and_costs(&[0.9, 0.6, 0.6], &[1.0, 2.0, 3.0]).unwrap();
         assert_eq!(pool.len(), 3);
         assert!(!pool.is_empty());
         assert!(pool.contains(WorkerId(1)));
@@ -352,7 +357,9 @@ mod tests {
     fn pool_rejects_duplicates() {
         let mut pool = WorkerPool::new();
         pool.push(Worker::free(WorkerId(1), 0.7).unwrap()).unwrap();
-        let err = pool.push(Worker::free(WorkerId(1), 0.8).unwrap()).unwrap_err();
+        let err = pool
+            .push(Worker::free(WorkerId(1), 0.8).unwrap())
+            .unwrap_err();
         assert_eq!(err, ModelError::DuplicateWorker { id: 1 });
     }
 

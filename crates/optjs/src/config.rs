@@ -1,73 +1,19 @@
 //! Configuration of the end-to-end systems.
+//!
+//! The configuration type now lives in `jury-service` (the systems are thin
+//! facades over [`jury_service::JuryService`]); `SystemConfig` remains as an
+//! alias so existing callers and the experiment binaries keep compiling
+//! unchanged.
 
-use jury_jq::{BucketCount, BucketJqConfig};
-use jury_selection::AnnealingConfig;
-
-/// Configuration shared by the OPTJS and MVJS systems.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct SystemConfig {
-    /// Bucket configuration for the approximate JQ(BV) computation.
-    pub bucket: BucketJqConfig,
-    /// Simulated-annealing configuration for the JSP search.
-    pub annealing: AnnealingConfig,
-    /// Pools of at most this size are solved exactly by enumeration instead
-    /// of by annealing.
-    pub exact_cutoff: usize,
-}
-
-impl Default for SystemConfig {
-    fn default() -> Self {
-        SystemConfig {
-            bucket: BucketJqConfig::default(),
-            annealing: AnnealingConfig::default(),
-            exact_cutoff: 14,
-        }
-    }
-}
-
-impl SystemConfig {
-    /// The configuration used to reproduce the paper's experiments:
-    /// `numBuckets = 50` for JQ estimation and `ε = 10⁻⁸` for the annealing.
-    pub fn paper_experiments() -> Self {
-        SystemConfig {
-            bucket: BucketJqConfig::paper_experiments(),
-            annealing: AnnealingConfig::default(),
-            exact_cutoff: 14,
-        }
-    }
-
-    /// Sets the bucket configuration.
-    pub fn with_bucket(mut self, bucket: BucketJqConfig) -> Self {
-        self.bucket = bucket;
-        self
-    }
-
-    /// Sets the annealing configuration.
-    pub fn with_annealing(mut self, annealing: AnnealingConfig) -> Self {
-        self.annealing = annealing;
-        self
-    }
-
-    /// Sets the exact-enumeration cutoff.
-    pub fn with_exact_cutoff(mut self, cutoff: usize) -> Self {
-        self.exact_cutoff = cutoff;
-        self
-    }
-
-    /// A fast configuration for unit tests and examples: coarser buckets and
-    /// a shorter annealing schedule.
-    pub fn fast() -> Self {
-        SystemConfig {
-            bucket: BucketJqConfig::default().with_buckets(BucketCount::Fixed(50)),
-            annealing: AnnealingConfig::default().with_epsilon(1e-4).with_restarts(2),
-            exact_cutoff: 12,
-        }
-    }
-}
+/// The shared OPTJS/MVJS configuration — an alias of
+/// [`jury_service::ServiceConfig`], where this type now lives.
+pub use jury_service::ServiceConfig as SystemConfig;
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use jury_jq::BucketJqConfig;
+    use jury_selection::AnnealingConfig;
 
     #[test]
     fn defaults_are_sane() {
@@ -89,6 +35,15 @@ mod tests {
 
     #[test]
     fn paper_and_fast_presets_differ() {
-        assert_ne!(SystemConfig::paper_experiments().annealing.epsilon, SystemConfig::fast().annealing.epsilon);
+        assert_ne!(
+            SystemConfig::paper_experiments().annealing.epsilon,
+            SystemConfig::fast().annealing.epsilon
+        );
+    }
+
+    #[test]
+    fn alias_is_the_service_config_type() {
+        fn takes_service_config(_: jury_service::ServiceConfig) {}
+        takes_service_config(SystemConfig::default());
     }
 }

@@ -4,11 +4,16 @@
 //! Optimality of Jury Selection in Crowdsourcing"* (EDBT 2015), together
 //! with the Majority-Voting baseline system (MVJS) it is compared against.
 //!
-//! The system ties the lower-level crates together exactly as the paper's
-//! Figure 1 describes: given a decision-making task, the candidate workers'
-//! qualities and costs, and a prior, it produces a budget–quality table and,
-//! for a chosen budget, the jury whose Bayesian-voting quality is maximal.
-//! The [`pipeline`] module closes the loop by collecting (simulated or
+//! **Prefer [`jury_service`] for new code.** Since the service API landed,
+//! [`Optjs`] and [`Mvjs`] are thin, deprecated-style facades over
+//! [`jury_service::JuryService`]: they keep the paper's Figure 1 vocabulary
+//! for the experiment binaries and examples, while the service adds the
+//! production surface — fallible request/response calls (no panics on the
+//! request path), solver policies, per-request configuration overrides,
+//! parallel `select_batch` execution, and a shared JQ-evaluation cache.
+//! `SystemConfig` is now an alias of [`jury_service::ServiceConfig`].
+//!
+//! The [`pipeline`] module still closes the loop by collecting (simulated or
 //! replayed) votes from the selected jury and aggregating them with Bayesian
 //! voting.
 //!
@@ -22,7 +27,7 @@
 //!     &paper_example_pool(),
 //!     &[5.0, 10.0, 15.0, 20.0],
 //!     Prior::uniform(),
-//! );
+//! ).unwrap();
 //! assert!((table.rows()[2].quality - 0.845).abs() < 1e-9);
 //! assert!((table.rows()[2].required_budget - 14.0).abs() < 1e-9);
 //! ```

@@ -16,8 +16,9 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use jury_model::{Answer, CrowdDataset, Prior, TaskId, WorkerId, WorkerPool};
-use jury_voting::BayesianVoting;
+use jury_service::ServiceError;
 use jury_sim::draw_voting;
+use jury_voting::BayesianVoting;
 
 use crate::system::Optjs;
 
@@ -64,7 +65,12 @@ impl DatasetReport {
         let accuracy = outcomes.iter().filter(|o| o.is_correct()).count() as f64 / n;
         let mean_predicted_jq = outcomes.iter().map(|o| o.predicted_jq).sum::<f64>() / n;
         let mean_cost = outcomes.iter().map(|o| o.cost).sum::<f64>() / n;
-        DatasetReport { outcomes, accuracy, mean_predicted_jq, mean_cost }
+        DatasetReport {
+            outcomes,
+            accuracy,
+            mean_predicted_jq,
+            mean_cost,
+        }
     }
 }
 
@@ -72,7 +78,14 @@ impl DatasetReport {
 /// budget: for every task the candidate pool is restricted to the workers
 /// who answered it, a jury is selected, and the selected workers' recorded
 /// votes are aggregated with BV.
-pub fn run_on_dataset(system: &Optjs, dataset: &CrowdDataset, budget: f64) -> DatasetReport {
+///
+/// Errors if the budget is invalid (the selection service validates every
+/// per-task request).
+pub fn run_on_dataset(
+    system: &Optjs,
+    dataset: &CrowdDataset,
+    budget: f64,
+) -> Result<DatasetReport, ServiceError> {
     let mut outcomes = Vec::with_capacity(dataset.num_tasks());
     for task in dataset.tasks() {
         // Candidate pool: the workers who answered this task.
@@ -86,7 +99,7 @@ pub fn run_on_dataset(system: &Optjs, dataset: &CrowdDataset, budget: f64) -> Da
         }
         let pool = WorkerPool::from_workers(candidates)
             .expect("a task's voters are distinct by construction");
-        let outcome = system.select(&pool, budget, task.prior());
+        let outcome = system.select(&pool, budget, task.prior())?;
 
         // Aggregate only the selected workers' recorded votes, in the order
         // of the selected jury.
@@ -123,7 +136,7 @@ pub fn run_on_dataset(system: &Optjs, dataset: &CrowdDataset, budget: f64) -> Da
             cost: outcome.cost,
         });
     }
-    DatasetReport::from_outcomes(outcomes)
+    Ok(DatasetReport::from_outcomes(outcomes))
 }
 
 /// Runs one synthetic task through the full loop: select a jury from the
@@ -136,8 +149,8 @@ pub fn run_simulated_task<R: Rng>(
     prior: Prior,
     truth: Answer,
     rng: &mut R,
-) -> TaskOutcome {
-    let outcome = system.select(pool, budget, prior);
+) -> Result<TaskOutcome, ServiceError> {
+    let outcome = system.select(pool, budget, prior)?;
     let votes = draw_voting(&outcome.jury, truth, rng);
     let decided = if outcome.jury.is_empty() {
         if prior.alpha() >= 0.5 {
@@ -149,14 +162,14 @@ pub fn run_simulated_task<R: Rng>(
         BayesianVoting::result(&outcome.jury, &votes, prior)
             .expect("simulated votes align with the jury")
     };
-    TaskOutcome {
+    Ok(TaskOutcome {
         task: TaskId(0),
         selected: outcome.worker_ids(),
         decided,
         truth,
         predicted_jq: outcome.estimated_quality,
         cost: outcome.cost,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -179,7 +192,8 @@ mod tests {
             Prior::uniform(),
             Answer::Yes,
             &mut rng,
-        );
+        )
+        .unwrap();
         assert_eq!(outcome.selected.len(), 3);
         assert!(outcome.cost <= 15.0);
         assert!(outcome.predicted_jq > 0.8);
@@ -197,7 +211,8 @@ mod tests {
         for i in 0..trials {
             let truth = if i % 2 == 0 { Answer::Yes } else { Answer::No };
             let outcome =
-                run_simulated_task(&system, &pool, 15.0, Prior::uniform(), truth, &mut rng);
+                run_simulated_task(&system, &pool, 15.0, Prior::uniform(), truth, &mut rng)
+                    .unwrap();
             if outcome.is_correct() {
                 correct += 1;
             }
@@ -217,7 +232,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let dataset = sim.run(&mut rng).unwrap();
         let system = Optjs::new(SystemConfig::fast());
-        let report = run_on_dataset(&system, &dataset, 0.5);
+        let report = run_on_dataset(&system, &dataset, 0.5).unwrap();
         assert_eq!(report.outcomes.len(), dataset.num_tasks());
         assert!(report.accuracy > 0.6, "accuracy {}", report.accuracy);
         assert!(report.mean_predicted_jq > 0.6);
@@ -238,7 +253,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let dataset = sim.run(&mut rng).unwrap();
         let system = Optjs::new(SystemConfig::fast());
-        let report = run_on_dataset(&system, &dataset, 0.0);
+        let report = run_on_dataset(&system, &dataset, 0.0).unwrap();
         // With no budget every jury is empty, the answer is the prior's mode
         // (No under a uniform prior), and roughly half the tasks are right.
         assert!(report.outcomes.iter().all(|o| o.selected.is_empty()));

@@ -34,12 +34,19 @@ pub struct ComparisonSeries {
 impl ComparisonSeries {
     /// Creates an empty series.
     pub fn new(parameter_name: impl Into<String>) -> Self {
-        ComparisonSeries { parameter_name: parameter_name.into(), rows: Vec::new() }
+        ComparisonSeries {
+            parameter_name: parameter_name.into(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row.
     pub fn push(&mut self, parameter: f64, optjs: f64, mvjs: f64) {
-        self.rows.push(ComparisonRow { parameter, optjs, mvjs });
+        self.rows.push(ComparisonRow {
+            parameter,
+            optjs,
+            mvjs,
+        });
     }
 
     /// The average OPTJS lead across the series.
@@ -59,7 +66,10 @@ impl ComparisonSeries {
     /// Renders the series as an aligned text table, percentages with two
     /// decimals — the format the experiment binaries print.
     pub fn render(&self) -> String {
-        let mut out = format!("{:>10} | {:>9} | {:>9} | {:>8}\n", self.parameter_name, "OPTJS", "MVJS", "lead");
+        let mut out = format!(
+            "{:>10} | {:>9} | {:>9} | {:>8}\n",
+            self.parameter_name, "OPTJS", "MVJS", "lead"
+        );
         out.push_str("-----------+-----------+-----------+---------\n");
         for row in &self.rows {
             out.push_str(&format!(
@@ -87,7 +97,10 @@ pub struct Series {
 impl Series {
     /// Creates an empty series.
     pub fn new(name: impl Into<String>) -> Self {
-        Series { name: name.into(), points: Vec::new() }
+        Series {
+            name: name.into(),
+            points: Vec::new(),
+        }
     }
 
     /// Appends a point.

@@ -1,21 +1,27 @@
 //! The end-to-end jury selection systems: OPTJS (the paper's contribution)
 //! and MVJS (the Cao et al. baseline), as depicted in Figure 1.
 //!
-//! A system takes the candidate worker pool, a budget, and the task
-//! provider's prior; it selects a jury, reports the jury's estimated quality
-//! under the system's voting strategy, and can also produce the
-//! budget–quality table the task provider uses to pick her budget.
+//! **Deprecated-style facades.** Since the introduction of `jury-service`,
+//! [`Optjs`] and [`Mvjs`] are thin wrappers that translate the historical
+//! per-call API into [`jury_service::SelectionRequest`]s and delegate to one
+//! shared [`jury_service::JuryService`]. New code should use `jury-service`
+//! directly — it adds solver policies, per-request configuration overrides,
+//! parallel batching, and a shared JQ-evaluation cache. The facades remain
+//! so the Figure 1/6/10 experiment binaries and examples read like the
+//! paper's system diagram.
+//!
+//! Unlike the original panicking `select`, the facades are fallible: invalid
+//! budgets (or an empty pool) come back as
+//! [`ServiceError`](jury_service::ServiceError) values.
 
 use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
 
-use jury_model::{Jury, Prior, WorkerId, WorkerPool};
-use jury_selection::{
-    AnnealingSolver, BudgetQualityTable, BvObjective, ExhaustiveSolver, JspInstance, JurySolver,
-    MvjsSolver, MvObjective, SolverResult, MAX_EXHAUSTIVE_POOL,
-};
 use jury_jq::JqEngine;
+use jury_model::{Jury, Prior, WorkerId, WorkerPool};
+use jury_selection::BudgetQualityTable;
+use jury_service::{JuryService, SelectionRequest, SelectionResponse, ServiceError, Strategy};
 
 use crate::config::SystemConfig;
 
@@ -26,6 +32,16 @@ pub enum SystemKind {
     Optjs,
     /// The Majority-Voting baseline of Cao et al.: selects under `JQ(MV)`.
     Mvjs,
+}
+
+impl SystemKind {
+    /// The service strategy this system selects under.
+    pub fn strategy(self) -> Strategy {
+        match self {
+            SystemKind::Optjs => Strategy::Bv,
+            SystemKind::Mvjs => Strategy::Mv,
+        }
+    }
 }
 
 impl std::fmt::Display for SystemKind {
@@ -62,28 +78,48 @@ impl SelectionOutcome {
         ids
     }
 
-    fn from_result(system: SystemKind, result: SolverResult) -> Self {
+    fn from_response(system: SystemKind, response: SelectionResponse) -> Self {
         SelectionOutcome {
             system,
-            cost: result.jury.cost(),
-            estimated_quality: result.objective_value,
-            evaluations: result.evaluations,
-            elapsed: result.elapsed,
-            jury: result.jury,
+            estimated_quality: response.quality,
+            cost: response.cost,
+            evaluations: response.evaluations,
+            elapsed: response.elapsed,
+            jury: response.jury,
         }
     }
 }
 
-/// The Optimal Jury Selection System (OPTJS).
-#[derive(Debug, Clone, Default)]
+/// Shared facade machinery: both systems are the same service call with a
+/// different strategy.
+fn facade_request(
+    kind: SystemKind,
+    pool: &WorkerPool,
+    budget: f64,
+    prior: Prior,
+) -> SelectionRequest {
+    SelectionRequest::new(pool.clone(), budget)
+        .with_prior(prior)
+        .with_strategy(kind.strategy())
+        // The paper's systems return the empty jury (quality max(α, 1 − α))
+        // when nothing is affordable; keep that behaviour for the
+        // experiment binaries instead of surfacing an error.
+        .allow_empty_selection(true)
+}
+
+/// The Optimal Jury Selection System (OPTJS) — a facade over
+/// [`jury_service::JuryService`] selecting under `JQ(BV)`.
+#[derive(Debug, Default)]
 pub struct Optjs {
-    config: SystemConfig,
+    service: JuryService,
 }
 
 impl Optjs {
     /// Creates the system with a custom configuration.
     pub fn new(config: SystemConfig) -> Self {
-        Optjs { config }
+        Optjs {
+            service: JuryService::new(config),
+        }
     }
 
     /// Creates the system with the paper's experimental configuration.
@@ -93,77 +129,89 @@ impl Optjs {
 
     /// The configuration.
     pub fn config(&self) -> &SystemConfig {
-        &self.config
+        self.service.config()
+    }
+
+    /// The underlying service (shared cache, batch API, solver policies).
+    pub fn service(&self) -> &JuryService {
+        &self.service
     }
 
     /// The JQ engine this system uses (exposed so callers can re-evaluate
     /// juries consistently with the system's own estimates).
     pub fn jq_engine(&self) -> JqEngine {
-        JqEngine::new(self.config.bucket).with_exact_cutoff(self.config.exact_cutoff)
-    }
-
-    fn objective(&self) -> BvObjective {
-        BvObjective::with_engine(self.jq_engine())
+        self.service.config().jq_engine()
     }
 
     /// Selects the best jury within the budget for a task with the given
     /// prior (Theorem 1: the optimal strategy is BV, so the selection
     /// maximizes `JQ(J, BV, α)`).
-    pub fn select(&self, pool: &WorkerPool, budget: f64, prior: Prior) -> SelectionOutcome {
-        let instance = JspInstance::new(pool.clone(), budget, prior)
-            .expect("budgets come from validated experiment configurations");
-        let result = if pool.len() <= self.config.exact_cutoff.min(MAX_EXHAUSTIVE_POOL) {
-            ExhaustiveSolver::new(self.objective()).solve(&instance)
-        } else {
-            AnnealingSolver::with_config(self.objective(), self.config.annealing).solve(&instance)
-        };
-        SelectionOutcome::from_result(SystemKind::Optjs, result)
+    ///
+    /// Errors (instead of the historical panic) when the budget is not a
+    /// finite non-negative number or the pool is empty.
+    pub fn select(
+        &self,
+        pool: &WorkerPool,
+        budget: f64,
+        prior: Prior,
+    ) -> Result<SelectionOutcome, ServiceError> {
+        let response =
+            self.service
+                .select(&facade_request(SystemKind::Optjs, pool, budget, prior))?;
+        Ok(SelectionOutcome::from_response(SystemKind::Optjs, response))
     }
 
-    /// Builds the Figure 1 budget–quality table: one JSP solve per budget.
+    /// Builds the Figure 1 budget–quality table: one JSP solve per budget,
+    /// executed through the service's parallel batch path.
     pub fn budget_quality_table(
         &self,
         pool: &WorkerPool,
         budgets: &[f64],
         prior: Prior,
-    ) -> BudgetQualityTable {
-        if pool.len() <= self.config.exact_cutoff.min(MAX_EXHAUSTIVE_POOL) {
-            let solver = ExhaustiveSolver::new(self.objective());
-            BudgetQualityTable::build(pool, budgets, prior, &solver)
-        } else {
-            let solver = AnnealingSolver::with_config(self.objective(), self.config.annealing);
-            BudgetQualityTable::build(pool, budgets, prior, &solver)
-        }
+    ) -> Result<BudgetQualityTable, ServiceError> {
+        self.service.budget_quality_table(pool, budgets, prior)
     }
 }
 
-/// The Majority-Voting Jury Selection System (MVJS) — the baseline.
-#[derive(Debug, Clone, Default)]
+/// The Majority-Voting Jury Selection System (MVJS) — the baseline facade,
+/// selecting under `JQ(MV)` through the same service engine.
+#[derive(Debug, Default)]
 pub struct Mvjs {
-    config: SystemConfig,
+    service: JuryService,
 }
 
 impl Mvjs {
     /// Creates the baseline system.
     pub fn new(config: SystemConfig) -> Self {
-        Mvjs { config }
+        Mvjs {
+            service: JuryService::new(config),
+        }
     }
 
     /// The configuration.
     pub fn config(&self) -> &SystemConfig {
-        &self.config
+        self.service.config()
+    }
+
+    /// The underlying service.
+    pub fn service(&self) -> &JuryService {
+        &self.service
     }
 
     /// Selects the best jury within the budget under the MV objective.
-    pub fn select(&self, pool: &WorkerPool, budget: f64, prior: Prior) -> SelectionOutcome {
-        let instance = JspInstance::new(pool.clone(), budget, prior)
-            .expect("budgets come from validated experiment configurations");
-        let result = if pool.len() <= self.config.exact_cutoff.min(MAX_EXHAUSTIVE_POOL) {
-            ExhaustiveSolver::new(MvObjective::new()).solve(&instance)
-        } else {
-            MvjsSolver::with_annealing_config(self.config.annealing).solve(&instance)
-        };
-        SelectionOutcome::from_result(SystemKind::Mvjs, result)
+    ///
+    /// Errors (instead of the historical panic) when the budget is not a
+    /// finite non-negative number or the pool is empty.
+    pub fn select(
+        &self,
+        pool: &WorkerPool,
+        budget: f64,
+        prior: Prior,
+    ) -> Result<SelectionOutcome, ServiceError> {
+        let response =
+            self.service
+                .select(&facade_request(SystemKind::Mvjs, pool, budget, prior))?;
+        Ok(SelectionOutcome::from_response(SystemKind::Mvjs, response))
     }
 }
 
@@ -176,8 +224,11 @@ pub fn compare_systems(
     pool: &WorkerPool,
     budget: f64,
     prior: Prior,
-) -> (SelectionOutcome, SelectionOutcome) {
-    (optjs.select(pool, budget, prior), mvjs.select(pool, budget, prior))
+) -> Result<(SelectionOutcome, SelectionOutcome), ServiceError> {
+    Ok((
+        optjs.select(pool, budget, prior)?,
+        mvjs.select(pool, budget, prior)?,
+    ))
 }
 
 #[cfg(test)]
@@ -190,11 +241,13 @@ mod tests {
     #[test]
     fn optjs_reproduces_the_figure_1_table() {
         let system = Optjs::paper_experiments();
-        let table = system.budget_quality_table(
-            &paper_example_pool(),
-            &[5.0, 10.0, 15.0, 20.0],
-            Prior::uniform(),
-        );
+        let table = system
+            .budget_quality_table(
+                &paper_example_pool(),
+                &[5.0, 10.0, 15.0, 20.0],
+                Prior::uniform(),
+            )
+            .unwrap();
         let qualities: Vec<f64> = table.rows().iter().map(|r| r.quality).collect();
         let expected = [0.75, 0.80, 0.845, 0.8695];
         for (got, want) in qualities.iter().zip(expected.iter()) {
@@ -205,11 +258,16 @@ mod tests {
     #[test]
     fn optjs_selection_outcome_is_consistent() {
         let system = Optjs::paper_experiments();
-        let outcome = system.select(&paper_example_pool(), 15.0, Prior::uniform());
+        let outcome = system
+            .select(&paper_example_pool(), 15.0, Prior::uniform())
+            .unwrap();
         assert_eq!(outcome.system, SystemKind::Optjs);
         assert!((outcome.estimated_quality - 0.845).abs() < 1e-9);
         assert!((outcome.cost - 14.0).abs() < 1e-9);
-        assert_eq!(outcome.worker_ids(), vec![WorkerId(1), WorkerId(2), WorkerId(6)]);
+        assert_eq!(
+            outcome.worker_ids(),
+            vec![WorkerId(1), WorkerId(2), WorkerId(6)]
+        );
         // The reported estimate matches re-evaluating the jury with the
         // system's engine.
         let engine = system.jq_engine();
@@ -218,11 +276,37 @@ mod tests {
     }
 
     #[test]
+    fn invalid_budgets_are_errors_not_panics() {
+        let optjs = Optjs::paper_experiments();
+        let mvjs = Mvjs::new(SystemConfig::paper_experiments());
+        for bad in [-1.0, f64::NAN, f64::INFINITY] {
+            assert!(
+                optjs
+                    .select(&paper_example_pool(), bad, Prior::uniform())
+                    .is_err(),
+                "OPTJS accepted budget {bad}"
+            );
+            assert!(
+                mvjs.select(&paper_example_pool(), bad, Prior::uniform())
+                    .is_err(),
+                "MVJS accepted budget {bad}"
+            );
+        }
+    }
+
+    #[test]
     fn mvjs_selects_under_mv_and_is_dominated() {
         let optjs = Optjs::paper_experiments();
         let mvjs = Mvjs::new(SystemConfig::paper_experiments());
         for budget in [10.0, 15.0, 20.0] {
-            let (o, m) = compare_systems(&optjs, &mvjs, &paper_example_pool(), budget, Prior::uniform());
+            let (o, m) = compare_systems(
+                &optjs,
+                &mvjs,
+                &paper_example_pool(),
+                budget,
+                Prior::uniform(),
+            )
+            .unwrap();
             assert_eq!(m.system, SystemKind::Mvjs);
             assert!(
                 o.estimated_quality >= m.estimated_quality - 1e-9,
@@ -244,9 +328,13 @@ mod tests {
         let pool = generator.generate(50, &mut rng);
         let optjs = Optjs::new(SystemConfig::fast());
         let mvjs = Mvjs::new(SystemConfig::fast());
-        let (o, m) = compare_systems(&optjs, &mvjs, &pool, 0.5, Prior::uniform());
-        assert!(o.estimated_quality >= m.estimated_quality - 0.01,
-            "OPTJS {} vs MVJS {}", o.estimated_quality, m.estimated_quality);
+        let (o, m) = compare_systems(&optjs, &mvjs, &pool, 0.5, Prior::uniform()).unwrap();
+        assert!(
+            o.estimated_quality >= m.estimated_quality - 0.01,
+            "OPTJS {} vs MVJS {}",
+            o.estimated_quality,
+            m.estimated_quality
+        );
         assert!(o.estimated_quality > 0.8);
         assert!(o.cost <= 0.5 + 1e-9);
         assert!(m.cost <= 0.5 + 1e-9);
@@ -255,16 +343,36 @@ mod tests {
     #[test]
     fn prior_changes_the_selection_quality() {
         let system = Optjs::paper_experiments();
-        let uniform = system.select(&paper_example_pool(), 10.0, Prior::uniform());
-        let confident = system.select(&paper_example_pool(), 10.0, Prior::new(0.9).unwrap());
+        let uniform = system
+            .select(&paper_example_pool(), 10.0, Prior::uniform())
+            .unwrap();
+        let confident = system
+            .select(&paper_example_pool(), 10.0, Prior::new(0.9).unwrap())
+            .unwrap();
         // A confident prior acts as an extra high-quality worker (Theorem 3),
         // so the achievable quality can only go up.
         assert!(confident.estimated_quality >= uniform.estimated_quality - 1e-9);
     }
 
     #[test]
+    fn repeated_selections_share_the_service_cache() {
+        let system = Optjs::paper_experiments();
+        let first = system
+            .select(&paper_example_pool(), 15.0, Prior::uniform())
+            .unwrap();
+        let second = system
+            .select(&paper_example_pool(), 15.0, Prior::uniform())
+            .unwrap();
+        assert_eq!(first.worker_ids(), second.worker_ids());
+        let stats = system.service().cache_stats();
+        assert!(stats.hits > 0, "second run should hit the cache: {stats:?}");
+    }
+
+    #[test]
     fn system_kind_display() {
         assert_eq!(SystemKind::Optjs.to_string(), "OPTJS");
         assert_eq!(SystemKind::Mvjs.to_string(), "MVJS");
+        assert_eq!(SystemKind::Optjs.strategy(), Strategy::Bv);
+        assert_eq!(SystemKind::Mvjs.strategy(), Strategy::Mv);
     }
 }

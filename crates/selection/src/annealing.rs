@@ -85,7 +85,10 @@ impl AnnealingConfig {
 
     /// Sets the cooling factor (must be in `(0, 1)`).
     pub fn with_cooling_factor(mut self, factor: f64) -> Self {
-        assert!((0.0..1.0).contains(&factor), "cooling factor must be in (0, 1)");
+        assert!(
+            (0.0..1.0).contains(&factor),
+            "cooling factor must be in (0, 1)"
+        );
         self.cooling_factor = factor;
         self
     }
@@ -105,7 +108,9 @@ impl AnnealingConfig {
     /// The paper's plain single-run heuristic: one annealing run, no greedy
     /// candidates. Used by the Figure 7 ablation.
     pub fn paper_single_run() -> Self {
-        AnnealingConfig::default().with_restarts(1).with_greedy_candidates(false)
+        AnnealingConfig::default()
+            .with_restarts(1)
+            .with_greedy_candidates(false)
     }
 
     /// Number of cooling sweeps this configuration performs.
@@ -139,7 +144,12 @@ struct SearchState {
 
 impl SearchState {
     fn new(n: usize) -> Self {
-        SearchState { selected: vec![false; n], jury_members: Vec::new(), spent: 0.0, current_value: None }
+        SearchState {
+            selected: vec![false; n],
+            jury_members: Vec::new(),
+            spent: 0.0,
+            current_value: None,
+        }
     }
 
     fn jury(&self) -> Jury {
@@ -147,11 +157,21 @@ impl SearchState {
     }
 
     fn selected_indices(&self) -> Vec<usize> {
-        self.selected.iter().enumerate().filter(|(_, &s)| s).map(|(i, _)| i).collect()
+        self.selected
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| s)
+            .map(|(i, _)| i)
+            .collect()
     }
 
     fn unselected_indices(&self) -> Vec<usize> {
-        self.selected.iter().enumerate().filter(|(_, &s)| !s).map(|(i, _)| i).collect()
+        self.selected
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| !s)
+            .map(|(i, _)| i)
+            .collect()
     }
 
     fn add(&mut self, index: usize, worker: &Worker) {
@@ -174,7 +194,10 @@ impl SearchState {
 impl<O: JuryObjective> AnnealingSolver<O> {
     /// Creates a solver with the default (paper) configuration.
     pub fn new(objective: O) -> Self {
-        AnnealingSolver { objective, config: AnnealingConfig::default() }
+        AnnealingSolver {
+            objective,
+            config: AnnealingConfig::default(),
+        }
     }
 
     /// Creates a solver with a custom configuration.
@@ -240,8 +263,9 @@ impl<O: JuryObjective> AnnealingSolver<O> {
             .cloned()
             .collect();
         candidate_members.push(in_worker.clone());
-        let candidate_value =
-            self.objective.evaluate(&Jury::new(candidate_members), instance.prior());
+        let candidate_value = self
+            .objective
+            .evaluate(&Jury::new(candidate_members), instance.prior());
         let delta = candidate_value - current;
 
         let accept = delta >= 0.0 || rng.gen::<f64>() <= (delta / temperature).exp();
@@ -300,7 +324,9 @@ impl<O: JuryObjective> AnnealingSolver<O> {
         by_ratio.sort_by(|a, b| {
             let ra = a.log_odds() / a.cost().max(1e-9);
             let rb = b.log_odds() / b.cost().max(1e-9);
-            rb.partial_cmp(&ra).unwrap_or(std::cmp::Ordering::Equal).then_with(|| a.id().cmp(&b.id()))
+            rb.partial_cmp(&ra)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.id().cmp(&b.id()))
         });
         [by_quality, by_ratio]
             .into_iter()
@@ -376,7 +402,9 @@ mod tests {
         let config = AnnealingConfig::default();
         // T halves from 1.0 down to 1e-8: 27 sweeps.
         assert_eq!(config.num_sweeps(), 27);
-        let fast = AnnealingConfig::default().with_epsilon(1e-2).with_cooling_factor(0.25);
+        let fast = AnnealingConfig::default()
+            .with_epsilon(1e-2)
+            .with_cooling_factor(0.25);
         assert_eq!(fast.num_sweeps(), 4);
         assert_eq!(AnnealingConfig::default().with_seed(7).seed, 7);
     }
@@ -393,7 +421,11 @@ mod tests {
         let a = AnnealingSolver::new(BvObjective::new()).solve(&instance);
         let b = AnnealingSolver::new(BvObjective::new()).solve(&instance);
         assert!(instance.is_feasible(&a.jury));
-        assert_eq!(a.jury.ids(), b.jury.ids(), "same seed must give the same jury");
+        assert_eq!(
+            a.jury.ids(),
+            b.jury.ids(),
+            "same seed must give the same jury"
+        );
         assert!(a.evaluations > 0);
     }
 
@@ -427,8 +459,7 @@ mod tests {
             qualities.push(0.55);
             costs.push(0.12);
         }
-        let pool =
-            jury_model::WorkerPool::from_qualities_and_costs(&qualities, &costs).unwrap();
+        let pool = jury_model::WorkerPool::from_qualities_and_costs(&qualities, &costs).unwrap();
         let instance = JspInstance::with_uniform_prior(pool, 0.95).unwrap();
         let optimal = ExhaustiveSolver::new(BvObjective::new()).solve(&instance);
         let robust = AnnealingSolver::new(BvObjective::new()).solve(&instance);
@@ -440,11 +471,9 @@ mod tests {
         );
         // The plain paper configuration may or may not find it; it must at
         // least stay feasible and never beat the optimum.
-        let plain = AnnealingSolver::with_config(
-            BvObjective::new(),
-            AnnealingConfig::paper_single_run(),
-        )
-        .solve(&instance);
+        let plain =
+            AnnealingSolver::with_config(BvObjective::new(), AnnealingConfig::paper_single_run())
+                .solve(&instance);
         assert!(instance.is_feasible(&plain.jury));
         assert!(plain.objective_value <= optimal.objective_value + 1e-9);
     }
@@ -462,7 +491,10 @@ mod tests {
             let optimal = ExhaustiveSolver::new(BvObjective::new()).solve(&instance);
             let annealed = AnnealingSolver::new(BvObjective::new()).solve(&instance);
             let gap = optimal.objective_value - annealed.objective_value;
-            assert!(gap <= 0.03 && gap >= -1e-9, "trial {trial}: gap {gap} too large");
+            assert!(
+                (-1e-9..=0.03).contains(&gap),
+                "trial {trial}: gap {gap} too large"
+            );
             assert!(instance.is_feasible(&annealed.jury));
         }
     }
@@ -478,8 +510,7 @@ mod tests {
 
     #[test]
     fn empty_pool_returns_empty_jury() {
-        let instance =
-            JspInstance::with_uniform_prior(jury_model::WorkerPool::new(), 1.0).unwrap();
+        let instance = JspInstance::with_uniform_prior(jury_model::WorkerPool::new(), 1.0).unwrap();
         let result = AnnealingSolver::new(BvObjective::new()).solve(&instance);
         assert!(result.jury.is_empty());
         assert!((result.objective_value - 0.5).abs() < 1e-12);

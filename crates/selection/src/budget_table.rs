@@ -60,6 +60,13 @@ impl BudgetQualityTable {
         BudgetQualityTable { rows }
     }
 
+    /// Assembles a table from pre-computed rows (in budget order). Used by
+    /// `jury-service`, which solves the per-budget instances through its own
+    /// batched, cached execution path rather than via [`Self::build`].
+    pub fn from_rows(rows: Vec<BudgetQualityRow>) -> Self {
+        BudgetQualityTable { rows }
+    }
+
     /// The table rows, in the order of the requested budgets.
     pub fn rows(&self) -> &[BudgetQualityRow] {
         &self.rows

@@ -11,7 +11,7 @@ use jury_model::Jury;
 
 use crate::objective::JuryObjective;
 use crate::problem::JspInstance;
-use crate::solver::{JurySolver, SolverResult};
+use crate::solver::{JurySolver, SolveError, SolverResult};
 
 /// Largest pool size accepted by the exhaustive solver (2^22 subsets).
 pub const MAX_EXHAUSTIVE_POOL: usize = 22;
@@ -33,17 +33,9 @@ impl<O: JuryObjective> ExhaustiveSolver<O> {
     }
 }
 
-impl<O: JuryObjective> JurySolver for ExhaustiveSolver<O> {
-    fn name(&self) -> &'static str {
-        "exhaustive"
-    }
-
-    fn solve(&self, instance: &JspInstance) -> SolverResult {
+impl<O: JuryObjective> ExhaustiveSolver<O> {
+    fn enumerate(&self, instance: &JspInstance) -> SolverResult {
         let n = instance.num_candidates();
-        assert!(
-            n <= MAX_EXHAUSTIVE_POOL,
-            "exhaustive JSP is limited to {MAX_EXHAUSTIVE_POOL} candidates (got {n})"
-        );
         let start = Instant::now();
         let evaluations_before = self.objective.evaluations();
         let workers = instance.pool().workers();
@@ -88,6 +80,32 @@ impl<O: JuryObjective> JurySolver for ExhaustiveSolver<O> {
             elapsed: start.elapsed(),
             solver: self.name(),
         }
+    }
+}
+
+impl<O: JuryObjective> JurySolver for ExhaustiveSolver<O> {
+    fn name(&self) -> &'static str {
+        "exhaustive"
+    }
+
+    fn solve(&self, instance: &JspInstance) -> SolverResult {
+        let n = instance.num_candidates();
+        assert!(
+            n <= MAX_EXHAUSTIVE_POOL,
+            "exhaustive JSP is limited to {MAX_EXHAUSTIVE_POOL} candidates (got {n})"
+        );
+        self.enumerate(instance)
+    }
+
+    fn try_solve(&self, instance: &JspInstance) -> Result<SolverResult, SolveError> {
+        let n = instance.num_candidates();
+        if n > MAX_EXHAUSTIVE_POOL {
+            return Err(SolveError::PoolTooLarge {
+                size: n,
+                max: MAX_EXHAUSTIVE_POOL,
+            });
+        }
+        Ok(self.enumerate(instance))
     }
 }
 
@@ -149,7 +167,11 @@ mod tests {
         // jury ({A, C, F, G}) achieves at least as much under BV.
         let solver = ExhaustiveSolver::new(MvObjective::new());
         let result = solver.solve(&paper_instance(20.0));
-        assert!((result.objective_value - 0.8695).abs() < 1e-9, "{}", result.objective_value);
+        assert!(
+            (result.objective_value - 0.8695).abs() < 1e-9,
+            "{}",
+            result.objective_value
+        );
         assert!(result.cost() <= 20.0 + 1e-9);
         let bv = ExhaustiveSolver::new(BvObjective::new()).solve(&paper_instance(20.0));
         assert!(bv.objective_value >= result.objective_value - 1e-12);
@@ -191,5 +213,30 @@ mod tests {
         let pool = WorkerPool::from_qualities_and_costs(&qualities, &costs).unwrap();
         let instance = JspInstance::with_uniform_prior(pool, 5.0).unwrap();
         let _ = ExhaustiveSolver::new(BvObjective::new()).solve(&instance);
+    }
+
+    #[test]
+    fn try_solve_reports_oversized_pools_without_panicking() {
+        use crate::solver::SolveError;
+        let qualities = vec![0.7; 23];
+        let costs = vec![1.0; 23];
+        let pool = WorkerPool::from_qualities_and_costs(&qualities, &costs).unwrap();
+        let instance = JspInstance::with_uniform_prior(pool, 5.0).unwrap();
+        let err = ExhaustiveSolver::new(BvObjective::new())
+            .try_solve(&instance)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SolveError::PoolTooLarge {
+                size: 23,
+                max: MAX_EXHAUSTIVE_POOL
+            }
+        );
+        assert!(err.to_string().contains("23"));
+        // In-limit instances succeed with the same result as `solve`.
+        let ok = ExhaustiveSolver::new(BvObjective::new())
+            .try_solve(&paper_instance(15.0))
+            .unwrap();
+        assert!((ok.objective_value - 0.845).abs() < 1e-9);
     }
 }

@@ -59,7 +59,10 @@ where
     let evaluations_before = objective.evaluations();
     let mut candidates: Vec<Worker> = instance.pool().workers().to_vec();
     candidates.sort_by(|a, b| {
-        key(b).partial_cmp(&key(a)).unwrap_or(std::cmp::Ordering::Equal).then_with(|| a.id().cmp(&b.id()))
+        key(b)
+            .partial_cmp(&key(a))
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.id().cmp(&b.id()))
     });
 
     let mut jury = Jury::empty();
@@ -86,7 +89,9 @@ impl<O: JuryObjective> JurySolver for GreedyQualitySolver<O> {
     }
 
     fn solve(&self, instance: &JspInstance) -> SolverResult {
-        greedy_by_key(self.name(), &self.objective, instance, |w| w.effective_quality())
+        greedy_by_key(self.name(), &self.objective, instance, |w| {
+            w.effective_quality()
+        })
     }
 }
 
@@ -122,8 +127,14 @@ mod tests {
             let instance = paper_instance(budget);
             let by_quality = GreedyQualitySolver::new(BvObjective::new()).solve(&instance);
             let by_ratio = GreedyRatioSolver::new(BvObjective::new()).solve(&instance);
-            assert!(instance.is_feasible(&by_quality.jury), "quality greedy at {budget}");
-            assert!(instance.is_feasible(&by_ratio.jury), "ratio greedy at {budget}");
+            assert!(
+                instance.is_feasible(&by_quality.jury),
+                "quality greedy at {budget}"
+            );
+            assert!(
+                instance.is_feasible(&by_ratio.jury),
+                "ratio greedy at {budget}"
+            );
         }
     }
 

@@ -48,7 +48,7 @@ pub use greedy::{GreedyQualitySolver, GreedyRatioSolver};
 pub use mvjs::MvjsSolver;
 pub use objective::{BvObjective, JuryObjective, MvObjective};
 pub use problem::JspInstance;
-pub use solver::{JurySolver, SolverResult};
+pub use solver::{JurySolver, SolveError, SolverResult};
 pub use special::{try_special_case, SpecialCase};
 
 #[cfg(test)]

@@ -28,14 +28,9 @@ use crate::problem::JspInstance;
 use crate::solver::{JurySolver, SolverResult};
 
 /// The MVJS baseline solver.
+#[derive(Default)]
 pub struct MvjsSolver {
     annealing_config: AnnealingConfig,
-}
-
-impl Default for MvjsSolver {
-    fn default() -> Self {
-        MvjsSolver { annealing_config: AnnealingConfig::default() }
-    }
 }
 
 impl MvjsSolver {
@@ -47,7 +42,60 @@ impl MvjsSolver {
     /// Creates the baseline with a custom annealing configuration (seed,
     /// cooling schedule) for the fallback search.
     pub fn with_annealing_config(config: AnnealingConfig) -> Self {
-        MvjsSolver { annealing_config: config }
+        MvjsSolver {
+            annealing_config: config,
+        }
+    }
+
+    /// Runs the MVJS search against a caller-supplied objective instead of a
+    /// freshly constructed [`MvObjective`]. This is how `jury-service` routes
+    /// the baseline through its shared, memoizing JQ cache: the search logic
+    /// is identical, only the evaluation back-end changes.
+    pub fn solve_with_objective<O: JuryObjective>(
+        &self,
+        instance: &JspInstance,
+        objective: &O,
+    ) -> SolverResult {
+        let start = Instant::now();
+        let evaluations_before = objective.evaluations();
+        let mut best_jury = Jury::empty();
+        let mut best_value = objective.evaluate(&best_jury, instance.prior());
+
+        if instance.num_candidates() <= MAX_EXHAUSTIVE_POOL {
+            let exact = ExhaustiveSolver::new(objective).solve(instance);
+            if exact.objective_value > best_value {
+                best_value = exact.objective_value;
+                best_jury = exact.jury;
+            }
+        } else {
+            // Odd-size top-quality juries: MV benefits from odd sizes (no
+            // ties) and from the best individual qualities.
+            let mut k = 1usize;
+            while k <= instance.num_candidates() {
+                let jury = MvjsSolver::top_quality_within_budget(instance, k);
+                let value = objective.evaluate(&jury, instance.prior());
+                if value > best_value {
+                    best_value = value;
+                    best_jury = jury;
+                }
+                k += 2;
+            }
+
+            let annealed =
+                AnnealingSolver::with_config(objective, self.annealing_config).solve(instance);
+            if annealed.objective_value > best_value {
+                best_value = annealed.objective_value;
+                best_jury = annealed.jury;
+            }
+        }
+
+        SolverResult {
+            jury: best_jury,
+            objective_value: best_value,
+            evaluations: objective.evaluations() - evaluations_before,
+            elapsed: start.elapsed(),
+            solver: self.name(),
+        }
     }
 
     /// Candidate jury: the `k` best-quality workers that fit in the budget,
@@ -74,51 +122,7 @@ impl JurySolver for MvjsSolver {
     }
 
     fn solve(&self, instance: &JspInstance) -> SolverResult {
-        let start = Instant::now();
-        let objective = MvObjective::new();
-        let mut best_jury = Jury::empty();
-        let mut best_value = objective.evaluate(&best_jury, instance.prior());
-        let mut evaluations = 1u64;
-
-        if instance.num_candidates() <= MAX_EXHAUSTIVE_POOL {
-            let exact = ExhaustiveSolver::new(MvObjective::new()).solve(instance);
-            evaluations += exact.evaluations;
-            if exact.objective_value > best_value {
-                best_value = exact.objective_value;
-                best_jury = exact.jury;
-            }
-        } else {
-            // Odd-size top-quality juries: MV benefits from odd sizes (no
-            // ties) and from the best individual qualities.
-            let mut k = 1usize;
-            while k <= instance.num_candidates() {
-                let jury = MvjsSolver::top_quality_within_budget(instance, k);
-                let value = objective.evaluate(&jury, instance.prior());
-                evaluations += 1;
-                if value > best_value {
-                    best_value = value;
-                    best_jury = jury;
-                }
-                k += 2;
-            }
-
-            let annealed =
-                AnnealingSolver::with_config(MvObjective::new(), self.annealing_config)
-                    .solve(instance);
-            evaluations += annealed.evaluations;
-            if annealed.objective_value > best_value {
-                best_value = annealed.objective_value;
-                best_jury = annealed.jury;
-            }
-        }
-
-        SolverResult {
-            jury: best_jury,
-            objective_value: best_value,
-            evaluations,
-            elapsed: start.elapsed(),
-            solver: self.name(),
-        }
+        self.solve_with_objective(instance, &MvObjective::new())
     }
 }
 
@@ -145,7 +149,11 @@ mod tests {
         ids.sort();
         assert_eq!(
             ids,
-            vec![jury_model::WorkerId(0), jury_model::WorkerId(2), jury_model::WorkerId(6)]
+            vec![
+                jury_model::WorkerId(0),
+                jury_model::WorkerId(2),
+                jury_model::WorkerId(6)
+            ]
         );
         assert!(result.objective_value > 0.85 && result.objective_value < 0.87);
     }

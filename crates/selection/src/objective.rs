@@ -9,8 +9,8 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use jury_model::{Jury, Prior};
 use jury_jq::{BucketJqConfig, JqEngine};
+use jury_model::{Jury, Prior};
 
 /// An objective function over juries.
 pub trait JuryObjective: Send + Sync {
@@ -23,6 +23,24 @@ pub trait JuryObjective: Send + Sync {
 
     /// Number of evaluations performed so far (used to report search effort).
     fn evaluations(&self) -> u64;
+}
+
+// Objectives work by shared reference too, so one (stateful, counting)
+// objective can be handed to several solvers in sequence — e.g.
+// `jury-service` running exhaustive and greedy candidates against a single
+// cache-backed objective and reading the combined counters afterwards.
+impl<O: JuryObjective + ?Sized> JuryObjective for &O {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn evaluate(&self, jury: &Jury, prior: Prior) -> f64 {
+        (**self).evaluate(jury, prior)
+    }
+
+    fn evaluations(&self) -> u64 {
+        (**self).evaluations()
+    }
 }
 
 /// The OPTJS objective: `JQ(J, BV, α)`, computed by the [`JqEngine`]
@@ -42,12 +60,18 @@ impl BvObjective {
     /// Creates the objective with a specific bucket configuration — the
     /// experiments use the paper's `numBuckets = 50`.
     pub fn with_config(config: BucketJqConfig) -> Self {
-        BvObjective { engine: JqEngine::new(config), evaluations: AtomicU64::new(0) }
+        BvObjective {
+            engine: JqEngine::new(config),
+            evaluations: AtomicU64::new(0),
+        }
     }
 
     /// Creates the objective around an existing engine.
     pub fn with_engine(engine: JqEngine) -> Self {
-        BvObjective { engine, evaluations: AtomicU64::new(0) }
+        BvObjective {
+            engine,
+            evaluations: AtomicU64::new(0),
+        }
     }
 }
 

@@ -21,7 +21,11 @@ impl JspInstance {
         if !budget.is_finite() || budget < 0.0 {
             return Err(ModelError::InvalidCost { value: budget });
         }
-        Ok(JspInstance { pool, budget, prior })
+        Ok(JspInstance {
+            pool,
+            budget,
+            prior,
+        })
     }
 
     /// Creates an instance with the uninformative prior.
@@ -71,7 +75,9 @@ impl JspInstance {
         let workers = self.pool.workers();
         match workers.first() {
             None => true,
-            Some(first) => workers.iter().all(|w| (w.cost() - first.cost()).abs() < 1e-12),
+            Some(first) => workers
+                .iter()
+                .all(|w| (w.cost() - first.cost()).abs() < 1e-12),
         }
     }
 
@@ -119,28 +125,35 @@ mod tests {
             .unwrap();
         assert!(!instance.is_feasible(&jury));
         // A jury with a worker outside the pool is infeasible.
-        let foreign =
-            Jury::new(vec![jury_model::Worker::free(WorkerId(99), 0.9).unwrap()]);
+        let foreign = Jury::new(vec![jury_model::Worker::free(WorkerId(99), 0.9).unwrap()]);
         assert!(!instance.is_feasible(&foreign));
     }
 
     #[test]
     fn whole_pool_feasibility() {
         let pool = paper_example_pool(); // total cost 37
-        assert!(!JspInstance::with_uniform_prior(pool.clone(), 20.0).unwrap().whole_pool_is_feasible());
-        assert!(JspInstance::with_uniform_prior(pool, 37.0).unwrap().whole_pool_is_feasible());
+        assert!(!JspInstance::with_uniform_prior(pool.clone(), 20.0)
+            .unwrap()
+            .whole_pool_is_feasible());
+        assert!(JspInstance::with_uniform_prior(pool, 37.0)
+            .unwrap()
+            .whole_pool_is_feasible());
     }
 
     #[test]
     fn uniform_cost_detection() {
         let uniform =
             WorkerPool::from_qualities_and_costs(&[0.7, 0.8, 0.6], &[2.0, 2.0, 2.0]).unwrap();
-        assert!(JspInstance::with_uniform_prior(uniform, 4.0).unwrap().has_uniform_costs());
+        assert!(JspInstance::with_uniform_prior(uniform, 4.0)
+            .unwrap()
+            .has_uniform_costs());
         assert!(!JspInstance::with_uniform_prior(paper_example_pool(), 20.0)
             .unwrap()
             .has_uniform_costs());
         let empty = WorkerPool::new();
-        assert!(JspInstance::with_uniform_prior(empty, 1.0).unwrap().has_uniform_costs());
+        assert!(JspInstance::with_uniform_prior(empty, 1.0)
+            .unwrap()
+            .has_uniform_costs());
     }
 
     #[test]

@@ -6,6 +6,39 @@ use jury_model::Jury;
 
 use crate::problem::JspInstance;
 
+/// A precondition violation detected by a checked solve.
+///
+/// [`JurySolver::solve`] keeps its historical contract of panicking on
+/// violated preconditions (experiment binaries rely on loud failures);
+/// [`JurySolver::try_solve`] reports the same conditions as values so that
+/// request-driven callers — `jury-service` in particular — can turn them
+/// into API errors instead of crashing the process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveError {
+    /// The candidate pool exceeds what the solver can enumerate.
+    PoolTooLarge {
+        /// Number of candidates in the instance.
+        size: usize,
+        /// Largest pool the solver accepts.
+        max: usize,
+    },
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::PoolTooLarge { size, max } => {
+                write!(
+                    f,
+                    "pool of {size} candidates exceeds the solver limit of {max}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
 /// The outcome of a JSP solver run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SolverResult {
@@ -39,7 +72,18 @@ pub trait JurySolver {
     fn name(&self) -> &'static str;
 
     /// Solves the instance, returning the selected jury and diagnostics.
+    ///
+    /// May panic if the instance violates a solver precondition (e.g. a pool
+    /// too large to enumerate); use [`JurySolver::try_solve`] on
+    /// request-driven paths that must not panic.
     fn solve(&self, instance: &JspInstance) -> SolverResult;
+
+    /// Checked entry point: validates the solver's preconditions against the
+    /// instance and reports violations as [`SolveError`]s instead of
+    /// panicking. The default implementation accepts every instance.
+    fn try_solve(&self, instance: &JspInstance) -> Result<SolverResult, SolveError> {
+        Ok(self.solve(instance))
+    }
 }
 
 #[cfg(test)]

@@ -38,7 +38,12 @@ pub fn try_special_case(instance: &JspInstance) -> Option<(Jury, SpecialCase)> {
         } else {
             ((instance.budget() / cost).floor() as usize).min(instance.pool().len())
         };
-        let top_k: Vec<_> = instance.pool().sorted_by_quality_desc().into_iter().take(k).collect();
+        let top_k: Vec<_> = instance
+            .pool()
+            .sorted_by_quality_desc()
+            .into_iter()
+            .take(k)
+            .collect();
         return Some((Jury::new(top_k), SpecialCase::UniformCosts));
     }
     None
@@ -117,8 +122,7 @@ mod tests {
 
     #[test]
     fn uniform_costs_too_expensive_for_anyone() {
-        let pool =
-            WorkerPool::from_qualities_and_costs(&[0.8, 0.7], &[5.0, 5.0]).unwrap();
+        let pool = WorkerPool::from_qualities_and_costs(&[0.8, 0.7], &[5.0, 5.0]).unwrap();
         let instance = JspInstance::with_uniform_prior(pool, 3.0).unwrap();
         let (jury, case) = try_special_case(&instance).unwrap();
         assert_eq!(case, SpecialCase::UniformCosts);

@@ -1,0 +1,273 @@
+//! The shared, memoizing JQ-evaluation cache and the cache-backed objective.
+//!
+//! JSP searches spend essentially all their time evaluating `JQ(J, S, α)`,
+//! and across a batch of requests over overlapping pools the same
+//! `(jury-quality multiset, prior, strategy)` evaluation recurs constantly —
+//! every budget point of a budget–quality sweep re-examines mostly the same
+//! juries. The cache keys evaluations by the quantized
+//! [`jury_signature`] (sound: JQ depends only on the quality multiset and
+//! the prior; see `jury_jq::signature`) plus the strategy, behind a
+//! `parking_lot`-guarded map shared by all worker threads of a batch.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::RwLock;
+
+use jury_jq::{jury_signature, JqEngine, JurySignature};
+use jury_model::{Jury, Prior};
+use jury_selection::JuryObjective;
+
+use crate::request::Strategy;
+
+/// A point-in-time snapshot of the cache's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Entries currently stored.
+    pub entries: usize,
+    /// Lifetime lookups served from the cache.
+    pub hits: u64,
+    /// Lifetime lookups that had to compute the value.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache (0 when none happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CacheKey {
+    strategy: Strategy,
+    // The engine fingerprint: JQ values computed under different bucket
+    // settings or exact cutoffs are different numbers, and per-request
+    // config overrides share this cache, so the configuration must be part
+    // of the key.
+    bucket: jury_jq::BucketJqConfig,
+    exact_cutoff: usize,
+    signature: JurySignature,
+}
+
+/// The shared evaluation cache. One per [`crate::JuryService`]; it outlives
+/// individual requests, so repeated and batched calls keep re-using it.
+#[derive(Debug)]
+pub(crate) struct JqCache {
+    capacity: usize,
+    map: RwLock<HashMap<CacheKey, f64>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl JqCache {
+    pub(crate) fn new(capacity: usize) -> Self {
+        JqCache {
+            capacity,
+            map: RwLock::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn get(&self, key: &CacheKey) -> Option<f64> {
+        if self.capacity == 0 {
+            return None;
+        }
+        let hit = self.map.read().get(key).copied();
+        match hit {
+            Some(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn insert(&self, key: CacheKey, value: f64) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut map = self.map.write();
+        if map.len() >= self.capacity {
+            // Wholesale reset: O(1) amortized bookkeeping, and the very next
+            // requests re-warm the entries that still matter.
+            map.clear();
+        }
+        map.insert(key, value);
+    }
+
+    pub(crate) fn stats(&self) -> CacheStats {
+        CacheStats {
+            entries: self.map.read().len(),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The service's unified objective: one implementation of
+/// [`JuryObjective`] covering both strategies, with every evaluation routed
+/// through the shared cache. This is what replaces the separate
+/// `Optjs`/`Mvjs` engines of the old system layer — the solvers are generic
+/// over the objective, so a strategy is now just a field, not a type.
+pub(crate) struct CachedObjective<'a> {
+    engine: JqEngine,
+    strategy: Strategy,
+    cache: &'a JqCache,
+    requests: AtomicU64,
+    local_hits: AtomicU64,
+}
+
+impl<'a> CachedObjective<'a> {
+    pub(crate) fn new(engine: JqEngine, strategy: Strategy, cache: &'a JqCache) -> Self {
+        CachedObjective {
+            engine,
+            strategy,
+            cache,
+            requests: AtomicU64::new(0),
+            local_hits: AtomicU64::new(0),
+        }
+    }
+
+    /// Cache hits observed by this objective instance (i.e. this solve).
+    pub(crate) fn local_hits(&self) -> u64 {
+        self.local_hits.load(Ordering::Relaxed)
+    }
+
+    fn compute(&self, jury: &Jury, prior: Prior) -> f64 {
+        match self.strategy {
+            Strategy::Bv => self.engine.bv_jq(jury, prior).value,
+            Strategy::Mv => self.engine.mv_jq(jury, prior).value,
+        }
+    }
+}
+
+impl JuryObjective for CachedObjective<'_> {
+    fn name(&self) -> &'static str {
+        match self.strategy {
+            Strategy::Bv => "JQ(BV)",
+            Strategy::Mv => "JQ(MV)",
+        }
+    }
+
+    fn evaluate(&self, jury: &Jury, prior: Prior) -> f64 {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let key = CacheKey {
+            strategy: self.strategy,
+            bucket: *self.engine.bucket_estimator().config(),
+            exact_cutoff: self.engine.exact_cutoff(),
+            signature: jury_signature(jury, prior),
+        };
+        if let Some(value) = self.cache.get(&key) {
+            self.local_hits.fetch_add(1, Ordering::Relaxed);
+            return value;
+        }
+        // Concurrent threads may compute the same value twice; the insert is
+        // idempotent, so that only costs time, never correctness.
+        let value = self.compute(jury, prior);
+        self.cache.insert(key, value);
+        value
+    }
+
+    fn evaluations(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jury_jq::exact_bv_jq;
+
+    fn engine() -> JqEngine {
+        crate::ServiceConfig::default().jq_engine()
+    }
+
+    #[test]
+    fn cached_values_match_direct_evaluation() {
+        let cache = JqCache::new(1024);
+        let objective = CachedObjective::new(engine(), Strategy::Bv, &cache);
+        let jury = Jury::from_qualities(&[0.9, 0.6, 0.6]).unwrap();
+        let first = objective.evaluate(&jury, Prior::uniform());
+        let second = objective.evaluate(&jury, Prior::uniform());
+        assert_eq!(first, second);
+        assert!((first - exact_bv_jq(&jury, Prior::uniform()).unwrap()).abs() < 1e-12);
+        assert_eq!(objective.evaluations(), 2);
+        assert_eq!(objective.local_hits(), 1);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn strategies_do_not_collide() {
+        let cache = JqCache::new(1024);
+        let jury = Jury::from_qualities(&[0.9, 0.6, 0.6]).unwrap();
+        let bv = CachedObjective::new(engine(), Strategy::Bv, &cache);
+        let mv = CachedObjective::new(engine(), Strategy::Mv, &cache);
+        let bv_value = bv.evaluate(&jury, Prior::uniform());
+        let mv_value = mv.evaluate(&jury, Prior::uniform());
+        assert!((bv_value - 0.9).abs() < 1e-12);
+        assert!((mv_value - 0.792).abs() < 1e-12);
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn engine_configurations_do_not_collide() {
+        use jury_jq::{BucketCount, BucketJqConfig, JqEngine};
+        let cache = JqCache::new(1024);
+        // Same jury and prior, but one objective enumerates exactly while the
+        // other is forced onto a deliberately coarse bucket approximation:
+        // the values differ, so the cache must keep them apart.
+        let exact_engine = JqEngine::new(BucketJqConfig::default()).with_exact_cutoff(12);
+        let coarse_engine = JqEngine::approximate_only(
+            BucketJqConfig::default().with_buckets(BucketCount::Fixed(3)),
+        );
+        let exact = CachedObjective::new(exact_engine, Strategy::Bv, &cache);
+        let coarse = CachedObjective::new(coarse_engine, Strategy::Bv, &cache);
+        let jury = Jury::from_qualities(&[0.9, 0.6, 0.6]).unwrap();
+        let exact_value = exact.evaluate(&jury, Prior::uniform());
+        let coarse_value = coarse.evaluate(&jury, Prior::uniform());
+        assert_eq!(
+            cache.stats().entries,
+            2,
+            "configs must get separate entries"
+        );
+        assert!((exact_value - 0.9).abs() < 1e-12);
+        // Re-evaluating under each engine returns its own cached value.
+        assert_eq!(exact.evaluate(&jury, Prior::uniform()), exact_value);
+        assert_eq!(coarse.evaluate(&jury, Prior::uniform()), coarse_value);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = JqCache::new(0);
+        let objective = CachedObjective::new(engine(), Strategy::Bv, &cache);
+        let jury = Jury::from_qualities(&[0.8, 0.7]).unwrap();
+        objective.evaluate(&jury, Prior::uniform());
+        objective.evaluate(&jury, Prior::uniform());
+        let stats = cache.stats();
+        assert_eq!((stats.entries, stats.hits, stats.misses), (0, 0, 0));
+        assert_eq!(objective.local_hits(), 0);
+    }
+
+    #[test]
+    fn capacity_overflow_clears_instead_of_growing() {
+        let cache = JqCache::new(2);
+        let objective = CachedObjective::new(engine(), Strategy::Bv, &cache);
+        for q in [0.6, 0.65, 0.7, 0.75, 0.8] {
+            let jury = Jury::from_qualities(&[q]).unwrap();
+            objective.evaluate(&jury, Prior::uniform());
+        }
+        assert!(cache.stats().entries <= 2);
+    }
+}

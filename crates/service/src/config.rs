@@ -1,0 +1,138 @@
+//! Service configuration: the knobs shared by every request, overridable
+//! per request via [`crate::SelectionRequest::with_config`].
+//!
+//! This type subsumes the old `jury_optjs::SystemConfig` (which is now a
+//! re-export of it): the same bucket/annealing/cutoff knobs drive both the
+//! OPTJS and MVJS strategies, plus the service-level batch and cache
+//! settings.
+
+use jury_jq::{BucketCount, BucketJqConfig, JqEngine};
+use jury_selection::AnnealingConfig;
+
+/// Configuration of a [`crate::JuryService`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceConfig {
+    /// Bucket configuration for the approximate JQ(BV) computation.
+    pub bucket: BucketJqConfig,
+    /// Simulated-annealing configuration for the JSP search.
+    pub annealing: AnnealingConfig,
+    /// Pools of at most this size are solved exactly by enumeration instead
+    /// of by annealing (under [`crate::SolverPolicy::Auto`]); juries of at
+    /// most this size also use exact JQ enumeration inside the engine.
+    pub exact_cutoff: usize,
+    /// Maximum number of memoized JQ evaluations kept in the service's
+    /// shared cache; `0` disables caching. When the cache fills up it is
+    /// cleared wholesale (cheap, and batches re-warm it immediately).
+    pub cache_capacity: usize,
+    /// Worker threads used by [`crate::JuryService::select_batch`];
+    /// `0` means one per available CPU core.
+    pub batch_threads: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            bucket: BucketJqConfig::default(),
+            annealing: AnnealingConfig::default(),
+            exact_cutoff: 14,
+            cache_capacity: 1 << 20,
+            batch_threads: 0,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// The configuration used to reproduce the paper's experiments:
+    /// `numBuckets = 50` for JQ estimation and `ε = 10⁻⁸` for the annealing.
+    pub fn paper_experiments() -> Self {
+        ServiceConfig {
+            bucket: BucketJqConfig::paper_experiments(),
+            ..ServiceConfig::default()
+        }
+    }
+
+    /// A fast configuration for unit tests and examples: coarser buckets and
+    /// a shorter annealing schedule.
+    pub fn fast() -> Self {
+        ServiceConfig {
+            bucket: BucketJqConfig::default().with_buckets(BucketCount::Fixed(50)),
+            annealing: AnnealingConfig::default()
+                .with_epsilon(1e-4)
+                .with_restarts(2),
+            exact_cutoff: 12,
+            ..ServiceConfig::default()
+        }
+    }
+
+    /// Sets the bucket configuration.
+    pub fn with_bucket(mut self, bucket: BucketJqConfig) -> Self {
+        self.bucket = bucket;
+        self
+    }
+
+    /// Sets the annealing configuration.
+    pub fn with_annealing(mut self, annealing: AnnealingConfig) -> Self {
+        self.annealing = annealing;
+        self
+    }
+
+    /// Sets the exact-enumeration cutoff.
+    pub fn with_exact_cutoff(mut self, cutoff: usize) -> Self {
+        self.exact_cutoff = cutoff;
+        self
+    }
+
+    /// Sets the JQ cache capacity (`0` disables caching).
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Sets the batch thread count (`0` = one per CPU core).
+    pub fn with_batch_threads(mut self, threads: usize) -> Self {
+        self.batch_threads = threads;
+        self
+    }
+
+    /// The JQ engine this configuration induces.
+    pub fn jq_engine(&self) -> JqEngine {
+        JqEngine::new(self.bucket).with_exact_cutoff(self.exact_cutoff)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let config = ServiceConfig::default();
+        assert!(config.exact_cutoff >= 10);
+        assert!(config.annealing.restarts >= 1);
+        assert!(config.cache_capacity > 0);
+        assert_eq!(config.batch_threads, 0);
+    }
+
+    #[test]
+    fn builders_update_fields() {
+        let config = ServiceConfig::default()
+            .with_exact_cutoff(5)
+            .with_bucket(BucketJqConfig::paper_experiments())
+            .with_annealing(AnnealingConfig::default().with_seed(9))
+            .with_cache_capacity(128)
+            .with_batch_threads(2);
+        assert_eq!(config.exact_cutoff, 5);
+        assert_eq!(config.annealing.seed, 9);
+        assert_eq!(config.bucket, BucketJqConfig::paper_experiments());
+        assert_eq!(config.cache_capacity, 128);
+        assert_eq!(config.batch_threads, 2);
+    }
+
+    #[test]
+    fn paper_and_fast_presets_differ() {
+        assert_ne!(
+            ServiceConfig::paper_experiments().annealing.epsilon,
+            ServiceConfig::fast().annealing.epsilon
+        );
+    }
+}

@@ -1,0 +1,156 @@
+//! The service's error type: every way a selection request can fail,
+//! reported as a value — the request path never panics.
+
+use jury_model::ModelError;
+use jury_selection::SolveError;
+
+/// Why a [`crate::SelectionRequest`] could not be served.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// The candidate pool contained no workers.
+    EmptyPool,
+    /// The budget was not a finite, strictly positive number.
+    InvalidBudget {
+        /// The offending budget.
+        value: f64,
+    },
+    /// No single worker is affordable, so every feasible jury is empty.
+    /// Only reported when the request does not opt into empty selections
+    /// (see [`crate::SelectionRequest::allow_empty_selection`]).
+    BudgetBelowCheapestWorker {
+        /// The requested budget.
+        budget: f64,
+        /// The cheapest worker's cost.
+        cheapest: f64,
+    },
+    /// The prior `α` was not a probability in `[0, 1]`.
+    InvalidPrior {
+        /// The offending value.
+        value: f64,
+    },
+    /// The request demanded the exact solver on a pool too large to
+    /// enumerate.
+    PoolTooLargeForExact {
+        /// Number of candidates in the pool.
+        size: usize,
+        /// Largest pool the exact solver accepts.
+        max: usize,
+    },
+    /// A lower-level model invariant was violated.
+    Model(ModelError),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::EmptyPool => write!(f, "candidate pool is empty"),
+            ServiceError::InvalidBudget { value } => {
+                write!(f, "budget {value} must be a finite, positive number")
+            }
+            ServiceError::BudgetBelowCheapestWorker { budget, cheapest } => write!(
+                f,
+                "budget {budget} cannot afford any worker (cheapest costs {cheapest})"
+            ),
+            ServiceError::InvalidPrior { value } => {
+                write!(f, "prior {value} is not a probability in [0, 1]")
+            }
+            ServiceError::PoolTooLargeForExact { size, max } => write!(
+                f,
+                "exact solving is limited to {max} candidates, the pool has {size}"
+            ),
+            ServiceError::Model(err) => write!(f, "model error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Model(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for ServiceError {
+    fn from(err: ModelError) -> Self {
+        match err {
+            ModelError::InvalidCost { value } => ServiceError::InvalidBudget { value },
+            ModelError::InvalidPrior { value } => ServiceError::InvalidPrior { value },
+            other => ServiceError::Model(other),
+        }
+    }
+}
+
+impl From<SolveError> for ServiceError {
+    fn from(err: SolveError) -> Self {
+        match err {
+            SolveError::PoolTooLarge { size, max } => {
+                ServiceError::PoolTooLargeForExact { size, max }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(ServiceError, &str)> = vec![
+            (ServiceError::EmptyPool, "empty"),
+            (ServiceError::InvalidBudget { value: -1.0 }, "budget"),
+            (
+                ServiceError::BudgetBelowCheapestWorker {
+                    budget: 1.0,
+                    cheapest: 2.0,
+                },
+                "cheapest",
+            ),
+            (ServiceError::InvalidPrior { value: 1.5 }, "prior"),
+            (
+                ServiceError::PoolTooLargeForExact { size: 30, max: 22 },
+                "exact",
+            ),
+            (
+                ServiceError::Model(ModelError::Empty { what: "jury" }),
+                "model error",
+            ),
+        ];
+        for (err, needle) in cases {
+            assert!(
+                err.to_string().contains(needle),
+                "{err} should mention {needle}"
+            );
+        }
+    }
+
+    #[test]
+    fn conversions_map_to_specific_variants() {
+        assert_eq!(
+            ServiceError::from(ModelError::InvalidCost { value: -2.0 }),
+            ServiceError::InvalidBudget { value: -2.0 }
+        );
+        assert_eq!(
+            ServiceError::from(ModelError::InvalidPrior { value: 2.0 }),
+            ServiceError::InvalidPrior { value: 2.0 }
+        );
+        assert_eq!(
+            ServiceError::from(SolveError::PoolTooLarge { size: 30, max: 22 }),
+            ServiceError::PoolTooLargeForExact { size: 30, max: 22 }
+        );
+        assert!(matches!(
+            ServiceError::from(ModelError::Empty { what: "pool" }),
+            ServiceError::Model(_)
+        ));
+    }
+
+    #[test]
+    fn model_errors_expose_a_source() {
+        use std::error::Error;
+        let err = ServiceError::Model(ModelError::Empty { what: "pool" });
+        assert!(err.source().is_some());
+        assert!(ServiceError::EmptyPool.source().is_none());
+    }
+}

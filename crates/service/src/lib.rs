@@ -1,0 +1,68 @@
+//! # jury-service
+//!
+//! The fallible, batch-first selection service API over the Jury Selection
+//! Problem solvers of *"On Optimality of Jury Selection in Crowdsourcing"*
+//! (EDBT 2015).
+//!
+//! The historical system layer exposed two near-duplicate structs (`Optjs` /
+//! `Mvjs`) that solved one instance at a time and panicked on invalid
+//! budgets. This crate replaces that surface with a request/response API
+//! designed for serving:
+//!
+//! * [`SelectionRequest`] — a builder carrying pool + budget + prior +
+//!   [`Strategy`] (`Bv`/`Mv`) + [`SolverPolicy`]
+//!   (`Auto`/`Exact`/`Annealing`/`Greedy`) + optional per-request
+//!   [`ServiceConfig`] overrides;
+//! * [`JuryService::select`] — returns `Result<SelectionResponse,
+//!   ServiceError>`; **nothing on the request path panics**;
+//! * [`JuryService::select_batch`] — data-parallel batch execution across
+//!   worker threads, with per-request error reporting and a shared JQ
+//!   evaluation cache (guarded by `parking_lot` locks) keyed by quantized
+//!   jury signatures ([`jury_jq::signature`]);
+//! * [`JuryService::budget_quality_table`] — the Figure 1 budget–quality
+//!   sweep, built on the same batched path.
+//!
+//! Both paper systems are now *configurations* of one generic engine: the
+//! solvers are generic over `jury_selection::JuryObjective`, and the service
+//! provides a single cache-backed objective per strategy. The old
+//! `jury_optjs::{Optjs, Mvjs}` types survive as thin facades delegating
+//! here.
+//!
+//! ```
+//! use jury_model::{paper_example_pool, Prior};
+//! use jury_service::{JuryService, SelectionRequest, Strategy};
+//!
+//! let service = JuryService::paper_experiments();
+//!
+//! // The paper's running example: budget 15 selects {B, C, G} at 84.5 %.
+//! let request = SelectionRequest::new(paper_example_pool(), 15.0)
+//!     .with_prior(Prior::uniform());
+//! let response = service.select(&request).unwrap();
+//! assert!((response.quality - 0.845).abs() < 1e-9);
+//!
+//! // Invalid input is an error value, not a panic.
+//! let bad = SelectionRequest::new(paper_example_pool(), -1.0);
+//! assert!(service.select(&bad).is_err());
+//!
+//! // Batches run in parallel and share the JQ cache.
+//! let batch = vec![request.clone(), bad, request];
+//! let results = service.select_batch(&batch);
+//! assert!(results[0].is_ok() && results[1].is_err() && results[2].is_ok());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cache;
+pub mod config;
+pub mod error;
+pub mod request;
+pub mod response;
+pub mod service;
+
+pub use cache::CacheStats;
+pub use config::ServiceConfig;
+pub use error::ServiceError;
+pub use request::{SelectionRequest, SolverPolicy, Strategy};
+pub use response::SelectionResponse;
+pub use service::JuryService;

@@ -1,0 +1,216 @@
+//! Selection requests: what a caller asks the service to do.
+
+use serde::{Deserialize, Serialize};
+
+use jury_model::{Prior, WorkerPool};
+
+use crate::config::ServiceConfig;
+
+/// Which jury-quality objective the selection maximizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Strategy {
+    /// Bayesian voting — the optimal strategy (Theorem 1); what OPTJS uses.
+    Bv,
+    /// Majority voting — the Cao et al. baseline objective; what MVJS uses.
+    Mv,
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Strategy::Bv => write!(f, "BV"),
+            Strategy::Mv => write!(f, "MV"),
+        }
+    }
+}
+
+/// Which search algorithm solves the (NP-hard) selection problem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SolverPolicy {
+    /// Exhaustive enumeration for small pools, simulated annealing
+    /// otherwise (the paper's system behaviour). The default.
+    Auto,
+    /// Exhaustive enumeration, failing with
+    /// [`crate::ServiceError::PoolTooLargeForExact`] on oversized pools.
+    Exact,
+    /// The simulated-annealing heuristic regardless of pool size.
+    Annealing,
+    /// The cheap greedy baselines (best of quality-first and
+    /// quality-per-cost-first).
+    Greedy,
+}
+
+impl std::fmt::Display for SolverPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolverPolicy::Auto => write!(f, "auto"),
+            SolverPolicy::Exact => write!(f, "exact"),
+            SolverPolicy::Annealing => write!(f, "annealing"),
+            SolverPolicy::Greedy => write!(f, "greedy"),
+        }
+    }
+}
+
+/// One jury-selection request: pool, budget, prior, strategy, solver policy,
+/// and optional per-request configuration overrides.
+///
+/// Built with a fluent builder; nothing is validated until the request hits
+/// [`crate::JuryService::select`], which reports every problem as a
+/// [`crate::ServiceError`] value — the request path never panics.
+///
+/// ```
+/// use jury_model::{paper_example_pool, Prior};
+/// use jury_service::{JuryService, SelectionRequest, Strategy};
+///
+/// let service = JuryService::paper_experiments();
+/// let request = SelectionRequest::new(paper_example_pool(), 15.0)
+///     .with_prior(Prior::uniform())
+///     .with_strategy(Strategy::Bv);
+/// let response = service.select(&request).unwrap();
+/// assert!((response.quality - 0.845).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectionRequest {
+    pool: WorkerPool,
+    budget: f64,
+    prior_alpha: f64,
+    strategy: Strategy,
+    policy: SolverPolicy,
+    allow_empty: bool,
+    config: Option<ServiceConfig>,
+}
+
+impl SelectionRequest {
+    /// Starts a request for the given pool and budget, with a uniform prior,
+    /// the BV strategy, and the `Auto` solver policy.
+    pub fn new(pool: WorkerPool, budget: f64) -> Self {
+        SelectionRequest {
+            pool,
+            budget,
+            prior_alpha: 0.5,
+            strategy: Strategy::Bv,
+            policy: SolverPolicy::Auto,
+            allow_empty: false,
+            config: None,
+        }
+    }
+
+    /// Sets the task prior.
+    pub fn with_prior(mut self, prior: Prior) -> Self {
+        self.prior_alpha = prior.alpha();
+        self
+    }
+
+    /// Sets the task prior from a raw `α = Pr(t = 0)` value. Unlike
+    /// [`Prior::new`], the value is *not* validated here: the service checks
+    /// it at `select` time and reports [`crate::ServiceError::InvalidPrior`],
+    /// so callers forwarding untrusted input need no pre-validation.
+    pub fn with_prior_alpha(mut self, alpha: f64) -> Self {
+        self.prior_alpha = alpha;
+        self
+    }
+
+    /// Sets the selection strategy.
+    pub fn with_strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Sets the solver policy.
+    pub fn with_policy(mut self, policy: SolverPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Overrides the service configuration for this request only.
+    pub fn with_config(mut self, config: ServiceConfig) -> Self {
+        self.config = Some(config);
+        self
+    }
+
+    /// Whether a budget that affords no worker yields an empty-jury response
+    /// (quality = max(α, 1 − α)) instead of
+    /// [`crate::ServiceError::BudgetBelowCheapestWorker`]. Off by default;
+    /// the paper-reproduction facades turn it on to keep the seed semantics.
+    pub fn allow_empty_selection(mut self, allow: bool) -> Self {
+        self.allow_empty = allow;
+        self
+    }
+
+    /// The candidate pool.
+    pub fn pool(&self) -> &WorkerPool {
+        &self.pool
+    }
+
+    /// The budget.
+    pub fn budget(&self) -> f64 {
+        self.budget
+    }
+
+    /// The raw prior `α` (possibly not yet validated).
+    pub fn prior_alpha(&self) -> f64 {
+        self.prior_alpha
+    }
+
+    /// The strategy.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// The solver policy.
+    pub fn policy(&self) -> SolverPolicy {
+        self.policy
+    }
+
+    /// The per-request configuration override, if any.
+    pub fn config(&self) -> Option<&ServiceConfig> {
+        self.config.as_ref()
+    }
+
+    /// Whether empty selections are allowed.
+    pub fn empty_selection_allowed(&self) -> bool {
+        self.allow_empty
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jury_model::paper_example_pool;
+
+    #[test]
+    fn builder_defaults_and_overrides() {
+        let request = SelectionRequest::new(paper_example_pool(), 15.0);
+        assert_eq!(request.strategy(), Strategy::Bv);
+        assert_eq!(request.policy(), SolverPolicy::Auto);
+        assert!((request.prior_alpha() - 0.5).abs() < 1e-12);
+        assert!(request.config().is_none());
+        assert!(!request.empty_selection_allowed());
+
+        let request = request
+            .with_strategy(Strategy::Mv)
+            .with_policy(SolverPolicy::Exact)
+            .with_prior(Prior::new(0.7).unwrap())
+            .with_config(ServiceConfig::fast())
+            .allow_empty_selection(true);
+        assert_eq!(request.strategy(), Strategy::Mv);
+        assert_eq!(request.policy(), SolverPolicy::Exact);
+        assert!((request.prior_alpha() - 0.7).abs() < 1e-12);
+        assert_eq!(request.config(), Some(&ServiceConfig::fast()));
+        assert!(request.empty_selection_allowed());
+    }
+
+    #[test]
+    fn raw_prior_is_stored_unvalidated() {
+        let request = SelectionRequest::new(paper_example_pool(), 15.0).with_prior_alpha(2.5);
+        assert!((request.prior_alpha() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_labels() {
+        assert_eq!(Strategy::Bv.to_string(), "BV");
+        assert_eq!(Strategy::Mv.to_string(), "MV");
+        assert_eq!(SolverPolicy::Auto.to_string(), "auto");
+        assert_eq!(SolverPolicy::Greedy.to_string(), "greedy");
+    }
+}

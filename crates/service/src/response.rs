@@ -1,0 +1,67 @@
+//! Selection responses: what the service reports back for a request.
+
+use std::time::Duration;
+
+use jury_model::{Jury, WorkerId};
+
+use crate::request::{SolverPolicy, Strategy};
+
+/// The outcome of a successfully served [`crate::SelectionRequest`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectionResponse {
+    /// The selected jury (empty only when the request allowed it).
+    pub jury: Jury,
+    /// The jury's estimated quality under the requested strategy.
+    pub quality: f64,
+    /// The jury's cost (what the caller actually pays).
+    pub cost: f64,
+    /// The strategy the selection optimized.
+    pub strategy: Strategy,
+    /// The policy the request asked for.
+    pub policy: SolverPolicy,
+    /// The concrete solver that ran (e.g. `"exhaustive"`).
+    pub solver: &'static str,
+    /// Objective evaluations requested by the search.
+    pub evaluations: u64,
+    /// How many of those evaluations were served by the shared JQ cache.
+    pub cache_hits: u64,
+    /// Wall-clock time of the search.
+    pub elapsed: Duration,
+}
+
+impl SelectionResponse {
+    /// The selected workers' ids, sorted.
+    pub fn worker_ids(&self) -> Vec<WorkerId> {
+        let mut ids = self.jury.ids();
+        ids.sort();
+        ids
+    }
+
+    /// Number of selected workers.
+    pub fn jury_size(&self) -> usize {
+        self.jury.size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_reflect_the_jury() {
+        let jury = Jury::from_qualities(&[0.9, 0.6]).unwrap();
+        let response = SelectionResponse {
+            jury,
+            quality: 0.9,
+            cost: 0.0,
+            strategy: Strategy::Bv,
+            policy: SolverPolicy::Auto,
+            solver: "exhaustive",
+            evaluations: 4,
+            cache_hits: 0,
+            elapsed: Duration::from_millis(1),
+        };
+        assert_eq!(response.jury_size(), 2);
+        assert_eq!(response.worker_ids().len(), 2);
+    }
+}

@@ -1,0 +1,430 @@
+//! The service itself: validated, fallible, batch-first jury selection.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::thread;
+use std::time::Instant;
+
+use jury_model::{Prior, WorkerPool};
+use jury_selection::{
+    AnnealingSolver, BudgetQualityRow, BudgetQualityTable, ExhaustiveSolver, GreedyQualitySolver,
+    GreedyRatioSolver, JspInstance, JuryObjective, JurySolver, MvjsSolver, SolverResult,
+    MAX_EXHAUSTIVE_POOL,
+};
+
+use crate::cache::{CacheStats, CachedObjective, JqCache};
+use crate::config::ServiceConfig;
+use crate::error::ServiceError;
+use crate::request::{SelectionRequest, SolverPolicy, Strategy};
+use crate::response::SelectionResponse;
+
+/// The jury-selection service: owns the configuration and the shared JQ
+/// cache, and serves [`SelectionRequest`]s one at a time or in parallel
+/// batches. All request handling is fallible — invalid input comes back as a
+/// [`ServiceError`], never as a panic.
+///
+/// ```
+/// use jury_model::paper_example_pool;
+/// use jury_service::{JuryService, SelectionRequest};
+///
+/// let service = JuryService::paper_experiments();
+/// let response = service
+///     .select(&SelectionRequest::new(paper_example_pool(), 15.0))
+///     .unwrap();
+/// assert!((response.quality - 0.845).abs() < 1e-9); // the {B, C, G} jury
+/// assert!((response.cost - 14.0).abs() < 1e-9);
+/// ```
+#[derive(Debug)]
+pub struct JuryService {
+    config: ServiceConfig,
+    cache: JqCache,
+}
+
+impl Default for JuryService {
+    fn default() -> Self {
+        JuryService::new(ServiceConfig::default())
+    }
+}
+
+impl JuryService {
+    /// Creates a service with the given configuration.
+    pub fn new(config: ServiceConfig) -> Self {
+        JuryService {
+            cache: JqCache::new(config.cache_capacity),
+            config,
+        }
+    }
+
+    /// Creates a service with the paper's experimental configuration.
+    pub fn paper_experiments() -> Self {
+        JuryService::new(ServiceConfig::paper_experiments())
+    }
+
+    /// The service configuration (requests can override it individually).
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Counters of the shared JQ-evaluation cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Serves one selection request.
+    pub fn select(&self, request: &SelectionRequest) -> Result<SelectionResponse, ServiceError> {
+        let started = Instant::now();
+        let config = request.config().copied().unwrap_or(self.config);
+
+        let prior = Prior::new(request.prior_alpha()).map_err(|_| ServiceError::InvalidPrior {
+            value: request.prior_alpha(),
+        })?;
+        // An empty pool — like an unaffordable one — only admits the empty
+        // jury, so it is an error exactly when empty selections are not
+        // allowed (the paper facades allow them to keep the seed semantics,
+        // e.g. dataset replays over tasks nobody answered).
+        if request.pool().is_empty() && !request.empty_selection_allowed() {
+            return Err(ServiceError::EmptyPool);
+        }
+        let budget = request.budget();
+        if !budget.is_finite()
+            || budget < 0.0
+            || (budget == 0.0 && !request.empty_selection_allowed())
+        {
+            return Err(ServiceError::InvalidBudget { value: budget });
+        }
+        let cheapest = request
+            .pool()
+            .iter()
+            .map(|w| w.cost())
+            .min_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        if let Some(cheapest) = cheapest {
+            if cheapest > budget && !request.empty_selection_allowed() {
+                return Err(ServiceError::BudgetBelowCheapestWorker { budget, cheapest });
+            }
+        }
+
+        let instance = JspInstance::new(request.pool().clone(), budget, prior)?;
+        let objective = CachedObjective::new(config.jq_engine(), request.strategy(), &self.cache);
+        let result = self.run_solver(&instance, &objective, request, &config)?;
+
+        Ok(SelectionResponse {
+            quality: result.objective_value,
+            cost: result.jury.cost(),
+            jury: result.jury,
+            strategy: request.strategy(),
+            policy: request.policy(),
+            solver: result.solver,
+            evaluations: objective.evaluations(),
+            cache_hits: objective.local_hits(),
+            elapsed: started.elapsed(),
+        })
+    }
+
+    fn run_solver(
+        &self,
+        instance: &JspInstance,
+        objective: &CachedObjective<'_>,
+        request: &SelectionRequest,
+        config: &ServiceConfig,
+    ) -> Result<SolverResult, ServiceError> {
+        let small_pool = instance.num_candidates() <= config.exact_cutoff.min(MAX_EXHAUSTIVE_POOL);
+        let result = match request.policy() {
+            SolverPolicy::Exact => ExhaustiveSolver::new(objective).try_solve(instance)?,
+            SolverPolicy::Auto if small_pool => {
+                ExhaustiveSolver::new(objective).try_solve(instance)?
+            }
+            SolverPolicy::Auto => match request.strategy() {
+                Strategy::Bv => {
+                    AnnealingSolver::with_config(objective, config.annealing).solve(instance)
+                }
+                // The MV baseline keeps its odd-size top-quality candidates
+                // on large pools, exactly like the historical Mvjs system.
+                Strategy::Mv => MvjsSolver::with_annealing_config(config.annealing)
+                    .solve_with_objective(instance, objective),
+            },
+            SolverPolicy::Annealing => {
+                AnnealingSolver::with_config(objective, config.annealing).solve(instance)
+            }
+            SolverPolicy::Greedy => {
+                let by_quality = GreedyQualitySolver::new(objective).solve(instance);
+                let by_ratio = GreedyRatioSolver::new(objective).solve(instance);
+                if by_quality.objective_value >= by_ratio.objective_value {
+                    by_quality
+                } else {
+                    by_ratio
+                }
+            }
+        };
+        Ok(result)
+    }
+
+    /// Serves a batch of requests, data-parallel across worker threads, all
+    /// sharing this service's JQ-evaluation cache.
+    ///
+    /// Failures are per-request: one invalid request yields an `Err` in its
+    /// slot without disturbing the others. The result order matches the
+    /// request order.
+    pub fn select_batch(
+        &self,
+        requests: &[SelectionRequest],
+    ) -> Vec<Result<SelectionResponse, ServiceError>> {
+        let threads = self.batch_threads(requests.len());
+        if threads <= 1 {
+            return requests.iter().map(|r| self.select(r)).collect();
+        }
+
+        // Dynamic scheduling: workers pull the next unclaimed request from a
+        // shared counter, so a few expensive requests cannot serialize the
+        // batch behind one thread the way static chunking would.
+        let next = AtomicUsize::new(0);
+        let (sender, receiver) = mpsc::channel();
+        thread::scope(|scope| {
+            for _ in 0..threads {
+                let sender = sender.clone();
+                let next = &next;
+                scope.spawn(move || loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(request) = requests.get(index) else {
+                        break;
+                    };
+                    if sender.send((index, self.select(request))).is_err() {
+                        break;
+                    }
+                });
+            }
+        });
+        drop(sender);
+
+        let mut slots: Vec<Option<Result<SelectionResponse, ServiceError>>> =
+            (0..requests.len()).map(|_| None).collect();
+        for (index, result) in receiver {
+            slots[index] = Some(result);
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every request index is claimed exactly once"))
+            .collect()
+    }
+
+    fn batch_threads(&self, batch_len: usize) -> usize {
+        let configured = if self.config.batch_threads == 0 {
+            thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.config.batch_threads
+        };
+        configured.clamp(1, batch_len.max(1))
+    }
+
+    /// Builds the Figure-1 style budget–quality table by serving one
+    /// selection per budget through [`Self::select_batch`] (parallel, cached,
+    /// BV strategy, `Auto` policy). Budgets below the cheapest worker yield
+    /// empty-jury rows, matching the table's exploratory semantics.
+    pub fn budget_quality_table(
+        &self,
+        pool: &WorkerPool,
+        budgets: &[f64],
+        prior: Prior,
+    ) -> Result<BudgetQualityTable, ServiceError> {
+        let requests: Vec<SelectionRequest> = budgets
+            .iter()
+            .map(|&budget| {
+                SelectionRequest::new(pool.clone(), budget)
+                    .with_prior(prior)
+                    .allow_empty_selection(true)
+            })
+            .collect();
+        let rows = self
+            .select_batch(&requests)
+            .into_iter()
+            .zip(budgets)
+            .map(|(result, &budget)| {
+                result.map(|response| BudgetQualityRow {
+                    budget,
+                    jury: response.worker_ids(),
+                    quality: response.quality,
+                    required_budget: response.cost,
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(BudgetQualityTable::from_rows(rows))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jury_model::{paper_example_pool, WorkerId, WorkerPool};
+
+    fn paper_service() -> JuryService {
+        JuryService::paper_experiments()
+    }
+
+    #[test]
+    fn paper_example_selects_bcg_at_budget_15() {
+        let service = paper_service();
+        let response = service
+            .select(&SelectionRequest::new(paper_example_pool(), 15.0))
+            .unwrap();
+        assert_eq!(
+            response.worker_ids(),
+            vec![WorkerId(1), WorkerId(2), WorkerId(6)]
+        );
+        assert!((response.quality - 0.845).abs() < 1e-9);
+        assert!((response.cost - 14.0).abs() < 1e-9);
+        assert_eq!(response.strategy, Strategy::Bv);
+        assert_eq!(response.solver, "exhaustive");
+        assert!(response.evaluations > 0);
+    }
+
+    #[test]
+    fn select_batch_matches_select_and_shares_the_cache() {
+        let service = paper_service();
+        let request = SelectionRequest::new(paper_example_pool(), 15.0);
+        let single = service.select(&request).unwrap();
+
+        let batch: Vec<SelectionRequest> = (0..64).map(|_| request.clone()).collect();
+        let responses = service.select_batch(&batch);
+        assert_eq!(responses.len(), 64);
+        for response in responses {
+            let response = response.unwrap();
+            assert_eq!(response.worker_ids(), single.worker_ids());
+            assert!((response.quality - single.quality).abs() < 1e-12);
+        }
+        let stats = service.cache_stats();
+        assert!(
+            stats.hits > stats.misses,
+            "batch should be cache-dominated: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn mv_strategy_reproduces_the_mvjs_baseline() {
+        let service = paper_service();
+        let response = service
+            .select(&SelectionRequest::new(paper_example_pool(), 20.0).with_strategy(Strategy::Mv))
+            .unwrap();
+        // The MV-optimal jury at B = 20 is {A, C, G} (the introduction's
+        // prior-work solution).
+        assert_eq!(
+            response.worker_ids(),
+            vec![WorkerId(0), WorkerId(2), WorkerId(6)]
+        );
+        let bv = service
+            .select(&SelectionRequest::new(paper_example_pool(), 20.0))
+            .unwrap();
+        assert!(bv.quality >= response.quality - 1e-9);
+    }
+
+    #[test]
+    fn policies_agree_on_the_paper_pool() {
+        let service = paper_service();
+        let mut qualities = Vec::new();
+        for policy in [
+            SolverPolicy::Auto,
+            SolverPolicy::Exact,
+            SolverPolicy::Annealing,
+            SolverPolicy::Greedy,
+        ] {
+            let response = service
+                .select(&SelectionRequest::new(paper_example_pool(), 15.0).with_policy(policy))
+                .unwrap();
+            assert!(response.cost <= 15.0 + 1e-9, "{policy}");
+            qualities.push((policy, response.quality));
+        }
+        let exact = qualities[1].1;
+        for (policy, quality) in qualities {
+            assert!(quality <= exact + 1e-9, "{policy} beat exact");
+        }
+    }
+
+    #[test]
+    fn exact_policy_fails_cleanly_on_large_pools() {
+        let pool = WorkerPool::from_qualities_and_costs(&[0.7; 23], &[1.0; 23]).unwrap();
+        let service = paper_service();
+        let err = service
+            .select(&SelectionRequest::new(pool, 5.0).with_policy(SolverPolicy::Exact))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ServiceError::PoolTooLargeForExact {
+                size: 23,
+                max: MAX_EXHAUSTIVE_POOL
+            }
+        );
+    }
+
+    #[test]
+    fn per_request_config_overrides_apply() {
+        let service = JuryService::new(ServiceConfig::default());
+        // Force the annealing path on the 7-worker pool by lowering the
+        // exact cutoff to zero for this request only.
+        let response = service
+            .select(
+                &SelectionRequest::new(paper_example_pool(), 15.0)
+                    .with_config(ServiceConfig::default().with_exact_cutoff(0)),
+            )
+            .unwrap();
+        assert_eq!(response.solver, "simulated-annealing");
+        assert!((response.quality - 0.845).abs() < 1e-6);
+    }
+
+    #[test]
+    fn budget_quality_table_reproduces_figure_1() {
+        let service = paper_service();
+        let table = service
+            .budget_quality_table(
+                &paper_example_pool(),
+                &[5.0, 10.0, 15.0, 20.0],
+                Prior::uniform(),
+            )
+            .unwrap();
+        let qualities: Vec<f64> = table.rows().iter().map(|r| r.quality).collect();
+        let expected = [0.75, 0.80, 0.845, 0.8695];
+        for (got, want) in qualities.iter().zip(expected.iter()) {
+            assert!((got - want).abs() < 1e-9, "{got} vs {want}");
+        }
+        assert!((table.rows()[2].required_budget - 14.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_jury_allowed_when_opted_in() {
+        let pool = WorkerPool::from_qualities_and_costs(&[0.8], &[5.0]).unwrap();
+        let service = paper_service();
+        let response = service
+            .select(&SelectionRequest::new(pool, 1.0).allow_empty_selection(true))
+            .unwrap();
+        assert!(response.jury.is_empty());
+        assert!((response.quality - 0.5).abs() < 1e-12);
+        assert_eq!(response.cost, 0.0);
+    }
+
+    #[test]
+    fn empty_pool_yields_empty_jury_when_opted_in() {
+        // Seed semantics for the facades: an empty candidate set (e.g. a
+        // dataset task nobody answered) selects the empty jury instead of
+        // erroring.
+        let service = paper_service();
+        let request = SelectionRequest::new(WorkerPool::new(), 1.0).allow_empty_selection(true);
+        let response = service.select(&request).unwrap();
+        assert!(response.jury.is_empty());
+        assert!((response.quality - 0.5).abs() < 1e-12);
+        // Without the opt-in it stays an error.
+        let strict = SelectionRequest::new(WorkerPool::new(), 1.0);
+        assert_eq!(
+            service.select(&strict).unwrap_err(),
+            ServiceError::EmptyPool
+        );
+    }
+
+    #[test]
+    fn batch_threads_clamp_to_batch_length() {
+        let service = JuryService::new(ServiceConfig::default().with_batch_threads(16));
+        assert_eq!(service.batch_threads(1), 1);
+        assert_eq!(service.batch_threads(4), 4);
+        assert_eq!(service.batch_threads(100), 16);
+        let auto = JuryService::default();
+        assert!(auto.batch_threads(1000) >= 1);
+    }
+}

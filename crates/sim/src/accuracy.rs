@@ -10,9 +10,9 @@
 //! curves; the paper's finding — reproduced by the integration tests — is
 //! that the two curves track each other closely.
 
+use jury_jq::JqEngine;
 use jury_model::{Answer, CrowdDataset, Jury, Prior, TaskRecord};
 use jury_voting::BayesianVoting;
-use jury_jq::JqEngine;
 
 /// The two curves of Figure 10(d) at one value of `z`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -67,9 +67,21 @@ pub fn evaluate_prefix(
         }
         jq_sum += engine.bv_jq(&jury, prior).value;
     }
-    let accuracy = if evaluated == 0 { 0.0 } else { correct as f64 / evaluated as f64 };
-    let average_jq = if evaluated == 0 { 0.0 } else { jq_sum / evaluated as f64 };
-    AccuracyPoint { votes_used: z, accuracy, average_jq }
+    let accuracy = if evaluated == 0 {
+        0.0
+    } else {
+        correct as f64 / evaluated as f64
+    };
+    let average_jq = if evaluated == 0 {
+        0.0
+    } else {
+        jq_sum / evaluated as f64
+    };
+    AccuracyPoint {
+        votes_used: z,
+        accuracy,
+        average_jq,
+    }
 }
 
 /// Sweeps `z` over a range, producing the full Figure 10(d) series.
@@ -79,7 +91,9 @@ pub fn prefix_sweep(
     prior: Prior,
     engine: &JqEngine,
 ) -> Vec<AccuracyPoint> {
-    zs.iter().map(|&z| evaluate_prefix(dataset, z, prior, engine)).collect()
+    zs.iter()
+        .map(|&z| evaluate_prefix(dataset, z, prior, engine))
+        .collect()
 }
 
 #[cfg(test)]
@@ -171,7 +185,8 @@ mod tests {
 
     #[test]
     fn empty_dataset_gives_zero_point() {
-        let dataset = CrowdDataset::new(WorkerPool::from_qualities(&[0.7]).unwrap(), vec![]).unwrap();
+        let dataset =
+            CrowdDataset::new(WorkerPool::from_qualities(&[0.7]).unwrap(), vec![]).unwrap();
         let point = evaluate_prefix(&dataset, 3, Prior::uniform(), &JqEngine::default());
         assert_eq!(point.accuracy, 0.0);
         assert_eq!(point.average_jq, 0.0);

@@ -21,7 +21,7 @@
 use rand::Rng;
 use rand_distr::{Distribution, Normal};
 
-use jury_model::{Answer, CrowdDataset, ModelResult, WorkerPool, Worker, WorkerId};
+use jury_model::{Answer, CrowdDataset, ModelResult, Worker, WorkerId, WorkerPool};
 
 use crate::platform::{PlatformConfig, SimulatedPlatform};
 
@@ -103,8 +103,11 @@ impl AmtSimulator {
     /// Draws one latent worker quality from the two-component mixture
     /// calibrated against the paper's reported statistics.
     pub fn sample_quality<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
-        let (mean, std): (f64, f64) =
-            if rng.gen::<f64>() < 0.3 { (0.86, 0.05) } else { (0.66, 0.06) };
+        let (mean, std): (f64, f64) = if rng.gen::<f64>() < 0.3 {
+            (0.86, 0.05)
+        } else {
+            (0.66, 0.06)
+        };
         let q = Normal::new(mean, std).expect("valid normal").sample(rng);
         q.clamp(0.35, 0.98)
     }
@@ -160,7 +163,13 @@ impl AmtSimulator {
         let workers = self.generate_workers(rng);
         let activity = self.generate_activity(rng);
         let truths: Vec<Answer> = (0..self.config.num_tasks)
-            .map(|_| if rng.gen::<f64>() < 0.5 { Answer::No } else { Answer::Yes })
+            .map(|_| {
+                if rng.gen::<f64>() < 0.5 {
+                    Answer::No
+                } else {
+                    Answer::Yes
+                }
+            })
             .collect();
         let platform = SimulatedPlatform::new(PlatformConfig {
             questions_per_hit: self.config.questions_per_hit,
@@ -193,12 +202,20 @@ mod tests {
         let qualities: Vec<f64> = (0..5_000).map(|_| sim.sample_quality(&mut rng)).collect();
         let mean = jury_model::stats::mean(&qualities);
         assert!((mean - 0.71).abs() < 0.04, "mean latent quality {mean}");
-        let above_08 = qualities.iter().filter(|&&q| q > 0.8).count() as f64 / qualities.len() as f64;
+        let above_08 =
+            qualities.iter().filter(|&&q| q > 0.8).count() as f64 / qualities.len() as f64;
         // The paper reports 40 / 128 ≈ 31 % above 0.8.
-        assert!((0.15..0.45).contains(&above_08), "fraction above 0.8: {above_08}");
-        let below_06 = qualities.iter().filter(|&&q| q < 0.6).count() as f64 / qualities.len() as f64;
+        assert!(
+            (0.15..0.45).contains(&above_08),
+            "fraction above 0.8: {above_08}"
+        );
+        let below_06 =
+            qualities.iter().filter(|&&q| q < 0.6).count() as f64 / qualities.len() as f64;
         // The paper reports about 10 % below 0.6.
-        assert!((0.02..0.25).contains(&below_06), "fraction below 0.6: {below_06}");
+        assert!(
+            (0.02..0.25).contains(&below_06),
+            "fraction below 0.6: {below_06}"
+        );
     }
 
     #[test]
@@ -213,7 +230,10 @@ mod tests {
         }
         // Empirical qualities are plugged into the pool.
         let mean_quality = dataset.workers().mean_quality();
-        assert!(mean_quality > 0.55 && mean_quality < 0.9, "mean {mean_quality}");
+        assert!(
+            mean_quality > 0.55 && mean_quality < 0.9,
+            "mean {mean_quality}"
+        );
     }
 
     #[test]
@@ -232,7 +252,10 @@ mod tests {
         assert_eq!(activity.len(), 128);
         let max = activity.iter().cloned().fold(0.0f64, f64::max);
         let median = jury_model::stats::median(&activity);
-        assert!(max / median > 5.0, "activity skew too small: max {max}, median {median}");
+        assert!(
+            max / median > 5.0,
+            "activity skew too small: max {max}, median {median}"
+        );
     }
 
     #[test]
@@ -246,7 +269,10 @@ mod tests {
         assert_eq!(dataset.num_votes(), 600 * 20);
         assert!((dataset.mean_answers_per_worker() - 93.75).abs() < 1e-9);
         let mean_quality = dataset.mean_empirical_quality();
-        assert!((mean_quality - 0.71).abs() < 0.08, "mean empirical quality {mean_quality}");
+        assert!(
+            (mean_quality - 0.71).abs() < 0.08,
+            "mean empirical quality {mean_quality}"
+        );
         // Participation is skewed: the busiest worker answers far more than
         // the median worker.
         let stats = dataset.worker_stats();

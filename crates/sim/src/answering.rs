@@ -21,7 +21,10 @@ pub fn draw_vote<R: Rng + ?Sized>(worker: &Worker, truth: Answer, rng: &mut R) -
 
 /// Draws a full voting (one vote per juror) given the true answer.
 pub fn draw_voting<R: Rng + ?Sized>(jury: &Jury, truth: Answer, rng: &mut R) -> Vec<Answer> {
-    jury.workers().iter().map(|w| draw_vote(w, truth, rng)).collect()
+    jury.workers()
+        .iter()
+        .map(|w| draw_vote(w, truth, rng))
+        .collect()
 }
 
 /// Draws one multi-class vote from a confusion matrix given the true label:
@@ -66,7 +69,11 @@ where
     let mut correct = 0usize;
     for _ in 0..trials {
         // Draw the latent truth from the prior, then the votes, then decide.
-        let truth = if rng.gen::<f64>() < prior.alpha() { Answer::No } else { Answer::Yes };
+        let truth = if rng.gen::<f64>() < prior.alpha() {
+            Answer::No
+        } else {
+            Answer::Yes
+        };
         let votes = draw_voting(jury, truth, rng);
         let decided = strategy
             .decide(jury, &votes, prior, rng)
@@ -119,8 +126,8 @@ mod tests {
 
     #[test]
     fn label_vote_distribution_follows_the_matrix() {
-        let m = ConfusionMatrix::new(3, vec![0.7, 0.2, 0.1, 0.1, 0.8, 0.1, 0.25, 0.25, 0.5])
-            .unwrap();
+        let m =
+            ConfusionMatrix::new(3, vec![0.7, 0.2, 0.1, 0.1, 0.8, 0.1, 0.25, 0.25, 0.5]).unwrap();
         let mut rng = StdRng::seed_from_u64(4);
         let trials = 30_000;
         let mut counts = [0usize; 3];

@@ -34,7 +34,12 @@ pub struct DawidSkeneConfig {
 
 impl Default for DawidSkeneConfig {
     fn default() -> Self {
-        DawidSkeneConfig { max_iterations: 50, tolerance: 1e-6, smoothing: 1.0, prior_no: 0.5 }
+        DawidSkeneConfig {
+            max_iterations: 50,
+            tolerance: 1e-6,
+            smoothing: 1.0,
+            prior_no: 0.5,
+        }
     }
 }
 
@@ -54,7 +59,9 @@ pub struct DawidSkeneFit {
 impl DawidSkeneFit {
     /// The maximum-a-posteriori answer for a task, if it was part of the fit.
     pub fn map_answer(&self, task: TaskId) -> Option<Answer> {
-        self.posterior_no.get(&task).map(|&p| if p >= 0.5 { Answer::No } else { Answer::Yes })
+        self.posterior_no
+            .get(&task)
+            .map(|&p| if p >= 0.5 { Answer::No } else { Answer::Yes })
     }
 
     /// The fraction of tasks whose MAP answer matches the dataset's ground
@@ -106,7 +113,11 @@ pub fn fit(dataset: &CrowdDataset, config: DawidSkeneConfig) -> DawidSkeneFit {
             let mut log_no = config.prior_no.max(1e-12).ln();
             let mut log_yes = (1.0 - config.prior_no).max(1e-12).ln();
             for vote in task.votes() {
-                let q = qualities.get(&vote.worker).copied().unwrap_or(0.6).clamp(1e-6, 1.0 - 1e-6);
+                let q = qualities
+                    .get(&vote.worker)
+                    .copied()
+                    .unwrap_or(0.6)
+                    .clamp(1e-6, 1.0 - 1e-6);
                 match vote.answer {
                     Answer::No => {
                         log_no += q.ln();
@@ -156,7 +167,12 @@ pub fn fit(dataset: &CrowdDataset, config: DawidSkeneConfig) -> DawidSkeneFit {
         }
     }
 
-    DawidSkeneFit { qualities, posterior_no, iterations, converged }
+    DawidSkeneFit {
+        qualities,
+        posterior_no,
+        iterations,
+        converged,
+    }
 }
 
 #[cfg(test)]
@@ -174,11 +190,14 @@ mod tests {
             assignments_per_hit: votes_per_task,
             reward_per_hit: 0.02,
         });
-        let truths: Vec<Answer> =
-            (0..300).map(|i| if i % 3 == 0 { Answer::No } else { Answer::Yes }).collect();
+        let truths: Vec<Answer> = (0..300)
+            .map(|i| if i % 3 == 0 { Answer::No } else { Answer::Yes })
+            .collect();
         let activity = vec![1.0; workers.len()];
         let mut rng = StdRng::seed_from_u64(seed);
-        let dataset = platform.run_campaign(&workers, &truths, &activity, &mut rng).unwrap();
+        let dataset = platform
+            .run_campaign(&workers, &truths, &activity, &mut rng)
+            .unwrap();
         (workers, dataset)
     }
 
@@ -187,7 +206,11 @@ mod tests {
         let latent = [0.9, 0.85, 0.8, 0.75, 0.7, 0.65, 0.6, 0.55];
         let (workers, dataset) = simulated(3, &latent, 6);
         let fit = fit(&dataset, DawidSkeneConfig::default());
-        assert!(fit.converged, "EM did not converge in {} iterations", fit.iterations);
+        assert!(
+            fit.converged,
+            "EM did not converge in {} iterations",
+            fit.iterations
+        );
         let reference: BTreeMap<WorkerId, f64> =
             workers.iter().map(|w| (w.id(), w.quality())).collect();
         let mae = crate::estimation::mean_absolute_error(&fit.qualities, &reference);
@@ -227,7 +250,11 @@ mod tests {
     fn em_respects_the_iteration_cap() {
         let latent = [0.8, 0.7, 0.6];
         let (_workers, dataset) = simulated(9, &latent, 3);
-        let config = DawidSkeneConfig { max_iterations: 1, tolerance: 0.0, ..Default::default() };
+        let config = DawidSkeneConfig {
+            max_iterations: 1,
+            tolerance: 0.0,
+            ..Default::default()
+        };
         let fit = fit(&dataset, config);
         assert_eq!(fit.iterations, 1);
         assert!(!fit.converged);

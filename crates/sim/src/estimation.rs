@@ -47,8 +47,12 @@ pub fn golden_question_qualities(
     smoothing: f64,
 ) -> BTreeMap<WorkerId, f64> {
     let golden_set: std::collections::BTreeSet<TaskId> = golden.iter().copied().collect();
-    let mut counts: BTreeMap<WorkerId, (usize, usize)> =
-        dataset.workers().ids().into_iter().map(|id| (id, (0, 0))).collect();
+    let mut counts: BTreeMap<WorkerId, (usize, usize)> = dataset
+        .workers()
+        .ids()
+        .into_iter()
+        .map(|id| (id, (0, 0)))
+        .collect();
     for task in dataset.tasks() {
         if !golden_set.contains(&task.id()) {
             continue;
@@ -64,8 +68,11 @@ pub fn golden_question_qualities(
     counts
         .into_iter()
         .map(|(worker, (answered, correct))| {
-            let quality =
-                if answered == 0 { 0.5 } else { smoothed_accuracy(correct, answered, smoothing) };
+            let quality = if answered == 0 {
+                0.5
+            } else {
+                smoothed_accuracy(correct, answered, smoothing)
+            };
             (worker, quality)
         })
         .collect()
@@ -76,8 +83,12 @@ pub fn golden_question_qualities(
 /// This is the crudest self-consistent estimator and serves as the
 /// initialization of the Dawid–Skene EM in [`crate::dawid_skene`].
 pub fn majority_agreement_qualities(dataset: &CrowdDataset) -> BTreeMap<WorkerId, f64> {
-    let mut agreement: BTreeMap<WorkerId, (f64, usize)> =
-        dataset.workers().ids().into_iter().map(|id| (id, (0.0, 0))).collect();
+    let mut agreement: BTreeMap<WorkerId, (f64, usize)> = dataset
+        .workers()
+        .ids()
+        .into_iter()
+        .map(|id| (id, (0.0, 0)))
+        .collect();
     for task in dataset.tasks() {
         let votes = task.votes();
         if votes.is_empty() {
@@ -91,7 +102,11 @@ pub fn majority_agreement_qualities(dataset: &CrowdDataset) -> BTreeMap<WorkerId
             if no_count == yes_count {
                 entry.0 += 0.5;
             } else {
-                let majority = if no_count > yes_count { Answer::No } else { Answer::Yes };
+                let majority = if no_count > yes_count {
+                    Answer::No
+                } else {
+                    Answer::Yes
+                };
                 if vote.answer == majority {
                     entry.0 += 1.0;
                 }
@@ -101,7 +116,11 @@ pub fn majority_agreement_qualities(dataset: &CrowdDataset) -> BTreeMap<WorkerId
     agreement
         .into_iter()
         .map(|(worker, (agree, total))| {
-            let quality = if total == 0 { 0.5 } else { agree / total as f64 };
+            let quality = if total == 0 {
+                0.5
+            } else {
+                agree / total as f64
+            };
             (worker, quality)
         })
         .collect()
@@ -117,7 +136,10 @@ pub fn pool_with_estimated_qualities(
     let workers: Vec<Worker> = pool
         .iter()
         .map(|w| {
-            let quality = estimates.get(&w.id()).copied().unwrap_or_else(|| w.quality());
+            let quality = estimates
+                .get(&w.id())
+                .copied()
+                .unwrap_or_else(|| w.quality());
             Worker::new(w.id(), quality.clamp(0.0, 1.0), w.cost())
                 .expect("clamped quality and existing cost are valid")
         })
@@ -165,11 +187,14 @@ mod tests {
             assignments_per_hit: 6,
             reward_per_hit: 0.02,
         });
-        let truths: Vec<Answer> =
-            (0..400).map(|i| if i % 2 == 0 { Answer::Yes } else { Answer::No }).collect();
+        let truths: Vec<Answer> = (0..400)
+            .map(|i| if i % 2 == 0 { Answer::Yes } else { Answer::No })
+            .collect();
         let activity = vec![1.0; workers.len()];
         let mut rng = StdRng::seed_from_u64(seed);
-        let dataset = platform.run_campaign(&workers, &truths, &activity, &mut rng).unwrap();
+        let dataset = platform
+            .run_campaign(&workers, &truths, &activity, &mut rng)
+            .unwrap();
         (workers, dataset)
     }
 
@@ -190,7 +215,10 @@ mod tests {
         let (workers, dataset) = simulated_dataset(11);
         let estimates = empirical_qualities(&dataset, 0.0);
         let mae = mean_absolute_error(&estimates, &latent_qualities(&workers));
-        assert!(mae < 0.05, "MAE {mae} too large with ~300 answers per worker");
+        assert!(
+            mae < 0.05,
+            "MAE {mae} too large with ~300 answers per worker"
+        );
     }
 
     #[test]
@@ -224,8 +252,7 @@ mod tests {
 
     #[test]
     fn pool_rewrite_preserves_costs_and_ids() {
-        let pool =
-            WorkerPool::from_qualities_and_costs(&[0.6, 0.7], &[1.0, 2.0]).unwrap();
+        let pool = WorkerPool::from_qualities_and_costs(&[0.6, 0.7], &[1.0, 2.0]).unwrap();
         let mut estimates = BTreeMap::new();
         estimates.insert(WorkerId(0), 0.95);
         let rebuilt = pool_with_estimated_qualities(&pool, &estimates);

@@ -12,7 +12,7 @@
 use rand::Rng;
 
 use jury_model::{
-    Answer, CrowdDataset, ModelError, ModelResult, Prior, TaskRecord, TaskId, WorkerId, WorkerPool,
+    Answer, CrowdDataset, ModelError, ModelResult, Prior, TaskId, TaskRecord, WorkerId, WorkerPool,
 };
 
 use crate::answering::draw_vote;
@@ -32,7 +32,11 @@ pub struct PlatformConfig {
 
 impl Default for PlatformConfig {
     fn default() -> Self {
-        PlatformConfig { questions_per_hit: 20, assignments_per_hit: 20, reward_per_hit: 0.02 }
+        PlatformConfig {
+            questions_per_hit: 20,
+            assignments_per_hit: 20,
+            reward_per_hit: 0.02,
+        }
     }
 }
 
@@ -76,7 +80,10 @@ impl SimulatedPlatform {
             .collect::<Vec<_>>()
             .chunks(per)
             .enumerate()
-            .map(|(index, chunk)| Hit { index, tasks: chunk.to_vec() })
+            .map(|(index, chunk)| Hit {
+                index,
+                tasks: chunk.to_vec(),
+            })
             .collect()
     }
 
@@ -96,7 +103,9 @@ impl SimulatedPlatform {
         rng: &mut R,
     ) -> ModelResult<CrowdDataset> {
         if workers.is_empty() {
-            return Err(ModelError::Empty { what: "worker pool" });
+            return Err(ModelError::Empty {
+                what: "worker pool",
+            });
         }
         if workers.len() != activity.len() {
             return Err(ModelError::VoteCountMismatch {
@@ -174,7 +183,9 @@ mod tests {
     use rand::SeedableRng;
 
     fn truths(n: usize) -> Vec<Answer> {
-        (0..n).map(|i| if i % 2 == 0 { Answer::Yes } else { Answer::No }).collect()
+        (0..n)
+            .map(|i| if i % 2 == 0 { Answer::Yes } else { Answer::No })
+            .collect()
     }
 
     #[test]
@@ -198,7 +209,9 @@ mod tests {
         let workers = WorkerPool::from_qualities(&[0.9, 0.8, 0.7, 0.6, 0.75, 0.85, 0.65]).unwrap();
         let activity = vec![1.0; workers.len()];
         let mut rng = StdRng::seed_from_u64(1);
-        let dataset = platform.run_campaign(&workers, &truths(30), &activity, &mut rng).unwrap();
+        let dataset = platform
+            .run_campaign(&workers, &truths(30), &activity, &mut rng)
+            .unwrap();
         assert_eq!(dataset.num_tasks(), 30);
         // Every task receives exactly `assignments_per_hit` votes from
         // distinct workers.
@@ -223,8 +236,9 @@ mod tests {
         let workers = WorkerPool::from_qualities(&[0.95, 0.9, 0.92]).unwrap();
         let activity = vec![1.0; 3];
         let mut rng = StdRng::seed_from_u64(2);
-        let dataset =
-            platform.run_campaign(&workers, &truths(200), &activity, &mut rng).unwrap();
+        let dataset = platform
+            .run_campaign(&workers, &truths(200), &activity, &mut rng)
+            .unwrap();
         let mean_quality = dataset.mean_empirical_quality();
         assert!(mean_quality > 0.85, "observed quality {mean_quality}");
     }
@@ -241,12 +255,17 @@ mod tests {
         let mut activity = vec![0.01; 10];
         activity[0] = 5.0;
         let mut rng = StdRng::seed_from_u64(3);
-        let dataset =
-            platform.run_campaign(&workers, &truths(100), &activity, &mut rng).unwrap();
+        let dataset = platform
+            .run_campaign(&workers, &truths(100), &activity, &mut rng)
+            .unwrap();
         let stats = dataset.worker_stats();
         let busiest = stats.iter().max_by_key(|s| s.answered).unwrap();
         assert_eq!(busiest.worker, WorkerId(0));
-        assert!(busiest.answered >= 90, "dominant worker answered {}", busiest.answered);
+        assert!(
+            busiest.answered >= 90,
+            "dominant worker answered {}",
+            busiest.answered
+        );
     }
 
     #[test]
@@ -264,7 +283,9 @@ mod tests {
             assignments_per_hit: 2,
             reward_per_hit: 0.02,
         });
-        assert!(platform.run_campaign(&workers, &truths(10), &[1.0], &mut rng).is_err());
+        assert!(platform
+            .run_campaign(&workers, &truths(10), &[1.0], &mut rng)
+            .is_err());
         // Empty pool.
         assert!(platform
             .run_campaign(&WorkerPool::new(), &truths(10), &[], &mut rng)

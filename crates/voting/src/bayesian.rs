@@ -66,7 +66,13 @@ impl VotingStrategy for BayesianVoting {
     }
 
     fn prob_no(&self, jury: &Jury, votes: &[Answer], prior: Prior) -> ModelResult<f64> {
-        Ok(if BayesianVoting::result(jury, votes, prior)? == Answer::No { 1.0 } else { 0.0 })
+        Ok(
+            if BayesianVoting::result(jury, votes, prior)? == Answer::No {
+                1.0
+            } else {
+                0.0
+            },
+        )
     }
 }
 
@@ -85,7 +91,10 @@ mod tests {
         // while MV returns 1.
         let jury = Jury::from_qualities(&[0.9, 0.6, 0.6]).unwrap();
         let votes = [N, Y, Y];
-        assert_eq!(BayesianVoting::result(&jury, &votes, Prior::uniform()).unwrap(), N);
+        assert_eq!(
+            BayesianVoting::result(&jury, &votes, Prior::uniform()).unwrap(),
+            N
+        );
         assert_eq!(MajorityVoting::result(&votes), Y);
     }
 
@@ -95,11 +104,13 @@ mod tests {
         // are 0.018 (t=0) and 0.072 (t=1), so BV answers 1.
         let jury = Jury::from_qualities(&[0.9, 0.6, 0.6]).unwrap();
         let votes = [Y, N, N];
-        let (p0, p1) =
-            BayesianVoting::posterior_weights(&jury, &votes, Prior::uniform()).unwrap();
+        let (p0, p1) = BayesianVoting::posterior_weights(&jury, &votes, Prior::uniform()).unwrap();
         assert!((p0 - 0.018).abs() < 1e-12);
         assert!((p1 - 0.072).abs() < 1e-12);
-        assert_eq!(BayesianVoting::result(&jury, &votes, Prior::uniform()).unwrap(), Y);
+        assert_eq!(
+            BayesianVoting::result(&jury, &votes, Prior::uniform()).unwrap(),
+            Y
+        );
     }
 
     #[test]
@@ -107,8 +118,14 @@ mod tests {
         // A single worker with quality 0.5 and a uniform prior gives equal
         // posteriors; Theorem 1 assigns the result 0 in that case.
         let jury = Jury::from_qualities(&[0.5]).unwrap();
-        assert_eq!(BayesianVoting::result(&jury, &[Y], Prior::uniform()).unwrap(), N);
-        assert_eq!(BayesianVoting::result(&jury, &[N], Prior::uniform()).unwrap(), N);
+        assert_eq!(
+            BayesianVoting::result(&jury, &[Y], Prior::uniform()).unwrap(),
+            N
+        );
+        assert_eq!(
+            BayesianVoting::result(&jury, &[N], Prior::uniform()).unwrap(),
+            N
+        );
     }
 
     #[test]
@@ -118,15 +135,24 @@ mod tests {
         let strong_no = Prior::new(0.9).unwrap();
         assert_eq!(BayesianVoting::result(&jury, &[Y], strong_no).unwrap(), N);
         // With a weak prior the vote wins.
-        assert_eq!(BayesianVoting::result(&jury, &[Y], Prior::uniform()).unwrap(), Y);
+        assert_eq!(
+            BayesianVoting::result(&jury, &[Y], Prior::uniform()).unwrap(),
+            Y
+        );
     }
 
     #[test]
     fn bv_handles_adversarial_workers_natively() {
         // A worker with quality 0.1 voting Yes is strong evidence for No.
         let jury = Jury::from_qualities(&[0.1]).unwrap();
-        assert_eq!(BayesianVoting::result(&jury, &[Y], Prior::uniform()).unwrap(), N);
-        assert_eq!(BayesianVoting::result(&jury, &[N], Prior::uniform()).unwrap(), Y);
+        assert_eq!(
+            BayesianVoting::result(&jury, &[Y], Prior::uniform()).unwrap(),
+            N
+        );
+        assert_eq!(
+            BayesianVoting::result(&jury, &[N], Prior::uniform()).unwrap(),
+            Y
+        );
     }
 
     #[test]
@@ -149,9 +175,13 @@ mod tests {
     #[test]
     fn prob_no_is_indicator() {
         let jury = Jury::from_qualities(&[0.9, 0.6, 0.6]).unwrap();
-        let p = BayesianVoting.prob_no(&jury, &[N, Y, Y], Prior::uniform()).unwrap();
+        let p = BayesianVoting
+            .prob_no(&jury, &[N, Y, Y], Prior::uniform())
+            .unwrap();
         assert_eq!(p, 1.0);
-        let p = BayesianVoting.prob_no(&jury, &[Y, N, N], Prior::uniform()).unwrap();
+        let p = BayesianVoting
+            .prob_no(&jury, &[Y, N, N], Prior::uniform())
+            .unwrap();
         assert_eq!(p, 0.0);
     }
 

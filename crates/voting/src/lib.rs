@@ -67,7 +67,10 @@ mod proptests {
     use proptest::prelude::*;
 
     fn jury_strategy() -> impl Strategy<Value = Vec<f64>> {
-        proptest::collection::vec((0.0f64..=1.0).prop_map(|q| (q * 100.0).round() / 100.0), 1..6)
+        proptest::collection::vec(
+            (0.0f64..=1.0).prop_map(|q| (q * 100.0).round() / 100.0),
+            1..6,
+        )
     }
 
     proptest! {

@@ -30,7 +30,7 @@ impl MajorityVoting {
     pub fn result(votes: &[Answer]) -> Answer {
         let n = votes.len();
         // Σ (1 - v_i) ≥ (n + 1) / 2  ⇔  2 · count_no ≥ n + 1.
-        if 2 * count_no(votes) >= n + 1 {
+        if 2 * count_no(votes) > n {
             Answer::No
         } else {
             Answer::Yes
@@ -49,7 +49,11 @@ impl VotingStrategy for MajorityVoting {
 
     fn prob_no(&self, jury: &Jury, votes: &[Answer], _prior: Prior) -> ModelResult<f64> {
         jury.check_voting(votes)?;
-        Ok(if MajorityVoting::result(votes) == Answer::No { 1.0 } else { 0.0 })
+        Ok(if MajorityVoting::result(votes) == Answer::No {
+            1.0
+        } else {
+            0.0
+        })
     }
 }
 
@@ -90,7 +94,11 @@ impl VotingStrategy for HalfVoting {
 
     fn prob_no(&self, jury: &Jury, votes: &[Answer], _prior: Prior) -> ModelResult<f64> {
         jury.check_voting(votes)?;
-        Ok(if HalfVoting::result(votes) == Answer::No { 1.0 } else { 0.0 })
+        Ok(if HalfVoting::result(votes) == Answer::No {
+            1.0
+        } else {
+            0.0
+        })
     }
 }
 
@@ -134,12 +142,18 @@ mod tests {
     #[test]
     fn mv_prob_no_is_indicator() {
         let jury = Jury::from_qualities(&[0.9, 0.6, 0.6]).unwrap();
-        let p = MajorityVoting.prob_no(&jury, &[Y, N, N], Prior::uniform()).unwrap();
+        let p = MajorityVoting
+            .prob_no(&jury, &[Y, N, N], Prior::uniform())
+            .unwrap();
         assert_eq!(p, 1.0);
-        let p = MajorityVoting.prob_no(&jury, &[Y, Y, N], Prior::uniform()).unwrap();
+        let p = MajorityVoting
+            .prob_no(&jury, &[Y, Y, N], Prior::uniform())
+            .unwrap();
         assert_eq!(p, 0.0);
         // Vote-count mismatch is an error.
-        assert!(MajorityVoting.prob_no(&jury, &[Y], Prior::uniform()).is_err());
+        assert!(MajorityVoting
+            .prob_no(&jury, &[Y], Prior::uniform())
+            .is_err());
     }
 
     #[test]
@@ -149,7 +163,9 @@ mod tests {
         // The high-quality worker votes No but MV follows the two Yes votes,
         // regardless of the prior.
         for alpha in [0.0, 0.5, 1.0] {
-            let p = MajorityVoting.prob_no(&strong, &votes, Prior::new(alpha).unwrap()).unwrap();
+            let p = MajorityVoting
+                .prob_no(&strong, &votes, Prior::new(alpha).unwrap())
+                .unwrap();
             assert_eq!(p, 0.0);
         }
     }

@@ -53,13 +53,12 @@ pub trait MultiClassVotingStrategy: Send + Sync {
     }
 }
 
-fn check_inputs(
-    jury: &MatrixJury,
-    votes: &[Label],
-    prior: &CategoricalPrior,
-) -> ModelResult<()> {
+fn check_inputs(jury: &MatrixJury, votes: &[Label], prior: &CategoricalPrior) -> ModelResult<()> {
     if votes.len() != jury.size() {
-        return Err(ModelError::VoteCountMismatch { votes: votes.len(), jurors: jury.size() });
+        return Err(ModelError::VoteCountMismatch {
+            votes: votes.len(),
+            jurors: jury.size(),
+        });
     }
     if prior.num_choices() != jury.num_choices() {
         return Err(ModelError::InvalidPriorVector {
@@ -122,7 +121,13 @@ impl MultiClassVotingStrategy for PluralityVoting {
         target: Label,
     ) -> ModelResult<f64> {
         check_inputs(jury, votes, prior)?;
-        Ok(if PluralityVoting::result(votes, jury.num_choices()) == target { 1.0 } else { 0.0 })
+        Ok(
+            if PluralityVoting::result(votes, jury.num_choices()) == target {
+                1.0
+            } else {
+                0.0
+            },
+        )
     }
 }
 
@@ -184,7 +189,13 @@ impl MultiClassVotingStrategy for BayesianMultiClassVoting {
         prior: &CategoricalPrior,
         target: Label,
     ) -> ModelResult<f64> {
-        Ok(if BayesianMultiClassVoting::result(jury, votes, prior)? == target { 1.0 } else { 0.0 })
+        Ok(
+            if BayesianMultiClassVoting::result(jury, votes, prior)? == target {
+                1.0
+            } else {
+                0.0
+            },
+        )
     }
 }
 
@@ -209,10 +220,17 @@ mod tests {
         let jury = MatrixJury::from_qualities(&[0.8, 0.6, 0.6], 3).unwrap();
         let prior = CategoricalPrior::uniform(3).unwrap();
         let votes = [Label(1), Label(1), Label(2)];
-        let p1 = PluralityVoting.prob_label(&jury, &votes, &prior, Label(1)).unwrap();
-        let p2 = PluralityVoting.prob_label(&jury, &votes, &prior, Label(2)).unwrap();
+        let p1 = PluralityVoting
+            .prob_label(&jury, &votes, &prior, Label(1))
+            .unwrap();
+        let p2 = PluralityVoting
+            .prob_label(&jury, &votes, &prior, Label(2))
+            .unwrap();
         assert_eq!((p1, p2), (1.0, 0.0));
-        assert_eq!(PluralityVoting.decide(&jury, &votes, &prior).unwrap(), Label(1));
+        assert_eq!(
+            PluralityVoting.decide(&jury, &votes, &prior).unwrap(),
+            Label(1)
+        );
     }
 
     #[test]
@@ -271,7 +289,9 @@ mod tests {
         let jury = MatrixJury::from_qualities(&[0.8, 0.7], 3).unwrap();
         let prior3 = CategoricalPrior::uniform(3).unwrap();
         let prior2 = CategoricalPrior::uniform(2).unwrap();
-        assert!(PluralityVoting.prob_label(&jury, &[Label(0)], &prior3, Label(0)).is_err());
+        assert!(PluralityVoting
+            .prob_label(&jury, &[Label(0)], &prior3, Label(0))
+            .is_err());
         assert!(PluralityVoting
             .prob_label(&jury, &[Label(0), Label(0)], &prior2, Label(0))
             .is_err());

@@ -100,7 +100,9 @@ mod tests {
     #[test]
     fn rmv_empty_jury_is_a_coin() {
         let jury = Jury::empty();
-        let p = RandomizedMajorityVoting.prob_no(&jury, &[], Prior::uniform()).unwrap();
+        let p = RandomizedMajorityVoting
+            .prob_no(&jury, &[], Prior::uniform())
+            .unwrap();
         assert!((p - 0.5).abs() < 1e-12);
     }
 
@@ -108,7 +110,9 @@ mod tests {
     fn rbv_ignores_votes() {
         let jury = Jury::from_qualities(&[0.99, 0.99]).unwrap();
         for votes in jury_model::enumerate_binary_votings(2) {
-            let p = RandomBallotVoting.prob_no(&jury, &votes, Prior::uniform()).unwrap();
+            let p = RandomBallotVoting
+                .prob_no(&jury, &votes, Prior::uniform())
+                .unwrap();
             assert!((p - 0.5).abs() < 1e-12);
         }
     }
@@ -116,8 +120,12 @@ mod tests {
     #[test]
     fn vote_count_mismatch_is_rejected() {
         let jury = Jury::from_qualities(&[0.9, 0.6]).unwrap();
-        assert!(RandomizedMajorityVoting.prob_no(&jury, &[N], Prior::uniform()).is_err());
-        assert!(RandomBallotVoting.prob_no(&jury, &[N, Y, Y], Prior::uniform()).is_err());
+        assert!(RandomizedMajorityVoting
+            .prob_no(&jury, &[N], Prior::uniform())
+            .is_err());
+        assert!(RandomBallotVoting
+            .prob_no(&jury, &[N, Y, Y], Prior::uniform())
+            .is_err());
     }
 
     #[test]

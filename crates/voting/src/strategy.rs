@@ -159,7 +159,9 @@ mod tests {
             .unwrap();
         assert_eq!(d, Answer::No);
         assert_eq!(
-            AlwaysNo.decide_deterministic(&jury, &[Answer::Yes], Prior::uniform()).unwrap(),
+            AlwaysNo
+                .decide_deterministic(&jury, &[Answer::Yes], Prior::uniform())
+                .unwrap(),
             Answer::No
         );
     }
@@ -171,14 +173,19 @@ mod tests {
         let mut nos = 0;
         let trials = 4000;
         for _ in 0..trials {
-            if Coin.decide(&jury, &[Answer::Yes], Prior::uniform(), &mut rng).unwrap()
+            if Coin
+                .decide(&jury, &[Answer::Yes], Prior::uniform(), &mut rng)
+                .unwrap()
                 == Answer::No
             {
                 nos += 1;
             }
         }
         let freq = nos as f64 / trials as f64;
-        assert!((freq - 0.5).abs() < 0.05, "coin frequency {freq} far from 0.5");
+        assert!(
+            (freq - 0.5).abs() < 0.05,
+            "coin frequency {freq} far from 0.5"
+        );
     }
 
     #[test]

@@ -28,7 +28,9 @@ pub struct TriadicConsensus {
 impl TriadicConsensus {
     /// Creates the strategy with an empty memo table.
     pub fn new() -> Self {
-        TriadicConsensus { cache: Mutex::new(HashMap::new()) }
+        TriadicConsensus {
+            cache: Mutex::new(HashMap::new()),
+        }
     }
 
     /// Exact probability that the consensus process ends with a `No` ballot,
@@ -163,7 +165,10 @@ mod tests {
         // used by RMV (5/7 ≈ 0.714).
         let t = TriadicConsensus::new();
         let p = t.prob_no_from_counts(5, 2);
-        assert!(p > 5.0 / 7.0, "triadic prob {p} should exceed the raw share");
+        assert!(
+            p > 5.0 / 7.0,
+            "triadic prob {p} should exceed the raw share"
+        );
     }
 
     #[test]

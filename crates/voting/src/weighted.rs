@@ -22,7 +22,11 @@ fn weight_split(jury: &Jury, votes: &[Answer]) -> ModelResult<(f64, f64)> {
     for (worker, &vote) in jury.workers().iter().zip(votes.iter()) {
         let weight = worker.log_odds();
         // An adversarial worker's vote counts for the opposite answer.
-        let effective_vote = if worker.is_adversarial() { vote.flip() } else { vote };
+        let effective_vote = if worker.is_adversarial() {
+            vote.flip()
+        } else {
+            vote
+        };
         match effective_vote {
             Answer::No => weight_no += weight,
             Answer::Yes => weight_yes += weight,
@@ -45,7 +49,11 @@ impl WeightedMajorityVoting {
     /// The deterministic result on a voting.
     pub fn result(jury: &Jury, votes: &[Answer]) -> ModelResult<Answer> {
         let (weight_no, weight_yes) = weight_split(jury, votes)?;
-        Ok(if weight_no >= weight_yes { Answer::No } else { Answer::Yes })
+        Ok(if weight_no >= weight_yes {
+            Answer::No
+        } else {
+            Answer::Yes
+        })
     }
 }
 
@@ -59,7 +67,13 @@ impl VotingStrategy for WeightedMajorityVoting {
     }
 
     fn prob_no(&self, jury: &Jury, votes: &[Answer], _prior: Prior) -> ModelResult<f64> {
-        Ok(if WeightedMajorityVoting::result(jury, votes)? == Answer::No { 1.0 } else { 0.0 })
+        Ok(
+            if WeightedMajorityVoting::result(jury, votes)? == Answer::No {
+                1.0
+            } else {
+                0.0
+            },
+        )
     }
 }
 
@@ -108,9 +122,15 @@ mod tests {
         // One 0.9 worker voting No outweighs two 0.6 workers voting Yes,
         // because φ(0.9) ≈ 2.197 > 2·φ(0.6) ≈ 0.811.
         let jury = Jury::from_qualities(&[0.9, 0.6, 0.6]).unwrap();
-        assert_eq!(WeightedMajorityVoting::result(&jury, &[N, Y, Y]).unwrap(), N);
+        assert_eq!(
+            WeightedMajorityVoting::result(&jury, &[N, Y, Y]).unwrap(),
+            N
+        );
         // Three 0.6 workers outweigh nobody: all-Yes wins.
-        assert_eq!(WeightedMajorityVoting::result(&jury, &[Y, Y, Y]).unwrap(), Y);
+        assert_eq!(
+            WeightedMajorityVoting::result(&jury, &[Y, Y, Y]).unwrap(),
+            Y
+        );
     }
 
     #[test]
@@ -130,7 +150,9 @@ mod tests {
         // BV follows the prior; WMV follows the single vote.
         assert_eq!(BayesianVoting::result(&jury, &[Y], strong_no).unwrap(), N);
         assert_eq!(
-            WeightedMajorityVoting.decide_deterministic(&jury, &[Y], strong_no).unwrap(),
+            WeightedMajorityVoting
+                .decide_deterministic(&jury, &[Y], strong_no)
+                .unwrap(),
             Y
         );
     }
@@ -168,6 +190,9 @@ mod tests {
         assert_eq!(WeightedMajorityVoting.name(), "WMV");
         assert_eq!(WeightedMajorityVoting.kind(), StrategyKind::Deterministic);
         assert_eq!(RandomizedWeightedMajorityVoting.name(), "RWMV");
-        assert_eq!(RandomizedWeightedMajorityVoting.kind(), StrategyKind::Randomized);
+        assert_eq!(
+            RandomizedWeightedMajorityVoting.kind(),
+            StrategyKind::Randomized
+        );
     }
 }

@@ -32,7 +32,9 @@ fn main() {
 
     // Budget-quality table under OPTJS.
     let budgets: Vec<f64> = (1..=8).map(|i| i as f64 * 0.1).collect();
-    let table = optjs.budget_quality_table(&pool, &budgets, Prior::uniform());
+    let table = optjs
+        .budget_quality_table(&pool, &budgets, Prior::uniform())
+        .expect("the example budgets are valid");
     println!("OPTJS budget-quality table:");
     println!("{}", table.render());
 
@@ -51,11 +53,18 @@ fn main() {
     // Head-to-head with the MVJS baseline at each budget.
     let mut comparison = ComparisonSeries::new("budget");
     for &budget in &budgets {
-        let o = optjs.select(&pool, budget, Prior::uniform());
-        let m = mvjs.select(&pool, budget, Prior::uniform());
+        let o = optjs
+            .select(&pool, budget, Prior::uniform())
+            .expect("the example budget is valid");
+        let m = mvjs
+            .select(&pool, budget, Prior::uniform())
+            .expect("the example budget is valid");
         comparison.push(budget, o.estimated_quality, m.estimated_quality);
     }
     println!("\nOPTJS vs the majority-voting baseline (MVJS):");
     println!("{}", comparison.render());
-    println!("Average OPTJS lead: {:+.2}%", comparison.mean_lead() * 100.0);
+    println!(
+        "Average OPTJS lead: {:+.2}%",
+        comparison.mean_lead() * 100.0
+    );
 }

@@ -12,9 +12,14 @@
 //! cargo run -p jury-examples --release --bin multiclass_confusion
 //! ```
 
-use jury_model::{CategoricalPrior, ConfusionMatrix, Label, MatrixJury, MatrixWorker, MultiClassTask, TaskId, WorkerId};
+use jury_jq::{
+    approx_multiclass_bv_jq, exact_multiclass_bv_jq, exact_multiclass_jq, MultiClassBucketConfig,
+};
+use jury_model::{
+    CategoricalPrior, ConfusionMatrix, Label, MatrixJury, MatrixWorker, MultiClassTask, TaskId,
+    WorkerId,
+};
 use jury_voting::{BayesianMultiClassVoting, MultiClassVotingStrategy, PluralityVoting};
-use jury_jq::{approx_multiclass_bv_jq, exact_multiclass_bv_jq, exact_multiclass_jq, MultiClassBucketConfig};
 
 fn main() {
     let task = MultiClassTask::sentiment(TaskId(1), "the new release is shockingly slow");
@@ -44,8 +49,18 @@ fn main() {
             2.0,
         )
         .unwrap(),
-        MatrixWorker::new(WorkerId(2), ConfusionMatrix::from_quality(0.7, 3).unwrap(), 1.5).unwrap(),
-        MatrixWorker::new(WorkerId(3), ConfusionMatrix::from_quality(0.4, 3).unwrap(), 0.5).unwrap(),
+        MatrixWorker::new(
+            WorkerId(2),
+            ConfusionMatrix::from_quality(0.7, 3).unwrap(),
+            1.5,
+        )
+        .unwrap(),
+        MatrixWorker::new(
+            WorkerId(3),
+            ConfusionMatrix::from_quality(0.4, 3).unwrap(),
+            0.5,
+        )
+        .unwrap(),
     ];
 
     println!("Worker informativeness (0 = pure spammer):");
@@ -65,20 +80,41 @@ fn main() {
     // A concrete voting: the strong worker says negative, two others say
     // neutral, the near-spammer says positive.
     let votes = vec![Label(2), Label(1), Label(1), Label(0)];
-    let plurality = PluralityVoting::new().decide(&jury, &votes, &prior).unwrap();
-    let bayesian = BayesianMultiClassVoting::new().decide(&jury, &votes, &prior).unwrap();
+    let plurality = PluralityVoting::new()
+        .decide(&jury, &votes, &prior)
+        .unwrap();
+    let bayesian = BayesianMultiClassVoting::new()
+        .decide(&jury, &votes, &prior)
+        .unwrap();
     println!("\nVotes (by worker): {votes:?}");
-    println!("Plurality voting answers: {} ({})", plurality, task.choices()[plurality.index()]);
-    println!("Bayesian voting answers:  {} ({})", bayesian, task.choices()[bayesian.index()]);
+    println!(
+        "Plurality voting answers: {} ({})",
+        plurality,
+        task.choices()[plurality.index()]
+    );
+    println!(
+        "Bayesian voting answers:  {} ({})",
+        bayesian,
+        task.choices()[bayesian.index()]
+    );
 
     // Jury quality under both strategies, exact and approximate.
     let jq_plurality = exact_multiclass_jq(&jury, &PluralityVoting::new(), &prior).unwrap();
     let jq_bv = exact_multiclass_bv_jq(&jury, &prior).unwrap();
     let jq_bv_approx =
         approx_multiclass_bv_jq(&jury, &prior, MultiClassBucketConfig::default()).unwrap();
-    println!("\nJury quality under plurality voting: {:.2}%", jq_plurality * 100.0);
-    println!("Jury quality under Bayesian voting:  {:.2}% (exact)", jq_bv * 100.0);
-    println!("Jury quality under Bayesian voting:  {:.2}% (bucketed approximation)", jq_bv_approx * 100.0);
+    println!(
+        "\nJury quality under plurality voting: {:.2}%",
+        jq_plurality * 100.0
+    );
+    println!(
+        "Jury quality under Bayesian voting:  {:.2}% (exact)",
+        jq_bv * 100.0
+    );
+    println!(
+        "Jury quality under Bayesian voting:  {:.2}% (bucketed approximation)",
+        jq_bv_approx * 100.0
+    );
     println!(
         "\nBayesian voting's lead over plurality: {:+.2}% — the Section 7 claim that BV stays optimal.",
         (jq_bv - jq_plurality) * 100.0

@@ -20,29 +20,46 @@ fn main() {
     // The decision-making task of Figure 1, with the provider's 70/30 prior.
     let task = DecisionTask::paper_example();
     println!("Task: {}", task.question());
-    println!("Prior: {} (the provider leans towards 'no')\n", task.prior());
+    println!(
+        "Prior: {} (the provider leans towards 'no')\n",
+        task.prior()
+    );
 
     // The seven candidate workers A–G with their (quality, cost) pairs.
     let pool = paper_example_pool();
     println!("Candidate workers:");
     for worker in pool.iter() {
-        println!("  {}: quality {:.2}, cost ${:.0}", worker.id(), worker.quality(), worker.cost());
+        println!(
+            "  {}: quality {:.2}, cost ${:.0}",
+            worker.id(),
+            worker.quality(),
+            worker.cost()
+        );
     }
 
     // Build the budget–quality table so the provider can choose a budget.
     let system = Optjs::new(SystemConfig::paper_experiments());
-    let table = system.budget_quality_table(&pool, &[5.0, 10.0, 15.0, 20.0], Prior::uniform());
+    let table = system
+        .budget_quality_table(&pool, &[5.0, 10.0, 15.0, 20.0], Prior::uniform())
+        .expect("the example budgets are valid");
     println!("\nBudget-quality table (uniform prior, as in Figure 1):");
     println!("{}", table.render());
 
     // The provider decides 15 units is the sweet spot; run the whole loop.
     let mut rng = StdRng::seed_from_u64(2015);
     let truth = task.ground_truth().unwrap_or(Answer::No);
-    let outcome = run_simulated_task(&system, &pool, 15.0, task.prior(), truth, &mut rng);
+    let outcome = run_simulated_task(&system, &pool, 15.0, task.prior(), truth, &mut rng)
+        .expect("the example budget is valid");
 
     println!("Selected jury: {:?}", outcome.selected);
     println!("Jury cost: ${:.0}", outcome.cost);
-    println!("Predicted jury quality: {:.2}%", outcome.predicted_jq * 100.0);
-    println!("Aggregated answer: {}  (ground truth: {})", outcome.decided, outcome.truth);
+    println!(
+        "Predicted jury quality: {:.2}%",
+        outcome.predicted_jq * 100.0
+    );
+    println!(
+        "Aggregated answer: {}  (ground truth: {})",
+        outcome.decided, outcome.truth
+    );
     println!("Correct: {}", outcome.is_correct());
 }

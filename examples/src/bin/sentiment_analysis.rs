@@ -12,13 +12,13 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use jury_jq::JqEngine;
 use jury_model::Prior;
 use jury_optjs::{run_on_dataset, Optjs, SystemConfig};
 use jury_sim::{
     dawid_skene_fit, empirical_qualities, mean_absolute_error, prefix_sweep, AmtCampaignConfig,
     AmtSimulator, DawidSkeneConfig,
 };
-use jury_jq::JqEngine;
 
 fn main() {
     // Simulate the crowdsourcing campaign: 150 tweets, 64 workers, 20 votes
@@ -41,7 +41,10 @@ fn main() {
         dataset.num_workers(),
         dataset.mean_answers_per_worker()
     );
-    println!("Mean empirical worker quality: {:.3}\n", dataset.mean_empirical_quality());
+    println!(
+        "Mean empirical worker quality: {:.3}\n",
+        dataset.mean_empirical_quality()
+    );
 
     // Worker quality estimation: ground-truth-based vs unsupervised EM.
     let empirical = empirical_qualities(&dataset, 0.0);
@@ -61,7 +64,8 @@ fn main() {
     // is the selected (cheaper) jury compared to using all 20 votes?
     let system = Optjs::new(SystemConfig::fast());
     for budget in [0.2, 0.5, 1.0] {
-        let report = run_on_dataset(&system, &dataset, budget);
+        let report =
+            run_on_dataset(&system, &dataset, budget).expect("the example budget is valid");
         println!(
             "budget {budget:.1}: accuracy {:.2}%, predicted JQ {:.2}%, mean jury cost {:.3}",
             report.accuracy * 100.0,

@@ -10,10 +10,10 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use jury_model::{GaussianWorkerGenerator, Jury, Prior};
-use jury_voting::all_strategies;
-use jury_sim::simulate_strategy_accuracy;
 use jury_jq::exact_jq;
+use jury_model::{GaussianWorkerGenerator, Jury, Prior};
+use jury_sim::simulate_strategy_accuracy;
+use jury_voting::all_strategies;
 
 fn main() {
     let generator = GaussianWorkerGenerator::paper_defaults();
@@ -25,7 +25,10 @@ fn main() {
         let jury = Jury::from_qualities(&qualities).unwrap();
         println!(
             "Jury of {n} workers (qualities: {:?})",
-            qualities.iter().map(|q| (q * 100.0).round() / 100.0).collect::<Vec<_>>()
+            qualities
+                .iter()
+                .map(|q| (q * 100.0).round() / 100.0)
+                .collect::<Vec<_>>()
         );
         println!(
             "{:<10} | {:<13} | {:>11} | {:>14}",

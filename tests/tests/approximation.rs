@@ -2,11 +2,11 @@
 //! Theorem 3, and the Section 4.4 error bound) against the exact back-ends.
 
 use jury_integration_tests::random_jury;
-use jury_model::{Jury, Prior};
 use jury_jq::{
     error_bound, exact_bv_jq, fold_prior, recommended_multiplier, BucketCount, BucketJqConfig,
     BucketJqEstimator, JqEngine,
 };
+use jury_model::{Jury, Prior};
 
 #[test]
 fn approximation_error_is_within_one_percent_at_the_paper_setting() {
@@ -22,13 +22,19 @@ fn approximation_error_is_within_one_percent_at_the_paper_setting() {
             let estimate = estimator.estimate(&jury, prior);
             let err = (exact - estimate.value).abs();
             worst = worst.max(err);
-            assert!(err <= 0.01 + 1e-9, "seed {seed}, alpha {alpha}: error {err}");
+            assert!(
+                err <= 0.01 + 1e-9,
+                "seed {seed}, alpha {alpha}: error {err}"
+            );
             assert!(err <= estimate.error_bound.max(0.01) + 1e-9);
         }
     }
     // In practice the error is far below the bound (the paper reports a
     // maximum of 0.01 % at numBuckets = 50; with 200·n buckets it is tiny).
-    assert!(worst < 0.005, "worst observed error {worst} suspiciously large");
+    assert!(
+        worst < 0.005,
+        "worst observed error {worst} suspiciously large"
+    );
 }
 
 #[test]
@@ -56,8 +62,14 @@ fn error_shrinks_as_buckets_grow() {
     let coarse = mean_error(5);
     let medium = mean_error(50);
     let fine = mean_error(500);
-    assert!(medium <= coarse + 1e-9, "mean error at 50 buckets ({medium}) above 5 buckets ({coarse})");
-    assert!(fine <= medium + 1e-9, "mean error at 500 buckets ({fine}) above 50 buckets ({medium})");
+    assert!(
+        medium <= coarse + 1e-9,
+        "mean error at 50 buckets ({medium}) above 5 buckets ({coarse})"
+    );
+    assert!(
+        fine <= medium + 1e-9,
+        "mean error at 500 buckets ({fine}) above 50 buckets ({medium})"
+    );
     assert!(fine < 1e-4, "mean error at 500 buckets still {fine}");
 }
 
@@ -116,7 +128,10 @@ fn engine_backends_agree_where_they_overlap() {
         let prior = Prior::new(0.4).unwrap();
         let auto = engine.bv_jq(&jury, prior).value;
         let exact = exact_bv_jq(&jury, prior).unwrap();
-        assert!((auto - exact).abs() < 1e-12, "engine chose enumeration for n=8");
+        assert!(
+            (auto - exact).abs() < 1e-12,
+            "engine chose enumeration for n=8"
+        );
         let approx_engine = JqEngine::approximate_only(BucketJqConfig::default());
         let approx = approx_engine.bv_jq(&jury, prior).value;
         assert!((approx - exact).abs() < 0.01);
@@ -132,9 +147,8 @@ fn adversarial_and_perfect_workers_are_handled() {
     let approx = BucketJqEstimator::default().estimate(&jury, Prior::uniform());
     assert!(approx.used_shortcut);
     assert!((exact - approx.value).abs() <= 0.01);
-    let no_shortcut = BucketJqEstimator::new(
-        BucketJqConfig::default().with_high_quality_shortcut(false),
-    )
-    .estimate(&jury, Prior::uniform());
+    let no_shortcut =
+        BucketJqEstimator::new(BucketJqConfig::default().with_high_quality_shortcut(false))
+            .estimate(&jury, Prior::uniform());
     assert!((exact - no_shortcut.value).abs() <= 0.02);
 }

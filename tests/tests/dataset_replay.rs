@@ -1,12 +1,12 @@
 //! Integration tests for the simulated AMT campaign and the Figure 10(d)
 //! "is JQ a good prediction?" machinery.
 
+use jury_jq::JqEngine;
 use jury_model::Prior;
 use jury_sim::{
     dawid_skene_fit, empirical_qualities, mean_absolute_error, prefix_sweep, AmtCampaignConfig,
     AmtSimulator, DawidSkeneConfig,
 };
-use jury_jq::JqEngine;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

@@ -13,15 +13,20 @@ use rand::SeedableRng;
 #[test]
 fn figure_1_budget_quality_table_is_reproduced_end_to_end() {
     let system = Optjs::new(SystemConfig::paper_experiments());
-    let table = system.budget_quality_table(
-        &paper_example_pool(),
-        &[5.0, 10.0, 15.0, 20.0],
-        Prior::uniform(),
-    );
+    let table = system
+        .budget_quality_table(
+            &paper_example_pool(),
+            &[5.0, 10.0, 15.0, 20.0],
+            Prior::uniform(),
+        )
+        .expect("the Figure 1 budgets are valid");
     let expected_quality = [0.75, 0.80, 0.845, 0.8695];
     let expected_required = [5.0, 9.0, 14.0, 20.0];
-    for ((row, &quality), &required) in
-        table.rows().iter().zip(expected_quality.iter()).zip(expected_required.iter())
+    for ((row, &quality), &required) in table
+        .rows()
+        .iter()
+        .zip(expected_quality.iter())
+        .zip(expected_required.iter())
     {
         assert!(
             (row.quality - quality).abs() < 1e-9,
@@ -45,8 +50,13 @@ fn figure_1_budget_quality_table_is_reproduced_end_to_end() {
 #[test]
 fn figure_1_budget_15_jury_is_b_c_g() {
     let system = Optjs::new(SystemConfig::paper_experiments());
-    let outcome = system.select(&paper_example_pool(), 15.0, Prior::uniform());
-    assert_eq!(outcome.worker_ids(), vec![WorkerId(1), WorkerId(2), WorkerId(6)]);
+    let outcome = system
+        .select(&paper_example_pool(), 15.0, Prior::uniform())
+        .unwrap();
+    assert_eq!(
+        outcome.worker_ids(),
+        vec![WorkerId(1), WorkerId(2), WorkerId(6)]
+    );
     assert!((outcome.cost - 14.0).abs() < 1e-9);
     assert!((outcome.estimated_quality - 0.845).abs() < 1e-9);
 }
@@ -61,7 +71,7 @@ fn optjs_beats_or_matches_mvjs_on_synthetic_pools() {
     for seed in 0..5u64 {
         let pool = random_pool(40, seed);
         for budget in [0.2, 0.5, 0.8] {
-            let (o, m) = compare_systems(&optjs, &mvjs, &pool, budget, Prior::uniform());
+            let (o, m) = compare_systems(&optjs, &mvjs, &pool, budget, Prior::uniform()).unwrap();
             assert_eq!(o.system, SystemKind::Optjs);
             assert_eq!(m.system, SystemKind::Mvjs);
             assert!(
@@ -89,7 +99,7 @@ fn simulated_task_pipeline_is_calibrated() {
     for i in 0..trials {
         let truth = if i % 2 == 0 { Answer::Yes } else { Answer::No };
         let outcome =
-            run_simulated_task(&system, &pool, 20.0, Prior::uniform(), truth, &mut rng);
+            run_simulated_task(&system, &pool, 20.0, Prior::uniform(), truth, &mut rng).unwrap();
         assert!(outcome.cost <= 20.0 + 1e-9);
         if outcome.is_correct() {
             correct += 1;
@@ -110,8 +120,8 @@ fn amt_campaign_replay_improves_with_budget() {
     let mut rng = StdRng::seed_from_u64(5);
     let dataset = simulator.run(&mut rng).unwrap();
     let system = Optjs::new(SystemConfig::fast());
-    let low = run_on_dataset(&system, &dataset, 0.1);
-    let high = run_on_dataset(&system, &dataset, 1.0);
+    let low = run_on_dataset(&system, &dataset, 0.1).unwrap();
+    let high = run_on_dataset(&system, &dataset, 1.0).unwrap();
     assert!(high.mean_predicted_jq >= low.mean_predicted_jq - 1e-9);
     assert!(high.mean_cost >= low.mean_cost - 1e-9);
     assert!(high.accuracy >= low.accuracy - 0.1);
@@ -124,7 +134,7 @@ fn selections_never_include_workers_outside_the_pool() {
     let optjs = Optjs::new(config);
     for seed in 0..3u64 {
         let pool = random_pool(25, seed);
-        let outcome = optjs.select(&pool, 0.4, Prior::uniform());
+        let outcome = optjs.select(&pool, 0.4, Prior::uniform()).unwrap();
         for id in outcome.worker_ids() {
             assert!(pool.contains(id), "selected unknown worker {id}");
         }

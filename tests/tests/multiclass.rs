@@ -1,15 +1,15 @@
 //! Integration tests for the Section 7 extension: multiple-choice tasks and
 //! confusion-matrix workers, across the model, voting, and jq crates.
 
+use jury_jq::{
+    approx_multiclass_bv_jq, exact_bv_jq, exact_multiclass_bv_jq, exact_multiclass_jq,
+    MultiClassBucketConfig,
+};
 use jury_model::{
     CategoricalPrior, ConfusionMatrix, Jury, Label, MatrixJury, MatrixWorker, Prior, WorkerId,
 };
 use jury_voting::{
     BayesianMultiClassVoting, BayesianVoting, MultiClassVotingStrategy, PluralityVoting,
-};
-use jury_jq::{
-    approx_multiclass_bv_jq, exact_bv_jq, exact_multiclass_bv_jq, exact_multiclass_jq,
-    MultiClassBucketConfig,
 };
 
 #[test]
@@ -80,12 +80,19 @@ fn asymmetric_confusion_matrices_are_exploited_by_bv() {
     let prior = CategoricalPrior::uniform(3).unwrap();
     let bv = exact_multiclass_bv_jq(&jury, &prior).unwrap();
     let plurality = exact_multiclass_jq(&jury, &PluralityVoting::new(), &prior).unwrap();
-    assert!(bv > plurality + 0.03, "BV {bv} should clearly beat plurality {plurality}");
+    assert!(
+        bv > plurality + 0.03,
+        "BV {bv} should clearly beat plurality {plurality}"
+    );
     // The sharp worker votes 1 but the noisy pair votes 0: plurality says 0,
     // BV weighs the confusion structure.
     let votes = vec![Label(1), Label(0), Label(0)];
-    let plu = PluralityVoting::new().decide(&jury, &votes, &prior).unwrap();
-    let bay = BayesianMultiClassVoting::new().decide(&jury, &votes, &prior).unwrap();
+    let plu = PluralityVoting::new()
+        .decide(&jury, &votes, &prior)
+        .unwrap();
+    let bay = BayesianMultiClassVoting::new()
+        .decide(&jury, &votes, &prior)
+        .unwrap();
     assert_eq!(plu, Label(0));
     assert_eq!(bay, Label(1));
 }
@@ -93,9 +100,18 @@ fn asymmetric_confusion_matrices_are_exploited_by_bv() {
 #[test]
 fn tuple_key_approximation_tracks_the_exact_multiclass_jq() {
     let cases = [
-        (MatrixJury::from_qualities(&[0.8, 0.7, 0.6], 3).unwrap(), vec![0.4, 0.35, 0.25]),
-        (MatrixJury::from_qualities(&[0.9, 0.55], 4).unwrap(), vec![0.25, 0.25, 0.25, 0.25]),
-        (MatrixJury::from_qualities(&[0.65; 6], 3).unwrap(), vec![1.0 / 3.0; 3]),
+        (
+            MatrixJury::from_qualities(&[0.8, 0.7, 0.6], 3).unwrap(),
+            vec![0.4, 0.35, 0.25],
+        ),
+        (
+            MatrixJury::from_qualities(&[0.9, 0.55], 4).unwrap(),
+            vec![0.25, 0.25, 0.25, 0.25],
+        ),
+        (
+            MatrixJury::from_qualities(&[0.65; 6], 3).unwrap(),
+            vec![1.0 / 3.0; 3],
+        ),
     ];
     for (jury, prior_vec) in cases {
         let prior = CategoricalPrior::new(prior_vec).unwrap();

@@ -2,9 +2,9 @@
 //! Corollary 1) across the voting and JQ crates.
 
 use jury_integration_tests::random_jury;
+use jury_jq::{exact_bv_jq, exact_jq, mv_jq};
 use jury_model::{enumerate_binary_votings, Jury, Prior};
 use jury_voting::{all_strategies, BayesianVoting, StrategyKind, VotingStrategy};
-use jury_jq::{exact_bv_jq, exact_jq, mv_jq};
 
 #[test]
 fn bv_dominates_every_catalogue_strategy_on_random_juries() {
@@ -62,7 +62,9 @@ fn bv_dominates_arbitrary_randomized_strategies() {
     for variant in 0..50u64 {
         let table: Vec<f64> = (0..16)
             .map(|i| {
-                let x = (variant.wrapping_mul(6364136223846793005).wrapping_add(i * 2654435761)
+                let x = (variant
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(i * 2654435761)
                     % 1000) as f64;
                 x / 1000.0
             })
@@ -107,7 +109,10 @@ fn deterministic_strategies_have_indicator_h() {
             continue;
         }
         for votes in enumerate_binary_votings(jury.size()) {
-            let h = entry.strategy.prob_no(&jury, &votes, Prior::uniform()).unwrap();
+            let h = entry
+                .strategy
+                .prob_no(&jury, &votes, Prior::uniform())
+                .unwrap();
             assert!(h == 0.0 || h == 1.0, "{}: h = {h}", entry.name());
         }
     }

@@ -3,12 +3,12 @@
 //! and the closed-form special cases.
 
 use jury_integration_tests::random_pool;
+use jury_jq::BucketJqConfig;
 use jury_model::{stats, Prior, WorkerPool};
 use jury_selection::{
     try_special_case, AnnealingConfig, AnnealingSolver, BvObjective, ExhaustiveSolver,
-    GreedyQualitySolver, JspInstance, JurySolver, JuryObjective, MvjsSolver,
+    GreedyQualitySolver, JspInstance, JuryObjective, JurySolver, MvjsSolver,
 };
-use jury_jq::BucketJqConfig;
 
 fn bv_objective() -> BvObjective {
     BvObjective::with_config(BucketJqConfig::paper_experiments())
@@ -40,7 +40,10 @@ fn annealing_error_distribution_mirrors_table_3() {
         counts[0],
         total
     );
-    assert_eq!(counts[4], 0, "some runs were more than 3% away from optimal");
+    assert_eq!(
+        counts[4], 0,
+        "some runs were more than 3% away from optimal"
+    );
 }
 
 #[test]

@@ -1,0 +1,538 @@
+//! Offline shim for the subset of `serde_json` this workspace uses:
+//! [`to_string`] / [`to_string_pretty`] / [`from_str`], the [`Value`] type
+//! (re-exported from the `serde` shim), and the [`json!`] macro.
+
+pub use serde::Error;
+pub use serde::Value;
+
+use serde::{Deserialize, Serialize};
+
+/// `Result` alias matching serde_json's signature shape.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Converts any serializable type to the dynamic [`Value`] model.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Serializes a value to compact JSON text.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, None, 0);
+    Ok(out)
+}
+
+/// Serializes a value to human-readable, indented JSON text.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, Some(2), 0);
+    Ok(out)
+}
+
+/// Parses JSON text into any deserializable type.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    let value = Parser::new(s).parse_document()?;
+    T::from_value(&value)
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_f64(f: f64, out: &mut String) {
+    if f.is_finite() {
+        // Round-trippable shortest representation; ensure a decimal point or
+        // exponent survives so the value re-parses as a float.
+        let s = format!("{f}");
+        out.push_str(&s);
+        if !s.contains(['.', 'e', 'E']) {
+            out.push_str(".0");
+        }
+    } else {
+        // JSON has no NaN/inf; mirror serde_json's lossy `null`.
+        out.push_str("null");
+    }
+}
+
+fn write_value(v: &Value, out: &mut String, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(u) => out.push_str(&u.to_string()),
+        Value::I64(i) => out.push_str(&i.to_string()),
+        Value::F64(f) => write_f64(*f, out),
+        Value::String(s) => write_escaped(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(item, out, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_escaped(key, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(val, out, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(width * depth));
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn parse_document(mut self) -> Result<Value> {
+        let value = self.parse_value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(Error::custom(format!(
+                "trailing characters at byte {}",
+                self.pos
+            )));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| Error::custom("unexpected end of JSON input"))
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::custom(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value> {
+        match self.peek()? {
+            b'{' => self.parse_object(),
+            b'[' => self.parse_array(),
+            b'"' => Ok(Value::String(self.parse_string()?)),
+            b't' => self.parse_keyword("true", Value::Bool(true)),
+            b'f' => self.parse_keyword("false", Value::Bool(false)),
+            b'n' => self.parse_keyword("null", Value::Null),
+            _ => self.parse_number(),
+        }
+    }
+
+    fn parse_keyword(&mut self, word: &str, value: Value) -> Result<Value> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(Error::custom(format!(
+                "invalid literal at byte {}",
+                self.pos
+            )))
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                other => {
+                    return Err(Error::custom(format!(
+                        "expected `,` or `}}`, got `{}`",
+                        other as char
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                other => {
+                    return Err(Error::custom(format!(
+                        "expected `,` or `]`, got `{}`",
+                        other as char
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self
+                .bytes
+                .get(self.pos)
+                .ok_or_else(|| Error::custom("unterminated string"))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| Error::custom("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| Error::custom("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error::custom("invalid \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| Error::custom("invalid \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not produced by this shim's
+                            // writer; reject them on input for simplicity.
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::custom("invalid \\u code point"))?,
+                            );
+                        }
+                        other => {
+                            return Err(Error::custom(format!(
+                                "invalid escape `\\{}`",
+                                other as char
+                            )))
+                        }
+                    }
+                }
+                _ => {
+                    // Re-assemble multi-byte UTF-8 sequences.
+                    let len = utf8_len(b);
+                    let start = self.pos - 1;
+                    let slice = self
+                        .bytes
+                        .get(start..start + len)
+                        .ok_or_else(|| Error::custom("truncated UTF-8 sequence"))?;
+                    out.push_str(
+                        std::str::from_utf8(slice)
+                            .map_err(|_| Error::custom("invalid UTF-8 in string"))?,
+                    );
+                    self.pos = start + len;
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        self.skip_ws();
+        let start = self.pos;
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' | b'-' | b'+' => self.pos += 1,
+                b'.' | b'e' | b'E' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::custom("invalid number"))?;
+        if text.is_empty() {
+            return Err(Error::custom(format!("expected value at byte {start}")));
+        }
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::F64)
+                .map_err(|_| Error::custom(format!("invalid number `{text}`")))
+        } else if let Some(stripped) = text.strip_prefix('-') {
+            stripped
+                .parse::<i64>()
+                .map(|i| Value::I64(-i))
+                .map_err(|_| Error::custom(format!("invalid number `{text}`")))
+        } else {
+            text.parse::<u64>()
+                .map(Value::U64)
+                .map_err(|_| Error::custom(format!("invalid number `{text}`")))
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+/// Implementation detail of [`json!`] — a fresh object buffer (behind a
+/// function call so expansion sites don't trip `vec_init_then_push`).
+#[doc(hidden)]
+pub fn new_object_buffer() -> Vec<(String, Value)> {
+    Vec::new()
+}
+
+/// Implementation detail of [`json!`] — a fresh array buffer.
+#[doc(hidden)]
+pub fn new_array_buffer() -> Vec<Value> {
+    Vec::new()
+}
+
+/// Builds a [`Value`] from JSON-like literal syntax, with Rust expressions
+/// allowed in value position.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({}) => { $crate::Value::Object(Vec::new()) };
+    ([]) => { $crate::Value::Array(Vec::new()) };
+    ({ $($tt:tt)+ }) => {{
+        let mut obj = $crate::new_object_buffer();
+        $crate::json_object_internal!(obj; $($tt)+);
+        $crate::Value::Object(obj)
+    }};
+    ([ $($tt:tt)+ ]) => {{
+        let mut arr = $crate::new_array_buffer();
+        $crate::json_array_internal!(arr; $($tt)+);
+        $crate::Value::Array(arr)
+    }};
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+/// Implementation detail of [`json!`]: munches `"key": value` pairs.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object_internal {
+    ($obj:ident;) => {};
+    ($obj:ident; $key:literal : null , $($rest:tt)*) => {
+        $obj.push(($key.to_string(), $crate::Value::Null));
+        $crate::json_object_internal!($obj; $($rest)*);
+    };
+    ($obj:ident; $key:literal : null) => {
+        $obj.push(($key.to_string(), $crate::Value::Null));
+    };
+    ($obj:ident; $key:literal : { $($v:tt)* } , $($rest:tt)*) => {
+        $obj.push(($key.to_string(), $crate::json!({ $($v)* })));
+        $crate::json_object_internal!($obj; $($rest)*);
+    };
+    ($obj:ident; $key:literal : { $($v:tt)* }) => {
+        $obj.push(($key.to_string(), $crate::json!({ $($v)* })));
+    };
+    ($obj:ident; $key:literal : [ $($v:tt)* ] , $($rest:tt)*) => {
+        $obj.push(($key.to_string(), $crate::json!([ $($v)* ])));
+        $crate::json_object_internal!($obj; $($rest)*);
+    };
+    ($obj:ident; $key:literal : [ $($v:tt)* ]) => {
+        $obj.push(($key.to_string(), $crate::json!([ $($v)* ])));
+    };
+    ($obj:ident; $key:literal : $val:expr , $($rest:tt)*) => {
+        $obj.push(($key.to_string(), $crate::to_value(&$val)));
+        $crate::json_object_internal!($obj; $($rest)*);
+    };
+    ($obj:ident; $key:literal : $val:expr) => {
+        $obj.push(($key.to_string(), $crate::to_value(&$val)));
+    };
+}
+
+/// Implementation detail of [`json!`]: munches array elements.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array_internal {
+    ($arr:ident;) => {};
+    ($arr:ident; null , $($rest:tt)*) => {
+        $arr.push($crate::Value::Null);
+        $crate::json_array_internal!($arr; $($rest)*);
+    };
+    ($arr:ident; null) => {
+        $arr.push($crate::Value::Null);
+    };
+    ($arr:ident; { $($v:tt)* } , $($rest:tt)*) => {
+        $arr.push($crate::json!({ $($v)* }));
+        $crate::json_array_internal!($arr; $($rest)*);
+    };
+    ($arr:ident; { $($v:tt)* }) => {
+        $arr.push($crate::json!({ $($v)* }));
+    };
+    ($arr:ident; [ $($v:tt)* ] , $($rest:tt)*) => {
+        $arr.push($crate::json!([ $($v)* ]));
+        $crate::json_array_internal!($arr; $($rest)*);
+    };
+    ($arr:ident; [ $($v:tt)* ]) => {
+        $arr.push($crate::json!([ $($v)* ]));
+    };
+    ($arr:ident; $val:expr , $($rest:tt)*) => {
+        $arr.push($crate::to_value(&$val));
+        $crate::json_array_internal!($arr; $($rest)*);
+    };
+    ($arr:ident; $val:expr) => {
+        $arr.push($crate::to_value(&$val));
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_and_pretty_round_trip() {
+        let v = json!({
+            "name": "jury",
+            "sizes": [1, 2, 3],
+            "nested": {"pi": 3.5, "ok": true, "none": null},
+        });
+        for text in [to_string(&v).unwrap(), to_string_pretty(&v).unwrap()] {
+            let back: Value = from_str(&text).unwrap();
+            assert_eq!(back, v, "round-trip failed for {text}");
+        }
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let v = Value::String("a\"b\\c\nd\té—ü".to_string());
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn numbers_preserve_integerness() {
+        let text = to_string(&json!([1, -2, 1.5])).unwrap();
+        assert_eq!(text, "[1,-2,1.5]");
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(
+            back,
+            Value::Array(vec![Value::U64(1), Value::I64(-2), Value::F64(1.5)])
+        );
+    }
+
+    #[test]
+    fn floats_always_reparse_as_floats() {
+        let text = to_string(&Value::F64(2.0)).unwrap();
+        assert_eq!(text, "2.0");
+        let back: f64 = from_str(&text).unwrap();
+        assert_eq!(back, 2.0);
+    }
+
+    #[test]
+    fn json_macro_accepts_expressions() {
+        let xs = vec![1u32, 2, 3];
+        let v = json!({"total": xs.len(), "values": xs, "mixed": [0.0, "inf"]});
+        assert_eq!(v.field("total").unwrap(), &Value::U64(3));
+        assert_eq!(
+            v.field("mixed").unwrap().element(1).unwrap(),
+            &Value::String("inf".into())
+        );
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(from_str::<Value>("{\"a\": }").is_err());
+        assert!(from_str::<Value>("[1, 2").is_err());
+        assert!(from_str::<Value>("tru").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+    }
+}
