@@ -1,0 +1,138 @@
+//! Criterion micro-benchmarks for the incremental JQ engine: the cost of
+//! one solver-shaped neighbour evaluation under the from-scratch bucket DP
+//! vs. [`jury_jq::IncrementalJq`]'s push/pop/swap updates, on pools of
+//! n ∈ {10, 50, 200} candidates.
+//!
+//! Two workloads mirror the two searches that dominate OPTJS runtime:
+//!
+//! * `annealing_step` — one simulated-annealing neighbour: mutate a single
+//!   jury member, read the JQ, revert. Scratch pays `O(n · buckets)` to
+//!   rebuild the DP for the candidate jury; incremental pays `O(buckets)`
+//!   for the swap.
+//! * `greedy_round` — one marginal-greedy round: score every affordable
+//!   single-worker extension of the current jury. Scratch pays pool-many
+//!   rebuilds; incremental pays pool-many `O(buckets)` probes.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use jury_jq::{BucketCount, BucketJqConfig, BucketJqEstimator, IncrementalJq, IncrementalJqConfig};
+use jury_model::{GaussianWorkerGenerator, Jury, Prior, Worker, WorkerPool};
+
+/// The paper's experimental bucket budget, used for both engines so the
+/// comparison is work-for-work.
+const NUM_BUCKETS: usize = 50;
+
+fn random_pool(n: usize, seed: u64) -> WorkerPool {
+    let generator = GaussianWorkerGenerator::paper_defaults();
+    let mut rng = StdRng::seed_from_u64(seed);
+    generator.generate(n, &mut rng)
+}
+
+fn scratch_estimator() -> BucketJqEstimator {
+    BucketJqEstimator::new(
+        BucketJqConfig::default()
+            .with_buckets(BucketCount::Fixed(NUM_BUCKETS))
+            .with_high_quality_shortcut(false),
+    )
+}
+
+fn incremental_for(pool: &WorkerPool, members: &[Worker]) -> IncrementalJq {
+    let mut engine = IncrementalJq::for_pool(
+        pool,
+        Prior::uniform(),
+        IncrementalJqConfig::default().with_buckets(BucketCount::Fixed(NUM_BUCKETS)),
+    );
+    for worker in members {
+        engine.push_worker(worker);
+    }
+    engine
+}
+
+/// One annealing neighbour: swap a jury member for an outsider, read the
+/// JQ, swap back.
+fn bench_annealing_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("incremental_annealing_step");
+    for &n in &[10usize, 50, 200] {
+        let pool = random_pool(n, 11);
+        let members: Vec<Worker> = pool.workers()[..n / 2].to_vec();
+        let outsider = pool.workers()[n - 1].clone();
+        let victim = members[0].clone();
+
+        let estimator = scratch_estimator();
+        let jury = Jury::new(members.clone());
+        group.bench_with_input(BenchmarkId::new("scratch_dp", n), &jury, |b, jury| {
+            b.iter(|| {
+                // The from-scratch path must rebuild the whole DP for the
+                // mutated jury.
+                let mut candidate = jury.without(victim.id());
+                candidate.push(outsider.clone());
+                estimator.jq(&candidate, Prior::uniform())
+            })
+        });
+
+        let mut engine = incremental_for(&pool, &members);
+        group.bench_function(BenchmarkId::new("incremental", n), |b| {
+            b.iter(|| {
+                engine.swap_worker(&victim, &outsider).unwrap();
+                let value = engine.jq();
+                engine.swap_worker(&outsider, &victim).unwrap();
+                value
+            })
+        });
+    }
+    group.finish();
+}
+
+/// One marginal-greedy round: score every pool member not already selected
+/// as a single-worker extension of the current jury.
+fn bench_greedy_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("incremental_greedy_round");
+    group.sample_size(10);
+    for &n in &[10usize, 50, 200] {
+        let pool = random_pool(n, 13);
+        let members: Vec<Worker> = pool.workers()[..n / 2].to_vec();
+        let candidates: Vec<Worker> = pool.workers()[n / 2..].to_vec();
+
+        let estimator = scratch_estimator();
+        let jury = Jury::new(members.clone());
+        group.bench_with_input(BenchmarkId::new("scratch_dp", n), &jury, |b, jury| {
+            b.iter(|| {
+                let mut best = f64::NEG_INFINITY;
+                for worker in &candidates {
+                    let value = estimator.jq(&jury.with_worker(worker.clone()), Prior::uniform());
+                    best = best.max(value);
+                }
+                best
+            })
+        });
+
+        let mut engine = incremental_for(&pool, &members);
+        group.bench_function(BenchmarkId::new("incremental", n), |b| {
+            b.iter(|| {
+                let mut best = f64::NEG_INFINITY;
+                for worker in &candidates {
+                    engine.push_worker(worker);
+                    best = best.max(engine.jq());
+                    engine.pop_worker(worker).unwrap();
+                }
+                best
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Keep the whole suite quick enough for CI while still giving stable numbers.
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
+    targets = bench_annealing_step, bench_greedy_round
+}
+criterion_main!(benches);

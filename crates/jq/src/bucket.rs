@@ -15,8 +15,14 @@
 //!
 //! with additive error below `e^{n·δ/4} − 1` (Section 4.4), i.e. below 1 %
 //! for `numBuckets = 200·n`.
-
-use std::collections::HashMap;
+//!
+//! The `(key, prob)` map is stored as a *dense*, offset-indexed `Vec<f64>`
+//! over the reachable key range `[-Σb_i, +Σb_i]` rather than a hash map:
+//! the subset-sum keys quickly cover most of that range anyway, and the flat
+//! array turns the inner loop into cache-friendly, branch-light streaming
+//! adds that the compiler can autovectorize. The same dense representation
+//! is what [`crate::incremental`] updates in place for the solvers' hot
+//! path.
 
 use jury_model::{log_odds, Jury, Prior};
 
@@ -102,6 +108,20 @@ impl BucketJqConfig {
     }
 }
 
+/// Maps a log-odds weight `φ` to its nearest bucket index on a grid of width
+/// `bucket_size` — the `GetBucketArray` rounding of Algorithm 1. A
+/// non-positive grid width collapses everything to bucket 0 (the degenerate
+/// all-coin-flips jury). Shared by the scratch estimator and the
+/// [`crate::incremental`] engine so both quantize identically.
+#[inline]
+pub fn bucket_index(phi: f64, bucket_size: f64) -> i64 {
+    if bucket_size > 0.0 {
+        ((phi / bucket_size - 0.5).ceil() as i64).max(0)
+    } else {
+        0
+    }
+}
+
 /// The result of one bucket-based JQ estimation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JqEstimate {
@@ -116,7 +136,8 @@ pub struct JqEstimate {
     pub error_bound: f64,
     /// Pruning counters (all zeros when pruning is disabled).
     pub prune_stats: PruneStats,
-    /// The largest number of distinct keys held at any iteration.
+    /// The largest number of occupied (non-zero) keys held at any iteration
+    /// of the dense dynamic program.
     pub max_map_entries: usize,
     /// Whether the high-quality shortcut produced the value.
     pub used_shortcut: bool,
@@ -199,30 +220,44 @@ impl BucketJqEstimator {
         let mut indexed: Vec<(i64, f64)> = phis
             .iter()
             .zip(qualities.iter())
-            .map(|(&phi, &q)| {
-                let bucket = if bucket_size > 0.0 {
-                    (phi / bucket_size - 0.5).ceil() as i64
-                } else {
-                    0
-                };
-                (bucket.max(0), q)
-            })
+            .map(|(&phi, &q)| (bucket_index(phi, bucket_size), q))
             .collect();
         // Sort by decreasing bucket so pruning sees the large weights first.
         indexed.sort_by_key(|&(bucket, _)| std::cmp::Reverse(bucket));
         let buckets: Vec<i64> = indexed.iter().map(|&(b, _)| b).collect();
         let aggregate = aggregate_buckets(&buckets);
 
+        // Dense subset-sum state over the reachable key range [-total, total],
+        // stored offset-indexed: slot `offset + key` holds the probability
+        // mass of `key`. The double-buffered arrays replace the historical
+        // `HashMap<i64, f64>` — every iteration streams over the currently
+        // reachable window instead of chasing hash entries.
+        let total: i64 = buckets.iter().sum();
+        let offset = total as usize;
+        let mut current = vec![0.0f64; 2 * offset + 1];
+        let mut next = vec![0.0f64; 2 * offset + 1];
+        current[offset] = 1.0;
+
         let mut estimate = 0.0f64;
         let mut stats = PruneStats::default();
         let mut max_map_entries = 1usize;
-        let mut current: HashMap<i64, f64> = HashMap::from([(0i64, 1.0f64)]);
+        // Largest |key| with possible mass in `current`; grows by one bucket
+        // per processed worker (the prefix sums of the sorted bucket array).
+        let mut reach = 0usize;
 
         for (i, &(bucket, quality)) in indexed.iter().enumerate() {
-            let mut next: HashMap<i64, f64> = HashMap::with_capacity(current.len() * 2);
-            for (&key, &prob) in &current {
+            let remaining = aggregate[i];
+            let step = bucket as usize;
+            let mut occupied = 0usize;
+            for idx in (offset - reach)..=(offset + reach) {
+                let prob = current[idx];
+                if prob == 0.0 {
+                    continue;
+                }
+                current[idx] = 0.0;
+                let key = idx as i64 - total;
                 if self.config.use_pruning {
-                    match prune(key, aggregate[i]) {
+                    match prune(key, remaining) {
                         PruneDecision::TakeAll => {
                             estimate += prob;
                             stats.taken_all += 1;
@@ -237,21 +272,31 @@ impl BucketJqEstimator {
                 }
                 stats.expanded += 1;
                 // Vote v_i = 0 supports t = 0: key moves up, weighted by q_i.
-                *next.entry(key + bucket).or_insert(0.0) += prob * quality;
+                let up = prob * quality;
+                if up > 0.0 {
+                    if next[idx + step] == 0.0 {
+                        occupied += 1;
+                    }
+                    next[idx + step] += up;
+                }
                 // Vote v_i = 1: key moves down, weighted by 1 − q_i.
-                *next.entry(key - bucket).or_insert(0.0) += prob * (1.0 - quality);
+                let down = prob * (1.0 - quality);
+                if down > 0.0 {
+                    if next[idx - step] == 0.0 {
+                        occupied += 1;
+                    }
+                    next[idx - step] += down;
+                }
             }
-            max_map_entries = max_map_entries.max(next.len());
-            current = next;
+            max_map_entries = max_map_entries.max(occupied);
+            reach = (reach + step).min(offset);
+            std::mem::swap(&mut current, &mut next);
         }
 
-        for (&key, &prob) in &current {
-            if key > 0 {
-                estimate += prob;
-            } else if key == 0 {
-                estimate += 0.5 * prob;
-            }
-        }
+        // `current` now holds the undecided mass; everything strictly above
+        // key 0 counts fully, the tie at key 0 counts half (Algorithm 1).
+        estimate += current[offset + 1..].iter().sum::<f64>();
+        estimate += 0.5 * current[offset];
 
         JqEstimate {
             value: estimate.clamp(0.0, 1.0),

@@ -1,0 +1,118 @@
+//! Typed errors for the Jury Quality back-ends.
+//!
+//! Historically the exponential back-ends guarded their size limits with
+//! `assert!`, which turned an oversized request into a process abort. The
+//! service layer introduced in the API redesign promises that nothing on a
+//! request path panics, so every JQ entry point now reports precondition
+//! violations as values of [`JqError`] instead.
+
+use std::fmt;
+
+use jury_model::ModelError;
+
+/// Why a Jury Quality computation could not be performed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JqError {
+    /// An exact enumeration was asked to enumerate more votings than the
+    /// back-end's limit allows (`2^n` for binary tasks).
+    JuryTooLarge {
+        /// Number of jurors in the offending jury.
+        size: usize,
+        /// Largest jury the exact back-end accepts.
+        max: usize,
+    },
+    /// A multi-class exact enumeration would visit more than the supported
+    /// number of votings (`ℓ^n`).
+    EnumerationTooLarge {
+        /// Number of votings the request would enumerate.
+        votings: u64,
+        /// Largest supported voting-space size.
+        max: u64,
+    },
+    /// An incremental engine was asked to remove a worker that is not part
+    /// of its current jury state.
+    NotAMember {
+        /// The quality of the worker that was not found.
+        quality: f64,
+    },
+    /// A lower-level model invariant was violated (invalid votes, labels,
+    /// priors, ...).
+    Model(ModelError),
+}
+
+impl fmt::Display for JqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JqError::JuryTooLarge { size, max } => write!(
+                f,
+                "exact JQ enumeration is limited to {max} workers (got {size})"
+            ),
+            JqError::EnumerationTooLarge { votings, max } => write!(
+                f,
+                "exact multi-class enumeration of {votings} votings exceeds the limit of {max}"
+            ),
+            JqError::NotAMember { quality } => write!(
+                f,
+                "no worker with quality {quality} is part of the incremental jury state"
+            ),
+            JqError::Model(err) => write!(f, "model error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for JqError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JqError::Model(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for JqError {
+    fn from(err: ModelError) -> Self {
+        JqError::Model(err)
+    }
+}
+
+/// Convenience result alias for JQ computations.
+pub type JqResult<T> = Result<T, JqError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(JqError, &str)> = vec![
+            (JqError::JuryTooLarge { size: 30, max: 20 }, "limited"),
+            (
+                JqError::EnumerationTooLarge {
+                    votings: 1 << 30,
+                    max: 1 << 22,
+                },
+                "multi-class",
+            ),
+            (JqError::NotAMember { quality: 0.7 }, "incremental"),
+            (
+                JqError::Model(ModelError::Empty { what: "jury" }),
+                "model error",
+            ),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg} should mention {needle}");
+        }
+    }
+
+    #[test]
+    fn model_errors_convert_and_expose_a_source() {
+        use std::error::Error;
+        let err: JqError = ModelError::Empty { what: "pool" }.into();
+        assert!(matches!(err, JqError::Model(_)));
+        assert!(err.source().is_some());
+        assert!(JqError::JuryTooLarge { size: 30, max: 20 }
+            .source()
+            .is_none());
+    }
+}

@@ -6,10 +6,11 @@
 //! otherwise, and it also exposes the MV dynamic program needed by the
 //! baseline system.
 
-use jury_model::{Jury, ModelResult, Prior};
+use jury_model::{Jury, Prior};
 use jury_voting::VotingStrategy;
 
 use crate::bucket::{BucketJqConfig, BucketJqEstimator};
+use crate::error::JqResult;
 use crate::exact::{exact_bv_jq, exact_jq, MAX_EXACT_JURY};
 use crate::mv::mv_jq;
 
@@ -82,7 +83,9 @@ impl JqEngine {
     pub fn bv_jq(&self, jury: &Jury, prior: Prior) -> JqValue {
         if jury.size() <= self.exact_cutoff {
             JqValue {
-                value: exact_bv_jq(jury, prior).expect("votes are generated internally"),
+                // The cutoff is capped at MAX_EXACT_JURY, so the size
+                // precondition of the enumeration always holds here.
+                value: exact_bv_jq(jury, prior).expect("cutoff is capped at MAX_EXACT_JURY"),
                 backend: JqBackend::ExactEnumeration,
             }
         } else {
@@ -103,13 +106,16 @@ impl JqEngine {
 
     /// The jury quality of an arbitrary strategy by exact enumeration.
     ///
-    /// Only valid for juries up to [`MAX_EXACT_JURY`] members.
+    /// # Errors
+    ///
+    /// Returns [`crate::JqError::JuryTooLarge`] for juries above
+    /// [`MAX_EXACT_JURY`] members.
     pub fn strategy_jq(
         &self,
         jury: &Jury,
         strategy: &dyn VotingStrategy,
         prior: Prior,
-    ) -> ModelResult<JqValue> {
+    ) -> JqResult<JqValue> {
         Ok(JqValue {
             value: exact_jq(jury, strategy, prior)?,
             backend: JqBackend::ExactEnumeration,

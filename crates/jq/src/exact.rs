@@ -7,25 +7,37 @@
 //! approximation are validated against, and they also serve the small-jury
 //! experiments (Figure 8 uses `n ≤ 11`).
 
-use jury_model::{enumerate_binary_votings, Answer, Jury, ModelResult, Prior};
+use jury_model::{enumerate_binary_votings, Answer, Jury, Prior};
 use jury_voting::{BayesianVoting, VotingStrategy};
+
+use crate::error::{JqError, JqResult};
 
 /// Largest jury size accepted by the exact enumerations (2^20 votings).
 pub const MAX_EXACT_JURY: usize = 20;
 
+/// Checks the enumeration size limit shared by the exact back-ends.
+fn check_jury_size(jury: &Jury) -> JqResult<()> {
+    if jury.size() <= MAX_EXACT_JURY {
+        Ok(())
+    } else {
+        Err(JqError::JuryTooLarge {
+            size: jury.size(),
+            max: MAX_EXACT_JURY,
+        })
+    }
+}
+
 /// Exact JQ of an arbitrary voting strategy, by enumerating all `2^n`
 /// votings (Definition 3).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the jury has more than [`MAX_EXACT_JURY`] members; use the
-/// approximation in [`crate::bucket`] for larger juries.
-pub fn exact_jq(jury: &Jury, strategy: &dyn VotingStrategy, prior: Prior) -> ModelResult<f64> {
-    assert!(
-        jury.size() <= MAX_EXACT_JURY,
-        "exact JQ enumeration is limited to {MAX_EXACT_JURY} workers (got {})",
-        jury.size()
-    );
+/// Returns [`JqError::JuryTooLarge`] if the jury has more than
+/// [`MAX_EXACT_JURY`] members (use the approximation in [`crate::bucket`] or
+/// [`crate::incremental`] for larger juries), and [`JqError::Model`] if the
+/// strategy rejects the generated votings.
+pub fn exact_jq(jury: &Jury, strategy: &dyn VotingStrategy, prior: Prior) -> JqResult<f64> {
+    check_jury_size(jury)?;
     let alpha = prior.alpha();
     let mut jq = 0.0;
     for votes in enumerate_binary_votings(jury.size()) {
@@ -47,12 +59,13 @@ pub fn exact_jq(jury: &Jury, strategy: &dyn VotingStrategy, prior: Prior) -> Mod
 /// as fast because it skips the strategy dispatch; it also makes the
 /// optimality of BV (Theorem 1) syntactically obvious: every other strategy's
 /// contribution is a convex combination of `P_0(V)` and `P_1(V)`.
-pub fn exact_bv_jq(jury: &Jury, prior: Prior) -> ModelResult<f64> {
-    assert!(
-        jury.size() <= MAX_EXACT_JURY,
-        "exact JQ enumeration is limited to {MAX_EXACT_JURY} workers (got {})",
-        jury.size()
-    );
+///
+/// # Errors
+///
+/// Returns [`JqError::JuryTooLarge`] if the jury has more than
+/// [`MAX_EXACT_JURY`] members.
+pub fn exact_bv_jq(jury: &Jury, prior: Prior) -> JqResult<f64> {
+    check_jury_size(jury)?;
     let alpha = prior.alpha();
     let mut jq = 0.0;
     for votes in enumerate_binary_votings(jury.size()) {
@@ -66,7 +79,11 @@ pub fn exact_bv_jq(jury: &Jury, prior: Prior) -> ModelResult<f64> {
 /// Exact JQ of Bayesian Voting computed the slow way — by delegating to
 /// [`exact_jq`] with a [`BayesianVoting`] instance. Exposed so tests and
 /// benchmarks can cross-validate the two formulations.
-pub fn exact_bv_jq_via_strategy(jury: &Jury, prior: Prior) -> ModelResult<f64> {
+///
+/// # Errors
+///
+/// Returns the same errors as [`exact_jq`].
+pub fn exact_bv_jq_via_strategy(jury: &Jury, prior: Prior) -> JqResult<f64> {
     exact_jq(jury, &BayesianVoting::new(), prior)
 }
 
@@ -194,9 +211,20 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "limited")]
-    fn oversized_jury_panics() {
+    fn oversized_jury_is_a_typed_error_not_a_panic() {
         let jury = Jury::from_qualities(&[0.6; 21]).unwrap();
-        let _ = exact_bv_jq(&jury, Prior::uniform());
+        let err = exact_bv_jq(&jury, Prior::uniform()).unwrap_err();
+        assert_eq!(
+            err,
+            JqError::JuryTooLarge {
+                size: 21,
+                max: MAX_EXACT_JURY
+            }
+        );
+        let err = exact_jq(&jury, &MajorityVoting::new(), Prior::uniform()).unwrap_err();
+        assert!(matches!(err, JqError::JuryTooLarge { .. }));
+        // At the boundary the enumeration still runs.
+        let boundary = Jury::from_qualities(&[0.6; MAX_EXACT_JURY]).unwrap();
+        assert!(exact_bv_jq(&boundary, Prior::uniform()).is_ok());
     }
 }

@@ -16,10 +16,18 @@
 //!   optimizes);
 //! * [`bucket::BucketJqEstimator`] — Algorithm 1: the bucket-based
 //!   approximation of `JQ(J, BV, α)` with Algorithm 2 pruning, Theorem 3
-//!   prior folding, and the Section 4.4 error bound;
+//!   prior folding, and the Section 4.4 error bound, over a dense,
+//!   offset-indexed bucket array;
+//! * [`incremental::IncrementalJq`] / [`incremental::IncrementalMvJq`] —
+//!   stateful engines that `push`/`pop`/`swap` one worker at a time, so the
+//!   JSP searches pay `O(buckets)` per neighbour jury instead of rebuilding
+//!   the dynamic program from scratch;
 //! * [`multiclass`] — Section 7's extension to multiple-choice tasks and
 //!   confusion-matrix workers;
 //! * [`estimator::JqEngine`] — a facade picking the right back-end.
+//!
+//! Size preconditions are reported as typed [`JqError`] values — no JQ entry
+//! point panics on oversized input.
 //!
 //! ```
 //! use jury_model::{Jury, Prior};
@@ -42,9 +50,11 @@
 
 pub mod bounds;
 pub mod bucket;
+pub mod error;
 pub mod estimator;
 pub mod exact;
 pub mod hardness;
+pub mod incremental;
 pub mod multiclass;
 pub mod mv;
 pub mod prior;
@@ -52,10 +62,12 @@ pub mod prune;
 pub mod signature;
 
 pub use bounds::{error_bound, recommended_buckets, recommended_multiplier};
-pub use bucket::{bv_jq, BucketCount, BucketJqConfig, BucketJqEstimator, JqEstimate};
+pub use bucket::{bucket_index, bv_jq, BucketCount, BucketJqConfig, BucketJqEstimator, JqEstimate};
+pub use error::{JqError, JqResult};
 pub use estimator::{JqBackend, JqEngine, JqValue};
 pub use exact::{exact_bv_jq, exact_jq, MAX_EXACT_JURY};
 pub use hardness::{has_equal_partition, partition_gadget};
+pub use incremental::{IncrementalJq, IncrementalJqConfig, IncrementalMvJq, IncrementalStats};
 pub use multiclass::{
     approx_multiclass_bv_jq, exact_multiclass_bv_jq, exact_multiclass_jq, MultiClassBucketConfig,
 };
@@ -166,6 +178,60 @@ mod proptests {
             let bv = exact_bv_jq(&jury, prior).unwrap();
             prop_assert!((0.0..=1.0 + 1e-12).contains(&mv));
             prop_assert!(mv <= bv + 1e-9);
+        }
+
+        /// Deconvolution-fallback safety: random push/pop/swap sequences on
+        /// the incremental engine never diverge from a from-scratch rebuild
+        /// of the same member multiset.
+        #[test]
+        fn incremental_never_diverges_from_rebuild(
+            qualities in quality_vec(),
+            swaps in proptest::collection::vec(0.5f64..0.98, 1..6),
+        ) {
+            let mut engine = IncrementalJq::new(0.03);
+            for &q in &qualities {
+                engine.push_quality(q);
+            }
+            let mut live = qualities.clone();
+            for &incoming in &swaps {
+                let out = live.remove(0);
+                live.push(incoming);
+                engine.swap_quality(out, incoming).unwrap();
+                prop_assert!(
+                    (engine.jq() - engine.from_scratch_jq()).abs() < 1e-9,
+                    "incremental {} vs rebuild {} after stats {:?}",
+                    engine.jq(), engine.from_scratch_jq(), engine.stats());
+            }
+            // Pop everything back down to the empty state.
+            for &q in &live {
+                engine.pop_quality(q).unwrap();
+            }
+            prop_assert!((engine.jq() - 0.5).abs() < 1e-9);
+        }
+
+        /// On the grid the scratch estimator derives for a jury, the
+        /// incremental engine reproduces the scratch bucket DP.
+        #[test]
+        fn incremental_matches_scratch_dp(qualities in quality_vec()) {
+            let num_buckets = 64usize;
+            let jury = Jury::from_qualities(&qualities).unwrap();
+            let scratch = BucketJqEstimator::new(
+                BucketJqConfig::default()
+                    .with_buckets(BucketCount::Fixed(num_buckets))
+                    .with_high_quality_shortcut(false),
+            )
+            .jq(&jury, Prior::uniform());
+            let upper = qualities
+                .iter()
+                .map(|&q| jury_model::log_odds(q.max(1.0 - q)))
+                .fold(0.0f64, f64::max);
+            let delta = if upper > 0.0 { upper / num_buckets as f64 } else { 0.0 };
+            let mut engine = IncrementalJq::new(delta);
+            for &q in &qualities {
+                engine.push_quality(q);
+            }
+            prop_assert!((engine.jq() - scratch).abs() < 1e-9,
+                "incremental {} vs scratch {scratch}", engine.jq());
         }
     }
 }

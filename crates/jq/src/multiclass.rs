@@ -17,8 +17,23 @@ use jury_model::{
 };
 use jury_voting::MultiClassVotingStrategy;
 
+use crate::error::{JqError, JqResult};
+
 /// Largest voting-space size accepted by the exact enumeration.
 const MAX_ENUMERATION: u64 = 1 << 22;
+
+/// Checks the `ℓ^n` voting-space limit of the exact enumerations.
+fn check_enumeration_size(jury: &MatrixJury) -> JqResult<()> {
+    let space = (jury.num_choices() as u64).saturating_pow(jury.size() as u32);
+    if space <= MAX_ENUMERATION {
+        Ok(())
+    } else {
+        Err(JqError::EnumerationTooLarge {
+            votings: space,
+            max: MAX_ENUMERATION,
+        })
+    }
+}
 
 /// Probabilities are clamped to this floor before taking logarithms so that
 /// zero entries of a confusion matrix stay finite.
@@ -26,19 +41,20 @@ const LOG_FLOOR: f64 = 1e-12;
 
 /// Exact JQ of an arbitrary multi-class strategy by enumerating all `ℓ^n`
 /// votings (Equation 9).
+///
+/// # Errors
+///
+/// Returns [`JqError::EnumerationTooLarge`] when `ℓ^n` exceeds the supported
+/// voting-space size, and [`JqError::Model`] on dimension mismatches.
 pub fn exact_multiclass_jq(
     jury: &MatrixJury,
     strategy: &dyn MultiClassVotingStrategy,
     prior: &CategoricalPrior,
-) -> ModelResult<f64> {
+) -> JqResult<f64> {
     check_dimensions(jury, prior)?;
+    check_enumeration_size(jury)?;
     let l = jury.num_choices();
     let n = jury.size();
-    let space = (l as u64).saturating_pow(n as u32);
-    assert!(
-        space <= MAX_ENUMERATION,
-        "exact multi-class enumeration too large ({space} votings)"
-    );
     let mut jq = 0.0;
     for votes in enumerate_label_votings(n, l) {
         for t in 0..l {
@@ -56,15 +72,16 @@ pub fn exact_multiclass_jq(
 
 /// Exact JQ of multi-class Bayesian voting using the `max` formulation:
 /// `JQ(BV) = Σ_V max_{t'} α_{t'} Pr(V | t = t')`.
-pub fn exact_multiclass_bv_jq(jury: &MatrixJury, prior: &CategoricalPrior) -> ModelResult<f64> {
+///
+/// # Errors
+///
+/// Returns [`JqError::EnumerationTooLarge`] when `ℓ^n` exceeds the supported
+/// voting-space size, and [`JqError::Model`] on dimension mismatches.
+pub fn exact_multiclass_bv_jq(jury: &MatrixJury, prior: &CategoricalPrior) -> JqResult<f64> {
     check_dimensions(jury, prior)?;
+    check_enumeration_size(jury)?;
     let l = jury.num_choices();
     let n = jury.size();
-    let space = (l as u64).saturating_pow(n as u32);
-    assert!(
-        space <= MAX_ENUMERATION,
-        "exact multi-class enumeration too large ({space} votings)"
-    );
     let mut jq = 0.0;
     for votes in enumerate_label_votings(n, l) {
         let mut best = 0.0f64;

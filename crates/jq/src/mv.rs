@@ -1,6 +1,6 @@
 //! Exact Jury Quality for Majority Voting in polynomial time.
 //!
-//! The paper notes that Cao et al. [7] compute `JQ(J, MV, 0.5)` in
+//! The paper notes that Cao et al. \[7\] compute `JQ(J, MV, 0.5)` in
 //! `O(n log n)`; the baseline system (MVJS) reproduced in `jury-selection`
 //! needs the same quantity, for arbitrary priors. We use an `O(n²)`
 //! Poisson-binomial dynamic program over the number of `No` votes, which is

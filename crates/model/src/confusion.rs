@@ -143,7 +143,7 @@ impl ConfusionMatrix {
     }
 
     /// A spammer score in `[0, 1]` following the intuition of Raykar & Yu
-    /// (cited as [34] in the paper): spammers vote independently of the true
+    /// (cited as \[34\] in the paper): spammers vote independently of the true
     /// label, so all rows of their confusion matrix are (nearly) identical.
     /// The score is the mean total-variation distance between rows and the
     /// column-average row; `0` means pure spammer, larger means informative.
@@ -168,7 +168,7 @@ impl ConfusionMatrix {
 
     /// For a two-label matrix, the per-class accuracies `(sensitivity,
     /// specificity)` — `Pr(vote=0|t=0)` and `Pr(vote=1|t=1)` — used by the
-    /// sensitivity/specificity worker model the paper cites ([45]).
+    /// sensitivity/specificity worker model the paper cites (\[45\]).
     pub fn binary_accuracies(&self) -> ModelResult<(f64, f64)> {
         if self.num_choices != 2 {
             return Err(ModelError::InvalidConfusionMatrix {

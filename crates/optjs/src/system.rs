@@ -11,8 +11,8 @@
 //! paper's system diagram.
 //!
 //! Unlike the original panicking `select`, the facades are fallible: invalid
-//! budgets (or an empty pool) come back as
-//! [`ServiceError`](jury_service::ServiceError) values.
+//! budgets (or an empty pool) come back as [`jury_service::ServiceError`]
+//! values.
 
 use std::time::Duration;
 

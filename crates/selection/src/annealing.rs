@@ -23,6 +23,13 @@
 //! different random orders, and considering the two greedy juries
 //! (top-quality and quality-per-cost) as additional candidate solutions. The
 //! best jury over all candidates is returned.
+//!
+//! When the objective offers an incremental session (see
+//! [`crate::objective::IncrementalSession`]), each add/swap step mutates a
+//! live dense-DP state in `O(buckets)` instead of re-evaluating a cloned
+//! jury from scratch — the engine behind the paper's "thousands of JQ
+//! evaluations per search" hot path. Final juries are always re-scored
+//! through the batch objective, so reported qualities are unaffected.
 
 use std::time::Instant;
 
@@ -31,7 +38,7 @@ use rand::{Rng, SeedableRng};
 
 use jury_model::{Jury, Worker};
 
-use crate::objective::JuryObjective;
+use crate::objective::{IncrementalSession, JuryObjective};
 use crate::problem::JspInstance;
 use crate::solver::{JurySolver, SolverResult};
 
@@ -55,6 +62,14 @@ pub struct AnnealingConfig {
     /// Whether to also evaluate the greedy top-quality and quality-per-cost
     /// juries as candidate solutions.
     pub use_greedy_candidates: bool,
+    /// Whether to steer the search through the objective's incremental
+    /// session (when it offers one), so each add/swap step costs
+    /// `O(buckets)` instead of a from-scratch JQ evaluation. The final jury
+    /// is always re-scored through the batch objective, so this switch
+    /// affects only search *speed* and tie-breaking on near-equal
+    /// neighbours; turning it off recovers the historical evaluate-per-step
+    /// behaviour for ablations.
+    pub use_incremental: bool,
 }
 
 impl Default for AnnealingConfig {
@@ -66,6 +81,7 @@ impl Default for AnnealingConfig {
             seed: 0x5EED,
             restarts: 4,
             use_greedy_candidates: true,
+            use_incremental: true,
         }
     }
 }
@@ -102,6 +118,12 @@ impl AnnealingConfig {
     /// Enables or disables the greedy candidate juries.
     pub fn with_greedy_candidates(mut self, enabled: bool) -> Self {
         self.use_greedy_candidates = enabled;
+        self
+    }
+
+    /// Enables or disables incremental-session search guidance.
+    pub fn with_incremental(mut self, enabled: bool) -> Self {
+        self.use_incremental = enabled;
         self
     }
 
@@ -215,17 +237,32 @@ impl<O: JuryObjective> AnnealingSolver<O> {
         &self.objective
     }
 
-    fn current_value(&self, state: &mut SearchState, instance: &JspInstance) -> f64 {
+    /// The search-guidance value of the current state: the session's value
+    /// when one is active (quantized, `O(buckets)`), the batch objective
+    /// otherwise.
+    fn current_value(
+        &self,
+        state: &mut SearchState,
+        instance: &JspInstance,
+        session: &Option<Box<dyn IncrementalSession + '_>>,
+    ) -> f64 {
         if let Some(v) = state.current_value {
             return v;
         }
-        let v = self.objective.evaluate(&state.jury(), instance.prior());
+        let v = match session {
+            Some(session) => session.value(),
+            None => self.objective.evaluate(&state.jury(), instance.prior()),
+        };
         state.current_value = Some(v);
         v
     }
 
     /// One call of Algorithm 4: attempt to swap worker `r` with a randomly
     /// chosen counterpart on the other side of the selection.
+    ///
+    /// With an active session the candidate is evaluated in place — swap in,
+    /// read the value, and swap back on rejection — so a neighbour costs
+    /// `O(buckets)`; without one it falls back to evaluating a cloned jury.
     fn try_swap(
         &self,
         state: &mut SearchState,
@@ -233,6 +270,7 @@ impl<O: JuryObjective> AnnealingSolver<O> {
         r: usize,
         temperature: f64,
         rng: &mut StdRng,
+        session: &mut Option<Box<dyn IncrementalSession + '_>>,
     ) {
         let workers = instance.pool().workers();
         // Decide which worker leaves (`a`) and which enters (`b`).
@@ -255,34 +293,66 @@ impl<O: JuryObjective> AnnealingSolver<O> {
             return;
         }
 
-        let current = self.current_value(state, instance);
-        let mut candidate_members: Vec<Worker> = state
-            .jury_members
-            .iter()
-            .filter(|w| w.id() != out_worker.id())
-            .cloned()
-            .collect();
-        candidate_members.push(in_worker.clone());
-        let candidate_value = self
-            .objective
-            .evaluate(&Jury::new(candidate_members), instance.prior());
+        let current = self.current_value(state, instance, session);
+        let candidate_value = match session {
+            Some(live) => {
+                if !live.pop(out_worker) {
+                    // The session lost track of the jury (cannot happen with
+                    // the engines shipped here, but a third-party objective
+                    // might misbehave): abandon it and fall back.
+                    *session = None;
+                    state.current_value = None;
+                    return self.try_swap(state, instance, r, temperature, rng, session);
+                }
+                live.push(in_worker);
+                live.value()
+            }
+            None => {
+                let mut candidate_members: Vec<Worker> = state
+                    .jury_members
+                    .iter()
+                    .filter(|w| w.id() != out_worker.id())
+                    .cloned()
+                    .collect();
+                candidate_members.push(in_worker.clone());
+                self.objective
+                    .evaluate(&Jury::new(candidate_members), instance.prior())
+            }
+        };
         let delta = candidate_value - current;
 
         let accept = delta >= 0.0 || rng.gen::<f64>() <= (delta / temperature).exp();
         if accept {
             state.swap(out_index, out_worker, in_index, in_worker);
             state.current_value = Some(candidate_value);
+        } else if let Some(live) = session {
+            // Revert the in-place trial swap.
+            live.pop(in_worker);
+            live.push(out_worker);
+            state.current_value = Some(current);
         }
     }
 }
 
 impl<O: JuryObjective> AnnealingSolver<O> {
     /// One run of the paper's Algorithm 3, starting from the empty jury.
+    ///
+    /// When the objective offers an incremental session (and the
+    /// configuration allows it), the temperature loop steers itself entirely
+    /// through that session; the returned value is always a fresh batch
+    /// evaluation of the final jury, so callers compare restarts and report
+    /// results on the objective's own scale.
     fn anneal_once(&self, instance: &JspInstance, seed: u64) -> (Jury, f64) {
         let n = instance.num_candidates();
         let workers = instance.pool().workers();
         let mut rng = StdRng::seed_from_u64(seed);
         let mut state = SearchState::new(n);
+        let mut session = if self.config.use_incremental {
+            self.objective.incremental_session(instance)
+        } else {
+            None
+        };
+        let session_used = session.is_some();
 
         if n > 0 {
             let mut temperature = self.config.initial_temperature;
@@ -294,8 +364,11 @@ impl<O: JuryObjective> AnnealingSolver<O> {
                     {
                         // Adding an affordable worker never hurts (Lemma 1).
                         state.add(r, &workers[r]);
+                        if let Some(live) = &mut session {
+                            live.push(&workers[r]);
+                        }
                     } else {
-                        self.try_swap(&mut state, instance, r, temperature, &mut rng);
+                        self.try_swap(&mut state, instance, r, temperature, &mut rng, &mut session);
                     }
                 }
                 temperature *= self.config.cooling_factor;
@@ -303,9 +376,16 @@ impl<O: JuryObjective> AnnealingSolver<O> {
         }
 
         let jury = state.jury();
-        let value = state
-            .current_value
-            .unwrap_or_else(|| self.objective.evaluate(&jury, instance.prior()));
+        // Session values are quantized search guidance; the reported value
+        // must come from the batch objective. Without a session the cached
+        // value already is one.
+        let value = if session_used {
+            self.objective.evaluate(&jury, instance.prior())
+        } else {
+            state
+                .current_value
+                .unwrap_or_else(|| self.objective.evaluate(&jury, instance.prior()))
+        };
         (jury, value)
     }
 
@@ -506,6 +586,40 @@ mod tests {
         let optimal = ExhaustiveSolver::new(MvObjective::new()).solve(&instance);
         assert!(annealed.objective_value <= optimal.objective_value + 1e-9);
         assert!(annealed.objective_value >= optimal.objective_value - 0.05);
+    }
+
+    #[test]
+    fn incremental_guidance_keeps_search_quality_above_the_cutoff() {
+        // A pool above the exact cutoff engages the BV incremental session;
+        // the result must stay feasible, reproducible, and as good as the
+        // historical evaluate-per-step search (both re-scored by the same
+        // batch objective).
+        let generator = GaussianWorkerGenerator::paper_defaults();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        let pool = generator.generate(24, &mut rng);
+        let instance = JspInstance::new(pool, 0.4, Prior::uniform()).unwrap();
+
+        let incremental = AnnealingSolver::new(BvObjective::new()).solve(&instance);
+        let incremental_again = AnnealingSolver::new(BvObjective::new()).solve(&instance);
+        let classic = AnnealingSolver::with_config(
+            BvObjective::new(),
+            AnnealingConfig::default().with_incremental(false),
+        )
+        .solve(&instance);
+
+        assert!(instance.is_feasible(&incremental.jury));
+        assert_eq!(
+            incremental.jury.ids(),
+            incremental_again.jury.ids(),
+            "incremental guidance must stay deterministic"
+        );
+        assert!(
+            (incremental.objective_value - classic.objective_value).abs() < 0.02,
+            "incremental {} vs classic {}",
+            incremental.objective_value,
+            classic.objective_value
+        );
+        assert!(incremental.evaluations > 0);
     }
 
     #[test]

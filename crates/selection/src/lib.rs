@@ -10,10 +10,14 @@
 //!
 //! * [`ExhaustiveSolver`] — exact enumeration (the reference for `N ≤ 22`);
 //! * [`AnnealingSolver`] — the paper's simulated-annealing heuristic
-//!   (Algorithms 3 and 4), generic over the objective;
+//!   (Algorithms 3 and 4), generic over the objective and steered through
+//!   the objective's [`IncrementalSession`] so a neighbour jury costs
+//!   `O(buckets)` instead of a from-scratch JQ evaluation;
 //! * [`GreedyQualitySolver`] / [`GreedyRatioSolver`] — cheap baselines;
+//! * [`GreedyMarginalSolver`] — objective-driven forward selection scoring
+//!   pool-many single-worker extensions per round via the same sessions;
 //! * [`special::try_special_case`] — the closed-form cases of Lemmas 1 and 2;
-//! * [`MvjsSolver`] — the Majority-Voting baseline system of Cao et al. [7];
+//! * [`MvjsSolver`] — the Majority-Voting baseline system of Cao et al. \[7\];
 //! * [`BudgetQualityTable`] — the Figure 1 budget–quality table.
 //!
 //! ```
@@ -44,9 +48,12 @@ pub mod special;
 pub use annealing::{AnnealingConfig, AnnealingSolver};
 pub use budget_table::{BudgetQualityRow, BudgetQualityTable};
 pub use exhaustive::{ExhaustiveSolver, MAX_EXHAUSTIVE_POOL};
-pub use greedy::{GreedyQualitySolver, GreedyRatioSolver};
+pub use greedy::{GreedyMarginalSolver, GreedyQualitySolver, GreedyRatioSolver};
 pub use mvjs::MvjsSolver;
-pub use objective::{BvObjective, JuryObjective, MvObjective};
+pub use objective::{
+    bv_incremental_session, mv_incremental_session, BvObjective, IncrementalSession, JuryObjective,
+    MvObjective,
+};
 pub use problem::JspInstance;
 pub use solver::{JurySolver, SolveError, SolverResult};
 pub use special::{try_special_case, SpecialCase};

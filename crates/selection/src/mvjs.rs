@@ -1,6 +1,6 @@
 //! The MVJS baseline — jury selection under Majority Voting, reproducing the
 //! behaviour of Cao et al. ("Whom to ask? Jury selection for decision making
-//! tasks on micro-blog services", PVLDB 2012), cited as [7] and used as the
+//! tasks on micro-blog services", PVLDB 2012), cited as \[7\] and used as the
 //! comparison system throughout Section 6.
 //!
 //! MVJS solves `argmax_{J ∈ C} JQ(J, MV, 0.5)`. The original implementation
@@ -9,7 +9,7 @@
 //!
 //! 1. exhaustive enumeration when the pool is small enough (exact);
 //! 2. for each odd jury size `k`, the `k` highest-quality workers that fit in
-//!    the budget (the shape of the heuristic described in [7], where MV
+//!    the budget (the shape of the heuristic described in \[7\], where MV
 //!    quality is driven by the size and the member qualities);
 //! 3. the same simulated-annealing search as OPTJS but with the MV objective.
 //!

@@ -6,11 +6,42 @@
 //! search algorithms (exhaustive, greedy, simulated annealing) are agnostic
 //! to the strategy being optimized — which is precisely the ablation the
 //! paper's Figure 6 performs.
+//!
+//! Besides the batch [`JuryObjective::evaluate`] entry point, an objective
+//! can open an [`IncrementalSession`]: a stateful evaluator that mutates one
+//! worker at a time (`jury_jq::IncrementalJq` / `jury_jq::IncrementalMvJq`
+//! underneath), which is what makes the neighbourhood searches pay
+//! `O(buckets)` per candidate jury instead of rebuilding the whole JQ
+//! dynamic program.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use jury_jq::{BucketJqConfig, JqEngine};
-use jury_model::{Jury, Prior};
+use jury_jq::{BucketJqConfig, IncrementalJq, IncrementalJqConfig, IncrementalMvJq, JqEngine};
+use jury_model::{Jury, Prior, Worker, WorkerPool};
+
+use crate::problem::JspInstance;
+
+/// A stateful, incremental evaluation session opened from a
+/// [`JuryObjective`].
+///
+/// The session tracks one jury; `push`/`pop` mutate it by a single worker
+/// and `value` reports the objective of the *current* state. Sessions exist
+/// purely to accelerate neighbourhood searches: their values may be
+/// quantized (the BV engine works on a fixed bucket grid), so solvers score
+/// final candidates through [`JuryObjective::evaluate`] and use the session
+/// only to steer the search.
+pub trait IncrementalSession {
+    /// Adds one worker to the tracked jury.
+    fn push(&mut self, worker: &Worker);
+
+    /// Removes a previously pushed worker. Returns `false` (leaving the
+    /// state untouched) if the worker is unknown — callers should then
+    /// abandon the session and fall back to batch evaluation.
+    fn pop(&mut self, worker: &Worker) -> bool;
+
+    /// The objective value of the current jury state.
+    fn value(&self) -> f64;
+}
 
 /// An objective function over juries.
 pub trait JuryObjective: Send + Sync {
@@ -21,8 +52,20 @@ pub trait JuryObjective: Send + Sync {
     /// better; values are jury qualities in `[0, 1]`.
     fn evaluate(&self, jury: &Jury, prior: Prior) -> f64;
 
-    /// Number of evaluations performed so far (used to report search effort).
+    /// Number of evaluations performed so far (used to report search
+    /// effort); incremental-session evaluations count too.
     fn evaluations(&self) -> u64;
+
+    /// Opens an incremental evaluation session for juries drawn from the
+    /// instance's pool, or `None` when the objective has no incremental
+    /// back-end (or judges it not worthwhile, e.g. a pool small enough for
+    /// exact enumeration). The default implementation returns `None`.
+    fn incremental_session<'a>(
+        &'a self,
+        _instance: &JspInstance,
+    ) -> Option<Box<dyn IncrementalSession + 'a>> {
+        None
+    }
 }
 
 // Objectives work by shared reference too, so one (stateful, counting)
@@ -41,6 +84,86 @@ impl<O: JuryObjective + ?Sized> JuryObjective for &O {
     fn evaluations(&self) -> u64 {
         (**self).evaluations()
     }
+
+    fn incremental_session<'a>(
+        &'a self,
+        instance: &JspInstance,
+    ) -> Option<Box<dyn IncrementalSession + 'a>> {
+        (**self).incremental_session(instance)
+    }
+}
+
+/// [`IncrementalSession`] over `JQ(J, BV, α)` via [`IncrementalJq`], with
+/// evaluations ticking a caller-owned counter.
+struct BvSession<'a> {
+    engine: IncrementalJq,
+    evaluations: &'a AtomicU64,
+}
+
+impl IncrementalSession for BvSession<'_> {
+    fn push(&mut self, worker: &Worker) {
+        self.engine.push_worker(worker);
+    }
+
+    fn pop(&mut self, worker: &Worker) -> bool {
+        self.engine.pop_worker(worker).is_ok()
+    }
+
+    fn value(&self) -> f64 {
+        self.evaluations.fetch_add(1, Ordering::Relaxed);
+        self.engine.jq()
+    }
+}
+
+/// [`IncrementalSession`] over `JQ(J, MV, α)` via [`IncrementalMvJq`].
+struct MvSession<'a> {
+    engine: IncrementalMvJq,
+    prior: Prior,
+    evaluations: &'a AtomicU64,
+}
+
+impl IncrementalSession for MvSession<'_> {
+    fn push(&mut self, worker: &Worker) {
+        self.engine.push_worker(worker);
+    }
+
+    fn pop(&mut self, worker: &Worker) -> bool {
+        self.engine.pop_worker(worker).is_ok()
+    }
+
+    fn value(&self) -> f64 {
+        self.evaluations.fetch_add(1, Ordering::Relaxed);
+        self.engine.jq(self.prior)
+    }
+}
+
+/// Builds a BV incremental session on the grid induced by `bucket` for
+/// juries drawn from `pool`, ticking `evaluations` on every `value` call.
+/// Exposed so other crates' objectives (e.g. `jury-service`'s cache-backed
+/// one) can reuse the exact session wiring of [`BvObjective`].
+pub fn bv_incremental_session<'a>(
+    pool: &WorkerPool,
+    prior: Prior,
+    bucket: BucketJqConfig,
+    evaluations: &'a AtomicU64,
+) -> Box<dyn IncrementalSession + 'a> {
+    let config = IncrementalJqConfig::default().with_buckets(bucket.buckets);
+    Box::new(BvSession {
+        engine: IncrementalJq::for_pool(pool, prior, config),
+        evaluations,
+    })
+}
+
+/// Builds an MV incremental session (see [`bv_incremental_session`]).
+pub fn mv_incremental_session(
+    prior: Prior,
+    evaluations: &AtomicU64,
+) -> Box<dyn IncrementalSession + '_> {
+    Box::new(MvSession {
+        engine: IncrementalMvJq::new(),
+        prior,
+        evaluations,
+    })
 }
 
 /// The OPTJS objective: `JQ(J, BV, α)`, computed by the [`JqEngine`]
@@ -88,6 +211,24 @@ impl JuryObjective for BvObjective {
     fn evaluations(&self) -> u64 {
         self.evaluations.load(Ordering::Relaxed)
     }
+
+    fn incremental_session<'a>(
+        &'a self,
+        instance: &JspInstance,
+    ) -> Option<Box<dyn IncrementalSession + 'a>> {
+        // Pools within the exact cutoff evaluate every jury by exact
+        // enumeration anyway — a quantized incremental grid would only trade
+        // precision for nothing there.
+        if instance.num_candidates() <= self.engine.exact_cutoff() {
+            return None;
+        }
+        Some(bv_incremental_session(
+            instance.pool(),
+            instance.prior(),
+            *self.engine.bucket_estimator().config(),
+            &self.evaluations,
+        ))
+    }
 }
 
 /// The MVJS objective: `JQ(J, MV, α)` via the exact Poisson-binomial dynamic
@@ -117,6 +258,15 @@ impl JuryObjective for MvObjective {
 
     fn evaluations(&self) -> u64 {
         self.evaluations.load(Ordering::Relaxed)
+    }
+
+    fn incremental_session<'a>(
+        &'a self,
+        instance: &JspInstance,
+    ) -> Option<Box<dyn IncrementalSession + 'a>> {
+        // The MV session is exact (no quantization) and strictly cheaper
+        // than the scratch Poisson-binomial DP, so it is always worthwhile.
+        Some(mv_incremental_session(instance.prior(), &self.evaluations))
     }
 }
 
@@ -163,5 +313,63 @@ mod tests {
             obj.evaluate(&jury, Prior::uniform());
         }
         assert_eq!(obj.evaluations(), 5);
+    }
+
+    #[test]
+    fn bv_sessions_are_gated_by_the_exact_cutoff() {
+        let obj = BvObjective::new();
+        let small =
+            JspInstance::with_uniform_prior(jury_model::paper_example_pool(), 15.0).unwrap();
+        assert!(obj.incremental_session(&small).is_none());
+        let big_pool =
+            jury_model::WorkerPool::from_qualities_and_costs(&[0.7; 20], &[1.0; 20]).unwrap();
+        let big = JspInstance::with_uniform_prior(big_pool, 5.0).unwrap();
+        assert!(obj.incremental_session(&big).is_some());
+    }
+
+    #[test]
+    fn bv_session_tracks_evaluate_and_ticks_the_counter() {
+        let obj = BvObjective::new();
+        let pool = jury_model::WorkerPool::from_qualities_and_costs(
+            &[
+                0.9, 0.63, 0.6, 0.7, 0.8, 0.65, 0.75, 0.55, 0.72, 0.68, 0.81, 0.59, 0.62,
+            ],
+            &[1.0; 13],
+        )
+        .unwrap();
+        let instance = JspInstance::with_uniform_prior(pool.clone(), 3.0).unwrap();
+        let mut session = obj.incremental_session(&instance).unwrap();
+        let members = &pool.workers()[..3];
+        for worker in members {
+            session.push(worker);
+        }
+        let incremental = session.value();
+        let exact = {
+            let jury = Jury::new(members.to_vec());
+            jury_jq::exact_bv_jq(&jury, Prior::uniform()).unwrap()
+        };
+        // Quantized guidance: within the (loose) analytic grid error.
+        assert!(
+            (incremental - exact).abs() < 1e-2,
+            "session {incremental} vs exact {exact}"
+        );
+        assert!(session.pop(&members[2]));
+        assert!(!session.pop(&members[2]), "double pop must fail");
+        assert!(obj.evaluations() >= 1, "session values must be counted");
+    }
+
+    #[test]
+    fn mv_session_is_exact_and_always_available() {
+        let obj = MvObjective::new();
+        let instance =
+            JspInstance::with_uniform_prior(jury_model::paper_example_pool(), 15.0).unwrap();
+        let mut session = obj.incremental_session(&instance).unwrap();
+        let workers = instance.pool().workers().to_vec();
+        for worker in &workers[..3] {
+            session.push(worker);
+        }
+        let jury = Jury::new(workers[..3].to_vec());
+        let direct = obj.evaluate(&jury, Prior::uniform());
+        assert!((session.value() - direct).abs() < 1e-12);
     }
 }

@@ -8,6 +8,13 @@
 //! [`jury_signature`] (sound: JQ depends only on the quality multiset and
 //! the prior; see `jury_jq::signature`) plus the strategy, behind a
 //! `parking_lot`-guarded map shared by all worker threads of a batch.
+//!
+//! The cache is the *outer* memoization layer; underneath it the objective
+//! also hands the solvers incremental push/pop/swap sessions
+//! (`jury_jq::IncrementalJq` / `jury_jq::IncrementalMvJq`), so the inner
+//! search loop of annealing and marginal greedy never pays a from-scratch
+//! JQ computation either — batch memoization outside, incremental updates
+//! inside.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -16,7 +23,9 @@ use parking_lot::RwLock;
 
 use jury_jq::{jury_signature, JqEngine, JurySignature};
 use jury_model::{Jury, Prior};
-use jury_selection::JuryObjective;
+use jury_selection::{
+    bv_incremental_session, mv_incremental_session, IncrementalSession, JspInstance, JuryObjective,
+};
 
 use crate::request::Strategy;
 
@@ -180,6 +189,29 @@ impl JuryObjective for CachedObjective<'_> {
 
     fn evaluations(&self) -> u64 {
         self.requests.load(Ordering::Relaxed)
+    }
+
+    fn incremental_session<'a>(
+        &'a self,
+        instance: &JspInstance,
+    ) -> Option<Box<dyn IncrementalSession + 'a>> {
+        match self.strategy {
+            Strategy::Bv => {
+                // Pools within the exact cutoff are evaluated by exact
+                // enumeration (and served by the cache); the quantized
+                // session only pays off beyond it.
+                if instance.num_candidates() <= self.engine.exact_cutoff() {
+                    return None;
+                }
+                Some(bv_incremental_session(
+                    instance.pool(),
+                    instance.prior(),
+                    *self.engine.bucket_estimator().config(),
+                    &self.requests,
+                ))
+            }
+            Strategy::Mv => Some(mv_incremental_session(instance.prior(), &self.requests)),
+        }
     }
 }
 

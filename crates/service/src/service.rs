@@ -7,9 +7,9 @@ use std::time::Instant;
 
 use jury_model::{Prior, WorkerPool};
 use jury_selection::{
-    AnnealingSolver, BudgetQualityRow, BudgetQualityTable, ExhaustiveSolver, GreedyQualitySolver,
-    GreedyRatioSolver, JspInstance, JuryObjective, JurySolver, MvjsSolver, SolverResult,
-    MAX_EXHAUSTIVE_POOL,
+    AnnealingSolver, BudgetQualityRow, BudgetQualityTable, ExhaustiveSolver, GreedyMarginalSolver,
+    GreedyQualitySolver, GreedyRatioSolver, JspInstance, JuryObjective, JurySolver, MvjsSolver,
+    SolverResult, MAX_EXHAUSTIVE_POOL,
 };
 
 use crate::cache::{CacheStats, CachedObjective, JqCache};
@@ -71,6 +71,35 @@ impl JuryService {
     }
 
     /// Serves one selection request.
+    ///
+    /// The request is validated first — a bad budget, prior, or pool comes
+    /// back as a [`ServiceError`] value, never a panic. Valid requests are
+    /// dispatched to the solver chosen by the request's
+    /// [`SolverPolicy`]; every JQ evaluation goes
+    /// through this service's shared signature-keyed cache, and the
+    /// neighbourhood searches additionally run on the incremental JQ engine
+    /// (`jury_jq::IncrementalJq`), paying `O(buckets)` per candidate jury.
+    ///
+    /// ```
+    /// use jury_model::{paper_example_pool, Prior};
+    /// use jury_service::{JuryService, SelectionRequest, ServiceError};
+    ///
+    /// let service = JuryService::paper_experiments();
+    ///
+    /// // Budget 15 on the paper's pool selects {B, C, G} at 84.5 %.
+    /// let request = SelectionRequest::new(paper_example_pool(), 15.0)
+    ///     .with_prior(Prior::uniform());
+    /// let response = service.select(&request)?;
+    /// assert_eq!(response.jury.size(), 3);
+    /// assert!((response.quality - 0.845).abs() < 1e-9);
+    ///
+    /// // Failures are typed values.
+    /// let err = service
+    ///     .select(&SelectionRequest::new(paper_example_pool(), f64::NAN))
+    ///     .unwrap_err();
+    /// assert!(matches!(err, ServiceError::InvalidBudget { .. }));
+    /// # Ok::<(), ServiceError>(())
+    /// ```
     pub fn select(&self, request: &SelectionRequest) -> Result<SelectionResponse, ServiceError> {
         let started = Instant::now();
         let config = request.config().copied().unwrap_or(self.config);
@@ -146,13 +175,20 @@ impl JuryService {
                 AnnealingSolver::with_config(objective, config.annealing).solve(instance)
             }
             SolverPolicy::Greedy => {
-                let by_quality = GreedyQualitySolver::new(objective).solve(instance);
-                let by_ratio = GreedyRatioSolver::new(objective).solve(instance);
-                if by_quality.objective_value >= by_ratio.objective_value {
-                    by_quality
-                } else {
-                    by_ratio
+                // Three greedy flavours, best-of: the two cheap orderings
+                // plus the objective-driven marginal greedy, which probes
+                // pool-many extensions per round through the incremental
+                // session. Ties keep the earlier (cheaper) candidate.
+                let mut best = GreedyQualitySolver::new(objective).solve(instance);
+                for candidate in [
+                    GreedyRatioSolver::new(objective).solve(instance),
+                    GreedyMarginalSolver::new(objective).solve(instance),
+                ] {
+                    if candidate.objective_value > best.objective_value {
+                        best = candidate;
+                    }
                 }
+                best
             }
         };
         Ok(result)
@@ -416,6 +452,37 @@ mod tests {
             service.select(&strict).unwrap_err(),
             ServiceError::EmptyPool
         );
+    }
+
+    #[test]
+    fn large_pools_run_the_incremental_search_path() {
+        // 40 candidates is well above the exact cutoff, so Auto/Annealing
+        // steer through the incremental BV engine and Greedy adds the
+        // marginal-gain probes; results must stay feasible, non-trivial, and
+        // deterministic.
+        let qualities: Vec<f64> = (0..40).map(|i| 0.52 + 0.012 * (i % 30) as f64).collect();
+        let costs: Vec<f64> = (0..40).map(|i| 0.5 + (i % 7) as f64 * 0.25).collect();
+        let pool = WorkerPool::from_qualities_and_costs(&qualities, &costs).unwrap();
+        let service = paper_service();
+        for policy in [
+            SolverPolicy::Auto,
+            SolverPolicy::Annealing,
+            SolverPolicy::Greedy,
+        ] {
+            let request = SelectionRequest::new(pool.clone(), 5.0).with_policy(policy);
+            let response = service.select(&request).unwrap();
+            assert!(response.cost <= 5.0 + 1e-9, "{policy}");
+            assert!(!response.jury.is_empty(), "{policy}");
+            assert!(response.quality >= 0.5, "{policy}");
+            assert!(response.evaluations > 0, "{policy}");
+            let again = service.select(&request).unwrap();
+            assert_eq!(response.worker_ids(), again.worker_ids(), "{policy}");
+        }
+        // The MV strategy drives the incremental Poisson-binomial engine.
+        let mv = service
+            .select(&SelectionRequest::new(pool, 5.0).with_strategy(Strategy::Mv))
+            .unwrap();
+        assert!(mv.quality >= 0.5);
     }
 
     #[test]

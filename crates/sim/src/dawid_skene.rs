@@ -1,8 +1,8 @@
 //! Dawid–Skene expectation-maximization for worker-quality estimation
 //! without ground truth.
 //!
-//! The paper's related-work section (Section 8, citing Ipeirotis et al. [18]
-//! and Dawid & Skene [1]) describes estimating worker quality by iterating
+//! The paper's related-work section (Section 8, citing Ipeirotis et al. \[18\]
+//! and Dawid & Skene \[1\]) describes estimating worker quality by iterating
 //! between (a) inferring each task's answer from the current quality
 //! estimates and (b) re-estimating each worker's quality from the inferred
 //! answers. This module implements the binary special case: each worker is a

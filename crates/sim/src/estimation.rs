@@ -6,7 +6,7 @@
 //! accuracy (Section 6.2.1). This module provides that estimator plus two of
 //! the commonly used alternatives the related-work section mentions:
 //! accuracy on *golden questions* (tasks with known ground truth planted in
-//! the stream, as in CDAS [25]) and agreement with the majority answer when
+//! the stream, as in CDAS \[25\]) and agreement with the majority answer when
 //! no ground truth is available at all.
 
 use std::collections::BTreeMap;

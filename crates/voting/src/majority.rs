@@ -2,7 +2,7 @@
 //! Voting.
 //!
 //! MV is the strategy used by the prior jury-selection work of Cao et al.
-//! ([7] in the paper) and is the baseline the paper's system comparison
+//! (\[7\] in the paper) and is the baseline the paper's system comparison
 //! (Figure 6 / Figure 10) is measured against.
 
 use jury_model::{Answer, Jury, ModelResult, Prior};
@@ -57,7 +57,7 @@ impl VotingStrategy for MajorityVoting {
     }
 }
 
-/// Half Voting (cited as [28] in the paper): the result is the answer that
+/// Half Voting (cited as \[28\] in the paper): the result is the answer that
 /// receives at least half of the votes, with exact ties resolved to `0`.
 ///
 /// Half Voting differs from [`MajorityVoting`] only on even-sized juries with

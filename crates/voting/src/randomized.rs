@@ -42,7 +42,7 @@ impl VotingStrategy for RandomizedMajorityVoting {
     }
 }
 
-/// Random Ballot Voting (cited as [33]): the result is picked uniformly at
+/// Random Ballot Voting (cited as \[33\]): the result is picked uniformly at
 /// random, ignoring the votes entirely — the paper's Section 6.1.4 footnote
 /// describes it as "randomly returns 0 or 1 with 50%". Its JQ is always 50 %
 /// under a uniform prior, which is exactly the flat line of Figure 8.

@@ -1,4 +1,4 @@
-//! Triadic Consensus (cited as [2], Goel & Lee, in the paper's Table 2): a
+//! Triadic Consensus (cited as \[2\], Goel & Lee, in the paper's Table 2): a
 //! randomized strategy that repeatedly resolves random triads of ballots by
 //! majority until a single ballot remains.
 //!

@@ -1,4 +1,4 @@
-//! Weighted majority strategies (cited as [23] in the paper's Table 2):
+//! Weighted majority strategies (cited as \[23\] in the paper's Table 2):
 //! Weighted Majority Voting and its randomized counterpart.
 //!
 //! Each vote is weighted by the worker's log-odds `φ(q) = ln(q / (1 − q))`
