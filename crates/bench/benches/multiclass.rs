@@ -1,0 +1,123 @@
+//! Criterion micro-benchmarks for the incremental multi-class JQ engine and
+//! the warm-started budget sweep.
+//!
+//! * `multiclass_annealing_step` — one confusion-matrix annealing neighbour:
+//!   swap a jury member, read the JQ, swap back. The scratch path rebuilds
+//!   the whole Section 7 tuple-key DP (`O(n)` convolutions per target); the
+//!   incremental engine pays one deconvolve/convolve pair per target. Both
+//!   pool sizes are kept on purpose: at 10 candidates the scratch DP's
+//!   sparse map is tiny and wins outright, at 30 the dense engine wins by
+//!   an order of magnitude — the crossover that
+//!   `jury_selection::DEFAULT_MULTICLASS_SESSION_POOL_CUTOFF` encodes.
+//! * `budget_sweep` — a full Figure-1 style budget–quality table over a
+//!   many-candidate pool: cold re-solves every budget from the empty jury,
+//!   warm carries one marginal-gain search state (and one incremental JQ
+//!   session) from each budget to the next.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use jury_jq::{
+    approx_multiclass_bv_jq, IncrementalMultiClassJq, MultiClassBucketConfig,
+    MultiClassIncrementalConfig,
+};
+use jury_model::{CategoricalPrior, MatrixJury, MatrixPool, Prior, WorkerPool};
+use jury_selection::{BudgetQualityTable, BvObjective, GreedyMarginalSolver};
+
+/// Bucket resolution used by both the scratch and incremental multi-class
+/// paths so the comparison is work-for-work.
+const NUM_BUCKETS: usize = 50;
+/// Labels of the multi-class workloads.
+const NUM_CHOICES: usize = 3;
+
+fn matrix_pool(n: usize) -> MatrixPool {
+    let qualities: Vec<f64> = (0..n).map(|i| 0.55 + 0.015 * (i % 25) as f64).collect();
+    let costs: Vec<f64> = (0..n).map(|i| 1.0 + (i % 5) as f64 * 0.5).collect();
+    MatrixPool::from_qualities_and_costs(&qualities, &costs, NUM_CHOICES).unwrap()
+}
+
+/// One annealing neighbour: swap a member for an outsider, read the JQ,
+/// swap back.
+fn bench_multiclass_annealing_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multiclass_annealing_step");
+    for &n in &[10usize, 30] {
+        let pool = matrix_pool(n);
+        let prior = CategoricalPrior::uniform(NUM_CHOICES).unwrap();
+        let members = pool.workers()[..n / 2].to_vec();
+        let outsider = pool.workers()[n - 1].clone();
+        let victim = members[0].clone();
+
+        let config = MultiClassBucketConfig {
+            num_buckets: NUM_BUCKETS,
+        };
+        group.bench_function(BenchmarkId::new("scratch_dp", n), |b| {
+            b.iter(|| {
+                // The from-scratch path must rebuild the tuple DP for the
+                // mutated jury.
+                let mut candidate = members.clone();
+                candidate[0] = outsider.clone();
+                let jury = MatrixJury::new(candidate).unwrap();
+                approx_multiclass_bv_jq(&jury, &prior, config).unwrap()
+            })
+        });
+
+        let mut engine = IncrementalMultiClassJq::for_pool(
+            pool.workers(),
+            &prior,
+            MultiClassIncrementalConfig::default().with_num_buckets(NUM_BUCKETS),
+        )
+        .unwrap();
+        for worker in &members {
+            engine.push_worker(worker).unwrap();
+        }
+        group.bench_function(BenchmarkId::new("incremental", n), |b| {
+            b.iter(|| {
+                engine.swap_worker(&victim, &outsider).unwrap();
+                let value = engine.jq();
+                engine.swap_worker(&outsider, &victim).unwrap();
+                value
+            })
+        });
+    }
+    group.finish();
+}
+
+/// A full budget–quality table, cold (one marginal-greedy solve per budget)
+/// vs. warm (one search state carried across the ascending budgets).
+fn bench_budget_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("budget_sweep");
+    group.sample_size(10);
+    for &n in &[40usize, 120] {
+        let qualities: Vec<f64> = (0..n).map(|i| 0.52 + 0.012 * (i % 35) as f64).collect();
+        let costs = vec![1.0; n];
+        let pool = WorkerPool::from_qualities_and_costs(&qualities, &costs).unwrap();
+        let budgets: Vec<f64> = (1..=8).map(|b| (b * n / 10) as f64).collect();
+
+        group.bench_function(BenchmarkId::new("cold", n), |b| {
+            b.iter(|| {
+                let solver = GreedyMarginalSolver::new(BvObjective::new());
+                BudgetQualityTable::build(&pool, &budgets, Prior::uniform(), &solver)
+            })
+        });
+
+        group.bench_function(BenchmarkId::new("warm", n), |b| {
+            b.iter(|| {
+                let objective = BvObjective::new();
+                BudgetQualityTable::build_warm(&pool, &budgets, Prior::uniform(), &objective)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Keep the whole suite quick enough for CI while still giving stable numbers.
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
+    targets = bench_multiclass_annealing_step, bench_budget_sweep
+}
+criterion_main!(benches);

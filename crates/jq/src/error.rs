@@ -35,6 +35,20 @@ pub enum JqError {
         /// The quality of the worker that was not found.
         quality: f64,
     },
+    /// An id-tracking incremental engine was asked to remove a worker whose
+    /// id is not part of its current jury state.
+    NotAJuryMember {
+        /// The id of the worker that was not found.
+        id: jury_model::WorkerId,
+    },
+    /// A dense incremental DP state would exceed its configured cell
+    /// budget (the multi-class engine's guard against exponential boxes).
+    StateTooLarge {
+        /// Cells the state would need.
+        cells: u64,
+        /// The configured cell budget.
+        max: u64,
+    },
     /// A lower-level model invariant was violated (invalid votes, labels,
     /// priors, ...).
     Model(ModelError),
@@ -54,6 +68,14 @@ impl fmt::Display for JqError {
             JqError::NotAMember { quality } => write!(
                 f,
                 "no worker with quality {quality} is part of the incremental jury state"
+            ),
+            JqError::NotAJuryMember { id } => write!(
+                f,
+                "no worker with id {id} is part of the incremental jury state"
+            ),
+            JqError::StateTooLarge { cells, max } => write!(
+                f,
+                "a dense incremental DP state of {cells} cells exceeds the budget of {max}"
             ),
             JqError::Model(err) => write!(f, "model error: {err}"),
         }

@@ -24,6 +24,9 @@
 //!   the dynamic program from scratch;
 //! * [`multiclass`] — Section 7's extension to multiple-choice tasks and
 //!   confusion-matrix workers;
+//! * [`multiclass_incremental::IncrementalMultiClassJq`] — the Section 7
+//!   tuple-key DP under the same push/pop/swap contract, so multi-class
+//!   selection shares the solvers' incremental hot path;
 //! * [`estimator::JqEngine`] — a facade picking the right back-end.
 //!
 //! Size preconditions are reported as typed [`JqError`] values — no JQ entry
@@ -56,6 +59,7 @@ pub mod exact;
 pub mod hardness;
 pub mod incremental;
 pub mod multiclass;
+pub mod multiclass_incremental;
 pub mod mv;
 pub mod prior;
 pub mod prune;
@@ -69,8 +73,10 @@ pub use exact::{exact_bv_jq, exact_jq, MAX_EXACT_JURY};
 pub use hardness::{has_equal_partition, partition_gadget};
 pub use incremental::{IncrementalJq, IncrementalJqConfig, IncrementalMvJq, IncrementalStats};
 pub use multiclass::{
-    approx_multiclass_bv_jq, exact_multiclass_bv_jq, exact_multiclass_jq, MultiClassBucketConfig,
+    approx_multiclass_bv_jq, exact_multiclass_bv_jq, exact_multiclass_jq, multiclass_grid_deltas,
+    MultiClassBucketConfig,
 };
+pub use multiclass_incremental::{IncrementalMultiClassJq, MultiClassIncrementalConfig};
 pub use mv::mv_jq;
 pub use prior::{fold_prior, PRIOR_PSEUDO_WORKER_ID};
 pub use prune::PruneStats;

@@ -39,6 +39,70 @@ fn check_enumeration_size(jury: &MatrixJury) -> JqResult<()> {
 /// zero entries of a confusion matrix stay finite.
 const LOG_FLOOR: f64 = 1e-12;
 
+/// `ln p − ln q` with both probabilities clamped to [`LOG_FLOOR`], the
+/// log-ratio increment used by every multi-class bucket DP in this crate.
+/// Shared between the scratch DP below and
+/// [`crate::multiclass_incremental::IncrementalMultiClassJq`] so the two
+/// quantize identically on the same grid.
+#[inline]
+pub(crate) fn clamped_log_ratio(p: f64, q: f64) -> f64 {
+    p.max(LOG_FLOOR).ln() - q.max(LOG_FLOOR).ln()
+}
+
+/// The largest absolute log-ratio any vote of any of `workers` (or the
+/// prior) can contribute to the tuple key of target label `target` — the
+/// quantity whose division by the bucket count yields the grid width.
+pub(crate) fn target_max_abs_ratio(
+    workers: &[jury_model::MatrixWorker],
+    prior: &CategoricalPrior,
+    target: Label,
+) -> f64 {
+    let l = prior.num_choices();
+    let mut max_abs: f64 = 0.0;
+    for i in (0..l).filter(|&i| i != target.index()) {
+        max_abs = max_abs.max(clamped_log_ratio(prior.prob(target), prior.prob(Label(i))).abs());
+        for worker in workers {
+            for k in 0..l {
+                let r = clamped_log_ratio(
+                    worker.prob(target, Label(k)),
+                    worker.prob(Label(i), Label(k)),
+                );
+                max_abs = max_abs.max(r.abs());
+            }
+        }
+    }
+    max_abs
+}
+
+/// The per-target grid widths `δ_{t'}` the tuple-key DP derives for a jury:
+/// the largest absolute log-ratio reachable for that target (workers and
+/// prior included) divided by the configured bucket count, or `0.0` when
+/// every ratio is zero. [`approx_multiclass_bv_jq`] quantizes on exactly
+/// these grids, so an incremental engine constructed with the same deltas
+/// reproduces the scratch DP bucket for bucket.
+///
+/// # Errors
+///
+/// Returns [`ModelError::InvalidPriorVector`] when the prior's label count
+/// does not match the jury's.
+pub fn multiclass_grid_deltas(
+    jury: &MatrixJury,
+    prior: &CategoricalPrior,
+    config: MultiClassBucketConfig,
+) -> ModelResult<Vec<f64>> {
+    check_dimensions(jury, prior)?;
+    Ok((0..jury.num_choices())
+        .map(|t| {
+            let max_abs = target_max_abs_ratio(jury.workers(), prior, Label(t));
+            if max_abs > 0.0 {
+                max_abs / config.num_buckets.max(1) as f64
+            } else {
+                0.0
+            }
+        })
+        .collect())
+}
+
 /// Exact JQ of an arbitrary multi-class strategy by enumerating all `ℓ^n`
 /// votings (Equation 9).
 ///
@@ -122,11 +186,10 @@ pub fn approx_multiclass_bv_jq(
     prior: &CategoricalPrior,
     config: MultiClassBucketConfig,
 ) -> ModelResult<f64> {
-    check_dimensions(jury, prior)?;
-    let l = jury.num_choices();
+    let deltas = multiclass_grid_deltas(jury, prior, config)?;
     let mut jq = 0.0;
-    for t in 0..l {
-        jq += prior.prob(Label(t)) * h_for_target(jury, prior, Label(t), config)?;
+    for (t, &delta) in deltas.iter().enumerate() {
+        jq += prior.prob(Label(t)) * h_for_target(jury, prior, Label(t), delta);
     }
     Ok(jq.clamp(0.0, 1.0))
 }
@@ -144,13 +207,9 @@ fn check_dimensions(jury: &MatrixJury, prior: &CategoricalPrior) -> ModelResult<
     Ok(())
 }
 
-/// `H(t') = Σ_V Pr(V | t') 1{BV(V) = t'}` via the bucketed tuple DP.
-fn h_for_target(
-    jury: &MatrixJury,
-    prior: &CategoricalPrior,
-    target: Label,
-    config: MultiClassBucketConfig,
-) -> ModelResult<f64> {
+/// `H(t') = Σ_V Pr(V | t') 1{BV(V) = t'}` via the bucketed tuple DP on the
+/// grid of width `delta` (see [`multiclass_grid_deltas`]).
+fn h_for_target(jury: &MatrixJury, prior: &CategoricalPrior, target: Label, delta: f64) -> f64 {
     let l = jury.num_choices();
     let others: Vec<usize> = (0..l).filter(|&i| i != target.index()).collect();
 
@@ -164,7 +223,6 @@ fn h_for_target(
     }
 
     let mut increments = Vec::with_capacity(jury.size());
-    let mut max_abs: f64 = 0.0;
     for worker in jury.workers() {
         let mut prob_given_target = Vec::with_capacity(l);
         let mut log_ratios = Vec::with_capacity(l);
@@ -173,12 +231,7 @@ fn h_for_target(
             prob_given_target.push(p_t);
             let ratios: Vec<f64> = others
                 .iter()
-                .map(|&i| {
-                    let p_i = worker.prob(Label(i), Label(k));
-                    let r = p_t.max(LOG_FLOOR).ln() - p_i.max(LOG_FLOOR).ln();
-                    max_abs = max_abs.max(r.abs());
-                    r
-                })
+                .map(|&i| clamped_log_ratio(p_t, worker.prob(Label(i), Label(k))))
                 .collect();
             log_ratios.push(ratios);
         }
@@ -191,19 +244,9 @@ fn h_for_target(
     // The prior contributes the initial key ln α_{t'} − ln α_i.
     let initial_ratios: Vec<f64> = others
         .iter()
-        .map(|&i| {
-            let r =
-                prior.prob(target).max(LOG_FLOOR).ln() - prior.prob(Label(i)).max(LOG_FLOOR).ln();
-            max_abs = max_abs.max(r.abs());
-            r
-        })
+        .map(|&i| clamped_log_ratio(prior.prob(target), prior.prob(Label(i))))
         .collect();
 
-    let delta = if max_abs > 0.0 {
-        max_abs / config.num_buckets.max(1) as f64
-    } else {
-        0.0
-    };
     let quantize = |x: f64| -> i32 {
         if delta > 0.0 {
             (x / delta).round() as i32
@@ -249,7 +292,7 @@ fn h_for_target(
         }
         h += prob;
     }
-    Ok(h)
+    h
 }
 
 #[cfg(test)]

@@ -1,0 +1,1141 @@
+//! Incremental multi-class Jury Quality — Section 7's tuple-key DP as a
+//! stateful push/pop/swap engine.
+//!
+//! [`crate::multiclass::approx_multiclass_bv_jq`] rebuilds, for every
+//! candidate jury, one bucketed dynamic program per candidate answer `t'`:
+//! the key is the vector (over the other labels) of quantized log posterior
+//! ratios, and folding a worker in convolves her `ℓ` per-vote spikes into
+//! the key distribution. Confusion-matrix selection evaluates *neighbouring*
+//! juries thousands of times — exactly the hot path `IncrementalJq` removed
+//! for the binary case — so [`IncrementalMultiClassJq`] keeps all `ℓ` key
+//! distributions alive between evaluations as **dense row-major boxes** over
+//! the per-target bucket grids:
+//!
+//! * [`IncrementalMultiClassJq::push_worker`] convolves one worker's spikes
+//!   into every target's box — `O(cells · ℓ)`;
+//! * [`IncrementalMultiClassJq::pop_worker`] removes one by **exact
+//!   deconvolution**, solving the convolution backwards from a lexicographic
+//!   corner spike (the multi-dimensional analogue of the binary engine's
+//!   top-down recurrence, taking whichever of the lex-min/lex-max corners
+//!   has the larger probability). The same negative-mass/total-mass
+//!   stability guard as the binary engine protects it, falling back to a
+//!   from-scratch rebuild when floating-point drift accumulates;
+//! * [`IncrementalMultiClassJq::swap_worker`] composes the two, so an
+//!   annealing neighbour costs two box sweeps instead of a full `O(n)`
+//!   rebuild of every DP.
+//!
+//! Grids are fixed per engine: [`IncrementalMultiClassJq::new`] takes the
+//! explicit per-target widths (the property tests pin it to the scratch DP
+//! via [`crate::multiclass::multiclass_grid_deltas`]), and
+//! [`IncrementalMultiClassJq::for_pool`] derives widths that let every jury
+//! of a candidate pool share one grid, capping the resolution so the dense
+//! boxes never outgrow [`MultiClassIncrementalConfig::max_cells`].
+//!
+//! ```
+//! use jury_jq::{exact_multiclass_bv_jq, IncrementalMultiClassJq, MultiClassIncrementalConfig};
+//! use jury_model::{CategoricalPrior, MatrixJury};
+//!
+//! let pool = MatrixJury::from_qualities(&[0.9, 0.7, 0.6, 0.8], 3).unwrap();
+//! let prior = CategoricalPrior::uniform(3).unwrap();
+//! let mut engine = IncrementalMultiClassJq::for_pool(
+//!     pool.workers(),
+//!     &prior,
+//!     MultiClassIncrementalConfig::default(),
+//! )
+//! .unwrap();
+//!
+//! // Build the three-strong jury one push at a time.
+//! for worker in &pool.workers()[..3] {
+//!     engine.push_worker(worker).unwrap();
+//! }
+//! let jury = MatrixJury::new(pool.workers()[..3].to_vec()).unwrap();
+//! let exact = exact_multiclass_bv_jq(&jury, &prior).unwrap();
+//! assert!((engine.jq() - exact).abs() < 5e-3);
+//!
+//! // A neighbour jury costs one swap; undoing it restores the value.
+//! let before = engine.jq();
+//! engine.swap_worker(&pool.workers()[2], &pool.workers()[3]).unwrap();
+//! engine.swap_worker(&pool.workers()[3], &pool.workers()[2]).unwrap();
+//! assert!((engine.jq() - before).abs() < 1e-9);
+//! ```
+
+use jury_model::{CategoricalPrior, Label, MatrixWorker, ModelError, WorkerId};
+
+use crate::error::{JqError, JqResult};
+use crate::incremental::IncrementalStats;
+use crate::multiclass::{clamped_log_ratio, target_max_abs_ratio};
+
+/// Configuration of the incremental multi-class engine's bucket grids.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MultiClassIncrementalConfig {
+    /// Desired per-worker bucket resolution of each log-ratio dimension
+    /// (the analogue of
+    /// [`crate::multiclass::MultiClassBucketConfig::num_buckets`]).
+    pub num_buckets: usize,
+    /// Upper bound on the dense box volume (cells) any single target's key
+    /// distribution may reach for a full-pool jury. [`for_pool`] coarsens
+    /// the grid until the worst case fits; construction fails when even one
+    /// bucket per worker would overflow.
+    ///
+    /// [`for_pool`]: IncrementalMultiClassJq::for_pool
+    pub max_cells: usize,
+    /// Deconvolution stability tolerance: negative mass below `-tolerance`
+    /// or total-mass drift above `tolerance` triggers a from-scratch
+    /// rebuild. `0.0` forces a rebuild on effectively every pop (useful for
+    /// exercising the fallback).
+    pub stability_tolerance: f64,
+}
+
+impl Default for MultiClassIncrementalConfig {
+    fn default() -> Self {
+        MultiClassIncrementalConfig {
+            num_buckets: 400,
+            max_cells: 1 << 22,
+            stability_tolerance: 1e-10,
+        }
+    }
+}
+
+impl MultiClassIncrementalConfig {
+    /// Sets the desired per-worker bucket resolution.
+    pub fn with_num_buckets(mut self, num_buckets: usize) -> Self {
+        self.num_buckets = num_buckets.max(1);
+        self
+    }
+
+    /// Sets the dense-box cell budget.
+    pub fn with_max_cells(mut self, max_cells: usize) -> Self {
+        self.max_cells = max_cells.max(1);
+        self
+    }
+
+    /// Sets the stability tolerance of the deconvolution guard.
+    pub fn with_stability_tolerance(mut self, tolerance: f64) -> Self {
+        self.stability_tolerance = tolerance.max(0.0);
+        self
+    }
+
+    /// The largest per-worker bucket count a pool of `pool_size` workers
+    /// over `num_choices` labels can afford under [`Self::max_cells`]:
+    /// after `n` pushes each of the `ℓ − 1` dimensions spans at most
+    /// `2·n·b + 1` buckets, so `b` is chosen with
+    /// `(2·n·b + 1)^(ℓ−1) ≤ max_cells`.
+    pub fn resolve_buckets(&self, pool_size: usize, num_choices: usize) -> Option<usize> {
+        let dims = num_choices.saturating_sub(1).max(1);
+        let n = pool_size.max(1) as f64;
+        let side = (self.max_cells.max(1) as f64).powf(1.0 / dims as f64);
+        let cap = ((side - 1.0) / (2.0 * n)).floor();
+        if cap < 1.0 {
+            None
+        } else {
+            Some((cap as usize).min(self.num_buckets.max(1)))
+        }
+    }
+}
+
+/// One member's contribution to one target's DP: the worker's per-vote
+/// spikes grouped by (quantized) shift vector, plus the per-dimension hull
+/// used to grow and shrink the dense box.
+#[derive(Debug, Clone)]
+struct MemberSpikes {
+    /// `(shift vector, Pr(vote | target))`, one entry per distinct shift.
+    spikes: Vec<(Vec<i64>, f64)>,
+    /// Per-dimension minimum shift over the spikes.
+    min_shift: Vec<i64>,
+    /// Per-dimension maximum shift over the spikes.
+    max_shift: Vec<i64>,
+    /// Total spike probability (the worker's row sum for this target);
+    /// deconvolution checks mass conservation against it.
+    mass: f64,
+}
+
+impl MemberSpikes {
+    /// Whether folding this member in is the identity convolution (every
+    /// spike lands on the zero shift).
+    fn is_identity(&self) -> bool {
+        self.spikes.len() == 1 && self.spikes[0].0.iter().all(|&s| s == 0)
+    }
+}
+
+/// One jury member as tracked by the engine.
+#[derive(Debug, Clone)]
+struct Member {
+    id: WorkerId,
+    per_target: Vec<MemberSpikes>,
+}
+
+/// The dense key distribution of one candidate answer `t'`.
+#[derive(Debug, Clone)]
+struct TargetDp {
+    /// Grid width `δ_{t'}` of every dimension of this target's key.
+    delta: f64,
+    /// The other labels, in increasing order (the key's dimensions).
+    others: Vec<usize>,
+    /// The quantized prior key `(ln α_{t'} − ln α_i)_i` — the state of the
+    /// empty jury.
+    initial: Vec<i64>,
+    /// Per-dimension inclusive lower bound of the dense box.
+    lo: Vec<i64>,
+    /// Per-dimension inclusive upper bound of the dense box.
+    hi: Vec<i64>,
+    /// Row-major mass over the box.
+    dist: Vec<f64>,
+    /// Double-buffer for convolution/deconvolution targets.
+    scratch: Vec<f64>,
+}
+
+impl TargetDp {
+    fn extents(&self) -> Vec<usize> {
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .map(|(&lo, &hi)| (hi - lo + 1) as usize)
+            .collect()
+    }
+
+    fn reset(&mut self) {
+        self.lo.clone_from(&self.initial);
+        self.hi.clone_from(&self.initial);
+        self.dist.clear();
+        self.dist.push(1.0);
+    }
+}
+
+/// Row-major strides for a box with the given per-dimension extents.
+fn strides(extents: &[usize]) -> Vec<usize> {
+    let mut strides = vec![1usize; extents.len()];
+    for d in (0..extents.len().saturating_sub(1)).rev() {
+        strides[d] = strides[d + 1] * extents[d + 1];
+    }
+    strides
+}
+
+/// Stateful, incrementally-updatable estimator of the multi-class
+/// `JQ(J, BV, ~α)` on fixed per-target bucket grids — see the
+/// [module docs](crate::multiclass_incremental) for the contract and an
+/// end-to-end example.
+#[derive(Debug, Clone)]
+pub struct IncrementalMultiClassJq {
+    num_choices: usize,
+    alphas: Vec<f64>,
+    max_cells: usize,
+    tolerance: f64,
+    targets: Vec<TargetDp>,
+    members: Vec<Member>,
+    stats: IncrementalStats,
+}
+
+impl IncrementalMultiClassJq {
+    /// Creates an empty engine over the prior with one explicit grid width
+    /// per target label (`0.0` collapses that target's dimensions to bucket
+    /// zero). Matching the widths of
+    /// [`crate::multiclass::multiclass_grid_deltas`] makes the engine
+    /// reproduce the scratch tuple DP bucket for bucket.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JqError::Model`] when `deltas` does not provide one finite,
+    /// non-negative width per label of the prior.
+    pub fn new(prior: &CategoricalPrior, deltas: &[f64]) -> JqResult<Self> {
+        let l = prior.num_choices();
+        if deltas.len() != l || deltas.iter().any(|d| !d.is_finite() || *d < 0.0) {
+            return Err(JqError::Model(ModelError::InvalidPriorVector {
+                reason: format!(
+                    "need {} finite non-negative grid widths, got {:?}",
+                    l, deltas
+                ),
+            }));
+        }
+        let targets = (0..l)
+            .map(|t| {
+                let delta = deltas[t];
+                let others: Vec<usize> = (0..l).filter(|&i| i != t).collect();
+                let initial: Vec<i64> = others
+                    .iter()
+                    .map(|&i| {
+                        quantize(
+                            clamped_log_ratio(prior.prob(Label(t)), prior.prob(Label(i))),
+                            delta,
+                        )
+                    })
+                    .collect();
+                let mut dp = TargetDp {
+                    delta,
+                    others,
+                    initial,
+                    lo: Vec::new(),
+                    hi: Vec::new(),
+                    dist: Vec::new(),
+                    scratch: Vec::new(),
+                };
+                dp.reset();
+                dp
+            })
+            .collect();
+        Ok(IncrementalMultiClassJq {
+            num_choices: l,
+            alphas: (0..l).map(|t| prior.prob(Label(t))).collect(),
+            max_cells: MultiClassIncrementalConfig::default().max_cells,
+            tolerance: MultiClassIncrementalConfig::default().stability_tolerance,
+            targets,
+            members: Vec::new(),
+            stats: IncrementalStats::default(),
+        })
+    }
+
+    /// Creates an engine whose grids are sized for juries drawn from the
+    /// given candidate pool: per target, the width is the pool's largest
+    /// absolute log-ratio divided by the resolved bucket count, so every
+    /// feasible jury of the pool quantizes onto the same grids.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JqError::StateTooLarge`] when even one bucket per worker
+    /// would overflow [`MultiClassIncrementalConfig::max_cells`], and
+    /// [`JqError::Model`] when the workers disagree with the prior's label
+    /// count.
+    pub fn for_pool(
+        workers: &[MatrixWorker],
+        prior: &CategoricalPrior,
+        config: MultiClassIncrementalConfig,
+    ) -> JqResult<Self> {
+        let l = prior.num_choices();
+        for worker in workers {
+            check_worker_dimensions(worker, l)?;
+        }
+        let buckets = config.resolve_buckets(workers.len(), l).ok_or_else(|| {
+            let dims = l.saturating_sub(1).max(1) as u32;
+            JqError::StateTooLarge {
+                cells: (2 * workers.len().max(1) as u64 + 1).saturating_pow(dims),
+                max: config.max_cells as u64,
+            }
+        })?;
+        let deltas: Vec<f64> = (0..l)
+            .map(|t| {
+                let max_abs = target_max_abs_ratio(workers, prior, Label(t));
+                if max_abs > 0.0 {
+                    max_abs / buckets as f64
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let mut engine = IncrementalMultiClassJq::new(prior, &deltas)?;
+        engine.max_cells = config.max_cells;
+        engine.tolerance = config.stability_tolerance;
+        Ok(engine)
+    }
+
+    /// Overrides the deconvolution stability tolerance.
+    pub fn with_stability_tolerance(mut self, tolerance: f64) -> Self {
+        self.tolerance = tolerance.max(0.0);
+        self
+    }
+
+    /// Number of labels `ℓ`.
+    pub fn num_choices(&self) -> usize {
+        self.num_choices
+    }
+
+    /// The per-target grid widths in effect.
+    pub fn deltas(&self) -> Vec<f64> {
+        self.targets.iter().map(|t| t.delta).collect()
+    }
+
+    /// Number of workers currently folded into the state.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether no worker has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Work counters.
+    pub fn stats(&self) -> IncrementalStats {
+        self.stats
+    }
+
+    /// Convolves one worker's per-vote spike distributions into every
+    /// target's dense box.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JqError::Model`] when the worker's label count does not
+    /// match the engine's, and [`JqError::StateTooLarge`] when the push
+    /// would grow any box beyond the cell budget; the state is untouched in
+    /// both cases.
+    pub fn push_worker(&mut self, worker: &MatrixWorker) -> JqResult<()> {
+        check_worker_dimensions(worker, self.num_choices)?;
+        let member = self.spikes_for(worker);
+        // Check every target's projected volume before mutating any.
+        for (dp, spikes) in self.targets.iter().zip(&member.per_target) {
+            let cells: u128 = dp
+                .lo
+                .iter()
+                .zip(&dp.hi)
+                .zip(spikes.min_shift.iter().zip(&spikes.max_shift))
+                .map(|((&lo, &hi), (&smin, &smax))| ((hi + smax) - (lo + smin) + 1) as u128)
+                .product();
+            if cells > self.max_cells as u128 {
+                return Err(JqError::StateTooLarge {
+                    cells: cells.min(u64::MAX as u128) as u64,
+                    max: self.max_cells as u64,
+                });
+            }
+        }
+        for (dp, spikes) in self.targets.iter_mut().zip(&member.per_target) {
+            convolve_in(dp, spikes);
+        }
+        self.members.push(member);
+        self.stats.pushes += 1;
+        Ok(())
+    }
+
+    /// Removes a worker by exact deconvolution of every target's box, with
+    /// a from-scratch rebuild fallback when the stability guard fires.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JqError::NotAJuryMember`] when no tracked member has the
+    /// worker's id; the state is left untouched in that case.
+    pub fn pop_worker(&mut self, worker: &MatrixWorker) -> JqResult<()> {
+        self.pop_id(worker.id())
+    }
+
+    /// [`Self::pop_worker`] by worker id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JqError::NotAJuryMember`] when the id was never pushed.
+    pub fn pop_id(&mut self, id: WorkerId) -> JqResult<()> {
+        let position = self
+            .members
+            .iter()
+            .rposition(|m| m.id == id)
+            .ok_or(JqError::NotAJuryMember { id })?;
+        let member = self.members.swap_remove(position);
+        self.stats.pops += 1;
+        let tolerance = self.tolerance;
+        let mut stable = true;
+        for (dp, spikes) in self.targets.iter_mut().zip(&member.per_target) {
+            if spikes.is_identity() {
+                continue;
+            }
+            if !deconvolve_out(dp, spikes, tolerance) {
+                stable = false;
+                break;
+            }
+        }
+        if !stable {
+            self.rebuild();
+        }
+        Ok(())
+    }
+
+    /// Replaces one member with another: a pop followed by a push, the
+    /// annealing-neighbour operation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JqError::NotAJuryMember`] when `out` is not part of the
+    /// current jury, and propagates [`Self::push_worker`] errors for
+    /// `incoming` (restoring the popped member first, so the state is
+    /// unchanged on failure).
+    pub fn swap_worker(&mut self, out: &MatrixWorker, incoming: &MatrixWorker) -> JqResult<()> {
+        self.pop_worker(out)?;
+        if let Err(err) = self.push_worker(incoming) {
+            // Restore the popped member exactly (rebuild sheds the drift a
+            // deconvolve/convolve round-trip would leave behind).
+            self.members.push(self.spikes_for(out));
+            self.rebuild();
+            return Err(err);
+        }
+        self.stats.swaps += 1;
+        Ok(())
+    }
+
+    /// The current `JQ(J, BV, ~α) = Σ_{t'} α_{t'} H(t')` estimate: per
+    /// target, the mass of keys whose components all favour the target
+    /// (strictly against smaller labels, matching the deterministic
+    /// tie-break of the scratch DP). `O(cells)`.
+    pub fn jq(&self) -> f64 {
+        let mut jq = 0.0;
+        for (t, dp) in self.targets.iter().enumerate() {
+            jq += self.alphas[t] * h_mass(dp, t);
+        }
+        jq.clamp(0.0, 1.0)
+    }
+
+    /// Recomputes the JQ of the current member multiset from scratch on the
+    /// same grids, without touching the incremental state — the value the
+    /// incremental path must agree with.
+    pub fn from_scratch_jq(&self) -> f64 {
+        let mut fresh = self.clone();
+        fresh.rebuild();
+        fresh.jq()
+    }
+
+    /// Rebuilds every target's box from the tracked member list — the
+    /// fallback the deconvolution guard escalates to.
+    pub fn rebuild(&mut self) {
+        for dp in &mut self.targets {
+            dp.reset();
+        }
+        let members = std::mem::take(&mut self.members);
+        for member in &members {
+            for (dp, spikes) in self.targets.iter_mut().zip(&member.per_target) {
+                convolve_in(dp, spikes);
+            }
+        }
+        self.members = members;
+        self.stats.rebuilds += 1;
+    }
+
+    /// Computes a worker's grouped, quantized spike distributions for every
+    /// target grid.
+    fn spikes_for(&self, worker: &MatrixWorker) -> Member {
+        let l = self.num_choices;
+        let per_target = self
+            .targets
+            .iter()
+            .map(|dp| {
+                let dims = dp.others.len();
+                let target = Label(
+                    (0..l)
+                        .find(|t| !dp.others.contains(t))
+                        .expect("one label is the target"),
+                );
+                let mut spikes: Vec<(Vec<i64>, f64)> = Vec::with_capacity(l);
+                for k in 0..l {
+                    let p = worker.prob(target, Label(k));
+                    if p <= 0.0 {
+                        continue;
+                    }
+                    let shift: Vec<i64> = dp
+                        .others
+                        .iter()
+                        .map(|&i| {
+                            quantize(
+                                clamped_log_ratio(p, worker.prob(Label(i), Label(k))),
+                                dp.delta,
+                            )
+                        })
+                        .collect();
+                    match spikes.iter_mut().find(|(s, _)| *s == shift) {
+                        Some((_, mass)) => *mass += p,
+                        None => spikes.push((shift, p)),
+                    }
+                }
+                let mut min_shift = vec![i64::MAX; dims];
+                let mut max_shift = vec![i64::MIN; dims];
+                for (shift, _) in &spikes {
+                    for d in 0..dims {
+                        min_shift[d] = min_shift[d].min(shift[d]);
+                        max_shift[d] = max_shift[d].max(shift[d]);
+                    }
+                }
+                let mass = spikes.iter().map(|(_, p)| *p).sum();
+                MemberSpikes {
+                    spikes,
+                    min_shift,
+                    max_shift,
+                    mass,
+                }
+            })
+            .collect();
+        Member {
+            id: worker.id(),
+            per_target,
+        }
+    }
+}
+
+fn check_worker_dimensions(worker: &MatrixWorker, num_choices: usize) -> JqResult<()> {
+    if worker.confusion().num_choices() != num_choices {
+        return Err(JqError::Model(ModelError::InvalidConfusionMatrix {
+            reason: format!(
+                "worker {} votes over {} labels but the engine tracks {}",
+                worker.id(),
+                worker.confusion().num_choices(),
+                num_choices
+            ),
+        }));
+    }
+    Ok(())
+}
+
+/// Quantizes a log-ratio onto a grid of width `delta` (`0.0` collapses
+/// everything to bucket zero), exactly like the scratch tuple DP.
+#[inline]
+fn quantize(r: f64, delta: f64) -> i64 {
+    if delta > 0.0 {
+        (r / delta).round() as i64
+    } else {
+        0
+    }
+}
+
+/// `new[key] = Σ_s p_s · old[key − s]` on the dense box, growing the bounds
+/// by the member's shift hull.
+fn convolve_in(dp: &mut TargetDp, spikes: &MemberSpikes) {
+    if spikes.is_identity() {
+        return;
+    }
+    let dims = dp.lo.len();
+    let old_ext = dp.extents();
+    let new_lo: Vec<i64> = dp
+        .lo
+        .iter()
+        .zip(&spikes.min_shift)
+        .map(|(&lo, &s)| lo + s)
+        .collect();
+    let new_hi: Vec<i64> = dp
+        .hi
+        .iter()
+        .zip(&spikes.max_shift)
+        .map(|(&hi, &s)| hi + s)
+        .collect();
+    let new_ext: Vec<usize> = new_lo
+        .iter()
+        .zip(&new_hi)
+        .map(|(&lo, &hi)| (hi - lo + 1) as usize)
+        .collect();
+    let new_strides = strides(&new_ext);
+    let new_size: usize = new_ext.iter().product();
+    dp.scratch.clear();
+    dp.scratch.resize(new_size, 0.0);
+
+    // Per spike, the flat offset of `old key 0 + shift` in the new box; the
+    // remaining term Σ idx_d · new_stride_d is carried by the odometer.
+    let offsets: Vec<(usize, f64)> = spikes
+        .spikes
+        .iter()
+        .map(|(shift, p)| {
+            let off: usize = (0..dims)
+                .map(|d| ((dp.lo[d] + shift[d] - new_lo[d]) as usize) * new_strides[d])
+                .sum();
+            (off, *p)
+        })
+        .collect();
+
+    let old_size = dp.dist.len();
+    let mut idx = vec![0usize; dims];
+    let mut mapped = 0usize;
+    for j in 0..old_size {
+        let mass = dp.dist[j];
+        if mass != 0.0 {
+            for &(off, p) in &offsets {
+                dp.scratch[mapped + off] += mass * p;
+            }
+        }
+        if j + 1 == old_size {
+            break;
+        }
+        let mut d = dims;
+        while d > 0 {
+            d -= 1;
+            idx[d] += 1;
+            mapped += new_strides[d];
+            if idx[d] < old_ext[d] {
+                break;
+            }
+            mapped -= old_ext[d] * new_strides[d];
+            idx[d] = 0;
+        }
+    }
+    std::mem::swap(&mut dp.dist, &mut dp.scratch);
+    dp.lo = new_lo;
+    dp.hi = new_hi;
+}
+
+/// Inverts [`convolve_in`]: solves `old` from `new[key] = Σ_s p_s ·
+/// old[key − s]`, sweeping from whichever lexicographic corner spike has
+/// the larger probability (corrections then only reference already-solved
+/// cells). Returns `false` when the stability guard rejects the result,
+/// leaving the state unchanged.
+fn deconvolve_out(dp: &mut TargetDp, spikes: &MemberSpikes, tolerance: f64) -> bool {
+    let dims = dp.lo.len();
+    let new_ext = dp.extents();
+    let new_strides = strides(&new_ext);
+    let old_lo: Vec<i64> = dp
+        .lo
+        .iter()
+        .zip(&spikes.min_shift)
+        .map(|(&lo, &s)| lo - s)
+        .collect();
+    let old_hi: Vec<i64> = dp
+        .hi
+        .iter()
+        .zip(&spikes.max_shift)
+        .map(|(&hi, &s)| hi - s)
+        .collect();
+    let old_ext: Vec<usize> = old_lo
+        .iter()
+        .zip(&old_hi)
+        .map(|(&lo, &hi)| (hi - lo + 1) as usize)
+        .collect();
+    let old_strides = strides(&old_ext);
+    let old_size: usize = old_ext.iter().product();
+
+    // Corner choice: the lexicographically extreme shifts are the only ones
+    // whose recurrences are causal; take the better-conditioned of the two.
+    let lex_max = spikes
+        .spikes
+        .iter()
+        .max_by(|a, b| a.0.cmp(&b.0))
+        .expect("non-identity members have spikes");
+    let lex_min = spikes
+        .spikes
+        .iter()
+        .min_by(|a, b| a.0.cmp(&b.0))
+        .expect("non-identity members have spikes");
+    let descending = lex_max.1 >= lex_min.1;
+    let (corner_shift, corner_p) = if descending { lex_max } else { lex_min };
+
+    // The flat position in the *new* box of `old key + corner`, split into a
+    // constant offset plus the odometer term.
+    let corner_off: usize = (0..dims)
+        .map(|d| ((old_lo[d] + corner_shift[d] - dp.lo[d]) as usize) * new_strides[d])
+        .sum();
+    // Corrections: spikes other than the corner, referencing the
+    // already-solved old cell at `key + corner − s`.
+    struct Correction {
+        p: f64,
+        diff: Vec<i64>,
+        flat: isize,
+    }
+    let corrections: Vec<Correction> = spikes
+        .spikes
+        .iter()
+        .filter(|(s, _)| s != corner_shift)
+        .map(|(s, p)| {
+            let diff: Vec<i64> = corner_shift.iter().zip(s).map(|(&c, &s)| c - s).collect();
+            let flat: isize = (0..dims)
+                .map(|d| diff[d] as isize * old_strides[d] as isize)
+                .sum();
+            Correction { p: *p, diff, flat }
+        })
+        .collect();
+
+    dp.scratch.clear();
+    dp.scratch.resize(old_size, 0.0);
+    let new_sum: f64 = dp.dist.iter().sum();
+    let expected = new_sum / spikes.mass;
+    let mut sum = 0.0f64;
+
+    let mut idx: Vec<usize> = if descending {
+        old_ext.iter().map(|&e| e - 1).collect()
+    } else {
+        vec![0usize; dims]
+    };
+    let mut mapped: usize = idx.iter().zip(&new_strides).map(|(&i, &s)| i * s).sum();
+    for step in 0..old_size {
+        let j: usize = idx.iter().zip(&old_strides).map(|(&i, &s)| i * s).sum();
+        let mut value = dp.dist[mapped + corner_off];
+        for corr in &corrections {
+            let in_bounds = (0..dims).all(|d| {
+                let t = idx[d] as i64 + corr.diff[d];
+                t >= 0 && t < old_ext[d] as i64
+            });
+            if in_bounds {
+                value -= corr.p * dp.scratch[(j as isize + corr.flat) as usize];
+            }
+        }
+        value /= corner_p;
+        if value < 0.0 {
+            if value < -tolerance {
+                return false;
+            }
+            value = 0.0;
+        }
+        dp.scratch[j] = value;
+        sum += value;
+        if step + 1 == old_size {
+            break;
+        }
+        let mut d = dims;
+        while d > 0 {
+            d -= 1;
+            if descending {
+                if idx[d] > 0 {
+                    idx[d] -= 1;
+                    mapped -= new_strides[d];
+                    break;
+                }
+                idx[d] = old_ext[d] - 1;
+                mapped += (old_ext[d] - 1) * new_strides[d];
+            } else {
+                idx[d] += 1;
+                mapped += new_strides[d];
+                if idx[d] < old_ext[d] {
+                    break;
+                }
+                mapped -= old_ext[d] * new_strides[d];
+                idx[d] = 0;
+            }
+        }
+    }
+    if (sum - expected).abs() > tolerance {
+        return false;
+    }
+    std::mem::swap(&mut dp.dist, &mut dp.scratch);
+    dp.lo = old_lo;
+    dp.hi = old_hi;
+    true
+}
+
+/// `H(t')`: the mass of keys deciding for the target — strictly positive
+/// components against smaller labels, non-negative against larger ones.
+fn h_mass(dp: &TargetDp, target: usize) -> f64 {
+    let dims = dp.lo.len();
+    // Minimum winning key value per dimension.
+    let thresholds: Vec<i64> = dp
+        .others
+        .iter()
+        .map(|&other| if other < target { 1 } else { 0 })
+        .collect();
+    let ext = dp.extents();
+    let mut idx = vec![0usize; dims];
+    let mut h = 0.0;
+    for j in 0..dp.dist.len() {
+        let mass = dp.dist[j];
+        if mass != 0.0 {
+            let wins = (0..dims).all(|d| dp.lo[d] + idx[d] as i64 >= thresholds[d]);
+            if wins {
+                h += mass;
+            }
+        }
+        if j + 1 == dp.dist.len() {
+            break;
+        }
+        let mut d = dims;
+        while d > 0 {
+            d -= 1;
+            idx[d] += 1;
+            if idx[d] < ext[d] {
+                break;
+            }
+            idx[d] = 0;
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multiclass::{
+        approx_multiclass_bv_jq, exact_multiclass_bv_jq, multiclass_grid_deltas,
+        MultiClassBucketConfig,
+    };
+    use jury_model::{ConfusionMatrix, MatrixJury};
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// A random row-stochastic confusion matrix (rows normalized, every
+    /// entry at least `floor` so the matrices stay generic).
+    fn random_matrix(l: usize, rng: &mut StdRng) -> ConfusionMatrix {
+        let mut entries = Vec::with_capacity(l * l);
+        for row in 0..l {
+            let mut raw: Vec<f64> = (0..l).map(|_| rng.gen_range(0.05..1.0)).collect();
+            raw[row] += rng.gen_range(0.5..2.0); // lean towards the diagonal
+            let sum: f64 = raw.iter().sum();
+            entries.extend(raw.into_iter().map(|v| v / sum));
+        }
+        ConfusionMatrix::new(l, entries).unwrap()
+    }
+
+    fn random_jury(l: usize, n: usize, seed: u64) -> MatrixJury {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let workers = (0..n)
+            .map(|i| {
+                MatrixWorker::new(WorkerId(i as u32), random_matrix(l, &mut rng), 1.0).unwrap()
+            })
+            .collect();
+        MatrixJury::new(workers).unwrap()
+    }
+
+    fn random_prior(l: usize, seed: u64) -> CategoricalPrior {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37));
+        let raw: Vec<f64> = (0..l).map(|_| rng.gen_range(0.1..1.0)).collect();
+        let sum: f64 = raw.iter().sum();
+        CategoricalPrior::new(raw.into_iter().map(|v| v / sum).collect()).unwrap()
+    }
+
+    /// The symmetric quality whose log-ratio `ln((ℓ−1)·q/(1−q))` is exactly
+    /// `m · delta`, so quantization on a grid of width `delta` is lossless.
+    fn lattice_quality(m: i64, delta: f64, l: usize) -> f64 {
+        let e = (m as f64 * delta).exp();
+        e / (l as f64 - 1.0 + e)
+    }
+
+    proptest! {
+        // Case counts stay at the (PROPTEST_CASES-overridable) default so CI
+        // bounds the runtime explicitly.
+
+        /// On the exact grids the scratch DP derives for a jury, the
+        /// incremental engine reproduces the scratch tuple DP to fp noise.
+        #[test]
+        fn matches_the_scratch_tuple_dp_on_its_own_grid(
+            seed in 0u64..1_000_000,
+            l in 2usize..4,
+            n in 1usize..6,
+            buckets in 8usize..24,
+        ) {
+            let jury = random_jury(l, n, seed);
+            let prior = random_prior(l, seed);
+            let config = MultiClassBucketConfig { num_buckets: buckets };
+            let expected = approx_multiclass_bv_jq(&jury, &prior, config).unwrap();
+            let deltas = multiclass_grid_deltas(&jury, &prior, config).unwrap();
+            let mut engine = IncrementalMultiClassJq::new(&prior, &deltas).unwrap();
+            for worker in jury.workers() {
+                engine.push_worker(worker).unwrap();
+            }
+            prop_assert!(
+                (engine.jq() - expected).abs() < 1e-9,
+                "incremental {} vs scratch {expected} (l={l}, n={n}, buckets={buckets})",
+                engine.jq()
+            );
+        }
+
+        /// Lattice qualities make the quantization lossless, so the dense
+        /// incremental DP must agree with the exponential exact enumeration.
+        #[test]
+        fn lattice_juries_match_exact_enumeration(
+            seed in 0u64..1_000_000,
+            l in 2usize..5,
+            n in 1usize..6,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let delta = rng.gen_range(0.1..0.4);
+            let workers: Vec<MatrixWorker> = (0..n)
+                .map(|i| {
+                    let q = lattice_quality(rng.gen_range(0..=5), delta, l);
+                    MatrixWorker::new(
+                        WorkerId(i as u32),
+                        ConfusionMatrix::from_quality(q, l).unwrap(),
+                        1.0,
+                    )
+                    .unwrap()
+                })
+                .collect();
+            let jury = MatrixJury::new(workers).unwrap();
+            let prior = CategoricalPrior::uniform(l).unwrap();
+            let exact = exact_multiclass_bv_jq(&jury, &prior).unwrap();
+            let mut engine =
+                IncrementalMultiClassJq::new(&prior, &vec![delta; l]).unwrap();
+            for worker in jury.workers() {
+                engine.push_worker(worker).unwrap();
+            }
+            prop_assert!(
+                (engine.jq() - exact).abs() < 1e-9,
+                "incremental {} vs exact {exact} (l={l}, n={n}, delta={delta})",
+                engine.jq()
+            );
+        }
+
+        /// Random push/pop/swap sequences never diverge from a from-scratch
+        /// rebuild of the same member multiset.
+        #[test]
+        fn push_pop_swap_sequences_never_diverge_from_rebuild(
+            seed in 0u64..1_000_000,
+            l in 2usize..4,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let pool = random_jury(l, 6, seed ^ 0xABCD);
+            let prior = random_prior(l, seed ^ 0x1234);
+            let mut engine = IncrementalMultiClassJq::for_pool(
+                pool.workers(),
+                &prior,
+                MultiClassIncrementalConfig::default().with_num_buckets(12),
+            )
+            .unwrap();
+            let mut live: Vec<usize> = Vec::new();
+            for op_index in 0..16 {
+                let op = rng.gen_range(0..3);
+                let outside: Vec<usize> =
+                    (0..pool.size()).filter(|i| !live.contains(i)).collect();
+                if (op == 0 || live.is_empty()) && !outside.is_empty() {
+                    let pick = outside[rng.gen_range(0..outside.len())];
+                    engine.push_worker(&pool.workers()[pick]).unwrap();
+                    live.push(pick);
+                } else if op == 1 || outside.is_empty() {
+                    let pos = rng.gen_range(0..live.len());
+                    let out = live.swap_remove(pos);
+                    engine.pop_worker(&pool.workers()[out]).unwrap();
+                } else {
+                    let pos = rng.gen_range(0..live.len());
+                    let incoming = outside[rng.gen_range(0..outside.len())];
+                    let out = std::mem::replace(&mut live[pos], incoming);
+                    engine
+                        .swap_worker(&pool.workers()[out], &pool.workers()[incoming])
+                        .unwrap();
+                }
+                if op_index % 4 == 3 || op_index == 15 {
+                    let incremental = engine.jq();
+                    let rebuilt = engine.from_scratch_jq();
+                    prop_assert!(
+                        (incremental - rebuilt).abs() < 1e-9,
+                        "incremental {incremental} vs rebuild {rebuilt} after {:?}",
+                        engine.stats()
+                    );
+                }
+            }
+            prop_assert_eq!(engine.len(), live.len());
+        }
+    }
+
+    #[test]
+    fn forced_rebuild_fallback_gives_identical_values() {
+        // Tolerance 0 makes the stability guard reject essentially every
+        // deconvolution, so pops go through the rebuild path — the values
+        // must not change.
+        let mut rng = StdRng::seed_from_u64(97);
+        let pool = random_jury(3, 7, 4242);
+        let prior = random_prior(3, 4242);
+        let config = MultiClassIncrementalConfig::default().with_num_buckets(12);
+        let mut strict = IncrementalMultiClassJq::for_pool(pool.workers(), &prior, config)
+            .unwrap()
+            .with_stability_tolerance(0.0);
+        let mut relaxed =
+            IncrementalMultiClassJq::for_pool(pool.workers(), &prior, config).unwrap();
+        let mut live: Vec<usize> = Vec::new();
+        for _ in 0..30 {
+            let outside: Vec<usize> = (0..pool.size()).filter(|i| !live.contains(i)).collect();
+            if (live.len() < 3 || rng.gen_bool(0.6)) && !outside.is_empty() {
+                let pick = outside[rng.gen_range(0..outside.len())];
+                strict.push_worker(&pool.workers()[pick]).unwrap();
+                relaxed.push_worker(&pool.workers()[pick]).unwrap();
+                live.push(pick);
+            } else {
+                let out = live.swap_remove(rng.gen_range(0..live.len()));
+                strict.pop_worker(&pool.workers()[out]).unwrap();
+                relaxed.pop_worker(&pool.workers()[out]).unwrap();
+            }
+            assert!(
+                (strict.jq() - relaxed.jq()).abs() < 1e-9,
+                "strict {} vs relaxed {}",
+                strict.jq(),
+                relaxed.jq()
+            );
+        }
+        assert!(
+            strict.stats().rebuilds > relaxed.stats().rebuilds,
+            "zero tolerance should force rebuilds: {:?} vs {:?}",
+            strict.stats(),
+            relaxed.stats()
+        );
+    }
+
+    #[test]
+    fn pop_of_a_stranger_is_a_typed_error_and_a_noop() {
+        let pool = random_jury(3, 3, 7);
+        let prior = CategoricalPrior::uniform(3).unwrap();
+        let mut engine = IncrementalMultiClassJq::for_pool(
+            pool.workers(),
+            &prior,
+            MultiClassIncrementalConfig::default(),
+        )
+        .unwrap();
+        engine.push_worker(&pool.workers()[0]).unwrap();
+        let before = engine.jq();
+        let err = engine.pop_id(WorkerId(999)).unwrap_err();
+        assert!(matches!(err, JqError::NotAJuryMember { .. }));
+        assert_eq!(engine.jq(), before);
+        assert_eq!(engine.len(), 1);
+    }
+
+    #[test]
+    fn dimension_mismatches_are_rejected() {
+        let prior = CategoricalPrior::uniform(3).unwrap();
+        assert!(IncrementalMultiClassJq::new(&prior, &[0.1, 0.1]).is_err());
+        assert!(IncrementalMultiClassJq::new(&prior, &[0.1, -0.1, 0.1]).is_err());
+        let mut engine = IncrementalMultiClassJq::new(&prior, &[0.1, 0.1, 0.1]).unwrap();
+        let stranger = MatrixWorker::new(
+            WorkerId(0),
+            ConfusionMatrix::from_quality(0.8, 4).unwrap(),
+            1.0,
+        )
+        .unwrap();
+        assert!(engine.push_worker(&stranger).is_err());
+        assert!(engine.is_empty());
+    }
+
+    #[test]
+    fn cell_budget_guards_construction_and_pushes() {
+        let pool = random_jury(3, 6, 11);
+        let prior = CategoricalPrior::uniform(3).unwrap();
+        // A one-cell budget cannot host any grid.
+        let tiny = MultiClassIncrementalConfig::default().with_max_cells(8);
+        assert!(matches!(
+            IncrementalMultiClassJq::for_pool(pool.workers(), &prior, tiny),
+            Err(JqError::StateTooLarge { .. })
+        ));
+        // An explicit over-fine grid trips the per-push volume check before
+        // any target mutates.
+        let mut engine = IncrementalMultiClassJq::new(&prior, &[1e-6, 1e-6, 1e-6]).unwrap();
+        engine.max_cells = 1 << 10;
+        let err = engine.push_worker(&pool.workers()[0]).unwrap_err();
+        assert!(matches!(err, JqError::StateTooLarge { .. }));
+        assert!(engine.is_empty());
+        assert_eq!(engine.stats().pushes, 0);
+    }
+
+    #[test]
+    fn for_pool_resolution_respects_the_cell_budget() {
+        let config = MultiClassIncrementalConfig::default();
+        // ℓ = 3 → two dimensions: (2·n·b + 1)² ≤ max_cells.
+        let b = config.resolve_buckets(10, 3).unwrap();
+        assert!((2 * 10 * b + 1).pow(2) <= config.max_cells);
+        // Small pools keep the full requested resolution.
+        assert_eq!(
+            config.with_num_buckets(50).resolve_buckets(2, 3).unwrap(),
+            50
+        );
+        // Builders clamp degenerate inputs.
+        assert_eq!(
+            config.with_stability_tolerance(-1.0).stability_tolerance,
+            0.0
+        );
+        assert_eq!(config.with_num_buckets(0).num_buckets, 1);
+    }
+
+    #[test]
+    fn empty_engine_reports_the_prior_argmax_mass() {
+        let prior = CategoricalPrior::new(vec![0.2, 0.5, 0.3]).unwrap();
+        let engine = IncrementalMultiClassJq::new(&prior, &[0.05, 0.05, 0.05]).unwrap();
+        // With no votes BV picks the prior argmax (label 1) and is right
+        // with probability 0.5.
+        assert!((engine.jq() - 0.5).abs() < 1e-12);
+        assert_eq!(engine.num_choices(), 3);
+        assert_eq!(engine.deltas(), vec![0.05, 0.05, 0.05]);
+    }
+
+    #[test]
+    fn failed_swap_restores_the_previous_state() {
+        let pool = random_jury(3, 4, 23);
+        let prior = CategoricalPrior::uniform(3).unwrap();
+        let mut engine = IncrementalMultiClassJq::for_pool(
+            pool.workers(),
+            &prior,
+            MultiClassIncrementalConfig::default().with_num_buckets(20),
+        )
+        .unwrap();
+        for worker in &pool.workers()[..2] {
+            engine.push_worker(worker).unwrap();
+        }
+        let before = engine.jq();
+        let alien = MatrixWorker::new(
+            WorkerId(77),
+            ConfusionMatrix::from_quality(0.9, 4).unwrap(),
+            1.0,
+        )
+        .unwrap();
+        assert!(engine.swap_worker(&pool.workers()[0], &alien).is_err());
+        assert_eq!(engine.len(), 2);
+        assert!((engine.jq() - before).abs() < 1e-9);
+    }
+}

@@ -318,6 +318,155 @@ impl MatrixJury {
     }
 }
 
+/// A candidate pool of confusion-matrix workers — the multi-class analogue
+/// of [`crate::worker::WorkerPool`]: unique ids, one shared label space.
+///
+/// The pool is what multi-class jury selection draws from; its
+/// [`Self::shadow_pool`] projection (same ids and costs, mean-accuracy
+/// qualities) lets the binary JSP machinery carry the candidate set while
+/// the multi-class objective looks the full matrices back up by id.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MatrixPool {
+    workers: Vec<MatrixWorker>,
+    num_choices: usize,
+}
+
+impl MatrixPool {
+    /// Creates a pool, validating that it is non-empty, that every worker
+    /// shares the same label space, and that ids are unique.
+    pub fn new(workers: Vec<MatrixWorker>) -> ModelResult<Self> {
+        let num_choices =
+            workers
+                .first()
+                .map(|w| w.confusion().num_choices())
+                .ok_or(ModelError::Empty {
+                    what: "matrix pool",
+                })?;
+        for (i, worker) in workers.iter().enumerate() {
+            if worker.confusion().num_choices() != num_choices {
+                return Err(ModelError::InvalidConfusionMatrix {
+                    reason: format!(
+                        "worker {} has {} choices but the pool uses {}",
+                        worker.id(),
+                        worker.confusion().num_choices(),
+                        num_choices
+                    ),
+                });
+            }
+            if workers[..i].iter().any(|w| w.id() == worker.id()) {
+                return Err(ModelError::DuplicateWorker {
+                    id: worker.id().raw(),
+                });
+            }
+        }
+        Ok(MatrixPool {
+            workers,
+            num_choices,
+        })
+    }
+
+    /// Creates a pool of symmetric-confusion workers from plain qualities
+    /// and costs (ids `0..n`).
+    pub fn from_qualities_and_costs(
+        qualities: &[f64],
+        costs: &[f64],
+        num_choices: usize,
+    ) -> ModelResult<Self> {
+        if qualities.len() != costs.len() {
+            return Err(ModelError::InvalidConfusionMatrix {
+                reason: format!("{} qualities but {} costs", qualities.len(), costs.len()),
+            });
+        }
+        let workers = qualities
+            .iter()
+            .zip(costs)
+            .enumerate()
+            .map(|(i, (&q, &c))| {
+                MatrixWorker::new(
+                    WorkerId(i as u32),
+                    ConfusionMatrix::from_quality(q, num_choices)?,
+                    c,
+                )
+            })
+            .collect::<ModelResult<Vec<_>>>()?;
+        MatrixPool::new(workers)
+    }
+
+    /// Number of candidate workers.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Always `false` — pools are validated non-empty — but kept for
+    /// idiomatic symmetry with the binary pool.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.workers.is_empty()
+    }
+
+    /// Number of labels `ℓ`.
+    #[inline]
+    pub fn num_choices(&self) -> usize {
+        self.num_choices
+    }
+
+    /// The workers in insertion order.
+    #[inline]
+    pub fn workers(&self) -> &[MatrixWorker] {
+        &self.workers
+    }
+
+    /// Iterates over the workers in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &MatrixWorker> {
+        self.workers.iter()
+    }
+
+    /// Looks up a worker by id.
+    pub fn get(&self, id: WorkerId) -> ModelResult<&MatrixWorker> {
+        self.workers
+            .iter()
+            .find(|w| w.id() == id)
+            .ok_or(ModelError::UnknownWorker { id: id.raw() })
+    }
+
+    /// Sum of all worker costs.
+    pub fn total_cost(&self) -> f64 {
+        self.workers.iter().map(|w| w.cost()).sum()
+    }
+
+    /// Builds the [`MatrixJury`] of the given worker ids.
+    pub fn jury(&self, ids: &[WorkerId]) -> ModelResult<MatrixJury> {
+        let workers = ids
+            .iter()
+            .map(|&id| self.get(id).cloned())
+            .collect::<ModelResult<Vec<_>>>()?;
+        MatrixJury::new(workers)
+    }
+
+    /// Projects the pool onto the binary worker model: same ids and costs,
+    /// with each worker's quality set to her mean diagonal accuracy. The
+    /// projection carries the candidate set (and cost structure) through
+    /// the binary JSP machinery; objective values always come from the full
+    /// confusion matrices, never from these proxy qualities.
+    pub fn shadow_pool(&self) -> crate::worker::WorkerPool {
+        let workers = self
+            .workers
+            .iter()
+            .map(|w| {
+                crate::worker::Worker::new(
+                    w.id(),
+                    w.confusion().mean_accuracy().clamp(0.0, 1.0),
+                    w.cost(),
+                )
+                .expect("mean accuracies and validated costs are always in range")
+            })
+            .collect();
+        crate::worker::WorkerPool::from_workers(workers)
+            .expect("pool ids are unique by construction")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -426,6 +575,52 @@ mod tests {
                 .sum();
             assert!((total - 1.0).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn matrix_pool_validates_and_projects() {
+        let pool =
+            MatrixPool::from_qualities_and_costs(&[0.9, 0.6, 0.7], &[2.0, 1.0, 3.0], 3).unwrap();
+        assert_eq!(pool.len(), 3);
+        assert_eq!(pool.num_choices(), 3);
+        assert!((pool.total_cost() - 6.0).abs() < 1e-12);
+        assert!((pool.get(WorkerId(0)).unwrap().cost() - 2.0).abs() < 1e-12);
+        assert!(pool.get(WorkerId(9)).is_err());
+
+        let shadow = pool.shadow_pool();
+        assert_eq!(shadow.ids(), vec![WorkerId(0), WorkerId(1), WorkerId(2)]);
+        assert!((shadow.get(WorkerId(0)).unwrap().quality() - 0.9).abs() < 1e-12);
+        assert!((shadow.get(WorkerId(2)).unwrap().cost() - 3.0).abs() < 1e-12);
+
+        let jury = pool.jury(&[WorkerId(0), WorkerId(2)]).unwrap();
+        assert_eq!(jury.size(), 2);
+        assert!(pool.jury(&[WorkerId(7)]).is_err());
+    }
+
+    #[test]
+    fn matrix_pool_rejects_bad_inputs() {
+        assert!(matches!(
+            MatrixPool::new(vec![]),
+            Err(ModelError::Empty { .. })
+        ));
+        let a = MatrixWorker::new(
+            WorkerId(0),
+            ConfusionMatrix::from_quality(0.8, 2).unwrap(),
+            1.0,
+        )
+        .unwrap();
+        let b_wrong_l = MatrixWorker::new(
+            WorkerId(1),
+            ConfusionMatrix::from_quality(0.8, 3).unwrap(),
+            1.0,
+        )
+        .unwrap();
+        assert!(MatrixPool::new(vec![a.clone(), b_wrong_l]).is_err());
+        assert!(matches!(
+            MatrixPool::new(vec![a.clone(), a]),
+            Err(ModelError::DuplicateWorker { .. })
+        ));
+        assert!(MatrixPool::from_qualities_and_costs(&[0.8], &[1.0, 2.0], 2).is_err());
     }
 
     #[test]

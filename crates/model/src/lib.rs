@@ -50,7 +50,7 @@ pub mod task;
 pub mod worker;
 
 pub use answer::{enumerate_binary_votings, enumerate_label_votings, Answer, Label};
-pub use confusion::{ConfusionMatrix, MatrixJury, MatrixWorker};
+pub use confusion::{ConfusionMatrix, MatrixJury, MatrixPool, MatrixWorker};
 pub use dataset::{CollectedVote, CrowdDataset, TaskRecord, WorkerStats};
 pub use error::{ModelError, ModelResult};
 pub use generator::{GaussianWorkerGenerator, UniformWorkerGenerator};

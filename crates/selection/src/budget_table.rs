@@ -11,6 +11,8 @@ use serde::{Deserialize, Serialize};
 
 use jury_model::{Prior, WorkerId, WorkerPool};
 
+use crate::greedy::MarginalSearch;
+use crate::objective::JuryObjective;
 use crate::problem::JspInstance;
 use crate::solver::JurySolver;
 
@@ -58,6 +60,80 @@ impl BudgetQualityTable {
             })
             .collect();
         BudgetQualityTable { rows }
+    }
+
+    /// Builds the table with a **warm-started sweep**: one marginal-gain
+    /// search state — and one incremental evaluation session, when the
+    /// objective offers one — is carried from each budget to the next in
+    /// ascending order. Moving from budget `b` to `b + 1` only pushes the
+    /// marginal workers the extra budget affords (each committed after
+    /// pool-many `O(buckets)` push/value/pop probes); nothing is re-solved
+    /// cold. Every row's reported quality is still a from-scratch score by
+    /// the batch objective.
+    ///
+    /// The sweep reproduces a cold [`crate::GreedyMarginalSolver`] run at
+    /// every budget whenever greedy prefixes nest — uniform-cost pools in
+    /// particular (Lemma 2 territory), where affordability depends only on
+    /// the jury size. On heterogeneous costs the carried jury may differ
+    /// from a cold solve (the warm state cannot un-commit a cheap worker to
+    /// afford an expensive one), trading a little quality for an
+    /// `O(budgets)`-times-cheaper sweep; rows are always feasible and their
+    /// qualities exactly re-scored. Requested budget order is preserved in
+    /// the output regardless of the internal ascending traversal.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-finite or negative budgets, exactly like
+    /// [`Self::build`] (whose per-budget instances reject them).
+    pub fn build_warm<O: JuryObjective>(
+        pool: &WorkerPool,
+        budgets: &[f64],
+        prior: Prior,
+        objective: &O,
+    ) -> Self {
+        // [`Self::build`] panics on invalid budgets through its per-budget
+        // instances; this path builds only one instance, so check every
+        // budget explicitly — a NaN would otherwise slip through the max
+        // fold below, make every worker "affordable" (NaN comparisons are
+        // false), and poison the carried state for all later rows.
+        for &budget in budgets {
+            assert!(
+                budget.is_finite() && budget >= 0.0,
+                "budgets are validated by the caller (got {budget})"
+            );
+        }
+        let mut order: Vec<usize> = (0..budgets.len()).collect();
+        order.sort_by(|&a, &b| {
+            budgets[a]
+                .partial_cmp(&budgets[b])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let max_budget = budgets.iter().copied().fold(0.0f64, f64::max);
+        // The session is sized for the pool, so one instance (at the widest
+        // budget) serves the whole sweep.
+        let instance = JspInstance::new(pool.clone(), max_budget, prior)
+            .expect("budgets are validated by the caller");
+        let mut search = MarginalSearch::new(objective, &instance);
+
+        let mut rows: Vec<Option<BudgetQualityRow>> = budgets.iter().map(|_| None).collect();
+        for &slot in &order {
+            let budget = budgets[slot];
+            search.extend_to(pool.workers(), budget);
+            let mut jury = search.jury().ids();
+            jury.sort();
+            rows[slot] = Some(BudgetQualityRow {
+                budget,
+                jury,
+                quality: objective.evaluate(search.jury(), prior),
+                required_budget: search.spent(),
+            });
+        }
+        BudgetQualityTable {
+            rows: rows
+                .into_iter()
+                .map(|row| row.expect("every requested budget produced a row"))
+                .collect(),
+        }
     }
 
     /// Assembles a table from pre-computed rows (in budget order). Used by
@@ -172,6 +248,151 @@ mod tests {
         // Moving from budget 15 to budget 20 buys ≈2.45 % — the increase the
         // paper's task provider deems not worthwhile.
         assert!((gains[3] - 0.0245).abs() < 1e-9);
+    }
+
+    #[test]
+    fn warm_sweep_matches_cold_solves_on_a_monotone_pool() {
+        use crate::greedy::{GreedyMarginalSolver, GreedyQualitySolver};
+        // Descending qualities, uniform costs: greedy prefixes nest, so the
+        // warm-started sweep must reproduce every cold solve exactly — and
+        // by Lemma 2 the top-k fill is the true optimum, so the annealing
+        // policy lands on the same qualities too.
+        let qualities: Vec<f64> = (0..18).map(|i| 0.92 - 0.02 * i as f64).collect();
+        let pool = WorkerPool::from_qualities_and_costs(&qualities, &[1.0; 18]).unwrap();
+        let budgets = [1.0, 3.0, 5.0, 8.0, 12.0];
+
+        let objective = BvObjective::new();
+        let warm = BudgetQualityTable::build_warm(&pool, &budgets, Prior::uniform(), &objective);
+
+        let cold_marginal = BudgetQualityTable::build(
+            &pool,
+            &budgets,
+            Prior::uniform(),
+            &GreedyMarginalSolver::new(BvObjective::new()),
+        );
+        for (w, c) in warm.rows().iter().zip(cold_marginal.rows()) {
+            assert_eq!(w.jury, c.jury, "budget {}", w.budget);
+            assert!((w.quality - c.quality).abs() < 1e-9);
+            assert!((w.required_budget - c.required_budget).abs() < 1e-9);
+        }
+
+        let cold_quality = BudgetQualityTable::build(
+            &pool,
+            &budgets,
+            Prior::uniform(),
+            &GreedyQualitySolver::new(BvObjective::new()),
+        );
+        for (w, c) in warm.rows().iter().zip(cold_quality.rows()) {
+            assert_eq!(w.jury, c.jury, "budget {}", w.budget);
+            assert!((w.quality - c.quality).abs() < 1e-9);
+        }
+
+        let cold_annealing = BudgetQualityTable::build(
+            &pool,
+            &budgets,
+            Prior::uniform(),
+            &crate::annealing::AnnealingSolver::with_config(
+                BvObjective::new(),
+                crate::annealing::AnnealingConfig::default()
+                    .with_epsilon(1e-4)
+                    .with_restarts(2),
+            ),
+        );
+        for (w, c) in warm.rows().iter().zip(cold_annealing.rows()) {
+            assert!(
+                (w.quality - c.quality).abs() < 1e-9,
+                "budget {}: warm {} vs annealing {}",
+                w.budget,
+                w.quality,
+                c.quality
+            );
+        }
+    }
+
+    #[test]
+    fn warm_sweep_preserves_requested_budget_order() {
+        let pool = WorkerPool::from_qualities_and_costs(&[0.9, 0.8, 0.7], &[1.0; 3]).unwrap();
+        let budgets = [2.0, 1.0, 3.0];
+        let objective = BvObjective::new();
+        let table = BudgetQualityTable::build_warm(&pool, &budgets, Prior::uniform(), &objective);
+        let listed: Vec<f64> = table.rows().iter().map(|r| r.budget).collect();
+        assert_eq!(listed, budgets);
+        // Qualities are still monotone when read in budget order.
+        assert!(table.rows()[1].quality <= table.rows()[0].quality + 1e-12);
+        assert!(table.rows()[0].quality <= table.rows()[2].quality + 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "budgets are validated")]
+    fn warm_sweep_rejects_nan_budgets_like_the_cold_path() {
+        let pool = WorkerPool::from_qualities_and_costs(&[0.8, 0.7, 0.6], &[1.0; 3]).unwrap();
+        let objective = BvObjective::new();
+        let _ =
+            BudgetQualityTable::build_warm(&pool, &[f64::NAN, 1.0], Prior::uniform(), &objective);
+    }
+
+    #[test]
+    fn warm_sweep_handles_degenerate_inputs() {
+        let pool = WorkerPool::from_qualities_and_costs(&[0.8], &[5.0]).unwrap();
+        let objective = BvObjective::new();
+        // No budgets → no rows.
+        let empty = BudgetQualityTable::build_warm(&pool, &[], Prior::uniform(), &objective);
+        assert!(empty.rows().is_empty());
+        assert!(empty.marginal_gains().is_empty());
+        assert!(empty.cheapest_reaching(0.0).is_none());
+        // A budget below the only worker keeps the empty jury.
+        let table = BudgetQualityTable::build_warm(&pool, &[1.0], Prior::uniform(), &objective);
+        assert!(table.rows()[0].jury.is_empty());
+        assert!((table.rows()[0].quality - 0.5).abs() < 1e-12);
+        assert_eq!(table.rows()[0].required_budget, 0.0);
+    }
+
+    #[test]
+    fn cheapest_reaching_boundaries() {
+        let table = figure_1_table();
+        // Exact boundary: a target equal to a row's stored quality selects
+        // that row (the comparison is inclusive).
+        let boundary = table.rows()[2].quality;
+        let row = table.cheapest_reaching(boundary).unwrap();
+        assert!((row.quality - boundary).abs() < 1e-12);
+        assert!((row.required_budget - 14.0).abs() < 1e-9);
+        // Every row reaches 0 %, and the cheapest required budget wins.
+        let free = table.cheapest_reaching(0.0).unwrap();
+        let min_required = table
+            .rows()
+            .iter()
+            .map(|r| r.required_budget)
+            .fold(f64::INFINITY, f64::min);
+        assert!((free.required_budget - min_required).abs() < 1e-12);
+        // Just above the best quality → None.
+        let best = table
+            .rows()
+            .iter()
+            .map(|r| r.quality)
+            .fold(0.0f64, f64::max);
+        assert!(table.cheapest_reaching(best + 1e-6).is_none());
+        assert!(table.cheapest_reaching(best).is_some());
+    }
+
+    #[test]
+    fn marginal_gains_on_a_known_monotone_pool() {
+        // Uniform costs and descending qualities: each budget step adds the
+        // next-best worker, so the gain sequence starts at the first row's
+        // quality and every later gain is non-negative.
+        let qualities: Vec<f64> = (0..8).map(|i| 0.9 - 0.04 * i as f64).collect();
+        let pool = WorkerPool::from_qualities_and_costs(&qualities, &[1.0; 8]).unwrap();
+        let budgets: Vec<f64> = (1..=6).map(|b| b as f64).collect();
+        let objective = BvObjective::new();
+        let table = BudgetQualityTable::build_warm(&pool, &budgets, Prior::uniform(), &objective);
+        let gains = table.marginal_gains();
+        assert_eq!(gains.len(), budgets.len());
+        assert!((gains[0] - table.rows()[0].quality).abs() < 1e-12);
+        for (i, gain) in gains.iter().enumerate().skip(1) {
+            assert!(*gain >= -1e-12, "gain {i} is negative: {gain}");
+        }
+        // The gains reconstruct the final quality.
+        let total: f64 = gains.iter().sum();
+        assert!((total - table.rows().last().unwrap().quality).abs() < 1e-9);
     }
 
     #[test]

@@ -20,7 +20,7 @@
 
 use std::time::Instant;
 
-use jury_model::{Jury, Worker};
+use jury_model::{Jury, Prior, Worker};
 
 use crate::objective::{IncrementalSession, JuryObjective};
 use crate::problem::JspInstance;
@@ -135,6 +135,119 @@ impl<O: JuryObjective> GreedyMarginalSolver<O> {
     }
 }
 
+/// Probe values within this tolerance are treated as tied. JQ plateaus are
+/// real — e.g. every second juror added to a strong first one leaves the
+/// two-juror BV quality at the stronger quality — and on a plateau the
+/// push/value/pop probes return values separated only by floating-point
+/// drift of the incremental engine. Without a tolerance that drift, not the
+/// deterministic earlier-pool-position rule, would pick the committed
+/// worker (and could trip the stop rule on an exact tie).
+const PROBE_TIE_TOLERANCE: f64 = 1e-9;
+
+/// Mutable state of a marginal-gain forward selection, shared by
+/// [`GreedyMarginalSolver`] and the warm-started budget sweep of
+/// [`crate::BudgetQualityTable::build_warm`] (which carries one state — and
+/// one incremental session — across consecutive budgets instead of
+/// re-solving cold).
+pub(crate) struct MarginalSearch<'a, O: JuryObjective> {
+    objective: &'a O,
+    prior: Prior,
+    selected: Vec<bool>,
+    jury: Jury,
+    spent: f64,
+    session: Option<Box<dyn IncrementalSession + 'a>>,
+    current_value: f64,
+}
+
+impl<'a, O: JuryObjective> MarginalSearch<'a, O> {
+    /// Opens a search over the instance's pool, with the objective's
+    /// incremental session (when it offers one) as the probe engine.
+    pub(crate) fn new(objective: &'a O, instance: &JspInstance) -> Self {
+        let session = objective.incremental_session(instance);
+        let jury = Jury::empty();
+        let current_value = match &session {
+            Some(live) => live.value(),
+            None => objective.evaluate(&jury, instance.prior()),
+        };
+        MarginalSearch {
+            objective,
+            prior: instance.prior(),
+            selected: vec![false; instance.num_candidates()],
+            jury,
+            spent: 0.0,
+            session,
+            current_value,
+        }
+    }
+
+    /// The jury committed so far.
+    pub(crate) fn jury(&self) -> &Jury {
+        &self.jury
+    }
+
+    /// The budget the committed jury requires.
+    pub(crate) fn spent(&self) -> f64 {
+        self.spent
+    }
+
+    /// Greedy rounds up to `budget`: each round scores **every** affordable
+    /// single-worker extension of the current jury (in place through the
+    /// session: push, read, pop) and commits the best one; ties keep the
+    /// earlier pool position, so runs are deterministic. The search stops
+    /// when nothing fits or — protecting objectives that are not monotone
+    /// in the jury size, like `JQ(MV)` — when the best extension scores
+    /// below the current jury; ties still commit, so the BV search keeps
+    /// filling the budget. Calling it again with a larger budget resumes
+    /// from the committed state (the warm-start contract).
+    pub(crate) fn extend_to(&mut self, workers: &[Worker], budget: f64) {
+        loop {
+            let mut best: Option<(usize, f64)> = None;
+            for (index, worker) in workers.iter().enumerate() {
+                if self.selected[index] || self.spent + worker.cost() > budget + 1e-12 {
+                    continue;
+                }
+                let mut session_broken = false;
+                let mut value = match &mut self.session {
+                    Some(live) => {
+                        live.push(worker);
+                        let value = live.value();
+                        session_broken = !live.pop(worker);
+                        value
+                    }
+                    None => self
+                        .objective
+                        .evaluate(&self.jury.with_worker(worker.clone()), self.prior),
+                };
+                if session_broken {
+                    // Cannot happen with the shipped engines; guard against
+                    // misbehaving third-party sessions by falling back to
+                    // batch evaluation for the rest of the search.
+                    self.session = None;
+                    value = self
+                        .objective
+                        .evaluate(&self.jury.with_worker(worker.clone()), self.prior);
+                }
+                if best.is_none_or(|(_, best_value)| value > best_value + PROBE_TIE_TOLERANCE) {
+                    best = Some((index, value));
+                }
+            }
+            let Some((index, best_value)) = best else {
+                break;
+            };
+            if best_value < self.current_value - PROBE_TIE_TOLERANCE {
+                break;
+            }
+            self.selected[index] = true;
+            self.spent += workers[index].cost();
+            self.jury.push(workers[index].clone());
+            if let Some(live) = &mut self.session {
+                live.push(&workers[index]);
+            }
+            self.current_value = best_value;
+        }
+    }
+}
+
 impl<O: JuryObjective> JurySolver for GreedyMarginalSolver<O> {
     fn name(&self) -> &'static str {
         "greedy-marginal"
@@ -143,69 +256,12 @@ impl<O: JuryObjective> JurySolver for GreedyMarginalSolver<O> {
     fn solve(&self, instance: &JspInstance) -> SolverResult {
         let start = Instant::now();
         let evaluations_before = self.objective.evaluations();
-        let workers = instance.pool().workers();
-        let mut selected = vec![false; workers.len()];
-        let mut jury = Jury::empty();
-        let mut spent = 0.0f64;
-        let mut session: Option<Box<dyn IncrementalSession + '_>> =
-            self.objective.incremental_session(instance);
-        let mut current_value = match &session {
-            Some(live) => live.value(),
-            None => self.objective.evaluate(&jury, instance.prior()),
-        };
-
-        loop {
-            let mut best: Option<(usize, f64)> = None;
-            for (index, worker) in workers.iter().enumerate() {
-                if selected[index] || spent + worker.cost() > instance.budget() + 1e-12 {
-                    continue;
-                }
-                let mut session_broken = false;
-                let mut value = match &mut session {
-                    Some(live) => {
-                        // Probe the extension in place: push, read, pop.
-                        live.push(worker);
-                        let value = live.value();
-                        session_broken = !live.pop(worker);
-                        value
-                    }
-                    None => self
-                        .objective
-                        .evaluate(&jury.with_worker(worker.clone()), instance.prior()),
-                };
-                if session_broken {
-                    // Cannot happen with the shipped engines; guard against
-                    // misbehaving third-party sessions by falling back to
-                    // batch evaluation for the rest of the search.
-                    session = None;
-                    value = self
-                        .objective
-                        .evaluate(&jury.with_worker(worker.clone()), instance.prior());
-                }
-                if best.is_none_or(|(_, best_value)| value > best_value) {
-                    best = Some((index, value));
-                }
-            }
-            let Some((index, best_value)) = best else {
-                break;
-            };
-            // Stop rule for non-monotone objectives (MV): committing an
-            // extension that scores below the current jury can only hurt.
-            // Ties still commit, so the BV search keeps filling the budget.
-            if best_value < current_value {
-                break;
-            }
-            selected[index] = true;
-            spent += workers[index].cost();
-            jury.push(workers[index].clone());
-            if let Some(live) = &mut session {
-                live.push(&workers[index]);
-            }
-            current_value = best_value;
-        }
+        let mut search = MarginalSearch::new(&self.objective, instance);
+        search.extend_to(instance.pool().workers(), instance.budget());
 
         // Session values are quantized guidance; report the batch
         // objective's score of the final jury.
+        let jury = search.jury().clone();
         let value = self.objective.evaluate(&jury, instance.prior());
         SolverResult {
             jury,

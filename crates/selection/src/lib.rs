@@ -39,6 +39,7 @@ pub mod annealing;
 pub mod budget_table;
 pub mod exhaustive;
 pub mod greedy;
+pub mod multiclass;
 pub mod mvjs;
 pub mod objective;
 pub mod problem;
@@ -49,6 +50,10 @@ pub use annealing::{AnnealingConfig, AnnealingSolver};
 pub use budget_table::{BudgetQualityRow, BudgetQualityTable};
 pub use exhaustive::{ExhaustiveSolver, MAX_EXHAUSTIVE_POOL};
 pub use greedy::{GreedyMarginalSolver, GreedyQualitySolver, GreedyRatioSolver};
+pub use multiclass::{
+    MultiClassBvObjective, MultiClassJsp, DEFAULT_MULTICLASS_EXACT_VOTINGS,
+    DEFAULT_MULTICLASS_SESSION_POOL_CUTOFF,
+};
 pub use mvjs::MvjsSolver;
 pub use objective::{
     bv_incremental_session, mv_incremental_session, BvObjective, IncrementalSession, JuryObjective,

@@ -38,6 +38,8 @@ pub struct CacheStats {
     pub hits: u64,
     /// Lifetime lookups that had to compute the value.
     pub misses: u64,
+    /// Lifetime entries dropped by the segmented-LRU eviction.
+    pub evictions: u64,
 }
 
 impl CacheStats {
@@ -64,14 +66,32 @@ struct CacheKey {
     signature: JurySignature,
 }
 
+/// One memoized evaluation: the value plus a last-used stamp, bumped on
+/// every hit (atomically, so hits only ever take the read lock).
+#[derive(Debug)]
+struct CacheEntry {
+    value: f64,
+    last_used: AtomicU64,
+}
+
 /// The shared evaluation cache. One per [`crate::JuryService`]; it outlives
 /// individual requests, so repeated and batched calls keep re-using it.
+///
+/// Overflow is handled by **segmented LRU eviction**: when an insert finds
+/// the cache full, the stalest half of the entries (by last-used stamp) is
+/// dropped in one sweep. Hot entries — the ones batches and sweeps keep
+/// re-reading — survive, unlike the wholesale `clear()` this replaces, while
+/// the half-at-a-time segmentation keeps the amortized bookkeeping cost per
+/// insert `O(1)` (a full LRU list would pay pointer churn on every hit).
 #[derive(Debug)]
 pub(crate) struct JqCache {
     capacity: usize,
-    map: RwLock<HashMap<CacheKey, f64>>,
+    map: RwLock<HashMap<CacheKey, CacheEntry>>,
+    /// Monotonic logical clock handing out last-used stamps.
+    tick: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl JqCache {
@@ -79,8 +99,10 @@ impl JqCache {
         JqCache {
             capacity,
             map: RwLock::new(HashMap::new()),
+            tick: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
@@ -88,11 +110,14 @@ impl JqCache {
         if self.capacity == 0 {
             return None;
         }
-        let hit = self.map.read().get(key).copied();
-        match hit {
-            Some(v) => {
+        let map = self.map.read();
+        match map.get(key) {
+            Some(entry) => {
+                entry
+                    .last_used
+                    .store(self.tick.fetch_add(1, Ordering::Relaxed), Ordering::Relaxed);
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(v)
+                Some(entry.value)
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
@@ -106,12 +131,28 @@ impl JqCache {
             return;
         }
         let mut map = self.map.write();
-        if map.len() >= self.capacity {
-            // Wholesale reset: O(1) amortized bookkeeping, and the very next
-            // requests re-warm the entries that still matter.
-            map.clear();
+        if map.len() >= self.capacity && !map.contains_key(&key) {
+            // Evict the stalest segment: everything at or below the median
+            // last-used stamp. Stamps are unique (every hit and insert draws
+            // a fresh tick), so this removes exactly `len − keep` entries.
+            let keep = self.capacity / 2;
+            let mut stamps: Vec<u64> = map
+                .values()
+                .map(|entry| entry.last_used.load(Ordering::Relaxed))
+                .collect();
+            let evict = stamps.len() - keep;
+            let (_, cutoff, _) = stamps.select_nth_unstable(evict - 1);
+            let cutoff = *cutoff;
+            map.retain(|_, entry| entry.last_used.load(Ordering::Relaxed) > cutoff);
+            self.evictions.fetch_add(evict as u64, Ordering::Relaxed);
         }
-        map.insert(key, value);
+        map.insert(
+            key,
+            CacheEntry {
+                value,
+                last_used: AtomicU64::new(self.tick.fetch_add(1, Ordering::Relaxed)),
+            },
+        );
     }
 
     pub(crate) fn stats(&self) -> CacheStats {
@@ -119,6 +160,7 @@ impl JqCache {
             entries: self.map.read().len(),
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -293,7 +335,7 @@ mod tests {
     }
 
     #[test]
-    fn capacity_overflow_clears_instead_of_growing() {
+    fn capacity_overflow_never_grows_the_cache() {
         let cache = JqCache::new(2);
         let objective = CachedObjective::new(engine(), Strategy::Bv, &cache);
         for q in [0.6, 0.65, 0.7, 0.75, 0.8] {
@@ -301,5 +343,44 @@ mod tests {
             objective.evaluate(&jury, Prior::uniform());
         }
         assert!(cache.stats().entries <= 2);
+        assert!(cache.stats().evictions > 0);
+    }
+
+    #[test]
+    fn eviction_drops_the_stalest_entries_first() {
+        let cache = JqCache::new(4);
+        let objective = CachedObjective::new(engine(), Strategy::Bv, &cache);
+        let juries: Vec<Jury> = [0.6, 0.65, 0.7, 0.75, 0.8]
+            .iter()
+            .map(|&q| Jury::from_qualities(&[q]).unwrap())
+            .collect();
+        // Fill to capacity, then touch the oldest entry so it becomes the
+        // most recently used.
+        for jury in &juries[..4] {
+            objective.evaluate(jury, Prior::uniform());
+        }
+        objective.evaluate(&juries[0], Prior::uniform());
+        // Overflow: the stalest half (entries 1 and 2) must go; the touched
+        // entry 0 and the fresher entry 3 must survive.
+        objective.evaluate(&juries[4], Prior::uniform());
+        assert_eq!(cache.stats().evictions, 2);
+
+        let hits_before = cache.stats().hits;
+        objective.evaluate(&juries[0], Prior::uniform());
+        objective.evaluate(&juries[3], Prior::uniform());
+        objective.evaluate(&juries[4], Prior::uniform());
+        assert_eq!(
+            cache.stats().hits,
+            hits_before + 3,
+            "recently used entries must survive the eviction"
+        );
+
+        let misses_before = cache.stats().misses;
+        objective.evaluate(&juries[1], Prior::uniform());
+        assert_eq!(
+            cache.stats().misses,
+            misses_before + 1,
+            "the stalest entry must have been evicted"
+        );
     }
 }

@@ -21,12 +21,19 @@ pub struct ServiceConfig {
     /// most this size also use exact JQ enumeration inside the engine.
     pub exact_cutoff: usize,
     /// Maximum number of memoized JQ evaluations kept in the service's
-    /// shared cache; `0` disables caching. When the cache fills up it is
-    /// cleared wholesale (cheap, and batches re-warm it immediately).
+    /// shared cache; `0` disables caching. When the cache fills up, the
+    /// stalest half of the entries (segmented LRU by last-used stamp) is
+    /// evicted, so hot entries survive overflow.
     pub cache_capacity: usize,
     /// Worker threads used by [`crate::JuryService::select_batch`];
     /// `0` means one per available CPU core.
     pub batch_threads: usize,
+    /// Whether [`crate::JuryService::budget_quality_table`] may serve large
+    /// pools with a warm-started sweep — one incremental search state
+    /// carried from each budget to the next — instead of solving every
+    /// budget cold through the batch path. Pools within the exact cutoff
+    /// always use the cold (exhaustive) path regardless of this flag.
+    pub warm_sweeps: bool,
 }
 
 impl Default for ServiceConfig {
@@ -37,6 +44,7 @@ impl Default for ServiceConfig {
             exact_cutoff: 14,
             cache_capacity: 1 << 20,
             batch_threads: 0,
+            warm_sweeps: true,
         }
     }
 }
@@ -94,6 +102,12 @@ impl ServiceConfig {
         self
     }
 
+    /// Enables or disables warm-started budget–quality sweeps.
+    pub fn with_warm_sweeps(mut self, enabled: bool) -> Self {
+        self.warm_sweeps = enabled;
+        self
+    }
+
     /// The JQ engine this configuration induces.
     pub fn jq_engine(&self) -> JqEngine {
         JqEngine::new(self.bucket).with_exact_cutoff(self.exact_cutoff)
@@ -120,12 +134,15 @@ mod tests {
             .with_bucket(BucketJqConfig::paper_experiments())
             .with_annealing(AnnealingConfig::default().with_seed(9))
             .with_cache_capacity(128)
-            .with_batch_threads(2);
+            .with_batch_threads(2)
+            .with_warm_sweeps(false);
         assert_eq!(config.exact_cutoff, 5);
         assert_eq!(config.annealing.seed, 9);
         assert_eq!(config.bucket, BucketJqConfig::paper_experiments());
         assert_eq!(config.cache_capacity, 128);
         assert_eq!(config.batch_threads, 2);
+        assert!(!config.warm_sweeps);
+        assert!(ServiceConfig::default().warm_sweeps);
     }
 
     #[test]

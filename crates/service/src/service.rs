@@ -253,16 +253,33 @@ impl JuryService {
         configured.clamp(1, batch_len.max(1))
     }
 
-    /// Builds the Figure-1 style budget–quality table by serving one
-    /// selection per budget through [`Self::select_batch`] (parallel, cached,
-    /// BV strategy, `Auto` policy). Budgets below the cheapest worker yield
-    /// empty-jury rows, matching the table's exploratory semantics.
+    /// Builds the Figure-1 style budget–quality table.
+    ///
+    /// Pools within the exact cutoff are served one selection per budget
+    /// through [`Self::select_batch`] (parallel, cached, BV strategy, `Auto`
+    /// policy), so small tables stay exhaustively optimal. Larger pools —
+    /// where every budget would otherwise pay a full heuristic search —
+    /// default to a **warm-started sweep**
+    /// ([`jury_selection::BudgetQualityTable::build_warm`]): one marginal-
+    /// gain search state and one incremental JQ session carried from each
+    /// budget to the next, pushing only the marginal workers instead of
+    /// re-solving cold, with every row re-scored through this service's
+    /// cached batch objective. Disable via
+    /// [`crate::ServiceConfig::with_warm_sweeps`] to force per-budget cold
+    /// solves.
+    ///
+    /// Budgets below the cheapest worker yield empty-jury rows, matching
+    /// the table's exploratory semantics.
     pub fn budget_quality_table(
         &self,
         pool: &WorkerPool,
         budgets: &[f64],
         prior: Prior,
     ) -> Result<BudgetQualityTable, ServiceError> {
+        if self.config.warm_sweeps && pool.len() > self.config.exact_cutoff.min(MAX_EXHAUSTIVE_POOL)
+        {
+            return self.budget_quality_table_warm(pool, budgets, prior);
+        }
         let requests: Vec<SelectionRequest> = budgets
             .iter()
             .map(|&budget| {
@@ -285,6 +302,27 @@ impl JuryService {
             })
             .collect::<Result<Vec<_>, _>>()?;
         Ok(BudgetQualityTable::from_rows(rows))
+    }
+
+    /// The warm-started sweep behind [`Self::budget_quality_table`]: budgets
+    /// are validated up front (the sweep itself is infallible), then one
+    /// incremental search walks them in ascending order against the shared
+    /// JQ cache.
+    fn budget_quality_table_warm(
+        &self,
+        pool: &WorkerPool,
+        budgets: &[f64],
+        prior: Prior,
+    ) -> Result<BudgetQualityTable, ServiceError> {
+        for &budget in budgets {
+            if !budget.is_finite() || budget < 0.0 {
+                return Err(ServiceError::InvalidBudget { value: budget });
+            }
+        }
+        let objective = CachedObjective::new(self.config.jq_engine(), Strategy::Bv, &self.cache);
+        Ok(BudgetQualityTable::build_warm(
+            pool, budgets, prior, &objective,
+        ))
     }
 }
 
@@ -483,6 +521,73 @@ mod tests {
             .select(&SelectionRequest::new(pool, 5.0).with_strategy(Strategy::Mv))
             .unwrap();
         assert!(mv.quality >= 0.5);
+    }
+
+    #[test]
+    fn warm_sweep_matches_cold_per_budget_solves_on_large_uniform_pools() {
+        // Uniform costs and descending qualities: the warm marginal sweep,
+        // the cold annealing solves, and Lemma 2's top-k optimum all agree,
+        // so the two execution paths must produce the same row qualities.
+        let qualities: Vec<f64> = (0..24).map(|i| 0.9 - 0.012 * i as f64).collect();
+        let pool = WorkerPool::from_qualities_and_costs(&qualities, &[1.0; 24]).unwrap();
+        let budgets = [2.0, 4.0, 6.0, 9.0];
+
+        let warm_service = JuryService::new(ServiceConfig::fast());
+        let warm = warm_service
+            .budget_quality_table(&pool, &budgets, Prior::uniform())
+            .unwrap();
+        let cold_service = JuryService::new(ServiceConfig::fast().with_warm_sweeps(false));
+        let cold = cold_service
+            .budget_quality_table(&pool, &budgets, Prior::uniform())
+            .unwrap();
+
+        let mut previous = 0.0;
+        for (w, c) in warm.rows().iter().zip(cold.rows()) {
+            assert!(
+                (w.quality - c.quality).abs() < 1e-9,
+                "budget {}: warm {} vs cold {}",
+                w.budget,
+                w.quality,
+                c.quality
+            );
+            assert!(w.required_budget <= w.budget + 1e-9);
+            assert!(
+                w.quality >= previous - 1e-12,
+                "warm rows must stay monotone"
+            );
+            previous = w.quality;
+        }
+        // The warm sweep still routes evaluations through the shared cache.
+        assert!(warm_service.cache_stats().misses > 0);
+    }
+
+    #[test]
+    fn warm_sweep_validates_budgets() {
+        let qualities: Vec<f64> = (0..20).map(|i| 0.85 - 0.01 * i as f64).collect();
+        let pool = WorkerPool::from_qualities_and_costs(&qualities, &[1.0; 20]).unwrap();
+        let service = JuryService::new(ServiceConfig::fast());
+        for bad in [f64::NAN, f64::INFINITY, -1.0] {
+            let err = service
+                .budget_quality_table(&pool, &[1.0, bad], Prior::uniform())
+                .unwrap_err();
+            assert!(matches!(err, ServiceError::InvalidBudget { .. }), "{bad}");
+        }
+    }
+
+    #[test]
+    fn small_pools_keep_the_exhaustive_table_path() {
+        // The paper pool is within the exact cutoff, so the warm-sweep flag
+        // must not change the exhaustively-optimal Figure 1 rows.
+        let service = paper_service();
+        assert!(service.config().warm_sweeps);
+        let table = service
+            .budget_quality_table(
+                &paper_example_pool(),
+                &[5.0, 10.0, 15.0, 20.0],
+                Prior::uniform(),
+            )
+            .unwrap();
+        assert!((table.rows()[3].quality - 0.8695).abs() < 1e-9);
     }
 
     #[test]

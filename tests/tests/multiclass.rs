@@ -153,3 +153,114 @@ fn informativeness_identifies_spammers() {
     assert!(spammer.informativeness() < 1e-9);
     assert!(biased.informativeness() < 1e-9);
 }
+
+#[test]
+fn confusion_matrix_selection_runs_through_the_incremental_hot_path() {
+    // End-to-end Section 7 selection: a confusion-matrix pool too large for
+    // exact scoring is searched by the annealing and marginal-greedy solvers
+    // through `IncrementalMultiClassJq` sessions, and the winning shadow
+    // jury resolves back to its confusion matrices with a quality the exact
+    // enumeration confirms.
+    use jury_jq::MultiClassIncrementalConfig;
+    use jury_model::MatrixPool;
+    use jury_selection::{
+        AnnealingConfig, AnnealingSolver, GreedyMarginalSolver, JurySolver, MultiClassJsp,
+    };
+
+    let qualities: Vec<f64> = (0..16).map(|i| 0.5 + 0.025 * (i % 14) as f64).collect();
+    let costs: Vec<f64> = (0..16).map(|i| 1.0 + (i % 3) as f64).collect();
+    let pool = MatrixPool::from_qualities_and_costs(&qualities, &costs, 3).unwrap();
+    let prior = CategoricalPrior::new(vec![0.5, 0.3, 0.2]).unwrap();
+    let problem = MultiClassJsp::new(pool, 5.0, prior.clone()).unwrap();
+    // Coarse session grids keep the unoptimized test build fast, and the
+    // lowered crossover cutoff makes this 16-candidate pool session-driven;
+    // reported qualities come from the exact batch objective either way.
+    let session_grid = MultiClassIncrementalConfig::default().with_num_buckets(12);
+    let session_objective = || {
+        problem
+            .objective()
+            .with_incremental_config(session_grid)
+            .with_session_pool_cutoff(8)
+    };
+
+    let annealed = AnnealingSolver::with_config(
+        session_objective(),
+        AnnealingConfig::default()
+            .with_epsilon(1e-4)
+            .with_restarts(2),
+    )
+    .solve(problem.instance());
+    let greedy = GreedyMarginalSolver::new(session_objective()).solve(problem.instance());
+
+    for result in [&annealed, &greedy] {
+        assert!(problem.instance().is_feasible(&result.jury));
+        assert!(!result.jury.is_empty());
+        assert!(result.evaluations > 0);
+        let matrix_jury = problem.matrix_jury(&result.jury).unwrap();
+        let exact = exact_multiclass_bv_jq(&matrix_jury, &prior).unwrap();
+        // Reported values come from the batch objective (exact here: the
+        // selected juries are small), so they must agree with the ground
+        // truth enumeration.
+        assert!(
+            (result.objective_value - exact).abs() < 1e-9,
+            "{}: reported {} vs exact {exact}",
+            result.solver,
+            result.objective_value
+        );
+    }
+}
+
+#[test]
+fn incremental_multiclass_engine_tracks_the_scratch_dp_across_mutations() {
+    // Cross-crate regression: mutate a jury through the engine while
+    // recomputing the scratch DP on the same grids after every step.
+    use jury_jq::{multiclass_grid_deltas, IncrementalMultiClassJq};
+
+    let pool = MatrixJury::from_qualities(&[0.9, 0.8, 0.75, 0.7, 0.65, 0.6], 3).unwrap();
+    let prior = CategoricalPrior::uniform(3).unwrap();
+    let config = MultiClassBucketConfig { num_buckets: 40 };
+    let deltas = multiclass_grid_deltas(&pool, &prior, config).unwrap();
+    let mut engine = IncrementalMultiClassJq::new(&prior, &deltas).unwrap();
+
+    let mut live: Vec<usize> = Vec::new();
+    let script: &[(&str, usize)] = &[
+        ("push", 0),
+        ("push", 3),
+        ("push", 5),
+        ("pop", 3),
+        ("push", 1),
+        ("push", 2),
+        ("pop", 0),
+        ("push", 4),
+    ];
+    for &(op, index) in script {
+        match op {
+            "push" => {
+                engine.push_worker(&pool.workers()[index]).unwrap();
+                live.push(index);
+            }
+            _ => {
+                engine.pop_worker(&pool.workers()[index]).unwrap();
+                live.retain(|&i| i != index);
+            }
+        }
+        let members: Vec<MatrixWorker> = live.iter().map(|&i| pool.workers()[i].clone()).collect();
+        let jury = MatrixJury::new(members).unwrap();
+        // The scratch DP derives per-jury grids; evaluate it on the pool
+        // grids instead by rebuilding the engine's own member set.
+        let scratch = engine.from_scratch_jq();
+        assert!(
+            (engine.jq() - scratch).abs() < 1e-9,
+            "incremental {} vs rebuild {scratch} after {op} {index}",
+            engine.jq()
+        );
+        // And the quantized value stays within the coarse-grid ballpark of
+        // the exact enumeration.
+        let exact = exact_multiclass_bv_jq(&jury, &prior).unwrap();
+        assert!(
+            (engine.jq() - exact).abs() < 0.05,
+            "incremental {} vs exact {exact} after {op} {index}",
+            engine.jq()
+        );
+    }
+}

@@ -22,7 +22,16 @@ pub struct ProptestConfig {
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        ProptestConfig { cases: 64 }
+        // Mirror real proptest: the PROPTEST_CASES environment variable
+        // overrides the default case count (explicit `with_cases` calls
+        // still win, exactly like upstream), so CI can bound and reproduce
+        // property-test runtime.
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&cases| cases > 0)
+            .unwrap_or(64);
+        ProptestConfig { cases }
     }
 }
 
