@@ -1,0 +1,195 @@
+//! The CI perf artifact: a minute-bounded smoke benchmark of the serving
+//! hot paths, written as `BENCH_service.json` so the repo's performance
+//! trajectory accumulates one data point per CI run.
+//!
+//! Three workload families, all median-of-N wall-clock timings:
+//!
+//! * **annealing step** — one solver-shaped neighbour evaluation (swap a
+//!   jury member, read the JQ, revert) on the from-scratch bucket DP vs.
+//!   the incremental engine;
+//! * **greedy round** — one marginal-greedy round (score every unselected
+//!   pool member as a single-worker extension), scratch vs. incremental;
+//! * **budget sweeps** — a Figure-1 style budget–quality table through
+//!   `JuryService` under each [`jury_service::SweepPolicy`]: cold
+//!   per-budget solves, the warm marginal sweep, and the warm (seeded)
+//!   annealing sweep.
+//!
+//! Usage: `perf_smoke [--out <path.json>] [--iters <n>]` (defaults:
+//! `BENCH_service.json`, 15 iterations per timed routine).
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use jury_jq::{BucketCount, BucketJqConfig, BucketJqEstimator, IncrementalJq, IncrementalJqConfig};
+use jury_model::{GaussianWorkerGenerator, Jury, Prior, Worker, WorkerPool};
+use jury_service::{JuryService, ServiceConfig, SweepPolicy};
+
+/// Bucket resolution shared by the scratch and incremental paths so the
+/// comparison is work-for-work (the paper's experimental budget).
+const NUM_BUCKETS: usize = 50;
+/// Candidates of the step/round workloads.
+const POOL_SIZE: usize = 50;
+/// Candidates of the sweep workloads (past the exact cutoff, so the sweep
+/// policies actually engage).
+const SWEEP_POOL_SIZE: usize = 40;
+
+fn random_pool(n: usize, seed: u64) -> WorkerPool {
+    let generator = GaussianWorkerGenerator::paper_defaults();
+    let mut rng = StdRng::seed_from_u64(seed);
+    generator.generate(n, &mut rng)
+}
+
+/// Times `routine` `iters` times and returns the median microseconds.
+fn median_us<F: FnMut()>(iters: usize, mut routine: F) -> f64 {
+    let mut samples: Vec<f64> = (0..iters.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            routine();
+            start.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    samples[samples.len() / 2]
+}
+
+fn scratch_estimator() -> BucketJqEstimator {
+    BucketJqEstimator::new(
+        BucketJqConfig::default()
+            .with_buckets(BucketCount::Fixed(NUM_BUCKETS))
+            .with_high_quality_shortcut(false),
+    )
+}
+
+fn incremental_for(pool: &WorkerPool, members: &[Worker]) -> IncrementalJq {
+    let mut engine = IncrementalJq::for_pool(
+        pool,
+        Prior::uniform(),
+        IncrementalJqConfig::default().with_buckets(BucketCount::Fixed(NUM_BUCKETS)),
+    );
+    for worker in members {
+        engine.push_worker(worker);
+    }
+    engine
+}
+
+fn main() {
+    let mut out = String::from("BENCH_service.json");
+    let mut iters = 15usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--out" => out = args.next().expect("--out needs a path"),
+            "--iters" => {
+                iters = args
+                    .next()
+                    .expect("--iters needs a number")
+                    .parse()
+                    .expect("--iters needs a number")
+            }
+            other => {
+                eprintln!("unknown flag {other}; usage: perf_smoke [--out <path>] [--iters <n>]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let pool = random_pool(POOL_SIZE, 11);
+    let members: Vec<Worker> = pool.workers()[..POOL_SIZE / 2].to_vec();
+    let candidates: Vec<Worker> = pool.workers()[POOL_SIZE / 2..].to_vec();
+    let outsider = pool.workers()[POOL_SIZE - 1].clone();
+    let victim = members[0].clone();
+    let jury = Jury::new(members.clone());
+    let estimator = scratch_estimator();
+
+    // One annealing neighbour: mutate one member, read the JQ, revert.
+    let annealing_scratch = median_us(iters, || {
+        let mut candidate = jury.without(victim.id());
+        candidate.push(outsider.clone());
+        std::hint::black_box(estimator.jq(&candidate, Prior::uniform()));
+    });
+    let mut engine = incremental_for(&pool, &members);
+    let annealing_incremental = median_us(iters, || {
+        engine.swap_worker(&victim, &outsider).expect("member");
+        std::hint::black_box(engine.jq());
+        engine.swap_worker(&outsider, &victim).expect("member");
+    });
+
+    // One marginal-greedy round: score every candidate extension.
+    let greedy_scratch = median_us(iters, || {
+        let mut best = f64::NEG_INFINITY;
+        for worker in &candidates {
+            let value = estimator.jq(&jury.with_worker(worker.clone()), Prior::uniform());
+            best = best.max(value);
+        }
+        std::hint::black_box(best);
+    });
+    let mut engine = incremental_for(&pool, &members);
+    let greedy_incremental = median_us(iters, || {
+        let mut best = f64::NEG_INFINITY;
+        for worker in &candidates {
+            engine.push_worker(worker);
+            best = best.max(engine.jq());
+            engine.pop_worker(worker).expect("just pushed");
+        }
+        std::hint::black_box(best);
+    });
+
+    // Budget sweeps through the service, one per sweep policy. Uniform
+    // costs keep all three policies on the same optimum, so the timings
+    // compare equal work.
+    let qualities: Vec<f64> = (0..SWEEP_POOL_SIZE)
+        .map(|i| 0.52 + 0.012 * (i % 35) as f64)
+        .collect();
+    let sweep_pool =
+        WorkerPool::from_qualities_and_costs(&qualities, &vec![1.0; SWEEP_POOL_SIZE]).unwrap();
+    let budgets: Vec<f64> = (1..=4).map(|b| (b * SWEEP_POOL_SIZE / 8) as f64).collect();
+    let sweep_iters = iters.div_ceil(3);
+    let sweep = |policy: SweepPolicy| {
+        median_us(sweep_iters, || {
+            // A fresh service per run: sweeps must not serve each other
+            // from the shared cache, or later policies would time as pure
+            // cache reads.
+            let service = JuryService::new(ServiceConfig::fast().with_sweep_policy(policy));
+            let table = service
+                .budget_quality_table(&sweep_pool, &budgets, Prior::uniform())
+                .expect("valid sweep");
+            std::hint::black_box(table);
+        })
+    };
+    let sweep_cold = sweep(SweepPolicy::Cold);
+    let sweep_warm_marginal = sweep(SweepPolicy::WarmMarginal);
+    let sweep_warm_annealing = sweep(SweepPolicy::WarmAnnealing);
+
+    let dump = serde_json::json!({
+        "schema": "jury-bench/perf-smoke/v1",
+        "iters": iters,
+        "sweep_iters": sweep_iters,
+        "pool_size": POOL_SIZE,
+        "sweep_pool_size": SWEEP_POOL_SIZE,
+        "num_buckets": NUM_BUCKETS,
+        "median_us": {
+            "annealing_step_scratch": annealing_scratch,
+            "annealing_step_incremental": annealing_incremental,
+            "greedy_round_scratch": greedy_scratch,
+            "greedy_round_incremental": greedy_incremental,
+            "sweep_cold": sweep_cold,
+            "sweep_warm_marginal": sweep_warm_marginal,
+            "sweep_warm_annealing": sweep_warm_annealing,
+        },
+        "speedups": {
+            "annealing_step_incremental_vs_scratch": annealing_scratch / annealing_incremental,
+            "greedy_round_incremental_vs_scratch": greedy_scratch / greedy_incremental,
+            "sweep_warm_marginal_vs_cold": sweep_cold / sweep_warm_marginal,
+            "sweep_warm_annealing_vs_cold": sweep_cold / sweep_warm_annealing,
+        },
+    });
+    let rendered = serde_json::to_string_pretty(&dump).expect("serializable");
+    println!("{rendered}");
+    if let Err(err) = std::fs::write(&out, rendered) {
+        eprintln!("failed to write {out}: {err}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {out}");
+}

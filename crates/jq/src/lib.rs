@@ -80,7 +80,7 @@ pub use multiclass_incremental::{IncrementalMultiClassJq, MultiClassIncrementalC
 pub use mv::mv_jq;
 pub use prior::{fold_prior, PRIOR_PSEUDO_WORKER_ID};
 pub use prune::PruneStats;
-pub use signature::{jury_signature, JurySignature, SIGNATURE_RESOLUTION};
+pub use signature::{jury_signature, multiclass_signature, JurySignature, SIGNATURE_RESOLUTION};
 
 #[cfg(test)]
 mod proptests {

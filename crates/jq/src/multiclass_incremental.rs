@@ -131,6 +131,18 @@ impl MultiClassIncrementalConfig {
             Some((cap as usize).min(self.num_buckets.max(1)))
         }
     }
+
+    /// The cells the **coarsest possible grid** (one bucket per worker)
+    /// needs for a pool of `pool_size` workers over `num_choices` labels:
+    /// `(2·n + 1)^(ℓ−1)`, saturating. This is the grid-geometry floor behind
+    /// [`Self::resolve_buckets`] returning `None` — callers use it to report
+    /// *how far* an infeasible pool overshoots [`Self::max_cells`] without
+    /// re-deriving the box shape.
+    pub fn min_cells(pool_size: usize, num_choices: usize) -> u64 {
+        let side = 2 * pool_size.max(1) as u64 + 1;
+        let dims = num_choices.saturating_sub(1).max(1);
+        side.saturating_pow(dims.min(u32::MAX as usize) as u32)
+    }
 }
 
 /// One member's contribution to one target's DP: the worker's per-vote

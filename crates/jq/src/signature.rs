@@ -13,7 +13,7 @@
 //! signature is a sound cache key for memoizing JQ evaluations — the basis
 //! of `jury-service`'s shared evaluation cache.
 
-use jury_model::{Jury, Prior};
+use jury_model::{CategoricalPrior, Jury, Label, MatrixWorker, Prior};
 
 /// Quantization step for probabilities entering a [`JurySignature`].
 ///
@@ -43,6 +43,12 @@ impl JurySignature {
     }
 }
 
+/// First word of every multi-class signature, so binary and multi-class
+/// entries can never collide inside a shared store: a binary signature
+/// starts with a quantized probability, which is at most
+/// `1 / SIGNATURE_RESOLUTION = 2⁴⁰`, far below this tag.
+const MULTICLASS_SIGNATURE_TAG: u64 = u64::MAX;
+
 fn quantize(p: f64) -> u64 {
     (p / SIGNATURE_RESOLUTION).round() as u64
 }
@@ -58,6 +64,61 @@ pub fn jury_signature(jury: &Jury, prior: Prior) -> JurySignature {
         .collect();
     qualities.sort_unstable();
     words.extend(qualities);
+    JurySignature {
+        words: words.into_boxed_slice(),
+    }
+}
+
+/// Computes the signature of a multi-class `(jury members, prior)` JQ
+/// evaluation — the confusion-matrix analogue of [`jury_signature`], and the
+/// key under which `jury-service` memoizes `JQ(J, BV, ~α)` values in the
+/// same store as the binary entries.
+///
+/// `JQ(J, BV, ~α)` depends only on the *multiset* of the members' confusion
+/// matrices and on the categorical prior (both the exact enumeration and the
+/// Section 7 tuple-key DP are symmetric in the workers; ids and costs never
+/// enter), so the signature quantizes every matrix entry and prior mass to
+/// [`SIGNATURE_RESOLUTION`] and sorts the per-worker digests
+/// lexicographically. The `2⁻⁴⁰` resolution is the same rounding contract
+/// the grid deltas rely on: it sits far below the bucket grids'
+/// `max-ratio / num_buckets` widths and the repo-wide `1e-9` tolerances, so
+/// equal signatures imply JQ values within the numerical noise floor.
+///
+/// Layout: `[tag, ℓ, quantized prior masses…, sorted worker digests…]`,
+/// where each worker digest is her ℓ² row-major quantized matrix entries.
+/// The leading tag word (`u64::MAX`) keeps the key space disjoint from
+/// [`jury_signature`]'s, whose first word is a quantized probability (at
+/// most `2⁴⁰`).
+///
+/// An empty member sequence is allowed (the empty jury answers the prior
+/// argmax) and signs as `[tag, ℓ, prior…]`. Members are taken by reference
+/// (any iterator of `&MatrixWorker`; a slice iterates as one), so hot-path
+/// callers can sign borrowed pool entries without cloning matrices.
+pub fn multiclass_signature<'a, I>(members: I, prior: &CategoricalPrior) -> JurySignature
+where
+    I: IntoIterator<Item = &'a MatrixWorker>,
+{
+    let l = prior.num_choices();
+    let mut digests: Vec<Vec<u64>> = members
+        .into_iter()
+        .map(|member| {
+            (0..member.confusion().num_choices())
+                .flat_map(|t| {
+                    member
+                        .confusion()
+                        .row(Label(t))
+                        .iter()
+                        .map(|&p| quantize(p))
+                })
+                .collect()
+        })
+        .collect();
+    digests.sort_unstable();
+    let mut words = Vec::with_capacity(2 + l + digests.len() * l * l);
+    words.push(MULTICLASS_SIGNATURE_TAG);
+    words.push(l as u64);
+    words.extend(prior.probs().iter().map(|&p| quantize(p)));
+    words.extend(digests.into_iter().flatten());
     JurySignature {
         words: words.into_boxed_slice(),
     }
@@ -121,6 +182,61 @@ mod tests {
     fn empty_jury_still_has_a_prior_word() {
         let sig = jury_signature(&Jury::empty(), Prior::uniform());
         assert_eq!(sig.len(), 1);
+        assert!(!sig.is_empty());
+    }
+
+    fn matrix_workers(qualities: &[f64], costs: &[f64], l: usize) -> Vec<MatrixWorker> {
+        jury_model::MatrixPool::from_qualities_and_costs(qualities, costs, l)
+            .unwrap()
+            .workers()
+            .to_vec()
+    }
+
+    #[test]
+    fn multiclass_member_order_and_costs_do_not_matter() {
+        let prior = CategoricalPrior::uniform(3).unwrap();
+        let a = matrix_workers(&[0.9, 0.6, 0.7], &[1.0, 2.0, 3.0], 3);
+        let mut b = matrix_workers(&[0.9, 0.6, 0.7], &[5.0, 0.5, 1.5], 3);
+        b.reverse();
+        assert_eq!(
+            multiclass_signature(&a, &prior),
+            multiclass_signature(&b, &prior)
+        );
+    }
+
+    #[test]
+    fn multiclass_matrices_and_prior_do_matter() {
+        let prior = CategoricalPrior::uniform(3).unwrap();
+        let a = matrix_workers(&[0.9, 0.6], &[1.0, 1.0], 3);
+        let base = multiclass_signature(&a, &prior);
+        let other = matrix_workers(&[0.9, 0.61], &[1.0, 1.0], 3);
+        assert_ne!(base, multiclass_signature(&other, &prior));
+        let skewed = CategoricalPrior::new(vec![0.5, 0.3, 0.2]).unwrap();
+        assert_ne!(base, multiclass_signature(&a, &skewed));
+    }
+
+    #[test]
+    fn multiclass_signatures_never_collide_with_binary_ones() {
+        // A 2-class matrix pool and the binary jury of the same qualities
+        // describe the same statistical object, but the stores behind the
+        // service cache key them through different engines — the tag word
+        // must keep them apart.
+        let prior = CategoricalPrior::uniform(2).unwrap();
+        let members = matrix_workers(&[0.8, 0.6], &[1.0, 1.0], 2);
+        let multi = multiclass_signature(&members, &prior);
+        let binary = jury_signature(
+            &Jury::from_qualities(&[0.8, 0.6]).unwrap(),
+            Prior::uniform(),
+        );
+        assert_ne!(multi, binary);
+        assert_eq!(multi.len(), 2 + 2 + 2 * 4);
+    }
+
+    #[test]
+    fn multiclass_empty_member_slice_signs_the_prior_alone() {
+        let prior = CategoricalPrior::new(vec![0.2, 0.5, 0.3]).unwrap();
+        let sig = multiclass_signature(&[] as &[MatrixWorker], &prior);
+        assert_eq!(sig.len(), 2 + 3);
         assert!(!sig.is_empty());
     }
 }

@@ -335,14 +335,16 @@ impl<O: JuryObjective> AnnealingSolver<O> {
 }
 
 impl<O: JuryObjective> AnnealingSolver<O> {
-    /// One run of the paper's Algorithm 3, starting from the empty jury.
+    /// One run of the paper's Algorithm 3, starting from `start` (the empty
+    /// jury for a cold run; warm-started budget sweeps hand in the previous
+    /// budget's jury).
     ///
     /// When the objective offers an incremental session (and the
     /// configuration allows it), the temperature loop steers itself entirely
     /// through that session; the returned value is always a fresh batch
     /// evaluation of the final jury, so callers compare restarts and report
     /// results on the objective's own scale.
-    fn anneal_once(&self, instance: &JspInstance, seed: u64) -> (Jury, f64) {
+    fn anneal_once(&self, instance: &JspInstance, seed: u64, start: &Jury) -> (Jury, f64) {
         let n = instance.num_candidates();
         let workers = instance.pool().workers();
         let mut rng = StdRng::seed_from_u64(seed);
@@ -353,6 +355,25 @@ impl<O: JuryObjective> AnnealingSolver<O> {
             None
         };
         let session_used = session.is_some();
+
+        // Warm start: replay the seed jury into the search state (and the
+        // session) before the temperature loop. Members that no longer fit —
+        // a foreign id, a duplicate, or a worker the budget cannot afford —
+        // are skipped, so any jury is a safe seed.
+        for member in start.workers() {
+            let Some(index) = workers.iter().position(|w| w.id() == member.id()) else {
+                continue;
+            };
+            if state.selected[index]
+                || state.spent + workers[index].cost() > instance.budget() + 1e-12
+            {
+                continue;
+            }
+            state.add(index, &workers[index]);
+            if let Some(live) = &mut session {
+                live.push(&workers[index]);
+            }
+        }
 
         if n > 0 {
             let mut temperature = self.config.initial_temperature;
@@ -425,12 +446,17 @@ impl<O: JuryObjective> AnnealingSolver<O> {
     }
 }
 
-impl<O: JuryObjective> JurySolver for AnnealingSolver<O> {
-    fn name(&self) -> &'static str {
-        "simulated-annealing"
-    }
-
-    fn solve(&self, instance: &JspInstance) -> SolverResult {
+impl<O: JuryObjective> AnnealingSolver<O> {
+    /// Solves the instance with every annealing restart **seeded** by the
+    /// given jury instead of starting empty: the seed is replayed into the
+    /// search state (skipping members the pool or budget no longer admits)
+    /// before the temperature loop runs. The seed jury itself also competes
+    /// as a candidate solution, so a warm-started run never reports a worse
+    /// jury than the seed it was handed — the contract behind
+    /// [`crate::BudgetQualityTable::build_warm_annealing`]'s monotone rows.
+    ///
+    /// `solve` is exactly `solve_seeded` with the empty jury.
+    pub fn solve_seeded(&self, instance: &JspInstance, seed_jury: &Jury) -> SolverResult {
         let start = Instant::now();
         let evaluations_before = self.objective.evaluations();
 
@@ -438,11 +464,22 @@ impl<O: JuryObjective> JurySolver for AnnealingSolver<O> {
         let mut best_value = self.objective.evaluate(&best_jury, instance.prior());
 
         for restart in 0..self.config.restarts.max(1) {
-            let (jury, value) =
-                self.anneal_once(instance, self.config.seed.wrapping_add(restart as u64));
+            let (jury, value) = self.anneal_once(
+                instance,
+                self.config.seed.wrapping_add(restart as u64),
+                seed_jury,
+            );
             if value > best_value {
                 best_value = value;
                 best_jury = jury;
+            }
+        }
+
+        if !seed_jury.is_empty() && instance.is_feasible(seed_jury) {
+            let value = self.objective.evaluate(seed_jury, instance.prior());
+            if value > best_value {
+                best_value = value;
+                best_jury = seed_jury.clone();
             }
         }
 
@@ -463,6 +500,16 @@ impl<O: JuryObjective> JurySolver for AnnealingSolver<O> {
             elapsed: start.elapsed(),
             solver: self.name(),
         }
+    }
+}
+
+impl<O: JuryObjective> JurySolver for AnnealingSolver<O> {
+    fn name(&self) -> &'static str {
+        "simulated-annealing"
+    }
+
+    fn solve(&self, instance: &JspInstance) -> SolverResult {
+        self.solve_seeded(instance, &Jury::empty())
     }
 }
 
@@ -620,6 +667,53 @@ mod tests {
             classic.objective_value
         );
         assert!(incremental.evaluations > 0);
+    }
+
+    #[test]
+    fn seeded_solve_matches_cold_solve_semantics() {
+        // Seeding with the empty jury is exactly `solve`.
+        let instance = paper_instance(15.0);
+        let solver = AnnealingSolver::new(BvObjective::new());
+        let cold = solver.solve(&instance);
+        let seeded = solver.solve_seeded(&instance, &jury_model::Jury::empty());
+        assert_eq!(cold.jury.ids(), seeded.jury.ids());
+        assert!((cold.objective_value - seeded.objective_value).abs() < 1e-12);
+    }
+
+    #[test]
+    fn seeded_solve_never_reports_below_the_seed() {
+        // Seed with the known optimum at budget 15 ({B, C, G}); the seeded
+        // run must report at least its quality, whatever the search does.
+        let instance = paper_instance(15.0);
+        let optimal = ExhaustiveSolver::new(BvObjective::new()).solve(&instance);
+        let weak = AnnealingSolver::with_config(
+            BvObjective::new(),
+            AnnealingConfig::paper_single_run().with_epsilon(0.5),
+        );
+        let seeded = weak.solve_seeded(&instance, &optimal.jury);
+        assert!(seeded.objective_value >= optimal.objective_value - 1e-12);
+        assert!(instance.is_feasible(&seeded.jury));
+    }
+
+    #[test]
+    fn infeasible_and_foreign_seeds_are_tolerated() {
+        // A seed the budget cannot afford (or whose members are unknown)
+        // must be skipped gracefully, not crash or produce infeasible rows.
+        let instance = paper_instance(5.0);
+        let rich = paper_instance(37.0);
+        let full = AnnealingSolver::new(BvObjective::new()).solve(&rich);
+        assert!(full.jury.cost() > 5.0);
+        let solver = AnnealingSolver::new(BvObjective::new());
+        let result = solver.solve_seeded(&instance, &full.jury);
+        assert!(instance.is_feasible(&result.jury));
+        let foreign = jury_model::Jury::new(vec![jury_model::Worker::new(
+            jury_model::WorkerId(999),
+            0.9,
+            1.0,
+        )
+        .unwrap()]);
+        let result = solver.solve_seeded(&instance, &foreign);
+        assert!(instance.is_feasible(&result.jury));
     }
 
     #[test]

@@ -136,6 +136,71 @@ impl BudgetQualityTable {
         }
     }
 
+    /// Builds the table with a **warm-started annealing sweep**: budgets are
+    /// walked in ascending order and each one is solved by
+    /// [`crate::AnnealingSolver::solve_seeded`] with the previous budget's
+    /// jury as the seed — the ROADMAP's warm-anneal follow-up for
+    /// quality-critical sweeps on heterogeneous costs, where the marginal
+    /// sweep of [`Self::build_warm`] can trail cold annealing rows because
+    /// it can never un-commit a cheap worker to afford an expensive one.
+    ///
+    /// Each seeded run replays the carried jury into the annealing state
+    /// (and its incremental session) instead of re-solving from cold, and
+    /// the seed competes as a candidate solution, so row qualities are
+    /// monotone in the budget by construction. Every row is re-scored by
+    /// the batch objective; requested budget order is preserved in the
+    /// output regardless of the internal ascending traversal.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-finite or negative budgets, exactly like
+    /// [`Self::build`] and [`Self::build_warm`].
+    pub fn build_warm_annealing<O: JuryObjective>(
+        pool: &WorkerPool,
+        budgets: &[f64],
+        prior: Prior,
+        objective: &O,
+        config: crate::annealing::AnnealingConfig,
+    ) -> Self {
+        for &budget in budgets {
+            assert!(
+                budget.is_finite() && budget >= 0.0,
+                "budgets are validated by the caller (got {budget})"
+            );
+        }
+        let mut order: Vec<usize> = (0..budgets.len()).collect();
+        order.sort_by(|&a, &b| {
+            budgets[a]
+                .partial_cmp(&budgets[b])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let solver = crate::annealing::AnnealingSolver::with_config(objective, config);
+
+        let mut carried = jury_model::Jury::empty();
+        let mut rows: Vec<Option<BudgetQualityRow>> = budgets.iter().map(|_| None).collect();
+        for &slot in &order {
+            let budget = budgets[slot];
+            let instance = JspInstance::new(pool.clone(), budget, prior)
+                .expect("budgets are validated by the caller");
+            let result = solver.solve_seeded(&instance, &carried);
+            let mut jury = result.jury.ids();
+            jury.sort();
+            rows[slot] = Some(BudgetQualityRow {
+                budget,
+                jury,
+                quality: result.objective_value,
+                required_budget: result.jury.cost(),
+            });
+            carried = result.jury;
+        }
+        BudgetQualityTable {
+            rows: rows
+                .into_iter()
+                .map(|row| row.expect("every requested budget produced a row"))
+                .collect(),
+        }
+    }
+
     /// Assembles a table from pre-computed rows (in budget order). Used by
     /// `jury-service`, which solves the per-budget instances through its own
     /// batched, cached execution path rather than via [`Self::build`].
@@ -307,6 +372,118 @@ mod tests {
                 c.quality
             );
         }
+    }
+
+    fn fast_annealing() -> crate::annealing::AnnealingConfig {
+        crate::annealing::AnnealingConfig::default()
+            .with_epsilon(1e-4)
+            .with_restarts(2)
+    }
+
+    #[test]
+    fn warm_annealing_matches_cold_annealing_on_a_monotone_pool() {
+        // Same territory as the marginal warm-sweep test: descending
+        // qualities with uniform costs, where Lemma 2 pins the optimum, so
+        // the seeded sweep must land on the same row qualities as cold
+        // per-budget annealing solves.
+        let qualities: Vec<f64> = (0..18).map(|i| 0.92 - 0.02 * i as f64).collect();
+        let pool = WorkerPool::from_qualities_and_costs(&qualities, &[1.0; 18]).unwrap();
+        let budgets = [1.0, 3.0, 5.0, 8.0, 12.0];
+        let objective = BvObjective::new();
+        let warm = BudgetQualityTable::build_warm_annealing(
+            &pool,
+            &budgets,
+            Prior::uniform(),
+            &objective,
+            fast_annealing(),
+        );
+        let cold = BudgetQualityTable::build(
+            &pool,
+            &budgets,
+            Prior::uniform(),
+            &crate::annealing::AnnealingSolver::with_config(BvObjective::new(), fast_annealing()),
+        );
+        let mut previous = 0.0;
+        for (w, c) in warm.rows().iter().zip(cold.rows()) {
+            assert!(
+                (w.quality - c.quality).abs() < 1e-9,
+                "budget {}: warm {} vs cold {}",
+                w.budget,
+                w.quality,
+                c.quality
+            );
+            assert!(w.required_budget <= w.budget + 1e-9);
+            assert!(w.quality >= previous - 1e-12, "rows must stay monotone");
+            previous = w.quality;
+        }
+    }
+
+    #[test]
+    fn warm_annealing_rows_never_fall_below_the_marginal_sweep_on_hard_costs() {
+        // Heterogeneous costs where the marginal sweep can get stuck: one
+        // excellent expensive worker among cheap mediocre ones. The seeded
+        // annealing sweep may un-commit the cheap fill; its rows must never
+        // trail the marginal rows.
+        let mut qualities = vec![0.93];
+        let mut costs = vec![0.9];
+        for _ in 0..8 {
+            qualities.push(0.55);
+            costs.push(0.12);
+        }
+        let pool = WorkerPool::from_qualities_and_costs(&qualities, &costs).unwrap();
+        let budgets = [0.3, 0.95, 1.3];
+        let objective = BvObjective::new();
+        let annealed = BudgetQualityTable::build_warm_annealing(
+            &pool,
+            &budgets,
+            Prior::uniform(),
+            &objective,
+            crate::annealing::AnnealingConfig::default(),
+        );
+        let marginal =
+            BudgetQualityTable::build_warm(&pool, &budgets, Prior::uniform(), &objective);
+        for (a, m) in annealed.rows().iter().zip(marginal.rows()) {
+            assert!(
+                a.quality >= m.quality - 1e-9,
+                "budget {}: annealed {} vs marginal {}",
+                a.budget,
+                a.quality,
+                m.quality
+            );
+        }
+        // At budget 0.95 the optimum is the lone 0.93 worker; the marginal
+        // sweep cannot reach it from its committed cheap workers.
+        assert!((annealed.rows()[1].quality - 0.93).abs() < 1e-9);
+    }
+
+    #[test]
+    fn warm_annealing_preserves_requested_budget_order() {
+        let pool = WorkerPool::from_qualities_and_costs(&[0.9, 0.8, 0.7], &[1.0; 3]).unwrap();
+        let budgets = [2.0, 1.0, 3.0];
+        let objective = BvObjective::new();
+        let table = BudgetQualityTable::build_warm_annealing(
+            &pool,
+            &budgets,
+            Prior::uniform(),
+            &objective,
+            fast_annealing(),
+        );
+        let listed: Vec<f64> = table.rows().iter().map(|r| r.budget).collect();
+        assert_eq!(listed, budgets);
+    }
+
+    #[test]
+    #[should_panic(expected = "budgets are validated")]
+    fn warm_annealing_rejects_bad_budgets() {
+        let pool = WorkerPool::from_qualities_and_costs(&[0.8], &[1.0]).unwrap();
+        let objective = BvObjective::new();
+        let _ = BudgetQualityTable::build_warm_annealing(
+            &pool,
+            &[1.0, f64::INFINITY],
+            Prior::uniform(),
+            &objective,
+            fast_annealing(),
+        );
     }
 
     #[test]

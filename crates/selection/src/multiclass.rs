@@ -207,9 +207,49 @@ impl MultiClassBvObjective {
         self
     }
 
+    /// The confusion-matrix candidate pool this objective scores against.
+    pub fn pool(&self) -> &MatrixPool {
+        &self.pool
+    }
+
+    /// The categorical prior (part of the objective's identity).
+    pub fn prior(&self) -> &CategoricalPrior {
+        &self.prior
+    }
+
+    /// The scratch bucket configuration batch evaluations use.
+    pub fn bucket_config(&self) -> MultiClassBucketConfig {
+        self.bucket
+    }
+
+    /// The incremental engine configuration sessions use.
+    pub fn incremental_config(&self) -> MultiClassIncrementalConfig {
+        self.incremental
+    }
+
+    /// The exact-enumeration voting-space cutoff of batch evaluations.
+    pub fn exact_votings(&self) -> u64 {
+        self.exact_votings
+    }
+
+    /// The smallest pool size that gets incremental sessions.
+    pub fn session_pool_cutoff(&self) -> usize {
+        self.session_pool_cutoff
+    }
+
     /// `ℓ^n`, saturating.
     fn votings(&self, jurors: usize) -> u64 {
         (self.pool.num_choices() as u64).saturating_pow(jurors.min(u32::MAX as usize) as u32)
+    }
+
+    /// Whether a search over `candidates` pool members runs on incremental
+    /// sessions under this objective's configuration — true exactly when
+    /// the pool is past both the session crossover cutoff and the exact
+    /// voting-space cutoff. This is the single source of the gating that
+    /// [`JuryObjective::incremental_session`] applies; serving layers use
+    /// it to decide whether a pool *requires* the incremental engine.
+    pub fn session_required(&self, candidates: usize) -> bool {
+        candidates > self.session_pool_cutoff && self.votings(candidates) > self.exact_votings
     }
 
     /// The JQ of the empty jury: Bayesian voting answers the prior argmax.
@@ -262,9 +302,7 @@ impl JuryObjective for MultiClassBvObjective {
         // candidate by exact enumeration anyway, and below the crossover
         // pool size the sparse scratch DP beats the dense boxes outright —
         // the quantized session only pays off beyond both bounds.
-        if instance.num_candidates() <= self.session_pool_cutoff
-            || self.votings(instance.num_candidates()) <= self.exact_votings
-        {
+        if !self.session_required(instance.num_candidates()) {
             return None;
         }
         let engine =

@@ -1,4 +1,5 @@
-//! The shared, memoizing JQ-evaluation cache and the cache-backed objective.
+//! The shared, memoizing JQ-evaluation cache and the cache-backed
+//! objectives.
 //!
 //! JSP searches spend essentially all their time evaluating `JQ(J, S, α)`,
 //! and across a batch of requests over overlapping pools the same
@@ -9,37 +10,68 @@
 //! the prior; see `jury_jq::signature`) plus the strategy, behind a
 //! `parking_lot`-guarded map shared by all worker threads of a batch.
 //!
-//! The cache is the *outer* memoization layer; underneath it the objective
-//! also hands the solvers incremental push/pop/swap sessions
-//! (`jury_jq::IncrementalJq` / `jury_jq::IncrementalMvJq`), so the inner
-//! search loop of annealing and marginal greedy never pays a from-scratch
-//! JQ computation either — batch memoization outside, incremental updates
-//! inside.
+//! Multi-class (confusion-matrix) evaluations live in the **same store**,
+//! keyed by [`multiclass_signature`] — a quantized matrix digest whose key
+//! space is disjoint from the binary signatures by construction — so one
+//! segmented-LRU budget covers a mixed binary/multi-class workload and hot
+//! entries of either kind compete fairly for residency. [`CacheStats`]
+//! reports hits and misses per kind on top of the combined totals.
+//!
+//! The cache is the *outer* memoization layer; underneath it the objectives
+//! also hand the solvers incremental push/pop/swap sessions
+//! (`jury_jq::IncrementalJq` / `IncrementalMvJq` /
+//! `IncrementalMultiClassJq`), so the inner search loop of annealing and
+//! marginal greedy never pays a from-scratch JQ computation either — batch
+//! memoization outside, incremental updates inside.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::RwLock;
 
-use jury_jq::{jury_signature, JqEngine, JurySignature};
-use jury_model::{Jury, Prior};
+use jury_jq::{jury_signature, multiclass_signature, JqEngine, JurySignature};
+use jury_model::{CategoricalPrior, Jury, MatrixPool, MatrixWorker, ModelResult, Prior};
 use jury_selection::{
     bv_incremental_session, mv_incremental_session, IncrementalSession, JspInstance, JuryObjective,
+    MultiClassBvObjective,
 };
 
+use crate::config::ServiceConfig;
 use crate::request::Strategy;
+
+/// Which key space a cache access belongs to, for per-kind accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CacheKind {
+    /// Binary-accuracy evaluations keyed by [`jury_signature`].
+    Binary,
+    /// Confusion-matrix evaluations keyed by [`multiclass_signature`].
+    MultiClass,
+}
+
+/// Hit/miss counters of one key kind within the shared store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheKindStats {
+    /// Lifetime lookups of this kind served from the cache.
+    pub hits: u64,
+    /// Lifetime lookups of this kind that had to compute the value.
+    pub misses: u64,
+}
 
 /// A point-in-time snapshot of the cache's counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
-    /// Entries currently stored.
+    /// Entries currently stored (all kinds).
     pub entries: usize,
-    /// Lifetime lookups served from the cache.
+    /// Lifetime lookups served from the cache (all kinds).
     pub hits: u64,
-    /// Lifetime lookups that had to compute the value.
+    /// Lifetime lookups that had to compute the value (all kinds).
     pub misses: u64,
     /// Lifetime entries dropped by the segmented-LRU eviction.
     pub evictions: u64,
+    /// Counters of the binary-accuracy entries.
+    pub binary: CacheKindStats,
+    /// Counters of the multi-class (confusion-matrix) entries.
+    pub multiclass: CacheKindStats,
 }
 
 impl CacheStats {
@@ -55,15 +87,25 @@ impl CacheStats {
 }
 
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-struct CacheKey {
-    strategy: Strategy,
-    // The engine fingerprint: JQ values computed under different bucket
-    // settings or exact cutoffs are different numbers, and per-request
-    // config overrides share this cache, so the configuration must be part
-    // of the key.
-    bucket: jury_jq::BucketJqConfig,
-    exact_cutoff: usize,
-    signature: JurySignature,
+enum CacheKey {
+    /// A binary-accuracy evaluation. The engine fingerprint (bucket
+    /// settings, exact cutoff) is part of the key: JQ values computed under
+    /// different configurations are different numbers, and per-request
+    /// config overrides share this cache.
+    Binary {
+        strategy: Strategy,
+        bucket: jury_jq::BucketJqConfig,
+        exact_cutoff: usize,
+        signature: JurySignature,
+    },
+    /// A multi-class BV evaluation. The scratch bucket resolution and the
+    /// exact-enumeration voting cutoff are the engine fingerprint here (the
+    /// incremental config only steers searches, never reported values).
+    MultiClass {
+        num_buckets: usize,
+        exact_votings: u64,
+        signature: JurySignature,
+    },
 }
 
 /// One memoized evaluation: the value plus a last-used stamp, bumped on
@@ -83,14 +125,17 @@ struct CacheEntry {
 /// re-reading — survive, unlike the wholesale `clear()` this replaces, while
 /// the half-at-a-time segmentation keeps the amortized bookkeeping cost per
 /// insert `O(1)` (a full LRU list would pay pointer churn on every hit).
+/// Binary and multi-class entries share the one capacity and eviction sweep.
 #[derive(Debug)]
 pub(crate) struct JqCache {
     capacity: usize,
     map: RwLock<HashMap<CacheKey, CacheEntry>>,
     /// Monotonic logical clock handing out last-used stamps.
     tick: AtomicU64,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    binary_hits: AtomicU64,
+    binary_misses: AtomicU64,
+    multiclass_hits: AtomicU64,
+    multiclass_misses: AtomicU64,
     evictions: AtomicU64,
 }
 
@@ -100,27 +145,37 @@ impl JqCache {
             capacity,
             map: RwLock::new(HashMap::new()),
             tick: AtomicU64::new(0),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            binary_hits: AtomicU64::new(0),
+            binary_misses: AtomicU64::new(0),
+            multiclass_hits: AtomicU64::new(0),
+            multiclass_misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
         }
     }
 
-    fn get(&self, key: &CacheKey) -> Option<f64> {
+    fn counters(&self, kind: CacheKind) -> (&AtomicU64, &AtomicU64) {
+        match kind {
+            CacheKind::Binary => (&self.binary_hits, &self.binary_misses),
+            CacheKind::MultiClass => (&self.multiclass_hits, &self.multiclass_misses),
+        }
+    }
+
+    fn get(&self, key: &CacheKey, kind: CacheKind) -> Option<f64> {
         if self.capacity == 0 {
             return None;
         }
+        let (hits, misses) = self.counters(kind);
         let map = self.map.read();
         match map.get(key) {
             Some(entry) => {
                 entry
                     .last_used
                     .store(self.tick.fetch_add(1, Ordering::Relaxed), Ordering::Relaxed);
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                hits.fetch_add(1, Ordering::Relaxed);
                 Some(entry.value)
             }
             None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }
@@ -156,16 +211,26 @@ impl JqCache {
     }
 
     pub(crate) fn stats(&self) -> CacheStats {
+        let binary = CacheKindStats {
+            hits: self.binary_hits.load(Ordering::Relaxed),
+            misses: self.binary_misses.load(Ordering::Relaxed),
+        };
+        let multiclass = CacheKindStats {
+            hits: self.multiclass_hits.load(Ordering::Relaxed),
+            misses: self.multiclass_misses.load(Ordering::Relaxed),
+        };
         CacheStats {
             entries: self.map.read().len(),
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
+            hits: binary.hits + multiclass.hits,
+            misses: binary.misses + multiclass.misses,
             evictions: self.evictions.load(Ordering::Relaxed),
+            binary,
+            multiclass,
         }
     }
 }
 
-/// The service's unified objective: one implementation of
+/// The service's unified binary objective: one implementation of
 /// [`JuryObjective`] covering both strategies, with every evaluation routed
 /// through the shared cache. This is what replaces the separate
 /// `Optjs`/`Mvjs` engines of the old system layer — the solvers are generic
@@ -212,13 +277,13 @@ impl JuryObjective for CachedObjective<'_> {
 
     fn evaluate(&self, jury: &Jury, prior: Prior) -> f64 {
         self.requests.fetch_add(1, Ordering::Relaxed);
-        let key = CacheKey {
+        let key = CacheKey::Binary {
             strategy: self.strategy,
             bucket: *self.engine.bucket_estimator().config(),
             exact_cutoff: self.engine.exact_cutoff(),
             signature: jury_signature(jury, prior),
         };
-        if let Some(value) = self.cache.get(&key) {
+        if let Some(value) = self.cache.get(&key, CacheKind::Binary) {
             self.local_hits.fetch_add(1, Ordering::Relaxed);
             return value;
         }
@@ -257,10 +322,119 @@ impl JuryObjective for CachedObjective<'_> {
     }
 }
 
+/// The cache-backed multi-class objective: wraps
+/// [`jury_selection::MultiClassBvObjective`] (which owns the confusion-
+/// matrix pool, the categorical prior, and the incremental sessions) and
+/// routes every batch evaluation through the shared store under a
+/// [`multiclass_signature`] key. Shadow juries are resolved back to their
+/// matrices by id before signing, so the key describes exactly what the
+/// inner objective scores.
+pub(crate) struct CachedMultiClassObjective<'a> {
+    /// Owns the (only copies of the) pool and prior, exposed via its
+    /// `pool()`/`prior()` accessors.
+    inner: MultiClassBvObjective,
+    /// Pool position by worker id, built once so the per-evaluation member
+    /// resolution is `O(jury)` map hits instead of `O(jury · pool)` scans.
+    index: HashMap<jury_model::WorkerId, usize>,
+    cache: &'a JqCache,
+    local_hits: AtomicU64,
+}
+
+impl<'a> CachedMultiClassObjective<'a> {
+    /// Builds the objective for a pool/prior pair under the given service
+    /// configuration.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the prior's label count does not match the pool's.
+    pub(crate) fn new(
+        pool: &MatrixPool,
+        prior: &CategoricalPrior,
+        config: &ServiceConfig,
+        cache: &'a JqCache,
+    ) -> ModelResult<Self> {
+        let inner = MultiClassBvObjective::new(pool.clone(), prior.clone())?
+            .with_bucket_config(config.multiclass_bucket)
+            .with_incremental_config(config.multiclass_incremental)
+            .with_session_pool_cutoff(config.multiclass_session_cutoff);
+        let index = pool
+            .iter()
+            .enumerate()
+            .map(|(position, worker)| (worker.id(), position))
+            .collect();
+        Ok(CachedMultiClassObjective {
+            inner,
+            index,
+            cache,
+            local_hits: AtomicU64::new(0),
+        })
+    }
+
+    /// Cache hits observed by this objective instance (i.e. this solve).
+    pub(crate) fn local_hits(&self) -> u64 {
+        self.local_hits.load(Ordering::Relaxed)
+    }
+
+    /// Whether a pool of `candidates` members requires incremental sessions
+    /// under this objective's configuration (see
+    /// [`MultiClassBvObjective::session_required`]).
+    pub(crate) fn session_required(&self, candidates: usize) -> bool {
+        self.inner.session_required(candidates)
+    }
+
+    /// The jury members the inner objective will score for this shadow
+    /// jury: pool matrices looked up by id (borrowed, no matrix clones),
+    /// unknown ids dropped — exactly the inner objective's resolution
+    /// policy, shared so response members can never disagree with what was
+    /// scored.
+    pub(crate) fn members(&self, jury: &Jury) -> Vec<&MatrixWorker> {
+        let workers = self.inner.pool().workers();
+        jury.ids()
+            .into_iter()
+            .filter_map(|id| self.index.get(&id).map(|&pos| &workers[pos]))
+            .collect()
+    }
+}
+
+impl JuryObjective for CachedMultiClassObjective<'_> {
+    fn name(&self) -> &'static str {
+        "JQ(BV, multi-class, cached)"
+    }
+
+    fn evaluate(&self, jury: &Jury, prior: Prior) -> f64 {
+        let key = CacheKey::MultiClass {
+            num_buckets: self.inner.bucket_config().num_buckets,
+            exact_votings: self.inner.exact_votings(),
+            signature: multiclass_signature(self.members(jury), self.inner.prior()),
+        };
+        if let Some(value) = self.cache.get(&key, CacheKind::MultiClass) {
+            self.local_hits.fetch_add(1, Ordering::Relaxed);
+            return value;
+        }
+        let value = self.inner.evaluate(jury, prior);
+        self.cache.insert(key, value);
+        value
+    }
+
+    fn evaluations(&self) -> u64 {
+        // The inner objective counts batch computations and session probes;
+        // cache hits short-circuit before reaching it, so they are added
+        // here — every request for a value is counted exactly once.
+        self.inner.evaluations() + self.local_hits.load(Ordering::Relaxed)
+    }
+
+    fn incremental_session<'a>(
+        &'a self,
+        instance: &JspInstance,
+    ) -> Option<Box<dyn IncrementalSession + 'a>> {
+        self.inner.incremental_session(instance)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use jury_jq::exact_bv_jq;
+    use jury_jq::{exact_bv_jq, exact_multiclass_bv_jq};
 
     fn engine() -> JqEngine {
         crate::ServiceConfig::default().jq_engine()
@@ -279,6 +453,8 @@ mod tests {
         assert_eq!(objective.local_hits(), 1);
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert_eq!((stats.binary.hits, stats.binary.misses), (1, 1));
+        assert_eq!(stats.multiclass, CacheKindStats::default());
         assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
     }
 
@@ -382,5 +558,77 @@ mod tests {
             misses_before + 1,
             "the stalest entry must have been evicted"
         );
+    }
+
+    fn multiclass_fixture() -> (MatrixPool, CategoricalPrior) {
+        let pool =
+            MatrixPool::from_qualities_and_costs(&[0.9, 0.7, 0.6], &[1.0, 1.0, 1.0], 3).unwrap();
+        let prior = CategoricalPrior::uniform(3).unwrap();
+        (pool, prior)
+    }
+
+    #[test]
+    fn multiclass_cached_values_match_direct_evaluation() {
+        let cache = JqCache::new(1024);
+        let (pool, prior) = multiclass_fixture();
+        let objective =
+            CachedMultiClassObjective::new(&pool, &prior, &ServiceConfig::default(), &cache)
+                .unwrap();
+        let shadow = pool.shadow_pool();
+        let jury = Jury::new(shadow.workers()[..2].to_vec());
+        let first = objective.evaluate(&jury, Prior::uniform());
+        let second = objective.evaluate(&jury, Prior::uniform());
+        assert_eq!(first, second);
+        let direct = exact_multiclass_bv_jq(&pool.jury(&jury.ids()).unwrap(), &prior).unwrap();
+        assert!((first - direct).abs() < 1e-12);
+        assert_eq!(objective.local_hits(), 1);
+        assert_eq!(objective.evaluations(), 2);
+        let stats = cache.stats();
+        assert_eq!((stats.multiclass.hits, stats.multiclass.misses), (1, 1));
+        assert_eq!(stats.binary, CacheKindStats::default());
+    }
+
+    #[test]
+    fn binary_and_multiclass_entries_share_the_store_without_colliding() {
+        let cache = JqCache::new(1024);
+        let (pool, prior) = multiclass_fixture();
+        let multi =
+            CachedMultiClassObjective::new(&pool, &prior, &ServiceConfig::default(), &cache)
+                .unwrap();
+        let binary = CachedObjective::new(engine(), Strategy::Bv, &cache);
+        let shadow = pool.shadow_pool();
+        let jury = Jury::new(shadow.workers().to_vec());
+        let multi_value = multi.evaluate(&jury, Prior::uniform());
+        let binary_value = binary.evaluate(&jury, Prior::uniform());
+        // A 3-class matrix jury and its mean-accuracy shadow are different
+        // statistical objects — both must coexist in the one store.
+        assert_ne!(multi_value, binary_value);
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.binary.misses, 1);
+        assert_eq!(stats.multiclass.misses, 1);
+        // Re-reads hit their own kind only.
+        multi.evaluate(&jury, Prior::uniform());
+        binary.evaluate(&jury, Prior::uniform());
+        let stats = cache.stats();
+        assert_eq!(stats.binary.hits, 1);
+        assert_eq!(stats.multiclass.hits, 1);
+        assert_eq!(stats.hits, 2);
+    }
+
+    #[test]
+    fn multiclass_entries_participate_in_eviction() {
+        let cache = JqCache::new(2);
+        let (pool, prior) = multiclass_fixture();
+        let objective =
+            CachedMultiClassObjective::new(&pool, &prior, &ServiceConfig::default(), &cache)
+                .unwrap();
+        let shadow = pool.shadow_pool();
+        for k in 1..=3 {
+            let jury = Jury::new(shadow.workers()[..k].to_vec());
+            objective.evaluate(&jury, Prior::uniform());
+        }
+        assert!(cache.stats().entries <= 2);
+        assert!(cache.stats().evictions > 0);
     }
 }

@@ -4,10 +4,48 @@
 //! This type subsumes the old `jury_optjs::SystemConfig` (which is now a
 //! re-export of it): the same bucket/annealing/cutoff knobs drive both the
 //! OPTJS and MVJS strategies, plus the service-level batch and cache
-//! settings.
+//! settings and the multi-class (confusion-matrix) engine configuration.
 
-use jury_jq::{BucketCount, BucketJqConfig, JqEngine};
-use jury_selection::AnnealingConfig;
+use jury_jq::{
+    BucketCount, BucketJqConfig, JqEngine, MultiClassBucketConfig, MultiClassIncrementalConfig,
+};
+use jury_selection::{AnnealingConfig, DEFAULT_MULTICLASS_SESSION_POOL_CUTOFF};
+
+/// How [`crate::JuryService::budget_quality_table`] (and its multi-class
+/// sibling) serves pools beyond the exact cutoff — the **sweep policy**.
+///
+/// This enum unifies what used to be independent boolean knobs
+/// (`warm_sweeps`, and the warm-annealing follow-up that would have been a
+/// second flag): every variant is a valid policy, so no combination of
+/// switches can contradict itself — the validation is the type. Pools within
+/// the exact cutoff always use the cold exhaustive path regardless of the
+/// policy, because those tables are provably optimal.
+///
+/// * [`Cold`](SweepPolicy::Cold) — solve every budget independently through
+///   the batched request path. The most expensive and the reference
+///   behaviour (one full heuristic search per budget).
+/// * [`WarmMarginal`](SweepPolicy::WarmMarginal) — carry one marginal-gain
+///   search state (and one incremental JQ session) across ascending budgets
+///   ([`jury_selection::BudgetQualityTable::build_warm`]); each budget step
+///   only pushes the marginal workers. Fastest; on heterogeneous costs the
+///   carried jury may trail a cold solve because the sweep never un-commits
+///   a worker. The default.
+/// * [`WarmAnnealing`](SweepPolicy::WarmAnnealing) — seed each budget's
+///   annealing run with the previous budget's jury
+///   ([`jury_selection::BudgetQualityTable::build_warm_annealing`]).
+///   Quality-critical sweeps: the search can still restructure the jury
+///   (un-commit cheap workers for an expensive one), while the carried seed
+///   keeps it from re-solving cold and makes rows monotone by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SweepPolicy {
+    /// Solve every budget independently (cold), through the batch path.
+    Cold,
+    /// Warm-started marginal-gain sweep across ascending budgets.
+    WarmMarginal,
+    /// Warm-started annealing sweep: budget `b + 1` seeded with the
+    /// budget-`b` jury.
+    WarmAnnealing,
+}
 
 /// Configuration of a [`crate::JuryService`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -23,17 +61,29 @@ pub struct ServiceConfig {
     /// Maximum number of memoized JQ evaluations kept in the service's
     /// shared cache; `0` disables caching. When the cache fills up, the
     /// stalest half of the entries (segmented LRU by last-used stamp) is
-    /// evicted, so hot entries survive overflow.
+    /// evicted, so hot entries survive overflow. Binary and multi-class
+    /// evaluations share this one store (their signature key spaces are
+    /// disjoint); [`crate::CacheStats`] reports per-kind counters.
     pub cache_capacity: usize,
-    /// Worker threads used by [`crate::JuryService::select_batch`];
-    /// `0` means one per available CPU core.
+    /// Worker threads used by [`crate::JuryService::select_batch`] and the
+    /// other batch entry points; `0` means one per available CPU core.
     pub batch_threads: usize,
-    /// Whether [`crate::JuryService::budget_quality_table`] may serve large
-    /// pools with a warm-started sweep — one incremental search state
-    /// carried from each budget to the next — instead of solving every
-    /// budget cold through the batch path. Pools within the exact cutoff
-    /// always use the cold (exhaustive) path regardless of this flag.
-    pub warm_sweeps: bool,
+    /// The budget–quality sweep policy for pools beyond the exact cutoff
+    /// (see [`SweepPolicy`]). Pools within the cutoff always use the cold
+    /// exhaustive path.
+    pub sweep: SweepPolicy,
+    /// Scratch bucket configuration for batch evaluations of the
+    /// multi-class (Section 7) objective.
+    pub multiclass_bucket: MultiClassBucketConfig,
+    /// Incremental-engine configuration for multi-class search sessions,
+    /// including the dense-box `max_cells` budget that guards against
+    /// exponential grids.
+    pub multiclass_incremental: MultiClassIncrementalConfig,
+    /// Multi-class pools of at most this many candidates run their searches
+    /// on the sparse scratch DP instead of incremental sessions (the
+    /// measured crossover; see
+    /// [`jury_selection::DEFAULT_MULTICLASS_SESSION_POOL_CUTOFF`]).
+    pub multiclass_session_cutoff: usize,
 }
 
 impl Default for ServiceConfig {
@@ -44,7 +94,10 @@ impl Default for ServiceConfig {
             exact_cutoff: 14,
             cache_capacity: 1 << 20,
             batch_threads: 0,
-            warm_sweeps: true,
+            sweep: SweepPolicy::WarmMarginal,
+            multiclass_bucket: MultiClassBucketConfig::default(),
+            multiclass_incremental: MultiClassIncrementalConfig::default(),
+            multiclass_session_cutoff: DEFAULT_MULTICLASS_SESSION_POOL_CUTOFF,
         }
     }
 }
@@ -68,6 +121,7 @@ impl ServiceConfig {
                 .with_epsilon(1e-4)
                 .with_restarts(2),
             exact_cutoff: 12,
+            multiclass_bucket: MultiClassBucketConfig { num_buckets: 50 },
             ..ServiceConfig::default()
         }
     }
@@ -102,10 +156,48 @@ impl ServiceConfig {
         self
     }
 
-    /// Enables or disables warm-started budget–quality sweeps.
-    pub fn with_warm_sweeps(mut self, enabled: bool) -> Self {
-        self.warm_sweeps = enabled;
+    /// Sets the budget–quality sweep policy.
+    pub fn with_sweep_policy(mut self, sweep: SweepPolicy) -> Self {
+        self.sweep = sweep;
         self
+    }
+
+    /// Enables or disables warm-started budget–quality sweeps.
+    ///
+    /// Compatibility shim for the old boolean knob: `true` maps to
+    /// [`SweepPolicy::WarmMarginal`], `false` to [`SweepPolicy::Cold`]. It
+    /// cannot express [`SweepPolicy::WarmAnnealing`] — use
+    /// [`Self::with_sweep_policy`] instead.
+    #[deprecated(note = "use with_sweep_policy(SweepPolicy) instead")]
+    pub fn with_warm_sweeps(self, enabled: bool) -> Self {
+        self.with_sweep_policy(if enabled {
+            SweepPolicy::WarmMarginal
+        } else {
+            SweepPolicy::Cold
+        })
+    }
+
+    /// Sets the multi-class scratch bucket configuration.
+    pub fn with_multiclass_bucket(mut self, bucket: MultiClassBucketConfig) -> Self {
+        self.multiclass_bucket = bucket;
+        self
+    }
+
+    /// Sets the multi-class incremental-engine configuration.
+    pub fn with_multiclass_incremental(mut self, incremental: MultiClassIncrementalConfig) -> Self {
+        self.multiclass_incremental = incremental;
+        self
+    }
+
+    /// Sets the multi-class session crossover cutoff.
+    pub fn with_multiclass_session_cutoff(mut self, cutoff: usize) -> Self {
+        self.multiclass_session_cutoff = cutoff;
+        self
+    }
+
+    /// Whether the sweep policy warm-starts large-pool budget tables.
+    pub fn warm_sweeps(&self) -> bool {
+        self.sweep != SweepPolicy::Cold
     }
 
     /// The JQ engine this configuration induces.
@@ -125,6 +217,12 @@ mod tests {
         assert!(config.annealing.restarts >= 1);
         assert!(config.cache_capacity > 0);
         assert_eq!(config.batch_threads, 0);
+        assert_eq!(config.sweep, SweepPolicy::WarmMarginal);
+        assert!(config.warm_sweeps());
+        assert_eq!(
+            config.multiclass_session_cutoff,
+            DEFAULT_MULTICLASS_SESSION_POOL_CUTOFF
+        );
     }
 
     #[test]
@@ -135,14 +233,38 @@ mod tests {
             .with_annealing(AnnealingConfig::default().with_seed(9))
             .with_cache_capacity(128)
             .with_batch_threads(2)
-            .with_warm_sweeps(false);
+            .with_sweep_policy(SweepPolicy::Cold)
+            .with_multiclass_bucket(MultiClassBucketConfig { num_buckets: 77 })
+            .with_multiclass_incremental(
+                MultiClassIncrementalConfig::default().with_max_cells(1 << 10),
+            )
+            .with_multiclass_session_cutoff(9);
         assert_eq!(config.exact_cutoff, 5);
         assert_eq!(config.annealing.seed, 9);
         assert_eq!(config.bucket, BucketJqConfig::paper_experiments());
         assert_eq!(config.cache_capacity, 128);
         assert_eq!(config.batch_threads, 2);
-        assert!(!config.warm_sweeps);
-        assert!(ServiceConfig::default().warm_sweeps);
+        assert_eq!(config.sweep, SweepPolicy::Cold);
+        assert!(!config.warm_sweeps());
+        assert_eq!(config.multiclass_bucket.num_buckets, 77);
+        assert_eq!(config.multiclass_incremental.max_cells, 1 << 10);
+        assert_eq!(config.multiclass_session_cutoff, 9);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn warm_sweeps_shim_maps_onto_the_policy() {
+        assert_eq!(
+            ServiceConfig::default().with_warm_sweeps(false).sweep,
+            SweepPolicy::Cold
+        );
+        assert_eq!(
+            ServiceConfig::default()
+                .with_sweep_policy(SweepPolicy::WarmAnnealing)
+                .with_warm_sweeps(true)
+                .sweep,
+            SweepPolicy::WarmMarginal
+        );
     }
 
     #[test]

@@ -28,6 +28,24 @@ pub enum ServiceError {
         /// The offending value.
         value: f64,
     },
+    /// A categorical prior vector was invalid (not a distribution, or its
+    /// label count does not match the pool's).
+    InvalidPriorVector {
+        /// Why the vector was rejected.
+        reason: String,
+    },
+    /// A multi-class request needs the incremental engine (the pool is past
+    /// both the session crossover and the exact-enumeration cutoff), but
+    /// even a one-bucket-per-worker grid would overflow the configured
+    /// dense-box cell budget. Raise
+    /// [`crate::ServiceConfig::multiclass_incremental`]'s `max_cells`, or
+    /// shrink the pool.
+    MultiClassStateTooLarge {
+        /// Cells the coarsest possible grid would need.
+        cells: u64,
+        /// The configured cell budget.
+        max: u64,
+    },
     /// The request demanded the exact solver on a pool too large to
     /// enumerate.
     PoolTooLargeForExact {
@@ -54,6 +72,14 @@ impl std::fmt::Display for ServiceError {
             ServiceError::InvalidPrior { value } => {
                 write!(f, "prior {value} is not a probability in [0, 1]")
             }
+            ServiceError::InvalidPriorVector { reason } => {
+                write!(f, "invalid categorical prior: {reason}")
+            }
+            ServiceError::MultiClassStateTooLarge { cells, max } => write!(
+                f,
+                "multi-class incremental state needs at least {cells} cells, \
+                 exceeding the configured budget of {max}"
+            ),
             ServiceError::PoolTooLargeForExact { size, max } => write!(
                 f,
                 "exact solving is limited to {max} candidates, the pool has {size}"
@@ -77,6 +103,9 @@ impl From<ModelError> for ServiceError {
         match err {
             ModelError::InvalidCost { value } => ServiceError::InvalidBudget { value },
             ModelError::InvalidPrior { value } => ServiceError::InvalidPrior { value },
+            ModelError::InvalidPriorVector { reason } => {
+                ServiceError::InvalidPriorVector { reason }
+            }
             other => ServiceError::Model(other),
         }
     }
@@ -109,6 +138,19 @@ mod tests {
                 "cheapest",
             ),
             (ServiceError::InvalidPrior { value: 1.5 }, "prior"),
+            (
+                ServiceError::InvalidPriorVector {
+                    reason: "3 classes vs 4".into(),
+                },
+                "categorical",
+            ),
+            (
+                ServiceError::MultiClassStateTooLarge {
+                    cells: 1 << 30,
+                    max: 1 << 20,
+                },
+                "cells",
+            ),
             (
                 ServiceError::PoolTooLargeForExact { size: 30, max: 22 },
                 "exact",
@@ -143,6 +185,12 @@ mod tests {
         assert!(matches!(
             ServiceError::from(ModelError::Empty { what: "pool" }),
             ServiceError::Model(_)
+        ));
+        assert!(matches!(
+            ServiceError::from(ModelError::InvalidPriorVector {
+                reason: "mismatch".into()
+            }),
+            ServiceError::InvalidPriorVector { .. }
         ));
     }
 

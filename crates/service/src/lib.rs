@@ -13,14 +13,27 @@
 //!   [`Strategy`] (`Bv`/`Mv`) + [`SolverPolicy`]
 //!   (`Auto`/`Exact`/`Annealing`/`Greedy`) + optional per-request
 //!   [`ServiceConfig`] overrides;
+//! * [`MultiClassSelectionRequest`] — the Section 7 serving path: the same
+//!   builder convention over a confusion-matrix
+//!   [`jury_model::MatrixPool`], served by
+//!   [`JuryService::select_multiclass`] through the same solver policies
+//!   (exhaustive over the shadow projection, annealing, marginal greedy
+//!   with `IncrementalMultiClassJq` sessions past the measured crossover);
 //! * [`JuryService::select`] — returns `Result<SelectionResponse,
 //!   ServiceError>`; **nothing on the request path panics**;
-//! * [`JuryService::select_batch`] — data-parallel batch execution across
-//!   worker threads, with per-request error reporting and a shared JQ
-//!   evaluation cache (guarded by `parking_lot` locks) keyed by quantized
-//!   jury signatures ([`jury_jq::signature`]);
-//! * [`JuryService::budget_quality_table`] — the Figure 1 budget–quality
-//!   sweep, built on the same batched path.
+//! * [`JuryService::select_batch`] / [`JuryService::select_mixed_batch`] —
+//!   data-parallel batch execution across worker threads, with per-request
+//!   error reporting and one shared JQ evaluation cache (guarded by
+//!   `parking_lot` locks) keyed by quantized jury signatures
+//!   ([`jury_jq::signature`]) — binary entries under
+//!   [`jury_jq::jury_signature`], multi-class entries under
+//!   [`jury_jq::multiclass_signature`], disjoint by construction and
+//!   accounted per kind in [`CacheStats`];
+//! * [`JuryService::budget_quality_table`] and
+//!   [`JuryService::multiclass_budget_quality_table`] — the Figure 1
+//!   budget–quality sweep, routed by [`SweepPolicy`]: cold per-budget
+//!   solves, a warm marginal sweep, or a warm **annealing** sweep that
+//!   seeds each budget with the previous budget's jury.
 //!
 //! Both paper systems are now *configurations* of one generic engine: the
 //! solvers are generic over `jury_selection::JuryObjective`, and the service
@@ -60,9 +73,11 @@ pub mod request;
 pub mod response;
 pub mod service;
 
-pub use cache::CacheStats;
-pub use config::ServiceConfig;
+pub use cache::{CacheKindStats, CacheStats};
+pub use config::{ServiceConfig, SweepPolicy};
 pub use error::ServiceError;
-pub use request::{SelectionRequest, SolverPolicy, Strategy};
-pub use response::SelectionResponse;
+pub use request::{
+    MixedRequest, MultiClassSelectionRequest, SelectionRequest, SolverPolicy, Strategy,
+};
+pub use response::{MixedResponse, MultiClassSelectionResponse, SelectionResponse};
 pub use service::JuryService;

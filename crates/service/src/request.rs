@@ -1,8 +1,10 @@
-//! Selection requests: what a caller asks the service to do.
+//! Selection requests: what a caller asks the service to do — binary
+//! accuracy pools ([`SelectionRequest`]), confusion-matrix pools
+//! ([`MultiClassSelectionRequest`]), and mixed batches ([`MixedRequest`]).
 
 use serde::{Deserialize, Serialize};
 
-use jury_model::{Prior, WorkerPool};
+use jury_model::{CategoricalPrior, MatrixPool, Prior, WorkerPool};
 
 use crate::config::ServiceConfig;
 
@@ -173,6 +175,152 @@ impl SelectionRequest {
     }
 }
 
+/// One **multi-class** jury-selection request: a confusion-matrix candidate
+/// pool ([`MatrixPool`]), a budget, a categorical prior, a solver policy,
+/// and optional per-request configuration overrides — the Section 7 serving
+/// path of [`crate::JuryService::select_multiclass`].
+///
+/// Built with the same fluent-builder convention as [`SelectionRequest`];
+/// nothing is validated until the request hits the service, which reports
+/// every problem as a [`crate::ServiceError`] value — the request path never
+/// panics. The objective is always multi-class Bayesian voting (the optimal
+/// strategy; there is no MV baseline for confusion matrices), so unlike the
+/// binary request there is no strategy knob.
+///
+/// ```
+/// use jury_model::{CategoricalPrior, MatrixPool};
+/// use jury_service::{JuryService, MultiClassSelectionRequest};
+///
+/// let pool = MatrixPool::from_qualities_and_costs(
+///     &[0.9, 0.75, 0.7, 0.65, 0.6],
+///     &[3.0, 2.0, 1.0, 1.0, 1.0],
+///     3,
+/// )
+/// .unwrap();
+/// let service = JuryService::paper_experiments();
+/// let request = MultiClassSelectionRequest::new(pool, 5.0)
+///     .with_prior(CategoricalPrior::uniform(3).unwrap());
+/// let response = service.select_multiclass(&request).unwrap();
+/// assert!(response.cost <= 5.0 + 1e-9);
+/// assert!(response.quality >= 1.0 / 3.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiClassSelectionRequest {
+    pool: MatrixPool,
+    budget: f64,
+    prior_probs: Option<Vec<f64>>,
+    policy: SolverPolicy,
+    allow_empty: bool,
+    config: Option<ServiceConfig>,
+}
+
+impl MultiClassSelectionRequest {
+    /// Starts a request for the given pool and budget, with a uniform
+    /// categorical prior over the pool's label space and the `Auto` solver
+    /// policy.
+    pub fn new(pool: MatrixPool, budget: f64) -> Self {
+        MultiClassSelectionRequest {
+            pool,
+            budget,
+            prior_probs: None,
+            policy: SolverPolicy::Auto,
+            allow_empty: false,
+            config: None,
+        }
+    }
+
+    /// Sets the categorical task prior.
+    pub fn with_prior(mut self, prior: CategoricalPrior) -> Self {
+        self.prior_probs = Some(prior.probs().to_vec());
+        self
+    }
+
+    /// Sets the prior from a raw probability vector. Unlike
+    /// [`CategoricalPrior::new`], the vector is *not* validated here: the
+    /// service checks it at `select_multiclass` time and reports
+    /// [`crate::ServiceError::InvalidPriorVector`], so callers forwarding
+    /// untrusted input need no pre-validation.
+    pub fn with_prior_probs(mut self, probs: Vec<f64>) -> Self {
+        self.prior_probs = Some(probs);
+        self
+    }
+
+    /// Sets the solver policy.
+    pub fn with_policy(mut self, policy: SolverPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Overrides the service configuration for this request only.
+    pub fn with_config(mut self, config: ServiceConfig) -> Self {
+        self.config = Some(config);
+        self
+    }
+
+    /// Whether a budget that affords no worker yields an empty-jury
+    /// response (quality = the prior's argmax mass) instead of
+    /// [`crate::ServiceError::BudgetBelowCheapestWorker`]. Off by default.
+    pub fn allow_empty_selection(mut self, allow: bool) -> Self {
+        self.allow_empty = allow;
+        self
+    }
+
+    /// The confusion-matrix candidate pool.
+    pub fn pool(&self) -> &MatrixPool {
+        &self.pool
+    }
+
+    /// The budget.
+    pub fn budget(&self) -> f64 {
+        self.budget
+    }
+
+    /// The raw prior probabilities (possibly not yet validated), or `None`
+    /// for the uniform default.
+    pub fn prior_probs(&self) -> Option<&[f64]> {
+        self.prior_probs.as_deref()
+    }
+
+    /// The solver policy.
+    pub fn policy(&self) -> SolverPolicy {
+        self.policy
+    }
+
+    /// The per-request configuration override, if any.
+    pub fn config(&self) -> Option<&ServiceConfig> {
+        self.config.as_ref()
+    }
+
+    /// Whether empty selections are allowed.
+    pub fn empty_selection_allowed(&self) -> bool {
+        self.allow_empty
+    }
+}
+
+/// A request of either kind, for mixed batches served by
+/// [`crate::JuryService::select_mixed_batch`]: binary-accuracy and
+/// confusion-matrix selections travel through the same thread-parallel
+/// machinery and share the one JQ-evaluation cache.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MixedRequest {
+    /// A binary-accuracy selection request.
+    Binary(SelectionRequest),
+    /// A confusion-matrix selection request.
+    MultiClass(MultiClassSelectionRequest),
+}
+
+impl From<SelectionRequest> for MixedRequest {
+    fn from(request: SelectionRequest) -> Self {
+        MixedRequest::Binary(request)
+    }
+}
+
+impl From<MultiClassSelectionRequest> for MixedRequest {
+    fn from(request: MultiClassSelectionRequest) -> Self {
+        MixedRequest::MultiClass(request)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -204,6 +352,45 @@ mod tests {
     fn raw_prior_is_stored_unvalidated() {
         let request = SelectionRequest::new(paper_example_pool(), 15.0).with_prior_alpha(2.5);
         assert!((request.prior_alpha() - 2.5).abs() < 1e-12);
+    }
+
+    fn matrix_pool() -> MatrixPool {
+        MatrixPool::from_qualities_and_costs(&[0.8, 0.7], &[1.0, 2.0], 3).unwrap()
+    }
+
+    #[test]
+    fn multiclass_builder_defaults_and_overrides() {
+        let request = MultiClassSelectionRequest::new(matrix_pool(), 3.0);
+        assert_eq!(request.policy(), SolverPolicy::Auto);
+        assert!(request.prior_probs().is_none());
+        assert!(request.config().is_none());
+        assert!(!request.empty_selection_allowed());
+        assert_eq!(request.pool().num_choices(), 3);
+
+        let request = request
+            .with_policy(SolverPolicy::Greedy)
+            .with_prior(CategoricalPrior::new(vec![0.2, 0.5, 0.3]).unwrap())
+            .with_config(ServiceConfig::fast())
+            .allow_empty_selection(true);
+        assert_eq!(request.policy(), SolverPolicy::Greedy);
+        assert_eq!(request.prior_probs(), Some(&[0.2, 0.5, 0.3][..]));
+        assert_eq!(request.config(), Some(&ServiceConfig::fast()));
+        assert!(request.empty_selection_allowed());
+    }
+
+    #[test]
+    fn multiclass_raw_prior_is_stored_unvalidated() {
+        let request =
+            MultiClassSelectionRequest::new(matrix_pool(), 3.0).with_prior_probs(vec![2.0, -1.0]);
+        assert_eq!(request.prior_probs(), Some(&[2.0, -1.0][..]));
+    }
+
+    #[test]
+    fn mixed_requests_wrap_both_kinds() {
+        let binary: MixedRequest = SelectionRequest::new(paper_example_pool(), 15.0).into();
+        let multi: MixedRequest = MultiClassSelectionRequest::new(matrix_pool(), 3.0).into();
+        assert!(matches!(binary, MixedRequest::Binary(_)));
+        assert!(matches!(multi, MixedRequest::MultiClass(_)));
     }
 
     #[test]

@@ -1,8 +1,11 @@
-//! Selection responses: what the service reports back for a request.
+//! Selection responses: what the service reports back for a request —
+//! binary ([`SelectionResponse`]), multi-class
+//! ([`MultiClassSelectionResponse`]), and either-kind batch slots
+//! ([`MixedResponse`]).
 
 use std::time::Duration;
 
-use jury_model::{Jury, WorkerId};
+use jury_model::{Jury, MatrixJury, MatrixWorker, WorkerId};
 
 use crate::request::{SolverPolicy, Strategy};
 
@@ -43,6 +46,81 @@ impl SelectionResponse {
     }
 }
 
+/// The outcome of a successfully served
+/// [`crate::MultiClassSelectionRequest`] — shaped exactly like
+/// [`SelectionResponse`], with confusion-matrix members instead of a binary
+/// jury (and no strategy field: multi-class selection always optimizes
+/// Bayesian voting).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiClassSelectionResponse {
+    /// The selected workers with their confusion matrices (empty only when
+    /// the request allowed it).
+    pub members: Vec<MatrixWorker>,
+    /// The jury's estimated `JQ(J, BV, ~α)`.
+    pub quality: f64,
+    /// The jury's cost (what the caller actually pays).
+    pub cost: f64,
+    /// The policy the request asked for.
+    pub policy: SolverPolicy,
+    /// The concrete solver that ran (e.g. `"simulated-annealing"`).
+    pub solver: &'static str,
+    /// Objective evaluations requested by the search (incremental-session
+    /// probes included).
+    pub evaluations: u64,
+    /// How many of those evaluations were served by the shared JQ cache.
+    pub cache_hits: u64,
+    /// Wall-clock time of the search.
+    pub elapsed: Duration,
+}
+
+impl MultiClassSelectionResponse {
+    /// The selected workers' ids, sorted.
+    pub fn worker_ids(&self) -> Vec<WorkerId> {
+        let mut ids: Vec<WorkerId> = self.members.iter().map(|w| w.id()).collect();
+        ids.sort();
+        ids
+    }
+
+    /// Number of selected workers.
+    pub fn jury_size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The selected jury as a [`MatrixJury`], or `None` for the empty jury
+    /// (which `MatrixJury` cannot represent).
+    pub fn matrix_jury(&self) -> Option<MatrixJury> {
+        MatrixJury::new(self.members.clone()).ok()
+    }
+}
+
+/// A response of either kind, matching the [`crate::MixedRequest`] slot it
+/// answers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MixedResponse {
+    /// The outcome of a binary request slot.
+    Binary(SelectionResponse),
+    /// The outcome of a multi-class request slot.
+    MultiClass(MultiClassSelectionResponse),
+}
+
+impl MixedResponse {
+    /// The binary response, if this slot held a binary request.
+    pub fn as_binary(&self) -> Option<&SelectionResponse> {
+        match self {
+            MixedResponse::Binary(response) => Some(response),
+            MixedResponse::MultiClass(_) => None,
+        }
+    }
+
+    /// The multi-class response, if this slot held a multi-class request.
+    pub fn as_multi_class(&self) -> Option<&MultiClassSelectionResponse> {
+        match self {
+            MixedResponse::MultiClass(response) => Some(response),
+            MixedResponse::Binary(_) => None,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -63,5 +141,37 @@ mod tests {
         };
         assert_eq!(response.jury_size(), 2);
         assert_eq!(response.worker_ids().len(), 2);
+    }
+
+    #[test]
+    fn multiclass_accessors_reflect_the_members() {
+        let pool =
+            jury_model::MatrixPool::from_qualities_and_costs(&[0.9, 0.7], &[2.0, 1.0], 3).unwrap();
+        let response = MultiClassSelectionResponse {
+            members: pool.workers().to_vec(),
+            quality: 0.8,
+            cost: 3.0,
+            policy: SolverPolicy::Auto,
+            solver: "exhaustive",
+            evaluations: 7,
+            cache_hits: 1,
+            elapsed: Duration::from_millis(1),
+        };
+        assert_eq!(response.jury_size(), 2);
+        assert_eq!(response.worker_ids().len(), 2);
+        let jury = response.matrix_jury().unwrap();
+        assert_eq!(jury.size(), 2);
+        assert_eq!(jury.num_choices(), 3);
+
+        let empty = MultiClassSelectionResponse {
+            members: Vec::new(),
+            ..response.clone()
+        };
+        assert!(empty.matrix_jury().is_none());
+        assert_eq!(empty.jury_size(), 0);
+
+        let mixed = MixedResponse::MultiClass(response);
+        assert!(mixed.as_multi_class().is_some());
+        assert!(mixed.as_binary().is_none());
     }
 }

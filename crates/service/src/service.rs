@@ -5,18 +5,21 @@ use std::sync::mpsc;
 use std::thread;
 use std::time::Instant;
 
-use jury_model::{Prior, WorkerPool};
+use jury_jq::MultiClassIncrementalConfig;
+use jury_model::{CategoricalPrior, MatrixPool, Prior, WorkerPool};
 use jury_selection::{
     AnnealingSolver, BudgetQualityRow, BudgetQualityTable, ExhaustiveSolver, GreedyMarginalSolver,
-    GreedyQualitySolver, GreedyRatioSolver, JspInstance, JuryObjective, JurySolver, MvjsSolver,
-    SolverResult, MAX_EXHAUSTIVE_POOL,
+    GreedyQualitySolver, GreedyRatioSolver, JspInstance, JuryObjective, JurySolver, MultiClassJsp,
+    MvjsSolver, SolverResult, MAX_EXHAUSTIVE_POOL,
 };
 
-use crate::cache::{CacheStats, CachedObjective, JqCache};
-use crate::config::ServiceConfig;
+use crate::cache::{CacheStats, CachedMultiClassObjective, CachedObjective, JqCache};
+use crate::config::{ServiceConfig, SweepPolicy};
 use crate::error::ServiceError;
-use crate::request::{SelectionRequest, SolverPolicy, Strategy};
-use crate::response::SelectionResponse;
+use crate::request::{
+    MixedRequest, MultiClassSelectionRequest, SelectionRequest, SolverPolicy, Strategy,
+};
+use crate::response::{MixedResponse, MultiClassSelectionResponse, SelectionResponse};
 
 /// The jury-selection service: owns the configuration and the shared JQ
 /// cache, and serves [`SelectionRequest`]s one at a time or in parallel
@@ -156,22 +159,36 @@ impl JuryService {
         request: &SelectionRequest,
         config: &ServiceConfig,
     ) -> Result<SolverResult, ServiceError> {
+        // The MV baseline keeps its odd-size top-quality candidates on
+        // large `Auto` pools, exactly like the historical Mvjs system.
+        let mv_baseline = request.strategy() == Strategy::Mv;
+        self.dispatch_solver(instance, objective, request.policy(), mv_baseline, config)
+    }
+
+    /// The one [`SolverPolicy`] dispatch behind both the binary and the
+    /// multi-class request paths, generic over the (cache-backed)
+    /// objective. `mv_baseline` routes large `Auto` pools through the
+    /// [`MvjsSolver`] instead of plain annealing — the binary MV strategy's
+    /// historical behaviour; multi-class selection never sets it.
+    fn dispatch_solver<O: JuryObjective>(
+        &self,
+        instance: &JspInstance,
+        objective: &O,
+        policy: SolverPolicy,
+        mv_baseline: bool,
+        config: &ServiceConfig,
+    ) -> Result<SolverResult, ServiceError> {
         let small_pool = instance.num_candidates() <= config.exact_cutoff.min(MAX_EXHAUSTIVE_POOL);
-        let result = match request.policy() {
+        let result = match policy {
             SolverPolicy::Exact => ExhaustiveSolver::new(objective).try_solve(instance)?,
             SolverPolicy::Auto if small_pool => {
                 ExhaustiveSolver::new(objective).try_solve(instance)?
             }
-            SolverPolicy::Auto => match request.strategy() {
-                Strategy::Bv => {
-                    AnnealingSolver::with_config(objective, config.annealing).solve(instance)
-                }
-                // The MV baseline keeps its odd-size top-quality candidates
-                // on large pools, exactly like the historical Mvjs system.
-                Strategy::Mv => MvjsSolver::with_annealing_config(config.annealing)
-                    .solve_with_objective(instance, objective),
-            },
-            SolverPolicy::Annealing => {
+            SolverPolicy::Auto if mv_baseline => {
+                MvjsSolver::with_annealing_config(config.annealing)
+                    .solve_with_objective(instance, objective)
+            }
+            SolverPolicy::Auto | SolverPolicy::Annealing => {
                 AnnealingSolver::with_config(objective, config.annealing).solve(instance)
             }
             SolverPolicy::Greedy => {
@@ -194,6 +211,195 @@ impl JuryService {
         Ok(result)
     }
 
+    /// Serves one **multi-class** (confusion-matrix) selection request —
+    /// the Section 7 serving path.
+    ///
+    /// Validation mirrors [`Self::select`]: a bad budget or prior vector
+    /// comes back as a [`ServiceError`] value, never a panic (an *empty*
+    /// pool cannot even be constructed — [`MatrixPool::new`] rejects it at
+    /// the model layer). The candidate set then travels through the same
+    /// [`SolverPolicy`] dispatch as binary requests — exhaustive
+    /// enumeration over the pool's mean-accuracy **shadow projection**,
+    /// simulated annealing, or marginal greedy — while every jury is scored
+    /// on its full confusion matrices: exactly for small voting spaces,
+    /// through the Section 7 tuple-key bucket DP otherwise, and via
+    /// `jury_jq::IncrementalMultiClassJq` sessions inside the search loops
+    /// once the pool is past the measured scratch/incremental crossover
+    /// ([`ServiceConfig::multiclass_session_cutoff`]). Batch evaluations
+    /// memoize into this service's shared JQ store under quantized
+    /// confusion-matrix signatures (`jury_jq::multiclass_signature`), so
+    /// binary and multi-class traffic share one cache.
+    ///
+    /// A pool that *requires* sessions but whose coarsest possible grid
+    /// would overflow the configured dense-box cell budget is refused with
+    /// [`ServiceError::MultiClassStateTooLarge`] instead of silently
+    /// falling back to the exponential scratch DP.
+    ///
+    /// ```
+    /// use jury_model::MatrixPool;
+    /// use jury_service::{JuryService, MultiClassSelectionRequest, ServiceError};
+    ///
+    /// let pool = MatrixPool::from_qualities_and_costs(
+    ///     &[0.9, 0.75, 0.7, 0.65, 0.6],
+    ///     &[3.0, 2.0, 1.0, 1.0, 1.0],
+    ///     3,
+    /// )
+    /// .unwrap();
+    /// let service = JuryService::paper_experiments();
+    /// let response = service
+    ///     .select_multiclass(&MultiClassSelectionRequest::new(pool.clone(), 5.0))
+    ///     .unwrap();
+    /// assert!(response.cost <= 5.0 + 1e-9);
+    /// assert_eq!(response.matrix_jury().unwrap().num_choices(), 3);
+    ///
+    /// // Failures are typed values.
+    /// let err = service
+    ///     .select_multiclass(&MultiClassSelectionRequest::new(pool, f64::NAN))
+    ///     .unwrap_err();
+    /// assert!(matches!(err, ServiceError::InvalidBudget { .. }));
+    /// ```
+    pub fn select_multiclass(
+        &self,
+        request: &MultiClassSelectionRequest,
+    ) -> Result<MultiClassSelectionResponse, ServiceError> {
+        let started = Instant::now();
+        let config = request.config().copied().unwrap_or(self.config);
+        let pool = request.pool();
+
+        let prior = match request.prior_probs() {
+            Some(probs) => CategoricalPrior::new(probs.to_vec())?,
+            None => CategoricalPrior::uniform(pool.num_choices())?,
+        };
+        // A prior whose label count disagrees with the pool's is rejected
+        // by `MultiClassJsp::new` below and surfaces as
+        // `ServiceError::InvalidPriorVector` through the `ModelError`
+        // conversion — no duplicate arity check here.
+        let budget = request.budget();
+        if !budget.is_finite()
+            || budget < 0.0
+            || (budget == 0.0 && !request.empty_selection_allowed())
+        {
+            return Err(ServiceError::InvalidBudget { value: budget });
+        }
+        let cheapest = pool
+            .iter()
+            .map(|w| w.cost())
+            .min_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        if let Some(cheapest) = cheapest {
+            if cheapest > budget && !request.empty_selection_allowed() {
+                return Err(ServiceError::BudgetBelowCheapestWorker { budget, cheapest });
+            }
+        }
+        let problem = MultiClassJsp::new(pool.clone(), budget, prior.clone())?;
+        let objective = CachedMultiClassObjective::new(pool, &prior, &config, &self.cache)?;
+        if request.policy() != SolverPolicy::Exact {
+            Self::check_multiclass_capacity(&objective, pool, &config)?;
+        }
+        // Same policy dispatch as the binary path (never the MV baseline —
+        // multi-class selection always optimizes Bayesian voting), running
+        // the solvers over the shadow instance while the cached objective
+        // scores the full matrices.
+        let result = self.dispatch_solver(
+            problem.instance(),
+            &objective,
+            request.policy(),
+            false,
+            &config,
+        )?;
+
+        // The objective's own resolution (borrowed members, foreign ids
+        // dropped) is the single source of truth for what was scored.
+        let members = objective
+            .members(&result.jury)
+            .into_iter()
+            .cloned()
+            .collect();
+        Ok(MultiClassSelectionResponse {
+            quality: result.objective_value,
+            cost: result.jury.cost(),
+            members,
+            policy: request.policy(),
+            solver: result.solver,
+            evaluations: objective.evaluations(),
+            cache_hits: objective.local_hits(),
+            elapsed: started.elapsed(),
+        })
+    }
+
+    /// Whether a multi-class pool of this size can be served at all under
+    /// the configured cell budget: when the search would *require*
+    /// incremental sessions (past both the session crossover and the exact
+    /// voting-space cutoff) but even a one-bucket-per-worker grid overflows
+    /// `max_cells`, refuse with a typed error instead of silently running
+    /// the exponential scratch DP on the serving path.
+    fn check_multiclass_capacity(
+        objective: &CachedMultiClassObjective<'_>,
+        pool: &MatrixPool,
+        config: &ServiceConfig,
+    ) -> Result<(), ServiceError> {
+        // Both halves of the decision live at their own layers: the
+        // objective owns the session-gating rule, the incremental config
+        // owns the grid geometry — the service only combines them.
+        if objective.session_required(pool.len())
+            && config
+                .multiclass_incremental
+                .resolve_buckets(pool.len(), pool.num_choices())
+                .is_none()
+        {
+            return Err(ServiceError::MultiClassStateTooLarge {
+                cells: MultiClassIncrementalConfig::min_cells(pool.len(), pool.num_choices()),
+                max: config.multiclass_incremental.max_cells as u64,
+            });
+        }
+        Ok(())
+    }
+
+    /// The shared thread-parallel batch engine behind [`Self::select_batch`]
+    /// and its multi-class and mixed siblings: dynamic scheduling, where
+    /// workers pull the next unclaimed item from a shared counter, so a few
+    /// expensive requests cannot serialize the batch behind one thread the
+    /// way static chunking would.
+    fn run_batch<T, R, F>(&self, items: &[T], serve: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let threads = self.batch_threads(items.len());
+        if threads <= 1 {
+            return items.iter().map(serve).collect();
+        }
+
+        let next = AtomicUsize::new(0);
+        let (sender, receiver) = mpsc::channel();
+        thread::scope(|scope| {
+            for _ in 0..threads {
+                let sender = sender.clone();
+                let next = &next;
+                let serve = &serve;
+                scope.spawn(move || loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(item) = items.get(index) else {
+                        break;
+                    };
+                    if sender.send((index, serve(item))).is_err() {
+                        break;
+                    }
+                });
+            }
+        });
+        drop(sender);
+
+        let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+        for (index, result) in receiver {
+            slots[index] = Some(result);
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every request index is claimed exactly once"))
+            .collect()
+    }
+
     /// Serves a batch of requests, data-parallel across worker threads, all
     /// sharing this service's JQ-evaluation cache.
     ///
@@ -204,42 +410,51 @@ impl JuryService {
         &self,
         requests: &[SelectionRequest],
     ) -> Vec<Result<SelectionResponse, ServiceError>> {
-        let threads = self.batch_threads(requests.len());
-        if threads <= 1 {
-            return requests.iter().map(|r| self.select(r)).collect();
-        }
+        self.run_batch(requests, |request| self.select(request))
+    }
 
-        // Dynamic scheduling: workers pull the next unclaimed request from a
-        // shared counter, so a few expensive requests cannot serialize the
-        // batch behind one thread the way static chunking would.
-        let next = AtomicUsize::new(0);
-        let (sender, receiver) = mpsc::channel();
-        thread::scope(|scope| {
-            for _ in 0..threads {
-                let sender = sender.clone();
-                let next = &next;
-                scope.spawn(move || loop {
-                    let index = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(request) = requests.get(index) else {
-                        break;
-                    };
-                    if sender.send((index, self.select(request))).is_err() {
-                        break;
-                    }
-                });
-            }
-        });
-        drop(sender);
+    /// Serves a batch of multi-class requests through the same
+    /// thread-parallel machinery (and the same shared cache) as
+    /// [`Self::select_batch`]; per-request failure semantics and result
+    /// ordering are identical.
+    pub fn select_multiclass_batch(
+        &self,
+        requests: &[MultiClassSelectionRequest],
+    ) -> Vec<Result<MultiClassSelectionResponse, ServiceError>> {
+        self.run_batch(requests, |request| self.select_multiclass(request))
+    }
 
-        let mut slots: Vec<Option<Result<SelectionResponse, ServiceError>>> =
-            (0..requests.len()).map(|_| None).collect();
-        for (index, result) in receiver {
-            slots[index] = Some(result);
-        }
-        slots
-            .into_iter()
-            .map(|slot| slot.expect("every request index is claimed exactly once"))
-            .collect()
+    /// Serves a **mixed** batch — binary and multi-class requests side by
+    /// side — through the one thread-parallel engine. Both kinds memoize
+    /// into the one shared JQ store (their signature key spaces are
+    /// disjoint), so overlapping work across kinds is paid once per batch;
+    /// [`Self::cache_stats`] reports the per-kind hit accounting.
+    ///
+    /// ```
+    /// use jury_model::{paper_example_pool, MatrixPool};
+    /// use jury_service::{JuryService, MixedRequest, MultiClassSelectionRequest, SelectionRequest};
+    ///
+    /// let service = JuryService::paper_experiments();
+    /// let matrix_pool =
+    ///     MatrixPool::from_qualities_and_costs(&[0.9, 0.7, 0.6], &[2.0, 1.0, 1.0], 3).unwrap();
+    /// let batch: Vec<MixedRequest> = vec![
+    ///     SelectionRequest::new(paper_example_pool(), 15.0).into(),
+    ///     MultiClassSelectionRequest::new(matrix_pool, 3.0).into(),
+    /// ];
+    /// let responses = service.select_mixed_batch(&batch);
+    /// assert!(responses[0].as_ref().unwrap().as_binary().is_some());
+    /// assert!(responses[1].as_ref().unwrap().as_multi_class().is_some());
+    /// ```
+    pub fn select_mixed_batch(
+        &self,
+        requests: &[MixedRequest],
+    ) -> Vec<Result<MixedResponse, ServiceError>> {
+        self.run_batch(requests, |request| match request {
+            MixedRequest::Binary(request) => self.select(request).map(MixedResponse::Binary),
+            MixedRequest::MultiClass(request) => self
+                .select_multiclass(request)
+                .map(MixedResponse::MultiClass),
+        })
     }
 
     fn batch_threads(&self, batch_len: usize) -> usize {
@@ -258,27 +473,47 @@ impl JuryService {
     /// Pools within the exact cutoff are served one selection per budget
     /// through [`Self::select_batch`] (parallel, cached, BV strategy, `Auto`
     /// policy), so small tables stay exhaustively optimal. Larger pools —
-    /// where every budget would otherwise pay a full heuristic search —
-    /// default to a **warm-started sweep**
-    /// ([`jury_selection::BudgetQualityTable::build_warm`]): one marginal-
-    /// gain search state and one incremental JQ session carried from each
-    /// budget to the next, pushing only the marginal workers instead of
-    /// re-solving cold, with every row re-scored through this service's
-    /// cached batch objective. Disable via
-    /// [`crate::ServiceConfig::with_warm_sweeps`] to force per-budget cold
-    /// solves.
+    /// where every budget would otherwise pay a full heuristic search — are
+    /// served according to the configured [`SweepPolicy`]:
     ///
-    /// Budgets below the cheapest worker yield empty-jury rows, matching
-    /// the table's exploratory semantics.
+    /// * [`SweepPolicy::WarmMarginal`] (default) — one marginal-gain search
+    ///   state and one incremental JQ session carried from each budget to
+    ///   the next ([`jury_selection::BudgetQualityTable::build_warm`]),
+    ///   pushing only the marginal workers instead of re-solving cold;
+    /// * [`SweepPolicy::WarmAnnealing`] — each budget's annealing run
+    ///   seeded with the previous budget's jury
+    ///   ([`jury_selection::BudgetQualityTable::build_warm_annealing`]),
+    ///   for quality-critical sweeps on heterogeneous costs;
+    /// * [`SweepPolicy::Cold`] — one full solve per budget through the
+    ///   batch path.
+    ///
+    /// Every warm row is re-scored through this service's cached batch
+    /// objective. Budgets below the cheapest worker yield empty-jury rows,
+    /// matching the table's exploratory semantics.
     pub fn budget_quality_table(
         &self,
         pool: &WorkerPool,
         budgets: &[f64],
         prior: Prior,
     ) -> Result<BudgetQualityTable, ServiceError> {
-        if self.config.warm_sweeps && pool.len() > self.config.exact_cutoff.min(MAX_EXHAUSTIVE_POOL)
-        {
-            return self.budget_quality_table_warm(pool, budgets, prior);
+        let beyond_exact = pool.len() > self.config.exact_cutoff.min(MAX_EXHAUSTIVE_POOL);
+        if beyond_exact && self.config.sweep != SweepPolicy::Cold {
+            Self::validate_sweep_budgets(budgets)?;
+            let objective =
+                CachedObjective::new(self.config.jq_engine(), Strategy::Bv, &self.cache);
+            return Ok(match self.config.sweep {
+                SweepPolicy::WarmMarginal => {
+                    BudgetQualityTable::build_warm(pool, budgets, prior, &objective)
+                }
+                SweepPolicy::WarmAnnealing => BudgetQualityTable::build_warm_annealing(
+                    pool,
+                    budgets,
+                    prior,
+                    &objective,
+                    self.config.annealing,
+                ),
+                SweepPolicy::Cold => unreachable!("cold sweeps take the batch path"),
+            });
         }
         let requests: Vec<SelectionRequest> = budgets
             .iter()
@@ -304,25 +539,84 @@ impl JuryService {
         Ok(BudgetQualityTable::from_rows(rows))
     }
 
-    /// The warm-started sweep behind [`Self::budget_quality_table`]: budgets
-    /// are validated up front (the sweep itself is infallible), then one
-    /// incremental search walks them in ascending order against the shared
-    /// JQ cache.
-    fn budget_quality_table_warm(
+    /// Builds the budget–quality table for a **multi-class**
+    /// (confusion-matrix) pool — the same sweep-policy routing as
+    /// [`Self::budget_quality_table`], with every row scored as
+    /// `JQ(J, BV, ~α)` on the full matrices through this service's shared
+    /// cache.
+    ///
+    /// Large pools ride the warm sweeps on the pool's shadow projection
+    /// (the solvers move `(id, cost)` candidates; the cached multi-class
+    /// objective looks the matrices back up by id), carrying one search
+    /// state — and one `IncrementalMultiClassJq` session, past the
+    /// crossover cutoff — across ascending budgets. Small pools are solved
+    /// per budget through [`Self::select_multiclass_batch`], exhaustively
+    /// within the exact cutoff.
+    pub fn multiclass_budget_quality_table(
         &self,
-        pool: &WorkerPool,
+        pool: &MatrixPool,
         budgets: &[f64],
-        prior: Prior,
+        prior: &CategoricalPrior,
     ) -> Result<BudgetQualityTable, ServiceError> {
+        let beyond_exact = pool.len() > self.config.exact_cutoff.min(MAX_EXHAUSTIVE_POOL);
+        if beyond_exact && self.config.sweep != SweepPolicy::Cold {
+            Self::validate_sweep_budgets(budgets)?;
+            // A prior/pool label-count mismatch is rejected by the objective
+            // constructor and surfaces as `ServiceError::InvalidPriorVector`
+            // through the `ModelError` conversion.
+            let objective = CachedMultiClassObjective::new(pool, prior, &self.config, &self.cache)?;
+            Self::check_multiclass_capacity(&objective, pool, &self.config)?;
+            let shadow = pool.shadow_pool();
+            // The binary prior slot of the shadow instances is unused — the
+            // categorical prior is part of the objective's identity.
+            return Ok(match self.config.sweep {
+                SweepPolicy::WarmMarginal => {
+                    BudgetQualityTable::build_warm(&shadow, budgets, Prior::uniform(), &objective)
+                }
+                SweepPolicy::WarmAnnealing => BudgetQualityTable::build_warm_annealing(
+                    &shadow,
+                    budgets,
+                    Prior::uniform(),
+                    &objective,
+                    self.config.annealing,
+                ),
+                SweepPolicy::Cold => unreachable!("cold sweeps take the batch path"),
+            });
+        }
+        let requests: Vec<MultiClassSelectionRequest> = budgets
+            .iter()
+            .map(|&budget| {
+                MultiClassSelectionRequest::new(pool.clone(), budget)
+                    .with_prior(prior.clone())
+                    .allow_empty_selection(true)
+            })
+            .collect();
+        let rows = self
+            .select_multiclass_batch(&requests)
+            .into_iter()
+            .zip(budgets)
+            .map(|(result, &budget)| {
+                result.map(|response| BudgetQualityRow {
+                    budget,
+                    jury: response.worker_ids(),
+                    quality: response.quality,
+                    required_budget: response.cost,
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(BudgetQualityTable::from_rows(rows))
+    }
+
+    /// The warm sweep builders assert on bad budgets (their per-budget
+    /// instances would); the service validates them up front so the table
+    /// entry points keep the no-panic contract.
+    fn validate_sweep_budgets(budgets: &[f64]) -> Result<(), ServiceError> {
         for &budget in budgets {
             if !budget.is_finite() || budget < 0.0 {
                 return Err(ServiceError::InvalidBudget { value: budget });
             }
         }
-        let objective = CachedObjective::new(self.config.jq_engine(), Strategy::Bv, &self.cache);
-        Ok(BudgetQualityTable::build_warm(
-            pool, budgets, prior, &objective,
-        ))
+        Ok(())
     }
 }
 
@@ -536,7 +830,8 @@ mod tests {
         let warm = warm_service
             .budget_quality_table(&pool, &budgets, Prior::uniform())
             .unwrap();
-        let cold_service = JuryService::new(ServiceConfig::fast().with_warm_sweeps(false));
+        let cold_service =
+            JuryService::new(ServiceConfig::fast().with_sweep_policy(SweepPolicy::Cold));
         let cold = cold_service
             .budget_quality_table(&pool, &budgets, Prior::uniform())
             .unwrap();
@@ -579,7 +874,7 @@ mod tests {
         // The paper pool is within the exact cutoff, so the warm-sweep flag
         // must not change the exhaustively-optimal Figure 1 rows.
         let service = paper_service();
-        assert!(service.config().warm_sweeps);
+        assert!(service.config().warm_sweeps());
         let table = service
             .budget_quality_table(
                 &paper_example_pool(),
@@ -591,6 +886,44 @@ mod tests {
     }
 
     #[test]
+    fn warm_annealing_sweep_matches_cold_rows_on_large_uniform_pools() {
+        // Same Lemma-2 territory as the marginal warm-sweep test: on a
+        // uniform-cost pool the seeded annealing sweep, the marginal sweep,
+        // and the cold solves must all land on the same row qualities.
+        let qualities: Vec<f64> = (0..24).map(|i| 0.9 - 0.012 * i as f64).collect();
+        let pool = WorkerPool::from_qualities_and_costs(&qualities, &[1.0; 24]).unwrap();
+        let budgets = [2.0, 4.0, 6.0, 9.0];
+
+        let annealing_service =
+            JuryService::new(ServiceConfig::fast().with_sweep_policy(SweepPolicy::WarmAnnealing));
+        let warm = annealing_service
+            .budget_quality_table(&pool, &budgets, Prior::uniform())
+            .unwrap();
+        let cold_service =
+            JuryService::new(ServiceConfig::fast().with_sweep_policy(SweepPolicy::Cold));
+        let cold = cold_service
+            .budget_quality_table(&pool, &budgets, Prior::uniform())
+            .unwrap();
+        let mut previous = 0.0;
+        for (w, c) in warm.rows().iter().zip(cold.rows()) {
+            assert!(
+                (w.quality - c.quality).abs() < 1e-9,
+                "budget {}: warm-annealing {} vs cold {}",
+                w.budget,
+                w.quality,
+                c.quality
+            );
+            assert!(w.quality >= previous - 1e-12, "rows must stay monotone");
+            previous = w.quality;
+        }
+        // Bad budgets stay typed errors on this path too.
+        let err = annealing_service
+            .budget_quality_table(&pool, &[1.0, f64::NAN], Prior::uniform())
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::InvalidBudget { .. }));
+    }
+
+    #[test]
     fn batch_threads_clamp_to_batch_length() {
         let service = JuryService::new(ServiceConfig::default().with_batch_threads(16));
         assert_eq!(service.batch_threads(1), 1);
@@ -598,5 +931,170 @@ mod tests {
         assert_eq!(service.batch_threads(100), 16);
         let auto = JuryService::default();
         assert!(auto.batch_threads(1000) >= 1);
+    }
+
+    use jury_model::{CategoricalPrior, MatrixPool};
+
+    fn matrix_pool() -> MatrixPool {
+        MatrixPool::from_qualities_and_costs(
+            &[0.9, 0.6, 0.7, 0.8, 0.65],
+            &[2.0, 2.0, 2.0, 2.0, 2.0],
+            3,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn multiclass_select_round_trips_the_exhaustive_optimum() {
+        let service = paper_service();
+        let request = MultiClassSelectionRequest::new(matrix_pool(), 6.0);
+        let response = service.select_multiclass(&request).unwrap();
+        assert_eq!(response.solver, "exhaustive");
+        assert_eq!(response.policy, SolverPolicy::Auto);
+        assert!(response.cost <= 6.0 + 1e-9);
+        assert!(response.quality >= 1.0 / 3.0);
+        assert!(response.evaluations > 0);
+        let jury = response.matrix_jury().unwrap();
+        assert_eq!(jury.num_choices(), 3);
+        // Same request again: all evaluations come back from the cache.
+        let again = service.select_multiclass(&request).unwrap();
+        assert_eq!(again.worker_ids(), response.worker_ids());
+        assert!(again.cache_hits > 0);
+        let stats = service.cache_stats();
+        assert!(stats.multiclass.hits > 0);
+        assert_eq!(stats.binary, crate::cache::CacheKindStats::default());
+    }
+
+    #[test]
+    fn multiclass_batch_matches_single_selects() {
+        let service = paper_service();
+        let request = MultiClassSelectionRequest::new(matrix_pool(), 6.0);
+        let single = service.select_multiclass(&request).unwrap();
+        let batch: Vec<MultiClassSelectionRequest> = (0..16).map(|_| request.clone()).collect();
+        for response in service.select_multiclass_batch(&batch) {
+            let response = response.unwrap();
+            assert_eq!(response.worker_ids(), single.worker_ids());
+            assert!((response.quality - single.quality).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mixed_batches_serve_both_kinds_and_share_the_store() {
+        let service = paper_service();
+        let mut batch: Vec<MixedRequest> = Vec::new();
+        for _ in 0..8 {
+            batch.push(SelectionRequest::new(paper_example_pool(), 15.0).into());
+            batch.push(MultiClassSelectionRequest::new(matrix_pool(), 6.0).into());
+        }
+        let responses = service.select_mixed_batch(&batch);
+        assert_eq!(responses.len(), 16);
+        for (i, response) in responses.iter().enumerate() {
+            let response = response.as_ref().unwrap();
+            if i % 2 == 0 {
+                let binary = response.as_binary().unwrap();
+                assert!((binary.quality - 0.845).abs() < 1e-9);
+            } else {
+                let multi = response.as_multi_class().unwrap();
+                assert!(multi.quality >= 1.0 / 3.0);
+            }
+        }
+        let stats = service.cache_stats();
+        assert!(stats.binary.hits > 0, "{stats:?}");
+        assert!(stats.multiclass.hits > 0, "{stats:?}");
+        assert_eq!(stats.hits, stats.binary.hits + stats.multiclass.hits);
+    }
+
+    #[test]
+    fn multiclass_error_paths_are_typed() {
+        let service = paper_service();
+        // Non-finite and negative budgets.
+        for bad in [f64::NAN, f64::INFINITY, -2.0] {
+            let err = service
+                .select_multiclass(&MultiClassSelectionRequest::new(matrix_pool(), bad))
+                .unwrap_err();
+            assert!(matches!(err, ServiceError::InvalidBudget { .. }), "{bad}");
+        }
+        // Invalid prior vectors (not a distribution / wrong arity).
+        let err = service
+            .select_multiclass(
+                &MultiClassSelectionRequest::new(matrix_pool(), 6.0)
+                    .with_prior_probs(vec![0.7, 0.7, 0.7]),
+            )
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::InvalidPriorVector { .. }));
+        let err = service
+            .select_multiclass(
+                &MultiClassSelectionRequest::new(matrix_pool(), 6.0)
+                    .with_prior_probs(vec![0.5, 0.5]),
+            )
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::InvalidPriorVector { .. }));
+        // Budget below the cheapest worker without the empty opt-in.
+        let err = service
+            .select_multiclass(&MultiClassSelectionRequest::new(matrix_pool(), 1.0))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ServiceError::BudgetBelowCheapestWorker { .. }
+        ));
+        // With the opt-in the empty jury answers the prior argmax.
+        let response = service
+            .select_multiclass(
+                &MultiClassSelectionRequest::new(matrix_pool(), 1.0)
+                    .with_prior(CategoricalPrior::new(vec![0.2, 0.5, 0.3]).unwrap())
+                    .allow_empty_selection(true),
+            )
+            .unwrap();
+        assert_eq!(response.jury_size(), 0);
+        assert!((response.quality - 0.5).abs() < 1e-12);
+        assert_eq!(response.cost, 0.0);
+    }
+
+    #[test]
+    fn multiclass_cell_budget_overflow_is_a_typed_error() {
+        // 24 candidates over 4 labels is past both the session crossover and
+        // the exact voting cutoff; with a one-cell budget even the coarsest
+        // grid cannot fit, so the service must refuse, not panic or silently
+        // run the exponential scratch DP.
+        let qualities: Vec<f64> = (0..24).map(|i| 0.5 + 0.015 * (i % 20) as f64).collect();
+        let costs = vec![1.0; 24];
+        let pool = MatrixPool::from_qualities_and_costs(&qualities, &costs, 4).unwrap();
+        let config = ServiceConfig::fast().with_multiclass_incremental(
+            jury_jq::MultiClassIncrementalConfig::default().with_max_cells(1),
+        );
+        let service = JuryService::new(config);
+        let err = service
+            .select_multiclass(&MultiClassSelectionRequest::new(pool.clone(), 6.0))
+            .unwrap_err();
+        let ServiceError::MultiClassStateTooLarge { cells, max } = err else {
+            panic!("expected MultiClassStateTooLarge, got {err}");
+        };
+        assert_eq!(max, 1);
+        assert_eq!(cells, 49u64.pow(3));
+        // The same guard protects the warm multi-class sweep.
+        let err = service
+            .multiclass_budget_quality_table(
+                &pool,
+                &[2.0, 4.0],
+                &CategoricalPrior::uniform(4).unwrap(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::MultiClassStateTooLarge { .. }));
+    }
+
+    #[test]
+    fn multiclass_budget_quality_table_small_pool_is_exhaustive() {
+        let service = paper_service();
+        let prior = CategoricalPrior::uniform(3).unwrap();
+        let table = service
+            .multiclass_budget_quality_table(&matrix_pool(), &[2.0, 4.0, 6.0, 10.0], &prior)
+            .unwrap();
+        assert_eq!(table.rows().len(), 4);
+        let mut previous = 0.0;
+        for row in table.rows() {
+            assert!(row.required_budget <= row.budget + 1e-9);
+            assert!(row.quality >= previous - 1e-12);
+            previous = row.quality;
+        }
     }
 }

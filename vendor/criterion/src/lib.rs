@@ -3,6 +3,11 @@
 //! Statistical analysis is replaced by a simple warm-up + timed-samples loop
 //! that prints the mean, min, and max iteration time per benchmark. Good
 //! enough to compare implementations by eye; not a statistics engine.
+//!
+//! Like real criterion, the harness honours `--test` on the bench binary's
+//! command line (`cargo bench -- --test`): every benchmark routine runs
+//! exactly once, with no warm-up and no sampling, so CI can smoke-test that
+//! all bench code still compiles and executes in seconds instead of minutes.
 
 use std::time::{Duration, Instant};
 
@@ -15,6 +20,7 @@ pub struct Criterion {
     warm_up_time: Duration,
     measurement_time: Duration,
     sample_size: usize,
+    test_mode: bool,
 }
 
 impl Default for Criterion {
@@ -23,6 +29,11 @@ impl Default for Criterion {
             warm_up_time: Duration::from_millis(300),
             measurement_time: Duration::from_secs(1),
             sample_size: 20,
+            // Matches real criterion's `--test` flag: run everything once,
+            // measure nothing. Detected here so every `criterion_group!`
+            // config — they all build on `Criterion::default()` — inherits
+            // it without per-bench plumbing.
+            test_mode: std::env::args().any(|arg| arg == "--test"),
         }
     }
 }
@@ -60,7 +71,12 @@ impl Criterion {
     /// Runs a single stand-alone benchmark.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, mut f: F) {
         let id = id.into();
-        let mut bencher = Bencher::new(self.warm_up_time, self.measurement_time, self.sample_size);
+        let mut bencher = Bencher::new(
+            self.warm_up_time,
+            self.measurement_time,
+            self.sample_size,
+            self.test_mode,
+        );
         f(&mut bencher);
         bencher.report(&id);
     }
@@ -122,6 +138,7 @@ impl BenchmarkGroup<'_> {
             self.criterion.warm_up_time,
             self.criterion.measurement_time,
             self.sample_size.unwrap_or(self.criterion.sample_size),
+            self.criterion.test_mode,
         );
         f(&mut bencher, input);
         bencher.report(&format!("{}/{}", self.name, id));
@@ -138,6 +155,7 @@ impl BenchmarkGroup<'_> {
             self.criterion.warm_up_time,
             self.criterion.measurement_time,
             self.sample_size.unwrap_or(self.criterion.sample_size),
+            self.criterion.test_mode,
         );
         f(&mut bencher);
         bencher.report(&format!("{}/{}", self.name, id));
@@ -153,21 +171,37 @@ pub struct Bencher {
     warm_up_time: Duration,
     measurement_time: Duration,
     sample_size: usize,
+    test_mode: bool,
     samples: Vec<Duration>,
 }
 
 impl Bencher {
-    fn new(warm_up_time: Duration, measurement_time: Duration, sample_size: usize) -> Self {
+    fn new(
+        warm_up_time: Duration,
+        measurement_time: Duration,
+        sample_size: usize,
+        test_mode: bool,
+    ) -> Self {
         Bencher {
             warm_up_time,
             measurement_time,
             sample_size,
+            test_mode,
             samples: Vec::new(),
         }
     }
 
     /// Times repeated runs of `routine`.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            // `--test`: execute the routine exactly once — proves the bench
+            // code runs without paying for warm-up or sampling.
+            let t = Instant::now();
+            black_box(routine());
+            self.samples.clear();
+            self.samples.push(t.elapsed());
+            return;
+        }
         // Warm-up: run until the warm-up budget is spent (at least once).
         let warm_start = Instant::now();
         loop {
@@ -192,6 +226,10 @@ impl Bencher {
     fn report(&self, label: &str) {
         if self.samples.is_empty() {
             eprintln!("  {label}: no samples collected");
+            return;
+        }
+        if self.test_mode {
+            eprintln!("  {label}: ok (test mode, ran once)");
             return;
         }
         let total: Duration = self.samples.iter().sum();
@@ -266,5 +304,20 @@ mod tests {
     fn benchmark_id_formats() {
         assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
         assert_eq!(BenchmarkId::from_parameter(0.5).to_string(), "0.5");
+    }
+
+    #[test]
+    fn test_mode_runs_the_routine_exactly_once() {
+        let mut bencher = Bencher::new(
+            Duration::from_secs(3600),
+            Duration::from_secs(3600),
+            1000,
+            true,
+        );
+        let mut runs = 0u32;
+        bencher.iter(|| runs += 1);
+        assert_eq!(runs, 1, "test mode must skip warm-up and sampling");
+        assert_eq!(bencher.samples.len(), 1);
+        bencher.report("shim/test-mode");
     }
 }
