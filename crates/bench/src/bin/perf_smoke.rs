@@ -14,8 +14,18 @@
 //!   per-budget solves, the warm marginal sweep, and the warm (seeded)
 //!   annealing sweep.
 //!
-//! Usage: `perf_smoke [--out <path.json>] [--iters <n>]` (defaults:
+//! Usage: `perf_smoke [--out <path.json>] [--iters <n>]
+//! [--check <baseline.json>] [--tolerance <f>]` (defaults:
 //! `BENCH_service.json`, 15 iterations per timed routine).
+//!
+//! With `--check`, the run is compared against a previously written dump
+//! (the repo checks in `BENCH_baseline.json`): each of the four `speedups`
+//! ratios — machine-independent by construction, since numerator and
+//! denominator are timed on the same host — must stay above
+//! `baseline / (1 + tolerance)`, or the process exits non-zero. The default
+//! tolerance of 0.5 flags only large regressions (an incremental path
+//! sliding more than a third of the way back toward its from-scratch
+//! cost), which keeps the gate quiet under normal CI timing noise.
 
 use std::time::Instant;
 
@@ -74,9 +84,58 @@ fn incremental_for(pool: &WorkerPool, members: &[Worker]) -> IncrementalJq {
     engine
 }
 
+/// The machine-independent ratios compared by `--check`. Raw `median_us`
+/// timings shift with the host; these divide two timings from the same run,
+/// so a drop can only come from a real relative slowdown.
+const CHECKED_SPEEDUPS: [&str; 4] = [
+    "annealing_step_incremental_vs_scratch",
+    "greedy_round_incremental_vs_scratch",
+    "sweep_warm_marginal_vs_cold",
+    "sweep_warm_annealing_vs_cold",
+];
+
+/// Compares the current dump's `speedups` against a baseline file; returns
+/// the list of human-readable regression descriptions (empty = pass).
+fn check_against_baseline(
+    current: &serde_json::Value,
+    baseline_path: &str,
+    tolerance: f64,
+) -> Result<Vec<String>, String> {
+    let text = std::fs::read_to_string(baseline_path)
+        .map_err(|err| format!("failed to read {baseline_path}: {err}"))?;
+    let baseline: serde_json::Value =
+        serde_json::from_str(&text).map_err(|err| format!("invalid {baseline_path}: {err}"))?;
+    let mut regressions = Vec::new();
+    for key in CHECKED_SPEEDUPS {
+        let was = baseline
+            .field("speedups")
+            .and_then(|s| s.field(key))
+            .map_err(|err| format!("{baseline_path}: {err}"))?
+            .as_f64()
+            .ok_or_else(|| format!("{baseline_path}: speedups.{key} is not a number"))?;
+        let now = current
+            .field("speedups")
+            .and_then(|s| s.field(key))
+            .expect("dump carries every checked speedup")
+            .as_f64()
+            .expect("speedups are numeric");
+        let floor = was / (1.0 + tolerance);
+        let verdict = if now < floor { "REGRESSED" } else { "ok" };
+        eprintln!("check {key}: {now:.2}x vs baseline {was:.2}x (floor {floor:.2}x) {verdict}");
+        if now < floor {
+            regressions.push(format!(
+                "{key}: {now:.2}x fell below {floor:.2}x (baseline {was:.2}x / (1 + {tolerance}))"
+            ));
+        }
+    }
+    Ok(regressions)
+}
+
 fn main() {
     let mut out = String::from("BENCH_service.json");
     let mut iters = 15usize;
+    let mut check: Option<String> = None;
+    let mut tolerance = 0.5f64;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -88,8 +147,23 @@ fn main() {
                     .parse()
                     .expect("--iters needs a number")
             }
+            "--check" => check = Some(args.next().expect("--check needs a baseline path")),
+            "--tolerance" => {
+                tolerance = args
+                    .next()
+                    .expect("--tolerance needs a number")
+                    .parse()
+                    .expect("--tolerance needs a number");
+                assert!(
+                    tolerance >= 0.0 && tolerance.is_finite(),
+                    "--tolerance must be a finite non-negative number"
+                );
+            }
             other => {
-                eprintln!("unknown flag {other}; usage: perf_smoke [--out <path>] [--iters <n>]");
+                eprintln!(
+                    "unknown flag {other}; usage: perf_smoke [--out <path>] [--iters <n>] \
+                     [--check <baseline.json>] [--tolerance <f>]"
+                );
                 std::process::exit(2);
             }
         }
@@ -192,4 +266,22 @@ fn main() {
         std::process::exit(1);
     }
     eprintln!("wrote {out}");
+
+    if let Some(baseline_path) = check {
+        match check_against_baseline(&dump, &baseline_path, tolerance) {
+            Ok(regressions) if regressions.is_empty() => {
+                eprintln!("perf check against {baseline_path} passed (tolerance {tolerance})");
+            }
+            Ok(regressions) => {
+                for regression in &regressions {
+                    eprintln!("perf regression: {regression}");
+                }
+                std::process::exit(1);
+            }
+            Err(err) => {
+                eprintln!("{err}");
+                std::process::exit(2);
+            }
+        }
+    }
 }

@@ -110,6 +110,54 @@ impl ConfusionMatrix {
         })
     }
 
+    /// Creates a confusion matrix from row-major **observation counts** by
+    /// normalizing each row into a distribution — the snapshot constructor
+    /// for Dirichlet-counted streaming estimates (`counts[j·ℓ + k]` = times
+    /// the worker voted `k` on a task whose truth was `j`, plus any
+    /// pseudo-count prior). A row with zero mass (a truth label never
+    /// observed) becomes the uniform distribution, matching an
+    /// uninformative Dirichlet posterior.
+    pub fn from_counts(num_choices: usize, counts: &[f64]) -> ModelResult<Self> {
+        if num_choices < 2 {
+            return Err(ModelError::InvalidConfusionMatrix {
+                reason: format!("{num_choices} choices; need at least 2"),
+            });
+        }
+        if counts.len() != num_choices * num_choices {
+            return Err(ModelError::InvalidConfusionMatrix {
+                reason: format!(
+                    "expected {} counts for an {num_choices}x{num_choices} matrix, got {}",
+                    num_choices * num_choices,
+                    counts.len()
+                ),
+            });
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            if !c.is_finite() || c < 0.0 {
+                return Err(ModelError::InvalidConfusionMatrix {
+                    reason: format!("count {i} is {c}, not a finite non-negative number"),
+                });
+            }
+        }
+        let mut entries = vec![0.0; num_choices * num_choices];
+        for row in 0..num_choices {
+            let slice = &counts[row * num_choices..(row + 1) * num_choices];
+            let total: f64 = slice.iter().sum();
+            let out = &mut entries[row * num_choices..(row + 1) * num_choices];
+            if total > 0.0 {
+                for (o, &c) in out.iter_mut().zip(slice) {
+                    *o = c / total;
+                }
+            } else {
+                out.fill(1.0 / num_choices as f64);
+            }
+        }
+        Ok(ConfusionMatrix {
+            num_choices,
+            entries,
+        })
+    }
+
     /// Number of labels `ℓ`.
     #[inline]
     pub fn num_choices(&self) -> usize {
@@ -392,6 +440,17 @@ impl MatrixPool {
         MatrixPool::new(workers)
     }
 
+    /// Creates a pool from `(id, confusion, cost)` estimate triples — the
+    /// snapshot constructor used by streaming quality registries (see
+    /// [`crate::WorkerPool::from_estimates`] for the binary sibling).
+    pub fn from_confusions(estimates: Vec<(WorkerId, ConfusionMatrix, f64)>) -> ModelResult<Self> {
+        let workers = estimates
+            .into_iter()
+            .map(|(id, confusion, cost)| MatrixWorker::new(id, confusion, cost))
+            .collect::<ModelResult<Vec<_>>>()?;
+        MatrixPool::new(workers)
+    }
+
     /// Number of candidate workers.
     #[inline]
     pub fn len(&self) -> usize {
@@ -488,6 +547,24 @@ mod tests {
         assert!(ConfusionMatrix::new(1, vec![1.0]).is_err());
         assert!(ConfusionMatrix::new(2, vec![1.1, -0.1, 0.5, 0.5]).is_err());
         assert!(ConfusionMatrix::new(2, vec![0.9, 0.1, 0.2, 0.8]).is_ok());
+    }
+
+    #[test]
+    fn from_counts_normalizes_rows_and_fills_empty_rows_uniformly() {
+        let m = ConfusionMatrix::from_counts(2, &[9.0, 1.0, 0.0, 0.0]).unwrap();
+        assert!((m.prob(Label(0), Label(0)) - 0.9).abs() < 1e-12);
+        assert!((m.prob(Label(0), Label(1)) - 0.1).abs() < 1e-12);
+        // The second truth label was never observed: uniform row.
+        assert!((m.prob(Label(1), Label(0)) - 0.5).abs() < 1e-12);
+        assert!((m.prob(Label(1), Label(1)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_counts_validates_shape_and_values() {
+        assert!(ConfusionMatrix::from_counts(1, &[1.0]).is_err());
+        assert!(ConfusionMatrix::from_counts(2, &[1.0, 2.0, 3.0]).is_err());
+        assert!(ConfusionMatrix::from_counts(2, &[1.0, -0.5, 1.0, 1.0]).is_err());
+        assert!(ConfusionMatrix::from_counts(2, &[1.0, f64::NAN, 1.0, 1.0]).is_err());
     }
 
     #[test]
@@ -621,6 +698,40 @@ mod tests {
             Err(ModelError::DuplicateWorker { .. })
         ));
         assert!(MatrixPool::from_qualities_and_costs(&[0.8], &[1.0, 2.0], 2).is_err());
+    }
+
+    #[test]
+    fn from_confusions_keeps_caller_supplied_ids() {
+        let pool = MatrixPool::from_confusions(vec![
+            (
+                WorkerId(7),
+                ConfusionMatrix::from_quality(0.9, 3).unwrap(),
+                2.0,
+            ),
+            (
+                WorkerId(3),
+                ConfusionMatrix::from_quality(0.6, 3).unwrap(),
+                1.0,
+            ),
+        ])
+        .unwrap();
+        assert_eq!(pool.len(), 2);
+        assert!((pool.get(WorkerId(7)).unwrap().cost() - 2.0).abs() < 1e-12);
+        assert!(pool.get(WorkerId(0)).is_err());
+        // Duplicate ids are rejected like any other pool construction.
+        let dup = MatrixPool::from_confusions(vec![
+            (
+                WorkerId(1),
+                ConfusionMatrix::from_quality(0.8, 2).unwrap(),
+                1.0,
+            ),
+            (
+                WorkerId(1),
+                ConfusionMatrix::from_quality(0.7, 2).unwrap(),
+                1.0,
+            ),
+        ]);
+        assert!(matches!(dup, Err(ModelError::DuplicateWorker { .. })));
     }
 
     #[test]

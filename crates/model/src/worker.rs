@@ -175,6 +175,21 @@ impl WorkerPool {
         WorkerPool::from_qualities_and_costs(qualities, &costs)
     }
 
+    /// Creates a pool from `(id, quality, cost)` estimate triples — the
+    /// snapshot constructor used by streaming quality registries, which know
+    /// their workers by explicit id rather than by position.
+    ///
+    /// Unlike [`Self::from_qualities_and_costs`] the ids are caller-supplied
+    /// (and deduplicated), so a snapshot keeps the same ids the answers were
+    /// observed under.
+    pub fn from_estimates(estimates: &[(WorkerId, f64, f64)]) -> ModelResult<Self> {
+        let workers = estimates
+            .iter()
+            .map(|&(id, quality, cost)| Worker::new(id, quality, cost))
+            .collect::<ModelResult<Vec<_>>>()?;
+        WorkerPool::from_workers(workers)
+    }
+
     /// Adds a worker, rejecting duplicate ids.
     pub fn push(&mut self, worker: Worker) -> ModelResult<()> {
         if self.contains(worker.id()) {

@@ -18,7 +18,10 @@
 //!   pool-many single-worker extensions per round via the same sessions;
 //! * [`special::try_special_case`] — the closed-form cases of Lemmas 1 and 2;
 //! * [`MvjsSolver`] — the Majority-Voting baseline system of Cao et al. \[7\];
-//! * [`BudgetQualityTable`] — the Figure 1 budget–quality table.
+//! * [`BudgetQualityTable`] — the Figure 1 budget–quality table;
+//! * [`repair_jury`] — online repair of an already-deployed jury whose
+//!   worker estimates drifted: greedy swap/push hill climbing under the
+//!   original budget, riding the same incremental sessions.
 //!
 //! ```
 //! use jury_model::{paper_example_pool, Prior};
@@ -43,6 +46,7 @@ pub mod multiclass;
 pub mod mvjs;
 pub mod objective;
 pub mod problem;
+pub mod repair;
 pub mod solver;
 pub mod special;
 
@@ -60,6 +64,7 @@ pub use objective::{
     MvObjective,
 };
 pub use problem::JspInstance;
+pub use repair::{repair_jury, RepairConfig, RepairResult};
 pub use solver::{JurySolver, SolveError, SolverResult};
 pub use special::{try_special_case, SpecialCase};
 

@@ -162,21 +162,6 @@ impl ServiceConfig {
         self
     }
 
-    /// Enables or disables warm-started budget–quality sweeps.
-    ///
-    /// Compatibility shim for the old boolean knob: `true` maps to
-    /// [`SweepPolicy::WarmMarginal`], `false` to [`SweepPolicy::Cold`]. It
-    /// cannot express [`SweepPolicy::WarmAnnealing`] — use
-    /// [`Self::with_sweep_policy`] instead.
-    #[deprecated(note = "use with_sweep_policy(SweepPolicy) instead")]
-    pub fn with_warm_sweeps(self, enabled: bool) -> Self {
-        self.with_sweep_policy(if enabled {
-            SweepPolicy::WarmMarginal
-        } else {
-            SweepPolicy::Cold
-        })
-    }
-
     /// Sets the multi-class scratch bucket configuration.
     pub fn with_multiclass_bucket(mut self, bucket: MultiClassBucketConfig) -> Self {
         self.multiclass_bucket = bucket;
@@ -249,22 +234,6 @@ mod tests {
         assert_eq!(config.multiclass_bucket.num_buckets, 77);
         assert_eq!(config.multiclass_incremental.max_cells, 1 << 10);
         assert_eq!(config.multiclass_session_cutoff, 9);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn warm_sweeps_shim_maps_onto_the_policy() {
-        assert_eq!(
-            ServiceConfig::default().with_warm_sweeps(false).sweep,
-            SweepPolicy::Cold
-        );
-        assert_eq!(
-            ServiceConfig::default()
-                .with_sweep_policy(SweepPolicy::WarmAnnealing)
-                .with_warm_sweeps(true)
-                .sweep,
-            SweepPolicy::WarmMarginal
-        );
     }
 
     #[test]

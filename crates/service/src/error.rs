@@ -54,6 +54,21 @@ pub enum ServiceError {
         /// Largest pool the exact solver accepts.
         max: usize,
     },
+    /// A repair was requested for a selection id the drift detector does
+    /// not track (never handed out, or already untracked).
+    UntrackedJury {
+        /// The raw ledger id (see `jury_stream::SelectionId`).
+        id: u64,
+    },
+    /// A tracked jury can no longer be scored or repaired against the
+    /// current registry snapshot — typically a member disappeared from the
+    /// registry since the jury was handed out.
+    StaleJury {
+        /// The raw ledger id (see `jury_stream::SelectionId`).
+        id: u64,
+        /// Why the jury went stale.
+        reason: String,
+    },
     /// A lower-level model invariant was violated.
     Model(ModelError),
 }
@@ -84,6 +99,12 @@ impl std::fmt::Display for ServiceError {
                 f,
                 "exact solving is limited to {max} candidates, the pool has {size}"
             ),
+            ServiceError::UntrackedJury { id } => {
+                write!(f, "selection#{id} is not tracked by the drift detector")
+            }
+            ServiceError::StaleJury { id, reason } => {
+                write!(f, "selection#{id} is stale: {reason}")
+            }
             ServiceError::Model(err) => write!(f, "model error: {err}"),
         }
     }
@@ -154,6 +175,14 @@ mod tests {
             (
                 ServiceError::PoolTooLargeForExact { size: 30, max: 22 },
                 "exact",
+            ),
+            (ServiceError::UntrackedJury { id: 4 }, "not tracked"),
+            (
+                ServiceError::StaleJury {
+                    id: 4,
+                    reason: "worker 7 left the registry".into(),
+                },
+                "stale",
             ),
             (
                 ServiceError::Model(ModelError::Empty { what: "jury" }),

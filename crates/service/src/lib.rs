@@ -33,7 +33,16 @@
 //!   [`JuryService::multiclass_budget_quality_table`] — the Figure 1
 //!   budget–quality sweep, routed by [`SweepPolicy`]: cold per-budget
 //!   solves, a warm marginal sweep, or a warm **annealing** sweep that
-//!   seeds each budget with the previous budget's jury.
+//!   seeds each budget with the previous budget's jury;
+//! * [`JuryService::drift_scan`] / [`JuryService::repair`] /
+//!   [`JuryService::repair_batch`] — the **online serving loop** over
+//!   `jury-stream`: answers fold into a streaming
+//!   [`jury_stream::WorkerRegistry`], a [`jury_stream::DriftDetector`]
+//!   re-scores handed-out juries against fresh snapshots through the shared
+//!   JQ cache, and flagged juries are patched in place by the incremental
+//!   swap search (`jury_selection::repair_jury`) under their original
+//!   budget, with a cold re-solve fallback — outcomes come back as typed
+//!   [`RepairOutcome`]s.
 //!
 //! Both paper systems are now *configurations* of one generic engine: the
 //! solvers are generic over `jury_selection::JuryObjective`, and the service
@@ -69,6 +78,7 @@
 pub mod cache;
 pub mod config;
 pub mod error;
+pub mod repair;
 pub mod request;
 pub mod response;
 pub mod service;
@@ -79,5 +89,7 @@ pub use error::ServiceError;
 pub use request::{
     MixedRequest, MultiClassSelectionRequest, SelectionRequest, SolverPolicy, Strategy,
 };
-pub use response::{MixedResponse, MultiClassSelectionResponse, SelectionResponse};
+pub use response::{
+    MixedResponse, MultiClassSelectionResponse, RepairOutcome, RepairResponse, SelectionResponse,
+};
 pub use service::JuryService;

@@ -1,11 +1,12 @@
 //! Selection responses: what the service reports back for a request —
 //! binary ([`SelectionResponse`]), multi-class
-//! ([`MultiClassSelectionResponse`]), and either-kind batch slots
-//! ([`MixedResponse`]).
+//! ([`MultiClassSelectionResponse`]), either-kind batch slots
+//! ([`MixedResponse`]), and the online repair loop's [`RepairResponse`].
 
 use std::time::Duration;
 
 use jury_model::{Jury, MatrixJury, MatrixWorker, WorkerId};
+use jury_stream::SelectionId;
 
 use crate::request::{SolverPolicy, Strategy};
 
@@ -121,6 +122,82 @@ impl MixedResponse {
     }
 }
 
+/// What a [`crate::JuryService::repair`] call did to a tracked jury.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RepairOutcome {
+    /// The jury was left as handed out — either its fresh quality is still
+    /// within the drift threshold of the baseline, or no swap or push could
+    /// improve it.
+    Unchanged,
+    /// The incremental swap session patched the jury in place, within the
+    /// original budget.
+    Patched {
+        /// Member-for-candidate swaps committed by the repair search.
+        swaps: usize,
+        /// Additional members pushed into unused budget.
+        pushes: usize,
+    },
+    /// The greedy patch stayed stuck below the drift threshold, so the
+    /// instance was re-solved cold and the re-solve won.
+    Resolved,
+}
+
+/// The outcome of repairing one tracked selection against fresh registry
+/// estimates ([`crate::JuryService::repair`] /
+/// [`crate::JuryService::repair_batch`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepairResponse {
+    /// The drift-detector ledger id of the repaired selection.
+    pub id: SelectionId,
+    /// What the repair did.
+    pub outcome: RepairOutcome,
+    /// The jury after repair (identical members when
+    /// [`RepairOutcome::Unchanged`]).
+    pub jury: Jury,
+    /// The jury's quality under the fresh estimates.
+    pub quality: f64,
+    /// The quality the selection was promised at before this repair (its
+    /// previous baseline).
+    pub previous_baseline: f64,
+    /// The repaired jury's cost (never exceeds the tracked budget).
+    pub cost: f64,
+    /// The registry epoch of the estimates the repair ran against — the
+    /// selection's new baseline epoch.
+    pub epoch: u64,
+    /// Objective evaluations requested by the repair (incremental-session
+    /// probes included).
+    pub evaluations: u64,
+    /// How many of those evaluations were served by the shared JQ cache.
+    pub cache_hits: u64,
+    /// Wall-clock time of the repair.
+    pub elapsed: Duration,
+}
+
+impl RepairResponse {
+    /// The repaired jury's worker ids, sorted.
+    pub fn worker_ids(&self) -> Vec<WorkerId> {
+        let mut ids = self.jury.ids();
+        ids.sort();
+        ids
+    }
+
+    /// Number of members after repair.
+    pub fn jury_size(&self) -> usize {
+        self.jury.size()
+    }
+
+    /// Whether the repair changed the jury's members.
+    pub fn changed(&self) -> bool {
+        !matches!(self.outcome, RepairOutcome::Unchanged)
+    }
+
+    /// Signed quality movement committed by this repair:
+    /// `quality − previous_baseline`.
+    pub fn delta(&self) -> f64 {
+        self.quality - self.previous_baseline
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -173,5 +250,33 @@ mod tests {
         let mixed = MixedResponse::MultiClass(response);
         assert!(mixed.as_multi_class().is_some());
         assert!(mixed.as_binary().is_none());
+    }
+
+    #[test]
+    fn repair_accessors_report_change_and_delta() {
+        let response = RepairResponse {
+            id: SelectionId(3),
+            outcome: RepairOutcome::Patched {
+                swaps: 1,
+                pushes: 0,
+            },
+            jury: Jury::from_qualities(&[0.9, 0.8]).unwrap(),
+            quality: 0.9,
+            previous_baseline: 0.8,
+            cost: 0.0,
+            epoch: 12,
+            evaluations: 5,
+            cache_hits: 1,
+            elapsed: Duration::from_millis(1),
+        };
+        assert!(response.changed());
+        assert!((response.delta() - 0.1).abs() < 1e-12);
+        assert_eq!(response.jury_size(), 2);
+
+        let unchanged = RepairResponse {
+            outcome: RepairOutcome::Unchanged,
+            ..response
+        };
+        assert!(!unchanged.changed());
     }
 }

@@ -73,6 +73,12 @@ impl JuryService {
         self.cache.stats()
     }
 
+    /// The shared JQ cache, for the crate's other endpoint modules (the
+    /// repair loop scores fresh juries through the same store).
+    pub(crate) fn jq_cache(&self) -> &JqCache {
+        &self.cache
+    }
+
     /// Serves one selection request.
     ///
     /// The request is validated first — a bad budget, prior, or pool comes
@@ -170,7 +176,7 @@ impl JuryService {
     /// objective. `mv_baseline` routes large `Auto` pools through the
     /// [`MvjsSolver`] instead of plain annealing — the binary MV strategy's
     /// historical behaviour; multi-class selection never sets it.
-    fn dispatch_solver<O: JuryObjective>(
+    pub(crate) fn dispatch_solver<O: JuryObjective>(
         &self,
         instance: &JspInstance,
         objective: &O,
@@ -359,7 +365,7 @@ impl JuryService {
     /// workers pull the next unclaimed item from a shared counter, so a few
     /// expensive requests cannot serialize the batch behind one thread the
     /// way static chunking would.
-    fn run_batch<T, R, F>(&self, items: &[T], serve: F) -> Vec<R>
+    pub(crate) fn run_batch<T, R, F>(&self, items: &[T], serve: F) -> Vec<R>
     where
         T: Sync,
         R: Send,

@@ -11,7 +11,9 @@
 
 use std::collections::BTreeMap;
 
-use jury_model::{Answer, CrowdDataset, TaskId, Worker, WorkerId, WorkerPool};
+use jury_model::{
+    Answer, CrowdDataset, ModelResult, Prior, TaskId, TaskRecord, Worker, WorkerId, WorkerPool,
+};
 
 /// Laplace-smoothed accuracy: `(correct + s) / (answered + 2s)`. Smoothing
 /// keeps estimates away from the degenerate 0 and 1 for workers with very
@@ -124,6 +126,44 @@ pub fn majority_agreement_qualities(dataset: &CrowdDataset) -> BTreeMap<WorkerId
             (worker, quality)
         })
         .collect()
+}
+
+/// Builds a [`CrowdDataset`] from a flat stream of `(task, worker, answer)`
+/// vote triples — the bridge from a streamed answer log to the batch
+/// estimators in this module and the EM in [`crate::dawid_skene`].
+///
+/// The dataset carries **placeholder** ground truths (`Answer::Yes`) and
+/// worker qualities (`0.5`, unit cost), because the intended consumers —
+/// [`majority_agreement_qualities`] and the Dawid–Skene fit — ignore both.
+/// Do not feed the result to truth-aware estimators such as
+/// [`empirical_qualities`].
+pub fn dataset_from_votes(
+    votes: &[(TaskId, WorkerId, Answer)],
+    prior: Prior,
+) -> ModelResult<CrowdDataset> {
+    let mut worker_ids: Vec<WorkerId> = votes.iter().map(|&(_, w, _)| w).collect();
+    worker_ids.sort_unstable();
+    worker_ids.dedup();
+    let workers = worker_ids
+        .into_iter()
+        .map(|id| Worker::new(id, 0.5, 1.0))
+        .collect::<ModelResult<Vec<_>>>()?;
+    let pool = WorkerPool::from_workers(workers)?;
+
+    let mut order: Vec<TaskId> = Vec::new();
+    let mut records: BTreeMap<TaskId, TaskRecord> = BTreeMap::new();
+    for &(task, worker, answer) in votes {
+        let record = records.entry(task).or_insert_with(|| {
+            order.push(task);
+            TaskRecord::new(task, prior, Answer::Yes)
+        });
+        record.push_vote(worker, answer);
+    }
+    let tasks = order
+        .into_iter()
+        .map(|id| records.remove(&id).expect("recorded above"))
+        .collect();
+    CrowdDataset::new(pool, tasks)
 }
 
 /// Rebuilds a worker pool with qualities replaced by the supplied estimates
@@ -272,6 +312,29 @@ mod tests {
         for quality in empirical.values() {
             assert!((0.0..=1.0).contains(quality));
         }
+    }
+
+    #[test]
+    fn dataset_from_votes_groups_by_task_in_arrival_order() {
+        use jury_model::Prior;
+        let votes = vec![
+            (TaskId(9), WorkerId(2), Answer::Yes),
+            (TaskId(1), WorkerId(0), Answer::No),
+            (TaskId(9), WorkerId(0), Answer::Yes),
+        ];
+        let ds = dataset_from_votes(&votes, Prior::uniform()).unwrap();
+        assert_eq!(ds.num_workers(), 2);
+        assert_eq!(ds.num_votes(), 3);
+        // Task order follows first appearance in the stream.
+        assert_eq!(ds.tasks()[0].id(), TaskId(9));
+        assert_eq!(ds.tasks()[1].id(), TaskId(1));
+        assert_eq!(
+            ds.tasks()[0].answering_workers(),
+            vec![WorkerId(2), WorkerId(0)]
+        );
+        // Majority agreement works on the placeholder-truth dataset.
+        let estimates = majority_agreement_qualities(&ds);
+        assert_eq!(estimates.len(), 2);
     }
 
     #[test]

@@ -1,0 +1,334 @@
+//! Drift detection over tracked selections.
+//!
+//! Handing out a jury is not the end of the story: the worker estimates the
+//! jury was scored against keep moving as answers stream into the
+//! [`WorkerRegistry`](crate::WorkerRegistry). The [`DriftDetector`] keeps a
+//! ledger of handed-out selections (members, budget, prior, and the quality
+//! they were promised at) and, on demand, re-scores each one against fresh
+//! estimates through a caller-supplied scorer — in `jury-service` that
+//! scorer is the signature-keyed JQ cache, so a scan of many juries over
+//! one snapshot shares evaluations. A selection whose fresh quality moved
+//! past the configured threshold is flagged for repair.
+
+use std::collections::BTreeMap;
+
+use jury_model::{Prior, WorkerId};
+
+/// Identifier of a tracked selection, unique within one [`DriftDetector`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SelectionId(pub u64);
+
+impl SelectionId {
+    /// The raw id.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for SelectionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "selection#{}", self.0)
+    }
+}
+
+/// A handed-out jury the detector watches.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrackedSelection {
+    members: Vec<WorkerId>,
+    budget: f64,
+    prior: Prior,
+    baseline_quality: f64,
+    epoch: u64,
+}
+
+impl TrackedSelection {
+    /// The jury's member ids.
+    pub fn members(&self) -> &[WorkerId] {
+        &self.members
+    }
+
+    /// The budget the jury was selected under (repairs stay within it).
+    pub fn budget(&self) -> f64 {
+        self.budget
+    }
+
+    /// The task prior the jury was scored against.
+    pub fn prior(&self) -> Prior {
+        self.prior
+    }
+
+    /// The quality the jury was promised when handed out (or last
+    /// re-baselined at).
+    pub fn baseline_quality(&self) -> f64 {
+        self.baseline_quality
+    }
+
+    /// The registry epoch of the estimates behind `baseline_quality`.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+}
+
+/// How a tracked selection scored against fresh estimates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriftStatus {
+    /// Fresh quality within the threshold of the baseline.
+    Steady,
+    /// Fresh quality moved past the threshold — repair candidate.
+    Drifted,
+    /// The selection could not be re-scored (e.g. a member disappeared
+    /// from the fresh snapshot).
+    Stale,
+}
+
+/// One row of a drift scan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftReport {
+    /// The tracked selection.
+    pub id: SelectionId,
+    /// The quality the selection was promised at.
+    pub baseline: f64,
+    /// The quality under fresh estimates, or `None` when un-scorable.
+    pub fresh: Option<f64>,
+    /// Signed drift `fresh − baseline` (`0` when un-scorable).
+    pub drift: f64,
+    /// The verdict against the detector's threshold.
+    pub status: DriftStatus,
+}
+
+impl DriftReport {
+    /// Whether the selection needs attention (drifted or stale).
+    pub fn needs_attention(&self) -> bool {
+        !matches!(self.status, DriftStatus::Steady)
+    }
+}
+
+/// Ledger of handed-out selections plus the drift threshold that decides
+/// when one is flagged. Scoring is delegated to the caller (see
+/// [`DriftDetector::scan_with`]) so the detector stays agnostic of JQ
+/// engines and caches.
+#[derive(Debug, Clone)]
+pub struct DriftDetector {
+    threshold: f64,
+    next_id: u64,
+    tracked: BTreeMap<SelectionId, TrackedSelection>,
+}
+
+impl DriftDetector {
+    /// Creates a detector flagging selections whose fresh quality moved
+    /// more than `threshold` (absolute JQ) from the baseline. Non-finite or
+    /// negative thresholds are clamped to `0`, which flags any movement
+    /// beyond floating-point noise.
+    pub fn new(threshold: f64) -> Self {
+        DriftDetector {
+            threshold: if threshold.is_finite() && threshold >= 0.0 {
+                threshold
+            } else {
+                0.0
+            },
+            next_id: 0,
+            tracked: BTreeMap::new(),
+        }
+    }
+
+    /// The drift threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Starts watching a handed-out jury, returning its ledger id.
+    pub fn track(
+        &mut self,
+        members: Vec<WorkerId>,
+        budget: f64,
+        prior: Prior,
+        baseline_quality: f64,
+        epoch: u64,
+    ) -> SelectionId {
+        let id = SelectionId(self.next_id);
+        self.next_id += 1;
+        self.tracked.insert(
+            id,
+            TrackedSelection {
+                members,
+                budget,
+                prior,
+                baseline_quality,
+                epoch,
+            },
+        );
+        id
+    }
+
+    /// Looks up a tracked selection.
+    pub fn get(&self, id: SelectionId) -> Option<&TrackedSelection> {
+        self.tracked.get(&id)
+    }
+
+    /// Stops watching a selection, returning its final ledger entry.
+    pub fn untrack(&mut self, id: SelectionId) -> Option<TrackedSelection> {
+        self.tracked.remove(&id)
+    }
+
+    /// Iterates the ledger in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (SelectionId, &TrackedSelection)> {
+        self.tracked.iter().map(|(&id, sel)| (id, sel))
+    }
+
+    /// Number of tracked selections.
+    pub fn len(&self) -> usize {
+        self.tracked.len()
+    }
+
+    /// Whether the ledger is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tracked.is_empty()
+    }
+
+    /// Re-scores every tracked selection through `scorer` (fresh quality of
+    /// the selection's members under its prior, or `None` when un-scorable)
+    /// and reports each against the threshold, in id order. The detector
+    /// itself is not mutated — committing a new baseline is a separate,
+    /// deliberate step ([`DriftDetector::rebaseline`]) taken after a repair.
+    pub fn scan_with<F>(&self, mut scorer: F) -> Vec<DriftReport>
+    where
+        F: FnMut(SelectionId, &TrackedSelection) -> Option<f64>,
+    {
+        self.tracked
+            .iter()
+            .map(|(&id, selection)| match scorer(id, selection) {
+                Some(fresh) => {
+                    let drift = fresh - selection.baseline_quality;
+                    DriftReport {
+                        id,
+                        baseline: selection.baseline_quality,
+                        fresh: Some(fresh),
+                        drift,
+                        status: if drift.abs() > self.threshold {
+                            DriftStatus::Drifted
+                        } else {
+                            DriftStatus::Steady
+                        },
+                    }
+                }
+                None => DriftReport {
+                    id,
+                    baseline: selection.baseline_quality,
+                    fresh: None,
+                    drift: 0.0,
+                    status: DriftStatus::Stale,
+                },
+            })
+            .collect()
+    }
+
+    /// Commits a repaired (or re-validated) selection back to the ledger:
+    /// new members, the quality they score under the estimates of `epoch`,
+    /// and that epoch as the new baseline. Returns `false` when the id is
+    /// not tracked.
+    pub fn rebaseline(
+        &mut self,
+        id: SelectionId,
+        members: Vec<WorkerId>,
+        quality: f64,
+        epoch: u64,
+    ) -> bool {
+        match self.tracked.get_mut(&id) {
+            Some(selection) => {
+                selection.members = members;
+                selection.baseline_quality = quality;
+                selection.epoch = epoch;
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn track_pair(detector: &mut DriftDetector) -> (SelectionId, SelectionId) {
+        let a = detector.track(
+            vec![WorkerId(0), WorkerId(1)],
+            5.0,
+            Prior::uniform(),
+            0.9,
+            1,
+        );
+        let b = detector.track(vec![WorkerId(2)], 2.0, Prior::uniform(), 0.8, 1);
+        (a, b)
+    }
+
+    #[test]
+    fn ids_are_unique_and_lookups_work() {
+        let mut detector = DriftDetector::new(0.05);
+        let (a, b) = track_pair(&mut detector);
+        assert_ne!(a, b);
+        assert_eq!(detector.len(), 2);
+        assert_eq!(
+            detector.get(a).unwrap().members(),
+            &[WorkerId(0), WorkerId(1)]
+        );
+        assert!((detector.get(b).unwrap().budget() - 2.0).abs() < 1e-12);
+        assert!(detector.untrack(b).is_some());
+        assert!(detector.untrack(b).is_none());
+        assert_eq!(detector.len(), 1);
+        assert_eq!(a.to_string(), "selection#0");
+    }
+
+    #[test]
+    fn scan_classifies_steady_drifted_and_stale() {
+        let mut detector = DriftDetector::new(0.05);
+        let (a, b) = track_pair(&mut detector);
+        let c = detector.track(vec![WorkerId(9)], 1.0, Prior::uniform(), 0.7, 1);
+        let reports = detector.scan_with(|id, selection| {
+            if id == a {
+                Some(selection.baseline_quality() - 0.01) // within threshold
+            } else if id == b {
+                Some(selection.baseline_quality() - 0.2) // degraded
+            } else {
+                None // member vanished
+            }
+        });
+        assert_eq!(reports.len(), 3);
+        assert_eq!(reports[0].status, DriftStatus::Steady);
+        assert!(!reports[0].needs_attention());
+        assert_eq!(reports[1].status, DriftStatus::Drifted);
+        assert!((reports[1].drift + 0.2).abs() < 1e-12);
+        assert_eq!(reports[2].status, DriftStatus::Stale);
+        assert_eq!(reports[2].id, c);
+        assert!(reports[2].needs_attention());
+    }
+
+    #[test]
+    fn improvement_drift_is_also_flagged() {
+        let mut detector = DriftDetector::new(0.05);
+        let id = detector.track(vec![WorkerId(0)], 1.0, Prior::uniform(), 0.7, 1);
+        let reports = detector.scan_with(|_, _| Some(0.9));
+        assert_eq!(reports[0].id, id);
+        assert_eq!(reports[0].status, DriftStatus::Drifted);
+        assert!(reports[0].drift > 0.0);
+    }
+
+    #[test]
+    fn rebaseline_commits_new_members_and_quality() {
+        let mut detector = DriftDetector::new(0.05);
+        let (a, _) = track_pair(&mut detector);
+        assert!(detector.rebaseline(a, vec![WorkerId(0), WorkerId(3)], 0.95, 7));
+        let selection = detector.get(a).unwrap();
+        assert_eq!(selection.members(), &[WorkerId(0), WorkerId(3)]);
+        assert!((selection.baseline_quality() - 0.95).abs() < 1e-12);
+        assert_eq!(selection.epoch(), 7);
+        assert!(!detector.rebaseline(SelectionId(99), vec![], 0.5, 0));
+    }
+
+    #[test]
+    fn bad_thresholds_clamp_to_zero() {
+        assert_eq!(DriftDetector::new(f64::NAN).threshold(), 0.0);
+        assert_eq!(DriftDetector::new(-1.0).threshold(), 0.0);
+        assert_eq!(DriftDetector::new(0.1).threshold(), 0.1);
+    }
+}

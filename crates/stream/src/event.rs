@@ -1,0 +1,85 @@
+//! The unit of streaming input: one worker's answer to one task.
+
+use jury_model::{Answer, Label, TaskId, WorkerId};
+
+/// One streamed answer: `worker` voted `vote` on `task`.
+///
+/// When the task is a *golden question* (ground truth planted in the stream,
+/// as in CDAS \[25\]) the truth rides along in [`AnswerEvent::truth`] and
+/// truth-aware update policies consume it directly; for ordinary tasks the
+/// truth is `None` and the registry falls back to its configured proxy
+/// (majority vote or a periodic Dawid–Skene refit).
+///
+/// Votes are multi-class [`Label`]s; binary streams use the paper's
+/// `{0 = no, 1 = yes}` encoding via the [`AnswerEvent::binary`] and
+/// [`AnswerEvent::golden`] constructors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnswerEvent {
+    /// The worker who answered.
+    pub worker: WorkerId,
+    /// The task being answered.
+    pub task: TaskId,
+    /// The label the worker voted for.
+    pub vote: Label,
+    /// The task's ground truth, when known (golden question).
+    pub truth: Option<Label>,
+}
+
+impl AnswerEvent {
+    /// A multi-class answer, optionally golden.
+    pub fn multiclass(worker: WorkerId, task: TaskId, vote: Label, truth: Option<Label>) -> Self {
+        AnswerEvent {
+            worker,
+            task,
+            vote,
+            truth,
+        }
+    }
+
+    /// A binary answer to an ordinary (non-golden) task.
+    pub fn binary(worker: WorkerId, task: TaskId, vote: Answer) -> Self {
+        AnswerEvent {
+            worker,
+            task,
+            vote: vote.to_label(),
+            truth: None,
+        }
+    }
+
+    /// A binary answer to a golden question with known ground truth.
+    pub fn golden(worker: WorkerId, task: TaskId, vote: Answer, truth: Answer) -> Self {
+        AnswerEvent {
+            worker,
+            task,
+            vote: vote.to_label(),
+            truth: Some(truth.to_label()),
+        }
+    }
+
+    /// Whether the event carries ground truth.
+    pub fn is_golden(&self) -> bool {
+        self.truth.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_encode_the_paper_convention() {
+        let event = AnswerEvent::binary(WorkerId(3), TaskId(7), Answer::Yes);
+        assert_eq!(event.vote, Label(1));
+        assert_eq!(event.truth, None);
+        assert!(!event.is_golden());
+
+        let golden = AnswerEvent::golden(WorkerId(3), TaskId(7), Answer::No, Answer::Yes);
+        assert_eq!(golden.vote, Label(0));
+        assert_eq!(golden.truth, Some(Label(1)));
+        assert!(golden.is_golden());
+
+        let multi = AnswerEvent::multiclass(WorkerId(0), TaskId(1), Label(2), Some(Label(2)));
+        assert_eq!(multi.vote, Label(2));
+        assert!(multi.is_golden());
+    }
+}

@@ -1,0 +1,60 @@
+//! # jury-stream
+//!
+//! Streaming worker-quality state for the online jury-serving loop.
+//!
+//! The paper's pipeline (*"On Optimality of Jury Selection in
+//! Crowdsourcing"*, EDBT 2015) is one-shot: estimate worker qualities,
+//! solve the Jury Selection Problem once, hand out the jury. A long-running
+//! service cannot stop there — answers keep streaming in, the estimates
+//! keep moving, and a jury that was optimal at selection time can silently
+//! go stale. This crate supplies the two stateful pieces that close the
+//! loop (the related literature motivates both: posterior-style online
+//! quality tracking follows the *bandit survey* line of work, and the
+//! refit policy grounds in Dawid & Skene's EM):
+//!
+//! * [`WorkerRegistry`] — per-worker streaming quality state: a Beta
+//!   posterior over binary accuracy and Dirichlet-counted confusion rows
+//!   for multi-class, folded forward one [`AnswerEvent`] at a time under a
+//!   configurable notion of truth ([`UpdatePolicy`]: golden questions,
+//!   majority-vote proxy, or periodic Dawid–Skene refits via `jury-sim`).
+//!   Snapshots ([`WorkerRegistry::snapshot_pool`] /
+//!   [`WorkerRegistry::snapshot_matrix_pool`]) produce the pool shapes the
+//!   solvers consume, keeping worker ids stable across snapshots.
+//! * [`DriftDetector`] — a ledger of handed-out selections that re-scores
+//!   each against fresh estimates through a caller-supplied scorer and
+//!   flags the ones whose quality moved past a threshold
+//!   ([`DriftStatus::Drifted`]) or that can no longer be scored at all
+//!   ([`DriftStatus::Stale`]).
+//!
+//! The repair step that acts on flagged juries lives upstream:
+//! `jury-selection::repair_jury` performs the swap search and
+//! `jury-service` wires registry, detector, cache, and solvers into
+//! `repair` / `repair_batch` endpoints.
+//!
+//! ```
+//! use jury_model::{Answer, TaskId, WorkerId};
+//! use jury_stream::{AnswerEvent, RegistryConfig, WorkerRegistry};
+//!
+//! let mut registry = WorkerRegistry::new(RegistryConfig::default()).unwrap();
+//! registry.register(WorkerId(0), 1.0).unwrap();
+//! // Ten golden questions, all answered correctly.
+//! for t in 0..10u64 {
+//!     let event = AnswerEvent::golden(WorkerId(0), TaskId(t), Answer::Yes, Answer::Yes);
+//!     registry.observe(event).unwrap();
+//! }
+//! let estimate = registry.estimate(WorkerId(0)).unwrap();
+//! assert!(estimate.mean > 0.9);
+//! let pool = registry.snapshot_pool().unwrap(); // ready for the solvers
+//! assert_eq!(pool.ids(), vec![WorkerId(0)]);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod drift;
+pub mod event;
+pub mod registry;
+
+pub use drift::{DriftDetector, DriftReport, DriftStatus, SelectionId, TrackedSelection};
+pub use event::AnswerEvent;
+pub use registry::{QualityEstimate, RegistryConfig, UpdatePolicy, WorkerRegistry};

@@ -1,0 +1,708 @@
+//! Per-worker streaming quality state.
+//!
+//! The registry is the online counterpart of `jury-sim`'s batch estimators:
+//! instead of scoring a finished [`jury_model::CrowdDataset`], it folds one
+//! [`AnswerEvent`] at a time into conjugate posteriors — a Beta posterior
+//! over each worker's binary accuracy and Dirichlet-counted confusion rows
+//! for multi-class — and can snapshot the current point estimates into the
+//! `WorkerPool` / `MatrixPool` shapes the solvers consume.
+//!
+//! Three update policies decide what counts as "the truth" for an incoming
+//! vote, mirroring the estimator spectrum of `jury-sim::estimation`:
+//!
+//! * [`UpdatePolicy::GoldenTruth`] — only golden questions (events carrying
+//!   ground truth) update the posteriors; everything else is ignored.
+//! * [`UpdatePolicy::MajorityProxy`] — votes buffer per task until
+//!   `min_votes` arrive, then the majority label becomes the proxy truth
+//!   (ties wait for more votes); golden events resolve their task
+//!   immediately.
+//! * [`UpdatePolicy::PeriodicDawidSkene`] — binary streams only: votes are
+//!   logged, golden events update immediately, and every `refit_every`
+//!   events the full log is refit with `jury-sim`'s Dawid–Skene EM, which
+//!   re-anchors every Beta posterior at the EM estimate.
+
+use std::collections::BTreeMap;
+
+use jury_model::{
+    Answer, ConfusionMatrix, Label, MatrixPool, ModelError, ModelResult, Prior, TaskId, WorkerId,
+    WorkerPool,
+};
+use jury_sim::dawid_skene::{self, DawidSkeneConfig};
+use jury_sim::estimation::dataset_from_votes;
+
+use crate::event::AnswerEvent;
+
+/// How the registry decides what the truth of a voted task is.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum UpdatePolicy {
+    /// Update only on golden questions (events carrying ground truth).
+    GoldenTruth,
+    /// Resolve each task's truth to the majority label once `min_votes`
+    /// votes arrived (ties wait for more votes); golden events resolve
+    /// immediately. Every buffered vote is scored against the resolved
+    /// label, and later votes on a resolved task score immediately.
+    MajorityProxy {
+        /// Votes a task needs before its majority is trusted.
+        min_votes: usize,
+    },
+    /// Log every (binary) vote and refit the whole log with the Dawid–Skene
+    /// EM every `refit_every` events, re-anchoring the Beta posteriors at
+    /// the EM estimates; golden events also update immediately.
+    PeriodicDawidSkene {
+        /// Events between refits.
+        refit_every: u64,
+    },
+}
+
+/// Configuration of a [`WorkerRegistry`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegistryConfig {
+    /// Beta prior pseudo-count on *correct* answers (`a₀`); with
+    /// `prior_wrong` this anchors new workers at
+    /// `a₀ / (a₀ + b₀)` accuracy.
+    pub prior_correct: f64,
+    /// Beta prior pseudo-count on *wrong* answers (`b₀`).
+    pub prior_wrong: f64,
+    /// Dirichlet pseudo-count per confusion-matrix cell.
+    pub dirichlet_prior: f64,
+    /// Number of labels `ℓ` tracked by the confusion rows (2 = binary).
+    pub num_choices: usize,
+    /// What counts as truth for an incoming vote.
+    pub policy: UpdatePolicy,
+}
+
+impl Default for RegistryConfig {
+    fn default() -> Self {
+        RegistryConfig {
+            prior_correct: 1.0,
+            prior_wrong: 1.0,
+            dirichlet_prior: 1.0,
+            num_choices: 2,
+            policy: UpdatePolicy::GoldenTruth,
+        }
+    }
+}
+
+impl RegistryConfig {
+    fn validate(&self) -> ModelResult<()> {
+        for &(prior, what) in &[
+            (self.prior_correct, "prior_correct"),
+            (self.prior_wrong, "prior_wrong"),
+            (self.dirichlet_prior, "dirichlet_prior"),
+        ] {
+            if !prior.is_finite() || prior <= 0.0 {
+                return Err(ModelError::InvalidPriorVector {
+                    reason: format!("{what} {prior} must be finite and positive"),
+                });
+            }
+        }
+        if self.num_choices < 2 {
+            return Err(ModelError::InvalidConfusionMatrix {
+                reason: format!("{} choices; need at least 2", self.num_choices),
+            });
+        }
+        match self.policy {
+            UpdatePolicy::MajorityProxy { min_votes: 0 } => Err(ModelError::Empty {
+                what: "majority-proxy vote quorum",
+            }),
+            UpdatePolicy::PeriodicDawidSkene { refit_every: 0 } => Err(ModelError::Empty {
+                what: "Dawid–Skene refit interval",
+            }),
+            UpdatePolicy::PeriodicDawidSkene { .. } if self.num_choices != 2 => {
+                Err(ModelError::InvalidConfusionMatrix {
+                    reason: format!(
+                        "the Dawid–Skene refit policy is binary-only, got {} choices",
+                        self.num_choices
+                    ),
+                })
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+/// A point estimate of one worker's binary accuracy, with uncertainty.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QualityEstimate {
+    /// Posterior mean accuracy `a / (a + b)`.
+    pub mean: f64,
+    /// Width of the central credible interval, `2·σ` of the Beta posterior:
+    /// shrinks as `O(1/√observations)`, so callers can gate decisions on how
+    /// settled an estimate is.
+    pub credible_width: f64,
+    /// Number of truth-scored answers folded in (pseudo-counts excluded).
+    pub observations: u64,
+}
+
+/// Per-worker streaming state.
+#[derive(Debug, Clone)]
+struct WorkerState {
+    cost: f64,
+    /// Beta posterior pseudo-count of correct answers (prior included).
+    correct: f64,
+    /// Beta posterior pseudo-count of wrong answers (prior included).
+    wrong: f64,
+    /// Dirichlet confusion counts, row-major `ℓ × ℓ` (prior included).
+    confusion: Vec<f64>,
+    observations: u64,
+}
+
+/// Streaming per-worker quality state over a stream of [`AnswerEvent`]s.
+///
+/// See the [module docs](self) for the update policies. Snapshots
+/// ([`WorkerRegistry::snapshot_pool`] / [`snapshot_matrix_pool`]) keep the
+/// ids the answers were observed under, so selections made on one snapshot
+/// can be re-scored or repaired against a later one.
+///
+/// [`snapshot_matrix_pool`]: WorkerRegistry::snapshot_matrix_pool
+#[derive(Debug, Clone)]
+pub struct WorkerRegistry {
+    config: RegistryConfig,
+    workers: BTreeMap<WorkerId, WorkerState>,
+    /// Majority-proxy state: tasks whose truth is settled, and buffered
+    /// votes for tasks still short of the quorum.
+    resolved: BTreeMap<TaskId, Label>,
+    pending: BTreeMap<TaskId, Vec<(WorkerId, Label)>>,
+    /// Dawid–Skene state: the full binary vote log.
+    vote_log: Vec<(TaskId, WorkerId, Answer)>,
+    events_seen: u64,
+    epoch: u64,
+}
+
+impl WorkerRegistry {
+    /// Creates an empty registry, validating the configuration.
+    pub fn new(config: RegistryConfig) -> ModelResult<Self> {
+        config.validate()?;
+        Ok(WorkerRegistry {
+            config,
+            workers: BTreeMap::new(),
+            resolved: BTreeMap::new(),
+            pending: BTreeMap::new(),
+            vote_log: Vec::new(),
+            events_seen: 0,
+            epoch: 0,
+        })
+    }
+
+    /// The configuration the registry was built with.
+    pub fn config(&self) -> &RegistryConfig {
+        &self.config
+    }
+
+    /// Registers a worker at the prior estimate. Errors on duplicate ids
+    /// and invalid costs.
+    pub fn register(&mut self, id: WorkerId, cost: f64) -> ModelResult<()> {
+        self.register_with_quality(id, self.config.prior_correct_mean(), 0.0, cost)
+    }
+
+    /// Registers a worker with an initial quality estimate worth `strength`
+    /// pseudo-observations — e.g. carried over from a batch estimator
+    /// before the stream starts.
+    pub fn register_with_quality(
+        &mut self,
+        id: WorkerId,
+        quality: f64,
+        strength: f64,
+        cost: f64,
+    ) -> ModelResult<()> {
+        if !(0.0..=1.0).contains(&quality) || !quality.is_finite() {
+            return Err(ModelError::InvalidQuality { value: quality });
+        }
+        if !strength.is_finite() || strength < 0.0 {
+            return Err(ModelError::InvalidQuality { value: strength });
+        }
+        if !cost.is_finite() || cost < 0.0 {
+            return Err(ModelError::InvalidCost { value: cost });
+        }
+        if self.workers.contains_key(&id) {
+            return Err(ModelError::DuplicateWorker { id: id.raw() });
+        }
+        let choices = self.config.num_choices;
+        // Seed the confusion counts with the symmetric matrix the quality
+        // induces, spread evenly over rows, on top of the Dirichlet prior.
+        let mut confusion = vec![self.config.dirichlet_prior; choices * choices];
+        if strength > 0.0 {
+            let seed = ConfusionMatrix::from_quality(quality, choices)?;
+            let per_row = strength / choices as f64;
+            for (j, cell) in confusion.iter_mut().enumerate() {
+                let (truth, vote) = (j / choices, j % choices);
+                *cell += per_row * seed.prob(Label(truth), Label(vote));
+            }
+        }
+        self.workers.insert(
+            id,
+            WorkerState {
+                cost,
+                correct: self.config.prior_correct + quality * strength,
+                wrong: self.config.prior_wrong + (1.0 - quality) * strength,
+                confusion,
+                observations: 0,
+            },
+        );
+        self.epoch += 1;
+        Ok(())
+    }
+
+    /// Whether a worker is registered.
+    pub fn is_registered(&self, id: WorkerId) -> bool {
+        self.workers.contains_key(&id)
+    }
+
+    /// The registered worker ids, ascending.
+    pub fn ids(&self) -> Vec<WorkerId> {
+        self.workers.keys().copied().collect()
+    }
+
+    /// Number of registered workers.
+    pub fn len(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Whether no workers are registered.
+    pub fn is_empty(&self) -> bool {
+        self.workers.is_empty()
+    }
+
+    /// Total number of events observed (including ones the policy ignored).
+    pub fn events_seen(&self) -> u64 {
+        self.events_seen
+    }
+
+    /// Monotone counter bumped on every estimate change — snapshot this
+    /// alongside a selection so a drift scan can tell which estimates the
+    /// selection was scored against.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Folds one answer event into the registry under the configured
+    /// update policy. Errors when the worker is unregistered or the vote /
+    /// truth labels are out of range for `num_choices`.
+    pub fn observe(&mut self, event: AnswerEvent) -> ModelResult<()> {
+        if !self.workers.contains_key(&event.worker) {
+            return Err(ModelError::UnknownWorker {
+                id: event.worker.raw(),
+            });
+        }
+        event.vote.validate(self.config.num_choices)?;
+        if let Some(truth) = event.truth {
+            truth.validate(self.config.num_choices)?;
+        }
+        self.events_seen += 1;
+
+        match self.config.policy {
+            UpdatePolicy::GoldenTruth => {
+                if let Some(truth) = event.truth {
+                    self.score(event.worker, event.vote, truth);
+                }
+            }
+            UpdatePolicy::MajorityProxy { min_votes } => {
+                self.observe_majority(event, min_votes);
+            }
+            UpdatePolicy::PeriodicDawidSkene { refit_every } => {
+                // Binary-only (enforced at construction): log the vote for
+                // the next refit; golden events also score immediately.
+                let answer = event.vote.to_answer()?;
+                self.vote_log.push((event.task, event.worker, answer));
+                if let Some(truth) = event.truth {
+                    self.score(event.worker, event.vote, truth);
+                }
+                if self.events_seen.is_multiple_of(refit_every) {
+                    self.refit_dawid_skene()?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn observe_majority(&mut self, event: AnswerEvent, min_votes: usize) {
+        if let Some(truth) = event.truth {
+            // Golden: settle the task, flush anything buffered on it.
+            self.resolved.insert(event.task, truth);
+            if let Some(buffered) = self.pending.remove(&event.task) {
+                for (worker, vote) in buffered {
+                    self.score(worker, vote, truth);
+                }
+            }
+            self.score(event.worker, event.vote, truth);
+            return;
+        }
+        if let Some(&truth) = self.resolved.get(&event.task) {
+            self.score(event.worker, event.vote, truth);
+            return;
+        }
+        let buffered = self.pending.entry(event.task).or_default();
+        buffered.push((event.worker, event.vote));
+        if buffered.len() < min_votes {
+            return;
+        }
+        // Majority over the buffer; a tie keeps buffering (the proxy truth
+        // is not trustworthy yet).
+        let mut tallies = vec![0usize; self.config.num_choices];
+        for &(_, vote) in buffered.iter() {
+            tallies[vote.index()] += 1;
+        }
+        let top = *tallies.iter().max().expect("num_choices >= 2");
+        if tallies.iter().filter(|&&t| t == top).count() != 1 {
+            return;
+        }
+        let majority = Label(tallies.iter().position(|&t| t == top).expect("max exists"));
+        let buffered = self.pending.remove(&event.task).expect("buffered above");
+        self.resolved.insert(event.task, majority);
+        for (worker, vote) in buffered {
+            self.score(worker, vote, majority);
+        }
+    }
+
+    /// Scores one vote against a truth label: a Beta observation plus a
+    /// Dirichlet count.
+    fn score(&mut self, worker: WorkerId, vote: Label, truth: Label) {
+        let choices = self.config.num_choices;
+        let state = self.workers.get_mut(&worker).expect("checked by observe");
+        if vote == truth {
+            state.correct += 1.0;
+        } else {
+            state.wrong += 1.0;
+        }
+        state.confusion[truth.index() * choices + vote.index()] += 1.0;
+        state.observations += 1;
+        self.epoch += 1;
+    }
+
+    /// Refits the vote log with the Dawid–Skene EM and re-anchors every
+    /// logged worker's Beta posterior at the EM estimate, weighted by how
+    /// many answers the worker has in the log.
+    fn refit_dawid_skene(&mut self) -> ModelResult<()> {
+        if self.vote_log.is_empty() {
+            return Ok(());
+        }
+        let votes: Vec<(TaskId, WorkerId, Answer)> = self
+            .vote_log
+            .iter()
+            .filter(|(_, worker, _)| self.workers.contains_key(worker))
+            .copied()
+            .collect();
+        let dataset = dataset_from_votes(&votes, Prior::uniform())?;
+        let fit = dawid_skene::fit(&dataset, DawidSkeneConfig::default());
+        let mut answered: BTreeMap<WorkerId, u64> = BTreeMap::new();
+        for &(_, worker, _) in &votes {
+            *answered.entry(worker).or_insert(0) += 1;
+        }
+        for (worker, quality) in fit.qualities {
+            let Some(state) = self.workers.get_mut(&worker) else {
+                continue;
+            };
+            let n = answered.get(&worker).copied().unwrap_or(0);
+            state.correct = self.config.prior_correct + quality * n as f64;
+            state.wrong = self.config.prior_wrong + (1.0 - quality) * n as f64;
+            state.observations = n;
+        }
+        self.epoch += 1;
+        Ok(())
+    }
+
+    /// The worker's current binary-accuracy estimate, or `None` when the
+    /// worker is unregistered.
+    pub fn estimate(&self, id: WorkerId) -> Option<QualityEstimate> {
+        let state = self.workers.get(&id)?;
+        let (a, b) = (state.correct, state.wrong);
+        let total = a + b;
+        let variance = a * b / (total * total * (total + 1.0));
+        Some(QualityEstimate {
+            mean: a / total,
+            credible_width: 2.0 * variance.sqrt(),
+            observations: state.observations,
+        })
+    }
+
+    /// The worker's current confusion-matrix estimate (Dirichlet posterior
+    /// means, row by row), or `None` when the worker is unregistered.
+    pub fn confusion(&self, id: WorkerId) -> Option<ModelResult<ConfusionMatrix>> {
+        let state = self.workers.get(&id)?;
+        Some(ConfusionMatrix::from_counts(
+            self.config.num_choices,
+            &state.confusion,
+        ))
+    }
+
+    /// The worker's registered cost.
+    pub fn cost(&self, id: WorkerId) -> Option<f64> {
+        self.workers.get(&id).map(|s| s.cost)
+    }
+
+    /// Snapshots every registered worker's posterior-mean accuracy into a
+    /// [`WorkerPool`] (the shape the binary solvers consume), keeping ids
+    /// and costs.
+    pub fn snapshot_pool(&self) -> ModelResult<WorkerPool> {
+        let estimates: Vec<(WorkerId, f64, f64)> = self
+            .workers
+            .iter()
+            .map(|(&id, state)| {
+                let total = state.correct + state.wrong;
+                (id, state.correct / total, state.cost)
+            })
+            .collect();
+        WorkerPool::from_estimates(&estimates)
+    }
+
+    /// Snapshots every registered worker's confusion estimate into a
+    /// [`MatrixPool`] (the shape the multi-class solvers consume) — this is
+    /// how `MatrixPool` requests ride *estimated* confusion matrices.
+    pub fn snapshot_matrix_pool(&self) -> ModelResult<MatrixPool> {
+        let estimates = self
+            .workers
+            .iter()
+            .map(|(&id, state)| {
+                let confusion =
+                    ConfusionMatrix::from_counts(self.config.num_choices, &state.confusion)?;
+                Ok((id, confusion, state.cost))
+            })
+            .collect::<ModelResult<Vec<_>>>()?;
+        MatrixPool::from_confusions(estimates)
+    }
+}
+
+impl RegistryConfig {
+    fn prior_correct_mean(&self) -> f64 {
+        self.prior_correct / (self.prior_correct + self.prior_wrong)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry(policy: UpdatePolicy) -> WorkerRegistry {
+        WorkerRegistry::new(RegistryConfig {
+            policy,
+            ..RegistryConfig::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn config_validation_rejects_bad_knobs() {
+        let bad_prior = RegistryConfig {
+            prior_correct: 0.0,
+            ..RegistryConfig::default()
+        };
+        assert!(WorkerRegistry::new(bad_prior).is_err());
+        let bad_choices = RegistryConfig {
+            num_choices: 1,
+            ..RegistryConfig::default()
+        };
+        assert!(WorkerRegistry::new(bad_choices).is_err());
+        let bad_quorum = RegistryConfig {
+            policy: UpdatePolicy::MajorityProxy { min_votes: 0 },
+            ..RegistryConfig::default()
+        };
+        assert!(WorkerRegistry::new(bad_quorum).is_err());
+        let multiclass_ds = RegistryConfig {
+            num_choices: 3,
+            policy: UpdatePolicy::PeriodicDawidSkene { refit_every: 10 },
+            ..RegistryConfig::default()
+        };
+        assert!(WorkerRegistry::new(multiclass_ds).is_err());
+    }
+
+    #[test]
+    fn registration_and_estimates() {
+        let mut reg = registry(UpdatePolicy::GoldenTruth);
+        reg.register(WorkerId(0), 1.0).unwrap();
+        assert!(reg.is_registered(WorkerId(0)));
+        assert!(reg.register(WorkerId(0), 1.0).is_err());
+        assert!(reg
+            .register_with_quality(WorkerId(1), 1.5, 10.0, 1.0)
+            .is_err());
+        assert!(reg
+            .register_with_quality(WorkerId(1), 0.8, -1.0, 1.0)
+            .is_err());
+        assert!(reg
+            .register_with_quality(WorkerId(1), 0.8, 10.0, -1.0)
+            .is_err());
+        reg.register_with_quality(WorkerId(1), 0.8, 20.0, 2.0)
+            .unwrap();
+
+        // Uniform prior: a fresh worker sits at 0.5 with wide credibility.
+        let fresh = reg.estimate(WorkerId(0)).unwrap();
+        assert!((fresh.mean - 0.5).abs() < 1e-12);
+        assert_eq!(fresh.observations, 0);
+        // A warm-started worker sits near the seeded quality, tighter.
+        let warm = reg.estimate(WorkerId(1)).unwrap();
+        assert!((warm.mean - (1.0 + 0.8 * 20.0) / 22.0).abs() < 1e-12);
+        assert!(warm.credible_width < fresh.credible_width);
+        assert!(reg.estimate(WorkerId(9)).is_none());
+        assert_eq!(reg.cost(WorkerId(1)), Some(2.0));
+    }
+
+    #[test]
+    fn golden_truth_updates_only_on_golden_events() {
+        let mut reg = registry(UpdatePolicy::GoldenTruth);
+        reg.register(WorkerId(0), 1.0).unwrap();
+        let epoch_before = reg.epoch();
+        reg.observe(AnswerEvent::binary(WorkerId(0), TaskId(0), Answer::Yes))
+            .unwrap();
+        assert_eq!(reg.epoch(), epoch_before, "non-golden must be ignored");
+        for t in 0..10 {
+            reg.observe(AnswerEvent::golden(
+                WorkerId(0),
+                TaskId(t),
+                Answer::Yes,
+                Answer::Yes,
+            ))
+            .unwrap();
+        }
+        let est = reg.estimate(WorkerId(0)).unwrap();
+        assert_eq!(est.observations, 10);
+        assert!((est.mean - 11.0 / 12.0).abs() < 1e-12);
+        assert_eq!(reg.events_seen(), 11);
+        assert!(reg.epoch() > epoch_before);
+    }
+
+    #[test]
+    fn observe_validates_worker_and_labels() {
+        let mut reg = registry(UpdatePolicy::GoldenTruth);
+        reg.register(WorkerId(0), 1.0).unwrap();
+        let unknown = AnswerEvent::binary(WorkerId(5), TaskId(0), Answer::Yes);
+        assert!(matches!(
+            reg.observe(unknown),
+            Err(ModelError::UnknownWorker { id: 5 })
+        ));
+        let bad_vote = AnswerEvent::multiclass(WorkerId(0), TaskId(0), Label(2), None);
+        assert!(reg.observe(bad_vote).is_err());
+        let bad_truth = AnswerEvent::multiclass(WorkerId(0), TaskId(0), Label(0), Some(Label(7)));
+        assert!(reg.observe(bad_truth).is_err());
+    }
+
+    #[test]
+    fn majority_proxy_resolves_at_quorum_and_scores_the_buffer() {
+        let mut reg = registry(UpdatePolicy::MajorityProxy { min_votes: 3 });
+        for w in 0..4 {
+            reg.register(WorkerId(w), 1.0).unwrap();
+        }
+        // Two votes: below quorum, nothing scored.
+        reg.observe(AnswerEvent::binary(WorkerId(0), TaskId(0), Answer::Yes))
+            .unwrap();
+        reg.observe(AnswerEvent::binary(WorkerId(1), TaskId(0), Answer::Yes))
+            .unwrap();
+        assert_eq!(reg.estimate(WorkerId(0)).unwrap().observations, 0);
+        // Third vote resolves the majority (yes) and scores all three.
+        reg.observe(AnswerEvent::binary(WorkerId(2), TaskId(0), Answer::No))
+            .unwrap();
+        assert_eq!(reg.estimate(WorkerId(0)).unwrap().observations, 1);
+        assert_eq!(reg.estimate(WorkerId(2)).unwrap().observations, 1);
+        assert!(reg.estimate(WorkerId(0)).unwrap().mean > 0.5);
+        assert!(reg.estimate(WorkerId(2)).unwrap().mean < 0.5);
+        // A late vote on the resolved task scores immediately.
+        reg.observe(AnswerEvent::binary(WorkerId(3), TaskId(0), Answer::Yes))
+            .unwrap();
+        assert_eq!(reg.estimate(WorkerId(3)).unwrap().observations, 1);
+    }
+
+    #[test]
+    fn majority_proxy_ties_wait_and_goldens_resolve_immediately() {
+        let mut reg = registry(UpdatePolicy::MajorityProxy { min_votes: 2 });
+        for w in 0..3 {
+            reg.register(WorkerId(w), 1.0).unwrap();
+        }
+        reg.observe(AnswerEvent::binary(WorkerId(0), TaskId(0), Answer::Yes))
+            .unwrap();
+        reg.observe(AnswerEvent::binary(WorkerId(1), TaskId(0), Answer::No))
+            .unwrap();
+        // 1–1 tie at quorum: still unresolved.
+        assert_eq!(reg.estimate(WorkerId(0)).unwrap().observations, 0);
+        // A golden event settles the task and flushes the buffer.
+        reg.observe(AnswerEvent::golden(
+            WorkerId(2),
+            TaskId(0),
+            Answer::Yes,
+            Answer::Yes,
+        ))
+        .unwrap();
+        assert_eq!(reg.estimate(WorkerId(0)).unwrap().observations, 1);
+        assert_eq!(reg.estimate(WorkerId(1)).unwrap().observations, 1);
+        assert!(reg.estimate(WorkerId(1)).unwrap().mean < 0.5);
+    }
+
+    #[test]
+    fn dawid_skene_refit_reanchors_the_posteriors() {
+        let mut reg = registry(UpdatePolicy::PeriodicDawidSkene { refit_every: 40 });
+        for w in 0..4 {
+            reg.register(WorkerId(w), 1.0).unwrap();
+        }
+        // Workers 0–2 agree on every task; worker 3 always dissents. The EM
+        // should push the dissenter well below the consensus workers.
+        let mut events = 0u64;
+        for t in 0..10 {
+            let truth = if t % 2 == 0 { Answer::Yes } else { Answer::No };
+            for w in 0..3 {
+                reg.observe(AnswerEvent::binary(WorkerId(w), TaskId(t), truth))
+                    .unwrap();
+                events += 1;
+            }
+            reg.observe(AnswerEvent::binary(WorkerId(3), TaskId(t), truth.flip()))
+                .unwrap();
+            events += 1;
+        }
+        assert_eq!(events, 40, "test must land exactly on the refit boundary");
+        let consensus = reg.estimate(WorkerId(0)).unwrap();
+        let dissenter = reg.estimate(WorkerId(3)).unwrap();
+        assert!(
+            consensus.mean > 0.8,
+            "consensus worker at {}",
+            consensus.mean
+        );
+        assert!(dissenter.mean < 0.3, "dissenter at {}", dissenter.mean);
+        assert_eq!(consensus.observations, 10);
+    }
+
+    #[test]
+    fn snapshots_keep_ids_and_costs() {
+        let mut reg = registry(UpdatePolicy::GoldenTruth);
+        reg.register_with_quality(WorkerId(4), 0.9, 50.0, 3.0)
+            .unwrap();
+        reg.register_with_quality(WorkerId(9), 0.6, 50.0, 1.0)
+            .unwrap();
+        let pool = reg.snapshot_pool().unwrap();
+        assert_eq!(pool.ids(), vec![WorkerId(4), WorkerId(9)]);
+        let strong = pool.get(WorkerId(4)).unwrap();
+        assert!((strong.cost() - 3.0).abs() < 1e-12);
+        assert!(strong.quality() > 0.85);
+
+        let matrices = reg.snapshot_matrix_pool().unwrap();
+        assert_eq!(matrices.len(), 2);
+        let m = reg.confusion(WorkerId(4)).unwrap().unwrap();
+        assert!(m.mean_accuracy() > 0.8);
+        assert!(reg.confusion(WorkerId(0)).is_none());
+    }
+
+    #[test]
+    fn multiclass_confusion_rows_track_golden_truth() {
+        let mut reg = WorkerRegistry::new(RegistryConfig {
+            num_choices: 3,
+            ..RegistryConfig::default()
+        })
+        .unwrap();
+        reg.register(WorkerId(0), 1.0).unwrap();
+        // The worker confuses truth 1 with vote 2, and is right on truth 0.
+        for t in 0..30 {
+            let (truth, vote) = if t % 2 == 0 {
+                (Label(0), Label(0))
+            } else {
+                (Label(1), Label(2))
+            };
+            reg.observe(AnswerEvent::multiclass(
+                WorkerId(0),
+                TaskId(t),
+                vote,
+                Some(truth),
+            ))
+            .unwrap();
+        }
+        let m = reg.confusion(WorkerId(0)).unwrap().unwrap();
+        assert!(m.prob(Label(0), Label(0)) > 0.8);
+        assert!(m.prob(Label(1), Label(2)) > 0.8);
+        // Truth 2 was never observed: the prior keeps the row uniform.
+        assert!((m.prob(Label(2), Label(2)) - 1.0 / 3.0).abs() < 1e-12);
+    }
+}

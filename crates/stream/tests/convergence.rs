@@ -1,0 +1,189 @@
+//! Property tests for the streaming estimators: replaying a simulated
+//! crowdsourcing campaign (the `jury-sim` platform) into the registry must
+//! drive the Beta / Dirichlet posteriors to the workers' latent qualities,
+//! and a drift-free stream must never trip the drift detector.
+
+use jury_model::{Answer, ConfusionMatrix, Label, Prior, TaskId, WorkerId, WorkerPool};
+use jury_sim::platform::{PlatformConfig, SimulatedPlatform};
+use jury_stream::{AnswerEvent, DriftDetector, DriftStatus, RegistryConfig, WorkerRegistry};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Runs a simulated campaign over `num_tasks` tasks in which every worker
+/// answers every task, and replays all votes into the registry as golden
+/// events (the simulation knows each task's planted truth).
+fn replay_campaign(
+    registry: &mut WorkerRegistry,
+    workers: &WorkerPool,
+    num_tasks: usize,
+    seed: u64,
+) {
+    let platform = SimulatedPlatform::new(PlatformConfig {
+        questions_per_hit: 10,
+        assignments_per_hit: workers.len(),
+        reward_per_hit: 0.02,
+    });
+    let truths: Vec<Answer> = (0..num_tasks)
+        .map(|t| if t % 2 == 0 { Answer::Yes } else { Answer::No })
+        .collect();
+    let activity = vec![1.0; workers.len()];
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dataset = platform
+        .run_campaign(workers, &truths, &activity, &mut rng)
+        .unwrap();
+    for (t, record) in dataset.tasks().iter().enumerate() {
+        let truth = record.ground_truth();
+        for vote in record.votes() {
+            registry
+                .observe(AnswerEvent::golden(
+                    vote.worker,
+                    TaskId(t as u64),
+                    vote.answer,
+                    truth,
+                ))
+                .unwrap();
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The Beta posterior mean converges to each worker's latent quality:
+    /// after a 150-task campaign the error is within the posterior's own
+    /// credible width (up to simulation noise), and the snapshot pool
+    /// reports exactly the posterior means.
+    #[test]
+    fn beta_posteriors_converge_to_latent_qualities(
+        qualities in proptest::collection::vec(0.55f64..0.95, 4..8),
+        seed in 0u64..500,
+    ) {
+        let workers = WorkerPool::from_qualities(&qualities).unwrap();
+        let mut registry = WorkerRegistry::new(RegistryConfig::default()).unwrap();
+        for worker in workers.workers() {
+            registry.register(worker.id(), 1.0).unwrap();
+        }
+        replay_campaign(&mut registry, &workers, 150, seed);
+
+        let snapshot = registry.snapshot_pool().unwrap();
+        for worker in workers.workers() {
+            let estimate = registry.estimate(worker.id()).unwrap();
+            prop_assert_eq!(estimate.observations, 150);
+            // credible_width is 2σ of the posterior; 1.5·width = 3σ, plus
+            // slack for the Beta(1,1) prior's pull toward 0.5.
+            let tolerance = 1.5 * estimate.credible_width + 0.03;
+            prop_assert!(
+                (estimate.mean - worker.quality()).abs() < tolerance,
+                "worker {:?}: posterior {} vs latent {} (tolerance {})",
+                worker.id(), estimate.mean, worker.quality(), tolerance
+            );
+            let snapshotted = snapshot.get(worker.id()).unwrap();
+            prop_assert!((snapshotted.quality() - estimate.mean).abs() < 1e-12);
+        }
+    }
+
+    /// The Dirichlet-counted confusion rows converge to the latent
+    /// confusion matrix on a golden multi-class stream.
+    #[test]
+    fn dirichlet_rows_converge_to_the_latent_confusion_matrix(
+        quality in 0.6f64..0.9,
+        seed in 0u64..500,
+    ) {
+        let choices = 3;
+        let latent = ConfusionMatrix::from_quality(quality, choices).unwrap();
+        let mut registry = WorkerRegistry::new(RegistryConfig {
+            num_choices: choices,
+            ..RegistryConfig::default()
+        })
+        .unwrap();
+        registry.register(WorkerId(0), 1.0).unwrap();
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        for t in 0..300u64 {
+            let truth = Label((t % choices as u64) as usize);
+            // Draw the vote from the latent confusion row.
+            let mut u: f64 = rng.gen();
+            let mut vote = Label(choices - 1);
+            for v in 0..choices {
+                u -= latent.prob(truth, Label(v));
+                if u <= 0.0 {
+                    vote = Label(v);
+                    break;
+                }
+            }
+            registry
+                .observe(AnswerEvent::multiclass(WorkerId(0), TaskId(t), vote, Some(truth)))
+                .unwrap();
+        }
+
+        let estimated = registry.confusion(WorkerId(0)).unwrap().unwrap();
+        for truth in 0..choices {
+            for vote in 0..choices {
+                let (t, v) = (Label(truth), Label(vote));
+                prop_assert!(
+                    (estimated.prob(t, v) - latent.prob(t, v)).abs() < 0.15,
+                    "cell ({truth}, {vote}): estimated {} vs latent {}",
+                    estimated.prob(t, v), latent.prob(t, v)
+                );
+            }
+        }
+    }
+
+    /// Regression: a drift-free stream — answers drawn at exactly the
+    /// latent rates the selections were scored against — never flags a
+    /// tracked selection, whichever seed drives the simulation.
+    #[test]
+    fn drift_detector_never_flags_on_a_drift_free_stream(
+        qualities in proptest::collection::vec(0.6f64..0.9, 4..8),
+        seed in 0u64..500,
+    ) {
+        let workers = WorkerPool::from_qualities(&qualities).unwrap();
+        let mut registry = WorkerRegistry::new(RegistryConfig::default()).unwrap();
+        // Warm-start every worker at its latent quality with 400
+        // pseudo-observations, as a batch estimator would.
+        for worker in workers.workers() {
+            registry
+                .register_with_quality(worker.id(), worker.quality(), 400.0, 1.0)
+                .unwrap();
+        }
+
+        // Track one jury per worker triple, baselined at the mean of the
+        // members' current estimates (the stream crate is scorer-agnostic;
+        // the service scores real JQ through its cache).
+        let mut detector = DriftDetector::new(0.05);
+        let ids = workers.ids();
+        let mean_of = |registry: &WorkerRegistry, members: &[WorkerId]| -> f64 {
+            members
+                .iter()
+                .map(|&id| registry.estimate(id).unwrap().mean)
+                .sum::<f64>()
+                / members.len() as f64
+        };
+        for triple in ids.windows(3) {
+            let baseline = mean_of(&registry, triple);
+            detector.track(
+                triple.to_vec(),
+                3.0,
+                Prior::uniform(),
+                baseline,
+                registry.epoch(),
+            );
+        }
+
+        // The stream answers at the latent rates: no drift by construction.
+        replay_campaign(&mut registry, &workers, 150, seed);
+
+        let reports = detector.scan_with(|_, selection| {
+            Some(mean_of(&registry, selection.members()))
+        });
+        for report in reports {
+            prop_assert_eq!(
+                report.status,
+                DriftStatus::Steady,
+                "selection {} drifted by {} on a drift-free stream",
+                report.id, report.drift
+            );
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! End-to-end test of the online serving loop: answers stream into the
+//! worker registry, a jury degrades mid-stream, the drift detector flags
+//! exactly that jury, and the service repairs it to cold-re-solve quality —
+//! while a drift-free control jury is left untouched.
+
+use jury_model::{Answer, Label, Prior, TaskId, WorkerId};
+use jury_service::{
+    JuryService, MultiClassSelectionRequest, RepairOutcome, SelectionRequest, ServiceConfig,
+};
+use jury_stream::{
+    AnswerEvent, DriftDetector, DriftStatus, RegistryConfig, UpdatePolicy, WorkerRegistry,
+};
+
+/// Streams `count` golden answers for `worker`, answering wrong whenever
+/// `t % wrong_every == 0` — a deterministic way to hold a target accuracy.
+fn stream_golden(
+    registry: &mut WorkerRegistry,
+    worker: WorkerId,
+    count: u64,
+    wrong_every: u64,
+    task_offset: u64,
+) {
+    for t in 0..count {
+        let vote = if t % wrong_every == 0 {
+            Answer::No
+        } else {
+            Answer::Yes
+        };
+        registry
+            .observe(AnswerEvent::golden(
+                worker,
+                TaskId(task_offset + t),
+                vote,
+                Answer::Yes,
+            ))
+            .unwrap();
+    }
+}
+
+#[test]
+fn online_loop_detects_and_repairs_mid_stream_degradation() {
+    let service = JuryService::new(ServiceConfig::fast());
+    let mut registry = WorkerRegistry::new(RegistryConfig::default()).unwrap();
+    for w in 0..8 {
+        registry.register(WorkerId(w), 1.0).unwrap();
+    }
+
+    // Phase 1 — the stream establishes two quality tiers: workers 0–3 wrong
+    // every 5th answer (→ ~0.79 posterior mean), workers 4–7 wrong every
+    // 4th (→ ~0.75).
+    for w in 0..8u32 {
+        let wrong_every = if w < 4 { 5 } else { 4 };
+        stream_golden(&mut registry, WorkerId(w), 100, wrong_every, 0);
+    }
+    let top = registry.estimate(WorkerId(0)).unwrap();
+    assert!((top.mean - 81.0 / 102.0).abs() < 1e-12);
+    assert_eq!(top.observations, 100);
+
+    // Hand out two juries and track both. Jury A is selected by the
+    // service on the streamed snapshot; jury B is a disjoint control.
+    let mut detector = DriftDetector::new(0.02);
+    let snapshot = registry.snapshot_pool().unwrap();
+    let response = service
+        .select(&SelectionRequest::new(snapshot.clone(), 3.0).with_prior(Prior::uniform()))
+        .unwrap();
+    assert_eq!(
+        response.worker_ids(),
+        vec![WorkerId(0), WorkerId(1), WorkerId(2)]
+    );
+    let jury_a = detector.track(
+        response.jury.ids(),
+        3.0,
+        Prior::uniform(),
+        response.quality,
+        registry.epoch(),
+    );
+    let control_members = vec![WorkerId(5), WorkerId(6), WorkerId(7)];
+    let control_quality = service
+        .rescore(&snapshot, &control_members, Prior::uniform())
+        .unwrap();
+    let jury_b = detector.track(
+        control_members.clone(),
+        3.0,
+        Prior::uniform(),
+        control_quality,
+        registry.epoch(),
+    );
+
+    // Phase 2 — worker 1 collapses to coin-flipping (Beta counts (81, 21),
+    // so 60 straight wrong answers land it at exactly 0.5) while the
+    // control members keep answering at their usual rate.
+    stream_golden(&mut registry, WorkerId(1), 60, 1, 1000);
+    assert!((registry.estimate(WorkerId(1)).unwrap().mean - 0.5).abs() < 1e-12);
+    for &w in &control_members {
+        stream_golden(&mut registry, w, 40, 4, 2000);
+    }
+
+    // The scan flags exactly the degraded jury.
+    let reports = service.drift_scan(&registry, &detector).unwrap();
+    assert_eq!(reports.len(), 2);
+    let report_a = reports.iter().find(|r| r.id == jury_a).unwrap();
+    let report_b = reports.iter().find(|r| r.id == jury_b).unwrap();
+    assert_eq!(report_a.status, DriftStatus::Drifted);
+    assert!(report_a.drift < -0.02, "drift was {}", report_a.drift);
+    assert_eq!(report_b.status, DriftStatus::Steady);
+
+    // Repair swaps the degraded member out, within the original budget, and
+    // lands within 1e-9 of a cold re-solve on the updated pool.
+    let repaired = service.repair(&registry, &mut detector, jury_a).unwrap();
+    assert!(matches!(
+        repaired.outcome,
+        RepairOutcome::Patched { .. } | RepairOutcome::Resolved
+    ));
+    assert!(!repaired.jury.contains(WorkerId(1)));
+    assert!(repaired.cost <= 3.0 + 1e-9);
+    let cold = service
+        .select(
+            &SelectionRequest::new(registry.snapshot_pool().unwrap(), 3.0)
+                .with_prior(Prior::uniform()),
+        )
+        .unwrap();
+    assert!(
+        (repaired.quality - cold.quality).abs() < 1e-9,
+        "repaired {} vs cold re-solve {}",
+        repaired.quality,
+        cold.quality
+    );
+
+    // The control jury was never touched, and the repaired ledger entry is
+    // steady on the next scan.
+    assert_eq!(
+        detector.get(jury_b).unwrap().members(),
+        &control_members[..]
+    );
+    let reports = service.drift_scan(&registry, &detector).unwrap();
+    assert!(reports.iter().all(|r| r.status == DriftStatus::Steady));
+
+    // Repairing an already-repaired jury is a no-op.
+    let again = service.repair(&registry, &mut detector, jury_a).unwrap();
+    assert_eq!(again.outcome, RepairOutcome::Unchanged);
+    assert_eq!(again.jury.ids(), repaired.jury.ids());
+}
+
+#[test]
+fn majority_proxy_stream_drives_the_same_loop_without_golden_truth() {
+    let service = JuryService::new(ServiceConfig::fast());
+    let mut registry = WorkerRegistry::new(RegistryConfig {
+        policy: UpdatePolicy::MajorityProxy { min_votes: 3 },
+        ..RegistryConfig::default()
+    })
+    .unwrap();
+    for w in 0..4 {
+        registry.register(WorkerId(w), 1.0).unwrap();
+    }
+
+    // Workers 0–2 agree on every task; worker 3 dissents on every other
+    // one. The majority proxy resolves each task at the quorum and scores
+    // everyone — no ground truth ever enters the stream.
+    for t in 0..40u64 {
+        for w in 0..3 {
+            registry
+                .observe(AnswerEvent::binary(WorkerId(w), TaskId(t), Answer::Yes))
+                .unwrap();
+        }
+        let dissent = if t % 2 == 0 { Answer::No } else { Answer::Yes };
+        registry
+            .observe(AnswerEvent::binary(WorkerId(3), TaskId(t), dissent))
+            .unwrap();
+    }
+    let consensus = registry.estimate(WorkerId(0)).unwrap();
+    let dissenter = registry.estimate(WorkerId(3)).unwrap();
+    assert!(consensus.mean > 0.9);
+    assert!((dissenter.mean - consensus.mean).abs() > 0.2);
+
+    // The proxy-estimated snapshot serves selections and drift scans alike.
+    let mut detector = DriftDetector::new(0.05);
+    let response = service
+        .select(
+            &SelectionRequest::new(registry.snapshot_pool().unwrap(), 3.0)
+                .with_prior(Prior::uniform()),
+        )
+        .unwrap();
+    assert!(!response.jury.contains(WorkerId(3)));
+    let id = detector.track(
+        response.jury.ids(),
+        3.0,
+        Prior::uniform(),
+        response.quality,
+        registry.epoch(),
+    );
+    let reports = service.drift_scan(&registry, &detector).unwrap();
+    assert_eq!(reports[0].id, id);
+    assert_eq!(reports[0].status, DriftStatus::Steady);
+}
+
+#[test]
+fn multiclass_requests_ride_streaming_confusion_estimates() {
+    let service = JuryService::new(ServiceConfig::fast());
+    let mut registry = WorkerRegistry::new(RegistryConfig {
+        num_choices: 3,
+        ..RegistryConfig::default()
+    })
+    .unwrap();
+    for w in 0..4 {
+        registry.register(WorkerId(w), 1.0).unwrap();
+    }
+
+    // Workers 0–1 answer correctly except every 6th task; workers 2–3
+    // systematically confuse label 1 with label 2 on every 3rd task.
+    for t in 0..60u64 {
+        let truth = Label((t % 3) as usize);
+        for w in 0..4u32 {
+            let vote = match w {
+                0 | 1 if t % 6 == 0 => Label(((t + 1) % 3) as usize),
+                2 | 3 if t % 3 == 1 => Label(2),
+                _ => truth,
+            };
+            registry
+                .observe(AnswerEvent::multiclass(
+                    WorkerId(w),
+                    TaskId(t),
+                    vote,
+                    Some(truth),
+                ))
+                .unwrap();
+        }
+    }
+
+    // The matrix snapshot carries the *estimated* confusion matrices into
+    // the multi-class serving path.
+    let matrix_pool = registry.snapshot_matrix_pool().unwrap();
+    assert_eq!(matrix_pool.num_choices(), 3);
+    let response = service
+        .select_multiclass(&MultiClassSelectionRequest::new(matrix_pool, 2.0))
+        .unwrap();
+    assert_eq!(response.jury_size(), 2);
+    // Worker 0 (high accuracy) anchors the jury. Note the second seat is
+    // *not* forced to worker 1: worker 2's systematic 1→2 confusion is
+    // itself informative under Bayesian voting, so the solver may prefer
+    // its decorrelated error structure over a clone of worker 0.
+    assert!(response.worker_ids().contains(&WorkerId(0)));
+    assert!(response
+        .worker_ids()
+        .iter()
+        .all(|id| registry.is_registered(*id)));
+    assert!(response.quality > 0.5);
+    assert!(response.cost <= 2.0 + 1e-9);
+}
