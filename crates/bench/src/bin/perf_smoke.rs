@@ -2,17 +2,22 @@
 //! hot paths, written as `BENCH_service.json` so the repo's performance
 //! trajectory accumulates one data point per CI run.
 //!
-//! Three workload families, all median-of-N wall-clock timings:
+//! Four workload families, all wall-clock timings:
 //!
 //! * **annealing step** — one solver-shaped neighbour evaluation (swap a
 //!   jury member, read the JQ, revert) on the from-scratch bucket DP vs.
-//!   the incremental engine;
+//!   the incremental engine (median of N);
 //! * **greedy round** — one marginal-greedy round (score every unselected
-//!   pool member as a single-worker extension), scratch vs. incremental;
+//!   pool member as a single-worker extension), scratch vs. incremental
+//!   (median of N);
 //! * **budget sweeps** — a Figure-1 style budget–quality table through
 //!   `JuryService` under each [`jury_service::SweepPolicy`]: cold
 //!   per-budget solves, the warm marginal sweep, and the warm (seeded)
-//!   annealing sweep.
+//!   annealing sweep (median of N);
+//! * **store contention** — 8 threads of repeated, fully warmed small-pool
+//!   mixed traffic, so every request is served almost entirely from the
+//!   shared JQ store: per-response p50/p99 with the striped store
+//!   (`cache_shards = 8`) vs. the single-lock store (`cache_shards = 1`).
 //!
 //! Usage: `perf_smoke [--out <path.json>] [--iters <n>]
 //! [--check <baseline.json>] [--tolerance <f>]` (defaults:
@@ -33,8 +38,11 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use jury_jq::{BucketCount, BucketJqConfig, BucketJqEstimator, IncrementalJq, IncrementalJqConfig};
-use jury_model::{GaussianWorkerGenerator, Jury, Prior, Worker, WorkerPool};
-use jury_service::{JuryService, ServiceConfig, SweepPolicy};
+use jury_model::{GaussianWorkerGenerator, Jury, MatrixPool, Prior, Worker, WorkerPool};
+use jury_service::{
+    JuryService, MixedRequest, MultiClassSelectionRequest, SelectionRequest, ServiceConfig,
+    SweepPolicy,
+};
 
 /// Bucket resolution shared by the scratch and incremental paths so the
 /// comparison is work-for-work (the paper's experimental budget).
@@ -84,14 +92,86 @@ fn incremental_for(pool: &WorkerPool, members: &[Worker]) -> IncrementalJq {
     engine
 }
 
+/// Threads of the contention workload — enough to oversubscribe one lock
+/// word without outrunning small CI runners.
+const CONTENTION_THREADS: usize = 8;
+
+/// Per-response p50/p99 (µs) of `CONTENTION_THREADS` threads hammering a
+/// service whose JQ store has `shards` shards with repeated small-pool
+/// mixed traffic.
+///
+/// Every distinct request is served once before timing starts, so the
+/// timed loop re-enumerates fully memoized juries: almost all of its work
+/// is JQ-store reads, which makes the p99 a direct probe of lock
+/// contention. Binary budgets all share one signature key space (the JQ
+/// of a jury does not depend on the budget that selected it), so the
+/// traffic spreads across shards by signature hash exactly like real
+/// batch load.
+fn contention_percentiles_us(shards: usize, rounds: usize) -> (f64, f64) {
+    let service = JuryService::new(ServiceConfig::fast().with_cache_shards(shards));
+    let qualities: Vec<f64> = (0..10).map(|w| 0.55 + 0.03 * w as f64).collect();
+    let pool = WorkerPool::from_qualities_and_costs(&qualities, &[1.0; 10]).unwrap();
+    let matrix =
+        MatrixPool::from_qualities_and_costs(&[0.9, 0.8, 0.7, 0.65, 0.6, 0.55], &[1.0; 6], 3)
+            .unwrap();
+    let requests: Vec<MixedRequest> = (2..=9)
+        .map(|budget| MixedRequest::from(SelectionRequest::new(pool.clone(), budget as f64)))
+        .chain((2..=5).map(|budget| {
+            MixedRequest::from(MultiClassSelectionRequest::new(
+                matrix.clone(),
+                budget as f64,
+            ))
+        }))
+        .collect();
+    let serve = |request: &MixedRequest| match request {
+        MixedRequest::Binary(request) => {
+            std::hint::black_box(service.select(request).expect("valid request"));
+        }
+        MixedRequest::MultiClass(request) => {
+            std::hint::black_box(service.select_multiclass(request).expect("valid request"));
+        }
+    };
+    // Warm pass: memoize every JQ value the traffic will ever need.
+    for request in &requests {
+        serve(request);
+    }
+
+    let mut samples: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CONTENTION_THREADS)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::with_capacity(rounds * requests.len());
+                    for _ in 0..rounds {
+                        for request in &requests {
+                            let start = Instant::now();
+                            serve(request);
+                            local.push(start.elapsed().as_secs_f64() * 1e6);
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|handle| handle.join().expect("contention worker panicked"))
+            .collect()
+    });
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    let p50 = samples[samples.len() / 2];
+    let p99 = samples[(samples.len() * 99 / 100).min(samples.len() - 1)];
+    (p50, p99)
+}
+
 /// The machine-independent ratios compared by `--check`. Raw `median_us`
 /// timings shift with the host; these divide two timings from the same run,
 /// so a drop can only come from a real relative slowdown.
-const CHECKED_SPEEDUPS: [&str; 4] = [
+const CHECKED_SPEEDUPS: [&str; 5] = [
     "annealing_step_incremental_vs_scratch",
     "greedy_round_incremental_vs_scratch",
     "sweep_warm_marginal_vs_cold",
     "sweep_warm_annealing_vs_cold",
+    "contention_sharded_vs_single_lock",
 ];
 
 /// Compares the current dump's `speedups` against a baseline file; returns
@@ -236,6 +316,15 @@ fn main() {
     let sweep_warm_marginal = sweep(SweepPolicy::WarmMarginal);
     let sweep_warm_annealing = sweep(SweepPolicy::WarmAnnealing);
 
+    // Store contention: identical warmed traffic against the single-lock
+    // store and the striped store. The single-lock run goes first so both
+    // see the same cold-cpu handicap ordering run-to-run.
+    let contention_rounds = iters.max(1) * 4;
+    let (contention_single_p50, contention_single_p99) =
+        contention_percentiles_us(1, contention_rounds);
+    let (contention_sharded_p50, contention_sharded_p99) =
+        contention_percentiles_us(8, contention_rounds);
+
     let dump = serde_json::json!({
         "schema": "jury-bench/perf-smoke/v1",
         "iters": iters,
@@ -251,12 +340,18 @@ fn main() {
             "sweep_cold": sweep_cold,
             "sweep_warm_marginal": sweep_warm_marginal,
             "sweep_warm_annealing": sweep_warm_annealing,
+            "contention_single_lock_p50": contention_single_p50,
+            "contention_single_lock_p99": contention_single_p99,
+            "contention_sharded_p50": contention_sharded_p50,
+            "contention_sharded_p99": contention_sharded_p99,
         },
+        "contention_threads": CONTENTION_THREADS,
         "speedups": {
             "annealing_step_incremental_vs_scratch": annealing_scratch / annealing_incremental,
             "greedy_round_incremental_vs_scratch": greedy_scratch / greedy_incremental,
             "sweep_warm_marginal_vs_cold": sweep_cold / sweep_warm_marginal,
             "sweep_warm_annealing_vs_cold": sweep_cold / sweep_warm_annealing,
+            "contention_sharded_vs_single_lock": contention_single_p99 / contention_sharded_p99,
         },
     });
     let rendered = serde_json::to_string_pretty(&dump).expect("serializable");

@@ -12,6 +12,11 @@
 //! every repair pass a follow-up scan must come back all-steady — repairs
 //! rebaseline the ledger, and nothing streamed in between.
 //!
+//! Every select and repair runs under a generous per-request deadline, so
+//! the soak also pins that the deadline plumbing is inert when there is
+//! headroom: nothing may come back truncated, and the loop's invariants
+//! hold exactly as they do without deadlines.
+//!
 //! Usage: `soak_smoke [--seconds <n>] [--seed <n>]` (defaults: 45, 7).
 //! Exits non-zero on any violated invariant (assert) or serving error.
 
@@ -36,6 +41,10 @@ const SEED_STRENGTH: f64 = 60.0;
 const BATCH_TASKS: u64 = 30;
 /// Cycles per rotation; the degradation lands mid-rotation.
 const CYCLES_PER_ROTATION: u32 = 8;
+/// Per-request deadline on every select and repair: generous enough that
+/// no search in this workload ever comes close, so any truncation the soak
+/// observes is a real cancellation bug.
+const REQUEST_DEADLINE: Duration = Duration::from_secs(30);
 
 #[derive(Default)]
 struct Counters {
@@ -133,7 +142,11 @@ fn main() {
         let mut detector = DriftDetector::new(0.03);
         let snapshot = registry.snapshot_pool().expect("non-empty registry");
         let selected = service
-            .select(&SelectionRequest::new(snapshot.clone(), BUDGET).with_prior(Prior::uniform()))
+            .select(
+                &SelectionRequest::new(snapshot.clone(), BUDGET)
+                    .with_prior(Prior::uniform())
+                    .with_deadline(REQUEST_DEADLINE),
+            )
             .expect("selection on the streamed snapshot");
         let jury_id = detector.track(
             selected.jury.ids(),
@@ -192,8 +205,12 @@ fn main() {
                 }
                 counters.flagged += 1;
                 let repaired = service
-                    .repair(&registry, &mut detector, report.id)
+                    .repair_with_deadline(&registry, &mut detector, report.id, REQUEST_DEADLINE)
                     .expect("repairing a tracked selection");
+                assert!(
+                    !repaired.truncated,
+                    "a {REQUEST_DEADLINE:?} deadline truncated a soak repair"
+                );
                 assert!(
                     repaired.quality.is_finite()
                         && repaired.quality > 0.5

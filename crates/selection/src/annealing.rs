@@ -38,6 +38,7 @@ use rand::{Rng, SeedableRng};
 
 use jury_model::{Jury, Worker};
 
+use crate::budget::SearchBudget;
 use crate::objective::{IncrementalSession, JuryObjective};
 use crate::problem::JspInstance;
 use crate::solver::{JurySolver, SolverResult};
@@ -153,6 +154,7 @@ impl AnnealingConfig {
 pub struct AnnealingSolver<O: JuryObjective> {
     objective: O,
     config: AnnealingConfig,
+    budget: SearchBudget,
 }
 
 /// Mutable search state: selection flags, the selected jury, and its cost
@@ -219,12 +221,28 @@ impl<O: JuryObjective> AnnealingSolver<O> {
         AnnealingSolver {
             objective,
             config: AnnealingConfig::default(),
+            budget: SearchBudget::unlimited(),
         }
     }
 
     /// Creates a solver with a custom configuration.
     pub fn with_config(objective: O, config: AnnealingConfig) -> Self {
-        AnnealingSolver { objective, config }
+        AnnealingSolver {
+            objective,
+            config,
+            budget: SearchBudget::unlimited(),
+        }
+    }
+
+    /// Bounds the search with a cooperative compute budget: the temperature
+    /// loop and the restart loop poll it and stop early when it is
+    /// exhausted, marking the result [`SolverResult::truncated`]. The best
+    /// jury found before the cutoff is still returned (anytime semantics).
+    /// The default unlimited budget leaves the search bit-identical to a
+    /// budget-free solver.
+    pub fn with_budget(mut self, budget: SearchBudget) -> Self {
+        self.budget = budget;
+        self
     }
 
     /// The annealing configuration.
@@ -344,7 +362,10 @@ impl<O: JuryObjective> AnnealingSolver<O> {
     /// through that session; the returned value is always a fresh batch
     /// evaluation of the final jury, so callers compare restarts and report
     /// results on the objective's own scale.
-    fn anneal_once(&self, instance: &JspInstance, seed: u64, start: &Jury) -> (Jury, f64) {
+    ///
+    /// Returns the jury, its batch-objective value, and whether the search
+    /// budget cut the temperature loop short.
+    fn anneal_once(&self, instance: &JspInstance, seed: u64, start: &Jury) -> (Jury, f64, bool) {
         let n = instance.num_candidates();
         let workers = instance.pool().workers();
         let mut rng = StdRng::seed_from_u64(seed);
@@ -375,10 +396,18 @@ impl<O: JuryObjective> AnnealingSolver<O> {
             }
         }
 
+        let mut truncated = false;
         if n > 0 {
             let mut temperature = self.config.initial_temperature;
-            while temperature >= self.config.epsilon {
+            'cooling: while temperature >= self.config.epsilon {
                 for _ in 0..n {
+                    // Cooperative checkpoint: an unlimited budget answers
+                    // without reading the clock, so budget-free runs keep
+                    // the exact historical RNG stream and step order.
+                    if self.budget.exhausted(self.objective.evaluations()) {
+                        truncated = true;
+                        break 'cooling;
+                    }
                     let r = rng.gen_range(0..n);
                     if !state.selected[r]
                         && state.spent + workers[r].cost() <= instance.budget() + 1e-12
@@ -407,7 +436,7 @@ impl<O: JuryObjective> AnnealingSolver<O> {
                 .current_value
                 .unwrap_or_else(|| self.objective.evaluate(&jury, instance.prior()))
         };
-        (jury, value)
+        (jury, value, truncated)
     }
 
     /// The greedy candidate juries: top-quality-first and
@@ -462,13 +491,19 @@ impl<O: JuryObjective> AnnealingSolver<O> {
 
         let mut best_jury = Jury::empty();
         let mut best_value = self.objective.evaluate(&best_jury, instance.prior());
+        let mut truncated = false;
 
         for restart in 0..self.config.restarts.max(1) {
-            let (jury, value) = self.anneal_once(
+            if self.budget.exhausted(self.objective.evaluations()) {
+                truncated = true;
+                break;
+            }
+            let (jury, value, cut) = self.anneal_once(
                 instance,
                 self.config.seed.wrapping_add(restart as u64),
                 seed_jury,
             );
+            truncated |= cut;
             if value > best_value {
                 best_value = value;
                 best_jury = jury;
@@ -499,6 +534,7 @@ impl<O: JuryObjective> AnnealingSolver<O> {
             evaluations: self.objective.evaluations() - evaluations_before,
             elapsed: start.elapsed(),
             solver: self.name(),
+            truncated,
         }
     }
 }

@@ -11,6 +11,7 @@ use serde::{Deserialize, Serialize};
 
 use jury_model::{Prior, WorkerId, WorkerPool};
 
+use crate::budget::SearchBudget;
 use crate::greedy::MarginalSearch;
 use crate::objective::JuryObjective;
 use crate::problem::JspInstance;
@@ -91,6 +92,28 @@ impl BudgetQualityTable {
         prior: Prior,
         objective: &O,
     ) -> Self {
+        Self::build_warm_budgeted(pool, budgets, prior, objective, SearchBudget::unlimited()).0
+    }
+
+    /// [`Self::build_warm`] bounded by a cooperative [`SearchBudget`]: the
+    /// carried marginal search polls the budget between probes and stops
+    /// extending once it is exhausted. Later rows then repeat the last
+    /// committed jury — still feasible and exactly re-scored, just not
+    /// pushed further (anytime semantics). Returns the table and whether
+    /// the sweep was cut short; an unlimited budget reproduces
+    /// [`Self::build_warm`] bit-identically.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-finite or negative budgets, exactly like
+    /// [`Self::build_warm`].
+    pub fn build_warm_budgeted<O: JuryObjective>(
+        pool: &WorkerPool,
+        budgets: &[f64],
+        prior: Prior,
+        objective: &O,
+        search_budget: SearchBudget,
+    ) -> (Self, bool) {
         // [`Self::build`] panics on invalid budgets through its per-budget
         // instances; this path builds only one instance, so check every
         // budget explicitly — a NaN would otherwise slip through the max
@@ -113,7 +136,7 @@ impl BudgetQualityTable {
         // budget) serves the whole sweep.
         let instance = JspInstance::new(pool.clone(), max_budget, prior)
             .expect("budgets are validated by the caller");
-        let mut search = MarginalSearch::new(objective, &instance);
+        let mut search = MarginalSearch::new(objective, &instance).with_budget(search_budget);
 
         let mut rows: Vec<Option<BudgetQualityRow>> = budgets.iter().map(|_| None).collect();
         for &slot in &order {
@@ -128,12 +151,13 @@ impl BudgetQualityTable {
                 required_budget: search.spent(),
             });
         }
-        BudgetQualityTable {
+        let table = BudgetQualityTable {
             rows: rows
                 .into_iter()
                 .map(|row| row.expect("every requested budget produced a row"))
                 .collect(),
-        }
+        };
+        (table, search.truncated())
     }
 
     /// Builds the table with a **warm-started annealing sweep**: budgets are
@@ -162,6 +186,38 @@ impl BudgetQualityTable {
         objective: &O,
         config: crate::annealing::AnnealingConfig,
     ) -> Self {
+        Self::build_warm_annealing_budgeted(
+            pool,
+            budgets,
+            prior,
+            objective,
+            config,
+            SearchBudget::unlimited(),
+        )
+        .0
+    }
+
+    /// [`Self::build_warm_annealing`] bounded by a cooperative
+    /// [`SearchBudget`]: each seeded solve polls the budget in its
+    /// temperature and restart loops. An exhausted budget truncates the
+    /// remaining solves to their seed/greedy candidates, so every row still
+    /// holds a feasible, exactly re-scored jury (anytime semantics).
+    /// Returns the table and whether any row's solve was cut short; an
+    /// unlimited budget reproduces [`Self::build_warm_annealing`]
+    /// bit-identically.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-finite or negative budgets, exactly like
+    /// [`Self::build_warm_annealing`].
+    pub fn build_warm_annealing_budgeted<O: JuryObjective>(
+        pool: &WorkerPool,
+        budgets: &[f64],
+        prior: Prior,
+        objective: &O,
+        config: crate::annealing::AnnealingConfig,
+        search_budget: SearchBudget,
+    ) -> (Self, bool) {
         for &budget in budgets {
             assert!(
                 budget.is_finite() && budget >= 0.0,
@@ -174,8 +230,10 @@ impl BudgetQualityTable {
                 .partial_cmp(&budgets[b])
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
-        let solver = crate::annealing::AnnealingSolver::with_config(objective, config);
+        let solver = crate::annealing::AnnealingSolver::with_config(objective, config)
+            .with_budget(search_budget);
 
+        let mut truncated = false;
         let mut carried = jury_model::Jury::empty();
         let mut rows: Vec<Option<BudgetQualityRow>> = budgets.iter().map(|_| None).collect();
         for &slot in &order {
@@ -183,6 +241,7 @@ impl BudgetQualityTable {
             let instance = JspInstance::new(pool.clone(), budget, prior)
                 .expect("budgets are validated by the caller");
             let result = solver.solve_seeded(&instance, &carried);
+            truncated |= result.truncated;
             let mut jury = result.jury.ids();
             jury.sort();
             rows[slot] = Some(BudgetQualityRow {
@@ -193,12 +252,13 @@ impl BudgetQualityTable {
             });
             carried = result.jury;
         }
-        BudgetQualityTable {
+        let table = BudgetQualityTable {
             rows: rows
                 .into_iter()
                 .map(|row| row.expect("every requested budget produced a row"))
                 .collect(),
-        }
+        };
+        (table, truncated)
     }
 
     /// Assembles a table from pre-computed rows (in budget order). Used by

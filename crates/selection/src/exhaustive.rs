@@ -79,6 +79,7 @@ impl<O: JuryObjective> ExhaustiveSolver<O> {
             evaluations: self.objective.evaluations() - evaluations_before,
             elapsed: start.elapsed(),
             solver: self.name(),
+            truncated: false,
         }
     }
 }

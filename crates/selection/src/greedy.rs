@@ -22,6 +22,7 @@ use std::time::Instant;
 
 use jury_model::{Jury, Prior, Worker};
 
+use crate::budget::SearchBudget;
 use crate::objective::{IncrementalSession, JuryObjective};
 use crate::problem::JspInstance;
 use crate::solver::{JurySolver, SolverResult};
@@ -86,6 +87,7 @@ where
         evaluations: objective.evaluations() - evaluations_before,
         elapsed: start.elapsed(),
         solver: solver_name,
+        truncated: false,
     }
 }
 
@@ -126,12 +128,25 @@ impl<O: JuryObjective> JurySolver for GreedyRatioSolver<O> {
 /// best extension scores below the current jury.
 pub struct GreedyMarginalSolver<O: JuryObjective> {
     objective: O,
+    budget: SearchBudget,
 }
 
 impl<O: JuryObjective> GreedyMarginalSolver<O> {
     /// Creates the solver.
     pub fn new(objective: O) -> Self {
-        GreedyMarginalSolver { objective }
+        GreedyMarginalSolver {
+            objective,
+            budget: SearchBudget::unlimited(),
+        }
+    }
+
+    /// Bounds the forward selection with a cooperative compute budget: the
+    /// probe loop polls it and stops early when it is exhausted, marking
+    /// the result [`SolverResult::truncated`] while keeping the jury
+    /// committed so far (anytime semantics).
+    pub fn with_budget(mut self, budget: SearchBudget) -> Self {
+        self.budget = budget;
+        self
     }
 }
 
@@ -157,6 +172,8 @@ pub(crate) struct MarginalSearch<'a, O: JuryObjective> {
     spent: f64,
     session: Option<Box<dyn IncrementalSession + 'a>>,
     current_value: f64,
+    budget: SearchBudget,
+    truncated: bool,
 }
 
 impl<'a, O: JuryObjective> MarginalSearch<'a, O> {
@@ -177,7 +194,21 @@ impl<'a, O: JuryObjective> MarginalSearch<'a, O> {
             spent: 0.0,
             session,
             current_value,
+            budget: SearchBudget::unlimited(),
+            truncated: false,
         }
+    }
+
+    /// Bounds the probe loop with a cooperative compute budget; see
+    /// [`GreedyMarginalSolver::with_budget`].
+    pub(crate) fn with_budget(mut self, budget: SearchBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Whether a budget checkpoint cut the last `extend_to` short.
+    pub(crate) fn truncated(&self) -> bool {
+        self.truncated
     }
 
     /// The jury committed so far.
@@ -203,6 +234,14 @@ impl<'a, O: JuryObjective> MarginalSearch<'a, O> {
         loop {
             let mut best: Option<(usize, f64)> = None;
             for (index, worker) in workers.iter().enumerate() {
+                // Cooperative checkpoint, placed between probes so the
+                // push/pop session stays balanced; an exhausted budget
+                // abandons the uncommitted round and keeps the jury built
+                // so far (anytime semantics).
+                if self.budget.exhausted(self.objective.evaluations()) {
+                    self.truncated = true;
+                    return;
+                }
                 if self.selected[index] || self.spent + worker.cost() > budget + 1e-12 {
                     continue;
                 }
@@ -256,7 +295,7 @@ impl<O: JuryObjective> JurySolver for GreedyMarginalSolver<O> {
     fn solve(&self, instance: &JspInstance) -> SolverResult {
         let start = Instant::now();
         let evaluations_before = self.objective.evaluations();
-        let mut search = MarginalSearch::new(&self.objective, instance);
+        let mut search = MarginalSearch::new(&self.objective, instance).with_budget(self.budget);
         search.extend_to(instance.pool().workers(), instance.budget());
 
         // Session values are quantized guidance; report the batch
@@ -269,6 +308,7 @@ impl<O: JuryObjective> JurySolver for GreedyMarginalSolver<O> {
             evaluations: self.objective.evaluations() - evaluations_before,
             elapsed: start.elapsed(),
             solver: self.name(),
+            truncated: search.truncated(),
         }
     }
 }

@@ -39,6 +39,7 @@
 #![forbid(unsafe_code)]
 
 pub mod annealing;
+pub mod budget;
 pub mod budget_table;
 pub mod exhaustive;
 pub mod greedy;
@@ -51,6 +52,7 @@ pub mod solver;
 pub mod special;
 
 pub use annealing::{AnnealingConfig, AnnealingSolver};
+pub use budget::SearchBudget;
 pub use budget_table::{BudgetQualityRow, BudgetQualityTable};
 pub use exhaustive::{ExhaustiveSolver, MAX_EXHAUSTIVE_POOL};
 pub use greedy::{GreedyMarginalSolver, GreedyQualitySolver, GreedyRatioSolver};

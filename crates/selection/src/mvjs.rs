@@ -95,6 +95,7 @@ impl MvjsSolver {
             evaluations: objective.evaluations() - evaluations_before,
             elapsed: start.elapsed(),
             solver: self.name(),
+            truncated: false,
         }
     }
 

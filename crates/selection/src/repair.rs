@@ -23,6 +23,7 @@ use std::time::{Duration, Instant};
 
 use jury_model::{Jury, ModelError, ModelResult, Prior, Worker, WorkerId};
 
+use crate::budget::SearchBudget;
 use crate::objective::{IncrementalSession, JuryObjective};
 use crate::problem::JspInstance;
 
@@ -37,6 +38,11 @@ pub struct RepairConfig {
     /// matches the probe-tie tolerance of the greedy searches, so JQ
     /// plateaus (which are real) cannot make the search cycle.
     pub tolerance: f64,
+    /// Cooperative compute budget checked between repair rounds. Because
+    /// rounds only ever commit improving (or tie-push) moves, a repair cut
+    /// short by the budget still never hands back a jury worse than the
+    /// one it was given.
+    pub budget: SearchBudget,
 }
 
 impl Default for RepairConfig {
@@ -44,7 +50,17 @@ impl Default for RepairConfig {
         RepairConfig {
             max_rounds: 64,
             tolerance: 1e-9,
+            budget: SearchBudget::unlimited(),
         }
+    }
+}
+
+impl RepairConfig {
+    /// Bounds the swap search with a cooperative compute budget; see
+    /// [`RepairConfig::budget`].
+    pub fn with_budget(mut self, budget: SearchBudget) -> Self {
+        self.budget = budget;
+        self
     }
 }
 
@@ -67,6 +83,10 @@ pub struct RepairResult {
     pub evaluations: u64,
     /// Wall-clock time of the search.
     pub elapsed: Duration,
+    /// Whether [`RepairConfig::budget`] cut the swap search short. The
+    /// jury is still at least as good as the input (only improving moves
+    /// commit), just possibly not yet swap-stable.
+    pub truncated: bool,
 }
 
 impl RepairResult {
@@ -157,7 +177,15 @@ pub fn repair_jury<O: JuryObjective>(
 
     let mut swaps = 0usize;
     let mut pushes = 0usize;
+    let mut truncated = false;
     for _round in 0..config.max_rounds {
+        // Cooperative checkpoint between rounds: the committed jury is
+        // always a valid (never-worse) answer, so stopping here keeps the
+        // anytime contract.
+        if config.budget.exhausted(objective.evaluations()) {
+            truncated = true;
+            break;
+        }
         let mut best: Option<(Move, f64)> = None;
         let mut best_push: Option<(Move, f64)> = None;
         let consider = |slot: &mut Option<(Move, f64)>, mv: Move, value: f64| {
@@ -304,6 +332,7 @@ pub fn repair_jury<O: JuryObjective>(
         pushes,
         evaluations: objective.evaluations() - evaluations_before,
         elapsed: start.elapsed(),
+        truncated,
     })
 }
 

@@ -52,6 +52,10 @@ pub struct SolverResult {
     pub elapsed: Duration,
     /// The solver's name, for reports.
     pub solver: &'static str,
+    /// Whether a [`crate::SearchBudget`] cut the search short. The jury is
+    /// still the best found before the cutoff (anytime semantics); exact
+    /// solvers and unbudgeted runs always report `false`.
+    pub truncated: bool,
 }
 
 impl SolverResult {
@@ -100,6 +104,7 @@ mod tests {
             evaluations: 3,
             elapsed: Duration::from_millis(5),
             solver: "test",
+            truncated: false,
         };
         assert_eq!(result.size(), 2);
         assert_eq!(result.cost(), 0.0);

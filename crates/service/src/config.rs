@@ -47,6 +47,38 @@ pub enum SweepPolicy {
     WarmAnnealing,
 }
 
+/// What [`crate::JuryService::select_batch`] (and the other batch entry
+/// points) does with a request that arrives while
+/// [`ServiceConfig::max_in_flight`] requests are already being served.
+///
+/// The admission gate never blocks and never queues unboundedly: an
+/// over-capacity request is either rejected immediately or served in a
+/// cheaper mode, so a batch can not hang behind a stuck solver.
+///
+/// ```
+/// use jury_service::{OverloadPolicy, ServiceConfig};
+///
+/// // Shed: over-capacity slots come back as `ServiceError::Overloaded`.
+/// let shedding = ServiceConfig::fast().with_max_in_flight(2);
+/// assert_eq!(shedding.overload, OverloadPolicy::Shed);
+///
+/// // Coarsen: over-capacity requests are served with the greedy solver.
+/// let coarsening = shedding.with_overload_policy(OverloadPolicy::Coarsen);
+/// assert_eq!(coarsening.overload, OverloadPolicy::Coarsen);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OverloadPolicy {
+    /// Reject over-capacity requests with
+    /// [`crate::ServiceError::Overloaded`] — load shedding. The default:
+    /// callers that care can retry, and nothing silently degrades.
+    Shed,
+    /// Serve over-capacity requests anyway, but downgrade their solver
+    /// policy to [`crate::SolverPolicy::Greedy`] — a bounded-work search
+    /// whose jury never falls below the greedy floor. The response's
+    /// `policy` field records the downgrade.
+    Coarsen,
+}
+
 /// Configuration of a [`crate::JuryService`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServiceConfig {
@@ -65,9 +97,22 @@ pub struct ServiceConfig {
     /// evaluations share this one store (their signature key spaces are
     /// disjoint); [`crate::CacheStats`] reports per-kind counters.
     pub cache_capacity: usize,
+    /// Number of stripes the shared JQ store is split into. Each cache key
+    /// hashes deterministically to one stripe with its own lock and
+    /// counters, so batch worker threads touching different keys do not
+    /// contend; `1` restores the historical single-lock store, `0` is
+    /// promoted to `1`.
+    pub cache_shards: usize,
     /// Worker threads used by [`crate::JuryService::select_batch`] and the
     /// other batch entry points; `0` means one per available CPU core.
     pub batch_threads: usize,
+    /// Maximum requests the batch entry points serve concurrently before
+    /// the [`OverloadPolicy`] kicks in; `0` disables admission control
+    /// entirely (every request is served at full fidelity).
+    pub max_in_flight: usize,
+    /// What happens to batch requests that arrive over
+    /// [`max_in_flight`](Self::max_in_flight) capacity.
+    pub overload: OverloadPolicy,
     /// The budget–quality sweep policy for pools beyond the exact cutoff
     /// (see [`SweepPolicy`]). Pools within the cutoff always use the cold
     /// exhaustive path.
@@ -93,7 +138,10 @@ impl Default for ServiceConfig {
             annealing: AnnealingConfig::default(),
             exact_cutoff: 14,
             cache_capacity: 1 << 20,
+            cache_shards: 8,
             batch_threads: 0,
+            max_in_flight: 0,
+            overload: OverloadPolicy::Shed,
             sweep: SweepPolicy::WarmMarginal,
             multiclass_bucket: MultiClassBucketConfig::default(),
             multiclass_incremental: MultiClassIncrementalConfig::default(),
@@ -150,9 +198,30 @@ impl ServiceConfig {
         self
     }
 
+    /// Sets the JQ cache shard count (`0` is promoted to 1, the single-lock
+    /// store).
+    pub fn with_cache_shards(mut self, shards: usize) -> Self {
+        self.cache_shards = shards;
+        self
+    }
+
     /// Sets the batch thread count (`0` = one per CPU core).
     pub fn with_batch_threads(mut self, threads: usize) -> Self {
         self.batch_threads = threads;
+        self
+    }
+
+    /// Sets the concurrent-request admission limit for the batch entry
+    /// points (`0` disables admission control).
+    pub fn with_max_in_flight(mut self, max_in_flight: usize) -> Self {
+        self.max_in_flight = max_in_flight;
+        self
+    }
+
+    /// Sets the overload policy applied to requests over the
+    /// [`max_in_flight`](Self::max_in_flight) limit.
+    pub fn with_overload_policy(mut self, overload: OverloadPolicy) -> Self {
+        self.overload = overload;
         self
     }
 
@@ -201,7 +270,10 @@ mod tests {
         assert!(config.exact_cutoff >= 10);
         assert!(config.annealing.restarts >= 1);
         assert!(config.cache_capacity > 0);
+        assert_eq!(config.cache_shards, 8);
         assert_eq!(config.batch_threads, 0);
+        assert_eq!(config.max_in_flight, 0, "admission control defaults off");
+        assert_eq!(config.overload, OverloadPolicy::Shed);
         assert_eq!(config.sweep, SweepPolicy::WarmMarginal);
         assert!(config.warm_sweeps());
         assert_eq!(
@@ -217,7 +289,10 @@ mod tests {
             .with_bucket(BucketJqConfig::paper_experiments())
             .with_annealing(AnnealingConfig::default().with_seed(9))
             .with_cache_capacity(128)
+            .with_cache_shards(2)
             .with_batch_threads(2)
+            .with_max_in_flight(4)
+            .with_overload_policy(OverloadPolicy::Coarsen)
             .with_sweep_policy(SweepPolicy::Cold)
             .with_multiclass_bucket(MultiClassBucketConfig { num_buckets: 77 })
             .with_multiclass_incremental(
@@ -228,7 +303,10 @@ mod tests {
         assert_eq!(config.annealing.seed, 9);
         assert_eq!(config.bucket, BucketJqConfig::paper_experiments());
         assert_eq!(config.cache_capacity, 128);
+        assert_eq!(config.cache_shards, 2);
         assert_eq!(config.batch_threads, 2);
+        assert_eq!(config.max_in_flight, 4);
+        assert_eq!(config.overload, OverloadPolicy::Coarsen);
         assert_eq!(config.sweep, SweepPolicy::Cold);
         assert!(!config.warm_sweeps());
         assert_eq!(config.multiclass_bucket.num_buckets, 77);

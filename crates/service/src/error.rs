@@ -4,6 +4,8 @@
 use jury_model::ModelError;
 use jury_selection::SolveError;
 
+use crate::response::MixedResponse;
+
 /// Why a [`crate::SelectionRequest`] could not be served.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ServiceError {
@@ -69,6 +71,36 @@ pub enum ServiceError {
         /// Why the jury went stale.
         reason: String,
     },
+    /// The request's deadline (or evaluation cap) expired before the search
+    /// finished. The search stops at its next cooperative checkpoint and
+    /// hands back the best feasible jury found so far — the **anytime**
+    /// contract: the partial answer is a valid, budget-respecting selection,
+    /// just not necessarily the one an uncut search would have returned.
+    DeadlineExceeded {
+        /// The best feasible response found before the cutoff, when the
+        /// search got far enough to have one (boxed: a full response is
+        /// much larger than the other variants).
+        best_so_far: Option<Box<MixedResponse>>,
+    },
+    /// The admission gate rejected this request: the service was already
+    /// serving [`crate::ServiceConfig::max_in_flight`] requests and the
+    /// overload policy is [`crate::OverloadPolicy::Shed`]. Immediate and
+    /// non-blocking — the caller can retry once load drains.
+    Overloaded {
+        /// Requests in flight when this one was rejected (this one
+        /// included).
+        in_flight: usize,
+        /// The configured admission limit.
+        max_in_flight: usize,
+    },
+    /// A service-internal invariant broke while serving the request — e.g.
+    /// a solver panicked on a batch worker thread. The shared store is
+    /// unaffected (its locks do not poison) and the service stays usable;
+    /// the panic is reported as this value instead of unwinding the batch.
+    Internal {
+        /// What broke, for diagnostics.
+        reason: String,
+    },
     /// A lower-level model invariant was violated.
     Model(ModelError),
 }
@@ -104,6 +136,25 @@ impl std::fmt::Display for ServiceError {
             }
             ServiceError::StaleJury { id, reason } => {
                 write!(f, "selection#{id} is stale: {reason}")
+            }
+            ServiceError::DeadlineExceeded { best_so_far } => write!(
+                f,
+                "deadline exceeded before the search finished ({} partial result)",
+                if best_so_far.is_some() {
+                    "with a"
+                } else {
+                    "no"
+                }
+            ),
+            ServiceError::Overloaded {
+                in_flight,
+                max_in_flight,
+            } => write!(
+                f,
+                "service overloaded: {in_flight} requests in flight, limit {max_in_flight}"
+            ),
+            ServiceError::Internal { reason } => {
+                write!(f, "internal service error: {reason}")
             }
             ServiceError::Model(err) => write!(f, "model error: {err}"),
         }
@@ -183,6 +234,23 @@ mod tests {
                     reason: "worker 7 left the registry".into(),
                 },
                 "stale",
+            ),
+            (
+                ServiceError::DeadlineExceeded { best_so_far: None },
+                "deadline",
+            ),
+            (
+                ServiceError::Overloaded {
+                    in_flight: 5,
+                    max_in_flight: 4,
+                },
+                "overloaded",
+            ),
+            (
+                ServiceError::Internal {
+                    reason: "worker thread panicked".into(),
+                },
+                "internal",
             ),
             (
                 ServiceError::Model(ModelError::Empty { what: "jury" }),

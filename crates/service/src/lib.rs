@@ -23,12 +23,25 @@
 //!   ServiceError>`; **nothing on the request path panics**;
 //! * [`JuryService::select_batch`] / [`JuryService::select_mixed_batch`] —
 //!   data-parallel batch execution across worker threads, with per-request
-//!   error reporting and one shared JQ evaluation cache (guarded by
-//!   `parking_lot` locks) keyed by quantized jury signatures
+//!   error reporting and one shared **sharded** JQ evaluation cache: the
+//!   store is striped into [`ServiceConfig::cache_shards`] independently
+//!   locked segments routed by quantized jury signature hash
 //!   ([`jury_jq::signature`]) — binary entries under
 //!   [`jury_jq::jury_signature`], multi-class entries under
 //!   [`jury_jq::multiclass_signature`], disjoint by construction and
-//!   accounted per kind in [`CacheStats`];
+//!   accounted per kind and per shard in [`CacheStats`];
+//! * **deadline-aware serving** — every request can carry a wall-clock
+//!   deadline ([`SelectionRequest::with_deadline`]) or an evaluation cap;
+//!   solvers poll a cheap [`SearchBudget`] token at cooperative checkpoints
+//!   and stop early with the best feasible jury found so far, surfaced as
+//!   [`ServiceError::DeadlineExceeded`] with an **anytime** `best_so_far`
+//!   payload (and as a truncation flag on sweeps and repairs);
+//! * **admission control** — [`ServiceConfig::max_in_flight`] bounds
+//!   concurrent batch work behind a non-blocking gate; over the limit,
+//!   [`OverloadPolicy::Shed`] rejects with [`ServiceError::Overloaded`]
+//!   while [`OverloadPolicy::Coarsen`] downgrades the solver policy to
+//!   greedy, with per-batch gate counters and per-shard store snapshots in
+//!   [`BatchMetrics`] (see [`JuryService::select_batch_with_metrics`]);
 //! * [`JuryService::budget_quality_table`] and
 //!   [`JuryService::multiclass_budget_quality_table`] — the Figure 1
 //!   budget–quality sweep, routed by [`SweepPolicy`]: cold per-budget
@@ -84,12 +97,14 @@ pub mod response;
 pub mod service;
 
 pub use cache::{CacheKindStats, CacheStats};
-pub use config::{ServiceConfig, SweepPolicy};
+pub use config::{OverloadPolicy, ServiceConfig, SweepPolicy};
 pub use error::ServiceError;
+pub use jury_selection::SearchBudget;
 pub use request::{
     MixedRequest, MultiClassSelectionRequest, SelectionRequest, SolverPolicy, Strategy,
 };
 pub use response::{
-    MixedResponse, MultiClassSelectionResponse, RepairOutcome, RepairResponse, SelectionResponse,
+    BatchMetrics, BatchOutcome, MixedResponse, MultiClassSelectionResponse, RepairOutcome,
+    RepairResponse, SelectionResponse,
 };
 pub use service::JuryService;

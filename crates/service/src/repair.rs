@@ -16,10 +16,10 @@
 //!    when the greedy patch stays stuck below the drift threshold — and
 //!    commits the result back to the detector ledger as the new baseline.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use jury_model::{Jury, Prior, WorkerId, WorkerPool};
-use jury_selection::{repair_jury, JspInstance, JuryObjective, RepairConfig};
+use jury_selection::{repair_jury, JspInstance, JuryObjective, RepairConfig, SearchBudget};
 use jury_stream::{DriftDetector, DriftReport, SelectionId, WorkerRegistry};
 
 use crate::cache::CachedObjective;
@@ -104,8 +104,38 @@ impl JuryService {
         detector: &mut DriftDetector,
         id: SelectionId,
     ) -> Result<RepairResponse, ServiceError> {
-        let response = self.compute_repair(registry, detector, id)?;
+        let response = self.compute_repair(registry, detector, id, SearchBudget::unlimited())?;
         detector.rebaseline(id, response.jury.ids(), response.quality, response.epoch);
+        Ok(response)
+    }
+
+    /// [`Self::repair`] under a wall-clock deadline, polled between repair
+    /// rounds and inside the cold re-solve fallback.
+    ///
+    /// A repair that runs out of time is **not** an error: the swap search
+    /// only ever commits improving moves, so whatever it holds when the
+    /// deadline fires is a valid jury no worse than the pre-repair state.
+    /// That anytime patch is committed to the ledger exactly like a full
+    /// repair, with [`RepairResponse::truncated`] set so the caller knows
+    /// further improvements may remain.
+    ///
+    /// One exception keeps retries meaningful: a truncated repair that
+    /// changed **nothing** does not touch the ledger. Rebaselining a no-op
+    /// to the degraded quality would absorb the drift and make every later
+    /// [`Self::repair`] see a steady jury — the deadline would silently
+    /// cancel the repair forever instead of postponing it.
+    pub fn repair_with_deadline(
+        &self,
+        registry: &WorkerRegistry,
+        detector: &mut DriftDetector,
+        id: SelectionId,
+        deadline: Duration,
+    ) -> Result<RepairResponse, ServiceError> {
+        let budget = SearchBudget::unlimited().with_deadline_in(deadline);
+        let response = self.compute_repair(registry, detector, id, budget)?;
+        if response.changed() || !response.truncated {
+            detector.rebaseline(id, response.jury.ids(), response.quality, response.epoch);
+        }
         Ok(response)
     }
 
@@ -122,7 +152,9 @@ impl JuryService {
     ) -> Vec<Result<RepairResponse, ServiceError>> {
         let computed = {
             let detector: &DriftDetector = detector;
-            self.run_batch(ids, |&id| self.compute_repair(registry, detector, id))
+            self.run_batch(ids, |&id| {
+                self.compute_repair(registry, detector, id, SearchBudget::unlimited())
+            })
         };
         for response in computed.iter().flatten() {
             detector.rebaseline(
@@ -142,6 +174,7 @@ impl JuryService {
         registry: &WorkerRegistry,
         detector: &DriftDetector,
         id: SelectionId,
+        search_budget: SearchBudget,
     ) -> Result<RepairResponse, ServiceError> {
         let started = Instant::now();
         let tracked = detector
@@ -176,6 +209,7 @@ impl JuryService {
                 epoch,
                 evaluations: objective.evaluations(),
                 cache_hits: objective.local_hits(),
+                truncated: false,
                 elapsed: started.elapsed(),
             });
         }
@@ -185,8 +219,9 @@ impl JuryService {
             &objective,
             &instance,
             tracked.members(),
-            RepairConfig::default(),
+            RepairConfig::default().with_budget(search_budget),
         )?;
+        let mut truncated = patched.truncated;
         let mut best_jury = patched.jury;
         let mut best_quality = patched.objective_value;
         let mut outcome = if patched.swaps + patched.pushes > 0 {
@@ -200,14 +235,18 @@ impl JuryService {
         // The greedy patch can land in a local optimum while the jury is
         // still degraded past the threshold; only then pay for a cold
         // re-solve, and only keep it when it genuinely beats the patch.
-        if baseline - best_quality > detector.threshold() {
+        // A truncated patch skips the fallback: the deadline already fired,
+        // and the anytime contract hands back the patch as-is.
+        if !truncated && baseline - best_quality > detector.threshold() {
             let resolved = self.dispatch_solver(
                 &instance,
                 &objective,
                 SolverPolicy::Auto,
                 false,
                 self.config(),
+                search_budget,
             )?;
+            truncated = resolved.truncated;
             if resolved.objective_value > best_quality + RESOLVE_MARGIN {
                 best_jury = resolved.jury;
                 best_quality = resolved.objective_value;
@@ -224,6 +263,7 @@ impl JuryService {
             epoch,
             evaluations: objective.evaluations(),
             cache_hits: objective.local_hits(),
+            truncated,
             elapsed: started.elapsed(),
         })
     }

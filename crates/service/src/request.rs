@@ -2,6 +2,8 @@
 //! accuracy pools ([`SelectionRequest`]), confusion-matrix pools
 //! ([`MultiClassSelectionRequest`]), and mixed batches ([`MixedRequest`]).
 
+use std::time::Duration;
+
 use serde::{Deserialize, Serialize};
 
 use jury_model::{CategoricalPrior, MatrixPool, Prior, WorkerPool};
@@ -80,6 +82,8 @@ pub struct SelectionRequest {
     policy: SolverPolicy,
     allow_empty: bool,
     config: Option<ServiceConfig>,
+    deadline: Option<Duration>,
+    max_evaluations: Option<u64>,
 }
 
 impl SelectionRequest {
@@ -94,6 +98,8 @@ impl SelectionRequest {
             policy: SolverPolicy::Auto,
             allow_empty: false,
             config: None,
+            deadline: None,
+            max_evaluations: None,
         }
     }
 
@@ -139,6 +145,26 @@ impl SelectionRequest {
         self
     }
 
+    /// Gives this request a wall-clock deadline, measured from the moment
+    /// the service starts serving it. The heuristic searches poll the
+    /// deadline at cooperative checkpoints and stop early with
+    /// [`crate::ServiceError::DeadlineExceeded`], carrying the best feasible
+    /// jury found so far (anytime semantics). Without a deadline the search
+    /// runs bit-identically to a deadline-free service.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Caps the number of objective evaluations the search may spend — the
+    /// deterministic cousin of [`with_deadline`](Self::with_deadline):
+    /// exceeding the cap reports the same
+    /// [`crate::ServiceError::DeadlineExceeded`] without any clock reads.
+    pub fn with_evaluation_limit(mut self, max_evaluations: u64) -> Self {
+        self.max_evaluations = Some(max_evaluations);
+        self
+    }
+
     /// The candidate pool.
     pub fn pool(&self) -> &WorkerPool {
         &self.pool
@@ -172,6 +198,16 @@ impl SelectionRequest {
     /// Whether empty selections are allowed.
     pub fn empty_selection_allowed(&self) -> bool {
         self.allow_empty
+    }
+
+    /// The per-request wall-clock deadline, if any.
+    pub fn deadline(&self) -> Option<Duration> {
+        self.deadline
+    }
+
+    /// The per-request objective-evaluation cap, if any.
+    pub fn max_evaluations(&self) -> Option<u64> {
+        self.max_evaluations
     }
 }
 
@@ -212,6 +248,8 @@ pub struct MultiClassSelectionRequest {
     policy: SolverPolicy,
     allow_empty: bool,
     config: Option<ServiceConfig>,
+    deadline: Option<Duration>,
+    max_evaluations: Option<u64>,
 }
 
 impl MultiClassSelectionRequest {
@@ -226,6 +264,8 @@ impl MultiClassSelectionRequest {
             policy: SolverPolicy::Auto,
             allow_empty: false,
             config: None,
+            deadline: None,
+            max_evaluations: None,
         }
     }
 
@@ -265,6 +305,21 @@ impl MultiClassSelectionRequest {
         self
     }
 
+    /// Gives this request a wall-clock deadline measured from its own serve
+    /// start — same anytime semantics as
+    /// [`SelectionRequest::with_deadline`].
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Caps the objective evaluations the search may spend — same
+    /// semantics as [`SelectionRequest::with_evaluation_limit`].
+    pub fn with_evaluation_limit(mut self, max_evaluations: u64) -> Self {
+        self.max_evaluations = Some(max_evaluations);
+        self
+    }
+
     /// The confusion-matrix candidate pool.
     pub fn pool(&self) -> &MatrixPool {
         &self.pool
@@ -294,6 +349,16 @@ impl MultiClassSelectionRequest {
     /// Whether empty selections are allowed.
     pub fn empty_selection_allowed(&self) -> bool {
         self.allow_empty
+    }
+
+    /// The per-request wall-clock deadline, if any.
+    pub fn deadline(&self) -> Option<Duration> {
+        self.deadline
+    }
+
+    /// The per-request objective-evaluation cap, if any.
+    pub fn max_evaluations(&self) -> Option<u64> {
+        self.max_evaluations
     }
 }
 
@@ -352,6 +417,27 @@ mod tests {
     fn raw_prior_is_stored_unvalidated() {
         let request = SelectionRequest::new(paper_example_pool(), 15.0).with_prior_alpha(2.5);
         assert!((request.prior_alpha() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deadline_and_evaluation_cap_default_off() {
+        let request = SelectionRequest::new(paper_example_pool(), 15.0);
+        assert!(request.deadline().is_none());
+        assert!(request.max_evaluations().is_none());
+        let request = request
+            .with_deadline(Duration::from_millis(50))
+            .with_evaluation_limit(1000);
+        assert_eq!(request.deadline(), Some(Duration::from_millis(50)));
+        assert_eq!(request.max_evaluations(), Some(1000));
+
+        let multi = MultiClassSelectionRequest::new(matrix_pool(), 3.0);
+        assert!(multi.deadline().is_none());
+        assert!(multi.max_evaluations().is_none());
+        let multi = multi
+            .with_deadline(Duration::from_secs(1))
+            .with_evaluation_limit(7);
+        assert_eq!(multi.deadline(), Some(Duration::from_secs(1)));
+        assert_eq!(multi.max_evaluations(), Some(7));
     }
 
     fn matrix_pool() -> MatrixPool {

@@ -8,6 +8,8 @@ use std::time::Duration;
 use jury_model::{Jury, MatrixJury, MatrixWorker, WorkerId};
 use jury_stream::SelectionId;
 
+use crate::cache::CacheStats;
+use crate::error::ServiceError;
 use crate::request::{SolverPolicy, Strategy};
 
 /// The outcome of a successfully served [`crate::SelectionRequest`].
@@ -122,6 +124,40 @@ impl MixedResponse {
     }
 }
 
+/// Serving-side counters for one batch call — what the admission gate and
+/// the sharded store saw while the batch ran (see
+/// [`crate::JuryService::select_batch_with_metrics`]).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BatchMetrics {
+    /// Requests served at full fidelity (under the admission limit, or with
+    /// admission control disabled).
+    pub admitted: usize,
+    /// Requests rejected with [`ServiceError::Overloaded`]
+    /// ([`crate::OverloadPolicy::Shed`]).
+    pub shed: usize,
+    /// Requests served with their solver policy downgraded to greedy
+    /// ([`crate::OverloadPolicy::Coarsen`]).
+    pub coarsened: usize,
+    /// The highest number of requests observed in flight at once during
+    /// this batch (0 when admission control is disabled — the gate is the
+    /// only thing that counts).
+    pub peak_in_flight: usize,
+    /// Per-shard snapshots of the shared JQ store, taken when the batch
+    /// finished (lifetime counters, not deltas), in shard order.
+    pub shards: Vec<CacheStats>,
+}
+
+/// A batch's per-request results plus its [`BatchMetrics`] — what the
+/// `*_with_metrics` batch entry points return. Result order matches the
+/// request order, exactly like the plain batch methods.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchOutcome<R> {
+    /// Per-request outcomes, in request order.
+    pub results: Vec<Result<R, ServiceError>>,
+    /// What the admission gate and the sharded store saw.
+    pub metrics: BatchMetrics,
+}
+
 /// What a [`crate::JuryService::repair`] call did to a tracked jury.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RepairOutcome {
@@ -169,6 +205,12 @@ pub struct RepairResponse {
     pub evaluations: u64,
     /// How many of those evaluations were served by the shared JQ cache.
     pub cache_hits: u64,
+    /// Whether a repair deadline cut the swap search short (see
+    /// [`crate::JuryService::repair_with_deadline`]). The committed jury is
+    /// still never worse than the pre-repair baseline — the search only
+    /// commits improving moves — it just may have stopped before finding
+    /// every improvement.
+    pub truncated: bool,
     /// Wall-clock time of the repair.
     pub elapsed: Duration,
 }
@@ -267,6 +309,7 @@ mod tests {
             epoch: 12,
             evaluations: 5,
             cache_hits: 1,
+            truncated: false,
             elapsed: Duration::from_millis(1),
         };
         assert!(response.changed());

@@ -1,25 +1,70 @@
 //! The service itself: validated, fallible, batch-first jury selection.
 
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::thread;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use jury_jq::MultiClassIncrementalConfig;
 use jury_model::{CategoricalPrior, MatrixPool, Prior, WorkerPool};
 use jury_selection::{
     AnnealingSolver, BudgetQualityRow, BudgetQualityTable, ExhaustiveSolver, GreedyMarginalSolver,
     GreedyQualitySolver, GreedyRatioSolver, JspInstance, JuryObjective, JurySolver, MultiClassJsp,
-    MvjsSolver, SolverResult, MAX_EXHAUSTIVE_POOL,
+    MvjsSolver, SearchBudget, SolverResult, MAX_EXHAUSTIVE_POOL,
 };
 
 use crate::cache::{CacheStats, CachedMultiClassObjective, CachedObjective, JqCache};
-use crate::config::{ServiceConfig, SweepPolicy};
+use crate::config::{OverloadPolicy, ServiceConfig, SweepPolicy};
 use crate::error::ServiceError;
 use crate::request::{
     MixedRequest, MultiClassSelectionRequest, SelectionRequest, SolverPolicy, Strategy,
 };
-use crate::response::{MixedResponse, MultiClassSelectionResponse, SelectionResponse};
+use crate::response::{
+    BatchMetrics, BatchOutcome, MixedResponse, MultiClassSelectionResponse, SelectionResponse,
+};
+
+/// RAII in-flight slot: decrements the service's concurrency counter when
+/// the request finishes, even if the serving closure unwinds.
+struct InFlightGuard<'a>(&'a AtomicUsize);
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Per-batch admission counters, shared across the batch worker threads.
+#[derive(Default)]
+struct AdmissionCounters {
+    admitted: AtomicUsize,
+    shed: AtomicUsize,
+    coarsened: AtomicUsize,
+    peak_in_flight: AtomicUsize,
+}
+
+impl AdmissionCounters {
+    fn into_metrics(self, shards: Vec<CacheStats>) -> BatchMetrics {
+        BatchMetrics {
+            admitted: self.admitted.into_inner(),
+            shed: self.shed.into_inner(),
+            coarsened: self.coarsened.into_inner(),
+            peak_in_flight: self.peak_in_flight.into_inner(),
+            shards,
+        }
+    }
+}
+
+/// Renders a caught panic payload for [`ServiceError::Internal`].
+fn panic_reason(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(message) = payload.downcast_ref::<&str>() {
+        format!("a solver thread panicked: {message}")
+    } else if let Some(message) = payload.downcast_ref::<String>() {
+        format!("a solver thread panicked: {message}")
+    } else {
+        "a solver thread panicked".to_string()
+    }
+}
 
 /// The jury-selection service: owns the configuration and the shared JQ
 /// cache, and serves [`SelectionRequest`]s one at a time or in parallel
@@ -41,6 +86,9 @@ use crate::response::{MixedResponse, MultiClassSelectionResponse, SelectionRespo
 pub struct JuryService {
     config: ServiceConfig,
     cache: JqCache,
+    /// Requests currently inside the admission gate of the batch entry
+    /// points (see [`ServiceConfig::max_in_flight`]).
+    in_flight: AtomicUsize,
 }
 
 impl Default for JuryService {
@@ -53,8 +101,9 @@ impl JuryService {
     /// Creates a service with the given configuration.
     pub fn new(config: ServiceConfig) -> Self {
         JuryService {
-            cache: JqCache::new(config.cache_capacity),
+            cache: JqCache::new(config.cache_capacity, config.cache_shards),
             config,
+            in_flight: AtomicUsize::new(0),
         }
     }
 
@@ -68,9 +117,22 @@ impl JuryService {
         &self.config
     }
 
-    /// Counters of the shared JQ-evaluation cache.
+    /// Counters of the shared JQ-evaluation cache, aggregated over all
+    /// shards.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// Per-shard counters of the shared JQ-evaluation cache, in shard
+    /// order (see [`ServiceConfig::cache_shards`]).
+    pub fn cache_shard_stats(&self) -> Vec<CacheStats> {
+        self.cache.shard_stats()
+    }
+
+    /// Number of lock-independent shards the JQ store was built with
+    /// (a `cache_shards` of 0 is promoted to 1 at construction).
+    pub fn num_cache_shards(&self) -> usize {
+        self.cache.num_shards()
     }
 
     /// The shared JQ cache, for the crate's other endpoint modules (the
@@ -143,9 +205,12 @@ impl JuryService {
 
         let instance = JspInstance::new(request.pool().clone(), budget, prior)?;
         let objective = CachedObjective::new(config.jq_engine(), request.strategy(), &self.cache);
-        let result = self.run_solver(&instance, &objective, request, &config)?;
+        let search_budget =
+            Self::request_budget(started, request.deadline(), request.max_evaluations());
+        let result = self.run_solver(&instance, &objective, request, &config, search_budget)?;
 
-        Ok(SelectionResponse {
+        let truncated = result.truncated;
+        let response = SelectionResponse {
             quality: result.objective_value,
             cost: result.jury.cost(),
             jury: result.jury,
@@ -155,7 +220,35 @@ impl JuryService {
             evaluations: objective.evaluations(),
             cache_hits: objective.local_hits(),
             elapsed: started.elapsed(),
-        })
+        };
+        if truncated {
+            return Err(ServiceError::DeadlineExceeded {
+                best_so_far: Some(Box::new(MixedResponse::Binary(response))),
+            });
+        }
+        Ok(response)
+    }
+
+    /// The [`SearchBudget`] a request's deadline knobs induce, anchored at
+    /// the request's own serve start — so mid-batch peers each count their
+    /// deadline from the moment their own search began, not from batch
+    /// submission.
+    fn request_budget(
+        started: Instant,
+        deadline: Option<Duration>,
+        max_evaluations: Option<u64>,
+    ) -> SearchBudget {
+        let mut budget = SearchBudget::unlimited();
+        if let Some(deadline) = deadline {
+            // A deadline too far out to represent is no deadline at all.
+            if let Some(at) = started.checked_add(deadline) {
+                budget = budget.with_deadline_at(at);
+            }
+        }
+        if let Some(max) = max_evaluations {
+            budget = budget.with_max_evaluations(max);
+        }
+        budget
     }
 
     fn run_solver(
@@ -164,11 +257,19 @@ impl JuryService {
         objective: &CachedObjective<'_>,
         request: &SelectionRequest,
         config: &ServiceConfig,
+        search_budget: SearchBudget,
     ) -> Result<SolverResult, ServiceError> {
         // The MV baseline keeps its odd-size top-quality candidates on
         // large `Auto` pools, exactly like the historical Mvjs system.
         let mv_baseline = request.strategy() == Strategy::Mv;
-        self.dispatch_solver(instance, objective, request.policy(), mv_baseline, config)
+        self.dispatch_solver(
+            instance,
+            objective,
+            request.policy(),
+            mv_baseline,
+            config,
+            search_budget,
+        )
     }
 
     /// The one [`SolverPolicy`] dispatch behind both the binary and the
@@ -176,6 +277,13 @@ impl JuryService {
     /// objective. `mv_baseline` routes large `Auto` pools through the
     /// [`MvjsSolver`] instead of plain annealing — the binary MV strategy's
     /// historical behaviour; multi-class selection never sets it.
+    ///
+    /// `search_budget` is polled at the cooperative checkpoints of the
+    /// annealing and marginal-greedy searches; an exhausted budget comes
+    /// back as `truncated: true` on the result, carrying the best feasible
+    /// jury found so far. The exact and MVJS paths are not budgeted: exact
+    /// enumeration only runs on pools bounded by the exact cutoff, and the
+    /// MVJS baseline's candidate scan is a single `O(n log n)` pass.
     pub(crate) fn dispatch_solver<O: JuryObjective>(
         &self,
         instance: &JspInstance,
@@ -183,6 +291,7 @@ impl JuryService {
         policy: SolverPolicy,
         mv_baseline: bool,
         config: &ServiceConfig,
+        search_budget: SearchBudget,
     ) -> Result<SolverResult, ServiceError> {
         let small_pool = instance.num_candidates() <= config.exact_cutoff.min(MAX_EXHAUSTIVE_POOL);
         let result = match policy {
@@ -195,22 +304,31 @@ impl JuryService {
                     .solve_with_objective(instance, objective)
             }
             SolverPolicy::Auto | SolverPolicy::Annealing => {
-                AnnealingSolver::with_config(objective, config.annealing).solve(instance)
+                AnnealingSolver::with_config(objective, config.annealing)
+                    .with_budget(search_budget)
+                    .solve(instance)
             }
             SolverPolicy::Greedy => {
                 // Three greedy flavours, best-of: the two cheap orderings
                 // plus the objective-driven marginal greedy, which probes
                 // pool-many extensions per round through the incremental
-                // session. Ties keep the earlier (cheaper) candidate.
+                // session. Ties keep the earlier (cheaper) candidate. Only
+                // the marginal search has checkpoints; if the budget cut it
+                // short the whole best-of is reported truncated, whichever
+                // flavour won.
                 let mut best = GreedyQualitySolver::new(objective).solve(instance);
-                for candidate in [
-                    GreedyRatioSolver::new(objective).solve(instance),
-                    GreedyMarginalSolver::new(objective).solve(instance),
-                ] {
-                    if candidate.objective_value > best.objective_value {
-                        best = candidate;
-                    }
+                let ratio = GreedyRatioSolver::new(objective).solve(instance);
+                if ratio.objective_value > best.objective_value {
+                    best = ratio;
                 }
+                let marginal = GreedyMarginalSolver::new(objective)
+                    .with_budget(search_budget)
+                    .solve(instance);
+                let truncated = marginal.truncated;
+                if marginal.objective_value > best.objective_value {
+                    best = marginal;
+                }
+                best.truncated = truncated;
                 best
             }
         };
@@ -305,12 +423,15 @@ impl JuryService {
         // multi-class selection always optimizes Bayesian voting), running
         // the solvers over the shadow instance while the cached objective
         // scores the full matrices.
+        let search_budget =
+            Self::request_budget(started, request.deadline(), request.max_evaluations());
         let result = self.dispatch_solver(
             problem.instance(),
             &objective,
             request.policy(),
             false,
             &config,
+            search_budget,
         )?;
 
         // The objective's own resolution (borrowed members, foreign ids
@@ -320,7 +441,8 @@ impl JuryService {
             .into_iter()
             .cloned()
             .collect();
-        Ok(MultiClassSelectionResponse {
+        let truncated = result.truncated;
+        let response = MultiClassSelectionResponse {
             quality: result.objective_value,
             cost: result.jury.cost(),
             members,
@@ -329,7 +451,13 @@ impl JuryService {
             evaluations: objective.evaluations(),
             cache_hits: objective.local_hits(),
             elapsed: started.elapsed(),
-        })
+        };
+        if truncated {
+            return Err(ServiceError::DeadlineExceeded {
+                best_so_far: Some(Box::new(MixedResponse::MultiClass(response))),
+            });
+        }
+        Ok(response)
     }
 
     /// Whether a multi-class pool of this size can be served at all under
@@ -365,15 +493,27 @@ impl JuryService {
     /// workers pull the next unclaimed item from a shared counter, so a few
     /// expensive requests cannot serialize the batch behind one thread the
     /// way static chunking would.
-    pub(crate) fn run_batch<T, R, F>(&self, items: &[T], serve: F) -> Vec<R>
+    ///
+    /// Every serve call runs under `catch_unwind`: a panicking solver fills
+    /// its own slot with [`ServiceError::Internal`] instead of unwinding
+    /// the batch, and the shared store stays usable (its `parking_lot`
+    /// locks do not poison).
+    pub(crate) fn run_batch<T, R, F>(&self, items: &[T], serve: F) -> Vec<Result<R, ServiceError>>
     where
         T: Sync,
         R: Send,
-        F: Fn(&T) -> R + Sync,
+        F: Fn(&T) -> Result<R, ServiceError> + Sync,
     {
+        let caught = |item: &T| -> Result<R, ServiceError> {
+            std::panic::catch_unwind(AssertUnwindSafe(|| serve(item))).unwrap_or_else(|payload| {
+                Err(ServiceError::Internal {
+                    reason: panic_reason(payload),
+                })
+            })
+        };
         let threads = self.batch_threads(items.len());
         if threads <= 1 {
-            return items.iter().map(serve).collect();
+            return items.iter().map(caught).collect();
         }
 
         let next = AtomicUsize::new(0);
@@ -382,13 +522,13 @@ impl JuryService {
             for _ in 0..threads {
                 let sender = sender.clone();
                 let next = &next;
-                let serve = &serve;
+                let caught = &caught;
                 scope.spawn(move || loop {
                     let index = next.fetch_add(1, Ordering::Relaxed);
                     let Some(item) = items.get(index) else {
                         break;
                     };
-                    if sender.send((index, serve(item))).is_err() {
+                    if sender.send((index, caught(item))).is_err() {
                         break;
                     }
                 });
@@ -396,14 +536,64 @@ impl JuryService {
         });
         drop(sender);
 
-        let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+        let mut slots: Vec<Option<Result<R, ServiceError>>> =
+            (0..items.len()).map(|_| None).collect();
         for (index, result) in receiver {
             slots[index] = Some(result);
         }
         slots
             .into_iter()
-            .map(|slot| slot.expect("every request index is claimed exactly once"))
+            .map(|slot| {
+                slot.unwrap_or_else(|| {
+                    Err(ServiceError::Internal {
+                        reason: "a batch slot was never filled".to_string(),
+                    })
+                })
+            })
             .collect()
+    }
+
+    /// One request's trip through the admission gate of the batch entry
+    /// points. Never blocks: with admission control off
+    /// (`max_in_flight == 0`) the request is served directly; otherwise the
+    /// in-flight counter is taken for the duration of the serve, and a
+    /// request arriving over capacity is either rejected immediately
+    /// ([`OverloadPolicy::Shed`]) or served in coarsened mode
+    /// ([`OverloadPolicy::Coarsen`] — the closure's flag).
+    fn serve_gated<T, R>(
+        &self,
+        item: &T,
+        counters: &AdmissionCounters,
+        serve: impl Fn(&T, bool) -> Result<R, ServiceError>,
+    ) -> Result<R, ServiceError> {
+        let max_in_flight = self.config.max_in_flight;
+        if max_in_flight == 0 {
+            counters.admitted.fetch_add(1, Ordering::Relaxed);
+            return serve(item, false);
+        }
+        let occupied = self.in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+        let _slot = InFlightGuard(&self.in_flight);
+        counters
+            .peak_in_flight
+            .fetch_max(occupied, Ordering::Relaxed);
+        if occupied <= max_in_flight {
+            counters.admitted.fetch_add(1, Ordering::Relaxed);
+            serve(item, false)
+        } else {
+            match self.config.overload {
+                OverloadPolicy::Shed => {
+                    counters.shed.fetch_add(1, Ordering::Relaxed);
+                    Err(ServiceError::Overloaded {
+                        in_flight: occupied,
+                        max_in_flight,
+                    })
+                }
+                OverloadPolicy::Coarsen => {
+                    counters.coarsened.fetch_add(1, Ordering::Relaxed);
+                    serve(item, true)
+                }
+            }
+        }
     }
 
     /// Serves a batch of requests, data-parallel across worker threads, all
@@ -411,23 +601,69 @@ impl JuryService {
     ///
     /// Failures are per-request: one invalid request yields an `Err` in its
     /// slot without disturbing the others. The result order matches the
-    /// request order.
+    /// request order. When [`ServiceConfig::max_in_flight`] is set, every
+    /// request passes the admission gate (see [`OverloadPolicy`]).
     pub fn select_batch(
         &self,
         requests: &[SelectionRequest],
     ) -> Vec<Result<SelectionResponse, ServiceError>> {
-        self.run_batch(requests, |request| self.select(request))
+        self.select_batch_with_metrics(requests).results
+    }
+
+    /// [`Self::select_batch`] plus the batch's [`BatchMetrics`]: admission
+    /// counts, the in-flight peak, and per-shard cache snapshots.
+    ///
+    /// ```
+    /// use jury_model::paper_example_pool;
+    /// use jury_service::{JuryService, SelectionRequest};
+    ///
+    /// let service = JuryService::paper_experiments();
+    /// let batch = vec![SelectionRequest::new(paper_example_pool(), 15.0); 4];
+    /// let outcome = service.select_batch_with_metrics(&batch);
+    /// assert_eq!(outcome.results.len(), 4);
+    /// // Admission control is off by default: everything is admitted.
+    /// assert_eq!(outcome.metrics.admitted, 4);
+    /// assert_eq!(outcome.metrics.shed + outcome.metrics.coarsened, 0);
+    /// assert_eq!(outcome.metrics.shards.len(), 8);
+    /// ```
+    pub fn select_batch_with_metrics(
+        &self,
+        requests: &[SelectionRequest],
+    ) -> BatchOutcome<SelectionResponse> {
+        let counters = AdmissionCounters::default();
+        let results = self.run_batch(requests, |request| {
+            self.serve_gated(request, &counters, |request, coarsen| {
+                if coarsen {
+                    self.select(&request.clone().with_policy(SolverPolicy::Greedy))
+                } else {
+                    self.select(request)
+                }
+            })
+        });
+        BatchOutcome {
+            results,
+            metrics: counters.into_metrics(self.cache.shard_stats()),
+        }
     }
 
     /// Serves a batch of multi-class requests through the same
     /// thread-parallel machinery (and the same shared cache) as
-    /// [`Self::select_batch`]; per-request failure semantics and result
-    /// ordering are identical.
+    /// [`Self::select_batch`]; per-request failure semantics, result
+    /// ordering, and the admission gate are identical.
     pub fn select_multiclass_batch(
         &self,
         requests: &[MultiClassSelectionRequest],
     ) -> Vec<Result<MultiClassSelectionResponse, ServiceError>> {
-        self.run_batch(requests, |request| self.select_multiclass(request))
+        let counters = AdmissionCounters::default();
+        self.run_batch(requests, |request| {
+            self.serve_gated(request, &counters, |request, coarsen| {
+                if coarsen {
+                    self.select_multiclass(&request.clone().with_policy(SolverPolicy::Greedy))
+                } else {
+                    self.select_multiclass(request)
+                }
+            })
+        })
     }
 
     /// Serves a **mixed** batch — binary and multi-class requests side by
@@ -455,12 +691,62 @@ impl JuryService {
         &self,
         requests: &[MixedRequest],
     ) -> Vec<Result<MixedResponse, ServiceError>> {
-        self.run_batch(requests, |request| match request {
-            MixedRequest::Binary(request) => self.select(request).map(MixedResponse::Binary),
-            MixedRequest::MultiClass(request) => self
-                .select_multiclass(request)
+        self.select_mixed_batch_with_metrics(requests).results
+    }
+
+    /// [`Self::select_mixed_batch`] plus the batch's [`BatchMetrics`] —
+    /// the mixed-kind sibling of [`Self::select_batch_with_metrics`].
+    ///
+    /// With admission control on, over-capacity slots are shed or
+    /// coarsened regardless of their kind:
+    ///
+    /// ```
+    /// use jury_model::paper_example_pool;
+    /// use jury_service::{
+    ///     JuryService, MixedRequest, OverloadPolicy, SelectionRequest, ServiceConfig,
+    /// };
+    ///
+    /// let service = JuryService::new(
+    ///     ServiceConfig::fast()
+    ///         .with_max_in_flight(1)
+    ///         .with_overload_policy(OverloadPolicy::Coarsen)
+    ///         .with_batch_threads(2),
+    /// );
+    /// let batch: Vec<MixedRequest> =
+    ///     vec![SelectionRequest::new(paper_example_pool(), 15.0).into(); 6];
+    /// let outcome = service.select_mixed_batch_with_metrics(&batch);
+    /// // Coarsening never sheds: every slot is served.
+    /// assert!(outcome.results.iter().all(|slot| slot.is_ok()));
+    /// assert_eq!(
+    ///     outcome.metrics.admitted + outcome.metrics.coarsened,
+    ///     batch.len()
+    /// );
+    /// ```
+    pub fn select_mixed_batch_with_metrics(
+        &self,
+        requests: &[MixedRequest],
+    ) -> BatchOutcome<MixedResponse> {
+        let counters = AdmissionCounters::default();
+        let results = self.run_batch(requests, |request| {
+            self.serve_gated(request, &counters, |request, coarsen| match request {
+                MixedRequest::Binary(request) => if coarsen {
+                    self.select(&request.clone().with_policy(SolverPolicy::Greedy))
+                } else {
+                    self.select(request)
+                }
+                .map(MixedResponse::Binary),
+                MixedRequest::MultiClass(request) => if coarsen {
+                    self.select_multiclass(&request.clone().with_policy(SolverPolicy::Greedy))
+                } else {
+                    self.select_multiclass(request)
+                }
                 .map(MixedResponse::MultiClass),
-        })
+            })
+        });
+        BatchOutcome {
+            results,
+            metrics: counters.into_metrics(self.cache.shard_stats()),
+        }
     }
 
     fn batch_threads(&self, batch_len: usize) -> usize {
@@ -502,39 +788,109 @@ impl JuryService {
         budgets: &[f64],
         prior: Prior,
     ) -> Result<BudgetQualityTable, ServiceError> {
+        self.budget_table_budgeted(pool, budgets, prior, SearchBudget::unlimited())
+            .map(|(table, _)| table)
+    }
+
+    /// [`Self::budget_quality_table`] under one shared wall-clock deadline
+    /// for the whole sweep. Returns the table plus a flag reporting whether
+    /// the deadline cut the search short — anytime semantics: a truncated
+    /// table's rows are still feasible, budget-respecting juries, they just
+    /// may trail what an uncut sweep would have found. The deadline is
+    /// polled at the warm sweeps' cooperative checkpoints; on the
+    /// small-pool batch path the exhaustive per-budget solves are bounded
+    /// by the exact cutoff and run to completion.
+    pub fn budget_quality_table_with_deadline(
+        &self,
+        pool: &WorkerPool,
+        budgets: &[f64],
+        prior: Prior,
+        deadline: Duration,
+    ) -> Result<(BudgetQualityTable, bool), ServiceError> {
+        self.budget_table_budgeted(
+            pool,
+            budgets,
+            prior,
+            SearchBudget::unlimited().with_deadline_in(deadline),
+        )
+    }
+
+    fn budget_table_budgeted(
+        &self,
+        pool: &WorkerPool,
+        budgets: &[f64],
+        prior: Prior,
+        search_budget: SearchBudget,
+    ) -> Result<(BudgetQualityTable, bool), ServiceError> {
         let beyond_exact = pool.len() > self.config.exact_cutoff.min(MAX_EXHAUSTIVE_POOL);
         if beyond_exact && self.config.sweep != SweepPolicy::Cold {
             Self::validate_sweep_budgets(budgets)?;
             let objective =
                 CachedObjective::new(self.config.jq_engine(), Strategy::Bv, &self.cache);
             return Ok(match self.config.sweep {
-                SweepPolicy::WarmMarginal => {
-                    BudgetQualityTable::build_warm(pool, budgets, prior, &objective)
-                }
-                SweepPolicy::WarmAnnealing => BudgetQualityTable::build_warm_annealing(
+                SweepPolicy::WarmMarginal => BudgetQualityTable::build_warm_budgeted(
+                    pool,
+                    budgets,
+                    prior,
+                    &objective,
+                    search_budget,
+                ),
+                SweepPolicy::WarmAnnealing => BudgetQualityTable::build_warm_annealing_budgeted(
                     pool,
                     budgets,
                     prior,
                     &objective,
                     self.config.annealing,
+                    search_budget,
                 ),
                 SweepPolicy::Cold => unreachable!("cold sweeps take the batch path"),
             });
         }
+        // Batch path: per-budget requests, each carrying what is left of
+        // the sweep deadline. Rows that hit the deadline keep their anytime
+        // best-so-far jury and flip the truncation flag instead of erroring.
+        let deadline_left = search_budget
+            .deadline()
+            .map(|at| at.saturating_duration_since(Instant::now()));
         let requests: Vec<SelectionRequest> = budgets
             .iter()
             .map(|&budget| {
-                SelectionRequest::new(pool.clone(), budget)
+                let mut request = SelectionRequest::new(pool.clone(), budget)
                     .with_prior(prior)
-                    .allow_empty_selection(true)
+                    .allow_empty_selection(true);
+                if let Some(left) = deadline_left {
+                    request = request.with_deadline(left);
+                }
+                if let Some(max) = search_budget.max_evaluations() {
+                    request = request.with_evaluation_limit(max);
+                }
+                request
             })
             .collect();
+        let mut truncated = false;
         let rows = self
             .select_batch(&requests)
             .into_iter()
             .zip(budgets)
             .map(|(result, &budget)| {
-                result.map(|response| BudgetQualityRow {
+                let response = match result {
+                    Ok(response) => response,
+                    Err(ServiceError::DeadlineExceeded {
+                        best_so_far: Some(best),
+                    }) => match *best {
+                        MixedResponse::Binary(response) => {
+                            truncated = true;
+                            response
+                        }
+                        other => {
+                            return Err(ServiceError::DeadlineExceeded {
+                                best_so_far: Some(Box::new(other)),
+                            })
+                        }
+                    },
+                    Err(err) => return Err(err),
+                };
+                Ok(BudgetQualityRow {
                     budget,
                     jury: response.worker_ids(),
                     quality: response.quality,
@@ -542,7 +898,7 @@ impl JuryService {
                 })
             })
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(BudgetQualityTable::from_rows(rows))
+        Ok((BudgetQualityTable::from_rows(rows), truncated))
     }
 
     /// Builds the budget–quality table for a **multi-class**
@@ -564,6 +920,36 @@ impl JuryService {
         budgets: &[f64],
         prior: &CategoricalPrior,
     ) -> Result<BudgetQualityTable, ServiceError> {
+        self.multiclass_budget_table_budgeted(pool, budgets, prior, SearchBudget::unlimited())
+            .map(|(table, _)| table)
+    }
+
+    /// [`Self::multiclass_budget_quality_table`] under one shared
+    /// wall-clock deadline — the multi-class sibling of
+    /// [`Self::budget_quality_table_with_deadline`], with the same anytime
+    /// semantics for the returned truncation flag.
+    pub fn multiclass_budget_quality_table_with_deadline(
+        &self,
+        pool: &MatrixPool,
+        budgets: &[f64],
+        prior: &CategoricalPrior,
+        deadline: Duration,
+    ) -> Result<(BudgetQualityTable, bool), ServiceError> {
+        self.multiclass_budget_table_budgeted(
+            pool,
+            budgets,
+            prior,
+            SearchBudget::unlimited().with_deadline_in(deadline),
+        )
+    }
+
+    fn multiclass_budget_table_budgeted(
+        &self,
+        pool: &MatrixPool,
+        budgets: &[f64],
+        prior: &CategoricalPrior,
+        search_budget: SearchBudget,
+    ) -> Result<(BudgetQualityTable, bool), ServiceError> {
         let beyond_exact = pool.len() > self.config.exact_cutoff.min(MAX_EXHAUSTIVE_POOL);
         if beyond_exact && self.config.sweep != SweepPolicy::Cold {
             Self::validate_sweep_budgets(budgets)?;
@@ -576,33 +962,66 @@ impl JuryService {
             // The binary prior slot of the shadow instances is unused — the
             // categorical prior is part of the objective's identity.
             return Ok(match self.config.sweep {
-                SweepPolicy::WarmMarginal => {
-                    BudgetQualityTable::build_warm(&shadow, budgets, Prior::uniform(), &objective)
-                }
-                SweepPolicy::WarmAnnealing => BudgetQualityTable::build_warm_annealing(
+                SweepPolicy::WarmMarginal => BudgetQualityTable::build_warm_budgeted(
+                    &shadow,
+                    budgets,
+                    Prior::uniform(),
+                    &objective,
+                    search_budget,
+                ),
+                SweepPolicy::WarmAnnealing => BudgetQualityTable::build_warm_annealing_budgeted(
                     &shadow,
                     budgets,
                     Prior::uniform(),
                     &objective,
                     self.config.annealing,
+                    search_budget,
                 ),
                 SweepPolicy::Cold => unreachable!("cold sweeps take the batch path"),
             });
         }
+        let deadline_left = search_budget
+            .deadline()
+            .map(|at| at.saturating_duration_since(Instant::now()));
         let requests: Vec<MultiClassSelectionRequest> = budgets
             .iter()
             .map(|&budget| {
-                MultiClassSelectionRequest::new(pool.clone(), budget)
+                let mut request = MultiClassSelectionRequest::new(pool.clone(), budget)
                     .with_prior(prior.clone())
-                    .allow_empty_selection(true)
+                    .allow_empty_selection(true);
+                if let Some(left) = deadline_left {
+                    request = request.with_deadline(left);
+                }
+                if let Some(max) = search_budget.max_evaluations() {
+                    request = request.with_evaluation_limit(max);
+                }
+                request
             })
             .collect();
+        let mut truncated = false;
         let rows = self
             .select_multiclass_batch(&requests)
             .into_iter()
             .zip(budgets)
             .map(|(result, &budget)| {
-                result.map(|response| BudgetQualityRow {
+                let response = match result {
+                    Ok(response) => response,
+                    Err(ServiceError::DeadlineExceeded {
+                        best_so_far: Some(best),
+                    }) => match *best {
+                        MixedResponse::MultiClass(response) => {
+                            truncated = true;
+                            response
+                        }
+                        other => {
+                            return Err(ServiceError::DeadlineExceeded {
+                                best_so_far: Some(Box::new(other)),
+                            })
+                        }
+                    },
+                    Err(err) => return Err(err),
+                };
+                Ok(BudgetQualityRow {
                     budget,
                     jury: response.worker_ids(),
                     quality: response.quality,
@@ -610,7 +1029,7 @@ impl JuryService {
                 })
             })
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(BudgetQualityTable::from_rows(rows))
+        Ok((BudgetQualityTable::from_rows(rows), truncated))
     }
 
     /// The warm sweep builders assert on bad budgets (their per-budget
@@ -1102,5 +1521,55 @@ mod tests {
             assert!(row.quality >= previous - 1e-12);
             previous = row.quality;
         }
+    }
+
+    #[test]
+    fn a_panicking_batch_slot_reports_internal_and_leaves_the_store_usable() {
+        let service = JuryService::new(ServiceConfig::fast().with_batch_threads(4));
+        // Warm the shared store so the post-panic request genuinely reads
+        // through the same shards the panicking threads touched.
+        let request = SelectionRequest::new(paper_example_pool(), 15.0);
+        let before = service.select(&request).unwrap();
+
+        let results = service.run_batch(&[0usize, 1, 2, 3], |&slot| {
+            if slot == 2 {
+                panic!("solver blew up on slot {slot}");
+            }
+            service.select(&request)
+        });
+        for (slot, result) in results.iter().enumerate() {
+            if slot == 2 {
+                let Err(ServiceError::Internal { reason }) = result else {
+                    panic!("slot 2 should be Internal, got {result:?}");
+                };
+                assert!(reason.contains("slot 2"), "reason was {reason:?}");
+            } else {
+                assert!(result.is_ok(), "slot {slot} was {result:?}");
+            }
+        }
+
+        // parking_lot locks do not poison: the store survives the unwound
+        // worker thread and keeps serving identical answers.
+        let after = service.select(&request).unwrap();
+        assert_eq!(after.worker_ids(), before.worker_ids());
+        assert!((after.quality - before.quality).abs() < 1e-12);
+        assert!(service.cache_stats().hits > 0);
+    }
+
+    #[test]
+    fn a_panicking_select_batch_slot_does_not_unwind_the_batch() {
+        // An end-to-end variant through the public batch API: a pool whose
+        // construction invariants hold but whose serve panics is hard to
+        // fabricate from outside, so this pins the seam run_batch itself
+        // guards — every public batch entry point shares it.
+        let service = JuryService::new(ServiceConfig::fast().with_batch_threads(2));
+        let results = service.run_batch(&[0usize, 1], |&slot| {
+            if slot == 0 {
+                panic!("boom");
+            }
+            service.select(&SelectionRequest::new(paper_example_pool(), 15.0))
+        });
+        assert!(matches!(results[0], Err(ServiceError::Internal { .. })));
+        assert!(results[1].is_ok());
     }
 }
