@@ -2,7 +2,8 @@
 //! hot paths, written as `BENCH_service.json` so the repo's performance
 //! trajectory accumulates one data point per CI run.
 //!
-//! Four workload families, all wall-clock timings:
+//! Five workload families — four wall-clock timings plus one
+//! quality-per-evaluation race:
 //!
 //! * **annealing step** — one solver-shaped neighbour evaluation (swap a
 //!   jury member, read the JQ, revert) on the from-scratch bucket DP vs.
@@ -17,14 +18,18 @@
 //! * **store contention** — 8 threads of repeated, fully warmed small-pool
 //!   mixed traffic, so every request is served almost entirely from the
 //!   shared JQ store: per-response p50/p99 with the striped store
-//!   (`cache_shards = 8`) vs. the single-lock store (`cache_shards = 1`).
+//!   (`cache_shards = 8`) vs. the single-lock store (`cache_shards = 1`);
+//! * **portfolio quality** — `SolverPolicy::Portfolio` vs plain annealing
+//!   on a large pool, both capped at the same evaluation budget; the
+//!   ratio compares JQ margin over the coin-flip floor, not time, and is
+//!   fully deterministic (evaluation caps never read the clock).
 //!
 //! Usage: `perf_smoke [--out <path.json>] [--iters <n>]
 //! [--check <baseline.json>] [--tolerance <f>]` (defaults:
 //! `BENCH_service.json`, 15 iterations per timed routine).
 //!
 //! With `--check`, the run is compared against a previously written dump
-//! (the repo checks in `BENCH_baseline.json`): each of the four `speedups`
+//! (the repo checks in `BENCH_baseline.json`): each of the six `speedups`
 //! ratios — machine-independent by construction, since numerator and
 //! denominator are timed on the same host — must stay above
 //! `baseline / (1 + tolerance)`, or the process exits non-zero. The default
@@ -40,8 +45,8 @@ use rand::SeedableRng;
 use jury_jq::{BucketCount, BucketJqConfig, BucketJqEstimator, IncrementalJq, IncrementalJqConfig};
 use jury_model::{GaussianWorkerGenerator, Jury, MatrixPool, Prior, Worker, WorkerPool};
 use jury_service::{
-    JuryService, MixedRequest, MultiClassSelectionRequest, SelectionRequest, ServiceConfig,
-    SweepPolicy,
+    JuryService, MixedRequest, MixedResponse, MultiClassSelectionRequest, SelectionRequest,
+    ServiceConfig, ServiceError, SolverPolicy, SweepPolicy,
 };
 
 /// Bucket resolution shared by the scratch and incremental paths so the
@@ -163,15 +168,45 @@ fn contention_percentiles_us(shards: usize, rounds: usize) -> (f64, f64) {
     (p50, p99)
 }
 
+/// Candidates of the portfolio-quality race (past the exact cutoff, so the
+/// heuristic members actually engage) and its shared evaluation cap.
+const PORTFOLIO_POOL_SIZE: usize = 60;
+const PORTFOLIO_EVAL_CAP: u64 = 1_500;
+const PORTFOLIO_JURY_BUDGET: f64 = 6.0;
+
+/// JQ reached by `policy` on the portfolio-race pool under the shared
+/// evaluation cap. A cap-truncated serve surfaces as `DeadlineExceeded`
+/// carrying the anytime best-so-far, which counts as the answer here.
+fn capped_quality(pool: &WorkerPool, policy: SolverPolicy) -> f64 {
+    let service = JuryService::new(ServiceConfig::fast());
+    let request = SelectionRequest::new(pool.clone(), PORTFOLIO_JURY_BUDGET)
+        .with_policy(policy)
+        .with_evaluation_limit(PORTFOLIO_EVAL_CAP);
+    match service.select(&request) {
+        Ok(response) => response.quality,
+        Err(ServiceError::DeadlineExceeded {
+            best_so_far: Some(best),
+        }) => match *best {
+            MixedResponse::Binary(response) => response.quality,
+            other => panic!("binary request returned {other:?}"),
+        },
+        Err(err) => panic!("capped select failed: {err}"),
+    }
+}
+
 /// The machine-independent ratios compared by `--check`. Raw `median_us`
-/// timings shift with the host; these divide two timings from the same run,
-/// so a drop can only come from a real relative slowdown.
-const CHECKED_SPEEDUPS: [&str; 5] = [
+/// timings shift with the host; the first five divide two timings from the
+/// same run, so a drop can only come from a real relative slowdown. The
+/// sixth divides two JQ margins over the 0.5 coin-flip floor at the same
+/// evaluation cap — deterministic on every host, it gates the portfolio's
+/// quality-per-evaluation claim against plain annealing.
+const CHECKED_SPEEDUPS: [&str; 6] = [
     "annealing_step_incremental_vs_scratch",
     "greedy_round_incremental_vs_scratch",
     "sweep_warm_marginal_vs_cold",
     "sweep_warm_annealing_vs_cold",
     "contention_sharded_vs_single_lock",
+    "portfolio_vs_annealing_quality_per_eval",
 ];
 
 /// Compares the current dump's `speedups` against a baseline file; returns
@@ -325,6 +360,20 @@ fn main() {
     let (contention_sharded_p50, contention_sharded_p99) =
         contention_percentiles_us(8, contention_rounds);
 
+    // Portfolio quality race: same pool, same jury budget, same evaluation
+    // cap — the only variable is the policy. Non-uniform costs keep the
+    // knapsack structure non-trivial.
+    let portfolio_qualities: Vec<f64> = (0..PORTFOLIO_POOL_SIZE)
+        .map(|i| 0.52 + 0.012 * (i % 30) as f64)
+        .collect();
+    let portfolio_costs: Vec<f64> = (0..PORTFOLIO_POOL_SIZE)
+        .map(|i| 0.5 + (i % 7) as f64 * 0.25)
+        .collect();
+    let portfolio_pool =
+        WorkerPool::from_qualities_and_costs(&portfolio_qualities, &portfolio_costs).unwrap();
+    let portfolio_quality = capped_quality(&portfolio_pool, SolverPolicy::Portfolio(Vec::new()));
+    let annealing_quality = capped_quality(&portfolio_pool, SolverPolicy::Annealing);
+
     let dump = serde_json::json!({
         "schema": "jury-bench/perf-smoke/v1",
         "iters": iters,
@@ -346,12 +395,24 @@ fn main() {
             "contention_sharded_p99": contention_sharded_p99,
         },
         "contention_threads": CONTENTION_THREADS,
+        "portfolio_race": {
+            "pool_size": PORTFOLIO_POOL_SIZE,
+            "jury_budget": PORTFOLIO_JURY_BUDGET,
+            "evaluation_cap": PORTFOLIO_EVAL_CAP,
+            "portfolio_quality": portfolio_quality,
+            "annealing_quality": annealing_quality,
+        },
         "speedups": {
             "annealing_step_incremental_vs_scratch": annealing_scratch / annealing_incremental,
             "greedy_round_incremental_vs_scratch": greedy_scratch / greedy_incremental,
             "sweep_warm_marginal_vs_cold": sweep_cold / sweep_warm_marginal,
             "sweep_warm_annealing_vs_cold": sweep_cold / sweep_warm_annealing,
             "contention_sharded_vs_single_lock": contention_single_p99 / contention_sharded_p99,
+            // JQ margin over the 0.5 coin-flip floor, portfolio : annealing,
+            // at PORTFOLIO_EVAL_CAP evaluations each. ≥ 1.0 means the race
+            // beats or ties annealing-only at equal evaluation spend.
+            "portfolio_vs_annealing_quality_per_eval":
+                (portfolio_quality - 0.5) / (annealing_quality - 0.5).max(1e-12),
         },
     });
     let rendered = serde_json::to_string_pretty(&dump).expect("serializable");

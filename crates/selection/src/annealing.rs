@@ -158,16 +158,17 @@ pub struct AnnealingSolver<O: JuryObjective> {
 }
 
 /// Mutable search state: selection flags, the selected jury, and its cost
-/// (the `X`, `Ĵ`, `H`, `M` variables of Algorithm 3).
-struct SearchState {
-    selected: Vec<bool>,
-    jury_members: Vec<Worker>,
-    spent: f64,
-    current_value: Option<f64>,
+/// (the `X`, `Ĵ`, `H`, `M` variables of Algorithm 3). Shared with the tabu
+/// search, which walks the same add/swap neighbourhood.
+pub(crate) struct SearchState {
+    pub(crate) selected: Vec<bool>,
+    pub(crate) jury_members: Vec<Worker>,
+    pub(crate) spent: f64,
+    pub(crate) current_value: Option<f64>,
 }
 
 impl SearchState {
-    fn new(n: usize) -> Self {
+    pub(crate) fn new(n: usize) -> Self {
         SearchState {
             selected: vec![false; n],
             jury_members: Vec::new(),
@@ -176,11 +177,11 @@ impl SearchState {
         }
     }
 
-    fn jury(&self) -> Jury {
+    pub(crate) fn jury(&self) -> Jury {
         Jury::new(self.jury_members.clone())
     }
 
-    fn selected_indices(&self) -> Vec<usize> {
+    pub(crate) fn selected_indices(&self) -> Vec<usize> {
         self.selected
             .iter()
             .enumerate()
@@ -198,14 +199,20 @@ impl SearchState {
             .collect()
     }
 
-    fn add(&mut self, index: usize, worker: &Worker) {
+    pub(crate) fn add(&mut self, index: usize, worker: &Worker) {
         self.selected[index] = true;
         self.jury_members.push(worker.clone());
         self.spent += worker.cost();
         self.current_value = None;
     }
 
-    fn swap(&mut self, out_index: usize, out_worker: &Worker, in_index: usize, in_worker: &Worker) {
+    pub(crate) fn swap(
+        &mut self,
+        out_index: usize,
+        out_worker: &Worker,
+        in_index: usize,
+        in_worker: &Worker,
+    ) {
         self.selected[out_index] = false;
         self.selected[in_index] = true;
         self.jury_members.retain(|w| w.id() != out_worker.id());
@@ -213,6 +220,43 @@ impl SearchState {
         self.spent += in_worker.cost() - out_worker.cost();
         self.current_value = None;
     }
+}
+
+/// The greedy candidate juries shared by the annealing, tabu, and portfolio
+/// searches: the top-quality-first and best-log-odds-per-cost-first fills of
+/// the budget. Cheap (two sorts, no objective evaluations) and a reliable
+/// floor on instances that trap swap-based local search.
+pub(crate) fn greedy_candidate_juries(instance: &JspInstance) -> Vec<Jury> {
+    let budget = instance.budget();
+    let mut by_quality = instance.pool().workers().to_vec();
+    by_quality.sort_by(|a, b| {
+        b.effective_quality()
+            .partial_cmp(&a.effective_quality())
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.id().cmp(&b.id()))
+    });
+    let mut by_ratio = instance.pool().workers().to_vec();
+    by_ratio.sort_by(|a, b| {
+        let ra = a.log_odds() / a.cost().max(1e-9);
+        let rb = b.log_odds() / b.cost().max(1e-9);
+        rb.partial_cmp(&ra)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.id().cmp(&b.id()))
+    });
+    [by_quality, by_ratio]
+        .into_iter()
+        .map(|order| {
+            let mut jury = Jury::empty();
+            let mut spent = 0.0;
+            for worker in order {
+                if spent + worker.cost() <= budget + 1e-12 {
+                    spent += worker.cost();
+                    jury.push(worker);
+                }
+            }
+            jury
+        })
+        .collect()
 }
 
 impl<O: JuryObjective> AnnealingSolver<O> {
@@ -365,7 +409,16 @@ impl<O: JuryObjective> AnnealingSolver<O> {
     ///
     /// Returns the jury, its batch-objective value, and whether the search
     /// budget cut the temperature loop short.
-    fn anneal_once(&self, instance: &JspInstance, seed: u64, start: &Jury) -> (Jury, f64, bool) {
+    ///
+    /// Crate-visible so the portfolio solver can race annealing one restart
+    /// at a time with exactly the per-restart RNG stream of a standalone
+    /// [`AnnealingSolver::solve`] call.
+    pub(crate) fn anneal_once(
+        &self,
+        instance: &JspInstance,
+        seed: u64,
+        start: &Jury,
+    ) -> (Jury, f64, bool) {
         let n = instance.num_candidates();
         let workers = instance.pool().workers();
         let mut rng = StdRng::seed_from_u64(seed);
@@ -442,36 +495,7 @@ impl<O: JuryObjective> AnnealingSolver<O> {
     /// The greedy candidate juries: top-quality-first and
     /// best-log-odds-per-cost-first fills of the budget.
     fn greedy_candidates(&self, instance: &JspInstance) -> Vec<Jury> {
-        let budget = instance.budget();
-        let mut by_quality = instance.pool().workers().to_vec();
-        by_quality.sort_by(|a, b| {
-            b.effective_quality()
-                .partial_cmp(&a.effective_quality())
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.id().cmp(&b.id()))
-        });
-        let mut by_ratio = instance.pool().workers().to_vec();
-        by_ratio.sort_by(|a, b| {
-            let ra = a.log_odds() / a.cost().max(1e-9);
-            let rb = b.log_odds() / b.cost().max(1e-9);
-            rb.partial_cmp(&ra)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.id().cmp(&b.id()))
-        });
-        [by_quality, by_ratio]
-            .into_iter()
-            .map(|order| {
-                let mut jury = Jury::empty();
-                let mut spent = 0.0;
-                for worker in order {
-                    if spent + worker.cost() <= budget + 1e-12 {
-                        spent += worker.cost();
-                        jury.push(worker);
-                    }
-                }
-                jury
-            })
-            .collect()
+        greedy_candidate_juries(instance)
     }
 }
 

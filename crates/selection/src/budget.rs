@@ -78,6 +78,36 @@ impl SearchBudget {
         self.deadline.is_none() && self.max_evaluations.is_none()
     }
 
+    /// Merges two budgets tightest-wins: the earlier of the two deadlines
+    /// and the smaller of the two evaluation caps, with a limit present on
+    /// either side surviving into the result.
+    ///
+    /// This is how the service combines a per-request budget with a
+    /// service-wide `ServiceConfig` ceiling — neither silently overrides
+    /// the other.
+    ///
+    /// ```
+    /// use jury_selection::SearchBudget;
+    ///
+    /// let request = SearchBudget::unlimited().with_max_evaluations(500);
+    /// let config = SearchBudget::unlimited().with_max_evaluations(100);
+    /// assert_eq!(request.intersect(config).max_evaluations(), Some(100));
+    /// ```
+    #[must_use]
+    pub fn intersect(self, other: SearchBudget) -> SearchBudget {
+        fn tighter<T: Ord>(a: Option<T>, b: Option<T>) -> Option<T> {
+            match (a, b) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (Some(a), None) => Some(a),
+                (None, b) => b,
+            }
+        }
+        SearchBudget {
+            deadline: tighter(self.deadline, other.deadline),
+            max_evaluations: tighter(self.max_evaluations, other.max_evaluations),
+        }
+    }
+
     /// Whether the budget is spent, given the evaluations consumed so far.
     ///
     /// The evaluation cap is checked before the deadline so determinism-
@@ -140,6 +170,57 @@ mod tests {
         // Either representable (exhausts far in the future) or dropped;
         // in both cases the budget must not exhaust now.
         assert!(!budget.exhausted(0));
+    }
+
+    #[test]
+    fn intersect_of_two_unlimited_budgets_is_unlimited() {
+        let merged = SearchBudget::unlimited().intersect(SearchBudget::unlimited());
+        assert!(merged.is_unlimited());
+        assert!(!merged.exhausted(u64::MAX));
+    }
+
+    #[test]
+    fn intersect_keeps_a_limit_present_on_only_one_side() {
+        let near = Instant::now() + Duration::from_secs(60);
+        let limited = SearchBudget::unlimited()
+            .with_deadline_at(near)
+            .with_max_evaluations(10);
+
+        // Request limited, config unlimited.
+        let merged = limited.intersect(SearchBudget::unlimited());
+        assert_eq!(merged.deadline(), Some(near));
+        assert_eq!(merged.max_evaluations(), Some(10));
+
+        // Request unlimited, config limited.
+        let merged = SearchBudget::unlimited().intersect(limited);
+        assert_eq!(merged.deadline(), Some(near));
+        assert_eq!(merged.max_evaluations(), Some(10));
+    }
+
+    #[test]
+    fn intersect_takes_the_tighter_of_two_limits() {
+        let soon = Instant::now() + Duration::from_secs(10);
+        let later = soon + Duration::from_secs(50);
+        let a = SearchBudget::unlimited()
+            .with_deadline_at(later)
+            .with_max_evaluations(10);
+        let b = SearchBudget::unlimited()
+            .with_deadline_at(soon)
+            .with_max_evaluations(500);
+        for merged in [a.intersect(b), b.intersect(a)] {
+            assert_eq!(merged.deadline(), Some(soon));
+            assert_eq!(merged.max_evaluations(), Some(10));
+        }
+    }
+
+    #[test]
+    fn intersect_merges_disjoint_limit_kinds() {
+        let at = Instant::now() + Duration::from_secs(30);
+        let deadline_only = SearchBudget::unlimited().with_deadline_at(at);
+        let cap_only = SearchBudget::unlimited().with_max_evaluations(7);
+        let merged = deadline_only.intersect(cap_only);
+        assert_eq!(merged.deadline(), Some(at));
+        assert_eq!(merged.max_evaluations(), Some(7));
     }
 
     #[test]

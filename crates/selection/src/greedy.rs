@@ -221,6 +221,35 @@ impl<'a, O: JuryObjective> MarginalSearch<'a, O> {
         self.spent
     }
 
+    /// Commits the given pool positions outright — no probing, no stop rule
+    /// — skipping indices already selected or unaffordable under `budget`.
+    /// This is how [`crate::RestartSolver`] diversifies: each randomized
+    /// restart plants a few workers before the marginal rounds take over.
+    /// Costs at most one objective evaluation (to refresh the current value
+    /// when the session is absent).
+    pub(crate) fn preseed(&mut self, workers: &[Worker], indices: &[usize], budget: f64) {
+        let mut committed = false;
+        for &index in indices {
+            let worker = &workers[index];
+            if self.selected[index] || self.spent + worker.cost() > budget + 1e-12 {
+                continue;
+            }
+            self.selected[index] = true;
+            self.spent += worker.cost();
+            self.jury.push(worker.clone());
+            if let Some(live) = &mut self.session {
+                live.push(worker);
+            }
+            committed = true;
+        }
+        if committed {
+            self.current_value = match &self.session {
+                Some(live) => live.value(),
+                None => self.objective.evaluate(&self.jury, self.prior),
+            };
+        }
+    }
+
     /// Greedy rounds up to `budget`: each round scores **every** affordable
     /// single-worker extension of the current jury (in place through the
     /// session: push, read, pop) and commits the best one; ties keep the

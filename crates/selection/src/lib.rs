@@ -46,10 +46,13 @@ pub mod greedy;
 pub mod multiclass;
 pub mod mvjs;
 pub mod objective;
+pub mod portfolio;
 pub mod problem;
 pub mod repair;
+pub mod restart;
 pub mod solver;
 pub mod special;
+pub mod tabu;
 
 pub use annealing::{AnnealingConfig, AnnealingSolver};
 pub use budget::SearchBudget;
@@ -65,10 +68,13 @@ pub use objective::{
     bv_incremental_session, mv_incremental_session, BvObjective, IncrementalSession, JuryObjective,
     MvObjective,
 };
+pub use portfolio::{PortfolioConfig, PortfolioMember, PortfolioSolver};
 pub use problem::JspInstance;
 pub use repair::{repair_jury, RepairConfig, RepairResult};
+pub use restart::{RestartConfig, RestartSolver};
 pub use solver::{JurySolver, SolveError, SolverResult};
 pub use special::{try_special_case, SpecialCase};
+pub use tabu::{TabuConfig, TabuSolver};
 
 #[cfg(test)]
 mod proptests {
@@ -127,6 +133,90 @@ mod proptests {
             let mvjs = MvjsSolver::new().solve(&instance);
             prop_assert!(optjs.objective_value >= mvjs.objective_value - 1e-9,
                 "OPTJS {} below MVJS {}", optjs.objective_value, mvjs.objective_value);
+        }
+
+        /// An unbudgeted portfolio race returns exactly the jury its best
+        /// member would have returned standalone (value ties keep the
+        /// earlier member in race order) — the lanes replay each member's
+        /// restart sequence bit-identically, so this is an equality, not a
+        /// bound.
+        #[test]
+        fn portfolio_returns_exactly_the_best_member(
+            pool in pool_strategy(),
+            budget in 0.0f64..3.0,
+        ) {
+            let instance = JspInstance::with_uniform_prior(pool, budget).unwrap();
+            let raced = PortfolioSolver::new(BvObjective::new()).solve(&instance);
+            let mut best: Option<SolverResult> = None;
+            for member in PortfolioMember::default_lineup() {
+                let result: SolverResult = match member {
+                    PortfolioMember::Tabu =>
+                        TabuSolver::new(BvObjective::new()).solve(&instance),
+                    PortfolioMember::Restart =>
+                        RestartSolver::new(BvObjective::new()).solve(&instance),
+                    PortfolioMember::Annealing =>
+                        AnnealingSolver::new(BvObjective::new()).solve(&instance),
+                };
+                let better = best
+                    .as_ref()
+                    .is_none_or(|b| result.objective_value > b.objective_value);
+                if better {
+                    best = Some(result);
+                }
+            }
+            let best = best.expect("three members");
+            prop_assert_eq!(raced.jury.ids(), best.jury.ids());
+            prop_assert!((raced.objective_value - best.objective_value).abs() < 1e-15);
+            prop_assert!(!raced.truncated);
+        }
+
+        /// A truncated portfolio race still returns a feasible jury no
+        /// worse than the greedy floor, at any evaluation cap.
+        #[test]
+        fn truncated_portfolio_respects_the_greedy_floor(
+            pool in pool_strategy(),
+            budget in 0.2f64..3.0,
+            cap in 1u64..40,
+        ) {
+            let instance = JspInstance::with_uniform_prior(pool, budget).unwrap();
+            let raced = PortfolioSolver::new(BvObjective::new())
+                .with_budget(SearchBudget::unlimited().with_max_evaluations(cap))
+                .solve(&instance);
+            prop_assert!(instance.is_feasible(&raced.jury));
+            let floor = GreedyQualitySolver::new(BvObjective::new())
+                .solve(&instance)
+                .objective_value
+                .max(
+                    GreedyRatioSolver::new(BvObjective::new())
+                        .solve(&instance)
+                        .objective_value,
+                );
+            prop_assert!(raced.objective_value >= floor - 1e-9,
+                "cap {}: {} below greedy floor {}", cap, raced.objective_value, floor);
+        }
+
+        /// Tabu and restart searches are deterministic under a fixed seed:
+        /// solving the same instance twice returns the same jury.
+        #[test]
+        fn tabu_and_restart_are_seed_deterministic(
+            pool in pool_strategy(),
+            budget in 0.2f64..3.0,
+            seed in 0u64..u64::MAX,
+        ) {
+            let instance = JspInstance::with_uniform_prior(pool, budget).unwrap();
+            let tabu_config = TabuConfig::default().with_seed(seed);
+            let a = TabuSolver::with_config(BvObjective::new(), tabu_config).solve(&instance);
+            let b = TabuSolver::with_config(BvObjective::new(), tabu_config).solve(&instance);
+            prop_assert_eq!(a.jury.ids(), b.jury.ids());
+            prop_assert!((a.objective_value - b.objective_value).abs() < 1e-15);
+
+            let restart_config = RestartConfig::default().with_seed(seed);
+            let a = RestartSolver::with_config(BvObjective::new(), restart_config)
+                .solve(&instance);
+            let b = RestartSolver::with_config(BvObjective::new(), restart_config)
+                .solve(&instance);
+            prop_assert_eq!(a.jury.ids(), b.jury.ids());
+            prop_assert!((a.objective_value - b.objective_value).abs() < 1e-15);
         }
 
         /// When a special case applies, its closed-form jury matches the

@@ -6,10 +6,14 @@
 //! OPTJS and MVJS strategies, plus the service-level batch and cache
 //! settings and the multi-class (confusion-matrix) engine configuration.
 
+use std::time::Duration;
+
 use jury_jq::{
     BucketCount, BucketJqConfig, JqEngine, MultiClassBucketConfig, MultiClassIncrementalConfig,
 };
-use jury_selection::{AnnealingConfig, DEFAULT_MULTICLASS_SESSION_POOL_CUTOFF};
+use jury_selection::{
+    AnnealingConfig, RestartConfig, TabuConfig, DEFAULT_MULTICLASS_SESSION_POOL_CUTOFF,
+};
 
 /// How [`crate::JuryService::budget_quality_table`] (and its multi-class
 /// sibling) serves pools beyond the exact cutoff — the **sweep policy**.
@@ -86,6 +90,21 @@ pub struct ServiceConfig {
     pub bucket: BucketJqConfig,
     /// Simulated-annealing configuration for the JSP search.
     pub annealing: AnnealingConfig,
+    /// Tabu-search configuration for the portfolio's
+    /// [`jury_selection::TabuSolver`] member.
+    pub tabu: TabuConfig,
+    /// Randomized-restart configuration for the portfolio's
+    /// [`jury_selection::RestartSolver`] member.
+    pub restart: RestartConfig,
+    /// A service-wide wall-clock ceiling applied to every request: merged
+    /// with any per-request deadline **tightest-wins** (via
+    /// [`jury_selection::SearchBudget::intersect`]). `None` (the default)
+    /// imposes no service-side deadline.
+    pub default_deadline: Option<Duration>,
+    /// A service-wide objective-evaluation ceiling applied to every
+    /// request, merged with any per-request cap tightest-wins. `None` (the
+    /// default) imposes no service-side cap.
+    pub default_max_evaluations: Option<u64>,
     /// Pools of at most this size are solved exactly by enumeration instead
     /// of by annealing (under [`crate::SolverPolicy::Auto`]); juries of at
     /// most this size also use exact JQ enumeration inside the engine.
@@ -136,6 +155,10 @@ impl Default for ServiceConfig {
         ServiceConfig {
             bucket: BucketJqConfig::default(),
             annealing: AnnealingConfig::default(),
+            tabu: TabuConfig::default(),
+            restart: RestartConfig::default(),
+            default_deadline: None,
+            default_max_evaluations: None,
             exact_cutoff: 14,
             cache_capacity: 1 << 20,
             cache_shards: 8,
@@ -183,6 +206,33 @@ impl ServiceConfig {
     /// Sets the annealing configuration.
     pub fn with_annealing(mut self, annealing: AnnealingConfig) -> Self {
         self.annealing = annealing;
+        self
+    }
+
+    /// Sets the tabu-search configuration (the portfolio's tabu member).
+    pub fn with_tabu(mut self, tabu: TabuConfig) -> Self {
+        self.tabu = tabu;
+        self
+    }
+
+    /// Sets the randomized-restart configuration (the portfolio's restart
+    /// member).
+    pub fn with_restart(mut self, restart: RestartConfig) -> Self {
+        self.restart = restart;
+        self
+    }
+
+    /// Sets (or clears) the service-wide default deadline; it merges with
+    /// any per-request deadline tightest-wins.
+    pub fn with_default_deadline(mut self, deadline: Option<Duration>) -> Self {
+        self.default_deadline = deadline;
+        self
+    }
+
+    /// Sets (or clears) the service-wide default evaluation cap; it merges
+    /// with any per-request cap tightest-wins.
+    pub fn with_default_evaluation_limit(mut self, max_evaluations: Option<u64>) -> Self {
+        self.default_max_evaluations = max_evaluations;
         self
     }
 
@@ -276,6 +326,10 @@ mod tests {
         assert_eq!(config.overload, OverloadPolicy::Shed);
         assert_eq!(config.sweep, SweepPolicy::WarmMarginal);
         assert!(config.warm_sweeps());
+        assert!(config.default_deadline.is_none());
+        assert!(config.default_max_evaluations.is_none());
+        assert_eq!(config.tabu, TabuConfig::default());
+        assert_eq!(config.restart, RestartConfig::default());
         assert_eq!(
             config.multiclass_session_cutoff,
             DEFAULT_MULTICLASS_SESSION_POOL_CUTOFF
@@ -298,8 +352,16 @@ mod tests {
             .with_multiclass_incremental(
                 MultiClassIncrementalConfig::default().with_max_cells(1 << 10),
             )
-            .with_multiclass_session_cutoff(9);
+            .with_multiclass_session_cutoff(9)
+            .with_tabu(TabuConfig::default().with_tenure(3))
+            .with_restart(RestartConfig::default().with_restarts(7))
+            .with_default_deadline(Some(Duration::from_millis(250)))
+            .with_default_evaluation_limit(Some(10_000));
         assert_eq!(config.exact_cutoff, 5);
+        assert_eq!(config.tabu.tenure, 3);
+        assert_eq!(config.restart.restarts, 7);
+        assert_eq!(config.default_deadline, Some(Duration::from_millis(250)));
+        assert_eq!(config.default_max_evaluations, Some(10_000));
         assert_eq!(config.annealing.seed, 9);
         assert_eq!(config.bucket, BucketJqConfig::paper_experiments());
         assert_eq!(config.cache_capacity, 128);

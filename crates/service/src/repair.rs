@@ -59,9 +59,13 @@ impl JuryService {
     /// the registry come back [`jury_stream::DriftStatus::Stale`]; the
     /// ledger itself is not mutated (repairs commit new baselines).
     ///
-    /// All juries of one scan are scored against the *same* snapshot
-    /// through the shared JQ cache, so overlapping juries share
-    /// evaluations.
+    /// The scan is **incremental**: a selection none of whose members'
+    /// posteriors changed since its baseline epoch
+    /// ([`WorkerRegistry::last_update_epoch`]) is reported at its baseline
+    /// quality without a JQ evaluation — exact, not an approximation, since
+    /// scoring is deterministic in the member posteriors. The selections
+    /// that do need scoring all score against the *same* snapshot through
+    /// the shared JQ cache, so overlapping juries share evaluations.
     pub fn drift_scan(
         &self,
         registry: &WorkerRegistry,
@@ -75,6 +79,15 @@ impl JuryService {
         let objective =
             CachedObjective::new(self.config().jq_engine(), Strategy::Bv, self.jq_cache());
         Ok(detector.scan_with(|_, selection| {
+            // A member missing from the registry must fall through to the
+            // scoring path so the report comes back `Stale`, not skipped.
+            let unchanged = selection.members().iter().all(|&id| {
+                matches!(registry.last_update_epoch(id),
+                    Some(updated) if updated <= selection.epoch())
+            });
+            if unchanged {
+                return Some(selection.baseline_quality());
+            }
             let jury = Jury::from_pool(&snapshot, selection.members()).ok()?;
             Some(objective.evaluate(&jury, selection.prior()))
         }))
@@ -365,6 +378,48 @@ mod tests {
         assert_eq!(reports[0].id, id);
         assert_eq!(reports[0].status, DriftStatus::Drifted);
         assert!(reports[0].drift < -0.02);
+    }
+
+    #[test]
+    fn drift_scan_skips_selections_whose_members_did_not_move() {
+        let service = JuryService::new(ServiceConfig::fast());
+        let mut registry = seeded_registry();
+        let mut detector = DriftDetector::new(0.02);
+        let id = select_and_track(&service, &registry, &mut detector);
+        let members = detector.get(id).unwrap().members().to_vec();
+        let baseline = detector.get(id).unwrap().baseline_quality();
+
+        // Degrade a worker *outside* the jury: the registry's global epoch
+        // moves, the members' own posteriors do not.
+        let outside = (0..6)
+            .map(WorkerId)
+            .find(|w| !members.contains(w))
+            .expect("budget 3 of 6 workers leaves someone out");
+        degrade(&mut registry, outside, 10);
+        assert!(registry.epoch() > detector.get(id).unwrap().epoch());
+
+        let before = service.cache_stats();
+        let reports = service.drift_scan(&registry, &detector).unwrap();
+        let after = service.cache_stats();
+        assert_eq!(reports[0].status, DriftStatus::Steady);
+        assert_eq!(reports[0].fresh, Some(baseline), "baseline verbatim");
+        assert_eq!(reports[0].drift, 0.0);
+        // The skip is free: no JQ evaluation, not even a cache lookup.
+        assert_eq!(
+            after.hits + after.misses,
+            before.hits + before.misses,
+            "an epoch-skipped selection must not touch the JQ store"
+        );
+
+        // Once a member itself moves, the scan re-scores for real.
+        degrade(&mut registry, members[0], 60);
+        let reports = service.drift_scan(&registry, &detector).unwrap();
+        assert_eq!(reports[0].status, DriftStatus::Drifted);
+        let rescanned = service.cache_stats();
+        assert!(
+            rescanned.hits + rescanned.misses > after.hits + after.misses,
+            "a moved member must force a real evaluation"
+        );
     }
 
     #[test]

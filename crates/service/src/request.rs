@@ -7,6 +7,7 @@ use std::time::Duration;
 use serde::{Deserialize, Serialize};
 
 use jury_model::{CategoricalPrior, MatrixPool, Prior, WorkerPool};
+use jury_selection::PortfolioMember;
 
 use crate::config::ServiceConfig;
 
@@ -29,7 +30,7 @@ impl std::fmt::Display for Strategy {
 }
 
 /// Which search algorithm solves the (NP-hard) selection problem.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum SolverPolicy {
     /// Exhaustive enumeration for small pools, simulated annealing
     /// otherwise (the paper's system behaviour). The default.
@@ -42,6 +43,12 @@ pub enum SolverPolicy {
     /// The cheap greedy baselines (best of quality-first and
     /// quality-per-cost-first).
     Greedy,
+    /// The anytime solver portfolio: race the listed members round-robin
+    /// under one shared search budget and return the best jury found (small
+    /// pools still go to the exact solver, as under `Auto`). An empty member
+    /// list races the default lineup
+    /// ([`PortfolioMember::default_lineup`]).
+    Portfolio(Vec<PortfolioMember>),
 }
 
 impl std::fmt::Display for SolverPolicy {
@@ -51,6 +58,51 @@ impl std::fmt::Display for SolverPolicy {
             SolverPolicy::Exact => write!(f, "exact"),
             SolverPolicy::Annealing => write!(f, "annealing"),
             SolverPolicy::Greedy => write!(f, "greedy"),
+            SolverPolicy::Portfolio(_) => write!(f, "portfolio"),
+        }
+    }
+}
+
+// Hand-written serde glue: the derive shim only handles unit enum variants,
+// and `Portfolio` carries its member list. Unit variants keep the derive's
+// wire shape (a variant-name string); `Portfolio` maps to a one-entry object
+// keyed by the variant name, so old payloads still round-trip unchanged.
+impl Serialize for SolverPolicy {
+    fn to_value(&self) -> serde::Value {
+        match self {
+            SolverPolicy::Auto => serde::Value::String("Auto".to_string()),
+            SolverPolicy::Exact => serde::Value::String("Exact".to_string()),
+            SolverPolicy::Annealing => serde::Value::String("Annealing".to_string()),
+            SolverPolicy::Greedy => serde::Value::String("Greedy".to_string()),
+            SolverPolicy::Portfolio(members) => {
+                serde::Value::Object(vec![("Portfolio".to_string(), members.to_value())])
+            }
+        }
+    }
+}
+
+impl Deserialize for SolverPolicy {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        match value {
+            serde::Value::String(_) => match value.as_variant()? {
+                "Auto" => Ok(SolverPolicy::Auto),
+                "Exact" => Ok(SolverPolicy::Exact),
+                "Annealing" => Ok(SolverPolicy::Annealing),
+                "Greedy" => Ok(SolverPolicy::Greedy),
+                other => Err(serde::Error::custom(format!(
+                    "unknown SolverPolicy variant `{other}`"
+                ))),
+            },
+            serde::Value::Object(_) => {
+                let members = value.field("Portfolio")?;
+                Ok(SolverPolicy::Portfolio(Vec::<PortfolioMember>::from_value(
+                    members,
+                )?))
+            }
+            other => Err(serde::Error::custom(format!(
+                "expected SolverPolicy string or object, got {}",
+                other.kind()
+            ))),
         }
     }
 }
@@ -187,7 +239,7 @@ impl SelectionRequest {
 
     /// The solver policy.
     pub fn policy(&self) -> SolverPolicy {
-        self.policy
+        self.policy.clone()
     }
 
     /// The per-request configuration override, if any.
@@ -338,7 +390,7 @@ impl MultiClassSelectionRequest {
 
     /// The solver policy.
     pub fn policy(&self) -> SolverPolicy {
-        self.policy
+        self.policy.clone()
     }
 
     /// The per-request configuration override, if any.
@@ -485,5 +537,25 @@ mod tests {
         assert_eq!(Strategy::Mv.to_string(), "MV");
         assert_eq!(SolverPolicy::Auto.to_string(), "auto");
         assert_eq!(SolverPolicy::Greedy.to_string(), "greedy");
+        assert_eq!(SolverPolicy::Portfolio(Vec::new()).to_string(), "portfolio");
+    }
+
+    #[test]
+    fn solver_policy_round_trips_through_serde() {
+        let policies = [
+            SolverPolicy::Auto,
+            SolverPolicy::Exact,
+            SolverPolicy::Annealing,
+            SolverPolicy::Greedy,
+            SolverPolicy::Portfolio(Vec::new()),
+            SolverPolicy::Portfolio(PortfolioMember::default_lineup()),
+            SolverPolicy::Portfolio(vec![PortfolioMember::Tabu]),
+        ];
+        for policy in policies {
+            let value = policy.to_value();
+            assert_eq!(SolverPolicy::from_value(&value).unwrap(), policy);
+        }
+        assert!(SolverPolicy::from_value(&serde::Value::String("Bogus".to_string())).is_err());
+        assert!(SolverPolicy::from_value(&serde::Value::Null).is_err());
     }
 }

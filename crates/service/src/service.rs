@@ -11,7 +11,7 @@ use jury_model::{CategoricalPrior, MatrixPool, Prior, WorkerPool};
 use jury_selection::{
     AnnealingSolver, BudgetQualityRow, BudgetQualityTable, ExhaustiveSolver, GreedyMarginalSolver,
     GreedyQualitySolver, GreedyRatioSolver, JspInstance, JuryObjective, JurySolver, MultiClassJsp,
-    MvjsSolver, SearchBudget, SolverResult, MAX_EXHAUSTIVE_POOL,
+    MvjsSolver, PortfolioConfig, PortfolioSolver, SearchBudget, SolverResult, MAX_EXHAUSTIVE_POOL,
 };
 
 use crate::cache::{CacheStats, CachedMultiClassObjective, CachedObjective, JqCache};
@@ -205,8 +205,12 @@ impl JuryService {
 
         let instance = JspInstance::new(request.pool().clone(), budget, prior)?;
         let objective = CachedObjective::new(config.jq_engine(), request.strategy(), &self.cache);
-        let search_budget =
-            Self::request_budget(started, request.deadline(), request.max_evaluations());
+        let search_budget = Self::effective_budget(
+            started,
+            request.deadline(),
+            request.max_evaluations(),
+            &config,
+        );
         let result = self.run_solver(&instance, &objective, request, &config, search_budget)?;
 
         let truncated = result.truncated;
@@ -249,6 +253,25 @@ impl JuryService {
             budget = budget.with_max_evaluations(max);
         }
         budget
+    }
+
+    /// The budget a request actually runs under: its own deadline knobs
+    /// intersected **tightest-wins** with the service-wide defaults
+    /// ([`ServiceConfig::default_deadline`],
+    /// [`ServiceConfig::default_max_evaluations`]) — whichever side names
+    /// the earlier deadline or the smaller evaluation cap governs, and a
+    /// limit present on only one side still applies.
+    fn effective_budget(
+        started: Instant,
+        deadline: Option<Duration>,
+        max_evaluations: Option<u64>,
+        config: &ServiceConfig,
+    ) -> SearchBudget {
+        Self::request_budget(started, deadline, max_evaluations).intersect(Self::request_budget(
+            started,
+            config.default_deadline,
+            config.default_max_evaluations,
+        ))
     }
 
     fn run_solver(
@@ -305,6 +328,22 @@ impl JuryService {
             }
             SolverPolicy::Auto | SolverPolicy::Annealing => {
                 AnnealingSolver::with_config(objective, config.annealing)
+                    .with_budget(search_budget)
+                    .solve(instance)
+            }
+            // Small pools keep the provably-optimal enumeration, exactly
+            // like `Auto`; the race only engages where the exact solver
+            // cannot go.
+            SolverPolicy::Portfolio(_) if small_pool => {
+                ExhaustiveSolver::new(objective).try_solve(instance)?
+            }
+            SolverPolicy::Portfolio(members) => {
+                let portfolio = PortfolioConfig::default()
+                    .with_annealing(config.annealing)
+                    .with_tabu(config.tabu)
+                    .with_restart(config.restart);
+                PortfolioSolver::with_members(objective, members)
+                    .with_config(portfolio)
                     .with_budget(search_budget)
                     .solve(instance)
             }
@@ -423,8 +462,12 @@ impl JuryService {
         // multi-class selection always optimizes Bayesian voting), running
         // the solvers over the shadow instance while the cached objective
         // scores the full matrices.
-        let search_budget =
-            Self::request_budget(started, request.deadline(), request.max_evaluations());
+        let search_budget = Self::effective_budget(
+            started,
+            request.deadline(),
+            request.max_evaluations(),
+            &config,
+        );
         let result = self.dispatch_solver(
             problem.instance(),
             &objective,
@@ -846,30 +889,45 @@ impl JuryService {
                 SweepPolicy::Cold => unreachable!("cold sweeps take the batch path"),
             });
         }
-        // Batch path: per-budget requests, each carrying what is left of
-        // the sweep deadline. Rows that hit the deadline keep their anytime
-        // best-so-far jury and flip the truncation flag instead of erroring.
-        let deadline_left = search_budget
-            .deadline()
-            .map(|at| at.saturating_duration_since(Instant::now()));
-        let requests: Vec<SelectionRequest> = budgets
-            .iter()
-            .map(|&budget| {
-                let mut request = SelectionRequest::new(pool.clone(), budget)
-                    .with_prior(prior)
-                    .allow_empty_selection(true);
-                if let Some(left) = deadline_left {
-                    request = request.with_deadline(left);
-                }
-                if let Some(max) = search_budget.max_evaluations() {
-                    request = request.with_evaluation_limit(max);
-                }
-                request
-            })
-            .collect();
+        // Batch path: per-budget requests. Without a deadline they are
+        // served thread-parallel as one batch. Under a sweep deadline the
+        // rows are served sequentially instead, each granted an equal share
+        // of the time *still remaining* — recomputed after every completed
+        // row, so time a fast row leaves unspent is reclaimed by the rows
+        // behind it and the whole sweep is bounded by the one deadline
+        // (handing every row the full remainder up front would let the
+        // sweep run for rows × deadline). Rows that exhaust their share
+        // keep their anytime best-so-far jury and flip the truncation flag
+        // instead of erroring.
+        let build_request = |budget: f64| {
+            let mut request = SelectionRequest::new(pool.clone(), budget)
+                .with_prior(prior)
+                .allow_empty_selection(true);
+            if let Some(max) = search_budget.max_evaluations() {
+                request = request.with_evaluation_limit(max);
+            }
+            request
+        };
+        let results: Vec<Result<SelectionResponse, ServiceError>> = match search_budget.deadline() {
+            Some(at) => budgets
+                .iter()
+                .enumerate()
+                .map(|(row, &budget)| {
+                    let rows_left = (budgets.len() - row) as u32;
+                    let share = at.saturating_duration_since(Instant::now()) / rows_left;
+                    self.select(&build_request(budget).with_deadline(share))
+                })
+                .collect(),
+            None => {
+                let requests: Vec<SelectionRequest> = budgets
+                    .iter()
+                    .map(|&budget| build_request(budget))
+                    .collect();
+                self.select_batch(&requests)
+            }
+        };
         let mut truncated = false;
-        let rows = self
-            .select_batch(&requests)
+        let rows = results
             .into_iter()
             .zip(budgets)
             .map(|(result, &budget)| {
@@ -980,27 +1038,39 @@ impl JuryService {
                 SweepPolicy::Cold => unreachable!("cold sweeps take the batch path"),
             });
         }
-        let deadline_left = search_budget
-            .deadline()
-            .map(|at| at.saturating_duration_since(Instant::now()));
-        let requests: Vec<MultiClassSelectionRequest> = budgets
-            .iter()
-            .map(|&budget| {
-                let mut request = MultiClassSelectionRequest::new(pool.clone(), budget)
-                    .with_prior(prior.clone())
-                    .allow_empty_selection(true);
-                if let Some(left) = deadline_left {
-                    request = request.with_deadline(left);
+        // Same per-row deadline redistribution as the binary table path:
+        // sequential rows under a deadline, each granted an equal share of
+        // the time still remaining so unspent time flows to later rows.
+        let build_request = |budget: f64| {
+            let mut request = MultiClassSelectionRequest::new(pool.clone(), budget)
+                .with_prior(prior.clone())
+                .allow_empty_selection(true);
+            if let Some(max) = search_budget.max_evaluations() {
+                request = request.with_evaluation_limit(max);
+            }
+            request
+        };
+        let results: Vec<Result<MultiClassSelectionResponse, ServiceError>> =
+            match search_budget.deadline() {
+                Some(at) => budgets
+                    .iter()
+                    .enumerate()
+                    .map(|(row, &budget)| {
+                        let rows_left = (budgets.len() - row) as u32;
+                        let share = at.saturating_duration_since(Instant::now()) / rows_left;
+                        self.select_multiclass(&build_request(budget).with_deadline(share))
+                    })
+                    .collect(),
+                None => {
+                    let requests: Vec<MultiClassSelectionRequest> = budgets
+                        .iter()
+                        .map(|&budget| build_request(budget))
+                        .collect();
+                    self.select_multiclass_batch(&requests)
                 }
-                if let Some(max) = search_budget.max_evaluations() {
-                    request = request.with_evaluation_limit(max);
-                }
-                request
-            })
-            .collect();
+            };
         let mut truncated = false;
-        let rows = self
-            .select_multiclass_batch(&requests)
+        let rows = results
             .into_iter()
             .zip(budgets)
             .map(|(result, &budget)| {
@@ -1121,7 +1191,9 @@ mod tests {
             SolverPolicy::Greedy,
         ] {
             let response = service
-                .select(&SelectionRequest::new(paper_example_pool(), 15.0).with_policy(policy))
+                .select(
+                    &SelectionRequest::new(paper_example_pool(), 15.0).with_policy(policy.clone()),
+                )
                 .unwrap();
             assert!(response.cost <= 15.0 + 1e-9, "{policy}");
             qualities.push((policy, response.quality));
@@ -1226,7 +1298,7 @@ mod tests {
             SolverPolicy::Annealing,
             SolverPolicy::Greedy,
         ] {
-            let request = SelectionRequest::new(pool.clone(), 5.0).with_policy(policy);
+            let request = SelectionRequest::new(pool.clone(), 5.0).with_policy(policy.clone());
             let response = service.select(&request).unwrap();
             assert!(response.cost <= 5.0 + 1e-9, "{policy}");
             assert!(!response.jury.is_empty(), "{policy}");
@@ -1571,5 +1643,205 @@ mod tests {
         });
         assert!(matches!(results[0], Err(ServiceError::Internal { .. })));
         assert!(results[1].is_ok());
+    }
+
+    /// Unwraps a serve result that may have been truncated by a search
+    /// budget: both the `Ok` response and the anytime best-so-far carried
+    /// by `DeadlineExceeded` count as served.
+    fn salvage_binary(result: Result<SelectionResponse, ServiceError>) -> SelectionResponse {
+        match result {
+            Ok(response) => response,
+            Err(ServiceError::DeadlineExceeded {
+                best_so_far: Some(best),
+            }) => match *best {
+                MixedResponse::Binary(response) => response,
+                other => panic!("unexpected best-so-far kind: {other:?}"),
+            },
+            Err(err) => panic!("unexpected error: {err}"),
+        }
+    }
+
+    fn large_pool(n: usize) -> WorkerPool {
+        let qualities: Vec<f64> = (0..n).map(|i| 0.52 + 0.012 * (i % 30) as f64).collect();
+        let costs: Vec<f64> = (0..n).map(|i| 0.5 + (i % 7) as f64 * 0.25).collect();
+        WorkerPool::from_qualities_and_costs(&qualities, &costs).unwrap()
+    }
+
+    #[test]
+    fn portfolio_policy_matches_exact_on_small_pools() {
+        // The paper pool has 10 candidates — within the exact cutoff, so
+        // the portfolio arm routes to the same exhaustive enumeration Auto
+        // uses and must match the exact optimum to 1e-9 at every budget.
+        let service = paper_service();
+        for budget in [5.0, 10.0, 15.0, 20.0] {
+            let raced = service
+                .select(
+                    &SelectionRequest::new(paper_example_pool(), budget)
+                        .with_policy(SolverPolicy::Portfolio(Vec::new())),
+                )
+                .unwrap();
+            let exact = service
+                .select(
+                    &SelectionRequest::new(paper_example_pool(), budget)
+                        .with_policy(SolverPolicy::Exact),
+                )
+                .unwrap();
+            assert!(
+                (raced.quality - exact.quality).abs() < 1e-9,
+                "budget {budget}: portfolio {} vs exact {}",
+                raced.quality,
+                exact.quality
+            );
+            assert_eq!(raced.solver, "exhaustive");
+            assert_eq!(raced.policy, SolverPolicy::Portfolio(Vec::new()));
+        }
+    }
+
+    #[test]
+    fn portfolio_races_on_large_pools_and_records_the_winner() {
+        let service = paper_service();
+        let request = SelectionRequest::new(large_pool(40), 5.0)
+            .with_policy(SolverPolicy::Portfolio(Vec::new()));
+        let response = service.select(&request).unwrap();
+        assert!(
+            response.solver.starts_with("portfolio:"),
+            "provenance records the winning member, got {}",
+            response.solver
+        );
+        assert!(response.cost <= 5.0 + 1e-9);
+        assert!(!response.jury.is_empty());
+        // Deterministic: the members' RNG streams are seeded.
+        let again = service.select(&request).unwrap();
+        assert_eq!(response.worker_ids(), again.worker_ids());
+        assert_eq!(response.solver, again.solver);
+        // The race can only improve on plain annealing when unbudgeted:
+        // its annealing lane replays the same restarts.
+        let annealed = service
+            .select(
+                &SelectionRequest::new(large_pool(40), 5.0).with_policy(SolverPolicy::Annealing),
+            )
+            .unwrap();
+        assert!(response.quality >= annealed.quality - 1e-9);
+    }
+
+    #[test]
+    fn portfolio_beats_or_ties_annealing_at_equal_evaluation_budgets() {
+        // The quality-per-evaluation claim behind the portfolio: at the
+        // same evaluation cap, racing heterogeneous members returns a jury
+        // at least as good as spending the whole cap on annealing alone.
+        // Evaluation caps never read the clock, so this is deterministic.
+        let service = paper_service();
+        let pool = large_pool(60);
+        for cap in [200u64, 800, 2_000] {
+            let raced = salvage_binary(
+                service.select(
+                    &SelectionRequest::new(pool.clone(), 6.0)
+                        .with_policy(SolverPolicy::Portfolio(Vec::new()))
+                        .with_evaluation_limit(cap),
+                ),
+            );
+            let annealed = salvage_binary(
+                service.select(
+                    &SelectionRequest::new(pool.clone(), 6.0)
+                        .with_policy(SolverPolicy::Annealing)
+                        .with_evaluation_limit(cap),
+                ),
+            );
+            assert!(
+                raced.quality >= annealed.quality - 1e-9,
+                "cap {cap}: portfolio {} below annealing {}",
+                raced.quality,
+                annealed.quality
+            );
+        }
+    }
+
+    #[test]
+    fn service_and_request_budget_limits_merge_tightest_wins() {
+        // All four combinations of (request cap, service default cap),
+        // exercised with evaluation caps so the outcome is deterministic.
+        let pool = large_pool(200);
+        let tight = 200u64;
+        let loose = 1_000_000u64;
+        let slack = 16; // batch evaluations outside the checkpoints
+
+        // Neither side caps: the solve runs to completion.
+        let service = paper_service();
+        let request = SelectionRequest::new(pool.clone(), 8.0);
+        let uncapped = service.select(&request).unwrap();
+        assert!(uncapped.evaluations > tight + slack);
+
+        // Only the request caps.
+        let capped = salvage_binary(service.select(&request.clone().with_evaluation_limit(tight)));
+        assert!(
+            capped.evaluations <= tight + slack,
+            "{}",
+            capped.evaluations
+        );
+
+        // Only the service config caps.
+        let config = ServiceConfig::paper_experiments().with_default_evaluation_limit(Some(tight));
+        let capped = salvage_binary(JuryService::new(config).select(&request));
+        assert!(
+            capped.evaluations <= tight + slack,
+            "{}",
+            capped.evaluations
+        );
+
+        // Both sides cap: the tighter one governs, whichever side it is on.
+        let loose_config =
+            ServiceConfig::paper_experiments().with_default_evaluation_limit(Some(loose));
+        let capped = salvage_binary(
+            JuryService::new(loose_config).select(&request.clone().with_evaluation_limit(tight)),
+        );
+        assert!(
+            capped.evaluations <= tight + slack,
+            "{}",
+            capped.evaluations
+        );
+        let tight_config =
+            ServiceConfig::paper_experiments().with_default_evaluation_limit(Some(tight));
+        let capped = salvage_binary(
+            JuryService::new(tight_config).select(&request.with_evaluation_limit(loose)),
+        );
+        assert!(
+            capped.evaluations <= tight + slack,
+            "{}",
+            capped.evaluations
+        );
+    }
+
+    #[test]
+    fn table_deadline_is_shared_across_rows_not_multiplied() {
+        // Regression test for the per-row deadline split: the old logic
+        // handed every row the full remaining deadline anchored at its own
+        // serve start, so a 12-row sweep whose rows each exhaust their time
+        // ran for ~12 × deadline. The fix serves rows sequentially with the
+        // remaining time re-divided before each row, bounding the whole
+        // sweep by the one deadline (plus per-row checkpoint overrun).
+        let deadline = Duration::from_millis(50);
+        let budgets: Vec<f64> = (1..=12).map(|b| b as f64).collect();
+        // Cold sweeps route per-row requests through the batch path, and a
+        // 400-candidate pool makes each uncapped row solve far exceed its
+        // slice — exactly the shape that multiplied the deadline before.
+        let service = JuryService::new(
+            ServiceConfig::paper_experiments().with_sweep_policy(SweepPolicy::Cold),
+        );
+        let started = Instant::now();
+        let (table, truncated) = service
+            .budget_quality_table_with_deadline(
+                &large_pool(400),
+                &budgets,
+                Prior::uniform(),
+                deadline,
+            )
+            .unwrap();
+        let elapsed = started.elapsed();
+        assert!(truncated, "every row should have been cut short");
+        assert_eq!(table.rows().len(), budgets.len());
+        assert!(
+            elapsed < 6 * deadline,
+            "sweep took {elapsed:?}; the old per-row split would run for ~12 × {deadline:?}"
+        );
     }
 }

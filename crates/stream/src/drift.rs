@@ -111,6 +111,7 @@ impl DriftReport {
 #[derive(Debug, Clone)]
 pub struct DriftDetector {
     threshold: f64,
+    capacity: Option<usize>,
     next_id: u64,
     tracked: BTreeMap<SelectionId, TrackedSelection>,
 }
@@ -127,9 +128,25 @@ impl DriftDetector {
             } else {
                 0.0
             },
+            capacity: None,
             next_id: 0,
             tracked: BTreeMap::new(),
         }
+    }
+
+    /// Caps the ledger at `capacity` selections (clamped to at least one):
+    /// tracking a new selection past the cap evicts the **oldest** tracked
+    /// entry, so a long-running serving loop that forgets to
+    /// [`untrack`](Self::untrack) cannot grow the ledger — and every scan
+    /// over it — without bound.
+    pub fn with_capacity(mut self, capacity: usize) -> Self {
+        self.capacity = Some(capacity.max(1));
+        self
+    }
+
+    /// The ledger capacity, or `None` when unbounded (the default).
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
     }
 
     /// The drift threshold.
@@ -137,7 +154,9 @@ impl DriftDetector {
         self.threshold
     }
 
-    /// Starts watching a handed-out jury, returning its ledger id.
+    /// Starts watching a handed-out jury, returning its ledger id. At
+    /// capacity (see [`Self::with_capacity`]) the oldest tracked selection
+    /// is evicted first.
     pub fn track(
         &mut self,
         members: Vec<WorkerId>,
@@ -146,6 +165,12 @@ impl DriftDetector {
         baseline_quality: f64,
         epoch: u64,
     ) -> SelectionId {
+        if let Some(capacity) = self.capacity {
+            while self.tracked.len() >= capacity {
+                let oldest = *self.tracked.keys().next().expect("len >= capacity >= 1");
+                self.tracked.remove(&oldest);
+            }
+        }
         let id = SelectionId(self.next_id);
         self.next_id += 1;
         self.tracked.insert(
@@ -323,6 +348,28 @@ mod tests {
         assert!((selection.baseline_quality() - 0.95).abs() < 1e-12);
         assert_eq!(selection.epoch(), 7);
         assert!(!detector.rebaseline(SelectionId(99), vec![], 0.5, 0));
+    }
+
+    #[test]
+    fn capacity_evicts_the_oldest_selection() {
+        let mut detector = DriftDetector::new(0.05).with_capacity(2);
+        assert_eq!(detector.capacity(), Some(2));
+        let (a, b) = track_pair(&mut detector);
+        let c = detector.track(vec![WorkerId(5)], 1.0, Prior::uniform(), 0.6, 2);
+        assert_eq!(detector.len(), 2);
+        assert!(detector.get(a).is_none(), "oldest entry evicted");
+        assert!(detector.get(b).is_some());
+        assert!(detector.get(c).is_some());
+        // Ids never recycle, even across evictions.
+        let d = detector.track(vec![WorkerId(6)], 1.0, Prior::uniform(), 0.6, 2);
+        assert!(d.raw() > c.raw());
+        assert_eq!(detector.len(), 2);
+
+        // A capacity of zero clamps to one instead of rejecting everything.
+        let mut tiny = DriftDetector::new(0.05).with_capacity(0);
+        assert_eq!(tiny.capacity(), Some(1));
+        track_pair(&mut tiny);
+        assert_eq!(tiny.len(), 1);
     }
 
     #[test]

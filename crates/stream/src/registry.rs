@@ -145,6 +145,9 @@ struct WorkerState {
     /// Dirichlet confusion counts, row-major `ℓ × ℓ` (prior included).
     confusion: Vec<f64>,
     observations: u64,
+    /// The registry epoch at which this worker's estimate last changed —
+    /// lets drift scans skip selections none of whose members moved.
+    last_update: u64,
 }
 
 /// Streaming per-worker quality state over a stream of [`AnswerEvent`]s.
@@ -229,6 +232,7 @@ impl WorkerRegistry {
                 *cell += per_row * seed.prob(Label(truth), Label(vote));
             }
         }
+        self.epoch += 1;
         self.workers.insert(
             id,
             WorkerState {
@@ -237,9 +241,9 @@ impl WorkerRegistry {
                 wrong: self.config.prior_wrong + (1.0 - quality) * strength,
                 confusion,
                 observations: 0,
+                last_update: self.epoch,
             },
         );
-        self.epoch += 1;
         Ok(())
     }
 
@@ -367,6 +371,7 @@ impl WorkerRegistry {
         state.confusion[truth.index() * choices + vote.index()] += 1.0;
         state.observations += 1;
         self.epoch += 1;
+        state.last_update = self.epoch;
     }
 
     /// Refits the vote log with the Dawid–Skene EM and re-anchors every
@@ -388,6 +393,7 @@ impl WorkerRegistry {
         for &(_, worker, _) in &votes {
             *answered.entry(worker).or_insert(0) += 1;
         }
+        self.epoch += 1;
         for (worker, quality) in fit.qualities {
             let Some(state) = self.workers.get_mut(&worker) else {
                 continue;
@@ -396,8 +402,8 @@ impl WorkerRegistry {
             state.correct = self.config.prior_correct + quality * n as f64;
             state.wrong = self.config.prior_wrong + (1.0 - quality) * n as f64;
             state.observations = n;
+            state.last_update = self.epoch;
         }
-        self.epoch += 1;
         Ok(())
     }
 
@@ -428,6 +434,15 @@ impl WorkerRegistry {
     /// The worker's registered cost.
     pub fn cost(&self, id: WorkerId) -> Option<f64> {
         self.workers.get(&id).map(|s| s.cost)
+    }
+
+    /// The registry epoch at which this worker's estimate last changed
+    /// (its registration counts), or `None` when the worker is
+    /// unregistered. A selection tracked at epoch `e` whose members all
+    /// report `last_update_epoch ≤ e` would re-score to exactly its
+    /// baseline — drift scans use this to skip the evaluation.
+    pub fn last_update_epoch(&self, id: WorkerId) -> Option<u64> {
+        self.workers.get(&id).map(|s| s.last_update)
     }
 
     /// Snapshots every registered worker's posterior-mean accuracy into a
@@ -654,6 +669,29 @@ mod tests {
         );
         assert!(dissenter.mean < 0.3, "dissenter at {}", dissenter.mean);
         assert_eq!(consensus.observations, 10);
+    }
+
+    #[test]
+    fn per_worker_epochs_track_only_their_own_updates() {
+        let mut reg = registry(UpdatePolicy::GoldenTruth);
+        reg.register(WorkerId(0), 1.0).unwrap();
+        reg.register(WorkerId(1), 1.0).unwrap();
+        let w0_registered = reg.last_update_epoch(WorkerId(0)).unwrap();
+        let w1_registered = reg.last_update_epoch(WorkerId(1)).unwrap();
+        assert!(w1_registered > w0_registered, "registration counts");
+        assert!(reg.last_update_epoch(WorkerId(9)).is_none());
+
+        // Scoring worker 1 moves only worker 1's epoch.
+        reg.observe(AnswerEvent::golden(
+            WorkerId(1),
+            TaskId(0),
+            Answer::Yes,
+            Answer::Yes,
+        ))
+        .unwrap();
+        assert_eq!(reg.last_update_epoch(WorkerId(0)), Some(w0_registered));
+        assert_eq!(reg.last_update_epoch(WorkerId(1)), Some(reg.epoch()));
+        assert!(reg.last_update_epoch(WorkerId(1)).unwrap() > w1_registered);
     }
 
     #[test]

@@ -169,7 +169,7 @@ fn large_pools_run_the_multiclass_session_path_deterministically() {
     let service = JuryService::new(config);
     for policy in [SolverPolicy::Annealing, SolverPolicy::Greedy] {
         let request = MultiClassSelectionRequest::new(pool.clone(), 4.0)
-            .with_policy(policy)
+            .with_policy(policy.clone())
             .with_config(config);
         let a = service.select_multiclass(&request).unwrap();
         let b = service.select_multiclass(&request).unwrap();
