@@ -19,7 +19,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use jury_jq::{BucketCount, BucketJqConfig, BucketJqEstimator, IncrementalJq, IncrementalJqConfig};
+use jury_jq::{
+    BucketCount, BucketJqConfig, BucketJqEstimator, IncrementalJq, IncrementalJqConfig, KernelMode,
+};
 use jury_model::{GaussianWorkerGenerator, Jury, Prior, Worker, WorkerPool};
 
 /// The paper's experimental bucket budget, used for both engines so the
@@ -126,6 +128,44 @@ fn bench_greedy_round(c: &mut Criterion) {
     group.finish();
 }
 
+/// The same annealing-neighbour workload under both kernel modes: the
+/// before/after evidence for the chunked split-at-offset window passes
+/// (`vectorized`) vs the original element-at-a-time loops
+/// (`scalar_reference`). The `perf_smoke` binary gates the same ratio in CI.
+fn bench_kernel_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("incremental_kernel_mode");
+    for &n in &[50usize, 200] {
+        let pool = random_pool(n, 17);
+        let members: Vec<Worker> = pool.workers()[..n / 2].to_vec();
+        let outsider = pool.workers()[n - 1].clone();
+        let victim = members[0].clone();
+        for (label, kernel) in [
+            ("vectorized", KernelMode::Vectorized),
+            ("scalar_reference", KernelMode::ScalarReference),
+        ] {
+            let mut engine = IncrementalJq::for_pool(
+                &pool,
+                Prior::uniform(),
+                IncrementalJqConfig::default()
+                    .with_buckets(BucketCount::Fixed(NUM_BUCKETS))
+                    .with_kernel_mode(kernel),
+            );
+            for worker in &members {
+                engine.push_worker(worker);
+            }
+            group.bench_function(BenchmarkId::new(label, n), |b| {
+                b.iter(|| {
+                    engine.swap_worker(&victim, &outsider).unwrap();
+                    let value = engine.jq();
+                    engine.swap_worker(&outsider, &victim).unwrap();
+                    value
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     // Keep the whole suite quick enough for CI while still giving stable numbers.
@@ -133,6 +173,6 @@ criterion_group! {
         .warm_up_time(Duration::from_millis(500))
         .measurement_time(Duration::from_secs(2))
         .sample_size(20);
-    targets = bench_annealing_step, bench_greedy_round
+    targets = bench_annealing_step, bench_greedy_round, bench_kernel_modes
 }
 criterion_main!(benches);

@@ -2,7 +2,7 @@
 //! hot paths, written as `BENCH_service.json` so the repo's performance
 //! trajectory accumulates one data point per CI run.
 //!
-//! Five workload families — four wall-clock timings plus one
+//! Six workload families — five wall-clock timings plus one
 //! quality-per-evaluation race:
 //!
 //! * **annealing step** — one solver-shaped neighbour evaluation (swap a
@@ -11,6 +11,11 @@
 //! * **greedy round** — one marginal-greedy round (score every unselected
 //!   pool member as a single-worker extension), scratch vs. incremental
 //!   (median of N);
+//! * **kernel race** — the same swap workload on a deep (~100k-slot)
+//!   bucket grid under the chunked, auto-vectorizable window kernels vs.
+//!   the scalar reference loops (`jury_jq::KernelMode`); both paths are
+//!   computed by the same engine on the same grid, so the ratio isolates
+//!   pure kernel throughput;
 //! * **budget sweeps** — a Figure-1 style budget–quality table through
 //!   `JuryService` under each [`jury_service::SweepPolicy`]: cold
 //!   per-budget solves, the warm marginal sweep, and the warm (seeded)
@@ -24,25 +29,57 @@
 //!   ratio compares JQ margin over the coin-flip floor, not time, and is
 //!   fully deterministic (evaluation caps never read the clock).
 //!
-//! Usage: `perf_smoke [--out <path.json>] [--iters <n>]
-//! [--check <baseline.json>] [--tolerance <f>]` (defaults:
-//! `BENCH_service.json`, 15 iterations per timed routine).
+//! # CLI flags
 //!
-//! With `--check`, the run is compared against a previously written dump
-//! (the repo checks in `BENCH_baseline.json`): each of the six `speedups`
-//! ratios — machine-independent by construction, since numerator and
-//! denominator are timed on the same host — must stay above
-//! `baseline / (1 + tolerance)`, or the process exits non-zero. The default
-//! tolerance of 0.5 flags only large regressions (an incremental path
-//! sliding more than a third of the way back toward its from-scratch
-//! cost), which keeps the gate quiet under normal CI timing noise.
+//! ```text
+//! perf_smoke [--out <path.json>] [--iters <n>]
+//!            [--check <baseline.json>] [--tolerance <f>]
+//! ```
+//!
+//! * `--out <path.json>` — where to write the JSON dump (default
+//!   `BENCH_service.json`). The dump always contains raw `median_us`
+//!   timings (host-dependent, for trend plots) and the `speedups` ratios
+//!   (host-independent, the gated quantities).
+//! * `--iters <n>` — iterations per timed routine (default 15); the
+//!   reported timing is the median, so occasional scheduler hiccups do
+//!   not move the gated ratios.
+//! * `--check <baseline.json>` — compare this run's `speedups` against a
+//!   previously written dump (the repo checks in `BENCH_baseline.json`).
+//!   Exit code 0 = pass, 1 = at least one ratio regressed, 2 = the
+//!   baseline file is missing/malformed or a flag was invalid.
+//! * `--tolerance <f>` — slack for `--check` (default 0.5). Each of the
+//!   [`CHECKED_SPEEDUPS`] ratios must satisfy
+//!   `now >= baseline / (1 + tolerance)`; CI passes `--tolerance 1.0`, so
+//!   a ratio fails only after falling below **half** its recorded
+//!   baseline — quiet under shared-runner noise, loud when an incremental
+//!   path collapses toward its from-scratch cost.
+//!
+//! The ratios are machine-independent by construction — numerator and
+//! denominator are measured on the same host in the same run — which is
+//! what makes a checked-in baseline meaningful across machines.
+//!
+//! # Refreshing the baseline
+//!
+//! After a deliberate performance change (new kernel, new sweep policy),
+//! regenerate the pinned floors from a quiet machine and commit the result:
+//!
+//! ```text
+//! cargo run --release -p jury-bench --bin perf_smoke -- --out BENCH_baseline.json
+//! cargo run --release -p jury-bench --bin perf_smoke -- --check BENCH_baseline.json
+//! ```
+//!
+//! The second run must pass; review the printed `check …` lines in the PR
+//! so ratio movements are explicit, and never refresh the baseline to
+//! absorb an *unexplained* regression.
 
 use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use jury_jq::{BucketCount, BucketJqConfig, BucketJqEstimator, IncrementalJq, IncrementalJqConfig};
+use jury_jq::{
+    BucketCount, BucketJqConfig, BucketJqEstimator, IncrementalJq, IncrementalJqConfig, KernelMode,
+};
 use jury_model::{GaussianWorkerGenerator, Jury, MatrixPool, Prior, Worker, WorkerPool};
 use jury_service::{
     JuryService, MixedRequest, MixedResponse, MultiClassSelectionRequest, SelectionRequest,
@@ -57,6 +94,10 @@ const POOL_SIZE: usize = 50;
 /// Candidates of the sweep workloads (past the exact cutoff, so the sweep
 /// policies actually engage).
 const SWEEP_POOL_SIZE: usize = 40;
+/// Members and bucket resolution of the kernel-mode race: a deep grid
+/// (~100k dense slots) so the chunked window passes have room to pay off.
+const KERNEL_RACE_MEMBERS: usize = 24;
+const KERNEL_RACE_BUCKETS: usize = 2000;
 
 fn random_pool(n: usize, seed: u64) -> WorkerPool {
     let generator = GaussianWorkerGenerator::paper_defaults();
@@ -195,14 +236,29 @@ fn capped_quality(pool: &WorkerPool, policy: SolverPolicy) -> f64 {
 }
 
 /// The machine-independent ratios compared by `--check`. Raw `median_us`
-/// timings shift with the host; the first five divide two timings from the
+/// timings shift with the host; the first six divide two timings from the
 /// same run, so a drop can only come from a real relative slowdown. The
-/// sixth divides two JQ margins over the 0.5 coin-flip floor at the same
+/// seventh divides two JQ margins over the 0.5 coin-flip floor at the same
 /// evaluation cap — deterministic on every host, it gates the portfolio's
 /// quality-per-evaluation claim against plain annealing.
-const CHECKED_SPEEDUPS: [&str; 6] = [
+///
+/// * `annealing_step_incremental_vs_scratch` — one swap-and-score
+///   neighbour: incremental engine vs from-scratch bucket DP.
+/// * `greedy_round_incremental_vs_scratch` — one marginal-greedy round
+///   (pool-many push/score/pop probes) vs pool-many scratch rebuilds.
+/// * `kernel_vectorized_vs_scalar` — the deep-grid swap workload under
+///   the chunked window kernels vs the scalar reference loops.
+/// * `sweep_warm_marginal_vs_cold` / `sweep_warm_annealing_vs_cold` — a
+///   budget–quality sweep through the service with warm-start policies vs
+///   independent cold solves.
+/// * `contention_sharded_vs_single_lock` — p99 response time of warmed
+///   multi-threaded traffic on the single-lock JQ store vs the striped one.
+/// * `portfolio_vs_annealing_quality_per_eval` — JQ margin over 0.5 at a
+///   fixed evaluation cap, portfolio policy vs plain annealing.
+const CHECKED_SPEEDUPS: [&str; 7] = [
     "annealing_step_incremental_vs_scratch",
     "greedy_round_incremental_vs_scratch",
+    "kernel_vectorized_vs_scalar",
     "sweep_warm_marginal_vs_cold",
     "sweep_warm_annealing_vs_cold",
     "contention_sharded_vs_single_lock",
@@ -325,6 +381,38 @@ fn main() {
         std::hint::black_box(best);
     });
 
+    // Kernel race: the same swap workload on a deep grid, vectorized
+    // window passes vs the scalar reference loops. Everything except the
+    // kernel mode is identical, so the ratio isolates raw kernel
+    // throughput.
+    let kernel_pool = random_pool(POOL_SIZE, 19);
+    let kernel_members: Vec<Worker> = kernel_pool.workers()[..KERNEL_RACE_MEMBERS].to_vec();
+    let kernel_outsider = kernel_pool.workers()[POOL_SIZE - 1].clone();
+    let kernel_victim = kernel_members[0].clone();
+    let kernel_race = |kernel: KernelMode| {
+        let mut engine = IncrementalJq::for_pool(
+            &kernel_pool,
+            Prior::uniform(),
+            IncrementalJqConfig::default()
+                .with_buckets(BucketCount::Fixed(KERNEL_RACE_BUCKETS))
+                .with_kernel_mode(kernel),
+        );
+        for worker in &kernel_members {
+            engine.push_worker(worker);
+        }
+        median_us(iters, || {
+            engine
+                .swap_worker(&kernel_victim, &kernel_outsider)
+                .expect("member");
+            std::hint::black_box(engine.jq());
+            engine
+                .swap_worker(&kernel_outsider, &kernel_victim)
+                .expect("member");
+        })
+    };
+    let kernel_vectorized = kernel_race(KernelMode::Vectorized);
+    let kernel_scalar = kernel_race(KernelMode::ScalarReference);
+
     // Budget sweeps through the service, one per sweep policy. Uniform
     // costs keep all three policies on the same optimum, so the timings
     // compare equal work.
@@ -386,6 +474,8 @@ fn main() {
             "annealing_step_incremental": annealing_incremental,
             "greedy_round_scratch": greedy_scratch,
             "greedy_round_incremental": greedy_incremental,
+            "kernel_swap_vectorized": kernel_vectorized,
+            "kernel_swap_scalar": kernel_scalar,
             "sweep_cold": sweep_cold,
             "sweep_warm_marginal": sweep_warm_marginal,
             "sweep_warm_annealing": sweep_warm_annealing,
@@ -402,9 +492,14 @@ fn main() {
             "portfolio_quality": portfolio_quality,
             "annealing_quality": annealing_quality,
         },
+        "kernel_race": {
+            "members": KERNEL_RACE_MEMBERS,
+            "num_buckets": KERNEL_RACE_BUCKETS,
+        },
         "speedups": {
             "annealing_step_incremental_vs_scratch": annealing_scratch / annealing_incremental,
             "greedy_round_incremental_vs_scratch": greedy_scratch / greedy_incremental,
+            "kernel_vectorized_vs_scalar": kernel_scalar / kernel_vectorized,
             "sweep_warm_marginal_vs_cold": sweep_cold / sweep_warm_marginal,
             "sweep_warm_annealing_vs_cold": sweep_cold / sweep_warm_annealing,
             "contention_sharded_vs_single_lock": contention_single_p99 / contention_sharded_p99,

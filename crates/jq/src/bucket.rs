@@ -27,6 +27,7 @@
 use jury_model::{log_odds, Jury, Prior};
 
 use crate::bounds;
+use crate::kernel::{fmadd, KernelMode};
 use crate::prior::fold_prior;
 use crate::prune::{aggregate_buckets, prune, PruneDecision, PruneStats};
 
@@ -66,6 +67,11 @@ pub struct BucketJqConfig {
     /// (effective) quality above 0.99, return that quality directly, since
     /// the true JQ is already in `(0.99, 1]`.
     pub high_quality_shortcut: bool,
+    /// Which implementation of the dense DP inner loop to run: the
+    /// vectorized segmented passes or the scalar reference loop (see
+    /// [`KernelMode`]). Participates in `Hash`/`Eq` like every other knob,
+    /// so values computed under different kernels get distinct cache keys.
+    pub kernel: KernelMode,
 }
 
 impl Default for BucketJqConfig {
@@ -74,6 +80,7 @@ impl Default for BucketJqConfig {
             buckets: BucketCount::PerWorker(bounds::PAPER_RECOMMENDED_MULTIPLIER),
             use_pruning: true,
             high_quality_shortcut: true,
+            kernel: KernelMode::default(),
         }
     }
 }
@@ -86,6 +93,7 @@ impl BucketJqConfig {
             buckets: BucketCount::Fixed(50),
             use_pruning: true,
             high_quality_shortcut: true,
+            kernel: KernelMode::default(),
         }
     }
 
@@ -104,6 +112,12 @@ impl BucketJqConfig {
     /// Enables or disables the high-quality shortcut.
     pub fn with_high_quality_shortcut(mut self, enabled: bool) -> Self {
         self.high_quality_shortcut = enabled;
+        self
+    }
+
+    /// Selects the kernel implementation (vectorized vs scalar reference).
+    pub fn with_kernel_mode(mut self, kernel: KernelMode) -> Self {
+        self.kernel = kernel;
         self
     }
 }
@@ -248,46 +262,32 @@ impl BucketJqEstimator {
         for (i, &(bucket, quality)) in indexed.iter().enumerate() {
             let remaining = aggregate[i];
             let step = bucket as usize;
-            let mut occupied = 0usize;
-            for idx in (offset - reach)..=(offset + reach) {
-                let prob = current[idx];
-                if prob == 0.0 {
-                    continue;
-                }
-                current[idx] = 0.0;
-                let key = idx as i64 - total;
-                if self.config.use_pruning {
-                    match prune(key, remaining) {
-                        PruneDecision::TakeAll => {
-                            estimate += prob;
-                            stats.taken_all += 1;
-                            continue;
-                        }
-                        PruneDecision::TakeNone => {
-                            stats.taken_none += 1;
-                            continue;
-                        }
-                        PruneDecision::Continue => {}
-                    }
-                }
-                stats.expanded += 1;
-                // Vote v_i = 0 supports t = 0: key moves up, weighted by q_i.
-                let up = prob * quality;
-                if up > 0.0 {
-                    if next[idx + step] == 0.0 {
-                        occupied += 1;
-                    }
-                    next[idx + step] += up;
-                }
-                // Vote v_i = 1: key moves down, weighted by 1 − q_i.
-                let down = prob * (1.0 - quality);
-                if down > 0.0 {
-                    if next[idx - step] == 0.0 {
-                        occupied += 1;
-                    }
-                    next[idx - step] += down;
-                }
-            }
+            let window = (offset - reach, offset + reach);
+            let occupied = match self.config.kernel {
+                KernelMode::Vectorized => vectorized_worker_pass(
+                    &mut current,
+                    &mut next,
+                    window,
+                    step,
+                    quality,
+                    remaining,
+                    self.config.use_pruning,
+                    &mut estimate,
+                    &mut stats,
+                ),
+                KernelMode::ScalarReference => scalar_worker_pass(
+                    &mut current,
+                    &mut next,
+                    window,
+                    total,
+                    step,
+                    quality,
+                    remaining,
+                    self.config.use_pruning,
+                    &mut estimate,
+                    &mut stats,
+                ),
+            };
             max_map_entries = max_map_entries.max(occupied);
             reach = (reach + step).min(offset);
             std::mem::swap(&mut current, &mut next);
@@ -308,6 +308,131 @@ impl BucketJqEstimator {
             used_shortcut: false,
         }
     }
+}
+
+/// One worker's expansion of the dense DP — the original element-at-a-time
+/// reference loop: per cell, prune, then scatter the up/down contributions.
+/// Returns the number of `next` cells that became occupied.
+#[allow(clippy::too_many_arguments)]
+fn scalar_worker_pass(
+    current: &mut [f64],
+    next: &mut [f64],
+    (w_lo, w_hi): (usize, usize),
+    total: i64,
+    step: usize,
+    quality: f64,
+    remaining: i64,
+    use_pruning: bool,
+    estimate: &mut f64,
+    stats: &mut PruneStats,
+) -> usize {
+    let mut occupied = 0usize;
+    for idx in w_lo..=w_hi {
+        let prob = current[idx];
+        if prob == 0.0 {
+            continue;
+        }
+        current[idx] = 0.0;
+        let key = idx as i64 - total;
+        if use_pruning {
+            match prune(key, remaining) {
+                PruneDecision::TakeAll => {
+                    *estimate += prob;
+                    stats.taken_all += 1;
+                    continue;
+                }
+                PruneDecision::TakeNone => {
+                    stats.taken_none += 1;
+                    continue;
+                }
+                PruneDecision::Continue => {}
+            }
+        }
+        stats.expanded += 1;
+        // Vote v_i = 0 supports t = 0: key moves up, weighted by q_i.
+        let up = prob * quality;
+        if up > 0.0 {
+            if next[idx + step] == 0.0 {
+                occupied += 1;
+            }
+            next[idx + step] += up;
+        }
+        // Vote v_i = 1: key moves down, weighted by 1 − q_i.
+        let down = prob * (1.0 - quality);
+        if down > 0.0 {
+            if next[idx - step] == 0.0 {
+                occupied += 1;
+            }
+            next[idx - step] += down;
+        }
+    }
+    occupied
+}
+
+/// Vectorized form of [`scalar_worker_pass`]. The Algorithm 2 prune regions
+/// are *contiguous* in the offset-indexed layout — `TakeNone` is exactly the
+/// keys below `-remaining` (low indices), `TakeAll` exactly the keys above
+/// `remaining` (high indices) — so instead of a per-cell branch the window
+/// splits into three segments handled by dedicated loops, and the Continue
+/// middle becomes two shifted multiply-accumulate slice passes over `next`.
+///
+/// Bit-compatibility with the reference: each `next` cell receives its
+/// up-term (from `idx − step`, visited earlier by the scalar loop) before
+/// its down-term, which is exactly the pass order here, and IEEE-754
+/// addition of the same terms in the same order is deterministic. Occupancy
+/// is counted after the fact — `next` starts all-zero each iteration and
+/// contributions are positive, so "cells that transitioned to non-zero"
+/// equals "non-zero cells of the grown window".
+#[allow(clippy::too_many_arguments)]
+fn vectorized_worker_pass(
+    current: &mut [f64],
+    next: &mut [f64],
+    (w_lo, w_hi): (usize, usize),
+    step: usize,
+    quality: f64,
+    remaining: i64,
+    use_pruning: bool,
+    estimate: &mut f64,
+    stats: &mut PruneStats,
+) -> usize {
+    let offset = (current.len() - 1) / 2;
+    // Segment boundaries: [w_lo, none_end) is TakeNone, [all_start, w_hi]
+    // is TakeAll, the middle continues. Without pruning everything continues.
+    let (none_end, all_start) = if use_pruning {
+        let span = (w_lo as i64, w_hi as i64 + 1);
+        let none_end = (offset as i64 - remaining).clamp(span.0, span.1) as usize;
+        let all_start = (offset as i64 + remaining + 1).clamp(span.0, span.1) as usize;
+        (none_end, all_start)
+    } else {
+        (w_lo, w_hi + 1)
+    };
+    for &prob in &current[w_lo..none_end] {
+        if prob != 0.0 {
+            stats.taken_none += 1;
+        }
+    }
+    for &prob in &current[all_start..=w_hi] {
+        if prob != 0.0 {
+            *estimate += prob;
+            stats.taken_all += 1;
+        }
+    }
+    if none_end < all_start {
+        let src = &current[none_end..all_start];
+        for (o, &p) in next[none_end + step..all_start + step].iter_mut().zip(src) {
+            *o = fmadd(p, quality, *o);
+        }
+        let one_minus = 1.0 - quality;
+        for (o, &p) in next[none_end - step..all_start - step].iter_mut().zip(src) {
+            *o = fmadd(p, one_minus, *o);
+        }
+        stats.expanded += src.iter().filter(|&&p| p != 0.0).count() as u64;
+    }
+    current[w_lo..=w_hi].fill(0.0);
+    next[w_lo.saturating_sub(step)..=(w_hi + step).min(next.len() - 1)]
+        .iter()
+        .filter(|&&p| p != 0.0)
+        .count()
 }
 
 /// Convenience function: estimates `JQ(J, BV, α)` with the default
@@ -500,6 +625,36 @@ mod tests {
         let a = bv_jq(&jury, Prior::uniform());
         let b = BucketJqEstimator::default().jq(&jury, Prior::uniform());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn kernel_modes_agree_exactly() {
+        // The vectorized pass is a pure reordering-free restructuring of the
+        // reference loop, so values, prune counters, and occupancy all match
+        // — with and without pruning, across random juries.
+        let mut rng = StdRng::seed_from_u64(29);
+        for trial in 0..30 {
+            let n = rng.gen_range(1..=40);
+            let qualities: Vec<f64> = (0..n).map(|_| rng.gen_range(0.5..0.98)).collect();
+            let jury = Jury::from_qualities(&qualities).unwrap();
+            for pruning in [true, false] {
+                let base = BucketJqConfig::paper_experiments()
+                    .with_pruning(pruning)
+                    .with_high_quality_shortcut(false);
+                let fast = BucketJqEstimator::new(base).estimate(&jury, Prior::uniform());
+                let slow =
+                    BucketJqEstimator::new(base.with_kernel_mode(KernelMode::ScalarReference))
+                        .estimate(&jury, Prior::uniform());
+                assert!(
+                    (fast.value - slow.value).abs() <= 1e-12,
+                    "trial {trial} pruning {pruning}: vectorized {} vs scalar {}",
+                    fast.value,
+                    slow.value
+                );
+                assert_eq!(fast.prune_stats, slow.prune_stats, "trial {trial}");
+                assert_eq!(fast.max_map_entries, slow.max_map_entries, "trial {trial}");
+            }
+        }
     }
 
     #[test]

@@ -59,6 +59,7 @@ use jury_model::{log_odds, Prior, Worker, WorkerPool};
 
 use crate::bucket::{bucket_index, BucketCount};
 use crate::error::{JqError, JqResult};
+use crate::kernel::{self, JqScratch, KernelMode};
 
 /// Configuration of the incremental JQ engine's bucket grid.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -76,6 +77,10 @@ pub struct IncrementalJqConfig {
     /// rebuild. `0.0` forces a rebuild on effectively every pop (useful for
     /// exercising the fallback).
     pub stability_tolerance: f64,
+    /// Which implementation of the convolution/deconvolution kernels the
+    /// engine runs: the vectorized production path or the scalar reference
+    /// loops (see [`KernelMode`]).
+    pub kernel: KernelMode,
 }
 
 impl Default for IncrementalJqConfig {
@@ -84,6 +89,7 @@ impl Default for IncrementalJqConfig {
             buckets: BucketCount::PerWorker(crate::bounds::PAPER_RECOMMENDED_MULTIPLIER),
             max_total_weight: 1 << 21,
             stability_tolerance: 1e-10,
+            kernel: KernelMode::default(),
         }
     }
 }
@@ -98,6 +104,12 @@ impl IncrementalJqConfig {
     /// Sets the stability tolerance of the deconvolution guard.
     pub fn with_stability_tolerance(mut self, tolerance: f64) -> Self {
         self.stability_tolerance = tolerance.max(0.0);
+        self
+    }
+
+    /// Selects the kernel implementation (vectorized vs scalar reference).
+    pub fn with_kernel_mode(mut self, kernel: KernelMode) -> Self {
+        self.kernel = kernel;
         self
     }
 
@@ -127,7 +139,7 @@ pub struct IncrementalStats {
 /// One jury member as tracked by the incremental state: its (effective)
 /// quality and its fixed bucket index on the engine's grid.
 #[derive(Debug, Clone, Copy, PartialEq)]
-struct Member {
+pub(crate) struct Member {
     bucket: i64,
     quality: f64,
 }
@@ -165,6 +177,7 @@ pub struct IncrementalJq {
     /// have grown to the working size.
     scratch: Vec<f64>,
     total: i64,
+    kernel: KernelMode,
     stats: IncrementalStats,
 }
 
@@ -173,13 +186,24 @@ impl IncrementalJq {
     /// (`0.0` collapses every worker to bucket 0) with the default stability
     /// tolerance and a uniform prior.
     pub fn new(bucket_size: f64) -> Self {
+        let mut arena = JqScratch::new();
+        Self::new_in(bucket_size, &mut arena)
+    }
+
+    /// [`Self::new`], drawing the engine's buffers from `arena` instead of
+    /// allocating. With a warm arena (one that previously received this
+    /// grid's buffers via [`Self::recycle`]) construction is allocation-free.
+    pub fn new_in(bucket_size: f64, arena: &mut JqScratch) -> Self {
+        let mut dist = arena.take_buffer();
+        dist.push(1.0);
         IncrementalJq {
             bucket_size: bucket_size.max(0.0),
             tolerance: IncrementalJqConfig::default().stability_tolerance,
-            members: Vec::new(),
-            dist: vec![1.0],
-            scratch: Vec::new(),
+            members: arena.take_members(),
+            dist,
+            scratch: arena.take_buffer(),
             total: 0,
+            kernel: KernelMode::default(),
             stats: IncrementalStats::default(),
         }
     }
@@ -191,6 +215,20 @@ impl IncrementalJq {
     /// the prior's, if larger) divided by the resolved bucket count, so
     /// every feasible jury of the pool quantizes onto the same grid.
     pub fn for_pool(pool: &WorkerPool, prior: Prior, config: IncrementalJqConfig) -> Self {
+        let mut arena = JqScratch::new();
+        Self::for_pool_in(pool, prior, config, &mut arena)
+    }
+
+    /// [`Self::for_pool`], drawing the engine's buffers from `arena` instead
+    /// of allocating. The selection layer keeps one arena per objective and
+    /// recycles session engines into it, so only the first session on a
+    /// given grid pays the allocations.
+    pub fn for_pool_in(
+        pool: &WorkerPool,
+        prior: Prior,
+        config: IncrementalJqConfig,
+        arena: &mut JqScratch,
+    ) -> Self {
         let prior_quality = prior.alpha().max(1.0 - prior.alpha());
         let mut phi_max = if prior.is_uniform() {
             0.0f64
@@ -206,17 +244,33 @@ impl IncrementalJq {
         } else {
             0.0
         };
-        let mut engine = IncrementalJq::new(bucket_size);
+        let mut engine = IncrementalJq::new_in(bucket_size, arena);
         engine.tolerance = config.stability_tolerance;
+        engine.kernel = config.kernel;
         if !prior.is_uniform() {
             engine.push_quality(prior.alpha());
         }
         engine
     }
 
+    /// Returns the engine's buffers to `arena`, consuming it. The next
+    /// engine built from the arena (via [`Self::new_in`] /
+    /// [`Self::for_pool_in`]) reuses their capacity instead of allocating.
+    pub fn recycle(self, arena: &mut JqScratch) {
+        arena.recycle_buffer(self.dist);
+        arena.recycle_buffer(self.scratch);
+        arena.recycle_members(self.members);
+    }
+
     /// Overrides the deconvolution stability tolerance.
     pub fn with_stability_tolerance(mut self, tolerance: f64) -> Self {
         self.tolerance = tolerance.max(0.0);
+        self
+    }
+
+    /// Overrides the kernel implementation (vectorized vs scalar reference).
+    pub fn with_kernel_mode(mut self, kernel: KernelMode) -> Self {
+        self.kernel = kernel;
         self
     }
 
@@ -342,7 +396,11 @@ impl IncrementalJq {
     /// fallback the deconvolution guard escalates to, also usable to shed
     /// accumulated floating-point drift after very long push/pop sequences.
     pub fn rebuild(&mut self) {
-        self.dist = vec![1.0];
+        // Reset through the scratch buffer (capacity is retained) so the
+        // fallback path stays allocation-free in the steady state.
+        self.scratch.clear();
+        self.scratch.push(1.0);
+        std::mem::swap(&mut self.dist, &mut self.scratch);
         self.total = 0;
         let members = std::mem::take(&mut self.members);
         for member in &members {
@@ -352,27 +410,24 @@ impl IncrementalJq {
         self.stats.rebuilds += 1;
     }
 
-    /// `new[k] = q·old[k−b] + (1−q)·old[k+b]` on the dense array.
+    /// `new[k] = q·old[k−b] + (1−q)·old[k+b]` on the dense array. Old slot
+    /// `i` holds key `k = i − total`; key `k + b` lands in new slot
+    /// `i + 2b`, key `k − b` in new slot `i`.
     fn convolve_in(&mut self, bucket: i64, quality: f64) {
         if bucket == 0 {
             return; // identity: q·d[k] + (1−q)·d[k] = d[k]
         }
         let step = bucket as usize;
-        let new_total = self.total + bucket;
-        self.scratch.clear();
-        self.scratch.resize(2 * new_total as usize + 1, 0.0);
-        let one_minus = 1.0 - quality;
-        // Old slot i holds key k = i − total; key k + b lands in new slot
-        // i + 2b, key k − b in new slot i.
-        for (i, &p) in self.dist.iter().enumerate() {
-            if p == 0.0 {
-                continue;
+        match self.kernel {
+            KernelMode::Vectorized => {
+                kernel::convolve_spikes(&self.dist, &mut self.scratch, step, quality)
             }
-            self.scratch[i + 2 * step] += p * quality;
-            self.scratch[i] += p * one_minus;
+            KernelMode::ScalarReference => {
+                kernel::convolve_spikes_scalar(&self.dist, &mut self.scratch, step, quality)
+            }
         }
         std::mem::swap(&mut self.dist, &mut self.scratch);
-        self.total = new_total;
+        self.total += bucket;
     }
 
     /// Inverts [`Self::convolve_in`]: solves `old` from
@@ -381,36 +436,27 @@ impl IncrementalJq {
     /// the stability guard rejects the result, leaving the state unchanged.
     fn deconvolve_out(&mut self, bucket: i64, quality: f64) -> bool {
         let step = bucket as usize;
-        let old_total = self.total - bucket;
-        let old_len = 2 * old_total as usize + 1;
-        self.scratch.clear();
-        self.scratch.resize(old_len, 0.0);
-        let one_minus = 1.0 - quality;
-        let mut sum = 0.0f64;
-        for j in (0..old_len).rev() {
-            let above = if j + 2 * step < old_len {
-                self.scratch[j + 2 * step]
-            } else {
-                0.0
-            };
-            // Old slot j holds key k = j − old_total; new slot of key k + b
-            // is j + 2b (the forward mapping of `convolve_in`).
-            let mut value = (self.dist[j + 2 * step] - one_minus * above) / quality;
-            if value < 0.0 {
-                if value < -self.tolerance {
-                    return false;
-                }
-                value = 0.0;
-            }
-            self.scratch[j] = value;
-            sum += value;
+        let ok = match self.kernel {
+            KernelMode::Vectorized => kernel::deconvolve_spikes(
+                &self.dist,
+                &mut self.scratch,
+                step,
+                quality,
+                self.tolerance,
+            ),
+            KernelMode::ScalarReference => kernel::deconvolve_spikes_scalar(
+                &self.dist,
+                &mut self.scratch,
+                step,
+                quality,
+                self.tolerance,
+            ),
+        };
+        if ok {
+            std::mem::swap(&mut self.dist, &mut self.scratch);
+            self.total -= bucket;
         }
-        if (sum - 1.0).abs() > self.tolerance {
-            return false;
-        }
-        std::mem::swap(&mut self.dist, &mut self.scratch);
-        self.total = old_total;
-        true
+        ok
     }
 }
 
@@ -430,6 +476,12 @@ pub struct IncrementalMvJq {
     dist_no: Vec<f64>,
     /// `Pr(#No votes = k | t = Yes)`; success probability `1 − q_i`.
     dist_yes: Vec<f64>,
+    /// Double-buffers for the out-of-place kernels and the deconvolution
+    /// targets, swapped with the distributions on success so pops never
+    /// allocate once the buffers have grown to the working size.
+    scratch_no: Vec<f64>,
+    scratch_yes: Vec<f64>,
+    kernel: KernelMode,
     stats: IncrementalStats,
 }
 
@@ -442,13 +494,48 @@ impl Default for IncrementalMvJq {
 impl IncrementalMvJq {
     /// Creates an empty engine.
     pub fn new() -> Self {
+        let mut arena = JqScratch::new();
+        Self::new_in(&mut arena)
+    }
+
+    /// [`Self::new`], drawing the engine's buffers from `arena` instead of
+    /// allocating. With a warm arena (one that previously received this
+    /// workload's buffers via [`Self::recycle`]) construction is
+    /// allocation-free.
+    pub fn new_in(arena: &mut JqScratch) -> Self {
+        // Taken in descending order of expected size (the arena hands out
+        // its largest buffer first), with the short `qualities` list last.
+        let mut dist_no = arena.take_buffer();
+        dist_no.push(1.0);
+        let mut dist_yes = arena.take_buffer();
+        dist_yes.push(1.0);
+        let scratch_no = arena.take_buffer();
+        let scratch_yes = arena.take_buffer();
         IncrementalMvJq {
             tolerance: IncrementalJqConfig::default().stability_tolerance,
-            qualities: Vec::new(),
-            dist_no: vec![1.0],
-            dist_yes: vec![1.0],
+            qualities: arena.take_buffer(),
+            dist_no,
+            dist_yes,
+            scratch_no,
+            scratch_yes,
+            kernel: KernelMode::default(),
             stats: IncrementalStats::default(),
         }
+    }
+
+    /// Returns the engine's buffers to `arena`, consuming it.
+    pub fn recycle(self, arena: &mut JqScratch) {
+        arena.recycle_buffer(self.qualities);
+        arena.recycle_buffer(self.dist_no);
+        arena.recycle_buffer(self.dist_yes);
+        arena.recycle_buffer(self.scratch_no);
+        arena.recycle_buffer(self.scratch_yes);
+    }
+
+    /// Overrides the kernel implementation (vectorized vs scalar reference).
+    pub fn with_kernel_mode(mut self, kernel: KernelMode) -> Self {
+        self.kernel = kernel;
+        self
     }
 
     /// Number of workers currently folded in.
@@ -473,10 +560,30 @@ impl IncrementalMvJq {
 
     /// [`Self::push_worker`] by raw quality.
     pub fn push_quality(&mut self, quality: f64) {
-        convolve_bernoulli(&mut self.dist_no, quality);
-        convolve_bernoulli(&mut self.dist_yes, 1.0 - quality);
+        self.convolve_step(quality);
         self.qualities.push(quality);
         self.stats.pushes += 1;
+    }
+
+    /// Folds one Bernoulli trial into both distributions under the active
+    /// kernel mode.
+    fn convolve_step(&mut self, quality: f64) {
+        match self.kernel {
+            KernelMode::Vectorized => {
+                kernel::convolve_bernoulli_out(&self.dist_no, &mut self.scratch_no, quality);
+                std::mem::swap(&mut self.dist_no, &mut self.scratch_no);
+                kernel::convolve_bernoulli_out(
+                    &self.dist_yes,
+                    &mut self.scratch_yes,
+                    1.0 - quality,
+                );
+                std::mem::swap(&mut self.dist_yes, &mut self.scratch_yes);
+            }
+            KernelMode::ScalarReference => {
+                convolve_bernoulli(&mut self.dist_no, quality);
+                convolve_bernoulli(&mut self.dist_yes, 1.0 - quality);
+            }
+        }
     }
 
     /// Removes a worker by deconvolving both distributions, with a rebuild
@@ -502,14 +609,24 @@ impl IncrementalMvJq {
             .ok_or(JqError::NotAMember { quality })?;
         self.qualities.swap_remove(position);
         self.stats.pops += 1;
-        let no = deconvolve_bernoulli(&self.dist_no, quality, self.tolerance);
-        let yes = deconvolve_bernoulli(&self.dist_yes, 1.0 - quality, self.tolerance);
-        match (no, yes) {
-            (Some(no), Some(yes)) => {
-                self.dist_no = no;
-                self.dist_yes = yes;
-            }
-            _ => self.rebuild(),
+        // Both deconvolutions write into engine-owned scratch buffers; the
+        // state is only swapped over when both pass the stability guard.
+        let ok = kernel::deconvolve_bernoulli_into(
+            &self.dist_no,
+            quality,
+            self.tolerance,
+            &mut self.scratch_no,
+        ) && kernel::deconvolve_bernoulli_into(
+            &self.dist_yes,
+            1.0 - quality,
+            self.tolerance,
+            &mut self.scratch_yes,
+        );
+        if ok {
+            std::mem::swap(&mut self.dist_no, &mut self.scratch_no);
+            std::mem::swap(&mut self.dist_yes, &mut self.scratch_yes);
+        } else {
+            self.rebuild();
         }
         Ok(())
     }
@@ -536,19 +653,29 @@ impl IncrementalMvJq {
         (alpha * correct_given_no + (1.0 - alpha) * correct_given_yes).clamp(0.0, 1.0)
     }
 
-    /// Rebuilds both distributions from the tracked qualities.
+    /// Rebuilds both distributions from the tracked qualities. Resets
+    /// through the scratch buffers (capacity retained), so the fallback is
+    /// allocation-free in the steady state.
     pub fn rebuild(&mut self) {
-        self.dist_no = vec![1.0];
-        self.dist_yes = vec![1.0];
-        for &q in &self.qualities {
-            convolve_bernoulli(&mut self.dist_no, q);
-            convolve_bernoulli(&mut self.dist_yes, 1.0 - q);
+        self.scratch_no.clear();
+        self.scratch_no.push(1.0);
+        std::mem::swap(&mut self.dist_no, &mut self.scratch_no);
+        self.scratch_yes.clear();
+        self.scratch_yes.push(1.0);
+        std::mem::swap(&mut self.dist_yes, &mut self.scratch_yes);
+        let qualities = std::mem::take(&mut self.qualities);
+        for &q in &qualities {
+            self.convolve_step(q);
         }
+        self.qualities = qualities;
         self.stats.rebuilds += 1;
     }
 }
 
-/// In-place Poisson-binomial update: adds one Bernoulli(`p`) trial.
+/// In-place Poisson-binomial update: adds one Bernoulli(`p`) trial — the
+/// scalar reference for [`kernel::convolve_bernoulli_out`]. The inverse
+/// (shared by both kernel modes, since its carry chain is inherently
+/// sequential) lives in [`kernel::deconvolve_bernoulli_into`].
 fn convolve_bernoulli(dist: &mut Vec<f64>, p: f64) {
     let n = dist.len();
     dist.push(0.0);
@@ -557,52 +684,6 @@ fn convolve_bernoulli(dist: &mut Vec<f64>, p: f64) {
         let step = if k > 0 { dist[k - 1] * p } else { 0.0 };
         dist[k] = stay + step;
     }
-}
-
-/// Inverts [`convolve_bernoulli`]: removes one Bernoulli(`p`) trial.
-///
-/// Solves from whichever end keeps the per-step amplification factor at most
-/// one (`p/(1−p)` forward, `(1−p)/p` backward), so the recurrence is a
-/// contraction for every `p`. Returns `None` when the stability guard
-/// rejects the result.
-fn deconvolve_bernoulli(dist: &[f64], p: f64, tolerance: f64) -> Option<Vec<f64>> {
-    let old_len = dist.len() - 1;
-    let mut old = vec![0.0f64; old_len];
-    if p <= 0.5 {
-        // Forward: new[k] = p·old[k−1] + (1−p)·old[k].
-        let scale = 1.0 - p;
-        let mut carry = 0.0; // p·old[k−1]
-        for k in 0..old_len {
-            let mut value = (dist[k] - carry) / scale;
-            if value < 0.0 {
-                if value < -tolerance {
-                    return None;
-                }
-                value = 0.0;
-            }
-            old[k] = value;
-            carry = p * value;
-        }
-    } else {
-        // Backward: new[k+1] = p·old[k] + (1−p)·old[k+1].
-        let mut carry = 0.0; // (1−p)·old[k+1]
-        for k in (0..old_len).rev() {
-            let mut value = (dist[k + 1] - carry) / p;
-            if value < 0.0 {
-                if value < -tolerance {
-                    return None;
-                }
-                value = 0.0;
-            }
-            old[k] = value;
-            carry = (1.0 - p) * value;
-        }
-    }
-    let sum: f64 = old.iter().sum();
-    if (sum - 1.0).abs() > tolerance.max(1e-9) {
-        return None;
-    }
-    Some(old)
 }
 
 #[cfg(test)]
@@ -862,5 +943,145 @@ mod tests {
         engine.pop_quality(0.0).unwrap();
         let single = mv_jq(&Jury::from_qualities(&[0.6]).unwrap(), Prior::uniform()).unwrap();
         assert!((engine.jq(Prior::uniform()) - single).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arena_round_trip_matches_fresh_construction() {
+        let pool = jury_model::paper_example_pool();
+        let mut arena = JqScratch::new();
+        let config = IncrementalJqConfig::default();
+        let mut warm = IncrementalJq::for_pool_in(&pool, Prior::uniform(), config, &mut arena);
+        for worker in pool.iter() {
+            warm.push_worker(worker);
+        }
+        let expected = warm.jq();
+        warm.recycle(&mut arena);
+        assert!(arena.buffers_held() >= 2);
+        // A second engine from the warm arena reproduces the value exactly.
+        let mut again = IncrementalJq::for_pool_in(&pool, Prior::uniform(), config, &mut arena);
+        for worker in pool.iter() {
+            again.push_worker(worker);
+        }
+        assert_eq!(again.jq(), expected);
+    }
+
+    /// Drives a fixed op sequence against both kernel modes (and, for the
+    /// binary engine, both stability tolerances so the forced rebuild
+    /// fallback is covered) and demands agreement to 1e-12 after every op.
+    mod kernel_equivalence {
+        use super::*;
+        use proptest::prelude::*;
+
+        #[derive(Debug, Clone)]
+        enum Op {
+            Push(f64),
+            Pop(usize),
+            Swap(usize, f64),
+        }
+
+        fn ops() -> impl Strategy<Value = Vec<Op>> {
+            proptest::collection::vec(
+                prop_oneof![
+                    (0.5f64..0.995).prop_map(Op::Push),
+                    (0usize..1000).prop_map(Op::Pop),
+                    ((0usize..1000), 0.5f64..0.995).prop_map(|(i, q)| Op::Swap(i, q)),
+                ],
+                1..50,
+            )
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            /// Tentpole invariant: vectorized push/pop/swap == scalar
+            /// reference == forced from-scratch rebuild, to 1e-12, on the
+            /// binary bucket engine.
+            #[test]
+            fn binary_vectorized_matches_scalar_and_rebuild(
+                ops in ops(),
+                delta in 0.02f64..0.1,
+            ) {
+                let mut fast = IncrementalJq::new(delta);
+                let mut slow = IncrementalJq::new(delta)
+                    .with_kernel_mode(KernelMode::ScalarReference);
+                // Tolerance 0 rejects every deconvolution, so this engine
+                // answers every pop through the rebuild fallback.
+                let mut rebuilt = IncrementalJq::new(delta).with_stability_tolerance(0.0);
+                let mut live: Vec<f64> = Vec::new();
+                for op in &ops {
+                    match *op {
+                        Op::Push(q) => {
+                            fast.push_quality(q);
+                            slow.push_quality(q);
+                            rebuilt.push_quality(q);
+                            live.push(q);
+                        }
+                        Op::Pop(i) => {
+                            if live.is_empty() { continue; }
+                            let q = live.swap_remove(i % live.len());
+                            fast.pop_quality(q).unwrap();
+                            slow.pop_quality(q).unwrap();
+                            rebuilt.pop_quality(q).unwrap();
+                        }
+                        Op::Swap(i, incoming) => {
+                            if live.is_empty() { continue; }
+                            let idx = i % live.len();
+                            let out = std::mem::replace(&mut live[idx], incoming);
+                            fast.swap_quality(out, incoming).unwrap();
+                            slow.swap_quality(out, incoming).unwrap();
+                            rebuilt.swap_quality(out, incoming).unwrap();
+                        }
+                    }
+                    prop_assert!((fast.jq() - slow.jq()).abs() <= 1e-12,
+                        "vectorized {} vs scalar {}", fast.jq(), slow.jq());
+                    prop_assert!((fast.jq() - rebuilt.jq()).abs() <= 1e-12,
+                        "vectorized {} vs rebuild {}", fast.jq(), rebuilt.jq());
+                }
+                prop_assert!((fast.jq() - fast.from_scratch_jq()).abs() <= 1e-12);
+            }
+
+            /// The same invariant for the MV Poisson-binomial engine.
+            #[test]
+            fn mv_vectorized_matches_scalar_and_rebuild(ops in ops()) {
+                let mut fast = IncrementalMvJq::new();
+                let mut slow = IncrementalMvJq::new()
+                    .with_kernel_mode(KernelMode::ScalarReference);
+                let mut live: Vec<f64> = Vec::new();
+                let prior = Prior::new(0.6).unwrap();
+                for op in &ops {
+                    match *op {
+                        Op::Push(q) => {
+                            fast.push_quality(q);
+                            slow.push_quality(q);
+                            live.push(q);
+                        }
+                        Op::Pop(i) => {
+                            if live.is_empty() { continue; }
+                            let q = live.swap_remove(i % live.len());
+                            fast.pop_quality(q).unwrap();
+                            slow.pop_quality(q).unwrap();
+                        }
+                        Op::Swap(i, incoming) => {
+                            if live.is_empty() { continue; }
+                            let idx = i % live.len();
+                            let out = std::mem::replace(&mut live[idx], incoming);
+                            fast.swap_worker(
+                                &jury_model::Worker::free(jury_model::WorkerId(0), out).unwrap(),
+                                &jury_model::Worker::free(jury_model::WorkerId(0), incoming)
+                                    .unwrap(),
+                            ).unwrap();
+                            slow.pop_quality(out).unwrap();
+                            slow.push_quality(incoming);
+                        }
+                    }
+                    prop_assert!((fast.jq(prior) - slow.jq(prior)).abs() <= 1e-12,
+                        "vectorized {} vs scalar {}", fast.jq(prior), slow.jq(prior));
+                    // Rebuild (shared by both modes) must agree too.
+                    let mut scratch = fast.clone();
+                    scratch.rebuild();
+                    prop_assert!((fast.jq(prior) - scratch.jq(prior)).abs() <= 1e-12);
+                }
+            }
+        }
     }
 }

@@ -58,6 +58,7 @@ pub mod estimator;
 pub mod exact;
 pub mod hardness;
 pub mod incremental;
+pub mod kernel;
 pub mod multiclass;
 pub mod multiclass_incremental;
 pub mod mv;
@@ -72,6 +73,7 @@ pub use estimator::{JqBackend, JqEngine, JqValue};
 pub use exact::{exact_bv_jq, exact_jq, MAX_EXACT_JURY};
 pub use hardness::{has_equal_partition, partition_gadget};
 pub use incremental::{IncrementalJq, IncrementalJqConfig, IncrementalMvJq, IncrementalStats};
+pub use kernel::{JqScratch, KernelMode, SharedJqScratch};
 pub use multiclass::{
     approx_multiclass_bv_jq, exact_multiclass_bv_jq, exact_multiclass_jq, multiclass_grid_deltas,
     MultiClassBucketConfig,

@@ -63,6 +63,7 @@ use jury_model::{CategoricalPrior, Label, MatrixWorker, ModelError, WorkerId};
 
 use crate::error::{JqError, JqResult};
 use crate::incremental::IncrementalStats;
+use crate::kernel::{fmadd, KernelMode};
 use crate::multiclass::{clamped_log_ratio, target_max_abs_ratio};
 
 /// Configuration of the incremental multi-class engine's bucket grids.
@@ -84,6 +85,10 @@ pub struct MultiClassIncrementalConfig {
     /// rebuild. `0.0` forces a rebuild on effectively every pop (useful for
     /// exercising the fallback).
     pub stability_tolerance: f64,
+    /// Which implementation of the box sweeps the engine runs: the
+    /// vectorized row-sliced passes or the scalar odometer loops (see
+    /// [`KernelMode`]).
+    pub kernel: KernelMode,
 }
 
 impl Default for MultiClassIncrementalConfig {
@@ -92,6 +97,7 @@ impl Default for MultiClassIncrementalConfig {
             num_buckets: 400,
             max_cells: 1 << 22,
             stability_tolerance: 1e-10,
+            kernel: KernelMode::default(),
         }
     }
 }
@@ -112,6 +118,12 @@ impl MultiClassIncrementalConfig {
     /// Sets the stability tolerance of the deconvolution guard.
     pub fn with_stability_tolerance(mut self, tolerance: f64) -> Self {
         self.stability_tolerance = tolerance.max(0.0);
+        self
+    }
+
+    /// Selects the kernel implementation (vectorized vs scalar reference).
+    pub fn with_kernel_mode(mut self, kernel: KernelMode) -> Self {
+        self.kernel = kernel;
         self
     }
 
@@ -232,6 +244,7 @@ pub struct IncrementalMultiClassJq {
     alphas: Vec<f64>,
     max_cells: usize,
     tolerance: f64,
+    kernel: KernelMode,
     targets: Vec<TargetDp>,
     members: Vec<Member>,
     stats: IncrementalStats,
@@ -289,6 +302,7 @@ impl IncrementalMultiClassJq {
             alphas: (0..l).map(|t| prior.prob(Label(t))).collect(),
             max_cells: MultiClassIncrementalConfig::default().max_cells,
             tolerance: MultiClassIncrementalConfig::default().stability_tolerance,
+            kernel: MultiClassIncrementalConfig::default().kernel,
             targets,
             members: Vec::new(),
             stats: IncrementalStats::default(),
@@ -335,12 +349,19 @@ impl IncrementalMultiClassJq {
         let mut engine = IncrementalMultiClassJq::new(prior, &deltas)?;
         engine.max_cells = config.max_cells;
         engine.tolerance = config.stability_tolerance;
+        engine.kernel = config.kernel;
         Ok(engine)
     }
 
     /// Overrides the deconvolution stability tolerance.
     pub fn with_stability_tolerance(mut self, tolerance: f64) -> Self {
         self.tolerance = tolerance.max(0.0);
+        self
+    }
+
+    /// Selects the kernel implementation (vectorized vs scalar reference).
+    pub fn with_kernel_mode(mut self, kernel: KernelMode) -> Self {
+        self.kernel = kernel;
         self
     }
 
@@ -398,7 +419,7 @@ impl IncrementalMultiClassJq {
             }
         }
         for (dp, spikes) in self.targets.iter_mut().zip(&member.per_target) {
-            convolve_in(dp, spikes);
+            convolve_in(dp, spikes, self.kernel);
         }
         self.members.push(member);
         self.stats.pushes += 1;
@@ -430,12 +451,13 @@ impl IncrementalMultiClassJq {
         let member = self.members.swap_remove(position);
         self.stats.pops += 1;
         let tolerance = self.tolerance;
+        let kernel = self.kernel;
         let mut stable = true;
         for (dp, spikes) in self.targets.iter_mut().zip(&member.per_target) {
             if spikes.is_identity() {
                 continue;
             }
-            if !deconvolve_out(dp, spikes, tolerance) {
+            if !deconvolve_out(dp, spikes, tolerance, kernel) {
                 stable = false;
                 break;
             }
@@ -475,7 +497,7 @@ impl IncrementalMultiClassJq {
     pub fn jq(&self) -> f64 {
         let mut jq = 0.0;
         for (t, dp) in self.targets.iter().enumerate() {
-            jq += self.alphas[t] * h_mass(dp, t);
+            jq += self.alphas[t] * h_mass(dp, t, self.kernel);
         }
         jq.clamp(0.0, 1.0)
     }
@@ -498,7 +520,7 @@ impl IncrementalMultiClassJq {
         let members = std::mem::take(&mut self.members);
         for member in &members {
             for (dp, spikes) in self.targets.iter_mut().zip(&member.per_target) {
-                convolve_in(dp, spikes);
+                convolve_in(dp, spikes, self.kernel);
             }
         }
         self.members = members;
@@ -591,7 +613,13 @@ fn quantize(r: f64, delta: f64) -> i64 {
 
 /// `new[key] = Σ_s p_s · old[key − s]` on the dense box, growing the bounds
 /// by the member's shift hull.
-fn convolve_in(dp: &mut TargetDp, spikes: &MemberSpikes) {
+///
+/// The vectorized mode exploits that the last dimension has stride one in
+/// both boxes: each source row is a contiguous slice, and every spike maps
+/// it onto one contiguous destination slice, so the scatter becomes a
+/// handful of `mul_add` slice passes per row. The scalar mode is the
+/// original per-cell odometer scatter, kept as the reference.
+fn convolve_in(dp: &mut TargetDp, spikes: &MemberSpikes, kernel: KernelMode) {
     if spikes.is_identity() {
         return;
     }
@@ -633,28 +661,54 @@ fn convolve_in(dp: &mut TargetDp, spikes: &MemberSpikes) {
         .collect();
 
     let old_size = dp.dist.len();
-    let mut idx = vec![0usize; dims];
-    let mut mapped = 0usize;
-    for j in 0..old_size {
-        let mass = dp.dist[j];
-        if mass != 0.0 {
-            for &(off, p) in &offsets {
-                dp.scratch[mapped + off] += mass * p;
+    match kernel {
+        KernelMode::Vectorized => {
+            let last = dims - 1;
+            let row_len = old_ext[last];
+            let rows = old_size / row_len;
+            for r in 0..rows {
+                // Flat base of this row in the new box (last-dim stride is 1
+                // in both boxes, so columns line up contiguously).
+                let mut rem = r;
+                let mut row_base = 0usize;
+                for d in (0..last).rev() {
+                    row_base += (rem % old_ext[d]) * new_strides[d];
+                    rem /= old_ext[d];
+                }
+                let src = &dp.dist[r * row_len..(r + 1) * row_len];
+                for &(off, p) in &offsets {
+                    let dst = &mut dp.scratch[row_base + off..row_base + off + row_len];
+                    for (o, &s) in dst.iter_mut().zip(src) {
+                        *o = fmadd(s, p, *o);
+                    }
+                }
             }
         }
-        if j + 1 == old_size {
-            break;
-        }
-        let mut d = dims;
-        while d > 0 {
-            d -= 1;
-            idx[d] += 1;
-            mapped += new_strides[d];
-            if idx[d] < old_ext[d] {
-                break;
+        KernelMode::ScalarReference => {
+            let mut idx = vec![0usize; dims];
+            let mut mapped = 0usize;
+            for j in 0..old_size {
+                let mass = dp.dist[j];
+                if mass != 0.0 {
+                    for &(off, p) in &offsets {
+                        dp.scratch[mapped + off] += mass * p;
+                    }
+                }
+                if j + 1 == old_size {
+                    break;
+                }
+                let mut d = dims;
+                while d > 0 {
+                    d -= 1;
+                    idx[d] += 1;
+                    mapped += new_strides[d];
+                    if idx[d] < old_ext[d] {
+                        break;
+                    }
+                    mapped -= old_ext[d] * new_strides[d];
+                    idx[d] = 0;
+                }
             }
-            mapped -= old_ext[d] * new_strides[d];
-            idx[d] = 0;
         }
     }
     std::mem::swap(&mut dp.dist, &mut dp.scratch);
@@ -667,7 +721,20 @@ fn convolve_in(dp: &mut TargetDp, spikes: &MemberSpikes) {
 /// the larger probability (corrections then only reference already-solved
 /// cells). Returns `false` when the stability guard rejects the result,
 /// leaving the state unchanged.
-fn deconvolve_out(dp: &mut TargetDp, spikes: &MemberSpikes, tolerance: f64) -> bool {
+///
+/// The vectorized mode walks whole rows (the stride-one last dimension) in
+/// corner order. Corrections whose shift touches an earlier dimension
+/// reference rows that are already fully solved, so they apply as `mul_add`
+/// slice passes; pure last-dimension corrections have a causal carry, which
+/// the kernel breaks into windows no wider than the smallest such shift —
+/// inside a window every correction reads only finalized cells. The scalar
+/// mode is the original per-cell odometer sweep, kept as the reference.
+fn deconvolve_out(
+    dp: &mut TargetDp,
+    spikes: &MemberSpikes,
+    tolerance: f64,
+    kernel: KernelMode,
+) -> bool {
     let dims = dp.lo.len();
     let new_ext = dp.extents();
     let new_strides = strides(&new_ext);
@@ -737,55 +804,180 @@ fn deconvolve_out(dp: &mut TargetDp, spikes: &MemberSpikes, tolerance: f64) -> b
     let expected = new_sum / spikes.mass;
     let mut sum = 0.0f64;
 
-    let mut idx: Vec<usize> = if descending {
-        old_ext.iter().map(|&e| e - 1).collect()
-    } else {
-        vec![0usize; dims]
-    };
-    let mut mapped: usize = idx.iter().zip(&new_strides).map(|(&i, &s)| i * s).sum();
-    for step in 0..old_size {
-        let j: usize = idx.iter().zip(&old_strides).map(|(&i, &s)| i * s).sum();
-        let mut value = dp.dist[mapped + corner_off];
-        for corr in &corrections {
-            let in_bounds = (0..dims).all(|d| {
-                let t = idx[d] as i64 + corr.diff[d];
-                t >= 0 && t < old_ext[d] as i64
-            });
-            if in_bounds {
-                value -= corr.p * dp.scratch[(j as isize + corr.flat) as usize];
-            }
-        }
-        value /= corner_p;
-        if value < 0.0 {
-            if value < -tolerance {
-                return false;
-            }
-            value = 0.0;
-        }
-        dp.scratch[j] = value;
-        sum += value;
-        if step + 1 == old_size {
-            break;
-        }
-        let mut d = dims;
-        while d > 0 {
-            d -= 1;
-            if descending {
-                if idx[d] > 0 {
-                    idx[d] -= 1;
-                    mapped -= new_strides[d];
-                    break;
+    match kernel {
+        KernelMode::Vectorized => {
+            let last = dims - 1;
+            let row_len = old_ext[last];
+            let rows = old_size / row_len;
+            // Corrections split by causality: `off_row` shifts touch an
+            // earlier dimension and reference rows already finalized by the
+            // corner-order row sweep; `in_row` shifts move only along the
+            // last dimension and carry within the current row.
+            let (in_row, off_row): (Vec<&Correction>, Vec<&Correction>) = corrections
+                .iter()
+                .partition(|c| c.diff[..last].iter().all(|&d| d == 0));
+            // In corner order every in-row shift points at finalized cells
+            // at distance ≥ wmin, so windows of width wmin are causal.
+            let wmin: usize = in_row
+                .iter()
+                .map(|c| c.diff[last].unsigned_abs() as usize)
+                .min()
+                .unwrap_or(row_len);
+            let mut pidx = vec![0i64; last];
+            for rstep in 0..rows {
+                let r = if descending { rows - 1 - rstep } else { rstep };
+                let mut rem = r;
+                let mut new_row_base = 0usize;
+                for d in (0..last).rev() {
+                    let v = rem % old_ext[d];
+                    rem /= old_ext[d];
+                    pidx[d] = v as i64;
+                    new_row_base += v * new_strides[d];
                 }
-                idx[d] = old_ext[d] - 1;
-                mapped += (old_ext[d] - 1) * new_strides[d];
+                let j_row = r * row_len;
+                let row_end = j_row + row_len;
+                let base = &dp.dist[new_row_base + corner_off..new_row_base + corner_off + row_len];
+                // Split the scratch so the current row and the finalized
+                // rows it reads are simultaneously borrowable.
+                let (row, solved, solved_shift) = if descending {
+                    let (head, solved) = dp.scratch.split_at_mut(row_end);
+                    (&mut head[j_row..], &*solved, row_end as isize)
+                } else {
+                    let (solved, tail) = dp.scratch.split_at_mut(j_row);
+                    (&mut tail[..row_len], &*solved, 0isize)
+                };
+                row.copy_from_slice(base);
+                for corr in &off_row {
+                    let row_in_bounds = (0..last).all(|d| {
+                        let t = pidx[d] + corr.diff[d];
+                        t >= 0 && t < old_ext[d] as i64
+                    });
+                    if !row_in_bounds {
+                        continue;
+                    }
+                    let dl = corr.diff[last];
+                    let clo = (-dl).max(0) as usize;
+                    let chi = (row_len as i64 - dl.max(0)).max(clo as i64) as usize;
+                    if clo >= chi {
+                        continue;
+                    }
+                    let start = (j_row as isize + corr.flat + clo as isize - solved_shift) as usize;
+                    let src = &solved[start..start + (chi - clo)];
+                    for (o, &s) in row[clo..chi].iter_mut().zip(src) {
+                        *o = fmadd(-corr.p, s, *o);
+                    }
+                }
+                if descending {
+                    let mut chi = row_len;
+                    while chi > 0 {
+                        let clo = chi.saturating_sub(wmin);
+                        let (open, done) = row.split_at_mut(chi);
+                        for corr in &in_row {
+                            let dl = corr.diff[last] as usize; // > 0 when descending
+                            let hi_c = chi.min(row_len.saturating_sub(dl));
+                            if clo < hi_c {
+                                let src = &done[clo + dl - chi..hi_c + dl - chi];
+                                for (o, &s) in open[clo..hi_c].iter_mut().zip(src) {
+                                    *o = fmadd(-corr.p, s, *o);
+                                }
+                            }
+                        }
+                        for o in open[clo..chi].iter_mut().rev() {
+                            let mut value = *o / corner_p;
+                            if value < 0.0 {
+                                if value < -tolerance {
+                                    return false;
+                                }
+                                value = 0.0;
+                            }
+                            *o = value;
+                            sum += value;
+                        }
+                        chi = clo;
+                    }
+                } else {
+                    let mut clo = 0usize;
+                    while clo < row_len {
+                        let chi = (clo + wmin).min(row_len);
+                        let (done, open) = row.split_at_mut(clo);
+                        for corr in &in_row {
+                            let dl = (-corr.diff[last]) as usize; // diff < 0 ascending
+                            let lo_c = clo.max(dl);
+                            if lo_c < chi {
+                                let src = &done[lo_c - dl..chi - dl];
+                                for (o, &s) in open[lo_c - clo..chi - clo].iter_mut().zip(src) {
+                                    *o = fmadd(-corr.p, s, *o);
+                                }
+                            }
+                        }
+                        for o in open[..chi - clo].iter_mut() {
+                            let mut value = *o / corner_p;
+                            if value < 0.0 {
+                                if value < -tolerance {
+                                    return false;
+                                }
+                                value = 0.0;
+                            }
+                            *o = value;
+                            sum += value;
+                        }
+                        clo = chi;
+                    }
+                }
+            }
+        }
+        KernelMode::ScalarReference => {
+            let mut idx: Vec<usize> = if descending {
+                old_ext.iter().map(|&e| e - 1).collect()
             } else {
-                idx[d] += 1;
-                mapped += new_strides[d];
-                if idx[d] < old_ext[d] {
+                vec![0usize; dims]
+            };
+            let mut mapped: usize = idx.iter().zip(&new_strides).map(|(&i, &s)| i * s).sum();
+            for step in 0..old_size {
+                let j: usize = idx.iter().zip(&old_strides).map(|(&i, &s)| i * s).sum();
+                let mut value = dp.dist[mapped + corner_off];
+                for corr in &corrections {
+                    let in_bounds = (0..dims).all(|d| {
+                        let t = idx[d] as i64 + corr.diff[d];
+                        t >= 0 && t < old_ext[d] as i64
+                    });
+                    if in_bounds {
+                        value -= corr.p * dp.scratch[(j as isize + corr.flat) as usize];
+                    }
+                }
+                value /= corner_p;
+                if value < 0.0 {
+                    if value < -tolerance {
+                        return false;
+                    }
+                    value = 0.0;
+                }
+                dp.scratch[j] = value;
+                sum += value;
+                if step + 1 == old_size {
                     break;
                 }
-                mapped -= old_ext[d] * new_strides[d];
-                idx[d] = 0;
+                let mut d = dims;
+                while d > 0 {
+                    d -= 1;
+                    if descending {
+                        if idx[d] > 0 {
+                            idx[d] -= 1;
+                            mapped -= new_strides[d];
+                            break;
+                        }
+                        idx[d] = old_ext[d] - 1;
+                        mapped += (old_ext[d] - 1) * new_strides[d];
+                    } else {
+                        idx[d] += 1;
+                        mapped += new_strides[d];
+                        if idx[d] < old_ext[d] {
+                            break;
+                        }
+                        mapped -= old_ext[d] * new_strides[d];
+                        idx[d] = 0;
+                    }
+                }
             }
         }
     }
@@ -800,7 +992,11 @@ fn deconvolve_out(dp: &mut TargetDp, spikes: &MemberSpikes, tolerance: f64) -> b
 
 /// `H(t')`: the mass of keys deciding for the target — strictly positive
 /// components against smaller labels, non-negative against larger ones.
-fn h_mass(dp: &TargetDp, target: usize) -> f64 {
+///
+/// In vectorized mode the winning region of each row is one contiguous
+/// suffix (the last dimension is monotone in the key), so the sweep reduces
+/// to a win test on the row's prefix index plus a slice sum.
+fn h_mass(dp: &TargetDp, target: usize, kernel: KernelMode) -> f64 {
     let dims = dp.lo.len();
     // Minimum winning key value per dimension.
     let thresholds: Vec<i64> = dp
@@ -809,27 +1005,53 @@ fn h_mass(dp: &TargetDp, target: usize) -> f64 {
         .map(|&other| if other < target { 1 } else { 0 })
         .collect();
     let ext = dp.extents();
-    let mut idx = vec![0usize; dims];
     let mut h = 0.0;
-    for j in 0..dp.dist.len() {
-        let mass = dp.dist[j];
-        if mass != 0.0 {
-            let wins = (0..dims).all(|d| dp.lo[d] + idx[d] as i64 >= thresholds[d]);
-            if wins {
-                h += mass;
+    match kernel {
+        KernelMode::Vectorized => {
+            let last = dims - 1;
+            let row_len = ext[last];
+            let rows = dp.dist.len() / row_len;
+            let col_start = (thresholds[last] - dp.lo[last]).clamp(0, row_len as i64) as usize;
+            for r in 0..rows {
+                let mut rem = r;
+                let mut wins = true;
+                for d in (0..last).rev() {
+                    let v = (rem % ext[d]) as i64;
+                    rem /= ext[d];
+                    if dp.lo[d] + v < thresholds[d] {
+                        wins = false;
+                    }
+                }
+                if wins {
+                    for &mass in &dp.dist[r * row_len + col_start..(r + 1) * row_len] {
+                        h += mass;
+                    }
+                }
             }
         }
-        if j + 1 == dp.dist.len() {
-            break;
-        }
-        let mut d = dims;
-        while d > 0 {
-            d -= 1;
-            idx[d] += 1;
-            if idx[d] < ext[d] {
-                break;
+        KernelMode::ScalarReference => {
+            let mut idx = vec![0usize; dims];
+            for j in 0..dp.dist.len() {
+                let mass = dp.dist[j];
+                if mass != 0.0 {
+                    let wins = (0..dims).all(|d| dp.lo[d] + idx[d] as i64 >= thresholds[d]);
+                    if wins {
+                        h += mass;
+                    }
+                }
+                if j + 1 == dp.dist.len() {
+                    break;
+                }
+                let mut d = dims;
+                while d > 0 {
+                    d -= 1;
+                    idx[d] += 1;
+                    if idx[d] < ext[d] {
+                        break;
+                    }
+                    idx[d] = 0;
+                }
             }
-            idx[d] = 0;
         }
     }
     h
@@ -997,6 +1219,79 @@ mod tests {
                 }
             }
             prop_assert_eq!(engine.len(), live.len());
+        }
+
+        /// The vectorized row-sliced kernels agree with the scalar odometer
+        /// reference to fp noise over random push/pop/swap sequences, with a
+        /// zero-tolerance sibling forcing the rebuild fallback as a third
+        /// witness.
+        #[test]
+        fn kernel_modes_agree_over_push_pop_swap(
+            seed in 0u64..1_000_000,
+            l in 2usize..5,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
+            let pool = random_jury(l, 6, seed ^ 0x77);
+            let prior = random_prior(l, seed ^ 0x99);
+            let config = MultiClassIncrementalConfig::default().with_num_buckets(6);
+            let mut fast = IncrementalMultiClassJq::for_pool(
+                pool.workers(),
+                &prior,
+                config.with_kernel_mode(KernelMode::Vectorized),
+            )
+            .unwrap();
+            let mut slow = IncrementalMultiClassJq::for_pool(
+                pool.workers(),
+                &prior,
+                config.with_kernel_mode(KernelMode::ScalarReference),
+            )
+            .unwrap();
+            let mut forced = IncrementalMultiClassJq::for_pool(
+                pool.workers(),
+                &prior,
+                config.with_kernel_mode(KernelMode::Vectorized),
+            )
+            .unwrap()
+            .with_stability_tolerance(0.0);
+            let mut live: Vec<usize> = Vec::new();
+            for _ in 0..12 {
+                let outside: Vec<usize> =
+                    (0..pool.size()).filter(|i| !live.contains(i)).collect();
+                let op = rng.gen_range(0..3);
+                if (op == 0 || live.is_empty()) && !outside.is_empty() {
+                    let pick = outside[rng.gen_range(0..outside.len())];
+                    for engine in [&mut fast, &mut slow, &mut forced] {
+                        engine.push_worker(&pool.workers()[pick]).unwrap();
+                    }
+                    live.push(pick);
+                } else if op == 1 || outside.is_empty() {
+                    let out = live.swap_remove(rng.gen_range(0..live.len()));
+                    for engine in [&mut fast, &mut slow, &mut forced] {
+                        engine.pop_worker(&pool.workers()[out]).unwrap();
+                    }
+                } else {
+                    let pos = rng.gen_range(0..live.len());
+                    let incoming = outside[rng.gen_range(0..outside.len())];
+                    let out = std::mem::replace(&mut live[pos], incoming);
+                    for engine in [&mut fast, &mut slow, &mut forced] {
+                        engine
+                            .swap_worker(&pool.workers()[out], &pool.workers()[incoming])
+                            .unwrap();
+                    }
+                }
+                prop_assert!(
+                    (fast.jq() - slow.jq()).abs() < 1e-12,
+                    "vectorized {} vs scalar {}",
+                    fast.jq(),
+                    slow.jq()
+                );
+                prop_assert!(
+                    (fast.jq() - forced.jq()).abs() < 1e-12,
+                    "vectorized {} vs forced-rebuild {}",
+                    fast.jq(),
+                    forced.jq()
+                );
+            }
         }
     }
 

@@ -65,8 +65,8 @@ pub use multiclass::{
 };
 pub use mvjs::MvjsSolver;
 pub use objective::{
-    bv_incremental_session, mv_incremental_session, BvObjective, IncrementalSession, JuryObjective,
-    MvObjective,
+    bv_incremental_session, bv_incremental_session_in, mv_incremental_session,
+    mv_incremental_session_in, BvObjective, IncrementalSession, JuryObjective, MvObjective,
 };
 pub use portfolio::{PortfolioConfig, PortfolioMember, PortfolioSolver};
 pub use problem::JspInstance;

@@ -16,7 +16,9 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use jury_jq::{BucketJqConfig, IncrementalJq, IncrementalJqConfig, IncrementalMvJq, JqEngine};
+use jury_jq::{
+    BucketJqConfig, IncrementalJq, IncrementalJqConfig, IncrementalMvJq, JqEngine, SharedJqScratch,
+};
 use jury_model::{Jury, Prior, Worker, WorkerPool};
 
 use crate::problem::JspInstance;
@@ -95,45 +97,85 @@ impl<O: JuryObjective + ?Sized> JuryObjective for &O {
 
 /// [`IncrementalSession`] over `JQ(J, BV, α)` via [`IncrementalJq`], with
 /// evaluations ticking a caller-owned counter.
+///
+/// The engine lives in an `Option` only so `Drop` can move it back into the
+/// shared scratch arena (when one was provided); it is `Some` for the whole
+/// usable life of the session.
 struct BvSession<'a> {
-    engine: IncrementalJq,
+    engine: Option<IncrementalJq>,
+    scratch: Option<&'a SharedJqScratch>,
     evaluations: &'a AtomicU64,
+}
+
+impl BvSession<'_> {
+    fn engine_mut(&mut self) -> &mut IncrementalJq {
+        self.engine.as_mut().expect("engine is present until drop")
+    }
 }
 
 impl IncrementalSession for BvSession<'_> {
     fn push(&mut self, worker: &Worker) {
-        self.engine.push_worker(worker);
+        self.engine_mut().push_worker(worker);
     }
 
     fn pop(&mut self, worker: &Worker) -> bool {
-        self.engine.pop_worker(worker).is_ok()
+        self.engine_mut().pop_worker(worker).is_ok()
     }
 
     fn value(&self) -> f64 {
         self.evaluations.fetch_add(1, Ordering::Relaxed);
-        self.engine.jq()
+        self.engine
+            .as_ref()
+            .expect("engine is present until drop")
+            .jq()
+    }
+}
+
+impl Drop for BvSession<'_> {
+    fn drop(&mut self) {
+        if let (Some(engine), Some(shared)) = (self.engine.take(), self.scratch) {
+            engine.recycle(&mut shared.lock());
+        }
     }
 }
 
 /// [`IncrementalSession`] over `JQ(J, MV, α)` via [`IncrementalMvJq`].
 struct MvSession<'a> {
-    engine: IncrementalMvJq,
+    engine: Option<IncrementalMvJq>,
+    scratch: Option<&'a SharedJqScratch>,
     prior: Prior,
     evaluations: &'a AtomicU64,
 }
 
+impl MvSession<'_> {
+    fn engine_mut(&mut self) -> &mut IncrementalMvJq {
+        self.engine.as_mut().expect("engine is present until drop")
+    }
+}
+
 impl IncrementalSession for MvSession<'_> {
     fn push(&mut self, worker: &Worker) {
-        self.engine.push_worker(worker);
+        self.engine_mut().push_worker(worker);
     }
 
     fn pop(&mut self, worker: &Worker) -> bool {
-        self.engine.pop_worker(worker).is_ok()
+        self.engine_mut().pop_worker(worker).is_ok()
     }
 
     fn value(&self) -> f64 {
         self.evaluations.fetch_add(1, Ordering::Relaxed);
-        self.engine.jq(self.prior)
+        self.engine
+            .as_ref()
+            .expect("engine is present until drop")
+            .jq(self.prior)
+    }
+}
+
+impl Drop for MvSession<'_> {
+    fn drop(&mut self) {
+        if let (Some(engine), Some(shared)) = (self.engine.take(), self.scratch) {
+            engine.recycle(&mut shared.lock());
+        }
     }
 }
 
@@ -147,9 +189,34 @@ pub fn bv_incremental_session<'a>(
     bucket: BucketJqConfig,
     evaluations: &'a AtomicU64,
 ) -> Box<dyn IncrementalSession + 'a> {
-    let config = IncrementalJqConfig::default().with_buckets(bucket.buckets);
+    let config = IncrementalJqConfig::default()
+        .with_buckets(bucket.buckets)
+        .with_kernel_mode(bucket.kernel);
     Box::new(BvSession {
-        engine: IncrementalJq::for_pool(pool, prior, config),
+        engine: Some(IncrementalJq::for_pool(pool, prior, config)),
+        scratch: None,
+        evaluations,
+    })
+}
+
+/// [`bv_incremental_session`], drawing the engine's buffers from a shared
+/// scratch arena and recycling them into it when the session drops. With a
+/// warm arena, opening and closing sessions is allocation-free (up to the
+/// session `Box` itself).
+pub fn bv_incremental_session_in<'a>(
+    pool: &WorkerPool,
+    prior: Prior,
+    bucket: BucketJqConfig,
+    evaluations: &'a AtomicU64,
+    scratch: &'a SharedJqScratch,
+) -> Box<dyn IncrementalSession + 'a> {
+    let config = IncrementalJqConfig::default()
+        .with_buckets(bucket.buckets)
+        .with_kernel_mode(bucket.kernel);
+    let engine = IncrementalJq::for_pool_in(pool, prior, config, &mut scratch.lock());
+    Box::new(BvSession {
+        engine: Some(engine),
+        scratch: Some(scratch),
         evaluations,
     })
 }
@@ -160,7 +227,24 @@ pub fn mv_incremental_session(
     evaluations: &AtomicU64,
 ) -> Box<dyn IncrementalSession + '_> {
     Box::new(MvSession {
-        engine: IncrementalMvJq::new(),
+        engine: Some(IncrementalMvJq::new()),
+        scratch: None,
+        prior,
+        evaluations,
+    })
+}
+
+/// [`mv_incremental_session`], arena-backed (see
+/// [`bv_incremental_session_in`]).
+pub fn mv_incremental_session_in<'a>(
+    prior: Prior,
+    evaluations: &'a AtomicU64,
+    scratch: &'a SharedJqScratch,
+) -> Box<dyn IncrementalSession + 'a> {
+    let engine = IncrementalMvJq::new_in(&mut scratch.lock());
+    Box::new(MvSession {
+        engine: Some(engine),
+        scratch: Some(scratch),
         prior,
         evaluations,
     })
@@ -172,6 +256,7 @@ pub fn mv_incremental_session(
 pub struct BvObjective {
     engine: JqEngine,
     evaluations: AtomicU64,
+    scratch: SharedJqScratch,
 }
 
 impl BvObjective {
@@ -186,6 +271,7 @@ impl BvObjective {
         BvObjective {
             engine: JqEngine::new(config),
             evaluations: AtomicU64::new(0),
+            scratch: SharedJqScratch::new(),
         }
     }
 
@@ -194,6 +280,7 @@ impl BvObjective {
         BvObjective {
             engine,
             evaluations: AtomicU64::new(0),
+            scratch: SharedJqScratch::new(),
         }
     }
 }
@@ -222,11 +309,12 @@ impl JuryObjective for BvObjective {
         if instance.num_candidates() <= self.engine.exact_cutoff() {
             return None;
         }
-        Some(bv_incremental_session(
+        Some(bv_incremental_session_in(
             instance.pool(),
             instance.prior(),
             *self.engine.bucket_estimator().config(),
             &self.evaluations,
+            &self.scratch,
         ))
     }
 }
@@ -237,6 +325,7 @@ impl JuryObjective for BvObjective {
 pub struct MvObjective {
     engine: JqEngine,
     evaluations: AtomicU64,
+    scratch: SharedJqScratch,
 }
 
 impl MvObjective {
@@ -266,7 +355,11 @@ impl JuryObjective for MvObjective {
     ) -> Option<Box<dyn IncrementalSession + 'a>> {
         // The MV session is exact (no quantization) and strictly cheaper
         // than the scratch Poisson-binomial DP, so it is always worthwhile.
-        Some(mv_incremental_session(instance.prior(), &self.evaluations))
+        Some(mv_incremental_session_in(
+            instance.prior(),
+            &self.evaluations,
+            &self.scratch,
+        ))
     }
 }
 

@@ -38,11 +38,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::RwLock;
 
-use jury_jq::{jury_signature, multiclass_signature, JqEngine, JurySignature};
+use jury_jq::{jury_signature, multiclass_signature, JqEngine, JurySignature, SharedJqScratch};
 use jury_model::{CategoricalPrior, Jury, MatrixPool, MatrixWorker, ModelResult, Prior};
 use jury_selection::{
-    bv_incremental_session, mv_incremental_session, IncrementalSession, JspInstance, JuryObjective,
-    MultiClassBvObjective,
+    bv_incremental_session_in, mv_incremental_session_in, IncrementalSession, JspInstance,
+    JuryObjective, MultiClassBvObjective,
 };
 
 use crate::config::ServiceConfig;
@@ -314,6 +314,7 @@ pub(crate) struct CachedObjective<'a> {
     cache: &'a JqCache,
     requests: AtomicU64,
     local_hits: AtomicU64,
+    scratch: SharedJqScratch,
 }
 
 impl<'a> CachedObjective<'a> {
@@ -324,6 +325,7 @@ impl<'a> CachedObjective<'a> {
             cache,
             requests: AtomicU64::new(0),
             local_hits: AtomicU64::new(0),
+            scratch: SharedJqScratch::new(),
         }
     }
 
@@ -383,14 +385,19 @@ impl JuryObjective for CachedObjective<'_> {
                 if instance.num_candidates() <= self.engine.exact_cutoff() {
                     return None;
                 }
-                Some(bv_incremental_session(
+                Some(bv_incremental_session_in(
                     instance.pool(),
                     instance.prior(),
                     *self.engine.bucket_estimator().config(),
                     &self.requests,
+                    &self.scratch,
                 ))
             }
-            Strategy::Mv => Some(mv_incremental_session(instance.prior(), &self.requests)),
+            Strategy::Mv => Some(mv_incremental_session_in(
+                instance.prior(),
+                &self.requests,
+                &self.scratch,
+            )),
         }
     }
 }

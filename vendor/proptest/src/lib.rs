@@ -145,6 +145,55 @@ impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, 
     }
 }
 
+/// Strategy choosing uniformly among boxed alternatives — the engine behind
+/// [`prop_oneof!`]. Built fluently: `Union::new().or(a).or(b)`.
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// Creates an empty union; sampling panics until an option is added.
+    pub fn new() -> Self {
+        Union {
+            options: Vec::new(),
+        }
+    }
+
+    /// Adds one alternative.
+    pub fn or(mut self, strategy: impl Strategy<Value = T> + 'static) -> Self {
+        self.options.push(Box::new(strategy));
+        self
+    }
+}
+
+impl<T> Default for Union<T> {
+    fn default() -> Self {
+        Union::new()
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        assert!(
+            !self.options.is_empty(),
+            "prop_oneof! needs at least one strategy"
+        );
+        let pick = rng.gen_range(0..self.options.len());
+        self.options[pick].sample(rng)
+    }
+}
+
+/// Picks uniformly among the given strategies (all must produce the same
+/// value type). The unweighted subset of real proptest's `prop_oneof!`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new()$(.or($strategy))+
+    };
+}
+
 /// A strategy producing one fixed value.
 #[derive(Debug, Clone)]
 pub struct Just<T: Clone>(pub T);
@@ -247,7 +296,8 @@ pub mod prelude {
     //! The usual proptest imports.
 
     pub use crate::{
-        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just, ProptestConfig,
+        Strategy, Union,
     };
 }
 
