@@ -26,7 +26,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use jury_model::{Answer, Prior, TaskId, WorkerId};
-use jury_service::{JuryService, RepairOutcome, SelectionRequest, ServiceConfig};
+use jury_service::{JuryService, RepairOutcome, SelectionRequest, ServiceConfig, SolverPolicy};
 use jury_stream::{AnswerEvent, DriftDetector, DriftStatus, RegistryConfig, WorkerRegistry};
 
 /// Workers in the streamed pool (past `fast()`'s exact cutoff, so the
@@ -114,6 +114,11 @@ fn main() {
     let deadline = started + Duration::from_secs(seconds);
     let mut rng = StdRng::seed_from_u64(seed);
     let service = JuryService::new(ServiceConfig::fast());
+    // Odd rotations select through a two-lane threaded solver under the
+    // portfolio policy: POOL (16) is past `fast()`'s exact cutoff, so the
+    // parallel race actually engages on the serving path, and the rest of
+    // the rotation (scans, repairs) must behave identically either way.
+    let threaded = JuryService::new(ServiceConfig::fast().with_solver_threads(2));
     // A modest quality band (0.58–0.76): high enough that juries beat the
     // coin, low enough that one member collapsing to ~0.5 moves the JQ past
     // the drift threshold (at 0.9+ tiers, a lost member barely dents JQ).
@@ -141,13 +146,18 @@ fn main() {
         // Track the service-selected jury plus a low-tier control.
         let mut detector = DriftDetector::new(0.03);
         let snapshot = registry.snapshot_pool().expect("non-empty registry");
-        let selected = service
-            .select(
-                &SelectionRequest::new(snapshot.clone(), BUDGET)
-                    .with_prior(Prior::uniform())
-                    .with_deadline(REQUEST_DEADLINE),
-            )
-            .expect("selection on the streamed snapshot");
+        let request = SelectionRequest::new(snapshot.clone(), BUDGET)
+            .with_prior(Prior::uniform())
+            .with_deadline(REQUEST_DEADLINE);
+        let selected = if counters.rotations % 2 == 1 {
+            threaded
+                .select(&request.with_policy(SolverPolicy::Portfolio(Vec::new())))
+                .expect("threaded portfolio selection on the streamed snapshot")
+        } else {
+            service
+                .select(&request)
+                .expect("selection on the streamed snapshot")
+        };
         let jury_id = detector.track(
             selected.jury.ids(),
             BUDGET,

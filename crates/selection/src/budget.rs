@@ -18,6 +18,15 @@ use std::time::{Duration, Instant};
 /// Budgets are plain `Copy` values: cloning one into a solver does not
 /// share any state, it just carries the same deadline and cap.
 ///
+/// The *shared* part of a budgeted race lives in the objective, not here:
+/// [`exhausted`](Self::exhausted) is checked against the caller-supplied
+/// evaluation count, and every solver passes its objective's atomic
+/// counter. That is what makes one budget govern a multi-threaded race —
+/// the parallel portfolio copies the same `SearchBudget` into every lane,
+/// and because all lanes drive one objective (one `AtomicU64` of
+/// evaluations), the cap bounds their *combined* work with no further
+/// synchronization.
+///
 /// ```
 /// use jury_selection::SearchBudget;
 ///

@@ -68,6 +68,21 @@ pub trait JuryObjective: Send + Sync {
     ) -> Option<Box<dyn IncrementalSession + 'a>> {
         None
     }
+
+    /// Like [`incremental_session`](Self::incremental_session), but draws
+    /// the engine's buffers from a caller-owned arena instead of the
+    /// objective's shared one — the hook the parallel solvers use to give
+    /// each lane its own warm `JqScratch` (no lock contention between
+    /// lanes' hot loops). The default ignores the arena and opens a plain
+    /// session, which is correct for objectives without arena-backed
+    /// engines.
+    fn incremental_session_in<'a>(
+        &'a self,
+        instance: &JspInstance,
+        _arena: &'a SharedJqScratch,
+    ) -> Option<Box<dyn IncrementalSession + 'a>> {
+        self.incremental_session(instance)
+    }
 }
 
 // Objectives work by shared reference too, so one (stateful, counting)
@@ -92,6 +107,14 @@ impl<O: JuryObjective + ?Sized> JuryObjective for &O {
         instance: &JspInstance,
     ) -> Option<Box<dyn IncrementalSession + 'a>> {
         (**self).incremental_session(instance)
+    }
+
+    fn incremental_session_in<'a>(
+        &'a self,
+        instance: &JspInstance,
+        arena: &'a SharedJqScratch,
+    ) -> Option<Box<dyn IncrementalSession + 'a>> {
+        (**self).incremental_session_in(instance, arena)
     }
 }
 
@@ -317,6 +340,23 @@ impl JuryObjective for BvObjective {
             &self.scratch,
         ))
     }
+
+    fn incremental_session_in<'a>(
+        &'a self,
+        instance: &JspInstance,
+        arena: &'a SharedJqScratch,
+    ) -> Option<Box<dyn IncrementalSession + 'a>> {
+        if instance.num_candidates() <= self.engine.exact_cutoff() {
+            return None;
+        }
+        Some(bv_incremental_session_in(
+            instance.pool(),
+            instance.prior(),
+            *self.engine.bucket_estimator().config(),
+            &self.evaluations,
+            arena,
+        ))
+    }
 }
 
 /// The MVJS objective: `JQ(J, MV, α)` via the exact Poisson-binomial dynamic
@@ -359,6 +399,18 @@ impl JuryObjective for MvObjective {
             instance.prior(),
             &self.evaluations,
             &self.scratch,
+        ))
+    }
+
+    fn incremental_session_in<'a>(
+        &'a self,
+        instance: &JspInstance,
+        arena: &'a SharedJqScratch,
+    ) -> Option<Box<dyn IncrementalSession + 'a>> {
+        Some(mv_incremental_session_in(
+            instance.prior(),
+            &self.evaluations,
+            arena,
         ))
     }
 }

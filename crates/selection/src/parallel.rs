@@ -1,0 +1,237 @@
+//! Intra-solve parallel execution: the lane policy shared by the threaded
+//! solvers, the cross-lane best-so-far bound, and the per-lane arena
+//! adapter.
+//!
+//! The serving stack has been data-parallel across *requests* since the
+//! batch engine landed; this module makes a *single* large solve
+//! multi-core. Three solvers opt in through [`ParallelPolicy`]:
+//!
+//! * [`crate::PortfolioSolver`] races each member on its own scoped OS
+//!   thread (per-lane [`jury_jq::JqScratch`] arena via [`ArenaObjective`],
+//!   one shared evaluation counter, one [`SharedBestBound`]);
+//! * [`crate::RestartSolver`] fans its restart units out across threads —
+//!   lane seeds are pure functions of the restart index, so the candidate
+//!   set is independent of thread interleaving and the fold replays the
+//!   sequential tie-break exactly;
+//! * [`crate::GreedyMarginalSolver`] evaluates the pool-many probes of each
+//!   forward-selection round across threads, merging the probe values
+//!   through the sequential pool-order scan so the round winner stays
+//!   deterministic.
+//!
+//! **Determinism contract.** [`ParallelPolicy::Sequential`] (the default)
+//! never spawns, never reads the new atomics, and runs the exact pre-policy
+//! code paths — bit-identical replay. A threaded *unbudgeted* run keeps
+//! every lane a pure replay of its standalone sequential sequence (the
+//! bound is published but never steers), so the result is invariant in the
+//! thread count. Only a threaded *budgeted* run lets the bound cut losing
+//! work early (tabu aspiration against the cross-lane best, restart
+//! acceptance skipping the final re-score of a provably losing planting) —
+//! budgeted runs are anytime by contract, not replays.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use jury_jq::SharedJqScratch;
+use jury_model::{Jury, Prior};
+
+use crate::objective::{IncrementalSession, JuryObjective};
+use crate::problem::JspInstance;
+
+/// How a solver spreads one solve across OS threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ParallelPolicy {
+    /// Run on the calling thread, bit-identical to the pre-parallel
+    /// solver (no thread spawns, no new atomic or clock reads). The
+    /// default.
+    #[default]
+    Sequential,
+    /// Spread the solve's independent units (portfolio lanes, restart
+    /// units, greedy probes) across this many scoped OS threads; `0` means
+    /// one per available CPU core. `Threads(1)` runs the parallel
+    /// orchestration on a single lane — same results, useful for tests.
+    Threads(usize),
+}
+
+impl ParallelPolicy {
+    /// Whether this policy spawns threads at all.
+    #[must_use]
+    pub fn is_threaded(&self) -> bool {
+        matches!(self, ParallelPolicy::Threads(_))
+    }
+
+    /// The number of worker threads to spawn for `work_items` independent
+    /// units: 1 for [`Sequential`](Self::Sequential), otherwise the
+    /// configured count (`0` resolved to the available parallelism),
+    /// clamped to the unit count so no thread starts idle.
+    #[must_use]
+    pub fn lanes(&self, work_items: usize) -> usize {
+        match *self {
+            ParallelPolicy::Sequential => 1,
+            ParallelPolicy::Threads(n) => {
+                let configured = if n == 0 {
+                    std::thread::available_parallelism()
+                        .map(|n| n.get())
+                        .unwrap_or(1)
+                } else {
+                    n
+                };
+                configured.clamp(1, work_items.max(1))
+            }
+        }
+    }
+}
+
+/// A cross-lane best-so-far JQ bound: lanes publish each batch-scored
+/// improvement, so other lanes can cut work that provably cannot win.
+///
+/// JQ values live in `[0, 1]`, where the IEEE-754 bit pattern of an `f64`
+/// is monotone in the value — `fetch_max` on the raw bits is a lock-free
+/// floating-point max. The bound starts at `0.0` (below any real jury
+/// quality), so no cut can trigger before a lane has published a real
+/// batch value.
+///
+/// Publishing uses `Relaxed` ordering: the bound is a heuristic pruning
+/// hint, never a synchronization edge — a stale read only costs a wasted
+/// probe, never correctness.
+#[derive(Debug, Default)]
+pub struct SharedBestBound {
+    bits: AtomicU64,
+}
+
+impl SharedBestBound {
+    /// Creates a bound at `0.0` (below every reachable jury quality).
+    #[must_use]
+    pub fn new() -> Self {
+        SharedBestBound::default()
+    }
+
+    /// Publishes a batch-scored jury quality; keeps the running maximum.
+    /// Negative or NaN values are ignored (their bit patterns would not
+    /// order monotonically).
+    pub fn observe(&self, value: f64) {
+        if value >= 0.0 {
+            self.bits.fetch_max(value.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// The best value published so far (`0.0` before any publication).
+    #[must_use]
+    pub fn current(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// A per-lane view of a shared objective: delegates evaluation (and the
+/// shared evaluation counter) to the inner objective, but hands out
+/// incremental sessions backed by this lane's **own** scratch arena.
+///
+/// This is what gives each portfolio lane its private `JqScratch`: the
+/// inner objective's shared arena is never locked from the lane's hot
+/// loop, and once a lane has paid its warm-up, reopening sessions across
+/// restart units is allocation-free within the lane (asserted by
+/// `crates/selection/tests/zero_alloc.rs`).
+#[derive(Debug)]
+pub struct ArenaObjective<'o, O: JuryObjective> {
+    inner: &'o O,
+    arena: &'o SharedJqScratch,
+}
+
+impl<'o, O: JuryObjective> ArenaObjective<'o, O> {
+    /// Wraps the shared objective with a lane-owned arena. The arena is
+    /// borrowed (not owned) so the spawning side can keep it past the
+    /// lane's lifetime and hand its warm buffers back to a parent arena
+    /// via [`SharedJqScratch::absorb`] when the lane retires.
+    pub fn new(inner: &'o O, arena: &'o SharedJqScratch) -> Self {
+        ArenaObjective { inner, arena }
+    }
+
+    /// The lane's arena.
+    pub fn arena(&self) -> &SharedJqScratch {
+        self.arena
+    }
+}
+
+impl<O: JuryObjective> JuryObjective for ArenaObjective<'_, O> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn evaluate(&self, jury: &Jury, prior: Prior) -> f64 {
+        self.inner.evaluate(jury, prior)
+    }
+
+    fn evaluations(&self) -> u64 {
+        self.inner.evaluations()
+    }
+
+    fn incremental_session<'a>(
+        &'a self,
+        instance: &JspInstance,
+    ) -> Option<Box<dyn IncrementalSession + 'a>> {
+        self.inner.incremental_session_in(instance, self.arena)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::BvObjective;
+    use jury_model::WorkerPool;
+
+    #[test]
+    fn sequential_policy_never_spawns() {
+        assert_eq!(ParallelPolicy::Sequential.lanes(100), 1);
+        assert!(!ParallelPolicy::Sequential.is_threaded());
+        assert_eq!(ParallelPolicy::default(), ParallelPolicy::Sequential);
+    }
+
+    #[test]
+    fn thread_lanes_clamp_to_the_work() {
+        assert_eq!(ParallelPolicy::Threads(8).lanes(3), 3);
+        assert_eq!(ParallelPolicy::Threads(2).lanes(100), 2);
+        assert_eq!(ParallelPolicy::Threads(4).lanes(0), 1);
+        assert!(ParallelPolicy::Threads(0).lanes(64) >= 1);
+        assert!(ParallelPolicy::Threads(0).is_threaded());
+    }
+
+    #[test]
+    fn bound_is_a_lock_free_float_max() {
+        let bound = SharedBestBound::new();
+        assert_eq!(bound.current(), 0.0);
+        bound.observe(0.7);
+        bound.observe(0.6);
+        assert!((bound.current() - 0.7).abs() < 1e-15);
+        bound.observe(0.93);
+        assert!((bound.current() - 0.93).abs() < 1e-15);
+        // Garbage is ignored rather than corrupting the maximum.
+        bound.observe(f64::NAN);
+        bound.observe(-1.0);
+        assert!((bound.current() - 0.93).abs() < 1e-15);
+    }
+
+    #[test]
+    fn arena_objective_delegates_and_uses_its_own_arena() {
+        let qualities: Vec<f64> = (0..20).map(|i| 0.55 + 0.02 * (i % 10) as f64).collect();
+        let pool = WorkerPool::from_qualities_and_costs(&qualities, &[1.0; 20]).unwrap();
+        let instance = JspInstance::with_uniform_prior(pool.clone(), 8.0).unwrap();
+        let inner = BvObjective::new();
+        let arena = SharedJqScratch::new();
+        let lane = ArenaObjective::new(&inner, &arena);
+
+        assert_eq!(lane.name(), inner.name());
+        let jury = Jury::new(pool.workers()[..3].to_vec());
+        let direct = inner.evaluate(&jury, Prior::uniform());
+        let via_lane = lane.evaluate(&jury, Prior::uniform());
+        assert!((direct - via_lane).abs() < 1e-15);
+        assert_eq!(lane.evaluations(), inner.evaluations());
+
+        // Sessions exist past the exact cutoff and recycle into the lane's
+        // arena, not the inner objective's.
+        {
+            let mut session = lane.incremental_session(&instance).unwrap();
+            session.push(&pool.workers()[0]);
+            assert!(session.value() > 0.0);
+            assert!(session.pop(&pool.workers()[0]));
+        }
+        assert!(lane.arena().lock().buffers_held() > 0);
+    }
+}

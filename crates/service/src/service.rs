@@ -11,7 +11,8 @@ use jury_model::{CategoricalPrior, MatrixPool, Prior, WorkerPool};
 use jury_selection::{
     AnnealingSolver, BudgetQualityRow, BudgetQualityTable, ExhaustiveSolver, GreedyMarginalSolver,
     GreedyQualitySolver, GreedyRatioSolver, JspInstance, JuryObjective, JurySolver, MultiClassJsp,
-    MvjsSolver, PortfolioConfig, PortfolioSolver, SearchBudget, SolverResult, MAX_EXHAUSTIVE_POOL,
+    MvjsSolver, ParallelPolicy, PortfolioConfig, PortfolioSolver, SearchBudget, SolverResult,
+    MAX_EXHAUSTIVE_POOL,
 };
 
 use crate::cache::{CacheStats, CachedMultiClassObjective, CachedObjective, JqCache};
@@ -172,8 +173,23 @@ impl JuryService {
     /// # Ok::<(), ServiceError>(())
     /// ```
     pub fn select(&self, request: &SelectionRequest) -> Result<SelectionResponse, ServiceError> {
+        self.select_inner(request, false)
+    }
+
+    /// [`Self::select`] with the batch-over-solver thread priority applied:
+    /// when the surrounding batch has already fanned its slots out across
+    /// worker threads (`sequential_solver`), this request's solve runs its
+    /// lanes sequentially instead of oversubscribing the same cores.
+    fn select_inner(
+        &self,
+        request: &SelectionRequest,
+        sequential_solver: bool,
+    ) -> Result<SelectionResponse, ServiceError> {
         let started = Instant::now();
-        let config = request.config().copied().unwrap_or(self.config);
+        let mut config = request.config().copied().unwrap_or(self.config);
+        if sequential_solver {
+            config.solver_threads = 1;
+        }
 
         let prior = Prior::new(request.prior_alpha()).map_err(|_| ServiceError::InvalidPrior {
             value: request.prior_alpha(),
@@ -341,7 +357,8 @@ impl JuryService {
                 let portfolio = PortfolioConfig::default()
                     .with_annealing(config.annealing)
                     .with_tabu(config.tabu)
-                    .with_restart(config.restart);
+                    .with_restart(config.restart)
+                    .with_parallel(config.solver_parallelism());
                 PortfolioSolver::with_members(objective, members)
                     .with_config(portfolio)
                     .with_budget(search_budget)
@@ -362,6 +379,7 @@ impl JuryService {
                 }
                 let marginal = GreedyMarginalSolver::new(objective)
                     .with_budget(search_budget)
+                    .with_parallelism(config.solver_parallelism())
                     .solve(instance);
                 let truncated = marginal.truncated;
                 if marginal.objective_value > best.objective_value {
@@ -425,8 +443,21 @@ impl JuryService {
         &self,
         request: &MultiClassSelectionRequest,
     ) -> Result<MultiClassSelectionResponse, ServiceError> {
+        self.select_multiclass_inner(request, false)
+    }
+
+    /// [`Self::select_multiclass`] with the batch-over-solver thread
+    /// priority applied — same contract as [`Self::select_inner`].
+    fn select_multiclass_inner(
+        &self,
+        request: &MultiClassSelectionRequest,
+        sequential_solver: bool,
+    ) -> Result<MultiClassSelectionResponse, ServiceError> {
         let started = Instant::now();
-        let config = request.config().copied().unwrap_or(self.config);
+        let mut config = request.config().copied().unwrap_or(self.config);
+        if sequential_solver {
+            config.solver_threads = 1;
+        }
         let pool = request.pool();
 
         let prior = match request.prior_probs() {
@@ -674,12 +705,19 @@ impl JuryService {
         requests: &[SelectionRequest],
     ) -> BatchOutcome<SelectionResponse> {
         let counters = AdmissionCounters::default();
+        // Batch wins the cores: once the batch itself fans out across
+        // worker threads, each slot's solver runs its lanes sequentially
+        // rather than oversubscribing (see `ServiceConfig::solver_threads`).
+        let sequential_solver = self.batch_threads(requests.len()) > 1;
         let results = self.run_batch(requests, |request| {
             self.serve_gated(request, &counters, |request, coarsen| {
                 if coarsen {
-                    self.select(&request.clone().with_policy(SolverPolicy::Greedy))
+                    self.select_inner(
+                        &request.clone().with_policy(SolverPolicy::Greedy),
+                        sequential_solver,
+                    )
                 } else {
-                    self.select(request)
+                    self.select_inner(request, sequential_solver)
                 }
             })
         });
@@ -698,12 +736,16 @@ impl JuryService {
         requests: &[MultiClassSelectionRequest],
     ) -> Vec<Result<MultiClassSelectionResponse, ServiceError>> {
         let counters = AdmissionCounters::default();
+        let sequential_solver = self.batch_threads(requests.len()) > 1;
         self.run_batch(requests, |request| {
             self.serve_gated(request, &counters, |request, coarsen| {
                 if coarsen {
-                    self.select_multiclass(&request.clone().with_policy(SolverPolicy::Greedy))
+                    self.select_multiclass_inner(
+                        &request.clone().with_policy(SolverPolicy::Greedy),
+                        sequential_solver,
+                    )
                 } else {
-                    self.select_multiclass(request)
+                    self.select_multiclass_inner(request, sequential_solver)
                 }
             })
         })
@@ -770,18 +812,25 @@ impl JuryService {
         requests: &[MixedRequest],
     ) -> BatchOutcome<MixedResponse> {
         let counters = AdmissionCounters::default();
+        let sequential_solver = self.batch_threads(requests.len()) > 1;
         let results = self.run_batch(requests, |request| {
             self.serve_gated(request, &counters, |request, coarsen| match request {
                 MixedRequest::Binary(request) => if coarsen {
-                    self.select(&request.clone().with_policy(SolverPolicy::Greedy))
+                    self.select_inner(
+                        &request.clone().with_policy(SolverPolicy::Greedy),
+                        sequential_solver,
+                    )
                 } else {
-                    self.select(request)
+                    self.select_inner(request, sequential_solver)
                 }
                 .map(MixedResponse::Binary),
                 MixedRequest::MultiClass(request) => if coarsen {
-                    self.select_multiclass(&request.clone().with_policy(SolverPolicy::Greedy))
+                    self.select_multiclass_inner(
+                        &request.clone().with_policy(SolverPolicy::Greedy),
+                        sequential_solver,
+                    )
                 } else {
-                    self.select_multiclass(request)
+                    self.select_multiclass_inner(request, sequential_solver)
                 }
                 .map(MixedResponse::MultiClass),
             })
@@ -793,14 +842,11 @@ impl JuryService {
     }
 
     fn batch_threads(&self, batch_len: usize) -> usize {
-        let configured = if self.config.batch_threads == 0 {
-            thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        } else {
-            self.config.batch_threads
-        };
-        configured.clamp(1, batch_len.max(1))
+        // Batch fan-out resolves its thread count through the same policy
+        // as the intra-solve lanes (`0` = one per core, clamped to the
+        // work), so `ServiceConfig::with_worker_threads` means the same
+        // thing at both levels.
+        ParallelPolicy::Threads(self.config.batch_threads).lanes(batch_len)
     }
 
     /// Builds the Figure-1 style budget–quality table.
@@ -1722,6 +1768,31 @@ mod tests {
             )
             .unwrap();
         assert!(response.quality >= annealed.quality - 1e-9);
+    }
+
+    #[test]
+    fn solver_threads_do_not_change_the_served_jury() {
+        // The unbudgeted parallel race keeps every lane a pure replay, so a
+        // threaded service serves exactly the sequential service's jury.
+        let sequential = JuryService::paper_experiments();
+        let threaded = JuryService::new(ServiceConfig::paper_experiments().with_solver_threads(2));
+        let request = SelectionRequest::new(large_pool(40), 5.0)
+            .with_policy(SolverPolicy::Portfolio(Vec::new()));
+        let base = sequential.select(&request).unwrap();
+        let raced = threaded.select(&request).unwrap();
+        assert_eq!(base.worker_ids(), raced.worker_ids());
+        assert_eq!(base.solver, raced.solver);
+        assert!((base.quality - raced.quality).abs() < 1e-12);
+
+        // Batch wins the cores: whether or not the batch fans out on this
+        // machine (forcing the slots' solvers sequential), every slot still
+        // serves the same jury as the single select.
+        let batch = vec![request.clone(); 4];
+        for slot in threaded.select_batch(&batch) {
+            let slot = slot.unwrap();
+            assert_eq!(slot.worker_ids(), base.worker_ids());
+            assert!((slot.quality - base.quality).abs() < 1e-12);
+        }
     }
 
     #[test]
